@@ -1,0 +1,94 @@
+// Experiment E7 — Theorem 7: γ-bounded data sharing.
+//
+// (a) The per-module greedy is a (γ+1)-approximation: sweep γ and measure
+//     greedy/OPT against the γ+1 budget; the ratio must degrade as data
+//     sharing grows (at γ = Ω(n), Example 5 shows it reaches Ω(n)).
+// (b) APX-hardness already at γ = 1: the cubic-vertex-cover reduction
+//     (Appendix B.6.2) maps OPT(VC) exactly — solved on both sides.
+#include <algorithm>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "generators/requirement_gen.h"
+#include "reductions/to_secure_view.h"
+#include "secureview/feasibility.h"
+#include "secureview/solvers.h"
+
+using namespace provview;
+
+int main() {
+  PrintBanner("E7a: greedy-per-module ratio vs data-sharing bound (Thm 7)");
+  TablePrinter t({"gamma bound", "gamma actual", "OPT", "greedy",
+                  "greedy/OPT", "budget gamma+1", "coverage/OPT"});
+  for (int gamma : {1, 2, 3, 4, 6}) {
+    double ratio_sum = 0, cov_sum = 0;
+    int count = 0;
+    int gamma_actual = 0;
+    double opt_sum = 0, greedy_sum = 0;
+    for (int seed = 0; seed < 4; ++seed) {
+      Rng rng(static_cast<uint64_t>(gamma) * 31 + static_cast<uint64_t>(seed));
+      RandomInstanceOptions opt;
+      opt.kind = ConstraintKind::kCardinality;
+      opt.num_modules = 10;
+      opt.max_inputs = 3;
+      opt.max_outputs = 2;
+      opt.gamma_bound = gamma;
+      opt.reuse_probability = gamma == 1 ? 0.0 : 0.85;
+      SecureViewInstance inst = MakeRandomInstance(opt, &rng);
+      gamma_actual = std::max(gamma_actual, inst.DataSharingDegree());
+
+      SvResult exact = SolveExact(inst);
+      PV_CHECK_MSG(exact.status.ok(), exact.status.ToString());
+      SvResult greedy = SolveGreedyPerModule(inst);
+      SvResult coverage = SolveGreedyCoverage(inst);
+      PV_CHECK(IsFeasible(inst, greedy.solution));
+      // Theorem 7 guarantee.
+      PV_CHECK_MSG(
+          greedy.cost <= (inst.DataSharingDegree() + 1) * exact.cost + 1e-6,
+          "(gamma+1) guarantee violated");
+      ratio_sum += greedy.cost / exact.cost;
+      cov_sum += coverage.cost / exact.cost;
+      opt_sum += exact.cost;
+      greedy_sum += greedy.cost;
+      ++count;
+    }
+    t.NewRow()
+        .AddCell(gamma)
+        .AddCell(gamma_actual)
+        .AddCell(opt_sum / count, 2)
+        .AddCell(greedy_sum / count, 2)
+        .AddCell(ratio_sum / count, 3)
+        .AddCell(gamma + 1)
+        .AddCell(cov_sum / count, 3);
+  }
+  t.Print();
+
+  PrintBanner(
+      "E7b: APX-hardness source at gamma = 1 — cubic vertex cover reduction");
+  TablePrinter t2({"vertices", "edges", "OPT(VC)", "OPT(SV)",
+                   "paper: |E|+OPT(VC)", "match"});
+  for (int n : {6, 8, 10, 12, 14}) {
+    Rng rng(static_cast<uint64_t>(n) * 7 + 1);
+    Graph g = RandomCubicGraph(n, &rng);
+    VertexCoverResult vc = SolveVertexCoverExact(g);
+    PV_CHECK(vc.status.ok());
+    VertexCoverCardReduction red = ReduceVertexCoverToCardinality(g);
+    PV_CHECK(red.instance.DataSharingDegree() <= 1);
+    SvResult sv = SolveExact(red.instance);
+    PV_CHECK(sv.status.ok());
+    bool match =
+        std::abs(sv.cost - (g.num_edges() + vc.cost)) < 1e-6;
+    t2.NewRow()
+        .AddCell(n)
+        .AddCell(g.num_edges())
+        .AddCell(vc.cost)
+        .AddCell(sv.cost, 1)
+        .AddCell(static_cast<int64_t>(g.num_edges() + vc.cost))
+        .AddCell(match ? "yes" : "NO");
+    PV_CHECK_MSG(match, "B.6.2 reduction equality failed");
+  }
+  t2.Print();
+  std::cout << "  (Secure-View stays NP-hard even with zero data sharing: "
+               "its optimum tracks |E| + OPT(VC) exactly.)\n";
+  return 0;
+}

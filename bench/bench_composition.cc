@@ -1,0 +1,97 @@
+// Experiment E3 — Theorem 4: assembling workflow privacy from standalone
+// guarantees in all-private workflows.
+//
+// For random all-private workflows: hide the union of per-module
+// standalone-safe sets, certify with the Theorem-4 sufficient condition,
+// and — where brute-force world enumeration is feasible — confirm the
+// ground-truth workflow Γ meets the target. Also measures the running-time
+// asymmetry: composition is milliseconds, world enumeration explodes.
+#include <iostream>
+
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "generators/random_workflow.h"
+#include "privacy/safe_subset_search.h"
+#include "privacy/workflow_privacy.h"
+
+using namespace provview;
+
+int main() {
+  PrintBanner("E3a: Theorem 4 on random all-private workflows (Gamma = 2)");
+  TablePrinter t({"modules", "attrs", "hidden", "hidden cost", "certified",
+                  "ground-truth Gamma", "compose (ms)", "enumerate (ms)"});
+  const int64_t gamma = 2;
+  for (int n : {2, 3, 4, 6, 8, 12}) {
+    Rng rng(static_cast<uint64_t>(n) * 71 + 9);
+    RandomWorkflowOptions opt;
+    opt.num_modules = n;
+    opt.max_inputs = 2;
+    opt.max_outputs = n <= 4 ? 1 : 2;  // keep world enumeration feasible
+    opt.gamma_bound = 2;
+    GeneratedWorkflow gen = MakeRandomWorkflow(opt, &rng);
+    Workflow& w = *gen.workflow;
+
+    Stopwatch compose_sw;
+    std::vector<Bitset64> per_module;
+    for (int i : w.PrivateModuleIndices()) {
+      MinCostSafeResult r = MinCostSafeHiddenSet(w.module(i), gamma);
+      PV_CHECK(r.found);
+      per_module.push_back(r.hidden);
+    }
+    ComposedSolution composed = ComposeStandaloneSolutions(w, per_module);
+    PrivacyCertificate cert =
+        CertifyWorkflowPrivacy(w, composed.hidden, gamma);
+    double compose_ms = compose_sw.ElapsedMillis();
+
+    std::string truth = "-";
+    double enum_ms = -1.0;
+    if (n <= 4) {
+      Stopwatch enum_sw;
+      int64_t g = GroundTruthWorkflowGamma(w, composed.hidden, {});
+      enum_ms = enum_sw.ElapsedMillis();
+      truth = std::to_string(g);
+      PV_CHECK_MSG(g >= gamma, "Theorem 4 violated?!");
+    }
+    t.NewRow()
+        .AddCell(n)
+        .AddCell(w.used_attrs().count())
+        .AddCell(composed.hidden.count())
+        .AddCell(composed.attr_cost, 2)
+        .AddCell(cert.certified ? "yes" : "NO")
+        .AddCell(truth)
+        .AddCell(compose_ms, 2)
+        .AddCell(enum_ms < 0 ? std::string("(too large)")
+                             : std::to_string(enum_ms));
+  }
+  t.Print();
+  std::cout << "  (Theorem 4: the certificate must read 'yes' and the "
+               "ground truth must be >= 2 wherever enumerable.)\n";
+
+  PrintBanner("E3b: per-module privacy levels under the composed view");
+  Rng rng(123);
+  RandomWorkflowOptions opt;
+  opt.num_modules = 6;
+  opt.max_inputs = 3;
+  opt.max_outputs = 2;
+  GeneratedWorkflow gen = MakeRandomWorkflow(opt, &rng);
+  Workflow& w = *gen.workflow;
+  std::vector<Bitset64> per_module;
+  for (int i : w.PrivateModuleIndices()) {
+    MinCostSafeResult r = MinCostSafeHiddenSet(w.module(i), 2);
+    PV_CHECK(r.found);
+    per_module.push_back(r.hidden);
+  }
+  ComposedSolution composed = ComposeStandaloneSolutions(w, per_module);
+  std::vector<int64_t> gammas = PerModuleStandaloneGamma(w, composed.hidden);
+  TablePrinter t2({"module", "k=|I|+|O|", "standalone Gamma under union"});
+  for (int i = 0; i < w.num_modules(); ++i) {
+    t2.NewRow()
+        .AddCell(w.module(i).name())
+        .AddCell(w.module(i).arity())
+        .AddCell(gammas[static_cast<size_t>(i)]);
+  }
+  t2.Print();
+  std::cout << "  (Every row >= 2: hiding the union preserves each module's "
+               "standalone guarantee — the mechanism behind Theorem 4.)\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Experiment E4 — Example 5: the union of per-module standalone optima is
+// Ω(n) more expensive than the workflow optimum.
+//
+// On the fan-out family (module m feeding n middle modules feeding m'),
+// the standalone union hides {a1, b_1..b_n} (cost n+1) while the optimum
+// hides {a2, b_1} (cost 2+ε). The measured ratio must grow linearly in n.
+#include <cmath>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "generators/families.h"
+#include "secureview/feasibility.h"
+#include "secureview/solvers.h"
+
+using namespace provview;
+
+int main() {
+  PrintBanner("E4: Example-5 family — standalone union vs workflow optimum");
+  const double eps = 0.1;
+  TablePrinter t({"n", "union cost (paper: n+1)", "OPT (paper: 2+eps)",
+                  "ratio", "(n+1)/(2+eps)", "coverage greedy"});
+  for (int n : {2, 4, 8, 16, 32, 64, 128, 256, 512}) {
+    SecureViewInstance inst = MakeExample5Instance(n, eps);
+    SvResult greedy = SolveGreedyPerModule(inst);  // = standalone union
+    PV_CHECK(greedy.status.ok());
+    PV_CHECK(IsFeasible(inst, greedy.solution));
+
+    // Exact via ILP for moderate n; the optimum is 2 + eps by construction
+    // (hide a2 and one b_i) — verified against the ILP where we run it.
+    double opt = 2.0 + eps;
+    if (n <= 64) {
+      SvResult exact = SolveExact(inst);
+      PV_CHECK(exact.status.ok());
+      PV_CHECK_MSG(std::abs(exact.cost - opt) < 1e-6,
+                   "Example-5 optimum mismatch");
+      opt = exact.cost;
+    }
+    SvResult coverage = SolveGreedyCoverage(inst);
+    PV_CHECK(IsFeasible(inst, coverage.solution));
+
+    t.NewRow()
+        .AddCell(n)
+        .AddCell(greedy.cost, 2)
+        .AddCell(opt, 2)
+        .AddCell(greedy.cost / opt, 2)
+        .AddCell((n + 1.0) / (2.0 + eps), 2)
+        .AddCell(coverage.cost, 2);
+  }
+  t.Print();
+  std::cout << "  (ratio tracks (n+1)/(2+eps) exactly: the Ω(n) separation "
+               "of Example 5. The option-aware coverage greedy escapes the "
+               "trap.)\n";
+  return 0;
+}

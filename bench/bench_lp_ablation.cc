@@ -1,0 +1,112 @@
+// Ablation experiment — Appendix B.4's justification of the Figure-3
+// program. The paper argues that two "simpler" encodings of the
+// cardinality Secure-View problem have weak LP relaxations:
+//   - dropping the coupling constraints (6)-(7) lets a fractional solution
+//     mix incomparable options;
+//   - dropping the per-option y/z accounting ("direct" encoding) lets the
+//     same x mass pay for every option simultaneously — an Ω(ℓ) gap on
+//     lists of near-uniform total weight.
+// We measure the LP bound quality (LP / ILP optimum) of all three
+// encodings on (a) the crafted near-uniform-list family and (b) random
+// instances. The full Figure-3 relaxation must dominate.
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "generators/requirement_gen.h"
+#include "lp/simplex.h"
+#include "secureview/ilp_encoding.h"
+#include "secureview/solvers.h"
+
+using namespace provview;
+
+namespace {
+
+// One module, |I| = |O| = l, options (j, l+1-j) for j = 1..l: every option
+// costs l+1 integrally, but the direct LP satisfies all options at once
+// with total mass ≈ 2 (r_j = 1/l spreads the requirement thin).
+SecureViewInstance UniformListFamily(int l) {
+  SecureViewInstance inst;
+  inst.kind = ConstraintKind::kCardinality;
+  inst.num_attrs = 2 * l;
+  inst.attr_cost.assign(static_cast<size_t>(2 * l), 1.0);
+  SvModule m;
+  m.name = "wide";
+  for (int i = 0; i < l; ++i) m.inputs.push_back(i);
+  for (int i = 0; i < l; ++i) m.outputs.push_back(l + i);
+  for (int j = 1; j <= l; ++j) {
+    m.card_options.push_back(CardOption{j, l + 1 - j});
+  }
+  inst.modules.push_back(std::move(m));
+  PV_CHECK(inst.Validate().ok());
+  return inst;
+}
+
+double LpBound(const SecureViewInstance& inst, CardEncodingVariant variant) {
+  SvEncoding enc = EncodeCardinalityVariant(inst, variant);
+  LpSolution s = SolveLp(enc.lp);
+  PV_CHECK_MSG(s.status.ok(), s.status.ToString());
+  return s.objective;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner(
+      "Ablation A: near-uniform option lists (B.4's Ω(l) gap for the "
+      "direct encoding)");
+  TablePrinter t({"l", "ILP OPT", "LP full (Fig 3)", "LP no-coupling",
+                  "LP direct", "gap full", "gap direct"});
+  for (int l : {2, 4, 6, 8, 10}) {
+    SecureViewInstance inst = UniformListFamily(l);
+    SvResult exact = SolveExact(inst);
+    PV_CHECK(exact.status.ok());
+    double full = LpBound(inst, CardEncodingVariant::kFull);
+    double nocouple = LpBound(inst, CardEncodingVariant::kNoCoupling);
+    double direct = LpBound(inst, CardEncodingVariant::kDirect);
+    t.NewRow()
+        .AddCell(l)
+        .AddCell(exact.cost, 2)
+        .AddCell(full, 2)
+        .AddCell(nocouple, 2)
+        .AddCell(direct, 2)
+        .AddCell(exact.cost / full, 2)
+        .AddCell(exact.cost / direct, 2);
+  }
+  t.Print();
+  std::cout << "  (The direct encoding's gap grows ~linearly in l; the "
+               "Figure-3 encoding stays near-exact — B.4's point.)\n";
+
+  PrintBanner("Ablation B: random instances — bound quality of the three "
+              "relaxations");
+  TablePrinter t2({"n", "seed", "ILP OPT", "full/OPT", "no-coupling/OPT",
+                   "direct/OPT"});
+  for (int n : {8, 12, 16}) {
+    for (int seed = 0; seed < 3; ++seed) {
+      Rng rng(static_cast<uint64_t>(n) * 19 + static_cast<uint64_t>(seed));
+      RandomInstanceOptions opt;
+      opt.kind = ConstraintKind::kCardinality;
+      opt.num_modules = n;
+      opt.max_list_length = 3;
+      SecureViewInstance inst = MakeRandomInstance(opt, &rng);
+      SvResult exact = SolveExact(inst);
+      PV_CHECK(exact.status.ok());
+      double full = LpBound(inst, CardEncodingVariant::kFull);
+      double nocouple = LpBound(inst, CardEncodingVariant::kNoCoupling);
+      double direct = LpBound(inst, CardEncodingVariant::kDirect);
+      // Relaxation ordering must hold: every ablation is a relaxation of
+      // the full program's feasible region projected to x (weaker bound).
+      PV_CHECK(full <= exact.cost + 1e-6);
+      PV_CHECK(nocouple <= full + 1e-6);
+      PV_CHECK(direct <= exact.cost + 1e-6);
+      t2.NewRow()
+          .AddCell(n)
+          .AddCell(seed)
+          .AddCell(exact.cost, 2)
+          .AddCell(full / exact.cost, 3)
+          .AddCell(nocouple / exact.cost, 3)
+          .AddCell(direct / exact.cost, 3);
+    }
+  }
+  t2.Print();
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Experiment E1 — possible-worlds semantics (Figure 2, Definitions 1/2,
+// Example 2/3) and Proposition 2's doubly-exponential world-count gap.
+//
+// Reproduces:
+//   (a) the worked numbers of the running example: 64 worlds for m1 under
+//       V = {a1,a3,a5}, |OUT| = 4 for every input, Γ = 3 when only inputs
+//       are hidden;
+//   (b) Proposition 2: on the identity→negation chain of one-one modules,
+//       |Worlds(R1,V)| = Γ^(2^k) while |Worlds(R,V)| = (Γ!)^(2^k / Γ) —
+//       the ratio grows doubly exponentially in k — yet per-input OUT
+//       sets (the actual privacy guarantee) are identical.
+#include <cmath>
+#include <iostream>
+
+#include "common/combinatorics.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "generators/families.h"
+#include "privacy/possible_worlds.h"
+#include "privacy/standalone_privacy.h"
+#include "workflow/fig1_workflow.h"
+
+using namespace provview;
+
+namespace {
+
+void RunningExampleTable() {
+  PrintBanner("E1a: Figure-1 module m1 — views, worlds and OUT sets");
+  Fig1Workflow fig = MakeFig1Workflow();
+  const Module& m1 = fig.workflow->module(fig.m1_index);
+  Relation rel = m1.FullRelation();
+
+  struct Case {
+    const char* label;
+    std::vector<int> visible;
+    const char* paper;
+  };
+  std::vector<Case> cases = {
+      {"V={a1,a3,a5} (Ex. 2/3)", {fig.a1, fig.a3, fig.a5}, "Gamma=4, 64 worlds"},
+      {"V={a1,a2,a3} (Ex. 3)", {fig.a1, fig.a2, fig.a3}, "Gamma=4"},
+      {"V={a3,a4,a5} (Ex. 3)", {fig.a3, fig.a4, fig.a5}, "Gamma=3"},
+      {"V=all", {0, 1, 2, 3, 4}, "Gamma=1"},
+      {"V=empty", {}, "Gamma=8"},
+  };
+  TablePrinter t({"view", "Gamma (Alg 2)", "worlds", "min|OUT| (brute)",
+                  "paper"});
+  for (const Case& c : cases) {
+    Bitset64 v = Bitset64::Of(7, c.visible);
+    StandaloneWorlds worlds =
+        EnumerateStandaloneWorlds(rel, m1.inputs(), m1.outputs(), v);
+    t.NewRow()
+        .AddCell(c.label)
+        .AddCell(MaxStandaloneGamma(rel, m1.inputs(), m1.outputs(), v))
+        .AddCell(worlds.num_worlds)
+        .AddCell(worlds.MinOutSize())
+        .AddCell(c.paper);
+  }
+  t.Print();
+}
+
+void Prop2Table() {
+  PrintBanner(
+      "E1b: Proposition 2 — world counts on the one-one chain (Gamma=2)");
+  TablePrinter t({"k", "standalone worlds", "closed form G^(2^k)",
+                  "workflow worlds", "closed form (G!)^(2^k/G)",
+                  "ratio", "min|OUT| standalone", "min|OUT| workflow"});
+  const int64_t gamma = 2;
+  for (int k = 1; k <= 2; ++k) {
+    Prop2Chain chain = MakeProp2Chain(k);
+    const Module& m1 = chain.workflow->module(0);
+    // Hide log2(gamma) = 1 intermediate attribute (an output of m1).
+    Bitset64 hidden(3 * k);
+    hidden.Set(k);  // first middle attribute
+    Bitset64 visible = hidden.Complement();
+    StandaloneWorlds s = EnumerateStandaloneWorlds(
+        m1.FullRelation(), m1.inputs(), m1.outputs(), visible);
+    WorkflowWorlds w = EnumerateWorkflowWorlds(*chain.workflow, visible, {});
+    int64_t sa_closed = SaturatingPow(gamma, 1 << k);
+    int64_t wf_closed = SaturatingPow(2 /* = Gamma! */, (1 << k) / 2);
+    t.NewRow()
+        .AddCell(k)
+        .AddCell(s.num_worlds)
+        .AddCell(sa_closed)
+        .AddCell(w.num_distinct_relations)
+        .AddCell(wf_closed)
+        .AddCell(static_cast<double>(s.num_worlds) /
+                     static_cast<double>(w.num_distinct_relations),
+                 1)
+        .AddCell(s.MinOutSize())
+        .AddCell(w.MinOutSize(0));
+  }
+  // Beyond enumeration reach, the closed forms show the doubly-exponential
+  // growth the proposition proves.
+  for (int k = 3; k <= 5; ++k) {
+    int64_t sa_closed = SaturatingPow(gamma, 1 << k);
+    int64_t wf_closed = SaturatingPow(2, (1 << k) / 2);
+    t.NewRow()
+        .AddCell(std::to_string(k) + "*")
+        .AddCell("-")
+        .AddCell(sa_closed)
+        .AddCell("-")
+        .AddCell(wf_closed)
+        .AddCell(static_cast<double>(sa_closed) /
+                     static_cast<double>(wf_closed),
+                 1)
+        .AddCell("2")
+        .AddCell("2");
+  }
+  t.Print();
+  std::cout << "  (* closed form only; rows verified by enumeration for "
+               "k <= 2. Privacy — min|OUT| — is identical in both world "
+               "families, as Lemma 1 proves.)\n";
+}
+
+}  // namespace
+
+int main() {
+  Stopwatch sw;
+  RunningExampleTable();
+  Prop2Table();
+  std::cout << "\n[bench_possible_worlds done in " << sw.ElapsedSeconds()
+            << "s]\n";
+  return 0;
+}

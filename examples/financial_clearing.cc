@@ -1,0 +1,79 @@
+// Financial clearing scenario: a mid-size workflow of proprietary pricing
+// and netting modules with shared market-data feeds (high data sharing),
+// specified directly through cardinality requirement lists (§4.2) — the
+// form an operator would write down without revealing module internals.
+// Compares the paper's LP-rounding algorithm (Theorem 5) against the exact
+// ILP and the greedy baselines.
+//
+// Run: ./financial_clearing
+#include <iostream>
+
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "generators/requirement_gen.h"
+#include "secureview/feasibility.h"
+#include "secureview/solvers.h"
+
+using namespace provview;
+
+int main() {
+  Rng rng(777);
+  RandomInstanceOptions opt;
+  opt.kind = ConstraintKind::kCardinality;
+  opt.num_modules = 14;      // pricing, netting, margining, reporting...
+  opt.min_inputs = 2;
+  opt.max_inputs = 4;
+  opt.min_outputs = 1;
+  opt.max_outputs = 2;
+  opt.gamma_bound = 4;       // market data feeds are widely shared
+  opt.reuse_probability = 0.7;
+  opt.min_list_length = 1;
+  opt.max_list_length = 3;
+  opt.min_cost = 1.0;
+  opt.max_cost = 12.0;       // downstream reports are the most valuable
+  SecureViewInstance inst = MakeRandomInstance(opt, &rng);
+
+  std::cout << "Clearing workflow: " << inst.num_modules() << " modules, "
+            << inst.num_attrs << " data items, data sharing degree "
+            << inst.DataSharingDegree() << ", l_max = " << inst.MaxListLength()
+            << "\n";
+
+  PrintBanner("Secure-View solver comparison (cardinality constraints)");
+  TablePrinter table({"solver", "cost", "vs LP bound", "time (ms)", "work"});
+  double lp_bound = 0.0;
+
+  auto run = [&](const std::string& name, auto solver) {
+    Stopwatch sw;
+    SvResult r = solver();
+    double ms = sw.ElapsedMillis();
+    PV_CHECK_MSG(r.status.ok(), r.status.ToString());
+    PV_CHECK(IsFeasible(inst, r.solution));
+    if (r.lower_bound > lp_bound) lp_bound = r.lower_bound;
+    table.NewRow()
+        .AddCell(name)
+        .AddCell(r.cost, 2)
+        .AddCell(lp_bound > 0 ? r.cost / lp_bound : 0.0, 3)
+        .AddCell(ms, 1)
+        .AddCell(r.work);
+    return r;
+  };
+
+  RoundingOptions ro;
+  ro.seed = 99;
+  SvResult lp = run("LP rounding (Alg 1)", [&] { return SolveByLpRounding(inst, ro); });
+  run("greedy per-module", [&] { return SolveGreedyPerModule(inst); });
+  run("greedy coverage", [&] { return SolveGreedyCoverage(inst); });
+  SvResult exact = run("exact ILP", [&] { return SolveExact(inst); });
+  table.Print();
+
+  std::cout << "\nLP lower bound = " << lp.lower_bound
+            << "; exact optimum = " << exact.cost
+            << "; LP-rounding ratio vs OPT = " << lp.cost / exact.cost
+            << " (Theorem 5 guarantees O(log n))\n";
+
+  PrintBanner("Chosen minimum-cost view");
+  std::cout << "hide " << exact.solution.hidden.count() << " of "
+            << inst.num_attrs << " data items: "
+            << exact.solution.hidden.ToString() << "\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// svtool — command-line Secure-View solver over the text instance format
+// (see secureview/serialization.h). Reads an instance from a file or
+// stdin, solves it with the requested algorithm, and prints the solution
+// line plus a cost summary.
+//
+// Usage:
+//   svtool <exact|lp|threshold|greedy|coverage> [instance-file]
+//   svtool demo            # prints a sample instance to adapt
+//
+// Example:
+//   ./svtool demo > inst.txt
+//   ./svtool exact inst.txt
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "generators/requirement_gen.h"
+#include "secureview/feasibility.h"
+#include "secureview/serialization.h"
+#include "secureview/solvers.h"
+
+using namespace provview;
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: svtool <exact|lp|threshold|greedy|coverage> [instance-file]\n"
+      << "       svtool demo\n"
+      << "Reads a provview-instance (v1) from the file or stdin and prints\n"
+      << "the chosen solver's hidden-attribute / privatization solution.\n";
+  return 2;
+}
+
+std::string ReadAll(std::istream& in) {
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string mode = argv[1];
+
+  if (mode == "demo") {
+    Rng rng(1);
+    RandomInstanceOptions opt;
+    opt.kind = ConstraintKind::kCardinality;
+    opt.num_modules = 6;
+    opt.public_fraction = 0.2;
+    std::cout << SerializeInstance(MakeRandomInstance(opt, &rng));
+    return 0;
+  }
+
+  std::string text;
+  if (argc >= 3) {
+    std::ifstream file(argv[2]);
+    if (!file) {
+      std::cerr << "svtool: cannot open " << argv[2] << "\n";
+      return 1;
+    }
+    text = ReadAll(file);
+  } else {
+    text = ReadAll(std::cin);
+  }
+
+  Result<SecureViewInstance> parsed = ParseInstance(text);
+  if (!parsed.ok()) {
+    std::cerr << "svtool: parse error: " << parsed.status() << "\n";
+    return 1;
+  }
+  const SecureViewInstance& inst = *parsed;
+
+  SvResult result;
+  if (mode == "exact") {
+    result = SolveExact(inst);
+  } else if (mode == "lp") {
+    result = SolveByLpRounding(inst);
+  } else if (mode == "threshold") {
+    if (inst.kind != ConstraintKind::kSet) {
+      std::cerr << "svtool: threshold rounding needs a set-constraint "
+                   "instance\n";
+      return 1;
+    }
+    result = SolveByThresholdRounding(inst);
+  } else if (mode == "greedy") {
+    result = SolveGreedyPerModule(inst);
+  } else if (mode == "coverage") {
+    result = SolveGreedyCoverage(inst);
+  } else {
+    return Usage();
+  }
+
+  if (!result.status.ok() &&
+      result.status.code() != StatusCode::kTimeout) {
+    std::cerr << "svtool: solver failed: " << result.status << "\n";
+    return 1;
+  }
+  std::cout << SerializeSolution(result.solution) << "\n";
+  std::cout << "# cost " << result.cost << " (attrs "
+            << result.solution.AttrCost(inst) << " + privatization "
+            << result.solution.PrivatizationCost(inst) << ")";
+  if (result.lower_bound > 0) {
+    std::cout << ", lower bound " << result.lower_bound;
+  }
+  std::cout << ", feasible "
+            << (IsFeasible(inst, result.solution) ? "yes" : "NO") << "\n";
+  return 0;
+}

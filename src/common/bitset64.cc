@@ -1,0 +1,145 @@
+#include "common/bitset64.h"
+
+#include <bit>
+#include <sstream>
+
+namespace provview {
+
+Bitset64 Bitset64::Of(int size, const std::vector<int>& members) {
+  Bitset64 b(size);
+  for (int m : members) b.Set(m);
+  return b;
+}
+
+Bitset64 Bitset64::All(int size) {
+  Bitset64 b(size);
+  for (size_t i = 0; i < b.blocks_.size(); ++i) b.blocks_[i] = ~uint64_t{0};
+  // Mask off bits beyond the universe in the last block.
+  int rem = size % 64;
+  if (rem != 0 && !b.blocks_.empty()) {
+    b.blocks_.back() &= (uint64_t{1} << rem) - 1;
+  }
+  return b;
+}
+
+int Bitset64::count() const {
+  int total = 0;
+  for (uint64_t blk : blocks_) total += std::popcount(blk);
+  return total;
+}
+
+std::vector<int> Bitset64::ToVector() const {
+  std::vector<int> out;
+  out.reserve(static_cast<size_t>(count()));
+  for (size_t bi = 0; bi < blocks_.size(); ++bi) {
+    uint64_t blk = blocks_[bi];
+    while (blk != 0) {
+      int bit = std::countr_zero(blk);
+      out.push_back(static_cast<int>(bi * 64) + bit);
+      blk &= blk - 1;
+    }
+  }
+  return out;
+}
+
+int Bitset64::First() const {
+  for (size_t bi = 0; bi < blocks_.size(); ++bi) {
+    if (blocks_[bi] != 0) {
+      return static_cast<int>(bi * 64) + std::countr_zero(blocks_[bi]);
+    }
+  }
+  return -1;
+}
+
+int Bitset64::NextAfter(int i) const {
+  int start = i + 1;
+  if (start >= size_) return -1;
+  size_t bi = static_cast<size_t>(start) / 64;
+  uint64_t blk = blocks_[bi] & (~uint64_t{0} << (start % 64));
+  while (true) {
+    if (blk != 0) {
+      return static_cast<int>(bi * 64) + std::countr_zero(blk);
+    }
+    ++bi;
+    if (bi >= blocks_.size()) return -1;
+    blk = blocks_[bi];
+  }
+}
+
+bool Bitset64::Intersects(const Bitset64& other) const {
+  CheckCompatible(other);
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i] & other.blocks_[i]) return true;
+  }
+  return false;
+}
+
+bool Bitset64::IsSubsetOf(const Bitset64& other) const {
+  CheckCompatible(other);
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i] & ~other.blocks_[i]) return false;
+  }
+  return true;
+}
+
+Bitset64& Bitset64::operator|=(const Bitset64& other) {
+  CheckCompatible(other);
+  for (size_t i = 0; i < blocks_.size(); ++i) blocks_[i] |= other.blocks_[i];
+  return *this;
+}
+
+Bitset64& Bitset64::operator&=(const Bitset64& other) {
+  CheckCompatible(other);
+  for (size_t i = 0; i < blocks_.size(); ++i) blocks_[i] &= other.blocks_[i];
+  return *this;
+}
+
+Bitset64& Bitset64::operator^=(const Bitset64& other) {
+  CheckCompatible(other);
+  for (size_t i = 0; i < blocks_.size(); ++i) blocks_[i] ^= other.blocks_[i];
+  return *this;
+}
+
+Bitset64& Bitset64::Subtract(const Bitset64& other) {
+  CheckCompatible(other);
+  for (size_t i = 0; i < blocks_.size(); ++i) blocks_[i] &= ~other.blocks_[i];
+  return *this;
+}
+
+Bitset64 Bitset64::Complement() const {
+  Bitset64 out = All(size_);
+  out.Subtract(*this);
+  return out;
+}
+
+bool Bitset64::operator<(const Bitset64& other) const {
+  if (size_ != other.size_) return size_ < other.size_;
+  // Compare from most-significant block down for a stable total order.
+  for (size_t i = blocks_.size(); i-- > 0;) {
+    if (blocks_[i] != other.blocks_[i]) return blocks_[i] < other.blocks_[i];
+  }
+  return false;
+}
+
+std::string Bitset64::ToString() const {
+  std::ostringstream oss;
+  oss << "{";
+  bool first = true;
+  for (int m : ToVector()) {
+    if (!first) oss << ", ";
+    oss << m;
+    first = false;
+  }
+  oss << "}";
+  return oss.str();
+}
+
+uint64_t Bitset64::Hash() const {
+  uint64_t h = 0x9E3779B97F4A7C15ull ^ static_cast<uint64_t>(size_);
+  for (uint64_t blk : blocks_) {
+    h ^= blk + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace provview

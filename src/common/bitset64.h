@@ -1,0 +1,121 @@
+// Dynamic bitset over 64-bit blocks, used throughout the library to represent
+// attribute sets (visible/hidden subsets V, V̄ of a workflow's attributes).
+// Attribute universes in this domain are small (tens to a few hundred bits),
+// so a compact inline-friendly representation with set algebra is ideal.
+#ifndef PROVVIEW_COMMON_BITSET64_H_
+#define PROVVIEW_COMMON_BITSET64_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace provview {
+
+/// Fixed-universe dynamic bitset with value semantics and full set algebra.
+/// All binary operations require both operands to have the same universe
+/// size (checked).
+class Bitset64 {
+ public:
+  Bitset64() : size_(0) {}
+  explicit Bitset64(int size) : size_(size) {
+    PV_CHECK(size >= 0);
+    blocks_.assign(static_cast<size_t>((size + 63) / 64), 0);
+  }
+
+  /// Builds a set over [0, size) containing exactly `members`.
+  static Bitset64 Of(int size, const std::vector<int>& members);
+
+  /// The full set over [0, size).
+  static Bitset64 All(int size);
+
+  int size() const { return size_; }
+  bool empty() const { return count() == 0; }
+
+  bool Test(int i) const {
+    CheckIndex(i);
+    return (blocks_[static_cast<size_t>(i) / 64] >>
+            (static_cast<size_t>(i) % 64)) & 1u;
+  }
+  void Set(int i) {
+    CheckIndex(i);
+    blocks_[static_cast<size_t>(i) / 64] |= (uint64_t{1} << (i % 64));
+  }
+  void Reset(int i) {
+    CheckIndex(i);
+    blocks_[static_cast<size_t>(i) / 64] &= ~(uint64_t{1} << (i % 64));
+  }
+  void Assign(int i, bool value) { value ? Set(i) : Reset(i); }
+  void Clear() { blocks_.assign(blocks_.size(), 0); }
+
+  /// Number of set bits.
+  int count() const;
+
+  /// Membership list in increasing order.
+  std::vector<int> ToVector() const;
+
+  /// Index of the lowest set bit, or -1 if empty.
+  int First() const;
+
+  /// Index of the lowest set bit strictly greater than i, or -1.
+  int NextAfter(int i) const;
+
+  bool Intersects(const Bitset64& other) const;
+  bool IsSubsetOf(const Bitset64& other) const;
+
+  Bitset64& operator|=(const Bitset64& other);
+  Bitset64& operator&=(const Bitset64& other);
+  Bitset64& operator^=(const Bitset64& other);
+
+  /// Set difference: removes every member of `other`.
+  Bitset64& Subtract(const Bitset64& other);
+
+  /// Complement within the universe [0, size).
+  Bitset64 Complement() const;
+
+  friend Bitset64 operator|(Bitset64 a, const Bitset64& b) { return a |= b; }
+  friend Bitset64 operator&(Bitset64 a, const Bitset64& b) { return a &= b; }
+  friend Bitset64 operator^(Bitset64 a, const Bitset64& b) { return a ^= b; }
+
+  /// a \ b.
+  friend Bitset64 Difference(Bitset64 a, const Bitset64& b) {
+    return a.Subtract(b);
+  }
+
+  bool operator==(const Bitset64& other) const {
+    return size_ == other.size_ && blocks_ == other.blocks_;
+  }
+  bool operator!=(const Bitset64& other) const { return !(*this == other); }
+
+  /// Strict weak order so sets can key std::map / sort.
+  bool operator<(const Bitset64& other) const;
+
+  /// E.g. "{0, 3, 5}".
+  std::string ToString() const;
+
+  /// 64-bit mix of the contents, for hashing.
+  uint64_t Hash() const;
+
+ private:
+  void CheckIndex(int i) const {
+    PV_CHECK_MSG(i >= 0 && i < size_,
+                 "bit index " << i << " out of range [0," << size_ << ")");
+  }
+  void CheckCompatible(const Bitset64& other) const {
+    PV_CHECK_MSG(size_ == other.size_, "bitset universe mismatch: "
+                                           << size_ << " vs " << other.size_);
+  }
+  int size_;
+  std::vector<uint64_t> blocks_;
+};
+
+struct Bitset64Hasher {
+  size_t operator()(const Bitset64& b) const {
+    return static_cast<size_t>(b.Hash());
+  }
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_COMMON_BITSET64_H_

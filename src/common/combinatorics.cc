@@ -1,0 +1,136 @@
+#include "common/combinatorics.h"
+
+#include <limits>
+
+namespace provview {
+
+namespace {
+constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+
+int64_t SaturatingMul(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kMax / b) return kMax;
+  return a * b;
+}
+}  // namespace
+
+int64_t SaturatingPow(int64_t radix, int exp) {
+  PV_CHECK(radix >= 0 && exp >= 0);
+  int64_t result = 1;
+  for (int i = 0; i < exp; ++i) result = SaturatingMul(result, radix);
+  return result;
+}
+
+int64_t SaturatingProduct(const std::vector<int64_t>& v) {
+  int64_t result = 1;
+  for (int64_t x : v) result = SaturatingMul(result, x);
+  return result;
+}
+
+int64_t BinomialCoefficient(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  k = std::min(k, n - k);
+  int64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    // result * (n - k + i) / i stays integral at every step.
+    result = SaturatingMul(result, n - k + i);
+    if (result == kMax) return kMax;
+    result /= i;
+  }
+  return result;
+}
+
+MixedRadixCounter::MixedRadixCounter(std::vector<int> radices)
+    : radices_(std::move(radices)) {
+  for (int r : radices_) PV_CHECK_MSG(r >= 1, "radix must be >= 1, got " << r);
+  values_.assign(radices_.size(), 0);
+}
+
+int64_t MixedRadixCounter::Cardinality() const {
+  int64_t total = 1;
+  for (int r : radices_) total = SaturatingMul(total, r);
+  return total;
+}
+
+bool MixedRadixCounter::Advance() {
+  for (size_t i = 0; i < radices_.size(); ++i) {
+    if (values_[i] + 1 < radices_[i]) {
+      ++values_[i];
+      return true;
+    }
+    values_[i] = 0;
+  }
+  return false;  // wrapped around
+}
+
+void MixedRadixCounter::Reset() { values_.assign(radices_.size(), 0); }
+
+void ForEachSubset(int n, const std::function<void(const Bitset64&)>& fn) {
+  PV_CHECK_MSG(n >= 0 && n <= 30, "subset enumeration limited to n <= 30");
+  const uint64_t total = uint64_t{1} << n;
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    Bitset64 s(n);
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) s.Set(i);
+    }
+    fn(s);
+  }
+}
+
+void ForEachSubsetOf(const Bitset64& universe,
+                     const std::function<void(const Bitset64&)>& fn) {
+  std::vector<int> members = universe.ToVector();
+  const int m = static_cast<int>(members.size());
+  PV_CHECK_MSG(m <= 30, "subset enumeration limited to |universe| <= 30");
+  const uint64_t total = uint64_t{1} << m;
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    Bitset64 s(universe.size());
+    for (int i = 0; i < m; ++i) {
+      if ((mask >> i) & 1u) s.Set(members[static_cast<size_t>(i)]);
+    }
+    fn(s);
+  }
+}
+
+std::vector<Bitset64> SubsetsOfSize(int n, int k) {
+  std::vector<Bitset64> out;
+  if (k < 0 || k > n) return out;
+  std::vector<int> idx(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) idx[static_cast<size_t>(i)] = i;
+  while (true) {
+    out.push_back(Bitset64::Of(n, idx));
+    // Advance the combination (standard lexicographic successor).
+    int i = k - 1;
+    while (i >= 0 && idx[static_cast<size_t>(i)] == n - k + i) --i;
+    if (i < 0) break;
+    ++idx[static_cast<size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      idx[static_cast<size_t>(j)] = idx[static_cast<size_t>(j - 1)] + 1;
+    }
+  }
+  return out;
+}
+
+int64_t EncodeMixedRadix(const std::vector<int32_t>& t,
+                         const std::vector<int>& radices) {
+  PV_CHECK(t.size() == radices.size());
+  int64_t code = 0;
+  for (size_t i = t.size(); i-- > 0;) {
+    PV_CHECK(t[i] >= 0 && t[i] < radices[i]);
+    code = code * radices[i] + t[i];
+  }
+  return code;
+}
+
+std::vector<int32_t> DecodeMixedRadix(int64_t code,
+                                      const std::vector<int>& radices) {
+  std::vector<int32_t> t(radices.size());
+  for (size_t i = 0; i < radices.size(); ++i) {
+    t[i] = static_cast<int32_t>(code % radices[i]);
+    code /= radices[i];
+  }
+  PV_CHECK_MSG(code == 0, "code out of range for radices");
+  return t;
+}
+
+}  // namespace provview

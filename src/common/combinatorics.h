@@ -1,0 +1,70 @@
+// Small combinatorial helpers shared by the privacy checkers and generators:
+// mixed-radix counters over attribute domains, subset enumeration, and
+// integer powers with overflow saturation.
+#ifndef PROVVIEW_COMMON_COMBINATORICS_H_
+#define PROVVIEW_COMMON_COMBINATORICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bitset64.h"
+
+namespace provview {
+
+/// radix^exp, saturating at INT64_MAX instead of overflowing.
+int64_t SaturatingPow(int64_t radix, int exp);
+
+/// Product of v's entries, saturating at INT64_MAX.
+int64_t SaturatingProduct(const std::vector<int64_t>& v);
+
+/// Binomial coefficient C(n, k) saturating at INT64_MAX.
+int64_t BinomialCoefficient(int n, int k);
+
+/// Mixed-radix odometer: enumerates every tuple of the product space
+/// ∏_i [0, radices[i]). Starts at all-zeros; Advance() steps to the next
+/// tuple and returns false after wrapping past the last one.
+class MixedRadixCounter {
+ public:
+  explicit MixedRadixCounter(std::vector<int> radices);
+
+  const std::vector<int32_t>& values() const { return values_; }
+
+  /// Total number of tuples (saturating).
+  int64_t Cardinality() const;
+
+  /// Steps to the next tuple; returns false when the space is exhausted.
+  bool Advance();
+
+  /// Resets to the all-zeros tuple.
+  void Reset();
+
+ private:
+  std::vector<int> radices_;
+  std::vector<int32_t> values_;
+};
+
+/// Invokes `fn` on every subset of the universe [0, n). 2^n invocations;
+/// intended for the small per-module attribute counts (k ≤ ~20) that the
+/// paper's exhaustive standalone search targets.
+void ForEachSubset(int n, const std::function<void(const Bitset64&)>& fn);
+
+/// Invokes `fn` on every subset of `universe` (a set over [0, n)).
+void ForEachSubsetOf(const Bitset64& universe,
+                     const std::function<void(const Bitset64&)>& fn);
+
+/// All subsets of [0, n) of exactly size k, in lexicographic order.
+std::vector<Bitset64> SubsetsOfSize(int n, int k);
+
+/// Encodes tuple `t` in the mixed-radix system `radices` (little-endian:
+/// t[0] is the least-significant digit). Result < ∏ radices.
+int64_t EncodeMixedRadix(const std::vector<int32_t>& t,
+                         const std::vector<int>& radices);
+
+/// Inverse of EncodeMixedRadix.
+std::vector<int32_t> DecodeMixedRadix(int64_t code,
+                                      const std::vector<int>& radices);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_COMMON_COMBINATORICS_H_

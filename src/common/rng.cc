@@ -1,0 +1,79 @@
+#include "common/rng.h"
+
+#include <algorithm>
+
+namespace provview {
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  PV_CHECK(bound > 0);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return v % bound;
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  PV_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int count) {
+  PV_CHECK(count >= 0 && count <= n);
+  std::vector<int> pool = RandomPermutation(n);
+  pool.resize(static_cast<size_t>(count));
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+std::vector<int> Rng::RandomPermutation(int n) {
+  std::vector<int> v(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) v[static_cast<size_t>(i)] = i;
+  Shuffle(&v);
+  return v;
+}
+
+}  // namespace provview

@@ -1,0 +1,57 @@
+// Deterministic, fast pseudo-random number generation (xoshiro256**).
+// All randomized components of the library (instance generators, randomized
+// rounding) take an explicit Rng so experiments are reproducible from a seed.
+#ifndef PROVVIEW_COMMON_RNG_H_
+#define PROVVIEW_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace provview {
+
+/// xoshiro256** seeded via splitmix64. Not cryptographic; deterministic
+/// across platforms, which matters for reproducible experiments.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples `count` distinct values from [0, n) in increasing order.
+  std::vector<int> SampleWithoutReplacement(int n, int count);
+
+  /// A uniformly random permutation of [0, n).
+  std::vector<int> RandomPermutation(int n);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_COMMON_RNG_H_

@@ -1,0 +1,175 @@
+// Lightweight Status / Result error-handling primitives, in the style used by
+// storage engines (RocksDB, Arrow): recoverable failures are returned as
+// values, never thrown; programming errors abort via PV_CHECK.
+#ifndef PROVVIEW_COMMON_STATUS_H_
+#define PROVVIEW_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace provview {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kResourceExhausted,
+  kInternal,
+  kInfeasible,   ///< optimization problem has no feasible solution
+  kUnbounded,    ///< LP objective is unbounded
+  kTimeout,      ///< solver hit its iteration/node budget
+};
+
+/// Returns a short human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantics status object. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Unbounded(std::string msg) {
+    return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Result<T> holds either a T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT implicit
+    if (std::get<Status>(payload_).ok()) {
+      std::cerr << "Result constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result::value() on error: " << status().ToString() << "\n";
+      std::abort();
+    }
+  }
+  std::variant<T, Status> payload_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+}  // namespace internal
+
+/// Fatal assertion for invariants; active in all build types.
+#define PV_CHECK(expr)                                                   \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::provview::internal::CheckFailed(__FILE__, __LINE__, #expr, "");  \
+    }                                                                    \
+  } while (0)
+
+#define PV_CHECK_MSG(expr, msg)                                            \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream pv_oss_;                                          \
+      pv_oss_ << msg; /* NOLINT */                                         \
+      ::provview::internal::CheckFailed(__FILE__, __LINE__, #expr,         \
+                                        pv_oss_.str());                    \
+    }                                                                      \
+  } while (0)
+
+/// Propagates a non-OK Status out of the current function.
+#define PV_RETURN_IF_ERROR(expr)            \
+  do {                                      \
+    ::provview::Status pv_st_ = (expr);     \
+    if (!pv_st_.ok()) return pv_st_;        \
+  } while (0)
+
+}  // namespace provview
+
+#endif  // PROVVIEW_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for the experiment harnesses.
+#ifndef PROVVIEW_COMMON_STOPWATCH_H_
+#define PROVVIEW_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace provview {
+
+/// Monotonic stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_COMMON_STOPWATCH_H_

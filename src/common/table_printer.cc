@@ -1,0 +1,76 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace provview {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  PV_CHECK(!headers_.empty());
+}
+
+TablePrinter& TablePrinter::NewRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TablePrinter& TablePrinter::AddCell(const std::string& value) {
+  PV_CHECK_MSG(!rows_.empty(), "call NewRow() before AddCell()");
+  PV_CHECK_MSG(rows_.back().size() < headers_.size(), "row overflows headers");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+TablePrinter& TablePrinter::AddCell(const char* value) {
+  return AddCell(std::string(value));
+}
+
+TablePrinter& TablePrinter::AddCell(int64_t value) {
+  return AddCell(std::to_string(value));
+}
+
+TablePrinter& TablePrinter::AddCell(int value) {
+  return AddCell(std::to_string(value));
+}
+
+TablePrinter& TablePrinter::AddCell(size_t value) {
+  return AddCell(std::to_string(value));
+}
+
+TablePrinter& TablePrinter::AddCell(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return AddCell(oss.str());
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << "  " << std::setw(static_cast<int>(widths[c])) << cell;
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void PrintBanner(const std::string& title, std::ostream& os) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace provview

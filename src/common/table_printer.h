@@ -1,0 +1,44 @@
+// Console table formatting used by the benchmark harnesses to print the
+// per-experiment result tables recorded in EXPERIMENTS.md.
+#ifndef PROVVIEW_COMMON_TABLE_PRINTER_H_
+#define PROVVIEW_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace provview {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+/// Numeric convenience overloads format with sensible precision.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent Add* calls fill its cells left to right.
+  TablePrinter& NewRow();
+  TablePrinter& AddCell(const std::string& value);
+  TablePrinter& AddCell(const char* value);
+  TablePrinter& AddCell(int64_t value);
+  TablePrinter& AddCell(int value);
+  TablePrinter& AddCell(size_t value);
+  TablePrinter& AddCell(double value, int precision = 3);
+
+  /// Renders the table to `os` with a header rule and aligned columns.
+  void Print(std::ostream& os = std::cout) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("=== title ===") used to delimit experiment
+/// output in the bench binaries.
+void PrintBanner(const std::string& title, std::ostream& os = std::cout);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_COMMON_TABLE_PRINTER_H_

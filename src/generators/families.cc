@@ -1,0 +1,121 @@
+#include "generators/families.h"
+
+#include <string>
+
+#include "module/module_library.h"
+
+namespace provview {
+
+SecureViewInstance MakeExample5Instance(int n, double eps) {
+  PV_CHECK(n >= 1);
+  SecureViewInstance inst;
+  inst.kind = ConstraintKind::kSet;
+
+  const int a1 = inst.num_attrs++;
+  inst.attr_cost.push_back(1.0);
+  const int a2 = inst.num_attrs++;
+  inst.attr_cost.push_back(1.0 + eps);
+  std::vector<int> b(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    b[static_cast<size_t>(i)] = inst.num_attrs++;
+    inst.attr_cost.push_back(1.0);
+  }
+  const int c = inst.num_attrs++;
+  inst.attr_cost.push_back(1.0);
+
+  // Module m: hide its incoming a1 or its outgoing a2.
+  SvModule m;
+  m.name = "m";
+  m.inputs = {a1};
+  m.outputs = {a2};
+  m.set_options = {SetOption{{a1}, {}}, SetOption{{}, {a2}}};
+  inst.modules.push_back(std::move(m));
+
+  // Modules m_i: hide the shared incoming a2 or the outgoing b_i.
+  for (int i = 0; i < n; ++i) {
+    SvModule mi;
+    mi.name = "m" + std::to_string(i + 1);
+    mi.inputs = {a2};
+    mi.outputs = {b[static_cast<size_t>(i)]};
+    mi.set_options = {SetOption{{a2}, {}},
+                      SetOption{{}, {b[static_cast<size_t>(i)]}}};
+    inst.modules.push_back(std::move(mi));
+  }
+
+  // Module m': hide any one incoming b_i.
+  SvModule mp;
+  mp.name = "m'";
+  mp.inputs = b;
+  mp.outputs = {c};
+  for (int i = 0; i < n; ++i) {
+    mp.set_options.push_back(SetOption{{b[static_cast<size_t>(i)]}, {}});
+  }
+  inst.modules.push_back(std::move(mp));
+
+  PV_CHECK_MSG(inst.Validate().ok(), "bad Example-5 instance");
+  return inst;
+}
+
+Prop2Chain MakeProp2Chain(int k) {
+  PV_CHECK(k >= 1 && k <= 16);
+  Prop2Chain chain;
+  chain.k = k;
+  chain.catalog = std::make_shared<AttributeCatalog>();
+  std::vector<AttrId> x, y, z;
+  for (int i = 0; i < k; ++i) x.push_back(chain.catalog->Add("x" + std::to_string(i)));
+  for (int i = 0; i < k; ++i) y.push_back(chain.catalog->Add("y" + std::to_string(i)));
+  for (int i = 0; i < k; ++i) z.push_back(chain.catalog->Add("z" + std::to_string(i)));
+  chain.workflow = std::make_unique<Workflow>(chain.catalog);
+  chain.workflow->AddModule(MakeIdentity("m1_identity", chain.catalog, x, y));
+  chain.workflow->AddModule(MakeNegation("m2_negation", chain.catalog, y, z));
+  Status st = chain.workflow->Validate();
+  PV_CHECK_MSG(st.ok(), st.ToString());
+  return chain;
+}
+
+Example7Chain MakeExample7Chain(int k, Rng* rng) {
+  PV_CHECK(k >= 1 && k <= 10);
+  Example7Chain chain;
+  chain.k = k;
+  chain.catalog = std::make_shared<AttributeCatalog>();
+  std::vector<AttrId> u, v, w;
+  for (int i = 0; i < k; ++i) u.push_back(chain.catalog->Add("u" + std::to_string(i)));
+  for (int i = 0; i < k; ++i) v.push_back(chain.catalog->Add("v" + std::to_string(i)));
+  for (int i = 0; i < k; ++i) w.push_back(chain.catalog->Add("w" + std::to_string(i)));
+  chain.workflow = std::make_unique<Workflow>(chain.catalog);
+
+  Tuple constant(static_cast<size_t>(k));
+  for (auto& val : constant) {
+    val = static_cast<Value>(rng->NextBelow(2));
+  }
+  ModulePtr const_mod = MakeConstant("m_const", chain.catalog, u, v, constant);
+  const_mod->set_public(true);
+  chain.constant_index = chain.workflow->AddModule(std::move(const_mod));
+  chain.bijection_index = chain.workflow->AddModule(
+      MakeRandomBijection("m_private", chain.catalog, v, w, rng));
+  Status st = chain.workflow->Validate();
+  PV_CHECK_MSG(st.ok(), st.ToString());
+  return chain;
+}
+
+Example7OutputChain MakeExample7OutputChain(int k, Rng* rng) {
+  PV_CHECK(k >= 1 && k <= 10);
+  Example7OutputChain chain;
+  chain.k = k;
+  chain.catalog = std::make_shared<AttributeCatalog>();
+  std::vector<AttrId> x, y, z;
+  for (int i = 0; i < k; ++i) x.push_back(chain.catalog->Add("x" + std::to_string(i)));
+  for (int i = 0; i < k; ++i) y.push_back(chain.catalog->Add("y" + std::to_string(i)));
+  for (int i = 0; i < k; ++i) z.push_back(chain.catalog->Add("z" + std::to_string(i)));
+  chain.workflow = std::make_unique<Workflow>(chain.catalog);
+  chain.bijection_index = chain.workflow->AddModule(
+      MakeRandomBijection("m_private", chain.catalog, x, y, rng));
+  ModulePtr inv = MakeNegation("m_invertible", chain.catalog, y, z);
+  inv->set_public(true);
+  chain.invertible_index = chain.workflow->AddModule(std::move(inv));
+  Status st = chain.workflow->Validate();
+  PV_CHECK_MSG(st.ok(), st.ToString());
+  return chain;
+}
+
+}  // namespace provview

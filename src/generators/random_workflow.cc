@@ -1,0 +1,89 @@
+#include "generators/random_workflow.h"
+
+#include <string>
+#include <vector>
+
+#include "module/module_library.h"
+
+namespace provview {
+
+GeneratedWorkflow MakeRandomWorkflow(const RandomWorkflowOptions& options,
+                                     Rng* rng) {
+  PV_CHECK(options.num_modules >= 1);
+  PV_CHECK(options.min_inputs >= 1 && options.max_inputs >= options.min_inputs);
+  PV_CHECK(options.min_outputs >= 1 &&
+           options.max_outputs >= options.min_outputs);
+  PV_CHECK(options.gamma_bound >= 1);
+
+  GeneratedWorkflow gen;
+  gen.catalog = std::make_shared<AttributeCatalog>();
+  gen.workflow = std::make_unique<Workflow>(gen.catalog);
+
+  auto random_cost = [&]() {
+    return options.min_cost +
+           rng->NextDouble() * (options.max_cost - options.min_cost);
+  };
+
+  // Outputs of earlier modules still below the sharing bound.
+  std::vector<AttrId> reusable;
+  std::vector<int> consumer_count;  // per attribute id
+  int attr_counter = 0;
+  auto fresh_attr = [&](const std::string& prefix) {
+    AttrId id = gen.catalog->Add(prefix + std::to_string(attr_counter++), 2,
+                                 random_cost());
+    consumer_count.push_back(0);
+    return id;
+  };
+
+  for (int mi = 0; mi < options.num_modules; ++mi) {
+    const int num_in = static_cast<int>(
+        rng->NextInt(options.min_inputs, options.max_inputs));
+    const int num_out = static_cast<int>(
+        rng->NextInt(options.min_outputs, options.max_outputs));
+    std::vector<AttrId> inputs;
+    for (int i = 0; i < num_in; ++i) {
+      AttrId chosen = -1;
+      if (!reusable.empty() && rng->NextBernoulli(options.reuse_probability)) {
+        // Try a few times to find a reusable attribute not already an
+        // input of this module.
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          AttrId cand = reusable[static_cast<size_t>(
+              rng->NextBelow(reusable.size()))];
+          if (std::find(inputs.begin(), inputs.end(), cand) == inputs.end()) {
+            chosen = cand;
+            break;
+          }
+        }
+      }
+      if (chosen < 0) chosen = fresh_attr("in");
+      inputs.push_back(chosen);
+      if (++consumer_count[static_cast<size_t>(chosen)] >=
+          options.gamma_bound) {
+        reusable.erase(std::remove(reusable.begin(), reusable.end(), chosen),
+                       reusable.end());
+      }
+    }
+    std::vector<AttrId> outputs;
+    for (int o = 0; o < num_out; ++o) {
+      AttrId id = fresh_attr("d");
+      outputs.push_back(id);
+      reusable.push_back(id);
+    }
+    PV_CHECK_MSG(options.all_boolean, "only boolean workflows supported");
+    ModulePtr module = MakeRandomFunction("m" + std::to_string(mi),
+                                          gen.catalog, inputs, outputs, rng);
+    if (rng->NextBernoulli(options.public_fraction)) {
+      module->set_public(true);
+      module->set_privatization_cost(
+          options.min_privatization_cost +
+          rng->NextDouble() * (options.max_privatization_cost -
+                               options.min_privatization_cost));
+    }
+    gen.workflow->AddModule(std::move(module));
+  }
+  Status st = gen.workflow->Validate();
+  PV_CHECK_MSG(st.ok(), st.ToString());
+  return gen;
+}
+
+}  // namespace provview

@@ -1,0 +1,48 @@
+// Random executable workflows with controlled structure: module count,
+// fan-in/fan-out, data-sharing degree γ (Definition 3), public-module
+// fraction, and attribute cost ranges. These are the workloads for the
+// composition (E3) and end-to-end experiments; the paper cites real
+// workflow repositories [1] with modules of ≤ 10 attributes, which these
+// parameter ranges mirror.
+#ifndef PROVVIEW_GENERATORS_RANDOM_WORKFLOW_H_
+#define PROVVIEW_GENERATORS_RANDOM_WORKFLOW_H_
+
+#include "common/rng.h"
+#include "workflow/workflow.h"
+
+namespace provview {
+
+/// Knobs for the random workflow generator.
+struct RandomWorkflowOptions {
+  int num_modules = 6;
+  int min_inputs = 1;       ///< per module
+  int max_inputs = 3;
+  int min_outputs = 1;      ///< per module
+  int max_outputs = 2;
+  int gamma_bound = 2;      ///< max consumers per attribute
+  double reuse_probability = 0.6;  ///< chance an input reuses an earlier output
+  double public_fraction = 0.0;
+  double min_cost = 1.0;    ///< attribute hiding costs ~ U[min_cost, max_cost]
+  double max_cost = 8.0;
+  double min_privatization_cost = 1.0;
+  double max_privatization_cost = 8.0;
+  /// Module functionality: uniformly random boolean functions.
+  bool all_boolean = true;
+};
+
+/// A generated workflow plus its catalog.
+struct GeneratedWorkflow {
+  CatalogPtr catalog;
+  WorkflowPtr workflow;
+};
+
+/// Samples a validated DAG workflow. Modules are created in topological
+/// order; each input either reuses an earlier output whose consumer count
+/// is still below gamma_bound (with reuse_probability) or introduces a
+/// fresh initial input.
+GeneratedWorkflow MakeRandomWorkflow(const RandomWorkflowOptions& options,
+                                     Rng* rng);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_GENERATORS_RANDOM_WORKFLOW_H_

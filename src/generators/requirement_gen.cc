@@ -1,0 +1,158 @@
+#include "generators/requirement_gen.h"
+
+#include <algorithm>
+#include <set>
+
+namespace provview {
+
+namespace {
+
+// A non-redundant cardinality list: α strictly increasing, β strictly
+// decreasing, all options within [0, ni] × [0, no] and not both zero.
+std::vector<CardOption> RandomCardList(int ni, int no, int length, Rng* rng) {
+  length = std::min(length, std::min(ni, no) + 1);
+  length = std::max(length, 1);
+  // Draw `length` distinct alphas increasing and betas decreasing.
+  std::vector<int> alphas = rng->SampleWithoutReplacement(ni + 1, length);
+  std::vector<int> betas = rng->SampleWithoutReplacement(no + 1, length);
+  std::sort(alphas.begin(), alphas.end());
+  std::sort(betas.rbegin(), betas.rend());
+  std::vector<CardOption> list;
+  for (int j = 0; j < length; ++j) {
+    int a = alphas[static_cast<size_t>(j)];
+    int b = betas[static_cast<size_t>(j)];
+    if (a == 0 && b == 0) {
+      // A (0,0) option would make the module requirement vacuous; bump it.
+      if (ni > 0) {
+        a = 1;
+      } else {
+        b = 1;
+      }
+    }
+    list.push_back(CardOption{a, b});
+  }
+  // De-duplicate after the bump (degenerate small modules).
+  std::sort(list.begin(), list.end(), [](const CardOption& x,
+                                         const CardOption& y) {
+    return x.alpha != y.alpha ? x.alpha < y.alpha : x.beta < y.beta;
+  });
+  list.erase(std::unique(list.begin(), list.end(),
+                         [](const CardOption& x, const CardOption& y) {
+                           return x.alpha == y.alpha && x.beta == y.beta;
+                         }),
+             list.end());
+  return list;
+}
+
+std::vector<SetOption> RandomSetList(const SvModule& m, int length,
+                                     int min_size, int max_size, Rng* rng) {
+  std::vector<int> all = m.inputs;
+  all.insert(all.end(), m.outputs.begin(), m.outputs.end());
+  std::set<int> input_set(m.inputs.begin(), m.inputs.end());
+  std::set<std::vector<int>> seen;
+  std::vector<SetOption> list;
+  for (int j = 0; j < length && static_cast<int>(list.size()) < length; ++j) {
+    int size = static_cast<int>(rng->NextInt(min_size, max_size));
+    size = std::min(size, static_cast<int>(all.size()));
+    size = std::max(size, 1);
+    std::vector<int> picked_pos =
+        rng->SampleWithoutReplacement(static_cast<int>(all.size()), size);
+    std::vector<int> picked;
+    for (int p : picked_pos) picked.push_back(all[static_cast<size_t>(p)]);
+    std::sort(picked.begin(), picked.end());
+    if (!seen.insert(picked).second) continue;
+    SetOption opt;
+    for (int a : picked) {
+      if (input_set.count(a) != 0) {
+        opt.hidden_inputs.push_back(a);
+      } else {
+        opt.hidden_outputs.push_back(a);
+      }
+    }
+    list.push_back(std::move(opt));
+  }
+  return list;
+}
+
+}  // namespace
+
+SecureViewInstance MakeRandomInstance(const RandomInstanceOptions& options,
+                                      Rng* rng) {
+  SecureViewInstance inst;
+  inst.kind = options.kind;
+
+  auto random_cost = [&]() {
+    return options.min_cost +
+           rng->NextDouble() * (options.max_cost - options.min_cost);
+  };
+  auto fresh_attr = [&]() {
+    inst.attr_cost.push_back(random_cost());
+    return inst.num_attrs++;
+  };
+
+  std::vector<int> reusable;
+  std::vector<int> consumer_count;
+
+  for (int mi = 0; mi < options.num_modules; ++mi) {
+    SvModule m;
+    m.name = "m" + std::to_string(mi);
+    const int num_in =
+        static_cast<int>(rng->NextInt(options.min_inputs, options.max_inputs));
+    const int num_out = static_cast<int>(
+        rng->NextInt(options.min_outputs, options.max_outputs));
+    for (int i = 0; i < num_in; ++i) {
+      int chosen = -1;
+      if (!reusable.empty() && rng->NextBernoulli(options.reuse_probability)) {
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          int cand = reusable[static_cast<size_t>(
+              rng->NextBelow(reusable.size()))];
+          if (std::find(m.inputs.begin(), m.inputs.end(), cand) ==
+              m.inputs.end()) {
+            chosen = cand;
+            break;
+          }
+        }
+      }
+      if (chosen < 0) {
+        chosen = fresh_attr();
+        consumer_count.resize(static_cast<size_t>(inst.num_attrs), 0);
+      }
+      m.inputs.push_back(chosen);
+      if (++consumer_count[static_cast<size_t>(chosen)] >=
+          options.gamma_bound) {
+        reusable.erase(std::remove(reusable.begin(), reusable.end(), chosen),
+                       reusable.end());
+      }
+    }
+    for (int o = 0; o < num_out; ++o) {
+      int id = fresh_attr();
+      consumer_count.resize(static_cast<size_t>(inst.num_attrs), 0);
+      m.outputs.push_back(id);
+      reusable.push_back(id);
+    }
+    if (rng->NextBernoulli(options.public_fraction)) {
+      m.is_public = true;
+      m.privatization_cost =
+          options.min_privatization_cost +
+          rng->NextDouble() * (options.max_privatization_cost -
+                               options.min_privatization_cost);
+    } else {
+      const int length = static_cast<int>(
+          rng->NextInt(options.min_list_length, options.max_list_length));
+      if (options.kind == ConstraintKind::kCardinality) {
+        m.card_options =
+            RandomCardList(static_cast<int>(m.inputs.size()),
+                           static_cast<int>(m.outputs.size()), length, rng);
+      } else {
+        m.set_options = RandomSetList(m, length, options.min_option_size,
+                                      options.max_option_size, rng);
+      }
+    }
+    inst.modules.push_back(std::move(m));
+  }
+  Status st = inst.Validate();
+  PV_CHECK_MSG(st.ok(), st.ToString());
+  return inst;
+}
+
+}  // namespace provview

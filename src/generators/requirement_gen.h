@@ -1,0 +1,46 @@
+// Direct random Secure-View instance generation (no executable modules) —
+// the workload for the solver-scaling experiments (E5/E6), where instances
+// larger than exhaustive privacy search allows are needed. Structure
+// mirrors the workflow model: modules in topological order, inputs drawn
+// from earlier outputs under a data-sharing bound γ, requirement lists on a
+// non-redundant tradeoff frontier as §4.2 assumes.
+#ifndef PROVVIEW_GENERATORS_REQUIREMENT_GEN_H_
+#define PROVVIEW_GENERATORS_REQUIREMENT_GEN_H_
+
+#include "common/rng.h"
+#include "secureview/instance.h"
+
+namespace provview {
+
+/// Knobs for random Secure-View instances.
+struct RandomInstanceOptions {
+  ConstraintKind kind = ConstraintKind::kCardinality;
+  int num_modules = 12;
+  int min_inputs = 1;
+  int max_inputs = 4;
+  int min_outputs = 1;
+  int max_outputs = 3;
+  int gamma_bound = 3;             ///< max consumers per attribute
+  double reuse_probability = 0.6;
+  int min_list_length = 1;         ///< ℓ_i range
+  int max_list_length = 3;
+  double min_cost = 1.0;
+  double max_cost = 10.0;
+  double public_fraction = 0.0;    ///< general-workflow instances
+  double min_privatization_cost = 1.0;
+  double max_privatization_cost = 10.0;
+  /// For set constraints: per-option hidden subset size range.
+  int min_option_size = 1;
+  int max_option_size = 3;
+};
+
+/// Samples a validated instance. Cardinality lists are sorted with α
+/// strictly increasing and β strictly decreasing (non-redundant, as the
+/// paper's analysis assumes). Set options are random subsets of the
+/// module's attributes.
+SecureViewInstance MakeRandomInstance(const RandomInstanceOptions& options,
+                                      Rng* rng);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_GENERATORS_REQUIREMENT_GEN_H_

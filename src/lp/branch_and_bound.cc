@@ -1,0 +1,151 @@
+#include "lp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+namespace provview {
+
+namespace {
+
+struct Node {
+  // Extra variable bounds layered on the base LP: (var, lb, ub).
+  std::vector<std::tuple<int, double, double>> bounds;
+  double parent_bound;  // relaxation objective of the parent (for ordering)
+};
+
+// Applies node bounds by rebuilding a copy of the LP with tightened bounds.
+LinearProgram WithBounds(const LinearProgram& base,
+                         const std::vector<std::tuple<int, double, double>>&
+                             bounds) {
+  LinearProgram lp;
+  std::vector<double> lb(static_cast<size_t>(base.num_vars()));
+  std::vector<double> ub(static_cast<size_t>(base.num_vars()));
+  for (int v = 0; v < base.num_vars(); ++v) {
+    lb[static_cast<size_t>(v)] = base.lower_bound(v);
+    ub[static_cast<size_t>(v)] = base.upper_bound(v);
+  }
+  for (const auto& [var, new_lb, new_ub] : bounds) {
+    lb[static_cast<size_t>(var)] =
+        std::max(lb[static_cast<size_t>(var)], new_lb);
+    ub[static_cast<size_t>(var)] =
+        std::min(ub[static_cast<size_t>(var)], new_ub);
+  }
+  for (int v = 0; v < base.num_vars(); ++v) {
+    if (lb[static_cast<size_t>(v)] > ub[static_cast<size_t>(v)]) {
+      // Empty box; encode as an infeasible bound pair the simplex will
+      // reject via an unsatisfiable constraint.
+      lp.AddVariable(lb[static_cast<size_t>(v)], lb[static_cast<size_t>(v)],
+                     base.objective_coeff(v), base.var_name(v));
+      lp.AddConstraint({{v, 1.0}}, ConstraintSense::kLe,
+                       ub[static_cast<size_t>(v)]);
+    } else {
+      lp.AddVariable(lb[static_cast<size_t>(v)], ub[static_cast<size_t>(v)],
+                     base.objective_coeff(v), base.var_name(v));
+    }
+  }
+  for (const LpConstraint& c : base.constraints()) {
+    lp.AddConstraint(c.terms, c.sense, c.rhs);
+  }
+  return lp;
+}
+
+}  // namespace
+
+BnbResult SolveIlp(const LinearProgram& lp,
+                   const std::vector<int>& integer_vars,
+                   const BnbOptions& options) {
+  BnbResult result;
+  result.objective = std::numeric_limits<double>::infinity();
+  bool have_incumbent = false;
+  bool timed_out = false;
+
+  std::vector<Node> stack;
+  stack.push_back(Node{{}, -std::numeric_limits<double>::infinity()});
+
+  while (!stack.empty()) {
+    if (result.nodes_explored >= options.max_nodes) {
+      timed_out = true;
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    ++result.nodes_explored;
+
+    if (have_incumbent &&
+        node.parent_bound >= result.objective - options.obj_eps) {
+      continue;  // cannot beat the incumbent
+    }
+
+    LinearProgram node_lp = WithBounds(lp, node.bounds);
+    LpSolution relax = SolveLp(node_lp, options.simplex);
+    if (relax.status.code() == StatusCode::kInfeasible) continue;
+    if (!relax.status.ok()) {
+      result.status = relax.status;
+      return result;
+    }
+    if (have_incumbent &&
+        relax.objective >= result.objective - options.obj_eps) {
+      continue;
+    }
+
+    // Most fractional integer variable.
+    int branch_var = -1;
+    double best_frac_dist = options.int_tol;
+    for (int v : integer_vars) {
+      double val = relax.x[static_cast<size_t>(v)];
+      double frac = val - std::floor(val);
+      double dist = std::min(frac, 1.0 - frac);
+      if (dist > best_frac_dist) {
+        best_frac_dist = dist;
+        branch_var = v;
+      }
+    }
+    if (branch_var < 0) {
+      // Integral: new incumbent. Round integer vars exactly.
+      std::vector<double> x = relax.x;
+      for (int v : integer_vars) {
+        x[static_cast<size_t>(v)] = std::round(x[static_cast<size_t>(v)]);
+      }
+      double obj = lp.Objective(x);
+      if (!have_incumbent || obj < result.objective) {
+        result.objective = obj;
+        result.x = std::move(x);
+        have_incumbent = true;
+      }
+      continue;
+    }
+
+    const double val = relax.x[static_cast<size_t>(branch_var)];
+    const double inf = std::numeric_limits<double>::infinity();
+    Node down = node;
+    down.bounds.emplace_back(branch_var, -inf, std::floor(val));
+    down.parent_bound = relax.objective;
+    Node up = node;
+    up.bounds.emplace_back(branch_var, std::ceil(val), inf);
+    up.parent_bound = relax.objective;
+    // DFS; explore the branch closer to the fractional value first
+    // (pushed last).
+    if (val - std::floor(val) <= 0.5) {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    } else {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    }
+  }
+
+  if (!have_incumbent) {
+    result.status = timed_out ? Status::Timeout("node budget exhausted")
+                              : Status::Infeasible("no integral solution");
+  } else {
+    result.status = timed_out
+                        ? Status::Timeout("node budget exhausted; incumbent "
+                                          "may be suboptimal")
+                        : Status::OK();
+  }
+  return result;
+}
+
+}  // namespace provview

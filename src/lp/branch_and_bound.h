@@ -1,0 +1,40 @@
+// Branch-and-bound integer solver on top of the simplex relaxation. Used
+// to compute the exact Secure-View optimum that the approximation ratios of
+// Theorems 5/6/7 are measured against, and to solve reduction source
+// problems (set cover, vertex cover, label cover) exactly on small
+// instances.
+#ifndef PROVVIEW_LP_BRANCH_AND_BOUND_H_
+#define PROVVIEW_LP_BRANCH_AND_BOUND_H_
+
+#include <vector>
+
+#include "lp/linear_program.h"
+#include "lp/simplex.h"
+
+namespace provview {
+
+/// Branch-and-bound knobs.
+struct BnbOptions {
+  SimplexOptions simplex;
+  int max_nodes = 200000;     ///< node budget; Timeout past it
+  double int_tol = 1e-6;      ///< integrality tolerance
+  double obj_eps = 1e-7;      ///< pruning slack
+};
+
+/// ILP outcome. `x` holds the incumbent (rounded on integer variables).
+struct BnbResult {
+  Status status;
+  std::vector<double> x;
+  double objective = 0.0;
+  int nodes_explored = 0;
+};
+
+/// Minimizes `lp` with the variables in `integer_vars` restricted to
+/// integers. DFS with best-bound pruning, branching on the most fractional
+/// integer variable.
+BnbResult SolveIlp(const LinearProgram& lp, const std::vector<int>& integer_vars,
+                   const BnbOptions& options = {});
+
+}  // namespace provview
+
+#endif  // PROVVIEW_LP_BRANCH_AND_BOUND_H_

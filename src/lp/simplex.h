@@ -1,0 +1,28 @@
+// Dense two-phase primal simplex. Designed for the moderate-size
+// relaxations produced by the Secure-View encoders (up to a few thousand
+// variables/constraints): full-tableau representation, Dantzig pricing with
+// a Bland's-rule fallback to guarantee termination, explicit artificial
+// variables for ≥/= rows.
+#ifndef PROVVIEW_LP_SIMPLEX_H_
+#define PROVVIEW_LP_SIMPLEX_H_
+
+#include "lp/linear_program.h"
+
+namespace provview {
+
+/// Tuning knobs for the simplex solver.
+struct SimplexOptions {
+  double eps = 1e-9;           ///< pivot / feasibility tolerance
+  int max_iterations = 500000; ///< across both phases
+  /// Switch from Dantzig pricing to Bland's rule after this many
+  /// consecutive non-improving iterations (anti-cycling).
+  int bland_threshold = 2000;
+};
+
+/// Solves `lp` to optimality (minimization). Statuses: OK (optimal),
+/// Infeasible, Unbounded, Timeout (iteration budget exhausted).
+LpSolution SolveLp(const LinearProgram& lp, const SimplexOptions& options = {});
+
+}  // namespace provview
+
+#endif  // PROVVIEW_LP_SIMPLEX_H_

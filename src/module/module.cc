@@ -1,0 +1,92 @@
+#include "module/module.h"
+
+#include <set>
+
+#include "common/combinatorics.h"
+
+namespace provview {
+
+Module::Module(std::string name, CatalogPtr catalog, std::vector<AttrId> inputs,
+               std::vector<AttrId> outputs)
+    : name_(std::move(name)),
+      catalog_(std::move(catalog)),
+      inputs_(std::move(inputs)),
+      outputs_(std::move(outputs)) {
+  PV_CHECK(catalog_ != nullptr);
+  PV_CHECK_MSG(!outputs_.empty(), "module " << name_ << " has no outputs");
+  // I ∩ O = ∅ and no duplicates — enforced by building sets.
+  std::set<AttrId> seen;
+  for (AttrId id : inputs_) {
+    PV_CHECK_MSG(id >= 0 && id < catalog_->size(), "bad input attr " << id);
+    PV_CHECK_MSG(seen.insert(id).second,
+                 "duplicate input attribute in module " << name_);
+  }
+  for (AttrId id : outputs_) {
+    PV_CHECK_MSG(id >= 0 && id < catalog_->size(), "bad output attr " << id);
+    PV_CHECK_MSG(seen.insert(id).second,
+                 "attribute appears twice (I ∩ O must be empty) in module "
+                     << name_);
+  }
+}
+
+Bitset64 Module::InputSet() const {
+  Bitset64 s(catalog_->size());
+  for (AttrId id : inputs_) s.Set(id);
+  return s;
+}
+
+Bitset64 Module::OutputSet() const {
+  Bitset64 s(catalog_->size());
+  for (AttrId id : outputs_) s.Set(id);
+  return s;
+}
+
+Bitset64 Module::AttrSet() const { return InputSet() | OutputSet(); }
+
+Schema Module::FullSchema() const {
+  std::vector<AttrId> attrs = inputs_;
+  attrs.insert(attrs.end(), outputs_.begin(), outputs_.end());
+  return Schema(catalog_, attrs);
+}
+
+Relation Module::FullRelation(int64_t max_rows) const {
+  int64_t dom = DomainSize();
+  PV_CHECK_MSG(dom <= max_rows, "module " << name_ << " domain too large ("
+                                          << dom << " > " << max_rows << ")");
+  Relation rel(FullSchema());
+  MixedRadixCounter counter(InputSchema().DomainSizes());
+  do {
+    Tuple in = counter.values();
+    Tuple out = Eval(in);
+    Tuple row = in;
+    row.insert(row.end(), out.begin(), out.end());
+    rel.AddRow(std::move(row));
+  } while (counter.Advance());
+  return rel;
+}
+
+Relation Module::RelationOn(const std::vector<Tuple>& input_tuples) const {
+  Relation rel(FullSchema());
+  for (const Tuple& in : input_tuples) {
+    PV_CHECK_MSG(static_cast<int>(in.size()) == num_inputs(),
+                 "bad input arity for module " << name_);
+    Tuple out = Eval(in);
+    Tuple row = in;
+    row.insert(row.end(), out.begin(), out.end());
+    rel.AddRow(std::move(row));
+  }
+  return rel;
+}
+
+bool Module::IsInjective(int64_t max_domain) const {
+  int64_t dom = DomainSize();
+  PV_CHECK_MSG(dom <= max_domain, "domain too large for injectivity check");
+  std::set<Tuple> images;
+  MixedRadixCounter counter(InputSchema().DomainSizes());
+  do {
+    if (!images.insert(Eval(counter.values())).second) return false;
+  } while (counter.Advance());
+  return true;
+}
+
+}  // namespace provview

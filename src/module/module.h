@@ -1,0 +1,118 @@
+// Module abstraction (§2.1): a module m has input attributes I, output
+// attributes O (disjoint), and computes a function Dom = ∏_{a∈I} Δ_a →
+// Range = ∏_{a∈O} Δ_a. Its relational representation R satisfies the FD
+// I → O. Modules are either private (behavior unknown a priori) or public
+// (behavior known to every user; §2.2), and public modules carry a
+// privatization cost used by the §5 Secure-View variant.
+#ifndef PROVVIEW_MODULE_MODULE_H_
+#define PROVVIEW_MODULE_MODULE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace provview {
+
+/// Abstract module. Concrete modules implement Eval(); everything else
+/// (relation materialization, schemas) is provided here.
+class Module {
+ public:
+  Module(std::string name, CatalogPtr catalog, std::vector<AttrId> inputs,
+         std::vector<AttrId> outputs);
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Computes m(x). `input` is aligned with inputs(); the result is aligned
+  /// with outputs().
+  virtual Tuple Eval(const Tuple& input) const = 0;
+
+  const std::string& name() const { return name_; }
+  const CatalogPtr& catalog() const { return catalog_; }
+  const std::vector<AttrId>& inputs() const { return inputs_; }
+  const std::vector<AttrId>& outputs() const { return outputs_; }
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+  int num_outputs() const { return static_cast<int>(outputs_.size()); }
+
+  /// Total attribute count k = |I| + |O|.
+  int arity() const { return num_inputs() + num_outputs(); }
+
+  /// Public modules have a-priori-known behavior (§2.2). Default: private.
+  bool is_public() const { return is_public_; }
+  void set_public(bool is_public) { is_public_ = is_public; }
+
+  /// Cost c(m) of hiding (privatizing) this module's identity (§5.2).
+  double privatization_cost() const { return privatization_cost_; }
+  void set_privatization_cost(double cost) { privatization_cost_ = cost; }
+
+  /// Input attribute ids as a set over the catalog.
+  Bitset64 InputSet() const;
+  /// Output attribute ids as a set over the catalog.
+  Bitset64 OutputSet() const;
+  /// I ∪ O.
+  Bitset64 AttrSet() const;
+
+  Schema InputSchema() const { return Schema(catalog_, inputs_); }
+  Schema OutputSchema() const { return Schema(catalog_, outputs_); }
+  /// Schema over I followed by O (the module relation's schema).
+  Schema FullSchema() const;
+
+  /// |Dom| = ∏_{a∈I} |Δ_a| (saturating).
+  int64_t DomainSize() const { return InputSchema().ProductSpaceSize(); }
+  /// |Range| = ∏_{a∈O} |Δ_a| (saturating).
+  int64_t RangeSize() const { return OutputSchema().ProductSpaceSize(); }
+
+  /// Materializes the module relation over the full input domain: one row
+  /// (x, m(x)) per x ∈ Dom. Requires |Dom| <= max_rows (guards blowup).
+  Relation FullRelation(int64_t max_rows = 1 << 22) const;
+
+  /// Materializes the module relation on the given inputs only (a partial
+  /// execution log).
+  Relation RelationOn(const std::vector<Tuple>& input_tuples) const;
+
+  /// True if Eval is a one-one (injective) function. Enumerates the domain,
+  /// so only valid for small |Dom|.
+  bool IsInjective(int64_t max_domain = 1 << 20) const;
+
+ private:
+  std::string name_;
+  CatalogPtr catalog_;
+  std::vector<AttrId> inputs_;
+  std::vector<AttrId> outputs_;
+  bool is_public_ = false;
+  double privatization_cost_ = 1.0;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+/// Module defined by an arbitrary function object. The workhorse for the
+/// boolean-gate library and for the flip-world construction (Lemma 1),
+/// which rewrites modules m_j into g_j = FLIP ∘ m_j ∘ FLIP.
+class LambdaModule : public Module {
+ public:
+  using Fn = std::function<Tuple(const Tuple&)>;
+
+  LambdaModule(std::string name, CatalogPtr catalog, std::vector<AttrId> inputs,
+               std::vector<AttrId> outputs, Fn fn)
+      : Module(std::move(name), std::move(catalog), std::move(inputs),
+               std::move(outputs)),
+        fn_(std::move(fn)) {}
+
+  Tuple Eval(const Tuple& input) const override {
+    Tuple out = fn_(input);
+    PV_CHECK_MSG(static_cast<int>(out.size()) == num_outputs(),
+                 "module " << name() << " produced wrong output arity");
+    return out;
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_MODULE_MODULE_H_

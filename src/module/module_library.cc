@@ -1,0 +1,316 @@
+#include "module/module_library.h"
+
+#include "common/combinatorics.h"
+#include "module/table_module.h"
+
+namespace provview {
+
+namespace {
+
+void CheckBoolean(const CatalogPtr& catalog, const std::vector<AttrId>& ids) {
+  for (AttrId id : ids) {
+    PV_CHECK_MSG(catalog->DomainSize(id) == 2,
+                 "attribute " << catalog->Name(id) << " must be boolean");
+  }
+}
+
+// Encodes a tuple in the mixed-radix system given by `radices`.
+int64_t Encode(const Tuple& t, const std::vector<int>& radices) {
+  int64_t code = 0;
+  for (size_t i = t.size(); i-- > 0;) {
+    code = code * radices[i] + t[i];
+  }
+  return code;
+}
+
+// Inverse of Encode.
+Tuple Decode(int64_t code, const std::vector<int>& radices) {
+  Tuple t(radices.size());
+  for (size_t i = 0; i < radices.size(); ++i) {
+    t[i] = static_cast<Value>(code % radices[i]);
+    code /= radices[i];
+  }
+  return t;
+}
+
+std::vector<int> Radices(const CatalogPtr& catalog,
+                         const std::vector<AttrId>& ids) {
+  std::vector<int> r;
+  r.reserve(ids.size());
+  for (AttrId id : ids) r.push_back(catalog->DomainSize(id));
+  return r;
+}
+
+}  // namespace
+
+ModulePtr MakeFig1M1(CatalogPtr catalog, AttrId a1, AttrId a2, AttrId a3,
+                     AttrId a4, AttrId a5) {
+  CheckBoolean(catalog, {a1, a2, a3, a4, a5});
+  return std::make_unique<LambdaModule>(
+      "m1", catalog, std::vector<AttrId>{a1, a2},
+      std::vector<AttrId>{a3, a4, a5}, [](const Tuple& in) {
+        Value x = in[0], y = in[1];
+        return Tuple{static_cast<Value>(x | y), static_cast<Value>(!(x & y)),
+                     static_cast<Value>(!(x ^ y))};
+      });
+}
+
+ModulePtr MakeFig1M2(CatalogPtr catalog, AttrId a3, AttrId a4, AttrId a6) {
+  return MakeNand("m2", std::move(catalog), {a3, a4}, a6);
+}
+
+ModulePtr MakeFig1M3(CatalogPtr catalog, AttrId a4, AttrId a5, AttrId a7) {
+  return MakeParity("m3", std::move(catalog), {a4, a5}, a7);
+}
+
+ModulePtr MakeAnd(std::string name, CatalogPtr catalog,
+                  std::vector<AttrId> inputs, AttrId output) {
+  CheckBoolean(catalog, inputs);
+  CheckBoolean(catalog, {output});
+  return std::make_unique<LambdaModule>(
+      std::move(name), std::move(catalog), std::move(inputs),
+      std::vector<AttrId>{output}, [](const Tuple& in) {
+        Value acc = 1;
+        for (Value v : in) acc &= v;
+        return Tuple{acc};
+      });
+}
+
+ModulePtr MakeOr(std::string name, CatalogPtr catalog,
+                 std::vector<AttrId> inputs, AttrId output) {
+  CheckBoolean(catalog, inputs);
+  CheckBoolean(catalog, {output});
+  return std::make_unique<LambdaModule>(
+      std::move(name), std::move(catalog), std::move(inputs),
+      std::vector<AttrId>{output}, [](const Tuple& in) {
+        Value acc = 0;
+        for (Value v : in) acc |= v;
+        return Tuple{acc};
+      });
+}
+
+ModulePtr MakeNand(std::string name, CatalogPtr catalog,
+                   std::vector<AttrId> inputs, AttrId output) {
+  CheckBoolean(catalog, inputs);
+  CheckBoolean(catalog, {output});
+  return std::make_unique<LambdaModule>(
+      std::move(name), std::move(catalog), std::move(inputs),
+      std::vector<AttrId>{output}, [](const Tuple& in) {
+        Value acc = 1;
+        for (Value v : in) acc &= v;
+        return Tuple{static_cast<Value>(1 - acc)};
+      });
+}
+
+ModulePtr MakeParity(std::string name, CatalogPtr catalog,
+                     std::vector<AttrId> inputs, AttrId output) {
+  CheckBoolean(catalog, inputs);
+  CheckBoolean(catalog, {output});
+  return std::make_unique<LambdaModule>(
+      std::move(name), std::move(catalog), std::move(inputs),
+      std::vector<AttrId>{output}, [](const Tuple& in) {
+        Value acc = 0;
+        for (Value v : in) acc ^= v;
+        return Tuple{acc};
+      });
+}
+
+ModulePtr MakeMajority(std::string name, CatalogPtr catalog,
+                       std::vector<AttrId> inputs, AttrId output) {
+  CheckBoolean(catalog, inputs);
+  CheckBoolean(catalog, {output});
+  const int threshold = (static_cast<int>(inputs.size()) + 1) / 2;
+  return std::make_unique<LambdaModule>(
+      std::move(name), std::move(catalog), std::move(inputs),
+      std::vector<AttrId>{output}, [threshold](const Tuple& in) {
+        int ones = 0;
+        for (Value v : in) ones += v;
+        return Tuple{static_cast<Value>(ones >= threshold ? 1 : 0)};
+      });
+}
+
+ModulePtr MakeIdentity(std::string name, CatalogPtr catalog,
+                       std::vector<AttrId> inputs,
+                       std::vector<AttrId> outputs) {
+  PV_CHECK_MSG(inputs.size() == outputs.size(),
+               "identity needs equal arities");
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    PV_CHECK_MSG(
+        catalog->DomainSize(inputs[i]) == catalog->DomainSize(outputs[i]),
+        "identity requires matching domains position " << i);
+  }
+  return std::make_unique<LambdaModule>(
+      std::move(name), std::move(catalog), std::move(inputs),
+      std::move(outputs), [](const Tuple& in) { return in; });
+}
+
+ModulePtr MakeNegation(std::string name, CatalogPtr catalog,
+                       std::vector<AttrId> inputs,
+                       std::vector<AttrId> outputs) {
+  PV_CHECK_MSG(inputs.size() == outputs.size(),
+               "negation needs equal arities");
+  CheckBoolean(catalog, inputs);
+  CheckBoolean(catalog, outputs);
+  return std::make_unique<LambdaModule>(
+      std::move(name), std::move(catalog), std::move(inputs),
+      std::move(outputs), [](const Tuple& in) {
+        Tuple out = in;
+        for (Value& v : out) v = 1 - v;
+        return out;
+      });
+}
+
+ModulePtr MakeConstant(std::string name, CatalogPtr catalog,
+                       std::vector<AttrId> inputs, std::vector<AttrId> outputs,
+                       Tuple constant) {
+  PV_CHECK_MSG(constant.size() == outputs.size(),
+               "constant arity must match outputs");
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    PV_CHECK_MSG(constant[i] >= 0 &&
+                     constant[i] < catalog->DomainSize(outputs[i]),
+                 "constant value out of domain at position " << i);
+  }
+  return std::make_unique<LambdaModule>(
+      std::move(name), std::move(catalog), std::move(inputs),
+      std::move(outputs),
+      [constant](const Tuple&) { return constant; });
+}
+
+ModulePtr MakeRandomFunction(std::string name, CatalogPtr catalog,
+                             std::vector<AttrId> inputs,
+                             std::vector<AttrId> outputs, Rng* rng) {
+  std::vector<int> in_radices = Radices(catalog, inputs);
+  std::vector<int> out_radices = Radices(catalog, outputs);
+  const int64_t range = SaturatingProduct(
+      std::vector<int64_t>(out_radices.begin(), out_radices.end()));
+  std::vector<std::pair<Tuple, Tuple>> entries;
+  MixedRadixCounter counter(in_radices);
+  do {
+    int64_t code = static_cast<int64_t>(
+        rng->NextBelow(static_cast<uint64_t>(range)));
+    entries.emplace_back(counter.values(), Decode(code, out_radices));
+  } while (counter.Advance());
+  return std::make_unique<TableModule>(std::move(name), std::move(catalog),
+                                       std::move(inputs), std::move(outputs),
+                                       entries);
+}
+
+ModulePtr MakeRandomBijection(std::string name, CatalogPtr catalog,
+                              std::vector<AttrId> inputs,
+                              std::vector<AttrId> outputs, Rng* rng) {
+  std::vector<int> in_radices = Radices(catalog, inputs);
+  std::vector<int> out_radices = Radices(catalog, outputs);
+  const int64_t dom = SaturatingProduct(
+      std::vector<int64_t>(in_radices.begin(), in_radices.end()));
+  const int64_t range = SaturatingProduct(
+      std::vector<int64_t>(out_radices.begin(), out_radices.end()));
+  PV_CHECK_MSG(dom == range, "bijection requires |Dom| == |Range|");
+  PV_CHECK_MSG(dom <= (1 << 22), "bijection domain too large");
+  std::vector<int> perm = rng->RandomPermutation(static_cast<int>(dom));
+  std::vector<std::pair<Tuple, Tuple>> entries;
+  MixedRadixCounter counter(in_radices);
+  int64_t idx = 0;
+  do {
+    entries.emplace_back(
+        counter.values(),
+        Decode(perm[static_cast<size_t>(idx)], out_radices));
+    ++idx;
+  } while (counter.Advance());
+  return std::make_unique<TableModule>(std::move(name), std::move(catalog),
+                                       std::move(inputs), std::move(outputs),
+                                       entries);
+}
+
+ModulePtr MakeShiftBijection(std::string name, CatalogPtr catalog,
+                             std::vector<AttrId> inputs,
+                             std::vector<AttrId> outputs, int64_t shift) {
+  std::vector<int> in_radices = Radices(catalog, inputs);
+  std::vector<int> out_radices = Radices(catalog, outputs);
+  const int64_t dom = SaturatingProduct(
+      std::vector<int64_t>(in_radices.begin(), in_radices.end()));
+  const int64_t range = SaturatingProduct(
+      std::vector<int64_t>(out_radices.begin(), out_radices.end()));
+  PV_CHECK_MSG(dom == range, "bijection requires |Dom| == |Range|");
+  return std::make_unique<LambdaModule>(
+      std::move(name), std::move(catalog), std::move(inputs),
+      std::move(outputs),
+      [in_radices, out_radices, range, shift](const Tuple& in) {
+        int64_t code = Encode(in, in_radices);
+        code = ((code + shift) % range + range) % range;
+        return Decode(code, out_radices);
+      });
+}
+
+ModulePtr MakeAdder(std::string name, CatalogPtr catalog,
+                    std::vector<AttrId> lhs, std::vector<AttrId> rhs,
+                    std::vector<AttrId> sum) {
+  const size_t k = lhs.size();
+  PV_CHECK_MSG(rhs.size() == k && sum.size() == k + 1,
+               "adder needs |lhs| == |rhs| == k and |sum| == k+1");
+  CheckBoolean(catalog, lhs);
+  CheckBoolean(catalog, rhs);
+  CheckBoolean(catalog, sum);
+  std::vector<AttrId> inputs = lhs;
+  inputs.insert(inputs.end(), rhs.begin(), rhs.end());
+  return std::make_unique<LambdaModule>(
+      std::move(name), std::move(catalog), std::move(inputs), std::move(sum),
+      [k](const Tuple& in) {
+        Tuple out(k + 1);
+        Value carry = 0;
+        for (size_t i = 0; i < k; ++i) {
+          Value total = in[i] + in[k + i] + carry;
+          out[i] = total & 1;
+          carry = total >> 1;
+        }
+        out[k] = carry;
+        return out;
+      });
+}
+
+ModulePtr MakeComparator(std::string name, CatalogPtr catalog,
+                         std::vector<AttrId> lhs, std::vector<AttrId> rhs,
+                         AttrId output) {
+  const size_t k = lhs.size();
+  PV_CHECK_MSG(rhs.size() == k && k >= 1, "comparator needs equal widths");
+  CheckBoolean(catalog, lhs);
+  CheckBoolean(catalog, rhs);
+  CheckBoolean(catalog, {output});
+  std::vector<AttrId> inputs = lhs;
+  inputs.insert(inputs.end(), rhs.begin(), rhs.end());
+  return std::make_unique<LambdaModule>(
+      std::move(name), std::move(catalog), std::move(inputs),
+      std::vector<AttrId>{output}, [k](const Tuple& in) {
+        // Compare from the most significant (last) bit down.
+        for (size_t i = k; i-- > 0;) {
+          if (in[i] != in[k + i]) {
+            return Tuple{static_cast<Value>(in[i] > in[k + i] ? 1 : 0)};
+          }
+        }
+        return Tuple{1};  // equal → lhs >= rhs
+      });
+}
+
+ModulePtr MakeMux(std::string name, CatalogPtr catalog, AttrId select,
+                  std::vector<AttrId> a, std::vector<AttrId> b,
+                  std::vector<AttrId> outputs) {
+  const size_t k = a.size();
+  PV_CHECK_MSG(b.size() == k && outputs.size() == k,
+               "mux needs equal widths");
+  CheckBoolean(catalog, {select});
+  CheckBoolean(catalog, a);
+  CheckBoolean(catalog, b);
+  CheckBoolean(catalog, outputs);
+  std::vector<AttrId> inputs = {select};
+  inputs.insert(inputs.end(), a.begin(), a.end());
+  inputs.insert(inputs.end(), b.begin(), b.end());
+  return std::make_unique<LambdaModule>(
+      std::move(name), std::move(catalog), std::move(inputs),
+      std::move(outputs), [k](const Tuple& in) {
+        Tuple out(k);
+        const size_t offset = in[0] == 0 ? 1 : 1 + k;
+        for (size_t i = 0; i < k; ++i) out[i] = in[offset + i];
+        return out;
+      });
+}
+
+}  // namespace provview

@@ -1,0 +1,112 @@
+// Factory library of concrete module functionalities used throughout the
+// paper's examples and constructions:
+//   - boolean gates (AND/OR/XOR/NOT/NAND/NOR) — Figure 1's m1/m2/m3;
+//   - majority over 2k inputs — Example 6;
+//   - identity / reversal / random bijections (one-one modules) — Example 6,
+//     Proposition 2, Example 7;
+//   - constant functions — Example 7's problematic public module;
+//   - uniformly random functions — generator workloads.
+// All factories take the catalog and attribute ids; attribute domains may be
+// non-boolean where noted.
+#ifndef PROVVIEW_MODULE_MODULE_LIBRARY_H_
+#define PROVVIEW_MODULE_MODULE_LIBRARY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "module/module.h"
+
+namespace provview {
+
+/// m1 of Figure 1: inputs (a1,a2) ↦ (a1∨a2, ¬(a1∧a2), ¬(a1⊕a2)).
+/// All five attributes must be boolean.
+ModulePtr MakeFig1M1(CatalogPtr catalog, AttrId a1, AttrId a2, AttrId a3,
+                     AttrId a4, AttrId a5);
+
+/// m2 of Figure 1: (a3,a4) ↦ a6 = ¬(a3∧a4), matching the executions in
+/// Figure 1(b).
+ModulePtr MakeFig1M2(CatalogPtr catalog, AttrId a3, AttrId a4, AttrId a6);
+
+/// m3 of Figure 1: (a4,a5) ↦ a7 = a4⊕a5, matching the executions in
+/// Figure 1(b).
+ModulePtr MakeFig1M3(CatalogPtr catalog, AttrId a4, AttrId a5, AttrId a7);
+
+/// Boolean AND of all inputs (any fan-in ≥ 1) into one boolean output.
+ModulePtr MakeAnd(std::string name, CatalogPtr catalog,
+                  std::vector<AttrId> inputs, AttrId output);
+
+/// Boolean OR of all inputs into one boolean output.
+ModulePtr MakeOr(std::string name, CatalogPtr catalog,
+                 std::vector<AttrId> inputs, AttrId output);
+
+/// Boolean NAND of all inputs into one boolean output.
+ModulePtr MakeNand(std::string name, CatalogPtr catalog,
+                   std::vector<AttrId> inputs, AttrId output);
+
+/// Boolean XOR (parity) of all inputs into one boolean output.
+ModulePtr MakeParity(std::string name, CatalogPtr catalog,
+                     std::vector<AttrId> inputs, AttrId output);
+
+/// Majority: outputs 1 iff at least half of the (boolean) inputs are 1
+/// (Example 6: with 2k inputs, 2-privacy needs k+1 hidden inputs or the
+/// output hidden).
+ModulePtr MakeMajority(std::string name, CatalogPtr catalog,
+                       std::vector<AttrId> inputs, AttrId output);
+
+/// Identity: output i copies input i. Domains must match pairwise.
+ModulePtr MakeIdentity(std::string name, CatalogPtr catalog,
+                       std::vector<AttrId> inputs, std::vector<AttrId> outputs);
+
+/// Bitwise negation over booleans: output i = ¬ input i (the "reversal"
+/// module of Proposition 2's chain).
+ModulePtr MakeNegation(std::string name, CatalogPtr catalog,
+                       std::vector<AttrId> inputs, std::vector<AttrId> outputs);
+
+/// Constant function: ignores inputs, always emits `constant` (Example 7's
+/// public module that defeats input-hiding).
+ModulePtr MakeConstant(std::string name, CatalogPtr catalog,
+                       std::vector<AttrId> inputs, std::vector<AttrId> outputs,
+                       Tuple constant);
+
+/// Uniformly random total function Dom → Range, sampled once at
+/// construction (deterministic in `rng`). Materialized as a table.
+ModulePtr MakeRandomFunction(std::string name, CatalogPtr catalog,
+                             std::vector<AttrId> inputs,
+                             std::vector<AttrId> outputs, Rng* rng);
+
+/// Uniformly random bijection Dom → Range; requires |Dom| == |Range|
+/// (one-one modules of Example 6 / Proposition 2 / Example 7).
+ModulePtr MakeRandomBijection(std::string name, CatalogPtr catalog,
+                              std::vector<AttrId> inputs,
+                              std::vector<AttrId> outputs, Rng* rng);
+
+/// Encodes the input tuple as an integer, adds `shift` modulo |Range|, and
+/// decodes into the outputs. A cheap deterministic bijection when
+/// |Dom| == |Range|.
+ModulePtr MakeShiftBijection(std::string name, CatalogPtr catalog,
+                             std::vector<AttrId> inputs,
+                             std::vector<AttrId> outputs, int64_t shift);
+
+/// Ripple-carry adder: two k-bit little-endian boolean operands (lhs then
+/// rhs, each of size k) to a (k+1)-bit little-endian sum. All attributes
+/// boolean; outputs must have size k+1.
+ModulePtr MakeAdder(std::string name, CatalogPtr catalog,
+                    std::vector<AttrId> lhs, std::vector<AttrId> rhs,
+                    std::vector<AttrId> sum);
+
+/// Unsigned comparator: outputs 1 iff lhs ≥ rhs (little-endian boolean
+/// operands of equal width).
+ModulePtr MakeComparator(std::string name, CatalogPtr catalog,
+                         std::vector<AttrId> lhs, std::vector<AttrId> rhs,
+                         AttrId output);
+
+/// 2-way multiplexer: output = (select == 0 ? a : b), element-wise over
+/// equally sized boolean vectors a and b.
+ModulePtr MakeMux(std::string name, CatalogPtr catalog, AttrId select,
+                  std::vector<AttrId> a, std::vector<AttrId> b,
+                  std::vector<AttrId> outputs);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_MODULE_MODULE_LIBRARY_H_

@@ -1,0 +1,72 @@
+#include "module/table_module.h"
+
+namespace provview {
+
+TableModule::TableModule(std::string name, CatalogPtr catalog,
+                         std::vector<AttrId> inputs, std::vector<AttrId> outputs,
+                         const std::vector<std::pair<Tuple, Tuple>>& entries)
+    : Module(std::move(name), std::move(catalog), std::move(inputs),
+             std::move(outputs)) {
+  for (const auto& [in, out] : entries) {
+    PV_CHECK_MSG(static_cast<int>(in.size()) == num_inputs(),
+                 "bad input arity in table for module " << this->name());
+    PV_CHECK_MSG(static_cast<int>(out.size()) == num_outputs(),
+                 "bad output arity in table for module " << this->name());
+    auto [it, inserted] = table_.emplace(in, out);
+    // Re-inserting the same mapping is fine; a conflicting one violates the
+    // functional dependency I → O.
+    PV_CHECK_MSG(inserted || it->second == out,
+                 "FD violation in table for module " << this->name());
+  }
+}
+
+ModulePtr TableModule::FromRelation(std::string name, const Relation& rel,
+                                    int num_inputs) {
+  const Schema& schema = rel.schema();
+  PV_CHECK_MSG(num_inputs >= 0 && num_inputs < schema.arity(),
+               "bad input split for table module " << name);
+  std::vector<AttrId> inputs(schema.attrs().begin(),
+                             schema.attrs().begin() + num_inputs);
+  std::vector<AttrId> outputs(schema.attrs().begin() + num_inputs,
+                              schema.attrs().end());
+  PV_CHECK_MSG(rel.SatisfiesFd(inputs, outputs),
+               "relation violates I → O for table module " << name);
+  std::vector<std::pair<Tuple, Tuple>> entries;
+  entries.reserve(rel.rows().size());
+  for (const Tuple& row : rel.rows()) {
+    entries.emplace_back(rel.ProjectRow(row, inputs),
+                         rel.ProjectRow(row, outputs));
+  }
+  return std::make_unique<TableModule>(std::move(name), schema.catalog(),
+                                       std::move(inputs), std::move(outputs),
+                                       entries);
+}
+
+ModulePtr TableModule::Materialize(const Module& m) {
+  Relation rel = m.FullRelation();
+  auto out = FromRelation(m.name(), rel, m.num_inputs());
+  out->set_public(m.is_public());
+  out->set_privatization_cost(m.privatization_cost());
+  return out;
+}
+
+Tuple TableModule::Eval(const Tuple& input) const {
+  ++supplier_calls_;
+  auto it = table_.find(input);
+  PV_CHECK_MSG(it != table_.end(),
+               "module " << name() << " undefined on requested input");
+  return it->second;
+}
+
+bool TableModule::Defines(const Tuple& input) const {
+  return table_.find(input) != table_.end();
+}
+
+std::vector<Tuple> TableModule::DefinedInputs() const {
+  std::vector<Tuple> out;
+  out.reserve(table_.size());
+  for (const auto& [in, _] : table_) out.push_back(in);
+  return out;
+}
+
+}  // namespace provview

@@ -1,0 +1,55 @@
+// Module whose functionality is given extensionally as a relation — the way
+// the paper presents modules (Figure 1c) and the way a workflow system's
+// execution log presents them. Also models the paper's "data supplier"
+// (§3.1): a lookup per input, with a counter of supplier calls so the
+// Theorem-1 communication-complexity experiment can measure reads.
+#ifndef PROVVIEW_MODULE_TABLE_MODULE_H_
+#define PROVVIEW_MODULE_TABLE_MODULE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "module/module.h"
+
+namespace provview {
+
+/// Relation-backed module. The relation must satisfy I → O; Eval() on an
+/// input absent from the table is a fatal error (partial functions are
+/// represented by simply not listing the input).
+class TableModule : public Module {
+ public:
+  /// Builds from explicit (input, output) pairs.
+  TableModule(std::string name, CatalogPtr catalog, std::vector<AttrId> inputs,
+              std::vector<AttrId> outputs,
+              const std::vector<std::pair<Tuple, Tuple>>& entries);
+
+  /// Builds from a relation whose schema is I followed by O.
+  static ModulePtr FromRelation(std::string name, const Relation& rel,
+                                int num_inputs);
+
+  /// Samples another module's behavior into an explicit table (useful for
+  /// snapshotting random modules).
+  static ModulePtr Materialize(const Module& m);
+
+  Tuple Eval(const Tuple& input) const override;
+
+  /// True if this table defines an output for `input`.
+  bool Defines(const Tuple& input) const;
+
+  /// All inputs this table defines, in sorted order.
+  std::vector<Tuple> DefinedInputs() const;
+
+  /// Number of Eval() lookups served so far (the paper's data-supplier call
+  /// count; Theorem 1 lower-bounds this by Ω(N)).
+  int64_t supplier_calls() const { return supplier_calls_; }
+  void ResetSupplierCalls() { supplier_calls_ = 0; }
+
+ private:
+  std::map<Tuple, Tuple> table_;
+  mutable int64_t supplier_calls_ = 0;
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_MODULE_TABLE_MODULE_H_

@@ -1,0 +1,76 @@
+#include "privacy/flip_world.h"
+
+#include "common/combinatorics.h"
+
+namespace provview {
+
+Tuple FlipTuple(const Tuple& t, const std::vector<AttrId>& t_attrs,
+                const std::vector<AttrId>& pq_attrs, const Tuple& p,
+                const Tuple& q) {
+  PV_CHECK(t.size() == t_attrs.size());
+  PV_CHECK(p.size() == pq_attrs.size() && q.size() == pq_attrs.size());
+  Tuple out = t;
+  for (size_t i = 0; i < t_attrs.size(); ++i) {
+    for (size_t j = 0; j < pq_attrs.size(); ++j) {
+      if (t_attrs[i] != pq_attrs[j]) continue;
+      if (out[i] == p[j]) {
+        out[i] = q[j];
+      } else if (out[i] == q[j]) {
+        out[i] = p[j];
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+WorkflowPtr BuildFlipWorkflow(const Workflow& base,
+                              const std::vector<AttrId>& pq_attrs,
+                              const Tuple& p, const Tuple& q) {
+  auto flipped = std::make_unique<Workflow>(base.catalog());
+  for (int i = 0; i < base.num_modules(); ++i) {
+    const Module* m = &base.module(i);
+    std::vector<AttrId> in_attrs = m->inputs();
+    std::vector<AttrId> out_attrs = m->outputs();
+    auto fn = [m, in_attrs, out_attrs, pq_attrs, p, q](const Tuple& in) {
+      Tuple flipped_in = FlipTuple(in, in_attrs, pq_attrs, p, q);
+      Tuple out = m->Eval(flipped_in);
+      return FlipTuple(out, out_attrs, pq_attrs, p, q);
+    };
+    auto g = std::make_unique<LambdaModule>("g_" + m->name(), base.catalog(),
+                                            in_attrs, out_attrs, std::move(fn));
+    g->set_public(m->is_public());
+    g->set_privatization_cost(m->privatization_cost());
+    flipped->AddModule(std::move(g));
+  }
+  Status st = flipped->Validate();
+  PV_CHECK_MSG(st.ok(), st.ToString());
+  return flipped;
+}
+
+std::vector<int> ModulesChangedByFlip(const Workflow& base,
+                                      const std::vector<AttrId>& pq_attrs,
+                                      const Tuple& p, const Tuple& q,
+                                      int64_t max_domain) {
+  std::vector<int> changed;
+  for (int i = 0; i < base.num_modules(); ++i) {
+    const Module& m = base.module(i);
+    PV_CHECK_MSG(m.DomainSize() <= max_domain,
+                 "module too large for flip comparison");
+    MixedRadixCounter counter(m.InputSchema().DomainSizes());
+    bool differs = false;
+    do {
+      Tuple in = counter.values();
+      Tuple flipped_in = FlipTuple(in, m.inputs(), pq_attrs, p, q);
+      Tuple g_out = FlipTuple(m.Eval(flipped_in), m.outputs(), pq_attrs, p, q);
+      if (g_out != m.Eval(in)) {
+        differs = true;
+        break;
+      }
+    } while (counter.Advance());
+    if (differs) changed.push_back(i);
+  }
+  return changed;
+}
+
+}  // namespace provview

@@ -1,0 +1,44 @@
+// The flip construction of Lemma 1 / Definition 7: given two tuples p, q
+// over a target module's attributes I_i ∪ O_i, every module m_j of the
+// workflow is rewritten to g_j = FLIP_{p,q} ∘ m_j ∘ FLIP_{p,q}. When p and
+// q agree on all visible attributes, the rewritten workflow's provenance
+// relation is a possible world of the original view (the heart of Theorem 4
+// / Theorem 8), and the target module maps x = π_I(p) to y = π_O(p).
+//
+// This module makes the construction executable so Theorem 4 can be
+// verified constructively: build the flip workflow, run it, and check the
+// visible projection matches.
+#ifndef PROVVIEW_PRIVACY_FLIP_WORLD_H_
+#define PROVVIEW_PRIVACY_FLIP_WORLD_H_
+
+#include <vector>
+
+#include "workflow/workflow.h"
+
+namespace provview {
+
+/// FLIP_{p,q}(t): for each attribute shared between `t_attrs` and
+/// `pq_attrs`, swaps the value p[a] ↔ q[a]; all other values are unchanged.
+/// p and q are aligned with `pq_attrs`; t with `t_attrs`. Involution.
+Tuple FlipTuple(const Tuple& t, const std::vector<AttrId>& t_attrs,
+                const std::vector<AttrId>& pq_attrs, const Tuple& p,
+                const Tuple& q);
+
+/// Builds the flipped workflow ⟨g_1, ..., g_n⟩ with g_j = FLIP ∘ m_j ∘ FLIP.
+/// The returned workflow references `base`'s modules — `base` must outlive
+/// it. Public/private flags and privatization costs are preserved.
+WorkflowPtr BuildFlipWorkflow(const Workflow& base,
+                              const std::vector<AttrId>& pq_attrs,
+                              const Tuple& p, const Tuple& q);
+
+/// Indices of base modules whose flipped version g_j differs from m_j
+/// (Lemma 7: these are exactly the modules touching hidden attributes of
+/// p/q where p and q disagree; public ones among them must be privatized).
+std::vector<int> ModulesChangedByFlip(const Workflow& base,
+                                      const std::vector<AttrId>& pq_attrs,
+                                      const Tuple& p, const Tuple& q,
+                                      int64_t max_domain = 1 << 16);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_PRIVACY_FLIP_WORLD_H_

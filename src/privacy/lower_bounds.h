@@ -1,0 +1,88 @@
+// Executable versions of the paper's lower-bound constructions
+// (Appendix A):
+//
+//   - Theorem 1 (communication): the set-disjointness gadget. For sets
+//     A, B ⊆ [N], a module with inputs (a, b, id) and output y = a ∧ b,
+//     one row per universe element plus a sentinel row, is 2-private
+//     w.r.t. V = {id, y} iff A ∩ B ≠ ∅. Deciding safety therefore answers
+//     set disjointness, which needs Ω(N) communication.
+//
+//   - Theorem 2 (computation): the UNSAT gadget. For a CNF g over ℓ
+//     variables, the module m(x1..xℓ, y) = ¬g(x) ∧ ¬y is 2-private w.r.t.
+//     V = {x1..xℓ, z} iff g is unsatisfiable — so safety checking on
+//     succinct modules is coNP-hard.
+//
+//   - Theorem 3 (oracle queries): the adversary pair m1/m2. Over ℓ boolean
+//     inputs (ℓ divisible by 4), m1(x) = [#ones(x) ≥ ℓ/4]; m2 additionally
+//     carries a special set A, |A| = ℓ/2, and outputs 1 iff #ones ≥ ℓ/4
+//     AND some 1 lies outside A. Both agree that hidden input sets of size
+//     < ℓ/4 are safe and larger ones unsafe — except that for m2, subsets
+//     of A of size up to ℓ/2 are safe. Telling m1 from m2 needs 2^Ω(ℓ)
+//     oracle queries; we expose the pair so the properties (P1)/(P2) can
+//     be checked empirically against Algorithm 2.
+#ifndef PROVVIEW_PRIVACY_LOWER_BOUNDS_H_
+#define PROVVIEW_PRIVACY_LOWER_BOUNDS_H_
+
+#include <vector>
+
+#include "module/module.h"
+
+namespace provview {
+
+/// CNF formula over boolean variables 0..num_vars-1. Each clause is a list
+/// of literals: +v+1 for variable v, -(v+1) for its negation.
+struct CnfFormula {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clauses;
+
+  /// Evaluates under the given assignment (size num_vars, values 0/1).
+  bool Eval(const std::vector<int32_t>& assignment) const;
+
+  /// Exhaustive satisfiability check (num_vars ≤ 20).
+  bool IsSatisfiable() const;
+};
+
+/// Theorem-1 gadget. The returned handle owns the catalog/module; the
+/// visible set {id, y} is exposed as a bitset.
+struct DisjointnessGadget {
+  CatalogPtr catalog;
+  ModulePtr module;   ///< inputs (a, b, id), output y
+  Bitset64 view;      ///< V = {id, y}
+  Relation relation;  ///< the N+1 rows of Appendix A.1
+};
+
+/// Builds the gadget for A, B ⊆ [0, universe). Safety of `view` for Γ = 2
+/// holds iff A ∩ B ≠ ∅ (Theorem 1's equivalence).
+DisjointnessGadget MakeDisjointnessGadget(int universe,
+                                          const std::vector<int>& a,
+                                          const std::vector<int>& b);
+
+/// Theorem-2 gadget for a CNF g: module m(x, y) = ¬g(x) ∧ ¬y with visible
+/// set V = {x1..xℓ, z}. Safe for Γ = 2 iff g is unsatisfiable.
+struct UnsatGadget {
+  CatalogPtr catalog;
+  ModulePtr module;  ///< inputs (x1..xℓ, y), output z
+  Bitset64 view;     ///< V = {x1..xℓ, z}  (y hidden)
+};
+UnsatGadget MakeUnsatGadget(const CnfFormula& g);
+
+/// Theorem-3 adversary pair over ℓ boolean inputs (ℓ divisible by 4).
+struct AdversaryPair {
+  CatalogPtr catalog;
+  ModulePtr m1;  ///< threshold function
+  ModulePtr m2;  ///< threshold ∧ "some 1 outside A"
+  std::vector<int> special_set;  ///< A (input positions), |A| = ℓ/2
+};
+AdversaryPair MakeAdversaryPair(int num_inputs,
+                                const std::vector<int>& special_set);
+
+/// True iff the view keeping exactly the input positions in
+/// `visible_inputs` (plus the output) visible is safe for Γ = 2 —
+/// convenience for checking properties (P1)/(P2) of the Theorem-3
+/// construction against Algorithm 2.
+bool AdversaryVisibleInputsSafe(const Module& module,
+                                const std::vector<int>& visible_inputs);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_PRIVACY_LOWER_BOUNDS_H_

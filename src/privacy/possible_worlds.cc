@@ -1,0 +1,339 @@
+#include "privacy/possible_worlds.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/combinatorics.h"
+
+namespace provview {
+
+namespace {
+constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+
+int64_t SatMul(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kMax / b) return kMax;
+  return a * b;
+}
+
+// Visible attribute ids of `attrs`, order preserved.
+std::vector<AttrId> VisibleOf(const std::vector<AttrId>& attrs,
+                              const Bitset64& visible) {
+  std::vector<AttrId> out;
+  for (AttrId id : attrs) {
+    if (id < visible.size() && visible.Test(id)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+int64_t StandaloneWorlds::MinOutSize() const {
+  int64_t min_out = kMax;
+  for (const auto& [x, outs] : out_sets) {
+    (void)x;
+    min_out = std::min(min_out, static_cast<int64_t>(outs.size()));
+  }
+  return min_out;
+}
+
+StandaloneWorlds EnumerateStandaloneWorlds(const Relation& rel,
+                                           const std::vector<AttrId>& inputs,
+                                           const std::vector<AttrId>& outputs,
+                                           const Bitset64& visible,
+                                           int64_t max_candidates) {
+  StandaloneWorlds result;
+  const AttributeCatalog& catalog = *rel.schema().catalog();
+
+  // Distinct inputs of R, in a fixed order.
+  std::set<Tuple> input_set;
+  for (const Tuple& row : rel.SortedDistinctRows()) {
+    input_set.insert(rel.ProjectRow(row, inputs));
+  }
+  std::vector<Tuple> xs(input_set.begin(), input_set.end());
+  const int n = static_cast<int>(xs.size());
+  if (n == 0) return result;
+
+  std::vector<int> out_radices;
+  for (AttrId id : outputs) out_radices.push_back(catalog.DomainSize(id));
+  int64_t range = 1;
+  for (int r : out_radices) range = SatMul(range, r);
+  PV_CHECK_MSG(range <= std::numeric_limits<int>::max(),
+               "output range too large for world enumeration");
+
+  int64_t candidates = 1;
+  for (int i = 0; i < n; ++i) candidates = SatMul(candidates, range);
+  PV_CHECK_MSG(candidates <= max_candidates,
+               "standalone world space too large: " << candidates);
+
+  // Target visible projection of R, as a set of (vis_in ++ vis_out) tuples.
+  std::vector<AttrId> vis_in = VisibleOf(inputs, visible);
+  std::vector<AttrId> vis_out = VisibleOf(outputs, visible);
+  // Positions of visible attrs inside the local input/output orderings.
+  std::vector<int> vis_in_pos, vis_out_pos;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (inputs[i] < visible.size() && visible.Test(inputs[i])) {
+      vis_in_pos.push_back(static_cast<int>(i));
+    }
+  }
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    if (outputs[i] < visible.size() && visible.Test(outputs[i])) {
+      vis_out_pos.push_back(static_cast<int>(i));
+    }
+  }
+  auto visible_of = [&](const Tuple& x, const Tuple& y) {
+    Tuple v;
+    v.reserve(vis_in_pos.size() + vis_out_pos.size());
+    for (int p : vis_in_pos) v.push_back(x[static_cast<size_t>(p)]);
+    for (int p : vis_out_pos) v.push_back(y[static_cast<size_t>(p)]);
+    return v;
+  };
+
+  std::set<Tuple> target;
+  for (const Tuple& row : rel.SortedDistinctRows()) {
+    target.insert(visible_of(rel.ProjectRow(row, inputs),
+                             rel.ProjectRow(row, outputs)));
+  }
+
+  // Pre-decode all possible outputs.
+  std::vector<Tuple> decoded(static_cast<size_t>(range));
+  for (int64_t code = 0; code < range; ++code) {
+    decoded[static_cast<size_t>(code)] = DecodeMixedRadix(code, out_radices);
+  }
+
+  // Odometer over the N function slots, each with `range` choices.
+  std::vector<int> slots(static_cast<size_t>(n), static_cast<int>(range));
+  MixedRadixCounter counter(slots);
+  do {
+    std::set<Tuple> projected;
+    for (int i = 0; i < n; ++i) {
+      projected.insert(
+          visible_of(xs[static_cast<size_t>(i)],
+                     decoded[static_cast<size_t>(counter.values()[i])]));
+    }
+    if (projected == target) {
+      ++result.num_worlds;
+      for (int i = 0; i < n; ++i) {
+        result.out_sets[xs[static_cast<size_t>(i)]].insert(
+            decoded[static_cast<size_t>(counter.values()[i])]);
+      }
+    }
+  } while (counter.Advance());
+  return result;
+}
+
+int64_t WorkflowWorlds::MinOutSize(int module_index) const {
+  PV_CHECK(module_index >= 0 &&
+           module_index < static_cast<int>(out_sets.size()));
+  int64_t min_out = kMax;
+  for (const auto& [x, outs] : out_sets[static_cast<size_t>(module_index)]) {
+    (void)x;
+    min_out = std::min(min_out, static_cast<int64_t>(outs.size()));
+  }
+  return min_out;
+}
+
+WorkflowWorlds EnumerateWorkflowWorlds(const Workflow& workflow,
+                                       const Bitset64& visible,
+                                       const std::vector<int>& fixed_modules,
+                                       int64_t max_candidates) {
+  WorkflowWorlds result;
+  const int n = workflow.num_modules();
+  result.out_sets.resize(static_cast<size_t>(n));
+  const AttributeCatalog& catalog = *workflow.catalog();
+
+  std::vector<bool> fixed(static_cast<size_t>(n), false);
+  for (int i : fixed_modules) {
+    PV_CHECK(i >= 0 && i < n);
+    fixed[static_cast<size_t>(i)] = true;
+  }
+
+  // Per-module input/output radices, domain sizes and original tables.
+  std::vector<std::vector<int>> in_radices(static_cast<size_t>(n));
+  std::vector<std::vector<int>> out_radices(static_cast<size_t>(n));
+  std::vector<int64_t> dom_size(static_cast<size_t>(n));
+  std::vector<int64_t> range_size(static_cast<size_t>(n));
+  // original_fn[i][input_code] = output_code.
+  std::vector<std::vector<int>> original_fn(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Module& m = workflow.module(i);
+    for (AttrId id : m.inputs()) {
+      in_radices[static_cast<size_t>(i)].push_back(catalog.DomainSize(id));
+    }
+    for (AttrId id : m.outputs()) {
+      out_radices[static_cast<size_t>(i)].push_back(catalog.DomainSize(id));
+    }
+    dom_size[static_cast<size_t>(i)] = 1;
+    for (int r : in_radices[static_cast<size_t>(i)]) {
+      dom_size[static_cast<size_t>(i)] =
+          SatMul(dom_size[static_cast<size_t>(i)], r);
+    }
+    range_size[static_cast<size_t>(i)] = 1;
+    for (int r : out_radices[static_cast<size_t>(i)]) {
+      range_size[static_cast<size_t>(i)] =
+          SatMul(range_size[static_cast<size_t>(i)], r);
+    }
+    PV_CHECK_MSG(dom_size[static_cast<size_t>(i)] <= (1 << 20) &&
+                     range_size[static_cast<size_t>(i)] <=
+                         std::numeric_limits<int>::max(),
+                 "module " << m.name() << " too large for world enumeration");
+    original_fn[static_cast<size_t>(i)].resize(
+        static_cast<size_t>(dom_size[static_cast<size_t>(i)]));
+    MixedRadixCounter dom_counter(in_radices[static_cast<size_t>(i)]);
+    int64_t code = 0;
+    do {
+      Tuple out = m.Eval(dom_counter.values());
+      original_fn[static_cast<size_t>(i)][static_cast<size_t>(code)] =
+          static_cast<int>(
+              EncodeMixedRadix(out, out_radices[static_cast<size_t>(i)]));
+      ++code;
+    } while (dom_counter.Advance());
+  }
+
+  // Joint candidate space: one slot per (free module, domain point).
+  std::vector<int> slots;
+  // slot_owner[s] = module index; slot_input[s] = domain code.
+  std::vector<int> slot_owner, slot_input;
+  int64_t joint = 1;
+  for (int i = 0; i < n; ++i) {
+    if (fixed[static_cast<size_t>(i)]) continue;
+    for (int64_t d = 0; d < dom_size[static_cast<size_t>(i)]; ++d) {
+      slots.push_back(static_cast<int>(range_size[static_cast<size_t>(i)]));
+      slot_owner.push_back(i);
+      slot_input.push_back(static_cast<int>(d));
+      joint = SatMul(joint, range_size[static_cast<size_t>(i)]);
+    }
+  }
+  PV_CHECK_MSG(joint <= max_candidates,
+               "workflow world space too large: " << joint);
+
+  // slot_of[i][d] = slot index for free module i, domain code d.
+  std::vector<std::vector<int>> slot_of(static_cast<size_t>(n));
+  for (size_t s = 0; s < slot_owner.size(); ++s) {
+    auto& v = slot_of[static_cast<size_t>(slot_owner[s])];
+    if (v.empty()) {
+      v.resize(static_cast<size_t>(
+          dom_size[static_cast<size_t>(slot_owner[s])]));
+    }
+    v[static_cast<size_t>(slot_input[s])] = static_cast<int>(s);
+  }
+
+  // Original provenance relation, target visible projection, and the set of
+  // original inputs per module (the x's whose OUT sets Definition 5 tracks).
+  Relation prov = workflow.ProvenanceRelation();
+  std::vector<AttrId> prov_ids = workflow.ProvenanceAttrIds();
+  std::vector<int> visible_pos;  // positions of visible attrs in prov rows
+  for (size_t p = 0; p < prov_ids.size(); ++p) {
+    if (prov_ids[p] < visible.size() && visible.Test(prov_ids[p])) {
+      visible_pos.push_back(static_cast<int>(p));
+    }
+  }
+  auto project_visible = [&](const Tuple& row) {
+    Tuple v;
+    v.reserve(visible_pos.size());
+    for (int p : visible_pos) v.push_back(row[static_cast<size_t>(p)]);
+    return v;
+  };
+  std::set<Tuple> target;
+  for (const Tuple& row : prov.rows()) target.insert(project_visible(row));
+
+  std::vector<std::set<Tuple>> original_inputs(static_cast<size_t>(n));
+  for (const Tuple& row : prov.rows()) {
+    for (int i = 0; i < n; ++i) {
+      original_inputs[static_cast<size_t>(i)].insert(
+          prov.ProjectRow(row, workflow.module(i).inputs()));
+    }
+  }
+
+  // Initial inputs of the original relation (all combinations — the
+  // provenance relation above is total).
+  std::vector<int> init_radices;
+  for (AttrId id : workflow.initial_input_ids()) {
+    init_radices.push_back(catalog.DomainSize(id));
+  }
+
+  // Attribute id -> position in the provenance row.
+  std::vector<int> pos_of_attr(static_cast<size_t>(catalog.size()), -1);
+  for (size_t p = 0; p < prov_ids.size(); ++p) {
+    pos_of_attr[static_cast<size_t>(prov_ids[p])] = static_cast<int>(p);
+  }
+
+  std::set<std::vector<Tuple>> distinct_relations;
+
+  MixedRadixCounter fn_counter(slots);
+  do {
+    // Execute the workflow under the current joint function choice on every
+    // initial input; build the candidate relation.
+    std::vector<Tuple> candidate_rows;
+    MixedRadixCounter init_counter(init_radices);
+    do {
+      std::vector<Value> values(static_cast<size_t>(catalog.size()), -1);
+      const auto& init_ids = workflow.initial_input_ids();
+      for (size_t i = 0; i < init_ids.size(); ++i) {
+        values[static_cast<size_t>(init_ids[i])] = init_counter.values()[i];
+      }
+      for (int mi : workflow.topo_order()) {
+        const Module& m = workflow.module(mi);
+        Tuple in;
+        in.reserve(m.inputs().size());
+        for (AttrId id : m.inputs()) in.push_back(values[static_cast<size_t>(id)]);
+        int64_t in_code =
+            EncodeMixedRadix(in, in_radices[static_cast<size_t>(mi)]);
+        int out_code;
+        if (fixed[static_cast<size_t>(mi)]) {
+          out_code =
+              original_fn[static_cast<size_t>(mi)][static_cast<size_t>(in_code)];
+        } else {
+          int slot = slot_of[static_cast<size_t>(mi)]
+                            [static_cast<size_t>(in_code)];
+          out_code = fn_counter.values()[static_cast<size_t>(slot)];
+        }
+        Tuple out = DecodeMixedRadix(out_code,
+                                     out_radices[static_cast<size_t>(mi)]);
+        for (size_t oi = 0; oi < m.outputs().size(); ++oi) {
+          values[static_cast<size_t>(m.outputs()[oi])] = out[oi];
+        }
+      }
+      Tuple row;
+      row.reserve(prov_ids.size());
+      for (AttrId id : prov_ids) row.push_back(values[static_cast<size_t>(id)]);
+      candidate_rows.push_back(std::move(row));
+    } while (init_counter.Advance());
+
+    std::set<Tuple> projected;
+    for (const Tuple& row : candidate_rows) projected.insert(project_visible(row));
+    if (projected != target) continue;
+
+    ++result.num_function_choices;
+    std::sort(candidate_rows.begin(), candidate_rows.end());
+    candidate_rows.erase(
+        std::unique(candidate_rows.begin(), candidate_rows.end()),
+        candidate_rows.end());
+    distinct_relations.insert(candidate_rows);
+
+    // Record OUT sets: the world asserts g_i(x) for every original input x.
+    for (int i = 0; i < n; ++i) {
+      for (const Tuple& x : original_inputs[static_cast<size_t>(i)]) {
+        int64_t in_code =
+            EncodeMixedRadix(x, in_radices[static_cast<size_t>(i)]);
+        int out_code;
+        if (fixed[static_cast<size_t>(i)]) {
+          out_code =
+              original_fn[static_cast<size_t>(i)][static_cast<size_t>(in_code)];
+        } else {
+          int slot =
+              slot_of[static_cast<size_t>(i)][static_cast<size_t>(in_code)];
+          out_code = fn_counter.values()[static_cast<size_t>(slot)];
+        }
+        result.out_sets[static_cast<size_t>(i)][x].insert(
+            DecodeMixedRadix(out_code, out_radices[static_cast<size_t>(i)]));
+      }
+    }
+  } while (fn_counter.Advance());
+
+  result.num_distinct_relations =
+      static_cast<int64_t>(distinct_relations.size());
+  return result;
+}
+
+}  // namespace provview

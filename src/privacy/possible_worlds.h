@@ -1,0 +1,70 @@
+// Brute-force possible-worlds enumeration (Definitions 1, 4). This is the
+// library's ground truth: it enumerates candidate relations explicitly and
+// computes OUT sets from first principles, with no reliance on the paper's
+// counting shortcuts. Exponential — usable only on tiny modules/workflows —
+// and cross-checked against the fast Algorithm-2 checker by the test suite.
+#ifndef PROVVIEW_PRIVACY_POSSIBLE_WORLDS_H_
+#define PROVVIEW_PRIVACY_POSSIBLE_WORLDS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "workflow/workflow.h"
+
+namespace provview {
+
+/// Result of enumerating Worlds(R, V) for a standalone module.
+struct StandaloneWorlds {
+  /// Number of candidate functions on π_I(R) consistent with the view.
+  int64_t num_worlds = 0;
+  /// OUT_{x,m} per input x (keys aligned with the module's input list).
+  std::map<Tuple, std::set<Tuple>> out_sets;
+
+  /// min_x |OUT_{x,m}| — the exact largest safe Γ. INT64_MAX when no input.
+  int64_t MinOutSize() const;
+};
+
+/// Enumerates every total function f from π_I(R) into Range whose induced
+/// relation projects onto V exactly like R does, i.e. all members of
+/// Worlds(R, V) that keep R's input set. (By the flip construction these
+/// realize every achievable OUT value; see standalone_privacy.h.)
+/// Aborts if the candidate space |Range|^N exceeds `max_candidates`.
+StandaloneWorlds EnumerateStandaloneWorlds(const Relation& rel,
+                                           const std::vector<AttrId>& inputs,
+                                           const std::vector<AttrId>& outputs,
+                                           const Bitset64& visible,
+                                           int64_t max_candidates = 40000000);
+
+/// Result of enumerating functional worlds of a workflow.
+struct WorkflowWorlds {
+  /// Distinct provenance relations among consistent worlds (counted up to
+  /// row-set equality; Proposition 2 compares this with the standalone
+  /// world count).
+  int64_t num_distinct_relations = 0;
+  /// Number of consistent joint function choices (≥ num_distinct_relations).
+  int64_t num_function_choices = 0;
+  /// out_sets[i][x] = OUT_{x,W} restricted to functional worlds, for module
+  /// index i and module-i input x.
+  std::vector<std::map<Tuple, std::set<Tuple>>> out_sets;
+
+  /// min over private-module inputs of |OUT| for a given module index.
+  int64_t MinOutSize(int module_index) const;
+};
+
+/// Enumerates joint choices of total functions (g_1, ..., g_n) — keeping
+/// g_i = m_i for every module index in `fixed_modules` (Definition 4's
+/// public-module constraint) — runs the workflow on every initial input of
+/// the original provenance relation, and keeps the worlds whose visible
+/// projection matches. OUT sets are recorded for every module.
+/// The joint candidate space ∏ |Range_i|^{|Dom_i|} must not exceed
+/// `max_candidates`.
+WorkflowWorlds EnumerateWorkflowWorlds(const Workflow& workflow,
+                                       const Bitset64& visible,
+                                       const std::vector<int>& fixed_modules,
+                                       int64_t max_candidates = 40000000);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_PRIVACY_POSSIBLE_WORLDS_H_

@@ -1,0 +1,159 @@
+#include "privacy/safe_subset_search.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/combinatorics.h"
+#include "privacy/standalone_privacy.h"
+
+namespace provview {
+
+namespace {
+
+// Local view of the module's attributes: inputs followed by outputs.
+std::vector<AttrId> LocalAttrs(const std::vector<AttrId>& inputs,
+                               const std::vector<AttrId>& outputs) {
+  std::vector<AttrId> attrs = inputs;
+  attrs.insert(attrs.end(), outputs.begin(), outputs.end());
+  return attrs;
+}
+
+}  // namespace
+
+std::vector<Bitset64> MinimalSafeHiddenSets(const Relation& rel,
+                                            const std::vector<AttrId>& inputs,
+                                            const std::vector<AttrId>& outputs,
+                                            int64_t gamma,
+                                            SafeSearchStats* stats) {
+  const std::vector<AttrId> attrs = LocalAttrs(inputs, outputs);
+  const int k = static_cast<int>(attrs.size());
+  PV_CHECK_MSG(k <= 20, "subset search limited to k <= 20, got " << k);
+  const int universe = rel.schema().catalog()->size();
+
+  SafeSearchStats local_stats;
+  std::vector<Bitset64> minimal;
+  // Enumerate by increasing cardinality; a candidate containing a known
+  // minimal safe set is safe-but-not-minimal and is skipped (Prop. 1).
+  for (int size = 0; size <= k; ++size) {
+    for (const Bitset64& combo : SubsetsOfSize(k, size)) {
+      ++local_stats.subsets_examined;
+      Bitset64 hidden(universe);
+      for (int local : combo.ToVector()) {
+        hidden.Set(attrs[static_cast<size_t>(local)]);
+      }
+      bool dominated = false;
+      for (const Bitset64& m : minimal) {
+        if (m.IsSubsetOf(hidden)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      ++local_stats.checker_calls;
+      if (IsStandaloneSafe(rel, inputs, outputs, hidden.Complement(), gamma)) {
+        minimal.push_back(hidden);
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return minimal;
+}
+
+MinCostSafeResult MinCostSafeHiddenSet(const Relation& rel,
+                                       const std::vector<AttrId>& inputs,
+                                       const std::vector<AttrId>& outputs,
+                                       int64_t gamma) {
+  MinCostSafeResult result;
+  const AttributeCatalog& catalog = *rel.schema().catalog();
+  std::vector<Bitset64> minimal =
+      MinimalSafeHiddenSets(rel, inputs, outputs, gamma, &result.stats);
+  double best = std::numeric_limits<double>::infinity();
+  for (const Bitset64& hidden : minimal) {
+    double cost = 0.0;
+    for (AttrId id : hidden.ToVector()) cost += catalog.Cost(id);
+    if (cost < best) {
+      best = cost;
+      result.hidden = hidden;
+      result.found = true;
+    }
+  }
+  if (result.found) result.cost = best;
+  return result;
+}
+
+std::vector<Bitset64> MinimalSafeHiddenSets(const Module& module,
+                                            int64_t gamma,
+                                            SafeSearchStats* stats) {
+  return MinimalSafeHiddenSets(module.FullRelation(), module.inputs(),
+                               module.outputs(), gamma, stats);
+}
+
+MinCostSafeResult MinCostSafeHiddenSet(const Module& module, int64_t gamma) {
+  return MinCostSafeHiddenSet(module.FullRelation(), module.inputs(),
+                              module.outputs(), gamma);
+}
+
+std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
+    const Relation& rel, const std::vector<AttrId>& inputs,
+    const std::vector<AttrId>& outputs, int64_t gamma) {
+  const int ni = static_cast<int>(inputs.size());
+  const int no = static_cast<int>(outputs.size());
+  PV_CHECK_MSG(ni + no <= 20, "cardinality search limited to k <= 20");
+  const int universe = rel.schema().catalog()->size();
+
+  // safe_all[a][b] = every subset hiding exactly a inputs and b outputs is
+  // safe. Initialize to true and AND over all subsets.
+  std::vector<std::vector<bool>> safe_all(
+      static_cast<size_t>(ni + 1),
+      std::vector<bool>(static_cast<size_t>(no + 1), true));
+  for (int a = 0; a <= ni; ++a) {
+    for (const Bitset64& in_combo : SubsetsOfSize(ni, a)) {
+      for (int b = 0; b <= no; ++b) {
+        if (!safe_all[static_cast<size_t>(a)][static_cast<size_t>(b)]) {
+          continue;
+        }
+        for (const Bitset64& out_combo : SubsetsOfSize(no, b)) {
+          Bitset64 hidden(universe);
+          for (int local : in_combo.ToVector()) {
+            hidden.Set(inputs[static_cast<size_t>(local)]);
+          }
+          for (int local : out_combo.ToVector()) {
+            hidden.Set(outputs[static_cast<size_t>(local)]);
+          }
+          if (!IsStandaloneSafe(rel, inputs, outputs, hidden.Complement(),
+                                gamma)) {
+            safe_all[static_cast<size_t>(a)][static_cast<size_t>(b)] = false;
+            break;
+          }
+        }
+      }
+    }
+  }
+  // Monotonicity cleanup: (a,b) safe requires... note safety of every
+  // subset at (a,b) implies it at (a+1,b) and (a,b+1) by Prop. 1, so the
+  // computed table is automatically upward closed; extract the minimal
+  // frontier.
+  std::vector<CardinalityPair> frontier;
+  for (int a = 0; a <= ni; ++a) {
+    for (int b = 0; b <= no; ++b) {
+      if (!safe_all[static_cast<size_t>(a)][static_cast<size_t>(b)]) continue;
+      bool minimal = true;
+      if (a > 0 && safe_all[static_cast<size_t>(a - 1)][static_cast<size_t>(b)]) {
+        minimal = false;
+      }
+      if (b > 0 && safe_all[static_cast<size_t>(a)][static_cast<size_t>(b - 1)]) {
+        minimal = false;
+      }
+      if (minimal) frontier.push_back(CardinalityPair{a, b});
+    }
+  }
+  return frontier;
+}
+
+std::vector<CardinalityPair> MinimalSafeCardinalityPairs(const Module& module,
+                                                         int64_t gamma) {
+  return MinimalSafeCardinalityPairs(module.FullRelation(), module.inputs(),
+                                     module.outputs(), gamma);
+}
+
+}  // namespace provview

@@ -1,0 +1,81 @@
+// Standalone Secure-View search (§3): enumerate hidden attribute subsets of
+// a single module and find (a) the minimum-cost safe one, (b) the antichain
+// of minimal safe subsets, and (c) the minimal safe cardinality pairs.
+// These searches are exponential in k = |I| + |O| — exactly the complexity
+// the paper proves unavoidable (Theorems 1–3) — but k is small in practice
+// (§3.2 Remarks), and the outputs are the building blocks of the workflow
+// Secure-View problem: (b) yields the set-constraint lists L_i and (c) the
+// cardinality-constraint lists of §4.2.
+#ifndef PROVVIEW_PRIVACY_SAFE_SUBSET_SEARCH_H_
+#define PROVVIEW_PRIVACY_SAFE_SUBSET_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "module/module.h"
+
+namespace provview {
+
+/// Instrumentation of a subset search.
+struct SafeSearchStats {
+  int64_t subsets_examined = 0;  ///< candidate subsets considered
+  int64_t checker_calls = 0;     ///< Algorithm-2 safety tests actually run
+};
+
+/// Result of the minimum-cost search.
+struct MinCostSafeResult {
+  bool found = false;
+  Bitset64 hidden;  ///< minimum-cost safe hidden subset (over the catalog)
+  double cost = 0.0;
+  SafeSearchStats stats;
+};
+
+/// All minimal (w.r.t. set inclusion) safe hidden subsets of the module's
+/// attributes for privacy level `gamma`. By Proposition 1 safety is
+/// monotone under adding hidden attributes, so these minimal sets describe
+/// the full safe family. k = |I|+|O| must be ≤ 20.
+std::vector<Bitset64> MinimalSafeHiddenSets(const Relation& rel,
+                                            const std::vector<AttrId>& inputs,
+                                            const std::vector<AttrId>& outputs,
+                                            int64_t gamma,
+                                            SafeSearchStats* stats = nullptr);
+
+/// Minimum-cost safe hidden subset using catalog attribute costs. With
+/// non-negative costs the optimum is attained at a minimal safe subset.
+MinCostSafeResult MinCostSafeHiddenSet(const Relation& rel,
+                                       const std::vector<AttrId>& inputs,
+                                       const std::vector<AttrId>& outputs,
+                                       int64_t gamma);
+
+/// Convenience overloads over a module's full relation.
+std::vector<Bitset64> MinimalSafeHiddenSets(const Module& module,
+                                            int64_t gamma,
+                                            SafeSearchStats* stats = nullptr);
+MinCostSafeResult MinCostSafeHiddenSet(const Module& module, int64_t gamma);
+
+/// A cardinality requirement pair (α, β): hiding ANY α inputs and β outputs
+/// of the module is safe (§4.2, cardinality constraints).
+struct CardinalityPair {
+  int alpha = 0;
+  int beta = 0;
+  bool operator==(const CardinalityPair& o) const {
+    return alpha == o.alpha && beta == o.beta;
+  }
+};
+
+/// The minimal frontier of safe cardinality pairs for the module: all
+/// pairs (α, β) such that every subset hiding exactly α inputs and β
+/// outputs is safe for `gamma`, minimized coordinatewise (the list L_i the
+/// paper's cardinality-constraint Secure-View instances carry; e.g. a
+/// one-one k-bit module with Γ = 2^k yields {(k,0), (0,k)}, Example 6).
+/// Returns an empty list when not even hiding everything is safe.
+std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
+    const Relation& rel, const std::vector<AttrId>& inputs,
+    const std::vector<AttrId>& outputs, int64_t gamma);
+
+std::vector<CardinalityPair> MinimalSafeCardinalityPairs(const Module& module,
+                                                         int64_t gamma);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_PRIVACY_SAFE_SUBSET_SEARCH_H_

@@ -1,0 +1,160 @@
+#include "privacy/standalone_privacy.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "common/combinatorics.h"
+
+namespace provview {
+
+namespace {
+
+constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+
+int64_t SatMul(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kMax / b) return kMax;
+  return a * b;
+}
+
+// Splits `attrs` into (visible, hidden) sublists preserving order.
+void SplitByVisibility(const std::vector<AttrId>& attrs,
+                       const Bitset64& visible, std::vector<AttrId>* vis,
+                       std::vector<AttrId>* hid) {
+  for (AttrId id : attrs) {
+    bool v = id < visible.size() && visible.Test(id);
+    (v ? vis : hid)->push_back(id);
+  }
+}
+
+// ∏ |Δ_a| over `attrs` (saturating).
+int64_t DomainProduct(const AttributeCatalog& catalog,
+                      const std::vector<AttrId>& attrs) {
+  int64_t prod = 1;
+  for (AttrId id : attrs) prod = SatMul(prod, catalog.DomainSize(id));
+  return prod;
+}
+
+}  // namespace
+
+int64_t MaxStandaloneGamma(const Relation& rel,
+                           const std::vector<AttrId>& inputs,
+                           const std::vector<AttrId>& outputs,
+                           const Bitset64& visible) {
+  if (rel.empty()) return kMax;
+  const AttributeCatalog& catalog = *rel.schema().catalog();
+  std::vector<AttrId> vis_in, hid_in, vis_out, hid_out;
+  SplitByVisibility(inputs, visible, &vis_in, &hid_in);
+  SplitByVisibility(outputs, visible, &vis_out, &hid_out);
+  const int64_t hidden_ext = DomainProduct(catalog, hid_out);
+
+  // Distinct visible-output values per visible-input group.
+  std::map<Tuple, std::set<Tuple>> groups;
+  for (const Tuple& row : rel.SortedDistinctRows()) {
+    groups[rel.ProjectRow(row, vis_in)].insert(rel.ProjectRow(row, vis_out));
+  }
+  int64_t min_out = kMax;
+  for (const auto& [key, vis_outputs] : groups) {
+    (void)key;
+    min_out = std::min(
+        min_out,
+        SatMul(static_cast<int64_t>(vis_outputs.size()), hidden_ext));
+  }
+  return min_out;
+}
+
+bool IsStandaloneSafe(const Relation& rel, const std::vector<AttrId>& inputs,
+                      const std::vector<AttrId>& outputs,
+                      const Bitset64& visible, int64_t gamma) {
+  PV_CHECK_MSG(gamma >= 1, "gamma must be >= 1");
+  return MaxStandaloneGamma(rel, inputs, outputs, visible) >= gamma;
+}
+
+int64_t MaxStandaloneGamma(const Module& module, const Bitset64& visible) {
+  return MaxStandaloneGamma(module.FullRelation(), module.inputs(),
+                            module.outputs(), visible);
+}
+
+bool IsStandaloneSafe(const Module& module, const Bitset64& visible,
+                      int64_t gamma) {
+  return IsStandaloneSafe(module.FullRelation(), module.inputs(),
+                          module.outputs(), visible, gamma);
+}
+
+int64_t OutSetSize(const Relation& rel, const std::vector<AttrId>& inputs,
+                   const std::vector<AttrId>& outputs, const Bitset64& visible,
+                   const Tuple& x) {
+  PV_CHECK_MSG(x.size() == inputs.size(), "input arity mismatch");
+  const AttributeCatalog& catalog = *rel.schema().catalog();
+  std::vector<AttrId> vis_in, hid_in, vis_out, hid_out;
+  SplitByVisibility(inputs, visible, &vis_in, &hid_in);
+  SplitByVisibility(outputs, visible, &vis_out, &hid_out);
+  const int64_t hidden_ext = DomainProduct(catalog, hid_out);
+
+  // Visible part of x: project by position within `inputs`.
+  Tuple x_vis;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    AttrId id = inputs[i];
+    if (id < visible.size() && visible.Test(id)) x_vis.push_back(x[i]);
+  }
+  std::set<Tuple> vis_outputs;
+  for (const Tuple& row : rel.SortedDistinctRows()) {
+    if (rel.ProjectRow(row, vis_in) == x_vis) {
+      vis_outputs.insert(rel.ProjectRow(row, vis_out));
+    }
+  }
+  return SatMul(static_cast<int64_t>(vis_outputs.size()), hidden_ext);
+}
+
+std::vector<Tuple> OutSet(const Relation& rel,
+                          const std::vector<AttrId>& inputs,
+                          const std::vector<AttrId>& outputs,
+                          const Bitset64& visible, const Tuple& x,
+                          int64_t max_results) {
+  PV_CHECK_MSG(OutSetSize(rel, inputs, outputs, visible, x) <= max_results,
+               "OUT set too large to materialize");
+  const AttributeCatalog& catalog = *rel.schema().catalog();
+  std::vector<AttrId> vis_in, hid_in, vis_out, hid_out;
+  SplitByVisibility(inputs, visible, &vis_in, &hid_in);
+  SplitByVisibility(outputs, visible, &vis_out, &hid_out);
+
+  Tuple x_vis;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    AttrId id = inputs[i];
+    if (id < visible.size() && visible.Test(id)) x_vis.push_back(x[i]);
+  }
+  // Distinct visible-output stubs compatible with x.
+  std::set<Tuple> stubs;
+  for (const Tuple& row : rel.SortedDistinctRows()) {
+    if (rel.ProjectRow(row, vis_in) == x_vis) {
+      stubs.insert(rel.ProjectRow(row, vis_out));
+    }
+  }
+  // Extend each stub over the hidden outputs in every possible way,
+  // assembling full outputs aligned with `outputs`.
+  std::vector<int> hidden_radices;
+  for (AttrId id : hid_out) hidden_radices.push_back(catalog.DomainSize(id));
+
+  std::set<Tuple> result;
+  for (const Tuple& stub : stubs) {
+    MixedRadixCounter counter(hidden_radices);
+    do {
+      Tuple y(outputs.size());
+      size_t vi = 0, hi = 0;
+      for (size_t oi = 0; oi < outputs.size(); ++oi) {
+        AttrId id = outputs[oi];
+        if (id < visible.size() && visible.Test(id)) {
+          y[oi] = stub[vi++];
+        } else {
+          y[oi] = counter.values()[hi++];
+        }
+      }
+      result.insert(std::move(y));
+    } while (counter.Advance());
+  }
+  return std::vector<Tuple>(result.begin(), result.end());
+}
+
+}  // namespace provview

@@ -1,0 +1,59 @@
+// Standalone module privacy (§2.2, §3): Γ-standalone-privacy of a module m
+// w.r.t. a visible attribute set V requires |OUT_{x,m}| ≥ Γ for every input
+// x ∈ π_I(R), where OUT_{x,m} are the outputs y consistent with some
+// possible world of the view π_V(R).
+//
+// This header implements the paper's Algorithm 2 test: V is safe iff every
+// visible-input group of R contains at least Γ / ∏_{a∈O\V}|Δ_a| distinct
+// visible-output values — each such value extends to ∏_{a∈O\V}|Δ_a| full
+// outputs by Lemma 2 + the flip construction. The test is exact (necessary
+// and sufficient; §3.2, Appendix A.4) and runs in O(N log N) per call after
+// materializing R.
+#ifndef PROVVIEW_PRIVACY_STANDALONE_PRIVACY_H_
+#define PROVVIEW_PRIVACY_STANDALONE_PRIVACY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "module/module.h"
+#include "relation/relation.h"
+
+namespace provview {
+
+/// The largest Γ for which `visible` is safe for the module relation `rel`
+/// (schema: `inputs` then `outputs`; rows deduplicated internally):
+///   min over inputs x of |OUT_{x,m}|  (saturating at INT64_MAX).
+/// `visible` is a set over the catalog universe; attributes of the module
+/// outside `visible` are hidden. An empty relation yields INT64_MAX.
+int64_t MaxStandaloneGamma(const Relation& rel,
+                           const std::vector<AttrId>& inputs,
+                           const std::vector<AttrId>& outputs,
+                           const Bitset64& visible);
+
+/// Algorithm-2 safety test: true iff m is Γ-standalone-private w.r.t.
+/// `visible` (Definition 2).
+bool IsStandaloneSafe(const Relation& rel, const std::vector<AttrId>& inputs,
+                      const std::vector<AttrId>& outputs,
+                      const Bitset64& visible, int64_t gamma);
+
+/// Convenience overloads materializing the module's full relation.
+int64_t MaxStandaloneGamma(const Module& module, const Bitset64& visible);
+bool IsStandaloneSafe(const Module& module, const Bitset64& visible,
+                      int64_t gamma);
+
+/// |OUT_{x,m}| for one specific input x (x aligned with `inputs`).
+int64_t OutSetSize(const Relation& rel, const std::vector<AttrId>& inputs,
+                   const std::vector<AttrId>& outputs, const Bitset64& visible,
+                   const Tuple& x);
+
+/// Materializes OUT_{x,m} explicitly (outputs aligned with `outputs`).
+/// Intended for small hidden-output spaces; guarded by `max_results`.
+std::vector<Tuple> OutSet(const Relation& rel,
+                          const std::vector<AttrId>& inputs,
+                          const std::vector<AttrId>& outputs,
+                          const Bitset64& visible, const Tuple& x,
+                          int64_t max_results = 1 << 20);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_PRIVACY_STANDALONE_PRIVACY_H_

@@ -1,0 +1,89 @@
+#include "privacy/workflow_privacy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "privacy/possible_worlds.h"
+#include "privacy/standalone_privacy.h"
+
+namespace provview {
+
+ComposedSolution ComposeStandaloneSolutions(
+    const Workflow& workflow,
+    const std::vector<Bitset64>& hidden_per_private_module) {
+  std::vector<int> private_modules = workflow.PrivateModuleIndices();
+  PV_CHECK_MSG(hidden_per_private_module.size() == private_modules.size(),
+               "one hidden set per private module expected");
+  ComposedSolution out;
+  out.hidden = Bitset64(workflow.catalog()->size());
+  for (size_t i = 0; i < private_modules.size(); ++i) {
+    const Module& m = workflow.module(private_modules[i]);
+    PV_CHECK_MSG(hidden_per_private_module[i].IsSubsetOf(m.AttrSet()),
+                 "hidden set for " << m.name()
+                                   << " must stay within its attributes");
+    out.hidden |= hidden_per_private_module[i];
+  }
+  out.attr_cost = workflow.AttrCost(out.hidden);
+  for (int pi : workflow.PublicModuleIndices()) {
+    const Module& m = workflow.module(pi);
+    if (m.AttrSet().Intersects(out.hidden)) {
+      out.privatized_modules.push_back(pi);
+      out.privatization_cost += m.privatization_cost();
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> PerModuleStandaloneGamma(const Workflow& workflow,
+                                              const Bitset64& hidden) {
+  std::vector<int64_t> gammas;
+  gammas.reserve(static_cast<size_t>(workflow.num_modules()));
+  Bitset64 visible = hidden.Complement();
+  for (int i = 0; i < workflow.num_modules(); ++i) {
+    const Module& m = workflow.module(i);
+    if (m.is_public()) {
+      gammas.push_back(std::numeric_limits<int64_t>::max());
+    } else {
+      gammas.push_back(MaxStandaloneGamma(m, visible));
+    }
+  }
+  return gammas;
+}
+
+PrivacyCertificate CertifyWorkflowPrivacy(const Workflow& workflow,
+                                          const Bitset64& hidden,
+                                          int64_t gamma) {
+  PrivacyCertificate cert;
+  cert.module_gammas = PerModuleStandaloneGamma(workflow, hidden);
+  cert.certified = true;
+  for (int i = 0; i < workflow.num_modules(); ++i) {
+    const Module& m = workflow.module(i);
+    if (!m.is_public() &&
+        cert.module_gammas[static_cast<size_t>(i)] < gamma) {
+      cert.certified = false;
+    }
+    if (m.is_public() && m.AttrSet().Intersects(hidden)) {
+      cert.required_privatizations.push_back(i);
+    }
+  }
+  return cert;
+}
+
+int64_t GroundTruthWorkflowGamma(const Workflow& workflow,
+                                 const Bitset64& hidden,
+                                 const std::vector<int>& visible_public_modules,
+                                 int64_t max_candidates) {
+  for (int i : visible_public_modules) {
+    PV_CHECK_MSG(workflow.module(i).is_public(),
+                 "module " << i << " is not public");
+  }
+  WorkflowWorlds worlds = EnumerateWorkflowWorlds(
+      workflow, hidden.Complement(), visible_public_modules, max_candidates);
+  int64_t min_gamma = std::numeric_limits<int64_t>::max();
+  for (int i : workflow.PrivateModuleIndices()) {
+    min_gamma = std::min(min_gamma, worlds.MinOutSize(i));
+  }
+  return min_gamma;
+}
+
+}  // namespace provview

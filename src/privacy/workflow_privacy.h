@@ -1,0 +1,72 @@
+// Workflow-level privacy guarantees assembled from standalone guarantees:
+//   Theorem 4 (all-private): if each private module m_i is Γ-standalone-
+//   private w.r.t. V_i, the workflow is Γ-private w.r.t. V with V̄ = ∪ V̄_i.
+//   Theorem 8 (general): additionally privatize every public module with a
+//   hidden adjacent attribute; the remaining (visible) public modules keep
+//   all attributes visible.
+// This header provides certification (sufficient-condition checking), the
+// composed solution assembly, and a ground-truth Γ computed by brute-force
+// world enumeration for tiny workflows.
+#ifndef PROVVIEW_PRIVACY_WORKFLOW_PRIVACY_H_
+#define PROVVIEW_PRIVACY_WORKFLOW_PRIVACY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workflow/workflow.h"
+
+namespace provview {
+
+/// A composed Secure-View solution for a workflow (§5.2 cost model: hidden
+/// attributes pay c(a), privatized public modules pay c(m)).
+struct ComposedSolution {
+  Bitset64 hidden;                        ///< V̄, over the catalog
+  std::vector<int> privatized_modules;    ///< P̄ (indices of hidden publics)
+  double attr_cost = 0.0;
+  double privatization_cost = 0.0;
+  double total_cost() const { return attr_cost + privatization_cost; }
+};
+
+/// Theorem 4 / 8 assembly: unions per-private-module hidden sets (aligned
+/// with workflow.PrivateModuleIndices()) and privatizes every public module
+/// with a hidden input or output attribute.
+ComposedSolution ComposeStandaloneSolutions(
+    const Workflow& workflow,
+    const std::vector<Bitset64>& hidden_per_private_module);
+
+/// Largest Γ for which each module is standalone-private w.r.t. the visible
+/// attributes induced by `hidden` (entry i corresponds to module index i;
+/// public modules get INT64_MAX since they carry no privacy requirement).
+std::vector<int64_t> PerModuleStandaloneGamma(const Workflow& workflow,
+                                              const Bitset64& hidden);
+
+/// Certificate produced by CertifyWorkflowPrivacy.
+struct PrivacyCertificate {
+  bool certified = false;             ///< all private modules reach Γ
+  std::vector<int64_t> module_gammas; ///< per module standalone Γ
+  /// Public modules that must be privatized for the Thm-8 argument to apply
+  /// (those with a hidden adjacent attribute).
+  std::vector<int> required_privatizations;
+};
+
+/// Sufficient-condition certification of Γ-workflow-privacy for a hidden
+/// attribute set: every private module must be Γ-standalone-private w.r.t.
+/// its local visible attributes (Theorems 4/8). Sound but — only in the
+/// presence of public modules kept visible — not complete.
+PrivacyCertificate CertifyWorkflowPrivacy(const Workflow& workflow,
+                                          const Bitset64& hidden,
+                                          int64_t gamma);
+
+/// Ground truth via brute-force world enumeration (tiny workflows only):
+/// min over private modules and their original inputs of |OUT_{x,W}|, with
+/// the public modules in `visible_public_modules` held fixed (Definition 4)
+/// and all other modules free. The workflow is Γ-private iff the returned
+/// value is ≥ Γ.
+int64_t GroundTruthWorkflowGamma(const Workflow& workflow,
+                                 const Bitset64& hidden,
+                                 const std::vector<int>& visible_public_modules,
+                                 int64_t max_candidates = 40000000);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_PRIVACY_WORKFLOW_PRIVACY_H_

@@ -1,0 +1,124 @@
+#include "reductions/label_cover.h"
+
+#include <algorithm>
+#include <set>
+
+namespace provview {
+
+LabelCoverInstance RandomLabelCover(int num_left, int num_right,
+                                    int num_labels, int num_edges,
+                                    int extra_pairs, Rng* rng) {
+  PV_CHECK(num_left >= 1 && num_right >= 1 && num_labels >= 1);
+  const int max_edges = num_left * num_right;
+  num_edges = std::min(num_edges, max_edges);
+  LabelCoverInstance inst;
+  inst.num_left = num_left;
+  inst.num_right = num_right;
+  inst.num_labels = num_labels;
+
+  // Planted labeling: one label per vertex.
+  std::vector<int> plant_left(static_cast<size_t>(num_left));
+  std::vector<int> plant_right(static_cast<size_t>(num_right));
+  for (auto& l : plant_left) {
+    l = static_cast<int>(rng->NextBelow(static_cast<uint64_t>(num_labels)));
+  }
+  for (auto& l : plant_right) {
+    l = static_cast<int>(rng->NextBelow(static_cast<uint64_t>(num_labels)));
+  }
+
+  // Distinct random edges.
+  std::vector<int> edge_codes =
+      rng->SampleWithoutReplacement(max_edges, num_edges);
+  for (int code : edge_codes) {
+    LabelCoverEdge e;
+    e.u = code / num_right;
+    e.w = code % num_right;
+    std::set<std::pair<int, int>> pairs;
+    pairs.insert({plant_left[static_cast<size_t>(e.u)],
+                  plant_right[static_cast<size_t>(e.w)]});
+    for (int t = 0; t < extra_pairs; ++t) {
+      pairs.insert(
+          {static_cast<int>(rng->NextBelow(static_cast<uint64_t>(num_labels))),
+           static_cast<int>(
+               rng->NextBelow(static_cast<uint64_t>(num_labels)))});
+    }
+    e.relation.assign(pairs.begin(), pairs.end());
+    inst.edges.push_back(std::move(e));
+  }
+  return inst;
+}
+
+bool IsLabelCover(const LabelCoverInstance& inst,
+                  const std::vector<std::vector<int>>& assignment) {
+  if (static_cast<int>(assignment.size()) != inst.num_left + inst.num_right) {
+    return false;
+  }
+  for (const LabelCoverEdge& e : inst.edges) {
+    const auto& au = assignment[static_cast<size_t>(e.u)];
+    const auto& aw = assignment[static_cast<size_t>(inst.num_left + e.w)];
+    bool covered = false;
+    for (const auto& [l1, l2] : e.relation) {
+      if (std::find(au.begin(), au.end(), l1) != au.end() &&
+          std::find(aw.begin(), aw.end(), l2) != aw.end()) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+LabelCoverResult SolveLabelCoverExact(const LabelCoverInstance& inst,
+                                      const BnbOptions& options) {
+  LinearProgram lp;
+  const int num_vertices = inst.num_left + inst.num_right;
+  // a_{v,l} = 1 iff label l assigned to vertex v.
+  std::vector<std::vector<int>> a_var(static_cast<size_t>(num_vertices));
+  std::vector<int> integer_vars;
+  for (int v = 0; v < num_vertices; ++v) {
+    for (int l = 0; l < inst.num_labels; ++l) {
+      int var = lp.AddUnitVariable(
+          1.0, "a_" + std::to_string(v) + "_" + std::to_string(l));
+      a_var[static_cast<size_t>(v)].push_back(var);
+      integer_vars.push_back(var);
+    }
+  }
+  // Per edge: Σ_pairs e_p ≥ 1, e_p ≤ a_{u,l1}, e_p ≤ a_{w,l2}.
+  for (const LabelCoverEdge& e : inst.edges) {
+    std::vector<std::pair<int, double>> pick;
+    for (const auto& [l1, l2] : e.relation) {
+      int ev = lp.AddUnitVariable(0.0);
+      integer_vars.push_back(ev);
+      pick.emplace_back(ev, 1.0);
+      lp.AddConstraint(
+          {{ev, 1.0},
+           {a_var[static_cast<size_t>(e.u)][static_cast<size_t>(l1)], -1.0}},
+          ConstraintSense::kLe, 0.0);
+      lp.AddConstraint(
+          {{ev, 1.0},
+           {a_var[static_cast<size_t>(inst.num_left + e.w)]
+                 [static_cast<size_t>(l2)],
+            -1.0}},
+          ConstraintSense::kLe, 0.0);
+    }
+    lp.AddConstraint(std::move(pick), ConstraintSense::kGe, 1.0);
+  }
+  BnbResult ilp = SolveIlp(lp, integer_vars, options);
+  LabelCoverResult result;
+  result.status = ilp.status;
+  if (ilp.x.empty()) return result;
+  result.assignment.resize(static_cast<size_t>(num_vertices));
+  for (int v = 0; v < num_vertices; ++v) {
+    for (int l = 0; l < inst.num_labels; ++l) {
+      if (ilp.x[static_cast<size_t>(
+              a_var[static_cast<size_t>(v)][static_cast<size_t>(l)])] > 0.5) {
+        result.assignment[static_cast<size_t>(v)].push_back(l);
+        ++result.cost;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace provview

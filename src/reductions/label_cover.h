@@ -1,0 +1,57 @@
+// Minimum label cover: source of the set-constraint inapproximability
+// (Theorem 6, Appendix B.5.2) and of the general-workflow cardinality
+// hardness (Theorem 10, Appendix C.4). Bipartite graph H = (U, U', E_H),
+// label set L, relation R_uw ⊆ L×L per edge; assign label sets A(v) so each
+// edge has a pair (ℓ1, ℓ2) ∈ R_uw with ℓ1 ∈ A(u), ℓ2 ∈ A(w), minimizing
+// Σ|A(v)|.
+#ifndef PROVVIEW_REDUCTIONS_LABEL_COVER_H_
+#define PROVVIEW_REDUCTIONS_LABEL_COVER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "lp/branch_and_bound.h"
+
+namespace provview {
+
+/// One bipartite edge with its admissible label pairs.
+struct LabelCoverEdge {
+  int u = 0;  ///< left vertex index, in [0, num_left)
+  int w = 0;  ///< right vertex index, in [0, num_right)
+  std::vector<std::pair<int, int>> relation;  ///< admissible (ℓ1, ℓ2) pairs
+};
+
+struct LabelCoverInstance {
+  int num_left = 0;
+  int num_right = 0;
+  int num_labels = 0;
+  std::vector<LabelCoverEdge> edges;
+};
+
+/// Random instance with a planted feasible labeling (one label per vertex),
+/// each edge carrying the planted pair plus up to `extra_pairs` random
+/// pairs, over a random bipartite graph with `num_edges` distinct edges.
+LabelCoverInstance RandomLabelCover(int num_left, int num_right,
+                                    int num_labels, int num_edges,
+                                    int extra_pairs, Rng* rng);
+
+/// Labeling outcome: assignment[v] lists the labels of vertex v, with left
+/// vertices first (v in [0, num_left)) then right (num_left + w).
+struct LabelCoverResult {
+  Status status;
+  std::vector<std::vector<int>> assignment;
+  int cost = 0;
+};
+
+/// Exact minimum via ILP (variables per vertex-label plus per admissible
+/// edge pair).
+LabelCoverResult SolveLabelCoverExact(const LabelCoverInstance& inst,
+                                      const BnbOptions& options = {});
+
+/// True if the assignment covers every edge.
+bool IsLabelCover(const LabelCoverInstance& inst,
+                  const std::vector<std::vector<int>>& assignment);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_REDUCTIONS_LABEL_COVER_H_

@@ -1,0 +1,117 @@
+#include "reductions/set_cover.h"
+
+#include <algorithm>
+#include <set>
+
+namespace provview {
+
+bool SetCoverInstance::IsCoverable() const {
+  std::vector<bool> covered(static_cast<size_t>(universe_size), false);
+  for (const auto& s : sets) {
+    for (int e : s) covered[static_cast<size_t>(e)] = true;
+  }
+  return std::all_of(covered.begin(), covered.end(),
+                     [](bool b) { return b; });
+}
+
+SetCoverInstance RandomSetCover(int universe_size, int num_sets,
+                                int max_set_size, Rng* rng) {
+  PV_CHECK(universe_size >= 1 && num_sets >= 1 && max_set_size >= 1);
+  SetCoverInstance inst;
+  inst.universe_size = universe_size;
+  inst.sets.resize(static_cast<size_t>(num_sets));
+  for (auto& s : inst.sets) {
+    int size = static_cast<int>(rng->NextInt(1, max_set_size));
+    size = std::min(size, universe_size);
+    s = rng->SampleWithoutReplacement(universe_size, size);
+  }
+  // Patch uncovered elements into random sets so the instance is coverable.
+  std::vector<bool> covered(static_cast<size_t>(universe_size), false);
+  for (const auto& s : inst.sets) {
+    for (int e : s) covered[static_cast<size_t>(e)] = true;
+  }
+  for (int e = 0; e < universe_size; ++e) {
+    if (!covered[static_cast<size_t>(e)]) {
+      auto& s = inst.sets[static_cast<size_t>(rng->NextBelow(
+          static_cast<uint64_t>(num_sets)))];
+      s.push_back(e);
+    }
+  }
+  for (auto& s : inst.sets) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+  return inst;
+}
+
+SetCoverResult SolveSetCoverGreedy(const SetCoverInstance& inst) {
+  SetCoverResult result;
+  if (!inst.IsCoverable()) {
+    result.status = Status::Infeasible("universe not coverable");
+    return result;
+  }
+  std::set<int> uncovered;
+  for (int e = 0; e < inst.universe_size; ++e) uncovered.insert(e);
+  while (!uncovered.empty()) {
+    int best_set = -1;
+    int best_gain = 0;
+    for (int i = 0; i < inst.num_sets(); ++i) {
+      int gain = 0;
+      for (int e : inst.sets[static_cast<size_t>(i)]) {
+        if (uncovered.count(e) != 0) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_set = i;
+      }
+    }
+    PV_CHECK(best_set >= 0);
+    for (int e : inst.sets[static_cast<size_t>(best_set)]) uncovered.erase(e);
+    result.chosen.push_back(best_set);
+  }
+  result.cost = static_cast<int>(result.chosen.size());
+  result.status = Status::OK();
+  return result;
+}
+
+SetCoverResult SolveSetCoverExact(const SetCoverInstance& inst,
+                                  const BnbOptions& options) {
+  SetCoverResult result;
+  if (!inst.IsCoverable()) {
+    result.status = Status::Infeasible("universe not coverable");
+    return result;
+  }
+  LinearProgram lp;
+  std::vector<int> vars;
+  for (int i = 0; i < inst.num_sets(); ++i) {
+    vars.push_back(lp.AddUnitVariable(1.0, "s" + std::to_string(i)));
+  }
+  // One covering constraint per element.
+  std::vector<std::vector<std::pair<int, double>>> covering(
+      static_cast<size_t>(inst.universe_size));
+  for (int i = 0; i < inst.num_sets(); ++i) {
+    for (int e : inst.sets[static_cast<size_t>(i)]) {
+      covering[static_cast<size_t>(e)].emplace_back(
+          vars[static_cast<size_t>(i)], 1.0);
+    }
+  }
+  for (auto& terms : covering) {
+    lp.AddConstraint(std::move(terms), ConstraintSense::kGe, 1.0);
+  }
+  BnbResult ilp = SolveIlp(lp, vars, options);
+  if (!ilp.status.ok()) {
+    result.status = ilp.status;
+    if (ilp.x.empty()) return result;
+  } else {
+    result.status = Status::OK();
+  }
+  for (int i = 0; i < inst.num_sets(); ++i) {
+    if (ilp.x[static_cast<size_t>(vars[static_cast<size_t>(i)])] > 0.5) {
+      result.chosen.push_back(i);
+    }
+  }
+  result.cost = static_cast<int>(result.chosen.size());
+  return result;
+}
+
+}  // namespace provview

@@ -1,0 +1,48 @@
+// Minimum set cover: source problem of the Theorem-5 hardness reduction
+// (Appendix B.4.2) and the Theorem-9 no-data-sharing reduction (C.2).
+// Provides generators, the classical greedy (H_n-approximation — the best
+// possible by Feige), and an exact ILP solver for measuring reductions.
+#ifndef PROVVIEW_REDUCTIONS_SET_COVER_H_
+#define PROVVIEW_REDUCTIONS_SET_COVER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "lp/branch_and_bound.h"
+
+namespace provview {
+
+/// Universe {0..universe_size-1}; sets[i] lists the elements of S_i.
+struct SetCoverInstance {
+  int universe_size = 0;
+  std::vector<std::vector<int>> sets;
+
+  int num_sets() const { return static_cast<int>(sets.size()); }
+  /// True if the union of all sets is the whole universe.
+  bool IsCoverable() const;
+};
+
+/// Random instance guaranteed coverable: each set gets a uniformly random
+/// size in [1, max_set_size]; leftover elements are patched into random
+/// sets.
+SetCoverInstance RandomSetCover(int universe_size, int num_sets,
+                                int max_set_size, Rng* rng);
+
+/// Cover outcome: chosen set indices, |chosen| as cost.
+struct SetCoverResult {
+  Status status;
+  std::vector<int> chosen;
+  int cost = 0;
+};
+
+/// Classical greedy: repeatedly take the set covering the most uncovered
+/// elements. H_n-approximation.
+SetCoverResult SolveSetCoverGreedy(const SetCoverInstance& inst);
+
+/// Exact minimum via the ILP encoding.
+SetCoverResult SolveSetCoverExact(const SetCoverInstance& inst,
+                                  const BnbOptions& options = {});
+
+}  // namespace provview
+
+#endif  // PROVVIEW_REDUCTIONS_SET_COVER_H_

@@ -1,0 +1,300 @@
+#include "reductions/to_secure_view.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+namespace provview {
+
+namespace {
+
+// Appends a fresh attribute with the given cost; returns its index.
+int AddAttr(SecureViewInstance* inst, double cost) {
+  inst->attr_cost.push_back(cost);
+  return inst->num_attrs++;
+}
+
+}  // namespace
+
+SetCoverCardReduction ReduceSetCoverToCardinality(const SetCoverInstance& sc) {
+  SetCoverCardReduction red;
+  SecureViewInstance& inst = red.instance;
+  inst.kind = ConstraintKind::kCardinality;
+
+  const int bs = AddAttr(&inst, 1.0);  // initial input of z
+  red.a_attr.reserve(static_cast<size_t>(sc.num_sets()));
+  for (int i = 0; i < sc.num_sets(); ++i) {
+    red.a_attr.push_back(AddAttr(&inst, 1.0));  // a_i, shared data of S_i
+  }
+  std::vector<int> b_attr;  // final outputs of the element modules
+  for (int j = 0; j < sc.universe_size; ++j) {
+    b_attr.push_back(AddAttr(&inst, 1.0));
+  }
+
+  // Module z: produces every a_i; requirement: hide one output.
+  SvModule z;
+  z.name = "z";
+  z.inputs = {bs};
+  z.outputs = red.a_attr;
+  z.card_options = {CardOption{0, 1}};
+  inst.modules.push_back(std::move(z));
+
+  // Module f_j per element: consumes the a_i of the sets containing u_j;
+  // requirement: hide one input.
+  for (int j = 0; j < sc.universe_size; ++j) {
+    SvModule f;
+    f.name = "f" + std::to_string(j);
+    for (int i = 0; i < sc.num_sets(); ++i) {
+      const auto& s = sc.sets[static_cast<size_t>(i)];
+      if (std::find(s.begin(), s.end(), j) != s.end()) {
+        f.inputs.push_back(red.a_attr[static_cast<size_t>(i)]);
+      }
+    }
+    f.outputs = {b_attr[static_cast<size_t>(j)]};
+    f.card_options = {CardOption{1, 0}};
+    inst.modules.push_back(std::move(f));
+  }
+  PV_CHECK_MSG(inst.Validate().ok(), "bad set-cover reduction instance");
+  return red;
+}
+
+VertexCoverCardReduction ReduceVertexCoverToCardinality(const Graph& g) {
+  VertexCoverCardReduction red;
+  SecureViewInstance& inst = red.instance;
+  inst.kind = ConstraintKind::kCardinality;
+
+  // Per-edge module x_uv with one initial input and outputs to y_u, y_v.
+  // e_attr[edge] = {attr to y_u, attr to y_v}.
+  std::vector<std::pair<int, int>> e_attr;
+  std::vector<int> s_attr;
+  for (int e = 0; e < g.num_edges(); ++e) {
+    s_attr.push_back(AddAttr(&inst, 1.0));
+    e_attr.emplace_back(AddAttr(&inst, 1.0), AddAttr(&inst, 1.0));
+  }
+  red.gv_attr.reserve(static_cast<size_t>(g.num_vertices));
+  for (int v = 0; v < g.num_vertices; ++v) {
+    red.gv_attr.push_back(AddAttr(&inst, 1.0));  // edge y_v → z
+  }
+  const int h = AddAttr(&inst, 1.0);  // final output of z
+
+  for (int e = 0; e < g.num_edges(); ++e) {
+    SvModule x;
+    x.name = "x" + std::to_string(g.edges[static_cast<size_t>(e)].first) +
+             "_" + std::to_string(g.edges[static_cast<size_t>(e)].second);
+    x.inputs = {s_attr[static_cast<size_t>(e)]};
+    x.outputs = {e_attr[static_cast<size_t>(e)].first,
+                 e_attr[static_cast<size_t>(e)].second};
+    x.card_options = {CardOption{0, 1}};
+    inst.modules.push_back(std::move(x));
+  }
+  for (int v = 0; v < g.num_vertices; ++v) {
+    SvModule y;
+    y.name = "y" + std::to_string(v);
+    for (int e = 0; e < g.num_edges(); ++e) {
+      if (g.edges[static_cast<size_t>(e)].first == v) {
+        y.inputs.push_back(e_attr[static_cast<size_t>(e)].first);
+      } else if (g.edges[static_cast<size_t>(e)].second == v) {
+        y.inputs.push_back(e_attr[static_cast<size_t>(e)].second);
+      }
+    }
+    y.outputs = {red.gv_attr[static_cast<size_t>(v)]};
+    // Hide all incoming edges, or the single outgoing edge.
+    y.card_options = {CardOption{static_cast<int>(y.inputs.size()), 0},
+                      CardOption{0, 1}};
+    inst.modules.push_back(std::move(y));
+  }
+  SvModule z;
+  z.name = "z";
+  z.inputs = red.gv_attr;
+  z.outputs = {h};
+  z.card_options = {CardOption{1, 0}};
+  inst.modules.push_back(std::move(z));
+  PV_CHECK_MSG(inst.Validate().ok(), "bad vertex-cover reduction instance");
+  PV_CHECK_MSG(inst.DataSharingDegree() <= 1, "reduction must be sharing-free");
+  return red;
+}
+
+LabelCoverSetReduction ReduceLabelCoverToSet(const LabelCoverInstance& lc) {
+  LabelCoverSetReduction red;
+  SecureViewInstance& inst = red.instance;
+  inst.kind = ConstraintKind::kSet;
+
+  const int num_vertices = lc.num_left + lc.num_right;
+  const int bz = AddAttr(&inst, 1.0);
+  red.label_attr.assign(static_cast<size_t>(num_vertices), {});
+  for (int v = 0; v < num_vertices; ++v) {
+    for (int l = 0; l < lc.num_labels; ++l) {
+      red.label_attr[static_cast<size_t>(v)].push_back(AddAttr(&inst, 1.0));
+    }
+  }
+
+  // Module z produces every b_{v,ℓ}; its list offers every singleton.
+  SvModule z;
+  z.name = "z";
+  z.inputs = {bz};
+  for (int v = 0; v < num_vertices; ++v) {
+    for (int l = 0; l < lc.num_labels; ++l) {
+      z.outputs.push_back(
+          red.label_attr[static_cast<size_t>(v)][static_cast<size_t>(l)]);
+      SetOption opt;
+      opt.hidden_outputs = {
+          red.label_attr[static_cast<size_t>(v)][static_cast<size_t>(l)]};
+      z.set_options.push_back(std::move(opt));
+    }
+  }
+  inst.modules.push_back(std::move(z));
+
+  // Module x_uw per edge; its list mirrors R_uw.
+  for (const LabelCoverEdge& e : lc.edges) {
+    SvModule x;
+    x.name = "x" + std::to_string(e.u) + "_" + std::to_string(e.w);
+    for (int l = 0; l < lc.num_labels; ++l) {
+      x.inputs.push_back(
+          red.label_attr[static_cast<size_t>(e.u)][static_cast<size_t>(l)]);
+      x.inputs.push_back(
+          red.label_attr[static_cast<size_t>(lc.num_left + e.w)]
+                        [static_cast<size_t>(l)]);
+    }
+    x.outputs = {AddAttr(&inst, 1.0)};  // b_uw
+    for (const auto& [l1, l2] : e.relation) {
+      SetOption opt;
+      opt.hidden_inputs = {
+          red.label_attr[static_cast<size_t>(e.u)][static_cast<size_t>(l1)],
+          red.label_attr[static_cast<size_t>(lc.num_left + e.w)]
+                        [static_cast<size_t>(l2)]};
+      x.set_options.push_back(std::move(opt));
+    }
+    inst.modules.push_back(std::move(x));
+  }
+  PV_CHECK_MSG(inst.Validate().ok(), "bad label-cover reduction instance");
+  return red;
+}
+
+SetCoverGeneralReduction ReduceSetCoverToGeneral(const SetCoverInstance& sc) {
+  SetCoverGeneralReduction red;
+  SecureViewInstance& inst = red.instance;
+  inst.kind = ConstraintKind::kCardinality;
+
+  // Per-set public module S_i: initial input a_i, one output b_ij per
+  // element it contains. All data free; privatization costs 1.
+  std::vector<std::vector<std::pair<int, int>>> incoming(
+      static_cast<size_t>(sc.universe_size));  // (set index, attr)
+  red.set_module.reserve(static_cast<size_t>(sc.num_sets()));
+  for (int i = 0; i < sc.num_sets(); ++i) {
+    SvModule s;
+    s.name = "S" + std::to_string(i);
+    s.is_public = true;
+    s.privatization_cost = 1.0;
+    s.inputs = {AddAttr(&inst, 0.0)};
+    for (int j : sc.sets[static_cast<size_t>(i)]) {
+      int b = AddAttr(&inst, 0.0);
+      s.outputs.push_back(b);
+      incoming[static_cast<size_t>(j)].emplace_back(i, b);
+    }
+    red.set_module.push_back(static_cast<int>(inst.modules.size()));
+    inst.modules.push_back(std::move(s));
+  }
+  for (int j = 0; j < sc.universe_size; ++j) {
+    SvModule u;
+    u.name = "u" + std::to_string(j);
+    for (const auto& [i, b] : incoming[static_cast<size_t>(j)]) {
+      (void)i;
+      u.inputs.push_back(b);
+    }
+    u.outputs = {AddAttr(&inst, 0.0)};
+    u.card_options = {CardOption{1, 0}};
+    inst.modules.push_back(std::move(u));
+  }
+  PV_CHECK_MSG(inst.Validate().ok(), "bad general set-cover reduction");
+  PV_CHECK_MSG(inst.DataSharingDegree() <= 1, "reduction must be sharing-free");
+  return red;
+}
+
+LabelCoverGeneralReduction ReduceLabelCoverToGeneral(
+    const LabelCoverInstance& lc) {
+  LabelCoverGeneralReduction red;
+  SecureViewInstance& inst = red.instance;
+  inst.kind = ConstraintKind::kCardinality;
+
+  const int num_vertices = lc.num_left + lc.num_right;
+  const int ds = AddAttr(&inst, 0.0);
+  const int dv = AddAttr(&inst, 0.0);
+
+  // Module v: single output dv; requirement: hide it.
+  SvModule v_mod;
+  v_mod.name = "v";
+  v_mod.inputs = {ds};
+  v_mod.outputs = {dv};
+  v_mod.card_options = {CardOption{0, 1}};
+
+  // y_{ℓ1,ℓ2} per label pair occurring in some relation; produces the
+  // shared items d_{u,w,ℓ1,ℓ2}. x_uw per edge consumes them; z_{v,ℓ}
+  // (public, cost 1) also consumes those with its vertex/label.
+  struct PairKey {
+    int l1, l2;
+    bool operator<(const PairKey& o) const {
+      return l1 != o.l1 ? l1 < o.l1 : l2 < o.l2;
+    }
+  };
+  std::map<PairKey, SvModule> y_mods;
+  std::vector<SvModule> x_mods;
+  red.z_module.assign(static_cast<size_t>(num_vertices),
+                      std::vector<int>(static_cast<size_t>(lc.num_labels), -1));
+  std::vector<std::vector<std::vector<int>>> z_inputs(
+      static_cast<size_t>(num_vertices),
+      std::vector<std::vector<int>>(static_cast<size_t>(lc.num_labels)));
+
+  for (const LabelCoverEdge& e : lc.edges) {
+    SvModule x;
+    x.name = "x" + std::to_string(e.u) + "_" + std::to_string(e.w);
+    for (const auto& [l1, l2] : e.relation) {
+      int d = AddAttr(&inst, 0.0);  // d_{u,w,ℓ1,ℓ2}
+      x.inputs.push_back(d);
+      PairKey key{l1, l2};
+      auto it = y_mods.find(key);
+      if (it == y_mods.end()) {
+        SvModule y;
+        y.name = "y" + std::to_string(l1) + "_" + std::to_string(l2);
+        y.inputs = {dv};
+        y.card_options = {CardOption{1, 0}};
+        it = y_mods.emplace(key, std::move(y)).first;
+      }
+      it->second.outputs.push_back(d);
+      z_inputs[static_cast<size_t>(e.u)][static_cast<size_t>(l1)].push_back(d);
+      z_inputs[static_cast<size_t>(lc.num_left + e.w)]
+              [static_cast<size_t>(l2)].push_back(d);
+    }
+    x.outputs = {AddAttr(&inst, 0.0)};  // d_uw
+    x.card_options = {CardOption{1, 0}};
+    x_mods.push_back(std::move(x));
+  }
+
+  inst.modules.push_back(std::move(v_mod));
+  for (auto& [key, y] : y_mods) {
+    (void)key;
+    y.outputs.push_back(AddAttr(&inst, 0.0));  // d_{ℓ1,ℓ2}
+    inst.modules.push_back(std::move(y));
+  }
+  for (auto& x : x_mods) inst.modules.push_back(std::move(x));
+  // NOTE: the shared items d_{u,w,ℓ1,ℓ2} are INPUTS of the public z
+  // modules, so hiding one forces privatizing z_{u,ℓ1} and z_{w,ℓ2}.
+  for (int v = 0; v < num_vertices; ++v) {
+    for (int l = 0; l < lc.num_labels; ++l) {
+      const auto& ins = z_inputs[static_cast<size_t>(v)][static_cast<size_t>(l)];
+      if (ins.empty()) continue;  // label never used near this vertex
+      SvModule z;
+      z.name = "z" + std::to_string(v) + "_" + std::to_string(l);
+      z.is_public = true;
+      z.privatization_cost = 1.0;
+      z.inputs = ins;
+      z.outputs = {AddAttr(&inst, 0.0)};  // d_{v,ℓ}
+      red.z_module[static_cast<size_t>(v)][static_cast<size_t>(l)] =
+          static_cast<int>(inst.modules.size());
+      inst.modules.push_back(std::move(z));
+    }
+  }
+  PV_CHECK_MSG(inst.Validate().ok(), "bad general label-cover reduction");
+  return red;
+}
+
+}  // namespace provview

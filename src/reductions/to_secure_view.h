@@ -1,0 +1,70 @@
+// The paper's hardness reductions, made executable. Each builder maps a
+// source instance to a Secure-View instance such that optima correspond
+// exactly (the "iff" lemmas of Appendices B.4.2, B.5.2, B.6.2, C.2, C.4).
+// The experiment harnesses solve both sides exactly and check equality, and
+// run approximation algorithms on the reduced instances to reproduce the
+// hardness landscape empirically.
+#ifndef PROVVIEW_REDUCTIONS_TO_SECURE_VIEW_H_
+#define PROVVIEW_REDUCTIONS_TO_SECURE_VIEW_H_
+
+#include "reductions/label_cover.h"
+#include "reductions/set_cover.h"
+#include "reductions/vertex_cover.h"
+#include "secureview/instance.h"
+
+namespace provview {
+
+/// Appendix B.4.2 (Theorem 5 hardness): set cover → Secure-View with
+/// cardinality constraints, ℓ_max = 1, unit costs, α/β ∈ {0,1}.
+/// Attribute `a_attr[i]` corresponds to choosing set S_i; OPT(SV) =
+/// OPT(set cover).
+struct SetCoverCardReduction {
+  SecureViewInstance instance;
+  std::vector<int> a_attr;  ///< per set S_i, the shared data item a_i
+};
+SetCoverCardReduction ReduceSetCoverToCardinality(const SetCoverInstance& sc);
+
+/// Appendix B.6.2 (Theorem 7 APX-hardness): vertex cover in (cubic) graphs
+/// → Secure-View with cardinality constraints and NO data sharing.
+/// OPT(SV) = |E| + OPT(VC). Attribute `gv_attr[v]` is the edge (y_v, z)
+/// whose hiding corresponds to putting v in the cover.
+struct VertexCoverCardReduction {
+  SecureViewInstance instance;
+  std::vector<int> gv_attr;  ///< per vertex v, the attr on edge y_v → z
+};
+VertexCoverCardReduction ReduceVertexCoverToCardinality(const Graph& g);
+
+/// Appendix B.5.2 (Theorem 6 hardness): label cover → Secure-View with set
+/// constraints. Attribute `label_attr[v][l]` is the data item b_{v,ℓ};
+/// OPT(SV) = OPT(label cover).
+struct LabelCoverSetReduction {
+  SecureViewInstance instance;
+  std::vector<std::vector<int>> label_attr;  ///< [vertex][label] → b_{v,ℓ}
+};
+LabelCoverSetReduction ReduceLabelCoverToSet(const LabelCoverInstance& lc);
+
+/// Appendix C.2 (Theorem 9): set cover → Secure-View in a GENERAL workflow
+/// (public set-modules, privatization cost 1, zero data costs, no data
+/// sharing, cardinality lists of size 1). OPT(SV) = OPT(set cover); the
+/// cost consists purely of privatizations. `set_module[i]` is the public
+/// module standing for S_i.
+struct SetCoverGeneralReduction {
+  SecureViewInstance instance;
+  std::vector<int> set_module;  ///< per set S_i, its public module index
+};
+SetCoverGeneralReduction ReduceSetCoverToGeneral(const SetCoverInstance& sc);
+
+/// Appendix C.4 (Theorem 10): label cover → Secure-View with cardinality
+/// constraints in a GENERAL workflow (public modules z_{v,ℓ} with unit
+/// privatization cost, all data free). OPT(SV) = OPT(label cover);
+/// `z_module[v][l]` is the public module z_{v,ℓ}.
+struct LabelCoverGeneralReduction {
+  SecureViewInstance instance;
+  std::vector<std::vector<int>> z_module;  ///< [vertex][label]
+};
+LabelCoverGeneralReduction ReduceLabelCoverToGeneral(
+    const LabelCoverInstance& lc);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_REDUCTIONS_TO_SECURE_VIEW_H_

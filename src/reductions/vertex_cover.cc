@@ -1,0 +1,114 @@
+#include "reductions/vertex_cover.h"
+
+#include <algorithm>
+#include <set>
+
+namespace provview {
+
+std::vector<int> Graph::Degrees() const {
+  std::vector<int> deg(static_cast<size_t>(num_vertices), 0);
+  for (const auto& [u, v] : edges) {
+    ++deg[static_cast<size_t>(u)];
+    ++deg[static_cast<size_t>(v)];
+  }
+  return deg;
+}
+
+int Graph::MaxDegree() const {
+  int best = 0;
+  for (int d : Degrees()) best = std::max(best, d);
+  return best;
+}
+
+Graph RandomCubicGraph(int n, Rng* rng) {
+  PV_CHECK_MSG(n >= 4 && n % 2 == 0, "cubic graph needs even n >= 4");
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    // Configuration model: 3 stubs per vertex, random perfect matching.
+    std::vector<int> stubs;
+    for (int v = 0; v < n; ++v) {
+      stubs.push_back(v);
+      stubs.push_back(v);
+      stubs.push_back(v);
+    }
+    rng->Shuffle(&stubs);
+    std::set<std::pair<int, int>> edge_set;
+    bool ok = true;
+    for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      int u = stubs[i], v = stubs[i + 1];
+      if (u == v) {
+        ok = false;
+        break;
+      }
+      auto e = std::minmax(u, v);
+      if (!edge_set.insert({e.first, e.second}).second) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    Graph g;
+    g.num_vertices = n;
+    g.edges.assign(edge_set.begin(), edge_set.end());
+    return g;
+  }
+  PV_CHECK_MSG(false, "failed to sample a cubic graph");
+  return Graph{};
+}
+
+bool IsVertexCover(const Graph& g, const std::vector<int>& cover) {
+  std::vector<bool> in_cover(static_cast<size_t>(g.num_vertices), false);
+  for (int v : cover) in_cover[static_cast<size_t>(v)] = true;
+  for (const auto& [u, v] : g.edges) {
+    if (!in_cover[static_cast<size_t>(u)] && !in_cover[static_cast<size_t>(v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+VertexCoverResult SolveVertexCoverGreedy(const Graph& g, Rng* rng) {
+  VertexCoverResult result;
+  std::vector<std::pair<int, int>> edges = g.edges;
+  rng->Shuffle(&edges);
+  std::vector<bool> in_cover(static_cast<size_t>(g.num_vertices), false);
+  for (const auto& [u, v] : edges) {
+    if (!in_cover[static_cast<size_t>(u)] &&
+        !in_cover[static_cast<size_t>(v)]) {
+      in_cover[static_cast<size_t>(u)] = true;
+      in_cover[static_cast<size_t>(v)] = true;
+    }
+  }
+  for (int v = 0; v < g.num_vertices; ++v) {
+    if (in_cover[static_cast<size_t>(v)]) result.cover.push_back(v);
+  }
+  result.cost = static_cast<int>(result.cover.size());
+  result.status = Status::OK();
+  return result;
+}
+
+VertexCoverResult SolveVertexCoverExact(const Graph& g,
+                                        const BnbOptions& options) {
+  LinearProgram lp;
+  std::vector<int> vars;
+  for (int v = 0; v < g.num_vertices; ++v) {
+    vars.push_back(lp.AddUnitVariable(1.0, "v" + std::to_string(v)));
+  }
+  for (const auto& [u, v] : g.edges) {
+    lp.AddConstraint({{vars[static_cast<size_t>(u)], 1.0},
+                      {vars[static_cast<size_t>(v)], 1.0}},
+                     ConstraintSense::kGe, 1.0);
+  }
+  BnbResult ilp = SolveIlp(lp, vars, options);
+  VertexCoverResult result;
+  result.status = ilp.status;
+  if (ilp.x.empty()) return result;
+  for (int v = 0; v < g.num_vertices; ++v) {
+    if (ilp.x[static_cast<size_t>(vars[static_cast<size_t>(v)])] > 0.5) {
+      result.cover.push_back(v);
+    }
+  }
+  result.cost = static_cast<int>(result.cover.size());
+  return result;
+}
+
+}  // namespace provview

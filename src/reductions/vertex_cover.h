@@ -1,0 +1,48 @@
+// Minimum vertex cover in (sub)cubic graphs: source of the APX-hardness in
+// Theorem 7 (Appendix B.6.2). Generator uses the pairing model for random
+// 3-regular graphs; exact solving via ILP; 2-approximation via maximal
+// matching for a baseline.
+#ifndef PROVVIEW_REDUCTIONS_VERTEX_COVER_H_
+#define PROVVIEW_REDUCTIONS_VERTEX_COVER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "lp/branch_and_bound.h"
+
+namespace provview {
+
+/// Simple undirected graph.
+struct Graph {
+  int num_vertices = 0;
+  std::vector<std::pair<int, int>> edges;
+
+  int num_edges() const { return static_cast<int>(edges.size()); }
+  std::vector<int> Degrees() const;
+  int MaxDegree() const;
+};
+
+/// Random 3-regular simple graph on `n` vertices (n even, n ≥ 4) via the
+/// configuration model with rejection.
+Graph RandomCubicGraph(int n, Rng* rng);
+
+/// Vertex-cover outcome.
+struct VertexCoverResult {
+  Status status;
+  std::vector<int> cover;
+  int cost = 0;
+};
+
+/// Maximal-matching 2-approximation.
+VertexCoverResult SolveVertexCoverGreedy(const Graph& g, Rng* rng);
+
+/// Exact minimum vertex cover via ILP.
+VertexCoverResult SolveVertexCoverExact(const Graph& g,
+                                        const BnbOptions& options = {});
+
+/// True if `cover` touches every edge.
+bool IsVertexCover(const Graph& g, const std::vector<int>& cover);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_REDUCTIONS_VERTEX_COVER_H_

@@ -1,0 +1,35 @@
+#include "relation/attribute.h"
+
+namespace provview {
+
+AttrId AttributeCatalog::Add(const std::string& name, int domain_size,
+                             double cost) {
+  PV_CHECK_MSG(domain_size >= 1, "domain size must be >= 1 for " << name);
+  PV_CHECK_MSG(cost >= 0.0, "cost must be non-negative for " << name);
+  PV_CHECK_MSG(by_name_.find(name) == by_name_.end(),
+               "duplicate attribute name " << name);
+  AttrId id = static_cast<AttrId>(attributes_.size());
+  attributes_.push_back(Attribute{name, domain_size, cost});
+  by_name_.emplace(name, id);
+  return id;
+}
+
+void AttributeCatalog::SetCost(AttrId id, double cost) {
+  PV_CHECK_MSG(id >= 0 && id < size(), "bad attribute id " << id);
+  PV_CHECK(cost >= 0.0);
+  attributes_[static_cast<size_t>(id)].cost = cost;
+}
+
+Result<AttrId> AttributeCatalog::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no attribute named " + name);
+  }
+  return it->second;
+}
+
+bool AttributeCatalog::Contains(const std::string& name) const {
+  return by_name_.find(name) != by_name_.end();
+}
+
+}  // namespace provview

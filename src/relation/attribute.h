@@ -1,0 +1,72 @@
+// Attribute model (§2.1 of the paper): every data item in a workflow is an
+// attribute with a finite domain and a hiding cost c(a). Attributes are
+// registered once in an AttributeCatalog and referenced by dense ids, which
+// is what lets module relations join into the provenance relation and lets
+// visible/hidden subsets be represented as bitsets over the catalog.
+#ifndef PROVVIEW_RELATION_ATTRIBUTE_H_
+#define PROVVIEW_RELATION_ATTRIBUTE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace provview {
+
+/// Dense id of an attribute within its catalog.
+using AttrId = int32_t;
+
+/// Value of an attribute in a tuple; domains are finite categorical sets
+/// encoded as 0..domain_size-1.
+using Value = int32_t;
+
+/// A single data item: name, finite domain size |Δ_a|, and the utility
+/// penalty c(a) incurred when it is hidden from the provenance view.
+struct Attribute {
+  std::string name;
+  int domain_size = 2;
+  double cost = 1.0;
+};
+
+/// Registry of all attributes of a workflow (or of a standalone module).
+/// Ids are dense and assigned in registration order.
+class AttributeCatalog {
+ public:
+  AttributeCatalog() = default;
+
+  /// Registers a new attribute; names must be unique and domain_size >= 1.
+  AttrId Add(const std::string& name, int domain_size = 2, double cost = 1.0);
+
+  int size() const { return static_cast<int>(attributes_.size()); }
+
+  const Attribute& Get(AttrId id) const {
+    PV_CHECK_MSG(id >= 0 && id < size(), "bad attribute id " << id);
+    return attributes_[static_cast<size_t>(id)];
+  }
+
+  const std::string& Name(AttrId id) const { return Get(id).name; }
+  int DomainSize(AttrId id) const { return Get(id).domain_size; }
+  double Cost(AttrId id) const { return Get(id).cost; }
+
+  /// Updates the hiding cost of an attribute (costs are experiment inputs).
+  void SetCost(AttrId id, double cost);
+
+  /// Id lookup by name.
+  Result<AttrId> Find(const std::string& name) const;
+
+  /// True if an attribute with this name exists.
+  bool Contains(const std::string& name) const;
+
+ private:
+  std::vector<Attribute> attributes_;
+  std::unordered_map<std::string, AttrId> by_name_;
+};
+
+using CatalogPtr = std::shared_ptr<AttributeCatalog>;
+
+}  // namespace provview
+
+#endif  // PROVVIEW_RELATION_ATTRIBUTE_H_

@@ -1,0 +1,87 @@
+#include "relation/relation_ops.h"
+
+#include <algorithm>
+#include <set>
+
+namespace provview {
+
+namespace {
+
+void CheckSameSchema(const Relation& r, const Relation& s) {
+  PV_CHECK_MSG(r.schema() == s.schema(), "set operation schema mismatch");
+}
+
+}  // namespace
+
+Relation Select(const Relation& r, AttrId attr, Value value) {
+  return SelectWhere(r, [attr, value](const Relation& rel, const Tuple& row) {
+    return rel.At(row, attr) == value;
+  });
+}
+
+Relation SelectWhere(const Relation& r,
+                     const std::function<bool(const Relation&, const Tuple&)>&
+                         predicate) {
+  Relation out(r.schema());
+  for (const Tuple& row : r.rows()) {
+    if (predicate(r, row)) out.AddRow(row);
+  }
+  return out;
+}
+
+Relation Union(const Relation& r, const Relation& s) {
+  CheckSameSchema(r, s);
+  Relation out(r.schema());
+  for (const Tuple& row : r.rows()) out.AddRow(row);
+  for (const Tuple& row : s.rows()) out.AddRow(row);
+  return out.Distinct();
+}
+
+Relation Intersect(const Relation& r, const Relation& s) {
+  CheckSameSchema(r, s);
+  std::vector<Tuple> other = s.SortedDistinctRows();
+  Relation out(r.schema());
+  for (const Tuple& row : r.SortedDistinctRows()) {
+    if (std::binary_search(other.begin(), other.end(), row)) {
+      out.AddRow(row);
+    }
+  }
+  return out;
+}
+
+Relation Minus(const Relation& r, const Relation& s) {
+  CheckSameSchema(r, s);
+  std::vector<Tuple> other = s.SortedDistinctRows();
+  Relation out(r.schema());
+  for (const Tuple& row : r.SortedDistinctRows()) {
+    if (!std::binary_search(other.begin(), other.end(), row)) {
+      out.AddRow(row);
+    }
+  }
+  return out;
+}
+
+std::map<Tuple, int64_t> GroupCount(const Relation& r,
+                                    const std::vector<AttrId>& keys) {
+  std::map<Tuple, int64_t> counts;
+  for (const Tuple& row : r.SortedDistinctRows()) {
+    ++counts[r.ProjectRow(row, keys)];
+  }
+  return counts;
+}
+
+std::map<Tuple, int64_t> GroupCountDistinct(
+    const Relation& r, const std::vector<AttrId>& keys,
+    const std::vector<AttrId>& counted) {
+  std::map<Tuple, std::set<Tuple>> groups;
+  for (const Tuple& row : r.SortedDistinctRows()) {
+    groups[r.ProjectRow(row, keys)].insert(r.ProjectRow(row, counted));
+  }
+  std::map<Tuple, int64_t> counts;
+  for (const auto& [key, values] : groups) {
+    counts[key] = static_cast<int64_t>(values.size());
+  }
+  return counts;
+}
+
+}  // namespace provview

@@ -1,0 +1,46 @@
+// Relational algebra beyond projection/join: selection, set operations and
+// grouping. Used by the examples for provenance queries over views
+// ("SELECT executions WHERE risk = 1") and by the privacy checker's
+// conceptual GROUP BY (§A.4 notes Algorithm 2 is expressible as SQL
+// GROUP BY / COUNT).
+#ifndef PROVVIEW_RELATION_RELATION_OPS_H_
+#define PROVVIEW_RELATION_RELATION_OPS_H_
+
+#include <functional>
+#include <map>
+
+#include "relation/relation.h"
+
+namespace provview {
+
+/// σ_{attr = value}(r).
+Relation Select(const Relation& r, AttrId attr, Value value);
+
+/// σ_pred(r) for an arbitrary row predicate.
+Relation SelectWhere(const Relation& r,
+                     const std::function<bool(const Relation&, const Tuple&)>&
+                         predicate);
+
+/// r ∪ s (set semantics). Schemas must be identical.
+Relation Union(const Relation& r, const Relation& s);
+
+/// r ∩ s (set semantics). Schemas must be identical.
+Relation Intersect(const Relation& r, const Relation& s);
+
+/// r \ s (set semantics). Schemas must be identical.
+Relation Minus(const Relation& r, const Relation& s);
+
+/// Number of distinct rows per key: GROUP BY `keys`, COUNT(DISTINCT *).
+/// Keys are projections onto `keys` in the given order.
+std::map<Tuple, int64_t> GroupCount(const Relation& r,
+                                    const std::vector<AttrId>& keys);
+
+/// GROUP BY `keys`, COUNT(DISTINCT π_counted): the exact aggregate
+/// Algorithm 2 evaluates per visible-input group.
+std::map<Tuple, int64_t> GroupCountDistinct(const Relation& r,
+                                            const std::vector<AttrId>& keys,
+                                            const std::vector<AttrId>& counted);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_RELATION_RELATION_OPS_H_

@@ -1,0 +1,63 @@
+#include "relation/schema.h"
+
+#include <sstream>
+
+#include "common/combinatorics.h"
+
+namespace provview {
+
+Schema::Schema(CatalogPtr catalog, std::vector<AttrId> attrs)
+    : catalog_(std::move(catalog)), attrs_(std::move(attrs)) {
+  PV_CHECK(catalog_ != nullptr);
+  position_of_.assign(static_cast<size_t>(catalog_->size()), -1);
+  for (size_t pos = 0; pos < attrs_.size(); ++pos) {
+    AttrId id = attrs_[pos];
+    PV_CHECK_MSG(id >= 0 && id < catalog_->size(),
+                 "schema references unknown attribute id " << id);
+    PV_CHECK_MSG(position_of_[static_cast<size_t>(id)] == -1,
+                 "duplicate attribute " << catalog_->Name(id) << " in schema");
+    position_of_[static_cast<size_t>(id)] = static_cast<int>(pos);
+  }
+}
+
+int Schema::PositionOf(AttrId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= position_of_.size()) return -1;
+  return position_of_[static_cast<size_t>(id)];
+}
+
+Bitset64 Schema::AttrSet() const {
+  Bitset64 s(catalog_->size());
+  for (AttrId id : attrs_) s.Set(id);
+  return s;
+}
+
+std::vector<int> Schema::DomainSizes() const {
+  std::vector<int> out;
+  out.reserve(attrs_.size());
+  for (AttrId id : attrs_) out.push_back(catalog_->DomainSize(id));
+  return out;
+}
+
+int64_t Schema::ProductSpaceSize() const {
+  std::vector<int64_t> sizes;
+  sizes.reserve(attrs_.size());
+  for (AttrId id : attrs_) sizes.push_back(catalog_->DomainSize(id));
+  return SaturatingProduct(sizes);
+}
+
+bool Schema::operator==(const Schema& other) const {
+  return catalog_ == other.catalog_ && attrs_ == other.attrs_;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream oss;
+  oss << "(";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << catalog_->Name(attrs_[i]);
+  }
+  oss << ")";
+  return oss.str();
+}
+
+}  // namespace provview

@@ -1,0 +1,60 @@
+// Ordered attribute list of a relation, bound to an AttributeCatalog.
+// Relations over the same catalog can be joined on shared attribute ids,
+// which is how the workflow provenance relation R = R1 ⋈ ... ⋈ Rn (§2.3)
+// is assembled from the constituent module relations.
+#ifndef PROVVIEW_RELATION_SCHEMA_H_
+#define PROVVIEW_RELATION_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bitset64.h"
+#include "relation/attribute.h"
+
+namespace provview {
+
+/// Immutable ordered list of attribute ids plus the catalog they live in.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(CatalogPtr catalog, std::vector<AttrId> attrs);
+
+  const CatalogPtr& catalog() const { return catalog_; }
+  const std::vector<AttrId>& attrs() const { return attrs_; }
+  int arity() const { return static_cast<int>(attrs_.size()); }
+
+  AttrId attr(int pos) const {
+    PV_CHECK_MSG(pos >= 0 && pos < arity(), "bad schema position " << pos);
+    return attrs_[static_cast<size_t>(pos)];
+  }
+
+  /// Position of attribute `id` in this schema, or -1 if absent.
+  int PositionOf(AttrId id) const;
+
+  bool ContainsAttr(AttrId id) const { return PositionOf(id) >= 0; }
+
+  /// The attribute ids as a bitset over the catalog universe.
+  Bitset64 AttrSet() const;
+
+  /// Domain sizes in schema order (radices for tuple enumeration).
+  std::vector<int> DomainSizes() const;
+
+  /// Number of distinct tuples of the full product space, saturating.
+  int64_t ProductSpaceSize() const;
+
+  bool operator==(const Schema& other) const;
+
+  /// "(a1, a2, a3)".
+  std::string ToString() const;
+
+ private:
+  CatalogPtr catalog_;
+  std::vector<AttrId> attrs_;
+  // position_of_[id] = position in attrs_, or -1. Sized to the catalog at
+  // construction time; ids added to the catalog later are simply absent.
+  std::vector<int> position_of_;
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_RELATION_SCHEMA_H_

@@ -1,0 +1,182 @@
+#include "secureview/feasibility.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace provview {
+
+namespace {
+
+// Number of hidden attributes among `attrs`.
+int HiddenCount(const std::vector<int>& attrs, const Bitset64& hidden) {
+  int count = 0;
+  for (int a : attrs) {
+    if (hidden.Test(a)) ++count;
+  }
+  return count;
+}
+
+// The `count` cheapest attributes of `attrs` not already in `hidden`,
+// given that `already` of them are hidden. Returns the additional ids.
+std::vector<int> CheapestMissing(const SecureViewInstance& inst,
+                                 const std::vector<int>& attrs,
+                                 const Bitset64& hidden, int needed) {
+  std::vector<int> candidates;
+  for (int a : attrs) {
+    if (!hidden.Test(a)) candidates.push_back(a);
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+    return inst.attr_cost[static_cast<size_t>(a)] <
+           inst.attr_cost[static_cast<size_t>(b)];
+  });
+  PV_CHECK_MSG(needed <= static_cast<int>(candidates.size()),
+               "requirement exceeds available attributes");
+  candidates.resize(static_cast<size_t>(std::max(needed, 0)));
+  return candidates;
+}
+
+}  // namespace
+
+bool ModuleSatisfied(const SecureViewInstance& inst, int module_index,
+                     const Bitset64& hidden) {
+  const SvModule& m = inst.modules[static_cast<size_t>(module_index)];
+  PV_CHECK_MSG(!m.is_public, "public modules carry no requirement");
+  if (inst.kind == ConstraintKind::kCardinality) {
+    int hidden_in = HiddenCount(m.inputs, hidden);
+    int hidden_out = HiddenCount(m.outputs, hidden);
+    for (const CardOption& o : m.card_options) {
+      if (hidden_in >= o.alpha && hidden_out >= o.beta) return true;
+    }
+    return false;
+  }
+  for (const SetOption& o : m.set_options) {
+    bool covered = true;
+    for (int a : o.hidden_inputs) {
+      if (!hidden.Test(a)) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) {
+      for (int a : o.hidden_outputs) {
+        if (!hidden.Test(a)) {
+          covered = false;
+          break;
+        }
+      }
+    }
+    if (covered) return true;
+  }
+  return false;
+}
+
+std::vector<int> RequiredPrivatizations(const SecureViewInstance& inst,
+                                        const Bitset64& hidden) {
+  std::vector<int> out;
+  for (int i : inst.PublicModules()) {
+    const SvModule& m = inst.modules[static_cast<size_t>(i)];
+    bool touched = false;
+    for (int a : m.inputs) {
+      if (hidden.Test(a)) {
+        touched = true;
+        break;
+      }
+    }
+    if (!touched) {
+      for (int a : m.outputs) {
+        if (hidden.Test(a)) {
+          touched = true;
+          break;
+        }
+      }
+    }
+    if (touched) out.push_back(i);
+  }
+  return out;
+}
+
+SecureViewSolution CompleteSolution(const SecureViewInstance& inst,
+                                    const Bitset64& hidden) {
+  SecureViewSolution sol;
+  sol.hidden = hidden;
+  sol.privatized = RequiredPrivatizations(inst, hidden);
+  return sol;
+}
+
+bool IsFeasible(const SecureViewInstance& inst,
+                const SecureViewSolution& solution) {
+  for (int i : inst.PrivateModules()) {
+    if (!ModuleSatisfied(inst, i, solution.hidden)) return false;
+  }
+  std::set<int> privatized(solution.privatized.begin(),
+                           solution.privatized.end());
+  for (int i : RequiredPrivatizations(inst, solution.hidden)) {
+    if (privatized.count(i) == 0) return false;
+  }
+  return true;
+}
+
+std::vector<int> UnsatisfiedModules(const SecureViewInstance& inst,
+                                    const Bitset64& hidden) {
+  std::vector<int> out;
+  for (int i : inst.PrivateModules()) {
+    if (!ModuleSatisfied(inst, i, hidden)) out.push_back(i);
+  }
+  return out;
+}
+
+Bitset64 CheapestAdditionForOption(const SecureViewInstance& inst,
+                                   int module_index, int option_index,
+                                   const Bitset64& hidden) {
+  const SvModule& m = inst.modules[static_cast<size_t>(module_index)];
+  PV_CHECK(!m.is_public);
+  std::vector<int> additions;
+  if (inst.kind == ConstraintKind::kCardinality) {
+    const CardOption& o =
+        m.card_options[static_cast<size_t>(option_index)];
+    int hidden_in = HiddenCount(m.inputs, hidden);
+    int hidden_out = HiddenCount(m.outputs, hidden);
+    additions = CheapestMissing(inst, m.inputs, hidden, o.alpha - hidden_in);
+    std::vector<int> out_adds =
+        CheapestMissing(inst, m.outputs, hidden, o.beta - hidden_out);
+    additions.insert(additions.end(), out_adds.begin(), out_adds.end());
+  } else {
+    const SetOption& o = m.set_options[static_cast<size_t>(option_index)];
+    for (int a : o.hidden_inputs) {
+      if (!hidden.Test(a)) additions.push_back(a);
+    }
+    for (int a : o.hidden_outputs) {
+      if (!hidden.Test(a)) additions.push_back(a);
+    }
+  }
+  return Bitset64::Of(inst.num_attrs, additions);
+}
+
+int NumOptions(const SecureViewInstance& inst, int module_index) {
+  const SvModule& m = inst.modules[static_cast<size_t>(module_index)];
+  return inst.kind == ConstraintKind::kCardinality
+             ? static_cast<int>(m.card_options.size())
+             : static_cast<int>(m.set_options.size());
+}
+
+Bitset64 CheapestSatisfyingAddition(const SecureViewInstance& inst,
+                                    int module_index, const Bitset64& hidden) {
+  double best_cost = std::numeric_limits<double>::infinity();
+  Bitset64 best(inst.num_attrs);
+  for (int j = 0; j < NumOptions(inst, module_index); ++j) {
+    Bitset64 addition =
+        CheapestAdditionForOption(inst, module_index, j, hidden);
+    double cost = inst.AttrCost(addition);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = addition;
+    }
+  }
+  PV_CHECK_MSG(best_cost < std::numeric_limits<double>::infinity(),
+               "no satisfying option for module "
+                   << inst.modules[static_cast<size_t>(module_index)].name);
+  return best;
+}
+
+}  // namespace provview

@@ -1,0 +1,54 @@
+// Feasibility checking and solution completion for Secure-View instances.
+#ifndef PROVVIEW_SECUREVIEW_FEASIBILITY_H_
+#define PROVVIEW_SECUREVIEW_FEASIBILITY_H_
+
+#include "secureview/instance.h"
+
+namespace provview {
+
+/// True if hidden satisfies private module `module_index`'s requirement
+/// list (∃ an option met by `hidden`).
+bool ModuleSatisfied(const SecureViewInstance& inst, int module_index,
+                     const Bitset64& hidden);
+
+/// Public modules that must be privatized for `hidden` to be safe
+/// (Theorem 8 / IP constraint (21): every public module with a hidden
+/// input or output attribute).
+std::vector<int> RequiredPrivatizations(const SecureViewInstance& inst,
+                                        const Bitset64& hidden);
+
+/// Builds the canonical solution induced by a hidden attribute set:
+/// privatizes exactly the required public modules.
+SecureViewSolution CompleteSolution(const SecureViewInstance& inst,
+                                    const Bitset64& hidden);
+
+/// Full feasibility: every private module satisfied AND every public
+/// module with a hidden adjacent attribute is privatized.
+bool IsFeasible(const SecureViewInstance& inst,
+                const SecureViewSolution& solution);
+
+/// Indices of private modules NOT satisfied by `hidden`.
+std::vector<int> UnsatisfiedModules(const SecureViewInstance& inst,
+                                    const Bitset64& hidden);
+
+/// Minimum-cost attribute set whose addition to `hidden` realizes option
+/// `option_index` of private module `module_index`, counting only
+/// attributes not already hidden.
+Bitset64 CheapestAdditionForOption(const SecureViewInstance& inst,
+                                   int module_index, int option_index,
+                                   const Bitset64& hidden);
+
+/// Minimum-cost attribute set whose addition to `hidden` satisfies private
+/// module `module_index` (the B_i^min repair step of Algorithm 1):
+/// cheapest completion over all options, counting only attributes not
+/// already hidden. Always exists for a valid instance.
+Bitset64 CheapestSatisfyingAddition(const SecureViewInstance& inst,
+                                    int module_index, const Bitset64& hidden);
+
+/// Number of options in module `module_index`'s requirement list (of the
+/// instance's constraint kind).
+int NumOptions(const SecureViewInstance& inst, int module_index);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_SECUREVIEW_FEASIBILITY_H_

@@ -1,0 +1,108 @@
+#include "secureview/from_workflow.h"
+
+#include <set>
+
+#include "privacy/safe_subset_search.h"
+#include "privacy/workflow_privacy.h"
+
+namespace provview {
+
+SecureViewInstance InstanceFromWorkflow(const Workflow& workflow,
+                                        int64_t gamma, ConstraintKind kind) {
+  return InstanceFromWorkflow(
+      workflow,
+      std::vector<int64_t>(static_cast<size_t>(workflow.num_modules()),
+                           gamma),
+      kind);
+}
+
+SecureViewInstance InstanceFromWorkflow(const Workflow& workflow,
+                                        const std::vector<int64_t>& gammas,
+                                        ConstraintKind kind) {
+  PV_CHECK_MSG(static_cast<int>(gammas.size()) == workflow.num_modules(),
+               "one gamma per module expected");
+  const AttributeCatalog& catalog = *workflow.catalog();
+  SecureViewInstance inst;
+  inst.kind = kind;
+  inst.num_attrs = catalog.size();
+  inst.attr_cost.reserve(static_cast<size_t>(catalog.size()));
+  for (AttrId id = 0; id < catalog.size(); ++id) {
+    inst.attr_cost.push_back(catalog.Cost(id));
+  }
+  for (int i = 0; i < workflow.num_modules(); ++i) {
+    const Module& m = workflow.module(i);
+    SvModule spec;
+    spec.name = m.name();
+    spec.inputs.assign(m.inputs().begin(), m.inputs().end());
+    spec.outputs.assign(m.outputs().begin(), m.outputs().end());
+    spec.is_public = m.is_public();
+    spec.privatization_cost = m.is_public() ? m.privatization_cost() : 0.0;
+    if (!m.is_public()) {
+      const int64_t gamma = gammas[static_cast<size_t>(i)];
+      if (kind == ConstraintKind::kSet) {
+        std::vector<Bitset64> minimal = MinimalSafeHiddenSets(m, gamma);
+        PV_CHECK_MSG(!minimal.empty(),
+                     "module " << m.name() << " cannot reach gamma " << gamma);
+        std::set<AttrId> in_set(m.inputs().begin(), m.inputs().end());
+        for (const Bitset64& hidden : minimal) {
+          SetOption option;
+          for (int a : hidden.ToVector()) {
+            if (in_set.count(a) != 0) {
+              option.hidden_inputs.push_back(a);
+            } else {
+              option.hidden_outputs.push_back(a);
+            }
+          }
+          spec.set_options.push_back(std::move(option));
+        }
+      } else {
+        std::vector<CardinalityPair> frontier =
+            MinimalSafeCardinalityPairs(m, gamma);
+        PV_CHECK_MSG(!frontier.empty(),
+                     "module " << m.name()
+                               << " has no safe cardinality pair for gamma "
+                               << gamma);
+        for (const CardinalityPair& p : frontier) {
+          spec.card_options.push_back(CardOption{p.alpha, p.beta});
+        }
+      }
+    }
+    inst.modules.push_back(std::move(spec));
+  }
+  Status st = inst.Validate();
+  PV_CHECK_MSG(st.ok(), st.ToString());
+  return inst;
+}
+
+SecureViewSolution UnionOfStandaloneOptima(const Workflow& workflow,
+                                           int64_t gamma) {
+  std::vector<Bitset64> per_module;
+  for (int i : workflow.PrivateModuleIndices()) {
+    MinCostSafeResult r = MinCostSafeHiddenSet(workflow.module(i), gamma);
+    PV_CHECK_MSG(r.found, "module " << workflow.module(i).name()
+                                    << " cannot reach gamma " << gamma);
+    per_module.push_back(r.hidden);
+  }
+  ComposedSolution composed =
+      ComposeStandaloneSolutions(workflow, per_module);
+  SecureViewSolution sol;
+  sol.hidden = composed.hidden;
+  sol.privatized = composed.privatized_modules;
+  return sol;
+}
+
+bool VerifySolutionSemantics(const Workflow& workflow,
+                             const SecureViewSolution& solution,
+                             int64_t gamma) {
+  PrivacyCertificate cert =
+      CertifyWorkflowPrivacy(workflow, solution.hidden, gamma);
+  if (!cert.certified) return false;
+  std::set<int> privatized(solution.privatized.begin(),
+                           solution.privatized.end());
+  for (int i : cert.required_privatizations) {
+    if (privatized.count(i) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace provview

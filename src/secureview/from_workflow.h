@@ -1,0 +1,49 @@
+// Bridge from executable workflows to combinatorial Secure-View instances.
+// For each private module the §3 standalone searches derive its requirement
+// list from its actual functionality:
+//   - set constraints: the antichain of minimal safe hidden subsets
+//     (Theorem 4 makes any per-module choice compose into workflow privacy);
+//   - cardinality constraints: the minimal safe (α, β) frontier.
+// Public modules are carried over with their privatization costs
+// (Theorem 8 / §5.2).
+#ifndef PROVVIEW_SECUREVIEW_FROM_WORKFLOW_H_
+#define PROVVIEW_SECUREVIEW_FROM_WORKFLOW_H_
+
+#include "secureview/instance.h"
+#include "workflow/workflow.h"
+
+namespace provview {
+
+/// Builds the Secure-View instance of `workflow` for privacy target Γ.
+/// Attribute indices coincide with catalog attribute ids. Every private
+/// module must have at least one safe option (hiding all its attributes is
+/// checked as a fallback); otherwise this aborts — such a module cannot be
+/// made Γ-private at all.
+SecureViewInstance InstanceFromWorkflow(const Workflow& workflow,
+                                        int64_t gamma, ConstraintKind kind);
+
+/// Heterogeneous privacy targets: one Γ_i per module index (entries for
+/// public modules are ignored). The paper notes (§2.4) that all results
+/// carry over unchanged to per-module requirements.
+SecureViewInstance InstanceFromWorkflow(const Workflow& workflow,
+                                        const std::vector<int64_t>& gammas,
+                                        ConstraintKind kind);
+
+/// The Example-5 baseline: each private module independently hides its own
+/// minimum-cost standalone-safe subset; the workflow hides the union
+/// (and privatizes the touched public modules). Theorem 4/8 guarantee
+/// feasibility; Example 5 shows the cost can be Ω(n) · OPT.
+SecureViewSolution UnionOfStandaloneOptima(const Workflow& workflow,
+                                           int64_t gamma);
+
+/// End-to-end check tying the optimizer back to the semantics: certifies
+/// (via the Theorem 4/8 sufficient condition) that `solution` makes every
+/// private module Γ-standalone-private and privatizes every public module
+/// it must. Returns true iff certified.
+bool VerifySolutionSemantics(const Workflow& workflow,
+                             const SecureViewSolution& solution,
+                             int64_t gamma);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_SECUREVIEW_FROM_WORKFLOW_H_

@@ -1,0 +1,240 @@
+#include "secureview/ilp_encoding.h"
+
+#include "secureview/feasibility.h"
+
+namespace provview {
+
+namespace {
+
+// Shared scaffolding: x_b per attribute, w_i per public module with the
+// C.4 coupling constraints w_i ≥ x_b.
+void EncodeCommon(const SecureViewInstance& inst, SvEncoding* enc) {
+  enc->x_var.reserve(static_cast<size_t>(inst.num_attrs));
+  for (int b = 0; b < inst.num_attrs; ++b) {
+    enc->x_var.push_back(enc->lp.AddUnitVariable(
+        inst.attr_cost[static_cast<size_t>(b)], "x_" + std::to_string(b)));
+    enc->integer_vars.push_back(enc->x_var.back());
+  }
+  enc->w_var.assign(static_cast<size_t>(inst.num_modules()), -1);
+  for (int i : inst.PublicModules()) {
+    const SvModule& m = inst.modules[static_cast<size_t>(i)];
+    int w = enc->lp.AddUnitVariable(m.privatization_cost,
+                                    "w_" + std::to_string(i));
+    enc->w_var[static_cast<size_t>(i)] = w;
+    enc->integer_vars.push_back(w);
+    auto couple = [&](int b) {
+      // w_i - x_b ≥ 0.
+      enc->lp.AddConstraint({{w, 1.0}, {enc->x_var[static_cast<size_t>(b)], -1.0}},
+                            ConstraintSense::kGe, 0.0);
+    };
+    for (int b : m.inputs) couple(b);
+    for (int b : m.outputs) couple(b);
+  }
+  enc->r_var.assign(static_cast<size_t>(inst.num_modules()), {});
+}
+
+// Shared: allocates r_ij with the pick-one constraint (1); returns the
+// per-option variable ids for module i.
+std::vector<int> AddOptionVars(const SecureViewInstance& inst, int i,
+                               SvEncoding* enc) {
+  const SvModule& m = inst.modules[static_cast<size_t>(i)];
+  const int li = static_cast<int>(m.card_options.size());
+  auto& r_of = enc->r_var[static_cast<size_t>(i)];
+  std::vector<std::pair<int, double>> pick_one;
+  for (int j = 0; j < li; ++j) {
+    int r = enc->lp.AddUnitVariable(
+        0.0, "r_" + std::to_string(i) + "_" + std::to_string(j));
+    r_of.push_back(r);
+    enc->integer_vars.push_back(r);
+    pick_one.emplace_back(r, 1.0);
+  }
+  enc->lp.AddConstraint(std::move(pick_one), ConstraintSense::kGe, 1.0);
+  return r_of;
+}
+
+// Appendix-B.4 "direct" ablation: Σ_{b∈I_i} x_b ≥ α_ij r_ij and the
+// output analogue, with no per-option y/z accounting.
+void EncodeCardinalityDirect(const SecureViewInstance& inst,
+                             SvEncoding* enc) {
+  for (int i : inst.PrivateModules()) {
+    const SvModule& m = inst.modules[static_cast<size_t>(i)];
+    std::vector<int> r_of = AddOptionVars(inst, i, enc);
+    for (size_t j = 0; j < m.card_options.size(); ++j) {
+      const CardOption& o = m.card_options[j];
+      std::vector<std::pair<int, double>> in_terms, out_terms;
+      for (int b : m.inputs) {
+        in_terms.emplace_back(enc->x_var[static_cast<size_t>(b)], 1.0);
+      }
+      in_terms.emplace_back(r_of[j], -static_cast<double>(o.alpha));
+      enc->lp.AddConstraint(std::move(in_terms), ConstraintSense::kGe, 0.0);
+      for (int b : m.outputs) {
+        out_terms.emplace_back(enc->x_var[static_cast<size_t>(b)], 1.0);
+      }
+      out_terms.emplace_back(r_of[j], -static_cast<double>(o.beta));
+      enc->lp.AddConstraint(std::move(out_terms), ConstraintSense::kGe, 0.0);
+    }
+  }
+}
+
+void EncodeCardinalityImpl(const SecureViewInstance& inst, SvEncoding* enc,
+                           bool with_coupling);
+
+void EncodeCardinality(const SecureViewInstance& inst, SvEncoding* enc) {
+  EncodeCardinalityImpl(inst, enc, /*with_coupling=*/true);
+}
+
+void EncodeCardinalityImpl(const SecureViewInstance& inst, SvEncoding* enc,
+                           bool with_coupling) {
+  for (int i : inst.PrivateModules()) {
+    const SvModule& m = inst.modules[static_cast<size_t>(i)];
+    const int li = static_cast<int>(m.card_options.size());
+    // (1): Σ_j r_ij ≥ 1 (inside AddOptionVars).
+    std::vector<int> r_of = AddOptionVars(inst, i, enc);
+
+    // y_bij / z_bij with constraints (2)-(7).
+    // y_col[b_pos][j], z_col[b_pos][j].
+    std::vector<std::vector<int>> y_col(m.inputs.size()),
+        z_col(m.outputs.size());
+    for (size_t bp = 0; bp < m.inputs.size(); ++bp) {
+      for (int j = 0; j < li; ++j) {
+        y_col[bp].push_back(enc->lp.AddUnitVariable(0.0));
+      }
+    }
+    for (size_t bp = 0; bp < m.outputs.size(); ++bp) {
+      for (int j = 0; j < li; ++j) {
+        z_col[bp].push_back(enc->lp.AddUnitVariable(0.0));
+      }
+    }
+    for (int j = 0; j < li; ++j) {
+      const CardOption& o = m.card_options[static_cast<size_t>(j)];
+      // (2): Σ_b y_bij - α_ij r_ij ≥ 0.
+      std::vector<std::pair<int, double>> terms;
+      for (size_t bp = 0; bp < m.inputs.size(); ++bp) {
+        terms.emplace_back(y_col[bp][static_cast<size_t>(j)], 1.0);
+      }
+      terms.emplace_back(r_of[static_cast<size_t>(j)],
+                         -static_cast<double>(o.alpha));
+      enc->lp.AddConstraint(std::move(terms), ConstraintSense::kGe, 0.0);
+      // (3): Σ_b z_bij - β_ij r_ij ≥ 0.
+      terms.clear();
+      for (size_t bp = 0; bp < m.outputs.size(); ++bp) {
+        terms.emplace_back(z_col[bp][static_cast<size_t>(j)], 1.0);
+      }
+      terms.emplace_back(r_of[static_cast<size_t>(j)],
+                         -static_cast<double>(o.beta));
+      enc->lp.AddConstraint(std::move(terms), ConstraintSense::kGe, 0.0);
+    }
+    // (4): Σ_j y_bij ≤ x_b; (6): y_bij ≤ r_ij (coupling, ablatable).
+    for (size_t bp = 0; bp < m.inputs.size(); ++bp) {
+      std::vector<std::pair<int, double>> sum_terms;
+      for (int j = 0; j < li; ++j) {
+        sum_terms.emplace_back(y_col[bp][static_cast<size_t>(j)], 1.0);
+        if (with_coupling) {
+          enc->lp.AddConstraint({{y_col[bp][static_cast<size_t>(j)], 1.0},
+                                 {r_of[static_cast<size_t>(j)], -1.0}},
+                                ConstraintSense::kLe, 0.0);
+        }
+      }
+      sum_terms.emplace_back(
+          enc->x_var[static_cast<size_t>(m.inputs[bp])], -1.0);
+      enc->lp.AddConstraint(std::move(sum_terms), ConstraintSense::kLe, 0.0);
+    }
+    // (5): Σ_j z_bij ≤ x_b; (7): z_bij ≤ r_ij (coupling, ablatable).
+    for (size_t bp = 0; bp < m.outputs.size(); ++bp) {
+      std::vector<std::pair<int, double>> sum_terms;
+      for (int j = 0; j < li; ++j) {
+        sum_terms.emplace_back(z_col[bp][static_cast<size_t>(j)], 1.0);
+        if (with_coupling) {
+          enc->lp.AddConstraint({{z_col[bp][static_cast<size_t>(j)], 1.0},
+                                 {r_of[static_cast<size_t>(j)], -1.0}},
+                                ConstraintSense::kLe, 0.0);
+        }
+      }
+      sum_terms.emplace_back(
+          enc->x_var[static_cast<size_t>(m.outputs[bp])], -1.0);
+      enc->lp.AddConstraint(std::move(sum_terms), ConstraintSense::kLe, 0.0);
+    }
+  }
+}
+
+void EncodeSet(const SecureViewInstance& inst, SvEncoding* enc) {
+  for (int i : inst.PrivateModules()) {
+    const SvModule& m = inst.modules[static_cast<size_t>(i)];
+    const int li = static_cast<int>(m.set_options.size());
+    auto& r_of = enc->r_var[static_cast<size_t>(i)];
+    std::vector<std::pair<int, double>> pick_one;
+    for (int j = 0; j < li; ++j) {
+      int r = enc->lp.AddUnitVariable(
+          0.0, "r_" + std::to_string(i) + "_" + std::to_string(j));
+      r_of.push_back(r);
+      enc->integer_vars.push_back(r);
+      pick_one.emplace_back(r, 1.0);
+    }
+    // (15): Σ_j r_ij ≥ 1.
+    enc->lp.AddConstraint(std::move(pick_one), ConstraintSense::kGe, 1.0);
+    // (16): x_b ≥ r_ij for every b in the option.
+    for (int j = 0; j < li; ++j) {
+      const SetOption& o = m.set_options[static_cast<size_t>(j)];
+      auto couple = [&](int b) {
+        enc->lp.AddConstraint({{enc->x_var[static_cast<size_t>(b)], 1.0},
+                               {r_of[static_cast<size_t>(j)], -1.0}},
+                              ConstraintSense::kGe, 0.0);
+      };
+      for (int b : o.hidden_inputs) couple(b);
+      for (int b : o.hidden_outputs) couple(b);
+    }
+  }
+}
+
+}  // namespace
+
+SvEncoding EncodeSecureView(const SecureViewInstance& inst) {
+  Status st = inst.Validate();
+  PV_CHECK_MSG(st.ok(), st.ToString());
+  SvEncoding enc;
+  EncodeCommon(inst, &enc);
+  if (inst.kind == ConstraintKind::kCardinality) {
+    EncodeCardinality(inst, &enc);
+  } else {
+    EncodeSet(inst, &enc);
+  }
+  return enc;
+}
+
+SvEncoding EncodeCardinalityVariant(const SecureViewInstance& inst,
+                                    CardEncodingVariant variant) {
+  PV_CHECK_MSG(inst.kind == ConstraintKind::kCardinality,
+               "ablation variants are cardinality-only");
+  Status st = inst.Validate();
+  PV_CHECK_MSG(st.ok(), st.ToString());
+  SvEncoding enc;
+  EncodeCommon(inst, &enc);
+  switch (variant) {
+    case CardEncodingVariant::kFull:
+      EncodeCardinalityImpl(inst, &enc, /*with_coupling=*/true);
+      break;
+    case CardEncodingVariant::kNoCoupling:
+      EncodeCardinalityImpl(inst, &enc, /*with_coupling=*/false);
+      break;
+    case CardEncodingVariant::kDirect:
+      EncodeCardinalityDirect(inst, &enc);
+      break;
+  }
+  return enc;
+}
+
+SecureViewSolution DecodeSolution(const SecureViewInstance& inst,
+                                  const SvEncoding& enc,
+                                  const std::vector<double>& x,
+                                  double threshold) {
+  Bitset64 hidden(inst.num_attrs);
+  for (int b = 0; b < inst.num_attrs; ++b) {
+    if (x[static_cast<size_t>(enc.x_var[static_cast<size_t>(b)])] >=
+        threshold) {
+      hidden.Set(b);
+    }
+  }
+  return CompleteSolution(inst, hidden);
+}
+
+}  // namespace provview

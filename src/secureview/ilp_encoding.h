@@ -1,0 +1,58 @@
+// ILP / LP-relaxation encodings of the Secure-View problem:
+//   - cardinality constraints: the Figure-3 integer program (with the
+//     summation constraints (4)-(5) and the coupling constraints (6)-(7)
+//     whose necessity Appendix B.4 proves via integrality-gap examples);
+//   - set constraints: program (15)-(17) of Appendix B.5;
+//   - general workflows: the Appendix-C.4 extension with a privatization
+//     variable w_i per public module and constraints w_i ≥ x_b for every
+//     attribute b adjacent to public module i.
+#ifndef PROVVIEW_SECUREVIEW_ILP_ENCODING_H_
+#define PROVVIEW_SECUREVIEW_ILP_ENCODING_H_
+
+#include <vector>
+
+#include "lp/linear_program.h"
+#include "secureview/instance.h"
+
+namespace provview {
+
+/// Encoded program plus the variable maps needed to decode solutions.
+struct SvEncoding {
+  LinearProgram lp;
+  std::vector<int> x_var;                ///< per attribute: x_b
+  std::vector<int> w_var;                ///< per module: w_i, or -1 if private
+  std::vector<std::vector<int>> r_var;   ///< per module, per option: r_ij
+  /// Variables that must be integral for the exact ILP (x, r, w; the
+  /// auxiliary y/z of Figure 3 may stay continuous without affecting
+  /// exactness).
+  std::vector<int> integer_vars;
+};
+
+/// Builds the encoding matching inst.kind.
+SvEncoding EncodeSecureView(const SecureViewInstance& inst);
+
+/// Ablation variants of the cardinality encoding, for the Appendix-B.4
+/// integrality-gap study:
+///   kFull       — the Figure-3 program (same as EncodeSecureView);
+///   kNoCoupling — drops constraints (6)-(7) (y/z no longer bounded by r),
+///                 letting a fractional solution mix incomparable options;
+///   kDirect     — drops the y/z accounting entirely and writes
+///                 Σ_{b∈I_i} x_b ≥ α_ij·r_ij (resp. outputs) directly;
+///                 the same x mass then satisfies every option at once,
+///                 which B.4 shows yields an Ω(ℓ_max) gap.
+/// All variants agree on INTEGRAL optima (they are valid IPs); they differ
+/// in how tight their LP relaxations are.
+enum class CardEncodingVariant { kFull, kNoCoupling, kDirect };
+SvEncoding EncodeCardinalityVariant(const SecureViewInstance& inst,
+                                    CardEncodingVariant variant);
+
+/// Decodes an LP/ILP assignment into a hidden attribute set by thresholding
+/// x_b at `threshold`, completing privatizations canonically.
+SecureViewSolution DecodeSolution(const SecureViewInstance& inst,
+                                  const SvEncoding& enc,
+                                  const std::vector<double>& x,
+                                  double threshold = 0.5);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_SECUREVIEW_ILP_ENCODING_H_

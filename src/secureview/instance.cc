@@ -1,0 +1,134 @@
+#include "secureview/instance.h"
+
+#include <algorithm>
+#include <set>
+
+namespace provview {
+
+int SecureViewInstance::MaxListLength() const {
+  int lmax = 0;
+  for (const SvModule& m : modules) {
+    if (m.is_public) continue;
+    int len = kind == ConstraintKind::kCardinality
+                  ? static_cast<int>(m.card_options.size())
+                  : static_cast<int>(m.set_options.size());
+    lmax = std::max(lmax, len);
+  }
+  return lmax;
+}
+
+int SecureViewInstance::DataSharingDegree() const {
+  std::vector<int> consumers(static_cast<size_t>(num_attrs), 0);
+  for (const SvModule& m : modules) {
+    for (int a : m.inputs) ++consumers[static_cast<size_t>(a)];
+  }
+  int gamma = 0;
+  for (int c : consumers) gamma = std::max(gamma, c);
+  return gamma;
+}
+
+double SecureViewInstance::AttrCost(const Bitset64& hidden) const {
+  double total = 0.0;
+  for (int a : hidden.ToVector()) total += attr_cost[static_cast<size_t>(a)];
+  return total;
+}
+
+std::vector<int> SecureViewInstance::PrivateModules() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_modules(); ++i) {
+    if (!modules[static_cast<size_t>(i)].is_public) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> SecureViewInstance::PublicModules() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_modules(); ++i) {
+    if (modules[static_cast<size_t>(i)].is_public) out.push_back(i);
+  }
+  return out;
+}
+
+Status SecureViewInstance::Validate() const {
+  if (static_cast<int>(attr_cost.size()) != num_attrs) {
+    return Status::InvalidArgument("attr_cost size mismatch");
+  }
+  for (double c : attr_cost) {
+    if (c < 0) return Status::InvalidArgument("negative attribute cost");
+  }
+  for (const SvModule& m : modules) {
+    std::set<int> in_set(m.inputs.begin(), m.inputs.end());
+    std::set<int> out_set(m.outputs.begin(), m.outputs.end());
+    for (int a : m.inputs) {
+      if (a < 0 || a >= num_attrs) {
+        return Status::InvalidArgument("bad input attr in " + m.name);
+      }
+    }
+    for (int a : m.outputs) {
+      if (a < 0 || a >= num_attrs) {
+        return Status::InvalidArgument("bad output attr in " + m.name);
+      }
+      if (in_set.count(a) != 0) {
+        return Status::InvalidArgument("I ∩ O non-empty in " + m.name);
+      }
+    }
+    if (m.is_public) {
+      if (!m.card_options.empty() || !m.set_options.empty()) {
+        return Status::InvalidArgument("public module " + m.name +
+                                       " must not carry requirements");
+      }
+      if (m.privatization_cost < 0) {
+        return Status::InvalidArgument("negative privatization cost for " +
+                                       m.name);
+      }
+      continue;
+    }
+    if (kind == ConstraintKind::kCardinality) {
+      if (m.card_options.empty()) {
+        return Status::InvalidArgument("private module " + m.name +
+                                       " has empty cardinality list");
+      }
+      for (const CardOption& o : m.card_options) {
+        if (o.alpha < 0 || o.alpha > static_cast<int>(m.inputs.size()) ||
+            o.beta < 0 || o.beta > static_cast<int>(m.outputs.size())) {
+          return Status::InvalidArgument("cardinality option out of range in " +
+                                         m.name);
+        }
+      }
+    } else {
+      if (m.set_options.empty()) {
+        return Status::InvalidArgument("private module " + m.name +
+                                       " has empty set list");
+      }
+      for (const SetOption& o : m.set_options) {
+        for (int a : o.hidden_inputs) {
+          if (in_set.count(a) == 0) {
+            return Status::InvalidArgument("set option input not in I_i of " +
+                                           m.name);
+          }
+        }
+        for (int a : o.hidden_outputs) {
+          if (out_set.count(a) == 0) {
+            return Status::InvalidArgument("set option output not in O_i of " +
+                                           m.name);
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double SecureViewSolution::PrivatizationCost(
+    const SecureViewInstance& inst) const {
+  double total = 0.0;
+  for (int i : privatized) {
+    PV_CHECK(i >= 0 && i < inst.num_modules());
+    PV_CHECK_MSG(inst.modules[static_cast<size_t>(i)].is_public,
+                 "cannot privatize a private module");
+    total += inst.modules[static_cast<size_t>(i)].privatization_cost;
+  }
+  return total;
+}
+
+}  // namespace provview

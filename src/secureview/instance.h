@@ -1,0 +1,99 @@
+// Combinatorial model of the workflow Secure-View problem (§4.2, §5.2).
+// An instance lists the workflow's attributes (with hiding costs), its
+// modules (with input/output attribute sets, public flags and privatization
+// costs), and per-private-module requirement lists in one of the paper's
+// two forms:
+//   - cardinality constraints: L_i = ⟨(α_i^j, β_i^j)⟩ — hiding ANY α_i^j
+//     inputs and β_i^j outputs of m_i satisfies m_i;
+//   - set constraints: L_i = ⟨(I_i^j, O_i^j)⟩ — hiding the specific subset
+//     I_i^j ∪ O_i^j satisfies m_i.
+// A solution hides an attribute subset V̄ and privatizes a set P̄ of public
+// modules; §5.2's cost model charges c(a) per hidden attribute plus c(m)
+// per privatized module. All-private workflows (§4) are the special case
+// with no public modules.
+#ifndef PROVVIEW_SECUREVIEW_INSTANCE_H_
+#define PROVVIEW_SECUREVIEW_INSTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bitset64.h"
+#include "common/status.h"
+
+namespace provview {
+
+/// Which requirement form the instance carries.
+enum class ConstraintKind { kCardinality, kSet };
+
+/// One cardinality option (α, β).
+struct CardOption {
+  int alpha = 0;
+  int beta = 0;
+};
+
+/// One set option: hide exactly these inputs and outputs (subsets of the
+/// module's I_i / O_i, as attribute indices into the instance universe).
+struct SetOption {
+  std::vector<int> hidden_inputs;
+  std::vector<int> hidden_outputs;
+};
+
+/// A module of a Secure-View instance.
+struct SvModule {
+  std::string name;
+  std::vector<int> inputs;   ///< attribute indices
+  std::vector<int> outputs;  ///< attribute indices
+  bool is_public = false;
+  double privatization_cost = 0.0;
+  /// Requirement list (empty for public modules, which carry no privacy
+  /// requirement of their own).
+  std::vector<CardOption> card_options;
+  std::vector<SetOption> set_options;
+};
+
+/// A full Secure-View instance.
+struct SecureViewInstance {
+  ConstraintKind kind = ConstraintKind::kCardinality;
+  int num_attrs = 0;
+  std::vector<double> attr_cost;  ///< c(a), size num_attrs
+  std::vector<SvModule> modules;
+
+  int num_modules() const { return static_cast<int>(modules.size()); }
+
+  /// ℓ_max: longest requirement list over private modules.
+  int MaxListLength() const;
+
+  /// γ of Definition 3 within this instance: max number of modules
+  /// consuming a single attribute.
+  int DataSharingDegree() const;
+
+  /// Σ c(a) over a hidden set.
+  double AttrCost(const Bitset64& hidden) const;
+
+  /// Indices of private modules (those carrying requirements).
+  std::vector<int> PrivateModules() const;
+  std::vector<int> PublicModules() const;
+
+  /// Structural sanity: attribute indices in range, options within module
+  /// attribute sets, private modules have non-empty requirement lists of
+  /// the declared kind.
+  Status Validate() const;
+};
+
+/// A candidate solution: hidden attributes plus privatized public modules.
+struct SecureViewSolution {
+  Bitset64 hidden;              ///< over [0, num_attrs)
+  std::vector<int> privatized;  ///< indices of privatized public modules
+
+  double AttrCost(const SecureViewInstance& inst) const {
+    return inst.AttrCost(hidden);
+  }
+  double PrivatizationCost(const SecureViewInstance& inst) const;
+  double TotalCost(const SecureViewInstance& inst) const {
+    return AttrCost(inst) + PrivatizationCost(inst);
+  }
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_SECUREVIEW_INSTANCE_H_

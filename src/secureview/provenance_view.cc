@@ -1,0 +1,88 @@
+#include "secureview/provenance_view.h"
+
+#include <functional>
+
+namespace provview {
+
+ProvenanceView::ProvenanceView(const Workflow* workflow,
+                               SecureViewSolution solution)
+    : workflow_(workflow), solution_(std::move(solution)) {
+  PV_CHECK(workflow_ != nullptr);
+  PV_CHECK_MSG(workflow_->validated(), "workflow must be validated");
+  PV_CHECK_MSG(solution_.hidden.size() == workflow_->catalog()->size(),
+               "solution universe mismatch");
+  privatized_.assign(static_cast<size_t>(workflow_->num_modules()), false);
+  for (int i : solution_.privatized) {
+    PV_CHECK(i >= 0 && i < workflow_->num_modules());
+    PV_CHECK_MSG(workflow_->module(i).is_public(),
+                 "only public modules can be privatized");
+    privatized_[static_cast<size_t>(i)] = true;
+  }
+}
+
+bool ProvenanceView::IsVisible(AttrId id) const {
+  return !solution_.hidden.Test(id);
+}
+
+bool ProvenanceView::IsPrivatized(int module_index) const {
+  PV_CHECK(module_index >= 0 && module_index < workflow_->num_modules());
+  return privatized_[static_cast<size_t>(module_index)];
+}
+
+std::vector<AttrId> ProvenanceView::VisibleAttrs() const {
+  std::vector<AttrId> out;
+  for (AttrId id = 0; id < workflow_->catalog()->size(); ++id) {
+    if (workflow_->used_attrs().Test(id) && IsVisible(id)) out.push_back(id);
+  }
+  return out;
+}
+
+Relation ProvenanceView::Materialize(int64_t max_rows) const {
+  return workflow_->ProvenanceRelation(max_rows).ProjectSet(visible());
+}
+
+Relation ProvenanceView::MaterializeOn(
+    const std::vector<Tuple>& initial_inputs) const {
+  return workflow_->ProvenanceOn(initial_inputs).ProjectSet(visible());
+}
+
+std::string ProvenanceView::ModuleDisplayName(int module_index) const {
+  PV_CHECK(module_index >= 0 && module_index < workflow_->num_modules());
+  if (privatized_[static_cast<size_t>(module_index)]) {
+    return "private-" + std::to_string(module_index);
+  }
+  return workflow_->module(module_index).name();
+}
+
+std::string ProvenanceView::ProducerDisplayName(AttrId id) const {
+  int producer = workflow_->ProducerOf(id);
+  if (producer < 0) return "(external input)";
+  return ModuleDisplayName(producer);
+}
+
+bool ProvenanceView::Depends(AttrId downstream, AttrId upstream) const {
+  PV_CHECK(downstream >= 0 && downstream < workflow_->catalog()->size());
+  PV_CHECK(upstream >= 0 && upstream < workflow_->catalog()->size());
+  if (downstream == upstream) return true;
+  // DFS from `upstream` through consumer modules.
+  std::vector<bool> attr_seen(
+      static_cast<size_t>(workflow_->catalog()->size()), false);
+  std::function<bool(AttrId)> reach = [&](AttrId from) {
+    if (from == downstream) return true;
+    if (attr_seen[static_cast<size_t>(from)]) return false;
+    attr_seen[static_cast<size_t>(from)] = true;
+    for (int consumer : workflow_->ConsumersOf(from)) {
+      for (AttrId out : workflow_->module(consumer).outputs()) {
+        if (reach(out)) return true;
+      }
+    }
+    return false;
+  };
+  return reach(upstream);
+}
+
+double ProvenanceView::LostUtility() const {
+  return workflow_->AttrCost(solution_.hidden);
+}
+
+}  // namespace provview

@@ -1,0 +1,67 @@
+// The artifact the workflow owner actually ships: a provenance view.
+// Bundles a workflow with a Secure-View solution (hidden attributes +
+// privatized public modules) and answers the queries the paper says the
+// view still supports (§1, Related Work): exact values of visible data,
+// which module produced which item, and whether two data items depend on
+// each other — everything except the hidden values and the identities of
+// privatized modules.
+#ifndef PROVVIEW_SECUREVIEW_PROVENANCE_VIEW_H_
+#define PROVVIEW_SECUREVIEW_PROVENANCE_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "secureview/instance.h"
+#include "workflow/workflow.h"
+
+namespace provview {
+
+/// Non-owning facade over a workflow + solution. The workflow must outlive
+/// the view.
+class ProvenanceView {
+ public:
+  ProvenanceView(const Workflow* workflow, SecureViewSolution solution);
+
+  const Workflow& workflow() const { return *workflow_; }
+  const SecureViewSolution& solution() const { return solution_; }
+  const Bitset64& hidden() const { return solution_.hidden; }
+  Bitset64 visible() const { return solution_.hidden.Complement(); }
+
+  bool IsVisible(AttrId id) const;
+  bool IsPrivatized(int module_index) const;
+
+  /// Visible attribute ids in increasing order (used attributes only).
+  std::vector<AttrId> VisibleAttrs() const;
+
+  /// π_V of the full provenance relation — what a user downloads.
+  Relation Materialize(int64_t max_rows = 1 << 22) const;
+
+  /// π_V of an execution log over the given initial inputs.
+  Relation MaterializeOn(const std::vector<Tuple>& initial_inputs) const;
+
+  /// Name shown to users for a module: real name for visible modules,
+  /// an anonymized placeholder for privatized ones (renaming is the §5
+  /// privatization mechanism).
+  std::string ModuleDisplayName(int module_index) const;
+
+  /// Display name of the module that produced attribute `id`, or
+  /// "(external input)" for initial inputs. Works for hidden attributes
+  /// too — the paper's view keeps all structural information.
+  std::string ProducerDisplayName(AttrId id) const;
+
+  /// True if `downstream` transitively depends on `upstream` through the
+  /// module DAG ("whether two visible data items depend on each other").
+  bool Depends(AttrId downstream, AttrId upstream) const;
+
+  /// Σ c(a) over hidden attributes — the utility lost to users.
+  double LostUtility() const;
+
+ private:
+  const Workflow* workflow_;
+  SecureViewSolution solution_;
+  std::vector<bool> privatized_;  // per module index
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_SECUREVIEW_PROVENANCE_VIEW_H_

@@ -1,0 +1,236 @@
+#include "secureview/serialization.h"
+
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace provview {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::istringstream iss(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (iss >> token) {
+    if (token == "#") break;  // trailing comment
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+Status ParseInt(const std::string& token, int* out) {
+  try {
+    size_t pos = 0;
+    *out = std::stoi(token, &pos);
+    if (pos != token.size()) {
+      return Status::InvalidArgument("bad integer: " + token);
+    }
+  } catch (...) {
+    return Status::InvalidArgument("bad integer: " + token);
+  }
+  return Status::OK();
+}
+
+Status ParseDouble(const std::string& token, double* out) {
+  try {
+    size_t pos = 0;
+    *out = std::stod(token, &pos);
+    if (pos != token.size()) {
+      return Status::InvalidArgument("bad number: " + token);
+    }
+  } catch (...) {
+    return Status::InvalidArgument("bad number: " + token);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SerializeInstance(const SecureViewInstance& inst) {
+  std::ostringstream out;
+  // Costs must round-trip bit-exactly.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "provview-instance v1\n";
+  out << "kind "
+      << (inst.kind == ConstraintKind::kCardinality ? "cardinality" : "set")
+      << "\n";
+  out << "attrs " << inst.num_attrs << "\n";
+  out << "costs";
+  for (double c : inst.attr_cost) out << " " << c;
+  out << "\n";
+  for (const SvModule& m : inst.modules) {
+    out << "module " << m.name << " " << (m.is_public ? "public" : "private")
+        << " " << m.privatization_cost << "\n";
+    out << "inputs";
+    for (int a : m.inputs) out << " " << a;
+    out << "\n";
+    out << "outputs";
+    for (int a : m.outputs) out << " " << a;
+    out << "\n";
+    for (const CardOption& o : m.card_options) {
+      out << "option card " << o.alpha << " " << o.beta << "\n";
+    }
+    for (const SetOption& o : m.set_options) {
+      out << "option set in";
+      for (int a : o.hidden_inputs) out << " " << a;
+      out << " out";
+      for (int a : o.hidden_outputs) out << " " << a;
+      out << "\n";
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Result<SecureViewInstance> ParseInstance(const std::string& text) {
+  SecureViewInstance inst;
+  std::istringstream iss(text);
+  std::string line;
+  bool saw_header = false, saw_end = false;
+  SvModule* current = nullptr;
+
+  while (std::getline(iss, line)) {
+    std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens[0];
+    if (!saw_header) {
+      if (keyword != "provview-instance" || tokens.size() < 2 ||
+          tokens[1] != "v1") {
+        return Status::InvalidArgument("missing 'provview-instance v1' header");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (keyword == "kind") {
+      if (tokens.size() != 2) return Status::InvalidArgument("bad kind line");
+      if (tokens[1] == "cardinality") {
+        inst.kind = ConstraintKind::kCardinality;
+      } else if (tokens[1] == "set") {
+        inst.kind = ConstraintKind::kSet;
+      } else {
+        return Status::InvalidArgument("unknown kind " + tokens[1]);
+      }
+    } else if (keyword == "attrs") {
+      if (tokens.size() != 2) return Status::InvalidArgument("bad attrs line");
+      PV_RETURN_IF_ERROR(ParseInt(tokens[1], &inst.num_attrs));
+    } else if (keyword == "costs") {
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        double c;
+        PV_RETURN_IF_ERROR(ParseDouble(tokens[i], &c));
+        inst.attr_cost.push_back(c);
+      }
+    } else if (keyword == "module") {
+      if (tokens.size() != 4) return Status::InvalidArgument("bad module line");
+      SvModule m;
+      m.name = tokens[1];
+      if (tokens[2] == "public") {
+        m.is_public = true;
+      } else if (tokens[2] != "private") {
+        return Status::InvalidArgument("bad module visibility " + tokens[2]);
+      }
+      PV_RETURN_IF_ERROR(ParseDouble(tokens[3], &m.privatization_cost));
+      inst.modules.push_back(std::move(m));
+      current = &inst.modules.back();
+    } else if (keyword == "inputs" || keyword == "outputs") {
+      if (current == nullptr) {
+        return Status::InvalidArgument(keyword + " before any module");
+      }
+      auto& target = keyword == "inputs" ? current->inputs : current->outputs;
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        int a;
+        PV_RETURN_IF_ERROR(ParseInt(tokens[i], &a));
+        target.push_back(a);
+      }
+    } else if (keyword == "option") {
+      if (current == nullptr) {
+        return Status::InvalidArgument("option before any module");
+      }
+      if (tokens.size() >= 2 && tokens[1] == "card") {
+        if (tokens.size() != 4) {
+          return Status::InvalidArgument("bad card option line");
+        }
+        CardOption o;
+        PV_RETURN_IF_ERROR(ParseInt(tokens[2], &o.alpha));
+        PV_RETURN_IF_ERROR(ParseInt(tokens[3], &o.beta));
+        current->card_options.push_back(o);
+      } else if (tokens.size() >= 2 && tokens[1] == "set") {
+        SetOption o;
+        enum { kNone, kIn, kOut } mode = kNone;
+        for (size_t i = 2; i < tokens.size(); ++i) {
+          if (tokens[i] == "in") {
+            mode = kIn;
+          } else if (tokens[i] == "out") {
+            mode = kOut;
+          } else {
+            int a;
+            PV_RETURN_IF_ERROR(ParseInt(tokens[i], &a));
+            if (mode == kIn) {
+              o.hidden_inputs.push_back(a);
+            } else if (mode == kOut) {
+              o.hidden_outputs.push_back(a);
+            } else {
+              return Status::InvalidArgument("set option value outside "
+                                             "in/out section");
+            }
+          }
+        }
+        current->set_options.push_back(std::move(o));
+      } else {
+        return Status::InvalidArgument("unknown option type");
+      }
+    } else if (keyword == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return Status::InvalidArgument("unknown keyword " + keyword);
+    }
+  }
+  if (!saw_header) return Status::InvalidArgument("empty instance text");
+  if (!saw_end) return Status::InvalidArgument("missing 'end'");
+  PV_RETURN_IF_ERROR(inst.Validate());
+  return inst;
+}
+
+std::string SerializeSolution(const SecureViewSolution& solution) {
+  std::ostringstream out;
+  out << "hidden";
+  for (int a : solution.hidden.ToVector()) out << " " << a;
+  out << " | privatized";
+  for (int i : solution.privatized) out << " " << i;
+  return out.str();
+}
+
+Result<SecureViewSolution> ParseSolution(const std::string& text,
+                                         int num_attrs) {
+  SecureViewSolution sol;
+  sol.hidden = Bitset64(num_attrs);
+  std::vector<std::string> tokens = Tokenize(text);
+  enum { kNone, kHidden, kPrivatized } mode = kNone;
+  for (const std::string& token : tokens) {
+    if (token == "hidden") {
+      mode = kHidden;
+    } else if (token == "privatized") {
+      mode = kPrivatized;
+    } else if (token == "|") {
+      mode = kNone;
+    } else {
+      int v;
+      PV_RETURN_IF_ERROR(ParseInt(token, &v));
+      if (mode == kHidden) {
+        if (v < 0 || v >= num_attrs) {
+          return Status::OutOfRange("hidden attr out of range");
+        }
+        sol.hidden.Set(v);
+      } else if (mode == kPrivatized) {
+        sol.privatized.push_back(v);
+      } else {
+        return Status::InvalidArgument("value outside a section");
+      }
+    }
+  }
+  return sol;
+}
+
+}  // namespace provview

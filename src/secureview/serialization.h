@@ -1,0 +1,45 @@
+// Plain-text serialization for Secure-View instances and solutions, so
+// instances can be exported from a workflow system, archived next to
+// experiment outputs, and re-solved later. Format is line-oriented and
+// versioned; parsing returns Status errors rather than aborting.
+//
+//   provview-instance v1
+//   kind cardinality            # or: set
+//   attrs 5
+//   costs 1 2 3 4 5
+//   module m0 private 0
+//   inputs 0 1
+//   outputs 2
+//   option card 1 0             # cardinality option (alpha beta)
+//   option card 0 1
+//   module pub public 7.5
+//   inputs 2
+//   outputs 3
+//   end
+//
+// Set options use: `option set in 0 1 out 2` (either part may be empty).
+#ifndef PROVVIEW_SECUREVIEW_SERIALIZATION_H_
+#define PROVVIEW_SECUREVIEW_SERIALIZATION_H_
+
+#include <string>
+
+#include "secureview/instance.h"
+
+namespace provview {
+
+/// Renders an instance in the format above. Inverse of ParseInstance.
+std::string SerializeInstance(const SecureViewInstance& inst);
+
+/// Parses the format above; validates the result before returning it.
+Result<SecureViewInstance> ParseInstance(const std::string& text);
+
+/// One-line solution rendering: "hidden 1 3 5 | privatized 0 2".
+std::string SerializeSolution(const SecureViewSolution& solution);
+
+/// Parses SerializeSolution output; `num_attrs` sizes the hidden bitset.
+Result<SecureViewSolution> ParseSolution(const std::string& text,
+                                         int num_attrs);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_SECUREVIEW_SERIALIZATION_H_

@@ -1,0 +1,224 @@
+#include "secureview/solvers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/rng.h"
+#include "secureview/feasibility.h"
+#include "secureview/ilp_encoding.h"
+
+namespace provview {
+
+namespace {
+
+SvResult MakeResult(const SecureViewInstance& inst,
+                    SecureViewSolution solution) {
+  SvResult result;
+  result.cost = solution.TotalCost(inst);
+  result.solution = std::move(solution);
+  result.status = Status::OK();
+  return result;
+}
+
+}  // namespace
+
+SvResult SolveExact(const SecureViewInstance& inst, const BnbOptions& options) {
+  SvEncoding enc = EncodeSecureView(inst);
+  BnbResult ilp = SolveIlp(enc.lp, enc.integer_vars, options);
+  SvResult result;
+  if (!ilp.status.ok() && ilp.x.empty()) {
+    result.status = ilp.status;
+    return result;
+  }
+  result.solution = DecodeSolution(inst, enc, ilp.x);
+  PV_CHECK_MSG(IsFeasible(inst, result.solution),
+               "exact ILP produced infeasible Secure-View solution");
+  result.cost = result.solution.TotalCost(inst);
+  result.lower_bound = ilp.status.ok() ? result.cost : 0.0;
+  result.work = ilp.nodes_explored;
+  result.status = ilp.status;
+  return result;
+}
+
+SvResult SolveBruteForce(const SecureViewInstance& inst) {
+  // Only attributes that appear in some requirement option can help
+  // satisfy modules; all others only add cost or force privatization.
+  std::set<int> relevant_set;
+  for (const SvModule& m : inst.modules) {
+    if (m.is_public) continue;
+    if (inst.kind == ConstraintKind::kCardinality) {
+      // Any of the module's attributes may be used to meet (α, β).
+      for (const CardOption& o : m.card_options) {
+        if (o.alpha > 0) {
+          relevant_set.insert(m.inputs.begin(), m.inputs.end());
+        }
+        if (o.beta > 0) {
+          relevant_set.insert(m.outputs.begin(), m.outputs.end());
+        }
+      }
+    } else {
+      for (const SetOption& o : m.set_options) {
+        relevant_set.insert(o.hidden_inputs.begin(), o.hidden_inputs.end());
+        relevant_set.insert(o.hidden_outputs.begin(), o.hidden_outputs.end());
+      }
+    }
+  }
+  std::vector<int> relevant(relevant_set.begin(), relevant_set.end());
+  const int k = static_cast<int>(relevant.size());
+  PV_CHECK_MSG(k <= 22, "brute force limited to 22 relevant attributes");
+
+  SvResult result;
+  double best = std::numeric_limits<double>::infinity();
+  const uint64_t total = uint64_t{1} << k;
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    Bitset64 hidden(inst.num_attrs);
+    for (int i = 0; i < k; ++i) {
+      if ((mask >> i) & 1u) hidden.Set(relevant[static_cast<size_t>(i)]);
+    }
+    if (!UnsatisfiedModules(inst, hidden).empty()) continue;
+    SecureViewSolution sol = CompleteSolution(inst, hidden);
+    double cost = sol.TotalCost(inst);
+    if (cost < best) {
+      best = cost;
+      result.solution = std::move(sol);
+    }
+    ++result.work;
+  }
+  if (best == std::numeric_limits<double>::infinity()) {
+    result.status = Status::Infeasible("no subset satisfies all modules");
+    return result;
+  }
+  result.cost = best;
+  result.lower_bound = best;
+  result.status = Status::OK();
+  return result;
+}
+
+SvResult SolveByLpRounding(const SecureViewInstance& inst,
+                           const RoundingOptions& options) {
+  SvEncoding enc = EncodeSecureView(inst);
+  LpSolution lp = SolveLp(enc.lp, options.simplex);
+  SvResult result;
+  if (!lp.status.ok()) {
+    result.status = lp.status;
+    return result;
+  }
+  result.lower_bound = lp.objective;
+
+  const int n = std::max(2, inst.num_modules());
+  const double log_n = std::log(static_cast<double>(n));
+  Rng rng(options.seed);
+
+  double best = std::numeric_limits<double>::infinity();
+  SecureViewSolution best_sol;
+  for (int trial = 0; trial < options.trials; ++trial) {
+    // Step 2 of Algorithm 1: independent rounding with probability
+    // min{1, scale · x_b · ln n}.
+    Bitset64 hidden(inst.num_attrs);
+    for (int b = 0; b < inst.num_attrs; ++b) {
+      double xb = lp.x[static_cast<size_t>(enc.x_var[static_cast<size_t>(b)])];
+      if (rng.NextBernoulli(std::min(1.0, options.scale * xb * log_n))) {
+        hidden.Set(b);
+      }
+    }
+    // Step 3: repair every unsatisfied module with its cheapest addition.
+    for (int i : UnsatisfiedModules(inst, hidden)) {
+      hidden |= CheapestSatisfyingAddition(inst, i, hidden);
+      ++result.work;
+    }
+    SecureViewSolution sol = CompleteSolution(inst, hidden);
+    PV_CHECK(IsFeasible(inst, sol));
+    double cost = sol.TotalCost(inst);
+    if (cost < best) {
+      best = cost;
+      best_sol = std::move(sol);
+    }
+  }
+  result.solution = std::move(best_sol);
+  result.cost = best;
+  result.status = Status::OK();
+  return result;
+}
+
+SvResult SolveByThresholdRounding(const SecureViewInstance& inst,
+                                  const SimplexOptions& options) {
+  PV_CHECK_MSG(inst.kind == ConstraintKind::kSet,
+               "threshold rounding targets set constraints");
+  SvEncoding enc = EncodeSecureView(inst);
+  LpSolution lp = SolveLp(enc.lp, options);
+  SvResult result;
+  if (!lp.status.ok()) {
+    result.status = lp.status;
+    return result;
+  }
+  result.lower_bound = lp.objective;
+  const int lmax = std::max(1, inst.MaxListLength());
+  const double threshold = 1.0 / static_cast<double>(lmax) - 1e-7;
+  result.solution = DecodeSolution(inst, enc, lp.x, threshold);
+  PV_CHECK_MSG(IsFeasible(inst, result.solution),
+               "threshold rounding produced infeasible solution");
+  result.cost = result.solution.TotalCost(inst);
+  result.work = lp.iterations;
+  result.status = Status::OK();
+  return result;
+}
+
+SvResult SolveGreedyPerModule(const SecureViewInstance& inst) {
+  Bitset64 hidden(inst.num_attrs);
+  for (int i : inst.PrivateModules()) {
+    // The cheapest satisfying addition from an empty context is exactly the
+    // module's cheapest option.
+    hidden |= CheapestSatisfyingAddition(inst, i, Bitset64(inst.num_attrs));
+  }
+  PV_CHECK(UnsatisfiedModules(inst, hidden).empty());
+  return MakeResult(inst, CompleteSolution(inst, hidden));
+}
+
+SvResult SolveGreedyCoverage(const SecureViewInstance& inst) {
+  Bitset64 hidden(inst.num_attrs);
+  SvResult result;
+  std::vector<int> unsatisfied = UnsatisfiedModules(inst, hidden);
+  while (!unsatisfied.empty()) {
+    double best_ratio = std::numeric_limits<double>::infinity();
+    Bitset64 best_addition(inst.num_attrs);
+    std::set<int> before(RequiredPrivatizations(inst, hidden).begin(),
+                         RequiredPrivatizations(inst, hidden).end());
+    // Candidate moves: for every unsatisfied module, the cheapest
+    // completion of EACH of its options (a shared expensive attribute can
+    // beat a private cheap one once its coverage is counted — Example 5).
+    for (int i : unsatisfied) {
+      for (int j = 0; j < NumOptions(inst, i); ++j) {
+        Bitset64 addition = CheapestAdditionForOption(inst, i, j, hidden);
+        // Marginal cost: new attributes + newly forced privatizations.
+        Bitset64 merged = hidden | addition;
+        double marginal = inst.AttrCost(addition);
+        for (int p : RequiredPrivatizations(inst, merged)) {
+          if (before.count(p) == 0) {
+            marginal +=
+                inst.modules[static_cast<size_t>(p)].privatization_cost;
+          }
+        }
+        int gained = 0;
+        for (int u : unsatisfied) {
+          if (ModuleSatisfied(inst, u, merged)) ++gained;
+        }
+        PV_CHECK(gained >= 1);
+        double ratio = marginal / static_cast<double>(gained);
+        if (ratio < best_ratio) {
+          best_ratio = ratio;
+          best_addition = addition;
+        }
+      }
+    }
+    hidden |= best_addition;
+    ++result.work;
+    unsatisfied = UnsatisfiedModules(inst, hidden);
+  }
+  SvResult final_result = MakeResult(inst, CompleteSolution(inst, hidden));
+  final_result.work = result.work;
+  return final_result;
+}
+
+}  // namespace provview

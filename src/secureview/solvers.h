@@ -1,0 +1,76 @@
+// Secure-View solvers:
+//   SolveExact           — branch-and-bound on the ILP encoding (the OPT
+//                          that approximation ratios are measured against).
+//   SolveBruteForce      — subset enumeration, for cross-checking on tiny
+//                          instances.
+//   SolveByLpRounding    — Algorithm 1 (Theorem 5): randomized rounding of
+//                          the LP relaxation with the B_i^min repair step;
+//                          O(log n)-approximation for cardinality
+//                          constraints in all-private workflows.
+//   SolveByThresholdRounding — Appendix B.5.1 / C.4: deterministic
+//                          rounding at 1/ℓ_max; ℓ_max-approximation for set
+//                          constraints (also with privatization costs).
+//   SolveGreedyPerModule — union of per-module cheapest options; the
+//                          (γ+1)-approximation of Theorem 7.
+//   SolveGreedyCoverage  — global cost-effectiveness greedy baseline.
+#ifndef PROVVIEW_SECUREVIEW_SOLVERS_H_
+#define PROVVIEW_SECUREVIEW_SOLVERS_H_
+
+#include <cstdint>
+
+#include "lp/branch_and_bound.h"
+#include "secureview/instance.h"
+
+namespace provview {
+
+/// Common result shape. `lower_bound` is a proven lower bound on OPT when
+/// the solver produces one (exact: OPT itself; LP-based: the relaxation
+/// objective), else 0.
+struct SvResult {
+  Status status;
+  SecureViewSolution solution;
+  double cost = 0.0;
+  double lower_bound = 0.0;
+  int64_t work = 0;  ///< solver-specific effort (nodes / iterations / trials)
+};
+
+/// Exact optimum via branch-and-bound on the ILP encoding.
+SvResult SolveExact(const SecureViewInstance& inst,
+                    const BnbOptions& options = {});
+
+/// Exact optimum via enumeration of all subsets of requirement-relevant
+/// attributes (≤ 22 of them).
+SvResult SolveBruteForce(const SecureViewInstance& inst);
+
+/// Options for the Algorithm-1 randomized rounding.
+struct RoundingOptions {
+  double scale = 2.0;   ///< c in Pr[hide b] = min{1, c · x_b · ln n}
+  int trials = 7;       ///< independent rounding trials; best kept
+  uint64_t seed = 42;
+  SimplexOptions simplex;
+};
+
+/// Algorithm 1: LP relaxation + randomized rounding + per-module repair.
+/// Works for both constraint kinds (the paper analyzes the cardinality
+/// case). Always returns a feasible solution; `lower_bound` is the LP
+/// optimum.
+SvResult SolveByLpRounding(const SecureViewInstance& inst,
+                           const RoundingOptions& options = {});
+
+/// Deterministic threshold rounding at 1/ℓ_max (set constraints; Theorem 6
+/// and Appendix C.4). Requires inst.kind == kSet.
+SvResult SolveByThresholdRounding(const SecureViewInstance& inst,
+                                  const SimplexOptions& options = {});
+
+/// Union of per-module cheapest options — the (γ+1)-approximation of
+/// Theorem 7 (and Example 5's "standalone union" behavior under workflow
+/// bridging).
+SvResult SolveGreedyPerModule(const SecureViewInstance& inst);
+
+/// Global greedy: repeatedly commits the cheapest per-module satisfying
+/// addition with the best (marginal cost / newly satisfied modules) ratio.
+SvResult SolveGreedyCoverage(const SecureViewInstance& inst);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_SECUREVIEW_SOLVERS_H_

@@ -1,0 +1,73 @@
+#include "workflow/dot_export.h"
+
+#include <set>
+#include <sstream>
+
+namespace provview {
+
+namespace {
+
+std::string ModuleNodeId(int index) { return "m" + std::to_string(index); }
+
+std::string EdgeStyle(bool hidden) {
+  return hidden ? " style=dashed color=red fontcolor=red" : "";
+}
+
+}  // namespace
+
+std::string ToDot(const Workflow& workflow, const DotOptions& options) {
+  PV_CHECK_MSG(workflow.validated(), "validate the workflow before export");
+  const AttributeCatalog& catalog = *workflow.catalog();
+  Bitset64 hidden = options.hidden.size() == catalog.size()
+                        ? options.hidden
+                        : Bitset64(catalog.size());
+  std::set<int> privatized(options.privatized.begin(),
+                           options.privatized.end());
+
+  std::ostringstream dot;
+  dot << "digraph " << options.graph_name << " {\n";
+  dot << "  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+
+  for (int i = 0; i < workflow.num_modules(); ++i) {
+    const Module& m = workflow.module(i);
+    dot << "  " << ModuleNodeId(i) << " [shape=box label=\"" << m.name()
+        << "\"";
+    if (m.is_public()) dot << " peripheries=2";
+    if (privatized.count(i) != 0) {
+      dot << " style=filled fillcolor=lightgrey";
+    }
+    dot << "];\n";
+  }
+
+  // Source/sink points for initial inputs and final outputs.
+  int point_counter = 0;
+  auto emit_point = [&]() {
+    std::string id = "p" + std::to_string(point_counter++);
+    dot << "  " << id << " [shape=point];\n";
+    return id;
+  };
+
+  for (AttrId id = 0; id < catalog.size(); ++id) {
+    if (!workflow.used_attrs().Test(id)) continue;
+    const bool is_hidden = hidden.Test(id);
+    std::ostringstream label;
+    label << catalog.Name(id) << " (c=" << catalog.Cost(id) << ")";
+    const int producer = workflow.ProducerOf(id);
+    const auto& consumers = workflow.ConsumersOf(id);
+    std::string from = producer >= 0 ? ModuleNodeId(producer) : emit_point();
+    if (consumers.empty()) {
+      std::string to = emit_point();
+      dot << "  " << from << " -> " << to << " [label=\"" << label.str()
+          << "\"" << EdgeStyle(is_hidden) << "];\n";
+    } else {
+      for (int c : consumers) {
+        dot << "  " << from << " -> " << ModuleNodeId(c) << " [label=\""
+            << label.str() << "\"" << EdgeStyle(is_hidden) << "];\n";
+      }
+    }
+  }
+  dot << "}\n";
+  return dot.str();
+}
+
+}  // namespace provview

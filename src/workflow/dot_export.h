@@ -1,0 +1,32 @@
+// Graphviz DOT export for workflows and Secure-View solutions, so owners
+// can inspect which data items a view hides and which public modules get
+// privatized. Purely presentational; no Graphviz dependency (we only emit
+// the text format).
+#ifndef PROVVIEW_WORKFLOW_DOT_EXPORT_H_
+#define PROVVIEW_WORKFLOW_DOT_EXPORT_H_
+
+#include <string>
+
+#include "common/bitset64.h"
+#include "workflow/workflow.h"
+
+namespace provview {
+
+/// Rendering options for ToDot.
+struct DotOptions {
+  /// Attributes to render as hidden (dashed red edges). Empty = none.
+  Bitset64 hidden;
+  /// Module indices to render as privatized (grey fill).
+  std::vector<int> privatized;
+  /// Graph name used in the `digraph` header.
+  std::string graph_name = "workflow";
+};
+
+/// Emits the workflow as a DOT digraph: modules are boxes (double border
+/// for public modules), data items are edges labeled with the attribute
+/// name and cost; initial inputs / final outputs hang off point nodes.
+std::string ToDot(const Workflow& workflow, const DotOptions& options = {});
+
+}  // namespace provview
+
+#endif  // PROVVIEW_WORKFLOW_DOT_EXPORT_H_

@@ -1,0 +1,30 @@
+#include "workflow/fig1_workflow.h"
+
+#include "module/module_library.h"
+
+namespace provview {
+
+Fig1Workflow MakeFig1Workflow() {
+  Fig1Workflow out;
+  out.catalog = std::make_shared<AttributeCatalog>();
+  out.a1 = out.catalog->Add("a1");
+  out.a2 = out.catalog->Add("a2");
+  out.a3 = out.catalog->Add("a3");
+  out.a4 = out.catalog->Add("a4");
+  out.a5 = out.catalog->Add("a5");
+  out.a6 = out.catalog->Add("a6");
+  out.a7 = out.catalog->Add("a7");
+
+  out.workflow = std::make_unique<Workflow>(out.catalog);
+  out.m1_index = out.workflow->AddModule(
+      MakeFig1M1(out.catalog, out.a1, out.a2, out.a3, out.a4, out.a5));
+  out.m2_index = out.workflow->AddModule(
+      MakeFig1M2(out.catalog, out.a3, out.a4, out.a6));
+  out.m3_index = out.workflow->AddModule(
+      MakeFig1M3(out.catalog, out.a4, out.a5, out.a7));
+  Status st = out.workflow->Validate();
+  PV_CHECK_MSG(st.ok(), st.ToString());
+  return out;
+}
+
+}  // namespace provview

@@ -1,0 +1,32 @@
+// The paper's running example (Figure 1): three boolean modules
+//   m1: (a1,a2) → (a3 = a1∨a2, a4 = ¬(a1∧a2), a5 = ¬(a1⊕a2))
+//   m2: (a3,a4) → a6 = ¬(a3∧a4)
+//   m3: (a4,a5) → a7 = a4⊕a5
+// (m2/m3 reverse-engineered from the executions of Figure 1(b).)
+// with data sharing degree γ = 2 (a4 feeds both m2 and m3).
+// Used by the quickstart example, the possible-worlds bench (E1) and many
+// tests as a fully-worked ground truth.
+#ifndef PROVVIEW_WORKFLOW_FIG1_WORKFLOW_H_
+#define PROVVIEW_WORKFLOW_FIG1_WORKFLOW_H_
+
+#include "workflow/workflow.h"
+
+namespace provview {
+
+/// Handle bundling the Figure-1 workflow with its attribute ids.
+struct Fig1Workflow {
+  WorkflowPtr workflow;
+  CatalogPtr catalog;
+  AttrId a1, a2, a3, a4, a5, a6, a7;
+
+  /// Index of m1/m2/m3 inside the workflow.
+  int m1_index = 0, m2_index = 1, m3_index = 2;
+};
+
+/// Builds and validates the Figure-1 workflow. All attributes boolean with
+/// unit cost (costs can be adjusted afterwards via the catalog).
+Fig1Workflow MakeFig1Workflow();
+
+}  // namespace provview
+
+#endif  // PROVVIEW_WORKFLOW_FIG1_WORKFLOW_H_

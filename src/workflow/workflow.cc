@@ -1,0 +1,264 @@
+#include "workflow/workflow.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "common/combinatorics.h"
+
+namespace provview {
+
+Workflow::Workflow(CatalogPtr catalog) : catalog_(std::move(catalog)) {
+  PV_CHECK(catalog_ != nullptr);
+}
+
+int Workflow::AddModule(ModulePtr module) {
+  PV_CHECK(module != nullptr);
+  PV_CHECK_MSG(module->catalog() == catalog_,
+               "module " << module->name() << " uses a different catalog");
+  validated_ = false;
+  modules_.push_back(std::move(module));
+  return num_modules() - 1;
+}
+
+Status Workflow::Validate() {
+  const int num_ids = catalog_->size();
+  producer_of_.assign(static_cast<size_t>(num_ids), -1);
+  consumers_of_.assign(static_cast<size_t>(num_ids), {});
+  used_attrs_ = Bitset64(num_ids);
+  produced_attrs_ = Bitset64(num_ids);
+
+  for (int i = 0; i < num_modules(); ++i) {
+    const Module& m = module(i);
+    for (AttrId id : m.outputs()) {
+      if (producer_of_[static_cast<size_t>(id)] != -1) {
+        return Status::InvalidArgument(
+            "attribute " + catalog_->Name(id) + " produced by both " +
+            module(producer_of_[static_cast<size_t>(id)]).name() + " and " +
+            m.name());
+      }
+      producer_of_[static_cast<size_t>(id)] = i;
+      produced_attrs_.Set(id);
+      used_attrs_.Set(id);
+    }
+    for (AttrId id : m.inputs()) {
+      consumers_of_[static_cast<size_t>(id)].push_back(i);
+      used_attrs_.Set(id);
+    }
+  }
+
+  // Kahn topological sort over the module dependency graph.
+  std::vector<int> indegree(static_cast<size_t>(num_modules()), 0);
+  std::vector<std::vector<int>> successors(
+      static_cast<size_t>(num_modules()));
+  for (int j = 0; j < num_modules(); ++j) {
+    for (AttrId id : module(j).inputs()) {
+      int prod = producer_of_[static_cast<size_t>(id)];
+      if (prod >= 0) {
+        successors[static_cast<size_t>(prod)].push_back(j);
+        ++indegree[static_cast<size_t>(j)];
+      }
+    }
+  }
+  topo_order_.clear();
+  std::queue<int> ready;
+  for (int i = 0; i < num_modules(); ++i) {
+    if (indegree[static_cast<size_t>(i)] == 0) ready.push(i);
+  }
+  while (!ready.empty()) {
+    int i = ready.front();
+    ready.pop();
+    topo_order_.push_back(i);
+    for (int j : successors[static_cast<size_t>(i)]) {
+      if (--indegree[static_cast<size_t>(j)] == 0) ready.push(j);
+    }
+  }
+  if (static_cast<int>(topo_order_.size()) != num_modules()) {
+    return Status::InvalidArgument("workflow module graph contains a cycle");
+  }
+
+  initial_inputs_ = Bitset64(num_ids);
+  final_outputs_ = Bitset64(num_ids);
+  initial_input_ids_.clear();
+  for (AttrId id = 0; id < num_ids; ++id) {
+    if (!used_attrs_.Test(id)) continue;
+    if (producer_of_[static_cast<size_t>(id)] == -1) {
+      initial_inputs_.Set(id);
+      initial_input_ids_.push_back(id);
+    }
+    if (consumers_of_[static_cast<size_t>(id)].empty() &&
+        producer_of_[static_cast<size_t>(id)] != -1) {
+      final_outputs_.Set(id);
+    }
+  }
+
+  validated_ = true;
+  return Status::OK();
+}
+
+const std::vector<int>& Workflow::topo_order() const {
+  CheckValidated();
+  return topo_order_;
+}
+
+const Bitset64& Workflow::used_attrs() const {
+  CheckValidated();
+  return used_attrs_;
+}
+
+const Bitset64& Workflow::initial_inputs() const {
+  CheckValidated();
+  return initial_inputs_;
+}
+
+const Bitset64& Workflow::final_outputs() const {
+  CheckValidated();
+  return final_outputs_;
+}
+
+const Bitset64& Workflow::produced_attrs() const {
+  CheckValidated();
+  return produced_attrs_;
+}
+
+const std::vector<AttrId>& Workflow::initial_input_ids() const {
+  CheckValidated();
+  return initial_input_ids_;
+}
+
+int Workflow::ProducerOf(AttrId id) const {
+  CheckValidated();
+  PV_CHECK(id >= 0 && id < catalog_->size());
+  return producer_of_[static_cast<size_t>(id)];
+}
+
+const std::vector<int>& Workflow::ConsumersOf(AttrId id) const {
+  CheckValidated();
+  PV_CHECK(id >= 0 && id < catalog_->size());
+  return consumers_of_[static_cast<size_t>(id)];
+}
+
+int Workflow::DataSharingDegree() const {
+  CheckValidated();
+  int gamma = 0;
+  for (const auto& consumers : consumers_of_) {
+    gamma = std::max(gamma, static_cast<int>(consumers.size()));
+  }
+  return gamma;
+}
+
+Tuple Workflow::Execute(const Tuple& initial) const {
+  CheckValidated();
+  PV_CHECK_MSG(initial.size() == initial_input_ids_.size(),
+               "initial input arity mismatch");
+  std::vector<Value> values(static_cast<size_t>(catalog_->size()), -1);
+  for (size_t i = 0; i < initial_input_ids_.size(); ++i) {
+    values[static_cast<size_t>(initial_input_ids_[i])] = initial[i];
+  }
+  for (int mi : topo_order_) {
+    const Module& m = module(mi);
+    Tuple in;
+    in.reserve(m.inputs().size());
+    for (AttrId id : m.inputs()) {
+      PV_CHECK_MSG(values[static_cast<size_t>(id)] >= 0,
+                   "module " << m.name() << " input " << catalog_->Name(id)
+                             << " undefined during execution");
+      in.push_back(values[static_cast<size_t>(id)]);
+    }
+    Tuple out = m.Eval(in);
+    for (size_t oi = 0; oi < m.outputs().size(); ++oi) {
+      values[static_cast<size_t>(m.outputs()[oi])] = out[oi];
+    }
+  }
+  Tuple result;
+  for (AttrId id = 0; id < catalog_->size(); ++id) {
+    if (used_attrs_.Test(id)) {
+      result.push_back(values[static_cast<size_t>(id)]);
+    }
+  }
+  return result;
+}
+
+std::vector<AttrId> Workflow::ProvenanceAttrIds() const {
+  CheckValidated();
+  std::vector<AttrId> ids;
+  for (AttrId id = 0; id < catalog_->size(); ++id) {
+    if (used_attrs_.Test(id)) ids.push_back(id);
+  }
+  return ids;
+}
+
+Schema Workflow::ProvenanceSchema() const {
+  return Schema(catalog_, ProvenanceAttrIds());
+}
+
+Relation Workflow::ProvenanceRelation(int64_t max_rows) const {
+  CheckValidated();
+  std::vector<int> radices;
+  radices.reserve(initial_input_ids_.size());
+  for (AttrId id : initial_input_ids_) {
+    radices.push_back(catalog_->DomainSize(id));
+  }
+  MixedRadixCounter counter(radices);
+  PV_CHECK_MSG(counter.Cardinality() <= max_rows,
+               "initial input space too large ("
+                   << counter.Cardinality() << " > " << max_rows << ")");
+  Relation rel(ProvenanceSchema());
+  do {
+    rel.AddRow(Execute(counter.values()));
+  } while (counter.Advance());
+  return rel;
+}
+
+Relation Workflow::ProvenanceOn(const std::vector<Tuple>& initial_tuples) const {
+  CheckValidated();
+  Relation rel(ProvenanceSchema());
+  for (const Tuple& t : initial_tuples) rel.AddRow(Execute(t));
+  return rel;
+}
+
+double Workflow::AttrCost(const Bitset64& attrs) const {
+  double total = 0.0;
+  for (AttrId id : attrs.ToVector()) total += catalog_->Cost(id);
+  return total;
+}
+
+std::vector<int> Workflow::PrivateModuleIndices() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_modules(); ++i) {
+    if (!module(i).is_public()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> Workflow::PublicModuleIndices() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_modules(); ++i) {
+    if (module(i).is_public()) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Workflow::DebugString() const {
+  std::ostringstream oss;
+  oss << "Workflow with " << num_modules() << " modules over "
+      << catalog_->size() << " attributes\n";
+  for (int i = 0; i < num_modules(); ++i) {
+    const Module& m = module(i);
+    oss << "  [" << i << "] " << m.name()
+        << (m.is_public() ? " (public)" : " (private)") << ": (";
+    for (size_t j = 0; j < m.inputs().size(); ++j) {
+      if (j > 0) oss << ", ";
+      oss << catalog_->Name(m.inputs()[j]);
+    }
+    oss << ") -> (";
+    for (size_t j = 0; j < m.outputs().size(); ++j) {
+      if (j > 0) oss << ", ";
+      oss << catalog_->Name(m.outputs()[j]);
+    }
+    oss << ")\n";
+  }
+  return oss.str();
+}
+
+}  // namespace provview

@@ -1,0 +1,131 @@
+// Workflow model (§2.3): modules m1..mn connected in a DAG over a shared
+// attribute catalog. Each attribute is produced by at most one module
+// (O_i ∩ O_j = ∅) and may be consumed by several (data sharing, Def. 3).
+// Executions of the workflow populate the provenance relation
+// R = R1 ⋈ ... ⋈ Rn, one tuple per execution.
+#ifndef PROVVIEW_WORKFLOW_WORKFLOW_H_
+#define PROVVIEW_WORKFLOW_WORKFLOW_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "module/module.h"
+
+namespace provview {
+
+/// A DAG of modules. Build by AddModule(), then Validate() (which computes
+/// the topological order, classifies attributes, and checks the §2.3
+/// well-formedness conditions). Execution and analysis methods require a
+/// successful Validate().
+class Workflow {
+ public:
+  explicit Workflow(CatalogPtr catalog);
+
+  Workflow(const Workflow&) = delete;
+  Workflow& operator=(const Workflow&) = delete;
+  Workflow(Workflow&&) = default;
+  Workflow& operator=(Workflow&&) = default;
+
+  /// Adds a module; returns its index. Invalidates any prior Validate().
+  int AddModule(ModulePtr module);
+
+  /// Checks: every attribute produced by at most one module; the produces/
+  /// consumes graph is acyclic; every module input is either an initial
+  /// input or produced by another module. Computes topological order,
+  /// initial inputs (no producer) and final outputs (no consumer).
+  Status Validate();
+
+  bool validated() const { return validated_; }
+
+  const CatalogPtr& catalog() const { return catalog_; }
+  int num_modules() const { return static_cast<int>(modules_.size()); }
+  int num_attrs() const { return catalog_->size(); }
+
+  const Module& module(int i) const {
+    PV_CHECK_MSG(i >= 0 && i < num_modules(), "bad module index " << i);
+    return *modules_[static_cast<size_t>(i)];
+  }
+  Module* mutable_module(int i) {
+    PV_CHECK_MSG(i >= 0 && i < num_modules(), "bad module index " << i);
+    return modules_[static_cast<size_t>(i)].get();
+  }
+
+  /// Module indices in a topological order of the DAG.
+  const std::vector<int>& topo_order() const;
+
+  /// Attributes used by the workflow (input or output of some module).
+  const Bitset64& used_attrs() const;
+  /// Attributes with no producer (the workflow's external inputs I_0).
+  const Bitset64& initial_inputs() const;
+  /// Attributes consumed by no module (the workflow's final outputs).
+  const Bitset64& final_outputs() const;
+  /// Used attributes that are outputs of some module.
+  const Bitset64& produced_attrs() const;
+
+  /// Initial input attribute ids in increasing id order (the alignment used
+  /// by Execute()).
+  const std::vector<AttrId>& initial_input_ids() const;
+
+  /// Index of the module producing `id`, or -1 for initial inputs.
+  int ProducerOf(AttrId id) const;
+  /// Indices of the modules consuming `id` (possibly empty).
+  const std::vector<int>& ConsumersOf(AttrId id) const;
+
+  /// γ of Definition 3: the maximum number of modules any single attribute
+  /// feeds.
+  int DataSharingDegree() const;
+
+  /// Runs the workflow on one assignment of the initial inputs (aligned
+  /// with initial_input_ids()); returns values of all used attributes in
+  /// increasing attribute-id order.
+  Tuple Execute(const Tuple& initial) const;
+
+  /// Attribute ids of the full provenance schema: used attributes in
+  /// increasing id order (matches Execute()'s output alignment).
+  std::vector<AttrId> ProvenanceAttrIds() const;
+  Schema ProvenanceSchema() const;
+
+  /// Provenance relation over every assignment of the initial inputs.
+  /// Requires the initial-input product space to have at most `max_rows`
+  /// tuples.
+  Relation ProvenanceRelation(int64_t max_rows = 1 << 22) const;
+
+  /// Provenance relation over the given initial-input assignments (a
+  /// partial execution log).
+  Relation ProvenanceOn(const std::vector<Tuple>& initial_tuples) const;
+
+  /// Σ_{a ∈ attrs} c(a) over the catalog costs.
+  double AttrCost(const Bitset64& attrs) const;
+
+  /// Indices of private / public modules.
+  std::vector<int> PrivateModuleIndices() const;
+  std::vector<int> PublicModuleIndices() const;
+
+  /// Human-readable structural summary.
+  std::string DebugString() const;
+
+ private:
+  void CheckValidated() const {
+    PV_CHECK_MSG(validated_, "call Validate() before using the workflow");
+  }
+
+  CatalogPtr catalog_;
+  std::vector<ModulePtr> modules_;
+
+  bool validated_ = false;
+  std::vector<int> topo_order_;
+  Bitset64 used_attrs_;
+  Bitset64 initial_inputs_;
+  Bitset64 final_outputs_;
+  Bitset64 produced_attrs_;
+  std::vector<AttrId> initial_input_ids_;
+  std::vector<int> producer_of_;               // per attribute id, -1 if none
+  std::vector<std::vector<int>> consumers_of_; // per attribute id
+};
+
+using WorkflowPtr = std::unique_ptr<Workflow>;
+
+}  // namespace provview
+
+#endif  // PROVVIEW_WORKFLOW_WORKFLOW_H_

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/bitset64.h"
+#include "common/rng.h"
+
+namespace provview {
+namespace {
+
+TEST(Bitset64Test, EmptyByDefault) {
+  Bitset64 b(100);
+  EXPECT_EQ(b.count(), 0);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.First(), -1);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(Bitset64Test, SetResetAssign) {
+  Bitset64 b(70);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(69);
+  EXPECT_EQ(b.count(), 4);
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  b.Reset(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.count(), 3);
+  b.Assign(10, true);
+  EXPECT_TRUE(b.Test(10));
+  b.Assign(10, false);
+  EXPECT_FALSE(b.Test(10));
+}
+
+TEST(Bitset64Test, OfAndToVectorRoundTrip) {
+  std::vector<int> members = {3, 17, 64, 65, 127};
+  Bitset64 b = Bitset64::Of(128, members);
+  EXPECT_EQ(b.ToVector(), members);
+}
+
+TEST(Bitset64Test, AllHasExactUniverse) {
+  for (int n : {0, 1, 63, 64, 65, 130}) {
+    Bitset64 b = Bitset64::All(n);
+    EXPECT_EQ(b.count(), n) << "n=" << n;
+  }
+}
+
+TEST(Bitset64Test, FirstAndNextAfterIterate) {
+  Bitset64 b = Bitset64::Of(200, {5, 64, 129, 199});
+  std::vector<int> walked;
+  for (int i = b.First(); i >= 0; i = b.NextAfter(i)) walked.push_back(i);
+  EXPECT_EQ(walked, (std::vector<int>{5, 64, 129, 199}));
+}
+
+TEST(Bitset64Test, SetAlgebra) {
+  Bitset64 a = Bitset64::Of(10, {1, 2, 3});
+  Bitset64 b = Bitset64::Of(10, {3, 4});
+  EXPECT_EQ((a | b).ToVector(), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ((a & b).ToVector(), (std::vector<int>{3}));
+  EXPECT_EQ((a ^ b).ToVector(), (std::vector<int>{1, 2, 4}));
+  EXPECT_EQ(Difference(a, b).ToVector(), (std::vector<int>{1, 2}));
+}
+
+TEST(Bitset64Test, SubsetAndIntersects) {
+  Bitset64 small = Bitset64::Of(66, {0, 65});
+  Bitset64 big = Bitset64::Of(66, {0, 2, 65});
+  Bitset64 other = Bitset64::Of(66, {1, 3});
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  EXPECT_TRUE(small.Intersects(big));
+  EXPECT_FALSE(small.Intersects(other));
+}
+
+TEST(Bitset64Test, ComplementPartitionsUniverse) {
+  Bitset64 a = Bitset64::Of(70, {0, 10, 69});
+  Bitset64 c = a.Complement();
+  EXPECT_EQ(a.count() + c.count(), 70);
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_EQ((a | c), Bitset64::All(70));
+}
+
+TEST(Bitset64Test, EqualityAndOrdering) {
+  Bitset64 a = Bitset64::Of(10, {1, 5});
+  Bitset64 b = Bitset64::Of(10, {1, 5});
+  Bitset64 c = Bitset64::Of(10, {1, 6});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a < c || c < a);
+  EXPECT_FALSE(a < b);
+  EXPECT_FALSE(b < a);
+}
+
+TEST(Bitset64Test, ToStringFormat) {
+  EXPECT_EQ(Bitset64::Of(8, {1, 3}).ToString(), "{1, 3}");
+  EXPECT_EQ(Bitset64(8).ToString(), "{}");
+}
+
+TEST(Bitset64Test, HashDistinguishesSets) {
+  std::set<uint64_t> hashes;
+  for (int i = 0; i < 64; ++i) hashes.insert(Bitset64::Of(64, {i}).Hash());
+  EXPECT_EQ(hashes.size(), 64u);
+}
+
+TEST(Bitset64Test, RandomizedAlgebraAgainstStdSet) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 1 + static_cast<int>(rng.NextBelow(150));
+    std::set<int> sa, sb;
+    Bitset64 a(n), b(n);
+    for (int i = 0; i < n; ++i) {
+      if (rng.NextBernoulli(0.4)) {
+        a.Set(i);
+        sa.insert(i);
+      }
+      if (rng.NextBernoulli(0.4)) {
+        b.Set(i);
+        sb.insert(i);
+      }
+    }
+    std::set<int> su, si, sd;
+    std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                   std::inserter(su, su.begin()));
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::inserter(si, si.begin()));
+    std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::inserter(sd, sd.begin()));
+    EXPECT_EQ((a | b).ToVector(), std::vector<int>(su.begin(), su.end()));
+    EXPECT_EQ((a & b).ToVector(), std::vector<int>(si.begin(), si.end()));
+    EXPECT_EQ(Difference(a, b).ToVector(),
+              std::vector<int>(sd.begin(), sd.end()));
+    EXPECT_EQ(a.count(), static_cast<int>(sa.size()));
+    EXPECT_EQ(a.IsSubsetOf(b),
+              std::includes(sb.begin(), sb.end(), sa.begin(), sa.end()));
+  }
+}
+
+}  // namespace
+}  // namespace provview

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "common/combinatorics.h"
+
+namespace provview {
+namespace {
+
+constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+
+TEST(SaturatingPowTest, SmallValues) {
+  EXPECT_EQ(SaturatingPow(2, 10), 1024);
+  EXPECT_EQ(SaturatingPow(3, 0), 1);
+  EXPECT_EQ(SaturatingPow(0, 5), 0);
+  EXPECT_EQ(SaturatingPow(1, 1000), 1);
+}
+
+TEST(SaturatingPowTest, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(SaturatingPow(2, 63), kMax);
+  EXPECT_EQ(SaturatingPow(10, 40), kMax);
+}
+
+TEST(SaturatingProductTest, Basic) {
+  EXPECT_EQ(SaturatingProduct({2, 3, 4}), 24);
+  EXPECT_EQ(SaturatingProduct({}), 1);
+  EXPECT_EQ(SaturatingProduct({5, 0, 7}), 0);
+  EXPECT_EQ(SaturatingProduct({int64_t{1} << 40, int64_t{1} << 40}), kMax);
+}
+
+TEST(BinomialTest, KnownValues) {
+  EXPECT_EQ(BinomialCoefficient(5, 2), 10);
+  EXPECT_EQ(BinomialCoefficient(10, 0), 1);
+  EXPECT_EQ(BinomialCoefficient(10, 10), 1);
+  EXPECT_EQ(BinomialCoefficient(10, 11), 0);
+  EXPECT_EQ(BinomialCoefficient(10, -1), 0);
+  EXPECT_EQ(BinomialCoefficient(52, 5), 2598960);
+}
+
+TEST(MixedRadixCounterTest, EnumeratesWholeSpace) {
+  MixedRadixCounter c({2, 3, 2});
+  EXPECT_EQ(c.Cardinality(), 12);
+  std::set<std::vector<int32_t>> seen;
+  do {
+    seen.insert(c.values());
+  } while (c.Advance());
+  EXPECT_EQ(seen.size(), 12u);
+}
+
+TEST(MixedRadixCounterTest, ResetRestarts) {
+  MixedRadixCounter c({3});
+  c.Advance();
+  EXPECT_EQ(c.values()[0], 1);
+  c.Reset();
+  EXPECT_EQ(c.values()[0], 0);
+}
+
+TEST(MixedRadixCounterTest, EmptyRadicesSingleTuple) {
+  MixedRadixCounter c({});
+  EXPECT_EQ(c.Cardinality(), 1);
+  EXPECT_FALSE(c.Advance());
+}
+
+TEST(MixedRadixCounterTest, UnitRadixDegenerate) {
+  MixedRadixCounter c({1, 1});
+  EXPECT_EQ(c.Cardinality(), 1);
+  EXPECT_FALSE(c.Advance());
+}
+
+TEST(ForEachSubsetTest, CountsPowerSet) {
+  int count = 0;
+  ForEachSubset(5, [&](const Bitset64&) { ++count; });
+  EXPECT_EQ(count, 32);
+}
+
+TEST(ForEachSubsetTest, AllSubsetsDistinct) {
+  std::set<std::vector<int>> seen;
+  ForEachSubset(6, [&](const Bitset64& s) { seen.insert(s.ToVector()); });
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(ForEachSubsetOfTest, RespectsUniverse) {
+  Bitset64 universe = Bitset64::Of(10, {2, 5, 9});
+  int count = 0;
+  ForEachSubsetOf(universe, [&](const Bitset64& s) {
+    EXPECT_TRUE(s.IsSubsetOf(universe));
+    ++count;
+  });
+  EXPECT_EQ(count, 8);
+}
+
+TEST(SubsetsOfSizeTest, CountsMatchBinomial) {
+  for (int n = 0; n <= 8; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_EQ(static_cast<int64_t>(SubsetsOfSize(n, k).size()),
+                BinomialCoefficient(n, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(SubsetsOfSizeTest, EachSubsetHasRightSize) {
+  for (const Bitset64& s : SubsetsOfSize(7, 3)) EXPECT_EQ(s.count(), 3);
+}
+
+TEST(SubsetsOfSizeTest, OutOfRangeEmpty) {
+  EXPECT_TRUE(SubsetsOfSize(3, 4).empty());
+  EXPECT_TRUE(SubsetsOfSize(3, -1).empty());
+}
+
+TEST(MixedRadixCodecTest, RoundTripsAllTuples) {
+  std::vector<int> radices = {3, 2, 4};
+  MixedRadixCounter c(radices);
+  std::set<int64_t> codes;
+  do {
+    int64_t code = EncodeMixedRadix(c.values(), radices);
+    EXPECT_GE(code, 0);
+    EXPECT_LT(code, 24);
+    codes.insert(code);
+    EXPECT_EQ(DecodeMixedRadix(code, radices), c.values());
+  } while (c.Advance());
+  EXPECT_EQ(codes.size(), 24u);
+}
+
+TEST(MixedRadixCodecTest, LittleEndianConvention) {
+  // t[0] is least significant.
+  EXPECT_EQ(EncodeMixedRadix({1, 0}, {2, 3}), 1);
+  EXPECT_EQ(EncodeMixedRadix({0, 1}, {2, 3}), 2);
+  EXPECT_EQ(EncodeMixedRadix({1, 2}, {2, 3}), 5);
+}
+
+}  // namespace
+}  // namespace provview

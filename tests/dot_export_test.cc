@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "workflow/dot_export.h"
+#include "workflow/fig1_workflow.h"
+
+namespace provview {
+namespace {
+
+TEST(DotExportTest, ContainsModulesAndAttributes) {
+  Fig1Workflow fig = MakeFig1Workflow();
+  std::string dot = ToDot(*fig.workflow);
+  EXPECT_NE(dot.find("digraph workflow"), std::string::npos);
+  for (const char* name : {"m1", "m2", "m3"}) {
+    EXPECT_NE(dot.find(name), std::string::npos) << name;
+  }
+  for (const char* attr : {"a1", "a4", "a7"}) {
+    EXPECT_NE(dot.find(attr), std::string::npos) << attr;
+  }
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExportTest, SharedAttributeEmitsTwoEdges) {
+  Fig1Workflow fig = MakeFig1Workflow();
+  std::string dot = ToDot(*fig.workflow);
+  // a4 feeds both m2 and m3: its label appears twice.
+  size_t first = dot.find("a4 (");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(dot.find("a4 (", first + 1), std::string::npos);
+}
+
+TEST(DotExportTest, HiddenAttributesDashed) {
+  Fig1Workflow fig = MakeFig1Workflow();
+  DotOptions options;
+  options.hidden = Bitset64::Of(7, {fig.a4});
+  std::string dot = ToDot(*fig.workflow, options);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(DotExportTest, PublicAndPrivatizedStyling) {
+  Fig1Workflow fig = MakeFig1Workflow();
+  fig.workflow->mutable_module(fig.m2_index)->set_public(true);
+  DotOptions options;
+  options.privatized = {fig.m2_index};
+  options.graph_name = "fig1";
+  std::string dot = ToDot(*fig.workflow, options);
+  EXPECT_NE(dot.find("digraph fig1"), std::string::npos);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=lightgrey"), std::string::npos);
+}
+
+TEST(DotExportTest, NoHiddenByDefault) {
+  Fig1Workflow fig = MakeFig1Workflow();
+  std::string dot = ToDot(*fig.workflow);
+  EXPECT_EQ(dot.find("style=dashed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace provview

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "secureview/feasibility.h"
+
+namespace provview {
+namespace {
+
+SecureViewInstance CardInstance() {
+  SecureViewInstance inst;
+  inst.kind = ConstraintKind::kCardinality;
+  inst.num_attrs = 6;
+  inst.attr_cost = {5.0, 1.0, 2.0, 3.0, 1.0, 4.0};
+  SvModule m0;
+  m0.name = "m0";
+  m0.inputs = {0, 1};
+  m0.outputs = {2, 3};
+  m0.card_options = {CardOption{2, 0}, CardOption{0, 1}};
+  SvModule pub;
+  pub.name = "pub";
+  pub.is_public = true;
+  pub.privatization_cost = 7.0;
+  pub.inputs = {2};
+  pub.outputs = {4};
+  SvModule m2;
+  m2.name = "m2";
+  m2.inputs = {3, 4};
+  m2.outputs = {5};
+  m2.card_options = {CardOption{1, 1}};
+  inst.modules = {m0, pub, m2};
+  return inst;
+}
+
+SecureViewInstance SetInstance() {
+  SecureViewInstance inst;
+  inst.kind = ConstraintKind::kSet;
+  inst.num_attrs = 4;
+  inst.attr_cost = {1.0, 2.0, 3.0, 4.0};
+  SvModule m;
+  m.name = "m";
+  m.inputs = {0, 1};
+  m.outputs = {2, 3};
+  m.set_options = {SetOption{{0}, {2}}, SetOption{{}, {3}}};
+  inst.modules = {m};
+  return inst;
+}
+
+TEST(FeasibilityTest, CardinalityModuleSatisfied) {
+  SecureViewInstance inst = CardInstance();
+  EXPECT_FALSE(ModuleSatisfied(inst, 0, Bitset64(6)));
+  EXPECT_FALSE(ModuleSatisfied(inst, 0, Bitset64::Of(6, {0})));
+  EXPECT_TRUE(ModuleSatisfied(inst, 0, Bitset64::Of(6, {0, 1})));  // (2,0)
+  EXPECT_TRUE(ModuleSatisfied(inst, 0, Bitset64::Of(6, {2})));     // (0,1)
+  EXPECT_TRUE(ModuleSatisfied(inst, 0, Bitset64::Of(6, {3})));
+}
+
+TEST(FeasibilityTest, SetModuleSatisfied) {
+  SecureViewInstance inst = SetInstance();
+  EXPECT_FALSE(ModuleSatisfied(inst, 0, Bitset64::Of(4, {0})));
+  EXPECT_TRUE(ModuleSatisfied(inst, 0, Bitset64::Of(4, {0, 2})));
+  EXPECT_TRUE(ModuleSatisfied(inst, 0, Bitset64::Of(4, {3})));
+  // Supersets stay satisfied (Proposition 1).
+  EXPECT_TRUE(ModuleSatisfied(inst, 0, Bitset64::All(4)));
+}
+
+TEST(FeasibilityTest, RequiredPrivatizations) {
+  SecureViewInstance inst = CardInstance();
+  EXPECT_TRUE(RequiredPrivatizations(inst, Bitset64(6)).empty());
+  // attr 2 is the public module's input; attr 4 its output.
+  EXPECT_EQ(RequiredPrivatizations(inst, Bitset64::Of(6, {2})),
+            (std::vector<int>{1}));
+  EXPECT_EQ(RequiredPrivatizations(inst, Bitset64::Of(6, {4})),
+            (std::vector<int>{1}));
+  EXPECT_TRUE(RequiredPrivatizations(inst, Bitset64::Of(6, {0, 5})).empty());
+}
+
+TEST(FeasibilityTest, CompleteSolutionPrivatizesCanonically) {
+  SecureViewInstance inst = CardInstance();
+  SecureViewSolution sol = CompleteSolution(inst, Bitset64::Of(6, {2, 3, 4}));
+  EXPECT_EQ(sol.privatized, (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(sol.TotalCost(inst), 2.0 + 3.0 + 1.0 + 7.0);
+}
+
+TEST(FeasibilityTest, IsFeasibleChecksBothConditions) {
+  SecureViewInstance inst = CardInstance();
+  // Hidden {3, 4, 5}: m0 satisfied via (0,1) (attr 3 hidden); m2 satisfied
+  // via (1,1) (input 3 or 4, output 5); attr 4 touches the public module →
+  // must privatize.
+  SecureViewSolution sol;
+  sol.hidden = Bitset64::Of(6, {3, 4, 5});
+  EXPECT_FALSE(IsFeasible(inst, sol));  // missing privatization
+  sol.privatized = {1};
+  EXPECT_TRUE(IsFeasible(inst, sol));
+  // Hidden {3} alone: m2 unsatisfied (no output hidden).
+  SecureViewSolution sol2 = CompleteSolution(inst, Bitset64::Of(6, {3}));
+  EXPECT_FALSE(IsFeasible(inst, sol2));
+}
+
+TEST(FeasibilityTest, UnsatisfiedModulesLists) {
+  SecureViewInstance inst = CardInstance();
+  EXPECT_EQ(UnsatisfiedModules(inst, Bitset64(6)),
+            (std::vector<int>{0, 2}));
+  EXPECT_EQ(UnsatisfiedModules(inst, Bitset64::Of(6, {2})),
+            (std::vector<int>{2}));
+  EXPECT_TRUE(
+      UnsatisfiedModules(inst, Bitset64::Of(6, {2, 3, 5})).empty());
+}
+
+TEST(FeasibilityTest, CheapestAdditionCardinality) {
+  SecureViewInstance inst = CardInstance();
+  // For m0 from empty: option (2,0) costs 5+1 = 6; option (0,1) costs
+  // min(c2, c3) = 2 → pick {2}.
+  Bitset64 add = CheapestSatisfyingAddition(inst, 0, Bitset64(6));
+  EXPECT_EQ(add, Bitset64::Of(6, {2}));
+  // With attr 0 already hidden, option (2,0) needs only attr 1 (cost 1):
+  // cheaper than hiding attr 2 (cost 2).
+  Bitset64 add2 = CheapestSatisfyingAddition(inst, 0, Bitset64::Of(6, {0}));
+  EXPECT_EQ(add2, Bitset64::Of(6, {1}));
+}
+
+TEST(FeasibilityTest, CheapestAdditionCountsOnlyMissing) {
+  SecureViewInstance inst = CardInstance();
+  // m2 requires (1,1): with attr 3 hidden, only attr 5 (output) missing...
+  // outputs of m2 = {5} with cost 4; inputs {3,4}: 3 already hidden so the
+  // input side is met; addition = {5}? No: option (1,1) needs 1 input AND
+  // 1 output; input met by 3, output requires 5.
+  Bitset64 add = CheapestSatisfyingAddition(inst, 2, Bitset64::Of(6, {3}));
+  EXPECT_EQ(add, Bitset64::Of(6, {5}));
+}
+
+TEST(FeasibilityTest, CheapestAdditionSetConstraints) {
+  SecureViewInstance inst = SetInstance();
+  // Option {0,2} costs 1+3 = 4; option {3} costs 4 → tie broken by order;
+  // accept either, but cost must be 4.
+  Bitset64 add = CheapestSatisfyingAddition(inst, 0, Bitset64(4));
+  EXPECT_DOUBLE_EQ(inst.AttrCost(add), 4.0);
+  // With attr 0 pre-hidden, option {0,2} needs only attr 2 (cost 3).
+  Bitset64 add2 = CheapestSatisfyingAddition(inst, 0, Bitset64::Of(4, {0}));
+  EXPECT_EQ(add2, Bitset64::Of(4, {2}));
+}
+
+}  // namespace
+}  // namespace provview

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "common/combinatorics.h"
+#include "generators/families.h"
+#include "privacy/flip_world.h"
+#include "privacy/standalone_privacy.h"
+#include "workflow/fig1_workflow.h"
+
+namespace provview {
+namespace {
+
+TEST(FlipTupleTest, SwapsPAndQValuesOnSharedAttrs) {
+  std::vector<AttrId> t_attrs = {0, 1, 2};
+  std::vector<AttrId> pq_attrs = {1, 2, 3};
+  Tuple p = {0, 1, 0};  // over attrs 1,2,3
+  Tuple q = {1, 0, 1};
+  // t[1]=0=p[attr1] → q[attr1]=1; t[2]=1 ≠ p[attr2]=1? p[attr2]=1... t[2]=1
+  // equals... walk carefully: attr1: p=0,q=1. attr2: p=1,q=0.
+  Tuple t = {1, 0, 1};
+  Tuple flipped = FlipTuple(t, t_attrs, pq_attrs, p, q);
+  EXPECT_EQ(flipped[0], 1);  // attr 0 not in pq_attrs
+  EXPECT_EQ(flipped[1], 1);  // 0 == p → q = 1
+  EXPECT_EQ(flipped[2], 0);  // 1 == p → q = 0
+}
+
+TEST(FlipTupleTest, IsInvolution) {
+  std::vector<AttrId> attrs = {0, 1, 2, 3};
+  Tuple p = {0, 1, 1, 0};
+  Tuple q = {1, 1, 0, 0};
+  MixedRadixCounter c({2, 2, 2, 2});
+  do {
+    Tuple t = c.values();
+    Tuple once = FlipTuple(t, attrs, attrs, p, q);
+    EXPECT_EQ(FlipTuple(once, attrs, attrs, p, q), t);
+  } while (c.Advance());
+}
+
+TEST(FlipTupleTest, IdentityWhenPEqualsQ) {
+  std::vector<AttrId> attrs = {0, 1};
+  Tuple p = {1, 0};
+  Tuple t = {0, 1};
+  EXPECT_EQ(FlipTuple(t, attrs, attrs, p, p), t);
+}
+
+// Lemma 1 end-to-end on the Figure-1 workflow: for module m1 with hidden
+// attributes V̄1 = {a2, a4} (i.e. V1 = {a1, a3, a5} locally) and candidate
+// output y ∈ OUT_{x,m1}, the flip workflow is a possible world that maps x
+// to y.
+TEST(FlipWorldTest, Lemma1WitnessOnFig1) {
+  Fig1Workflow fig = MakeFig1Workflow();
+  const Module& m1 = fig.workflow->module(fig.m1_index);
+  Relation rel = m1.FullRelation();
+  Bitset64 hidden = Bitset64::Of(7, {fig.a2, fig.a4});
+  Bitset64 visible = hidden.Complement();
+
+  Tuple x = {0, 0};
+  // From the paper's discussion below Lemma 2: y = (1,0,0) ∈ OUT_{x,m1}
+  // with witness x' = (0,1), y' = m1(x') = (1,1,0).
+  Tuple y = {1, 0, 0};
+  Tuple x_prime = {0, 1};
+  Tuple y_prime = m1.Eval(x_prime);
+  ASSERT_EQ(y_prime, (Tuple{1, 1, 0}));
+
+  // p = (x, y), q = (x', y') over I1 ∪ O1.
+  std::vector<AttrId> pq_attrs = {fig.a1, fig.a2, fig.a3, fig.a4, fig.a5};
+  Tuple p = {x[0], x[1], y[0], y[1], y[2]};
+  Tuple q = {x_prime[0], x_prime[1], y_prime[0], y_prime[1], y_prime[2]};
+
+  WorkflowPtr flipped = BuildFlipWorkflow(*fig.workflow, pq_attrs, p, q);
+
+  // (i) g_1 maps x to y.
+  EXPECT_EQ(flipped->module(0).Eval(x), y);
+  // (ii) the flipped provenance relation is a possible world: identical
+  // visible projection.
+  Relation original = fig.workflow->ProvenanceRelation();
+  Relation world = flipped->ProvenanceRelation();
+  EXPECT_TRUE(original.ProjectSet(visible).EqualsAsSet(
+      world.ProjectSet(visible)));
+  // (iii) it differs from the original on the hidden part (it's a genuinely
+  // different world).
+  EXPECT_FALSE(original.EqualsAsSet(world));
+}
+
+TEST(FlipWorldTest, EveryCountedOutputHasAFlipWitness) {
+  // For every input x and every y ∈ OUT_{x,m1} (per the counting checker),
+  // some witness row yields a flip workflow realizing (x → y) with the
+  // right visible projection. This is the constructive content of Lemma 1.
+  Fig1Workflow fig = MakeFig1Workflow();
+  const Module& m1 = fig.workflow->module(fig.m1_index);
+  Relation rel = m1.FullRelation();
+  Bitset64 hidden = Bitset64::Of(7, {fig.a2, fig.a4, fig.a5});
+  Bitset64 visible = hidden.Complement();
+  Relation original = fig.workflow->ProvenanceRelation();
+  std::vector<AttrId> pq_attrs = {fig.a1, fig.a2, fig.a3, fig.a4, fig.a5};
+
+  for (const Tuple& xrow : rel.rows()) {
+    Tuple x = rel.ProjectRow(xrow, m1.inputs());
+    for (const Tuple& y :
+         OutSet(rel, m1.inputs(), m1.outputs(), visible, x)) {
+      // Find a witness row (Lemma 2).
+      bool witnessed = false;
+      for (const Tuple& wrow : rel.rows()) {
+        Tuple xp = rel.ProjectRow(wrow, m1.inputs());
+        Tuple yp = rel.ProjectRow(wrow, m1.outputs());
+        // Visible parts must agree: a1 visible among inputs; a3 visible
+        // among outputs.
+        if (xp[0] != x[0] || yp[0] != y[0]) continue;
+        Tuple p = {x[0], x[1], y[0], y[1], y[2]};
+        Tuple q = {xp[0], xp[1], yp[0], yp[1], yp[2]};
+        WorkflowPtr flipped = BuildFlipWorkflow(*fig.workflow, pq_attrs, p, q);
+        if (flipped->module(0).Eval(x) != y) continue;
+        Relation world = flipped->ProvenanceRelation();
+        if (original.ProjectSet(visible).EqualsAsSet(
+                world.ProjectSet(visible))) {
+          witnessed = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(witnessed) << "no flip witness for y";
+    }
+  }
+}
+
+TEST(FlipWorldTest, Lemma7PublicModulesOutsideHiddenAttrsUnchanged) {
+  // Lemma 7: a module whose attributes avoid the hidden attributes of p,q
+  // is untouched by the flip. Build fig1, flip w.r.t. m1's attrs where p,q
+  // differ only on a2 and a4; m3 (inputs a4,a5) touches a4 → may change;
+  // a module over only a1/a3 stays identical. Here we check which modules
+  // change.
+  Fig1Workflow fig = MakeFig1Workflow();
+  std::vector<AttrId> pq_attrs = {fig.a1, fig.a2, fig.a3, fig.a4, fig.a5};
+  // p, q agree everywhere except a2 (hidden input) and a4 (hidden output).
+  Tuple p = {0, 0, 0, 1, 1};
+  Tuple q = {0, 1, 0, 0, 1};
+  std::vector<int> changed = ModulesChangedByFlip(*fig.workflow, pq_attrs, p, q);
+  // m1 touches a2/a4 → changed; m2 (a3,a4→a6) touches a4 → changed;
+  // m3 (a4,a5→a7) touches a4 → changed. None stays the same here, so
+  // verify with p == q instead that nothing changes.
+  EXPECT_FALSE(changed.empty());
+  std::vector<int> unchanged =
+      ModulesChangedByFlip(*fig.workflow, pq_attrs, p, p);
+  EXPECT_TRUE(unchanged.empty());
+}
+
+TEST(FlipWorldTest, FlipPreservesPublicFlags) {
+  Rng rng(4);
+  Example7Chain chain = MakeExample7Chain(1, &rng);
+  std::vector<AttrId> pq_attrs = {1, 2};  // v0, w0
+  Tuple p = {0, 0};
+  Tuple q = {1, 1};
+  WorkflowPtr flipped = BuildFlipWorkflow(*chain.workflow, pq_attrs, p, q);
+  EXPECT_TRUE(flipped->module(chain.constant_index).is_public());
+  EXPECT_FALSE(flipped->module(chain.bijection_index).is_public());
+}
+
+}  // namespace
+}  // namespace provview

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "generators/families.h"
+#include "generators/random_workflow.h"
+#include "generators/requirement_gen.h"
+#include "secureview/feasibility.h"
+
+namespace provview {
+namespace {
+
+class RandomWorkflowTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomWorkflowTest, GeneratesValidWorkflowWithinBounds) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 43 + 19);
+  RandomWorkflowOptions opt;
+  opt.num_modules = 8;
+  opt.max_inputs = 3;
+  opt.max_outputs = 2;
+  opt.gamma_bound = 2;
+  GeneratedWorkflow gen = MakeRandomWorkflow(opt, &rng);
+  const Workflow& w = *gen.workflow;
+  EXPECT_TRUE(w.validated());
+  EXPECT_EQ(w.num_modules(), 8);
+  EXPECT_LE(w.DataSharingDegree(), 2);
+  for (int i = 0; i < w.num_modules(); ++i) {
+    const Module& m = w.module(i);
+    EXPECT_GE(m.num_inputs(), 1);
+    EXPECT_LE(m.num_inputs(), 3);
+    EXPECT_GE(m.num_outputs(), 1);
+    EXPECT_LE(m.num_outputs(), 2);
+  }
+  // Executable end to end.
+  Relation prov = w.ProvenanceRelation(1 << 20);
+  EXPECT_GT(prov.num_rows(), 0);
+}
+
+TEST_P(RandomWorkflowTest, PublicFractionProducesPublics) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7 + 2);
+  RandomWorkflowOptions opt;
+  opt.num_modules = 10;
+  opt.public_fraction = 1.0;
+  GeneratedWorkflow gen = MakeRandomWorkflow(opt, &rng);
+  EXPECT_EQ(gen.workflow->PublicModuleIndices().size(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkflowTest, ::testing::Range(0, 5));
+
+TEST(RandomWorkflowTest, CostsWithinRange) {
+  Rng rng(55);
+  RandomWorkflowOptions opt;
+  opt.min_cost = 2.0;
+  opt.max_cost = 3.0;
+  GeneratedWorkflow gen = MakeRandomWorkflow(opt, &rng);
+  for (AttrId id = 0; id < gen.catalog->size(); ++id) {
+    EXPECT_GE(gen.catalog->Cost(id), 2.0);
+    EXPECT_LE(gen.catalog->Cost(id), 3.0);
+  }
+}
+
+class RandomInstanceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomInstanceTest, CardinalityListsAreNonRedundant) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 3 + 1);
+  RandomInstanceOptions opt;
+  opt.kind = ConstraintKind::kCardinality;
+  opt.num_modules = 10;
+  opt.max_list_length = 3;
+  SecureViewInstance inst = MakeRandomInstance(opt, &rng);
+  EXPECT_TRUE(inst.Validate().ok());
+  EXPECT_LE(inst.DataSharingDegree(), opt.gamma_bound);
+  for (int i : inst.PrivateModules()) {
+    const auto& list = inst.modules[static_cast<size_t>(i)].card_options;
+    ASSERT_FALSE(list.empty());
+    for (size_t j = 1; j < list.size(); ++j) {
+      // α increasing, β decreasing: no option dominates another.
+      EXPECT_GT(list[j].alpha, list[j - 1].alpha);
+      EXPECT_LT(list[j].beta, list[j - 1].beta);
+    }
+    for (const CardOption& o : list) {
+      EXPECT_TRUE(o.alpha > 0 || o.beta > 0);
+    }
+  }
+}
+
+TEST_P(RandomInstanceTest, SetInstancesSolvable) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 13 + 5);
+  RandomInstanceOptions opt;
+  opt.kind = ConstraintKind::kSet;
+  opt.num_modules = 8;
+  SecureViewInstance inst = MakeRandomInstance(opt, &rng);
+  EXPECT_TRUE(inst.Validate().ok());
+  // Hiding everything is always feasible.
+  SecureViewSolution all = CompleteSolution(inst, Bitset64::All(inst.num_attrs));
+  EXPECT_TRUE(IsFeasible(inst, all));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstanceTest, ::testing::Range(0, 6));
+
+TEST(FamiliesTest, Example5InstanceShape) {
+  SecureViewInstance inst = MakeExample5Instance(5, 0.25);
+  EXPECT_TRUE(inst.Validate().ok());
+  EXPECT_EQ(inst.num_modules(), 7);   // m + 5 middles + m'
+  EXPECT_EQ(inst.num_attrs, 8);       // a1, a2, b1..b5, c
+  EXPECT_DOUBLE_EQ(inst.attr_cost[1], 1.25);
+  EXPECT_EQ(inst.DataSharingDegree(), 5);  // a2 feeds all middles
+  EXPECT_EQ(inst.MaxListLength(), 5);      // m' lists every b_i
+}
+
+TEST(FamiliesTest, Prop2ChainIsOneOne) {
+  Prop2Chain chain = MakeProp2Chain(3);
+  EXPECT_EQ(chain.workflow->num_modules(), 2);
+  EXPECT_TRUE(chain.workflow->module(0).IsInjective());
+  EXPECT_TRUE(chain.workflow->module(1).IsInjective());
+  // The chain computes negation end to end.
+  Tuple out = chain.workflow->Execute({1, 0, 1});
+  // Attributes: x0..x2, y0..y2, z0..z2 — z = ¬x.
+  EXPECT_EQ(out[6], 0);
+  EXPECT_EQ(out[7], 1);
+  EXPECT_EQ(out[8], 0);
+}
+
+TEST(FamiliesTest, Example7ChainsHaveExpectedVisibility) {
+  Rng rng(21);
+  Example7Chain c1 = MakeExample7Chain(2, &rng);
+  EXPECT_TRUE(c1.workflow->module(c1.constant_index).is_public());
+  EXPECT_FALSE(c1.workflow->module(c1.bijection_index).is_public());
+  Example7OutputChain c2 = MakeExample7OutputChain(2, &rng);
+  EXPECT_TRUE(c2.workflow->module(c2.invertible_index).is_public());
+  EXPECT_TRUE(c2.workflow->module(c2.bijection_index).IsInjective());
+}
+
+}  // namespace
+}  // namespace provview

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "generators/requirement_gen.h"
+#include "lp/simplex.h"
+#include "secureview/feasibility.h"
+#include "secureview/ilp_encoding.h"
+#include "secureview/solvers.h"
+
+namespace provview {
+namespace {
+
+SecureViewInstance TwoModuleCardInstance() {
+  SecureViewInstance inst;
+  inst.kind = ConstraintKind::kCardinality;
+  inst.num_attrs = 5;
+  inst.attr_cost = {1.0, 2.0, 3.0, 4.0, 5.0};
+  SvModule m0;
+  m0.name = "m0";
+  m0.inputs = {0, 1};
+  m0.outputs = {2};
+  m0.card_options = {CardOption{1, 0}, CardOption{0, 1}};
+  SvModule m1;
+  m1.name = "m1";
+  m1.inputs = {2, 3};
+  m1.outputs = {4};
+  m1.card_options = {CardOption{2, 0}};
+  inst.modules = {m0, m1};
+  return inst;
+}
+
+TEST(EncodingStructureTest, CardinalityVariableCounts) {
+  SecureViewInstance inst = TwoModuleCardInstance();
+  SvEncoding enc = EncodeSecureView(inst);
+  // x per attribute.
+  EXPECT_EQ(enc.x_var.size(), 5u);
+  // r per option: 2 + 1.
+  EXPECT_EQ(enc.r_var[0].size(), 2u);
+  EXPECT_EQ(enc.r_var[1].size(), 1u);
+  // Total vars: 5 x + 3 r + y/z: m0 has (2 in + 1 out)·2 options = 6,
+  // m1 has (2 in + 1 out)·1 = 3 → 5 + 3 + 9 = 17.
+  EXPECT_EQ(enc.lp.num_vars(), 17);
+  // Integer vars: x and r only.
+  EXPECT_EQ(enc.integer_vars.size(), 8u);
+  // No public modules → no w vars.
+  for (int w : enc.w_var) EXPECT_EQ(w, -1);
+}
+
+TEST(EncodingStructureTest, ObjectiveUsesAttrCosts) {
+  SecureViewInstance inst = TwoModuleCardInstance();
+  SvEncoding enc = EncodeSecureView(inst);
+  for (int b = 0; b < inst.num_attrs; ++b) {
+    EXPECT_DOUBLE_EQ(
+        enc.lp.objective_coeff(enc.x_var[static_cast<size_t>(b)]),
+        inst.attr_cost[static_cast<size_t>(b)]);
+  }
+}
+
+TEST(EncodingStructureTest, PublicModulesGetWeightedWVars) {
+  SecureViewInstance inst = TwoModuleCardInstance();
+  inst.modules[1].is_public = true;
+  inst.modules[1].card_options.clear();
+  inst.modules[1].privatization_cost = 9.0;
+  SvEncoding enc = EncodeSecureView(inst);
+  ASSERT_GE(enc.w_var[1], 0);
+  EXPECT_DOUBLE_EQ(enc.lp.objective_coeff(enc.w_var[1]), 9.0);
+  EXPECT_EQ(enc.w_var[0], -1);
+}
+
+TEST(EncodingStructureTest, SetEncodingSmallerThanCardinality) {
+  SecureViewInstance inst;
+  inst.kind = ConstraintKind::kSet;
+  inst.num_attrs = 4;
+  inst.attr_cost = {1, 1, 1, 1};
+  SvModule m;
+  m.name = "m";
+  m.inputs = {0, 1};
+  m.outputs = {2, 3};
+  m.set_options = {SetOption{{0}, {2}}, SetOption{{1}, {}}};
+  inst.modules = {m};
+  SvEncoding enc = EncodeSecureView(inst);
+  // 4 x + 2 r, no y/z.
+  EXPECT_EQ(enc.lp.num_vars(), 6);
+  // Constraints: (15) pick-one + (16) per option member: 2 + 1 = 3 → 4.
+  EXPECT_EQ(enc.lp.num_constraints(), 4);
+}
+
+TEST(EncodingVariantTest, AllVariantsShareIntegralOptimum) {
+  // The ablated encodings are valid IPs: their integral optima coincide
+  // with the full encoding's.
+  Rng rng(5);
+  RandomInstanceOptions opt;
+  opt.kind = ConstraintKind::kCardinality;
+  opt.num_modules = 6;
+  SecureViewInstance inst = MakeRandomInstance(opt, &rng);
+  SvResult full = SolveExact(inst);
+  ASSERT_TRUE(full.status.ok());
+  for (CardEncodingVariant v :
+       {CardEncodingVariant::kNoCoupling, CardEncodingVariant::kDirect}) {
+    SvEncoding enc = EncodeCardinalityVariant(inst, v);
+    BnbResult ilp = SolveIlp(enc.lp, enc.integer_vars);
+    ASSERT_TRUE(ilp.status.ok());
+    SecureViewSolution sol = DecodeSolution(inst, enc, ilp.x);
+    EXPECT_TRUE(IsFeasible(inst, sol));
+    EXPECT_NEAR(sol.TotalCost(inst), full.cost, 1e-6);
+  }
+}
+
+TEST(EncodingVariantTest, RelaxationBoundOrdering) {
+  // LP bounds: direct <= ... <= full <= OPT (each ablation only removes
+  // constraints). Note no-coupling keeps (1)-(5) so it sits between.
+  Rng rng(8);
+  RandomInstanceOptions opt;
+  opt.kind = ConstraintKind::kCardinality;
+  opt.num_modules = 8;
+  opt.max_list_length = 3;
+  SecureViewInstance inst = MakeRandomInstance(opt, &rng);
+  SvResult exact = SolveExact(inst);
+  ASSERT_TRUE(exact.status.ok());
+  auto bound = [&](CardEncodingVariant v) {
+    SvEncoding enc = EncodeCardinalityVariant(inst, v);
+    LpSolution s = SolveLp(enc.lp);
+    EXPECT_TRUE(s.status.ok());
+    return s.objective;
+  };
+  double full = bound(CardEncodingVariant::kFull);
+  double nocouple = bound(CardEncodingVariant::kNoCoupling);
+  EXPECT_LE(nocouple, full + 1e-6);
+  EXPECT_LE(full, exact.cost + 1e-6);
+}
+
+TEST(DecodeTest, PrivatizationsAlwaysCanonical) {
+  SecureViewInstance inst = TwoModuleCardInstance();
+  inst.modules[1].is_public = true;
+  inst.modules[1].card_options.clear();
+  inst.modules[1].privatization_cost = 1.0;
+  SvEncoding enc = EncodeSecureView(inst);
+  std::vector<double> x(static_cast<size_t>(enc.lp.num_vars()), 0.0);
+  x[static_cast<size_t>(enc.x_var[2])] = 1.0;  // attr 2 is m1's input
+  SecureViewSolution sol = DecodeSolution(inst, enc, x);
+  EXPECT_EQ(sol.privatized, (std::vector<int>{1}));
+}
+
+}  // namespace
+}  // namespace provview

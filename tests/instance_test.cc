@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "secureview/instance.h"
+
+namespace provview {
+namespace {
+
+SecureViewInstance SmallCardInstance() {
+  SecureViewInstance inst;
+  inst.kind = ConstraintKind::kCardinality;
+  inst.num_attrs = 5;
+  inst.attr_cost = {1.0, 2.0, 3.0, 4.0, 5.0};
+  SvModule m0;
+  m0.name = "m0";
+  m0.inputs = {0, 1};
+  m0.outputs = {2};
+  m0.card_options = {CardOption{1, 0}, CardOption{0, 1}};
+  SvModule m1;
+  m1.name = "m1";
+  m1.inputs = {2, 3};
+  m1.outputs = {4};
+  m1.card_options = {CardOption{2, 0}};
+  inst.modules = {m0, m1};
+  return inst;
+}
+
+TEST(InstanceTest, ValidInstancePasses) {
+  EXPECT_TRUE(SmallCardInstance().Validate().ok());
+}
+
+TEST(InstanceTest, MaxListLength) {
+  EXPECT_EQ(SmallCardInstance().MaxListLength(), 2);
+}
+
+TEST(InstanceTest, DataSharingDegree) {
+  SecureViewInstance inst = SmallCardInstance();
+  EXPECT_EQ(inst.DataSharingDegree(), 1);
+  // Make attr 2 feed another module too.
+  SvModule m2;
+  m2.name = "m2";
+  m2.inputs = {2};
+  m2.outputs = {};
+  m2.card_options = {CardOption{1, 0}};
+  inst.modules.push_back(m2);
+  EXPECT_EQ(inst.DataSharingDegree(), 2);
+}
+
+TEST(InstanceTest, AttrCostSums) {
+  SecureViewInstance inst = SmallCardInstance();
+  EXPECT_DOUBLE_EQ(inst.AttrCost(Bitset64::Of(5, {0, 4})), 6.0);
+  EXPECT_DOUBLE_EQ(inst.AttrCost(Bitset64(5)), 0.0);
+}
+
+TEST(InstanceTest, PrivatePublicPartition) {
+  SecureViewInstance inst = SmallCardInstance();
+  EXPECT_EQ(inst.PrivateModules().size(), 2u);
+  EXPECT_TRUE(inst.PublicModules().empty());
+  inst.modules[0].is_public = true;
+  inst.modules[0].card_options.clear();
+  EXPECT_EQ(inst.PublicModules(), (std::vector<int>{0}));
+}
+
+TEST(InstanceValidationTest, RejectsBadAttrIndex) {
+  SecureViewInstance inst = SmallCardInstance();
+  inst.modules[0].inputs.push_back(99);
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST(InstanceValidationTest, RejectsInputOutputOverlap) {
+  SecureViewInstance inst = SmallCardInstance();
+  inst.modules[0].outputs.push_back(0);  // attr 0 already an input
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST(InstanceValidationTest, RejectsEmptyRequirementList) {
+  SecureViewInstance inst = SmallCardInstance();
+  inst.modules[1].card_options.clear();
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST(InstanceValidationTest, RejectsOutOfRangeCardOption) {
+  SecureViewInstance inst = SmallCardInstance();
+  inst.modules[0].card_options.push_back(CardOption{3, 0});  // only 2 inputs
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST(InstanceValidationTest, RejectsPublicModuleWithRequirements) {
+  SecureViewInstance inst = SmallCardInstance();
+  inst.modules[0].is_public = true;  // still has card_options
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST(InstanceValidationTest, RejectsNegativeCost) {
+  SecureViewInstance inst = SmallCardInstance();
+  inst.attr_cost[2] = -1.0;
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST(InstanceValidationTest, RejectsSetOptionOutsideModule) {
+  SecureViewInstance inst;
+  inst.kind = ConstraintKind::kSet;
+  inst.num_attrs = 3;
+  inst.attr_cost = {1, 1, 1};
+  SvModule m;
+  m.name = "m";
+  m.inputs = {0};
+  m.outputs = {1};
+  m.set_options = {SetOption{{2}, {}}};  // attr 2 is not an input of m
+  inst.modules = {m};
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST(SolutionTest, CostsSplitAttrAndPrivatization) {
+  SecureViewInstance inst = SmallCardInstance();
+  inst.modules[0].is_public = true;
+  inst.modules[0].card_options.clear();
+  inst.modules[0].privatization_cost = 10.0;
+  SecureViewSolution sol;
+  sol.hidden = Bitset64::Of(5, {0, 2});
+  sol.privatized = {0};
+  EXPECT_DOUBLE_EQ(sol.AttrCost(inst), 4.0);
+  EXPECT_DOUBLE_EQ(sol.PrivatizationCost(inst), 10.0);
+  EXPECT_DOUBLE_EQ(sol.TotalCost(inst), 14.0);
+}
+
+}  // namespace
+}  // namespace provview

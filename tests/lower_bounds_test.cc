@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "common/combinatorics.h"
+#include "common/rng.h"
+#include <algorithm>
+#include "privacy/lower_bounds.h"
+#include "privacy/standalone_privacy.h"
+
+namespace provview {
+namespace {
+
+// ---------------------------------------------------------------------
+// CNF helper.
+// ---------------------------------------------------------------------
+TEST(CnfTest, EvalAndSatisfiability) {
+  // (x0 ∨ x1) ∧ (¬x0 ∨ x2)
+  CnfFormula f;
+  f.num_vars = 3;
+  f.clauses = {{1, 2}, {-1, 3}};
+  EXPECT_TRUE(f.Eval({0, 1, 0}));
+  EXPECT_FALSE(f.Eval({0, 0, 1}));
+  EXPECT_TRUE(f.Eval({1, 0, 1}));
+  EXPECT_FALSE(f.Eval({1, 0, 0}));
+  EXPECT_TRUE(f.IsSatisfiable());
+}
+
+TEST(CnfTest, UnsatisfiableFormula) {
+  // x0 ∧ ¬x0.
+  CnfFormula f;
+  f.num_vars = 1;
+  f.clauses = {{1}, {-1}};
+  EXPECT_FALSE(f.IsSatisfiable());
+}
+
+TEST(CnfTest, EmptyFormulaIsSatisfiable) {
+  CnfFormula f;
+  f.num_vars = 2;
+  EXPECT_TRUE(f.IsSatisfiable());
+  EXPECT_TRUE(f.Eval({0, 0}));
+}
+
+// ---------------------------------------------------------------------
+// Theorem 1: set-disjointness gadget.
+// ---------------------------------------------------------------------
+TEST(DisjointnessGadgetTest, IntersectingSetsAreSafe) {
+  DisjointnessGadget g = MakeDisjointnessGadget(6, {0, 2, 4}, {1, 2, 5});
+  // A ∩ B = {2} ≠ ∅ → the view is 2-private.
+  const Module& m = *g.module;
+  EXPECT_TRUE(IsStandaloneSafe(g.relation, m.inputs(), m.outputs(), g.view, 2));
+}
+
+TEST(DisjointnessGadgetTest, DisjointSetsAreUnsafe) {
+  DisjointnessGadget g = MakeDisjointnessGadget(6, {0, 2, 4}, {1, 3, 5});
+  const Module& m = *g.module;
+  EXPECT_FALSE(
+      IsStandaloneSafe(g.relation, m.inputs(), m.outputs(), g.view, 2));
+  EXPECT_EQ(MaxStandaloneGamma(g.relation, m.inputs(), m.outputs(), g.view),
+            1);
+}
+
+TEST(DisjointnessGadgetTest, EquivalenceOverRandomSets) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int universe = 8;
+    std::vector<int> a, b;
+    for (int i = 0; i < universe; ++i) {
+      if (rng.NextBernoulli(0.4)) a.push_back(i);
+      if (rng.NextBernoulli(0.4)) b.push_back(i);
+    }
+    bool intersect = false;
+    for (int i : a) {
+      if (std::find(b.begin(), b.end(), i) != b.end()) intersect = true;
+    }
+    DisjointnessGadget g = MakeDisjointnessGadget(universe, a, b);
+    const Module& m = *g.module;
+    EXPECT_EQ(
+        IsStandaloneSafe(g.relation, m.inputs(), m.outputs(), g.view, 2),
+        intersect)
+        << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Theorem 2: UNSAT gadget.
+// ---------------------------------------------------------------------
+TEST(UnsatGadgetTest, UnsatisfiableMeansSafe) {
+  CnfFormula f;  // x0 ∧ ¬x0 ∧ (x1 ∨ x1)
+  f.num_vars = 2;
+  f.clauses = {{1}, {-1}, {2}};
+  ASSERT_FALSE(f.IsSatisfiable());
+  UnsatGadget g = MakeUnsatGadget(f);
+  EXPECT_TRUE(IsStandaloneSafe(*g.module, g.view, 2));
+}
+
+TEST(UnsatGadgetTest, SatisfiableMeansUnsafe) {
+  CnfFormula f;  // (x0 ∨ x1)
+  f.num_vars = 2;
+  f.clauses = {{1, 2}};
+  ASSERT_TRUE(f.IsSatisfiable());
+  UnsatGadget g = MakeUnsatGadget(f);
+  EXPECT_FALSE(IsStandaloneSafe(*g.module, g.view, 2));
+}
+
+TEST(UnsatGadgetTest, EquivalenceOverRandomFormulas) {
+  Rng rng(47);
+  for (int trial = 0; trial < 20; ++trial) {
+    CnfFormula f;
+    f.num_vars = 4;
+    const int num_clauses = 2 + static_cast<int>(rng.NextBelow(8));
+    for (int c = 0; c < num_clauses; ++c) {
+      std::vector<int> clause;
+      int width = 1 + static_cast<int>(rng.NextBelow(3));
+      for (int v : rng.SampleWithoutReplacement(f.num_vars, width)) {
+        clause.push_back(rng.NextBernoulli(0.5) ? (v + 1) : -(v + 1));
+      }
+      f.clauses.push_back(std::move(clause));
+    }
+    UnsatGadget g = MakeUnsatGadget(f);
+    EXPECT_EQ(IsStandaloneSafe(*g.module, g.view, 2), !f.IsSatisfiable())
+        << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Theorem 3: the adversary pair m1 / m2 and properties (P1)/(P2).
+// ---------------------------------------------------------------------
+class AdversaryPairTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ℓ = 8, A = {0, 1, 2, 3}.
+    pair_ = MakeAdversaryPair(8, {0, 1, 2, 3});
+  }
+  AdversaryPair pair_;
+};
+
+TEST_F(AdversaryPairTest, FunctionsDifferOnlyInsideA) {
+  // m1 and m2 agree whenever some 1 lies outside A; they differ exactly on
+  // inputs with >= 2 ones all inside A.
+  MixedRadixCounter counter(std::vector<int>(8, 2));
+  int differing = 0;
+  do {
+    Tuple x = counter.values();
+    Tuple o1 = pair_.m1->Eval(x);
+    Tuple o2 = pair_.m2->Eval(x);
+    int ones = 0, inside = 0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      ones += x[i];
+      if (x[i] != 0 && i < 4) ++inside;
+    }
+    if (ones >= 2 && inside == ones) {
+      EXPECT_EQ(o1[0], 1);
+      EXPECT_EQ(o2[0], 0);
+      ++differing;
+    } else {
+      EXPECT_EQ(o1, o2);
+    }
+  } while (counter.Advance());
+  // C(4,2)+C(4,3)+C(4,4) = 6+4+1 inputs with >=2 ones, all inside A.
+  EXPECT_EQ(differing, 11);
+}
+
+TEST_F(AdversaryPairTest, PropertyP1SmallVisibleSetsSafeForBoth) {
+  // (P1): every visible input set with |V| < ℓ/4 = 2 is safe.
+  for (const Bitset64& combo : SubsetsOfSize(8, 1)) {
+    std::vector<int> visible = combo.ToVector();
+    EXPECT_TRUE(AdversaryVisibleInputsSafe(*pair_.m1, visible));
+    EXPECT_TRUE(AdversaryVisibleInputsSafe(*pair_.m2, visible));
+  }
+  EXPECT_TRUE(AdversaryVisibleInputsSafe(*pair_.m1, {}));
+  EXPECT_TRUE(AdversaryVisibleInputsSafe(*pair_.m2, {}));
+}
+
+TEST_F(AdversaryPairTest, PropertyP2LargeVisibleSetsUnsafeForM1) {
+  // (P2) for m1: every visible input set with |V| >= ℓ/4 = 2 is unsafe.
+  for (int size = 2; size <= 4; ++size) {
+    for (const Bitset64& combo : SubsetsOfSize(8, size)) {
+      EXPECT_FALSE(AdversaryVisibleInputsSafe(*pair_.m1, combo.ToVector()))
+          << combo.ToString();
+    }
+  }
+}
+
+TEST_F(AdversaryPairTest, M2SafeExactlyOnSubsetsOfA) {
+  // For m2, a visible set of size >= 2 is safe iff it is a subset of A —
+  // the exponentially-hidden needle of the Theorem-3 adversary argument.
+  Bitset64 a_set = Bitset64::Of(8, pair_.special_set);
+  for (int size = 2; size <= 4; ++size) {
+    for (const Bitset64& combo : SubsetsOfSize(8, size)) {
+      bool safe = AdversaryVisibleInputsSafe(*pair_.m2, combo.ToVector());
+      EXPECT_EQ(safe, combo.IsSubsetOf(a_set)) << combo.ToString();
+    }
+  }
+}
+
+TEST_F(AdversaryPairTest, FullSpecialSetIsSafeForM2) {
+  EXPECT_TRUE(AdversaryVisibleInputsSafe(*pair_.m2, pair_.special_set));
+  EXPECT_FALSE(AdversaryVisibleInputsSafe(*pair_.m1, pair_.special_set));
+}
+
+}  // namespace
+}  // namespace provview

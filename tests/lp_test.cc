@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp/simplex.h"
+
+namespace provview {
+namespace {
+
+TEST(SimplexTest, TrivialTwoVariableLp) {
+  // min x + y  s.t.  x + 2y >= 4, 3x + y >= 6, x,y >= 0.
+  // Optimum at intersection: x = 8/5, y = 6/5, objective 14/5.
+  LinearProgram lp;
+  int x = lp.AddVariable(0, LinearProgram::kInf, 1.0);
+  int y = lp.AddVariable(0, LinearProgram::kInf, 1.0);
+  lp.AddConstraint({{x, 1.0}, {y, 2.0}}, ConstraintSense::kGe, 4.0);
+  lp.AddConstraint({{x, 3.0}, {y, 1.0}}, ConstraintSense::kGe, 6.0);
+  LpSolution s = SolveLp(lp);
+  ASSERT_TRUE(s.status.ok()) << s.status;
+  EXPECT_NEAR(s.objective, 14.0 / 5.0, 1e-7);
+  EXPECT_NEAR(s.x[static_cast<size_t>(x)], 1.6, 1e-7);
+  EXPECT_NEAR(s.x[static_cast<size_t>(y)], 1.2, 1e-7);
+  EXPECT_LT(lp.MaxViolation(s.x), 1e-7);
+}
+
+TEST(SimplexTest, MaximizationViaNegatedCosts) {
+  // max 3x + 2y s.t. x + y <= 4, x <= 2  ⇔  min -3x - 2y.
+  LinearProgram lp;
+  int x = lp.AddVariable(0, LinearProgram::kInf, -3.0);
+  int y = lp.AddVariable(0, LinearProgram::kInf, -2.0);
+  lp.AddConstraint({{x, 1.0}, {y, 1.0}}, ConstraintSense::kLe, 4.0);
+  lp.AddConstraint({{x, 1.0}}, ConstraintSense::kLe, 2.0);
+  LpSolution s = SolveLp(lp);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.objective, -10.0, 1e-7);  // x=2, y=2
+}
+
+TEST(SimplexTest, EqualityConstraints) {
+  // min 2x + 3y s.t. x + y = 5, x - y = 1 → x=3, y=2, obj 12.
+  LinearProgram lp;
+  int x = lp.AddVariable(0, LinearProgram::kInf, 2.0);
+  int y = lp.AddVariable(0, LinearProgram::kInf, 3.0);
+  lp.AddConstraint({{x, 1.0}, {y, 1.0}}, ConstraintSense::kEq, 5.0);
+  lp.AddConstraint({{x, 1.0}, {y, -1.0}}, ConstraintSense::kEq, 1.0);
+  LpSolution s = SolveLp(lp);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.objective, 12.0, 1e-7);
+  EXPECT_NEAR(s.x[static_cast<size_t>(x)], 3.0, 1e-7);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  LinearProgram lp;
+  int x = lp.AddVariable(0, LinearProgram::kInf, 1.0);
+  lp.AddConstraint({{x, 1.0}}, ConstraintSense::kLe, 1.0);
+  lp.AddConstraint({{x, 1.0}}, ConstraintSense::kGe, 2.0);
+  EXPECT_EQ(SolveLp(lp).status.code(), StatusCode::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedness) {
+  LinearProgram lp;
+  int x = lp.AddVariable(0, LinearProgram::kInf, -1.0);  // maximize x
+  lp.AddConstraint({{x, -1.0}}, ConstraintSense::kLe, 0.0);
+  EXPECT_EQ(SolveLp(lp).status.code(), StatusCode::kUnbounded);
+}
+
+TEST(SimplexTest, RespectsUpperBounds) {
+  // min -x with x in [0, 3].
+  LinearProgram lp;
+  int x = lp.AddVariable(0, 3.0, -1.0);
+  LpSolution s = SolveLp(lp);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.x[static_cast<size_t>(x)], 3.0, 1e-7);
+}
+
+TEST(SimplexTest, RespectsNonZeroLowerBounds) {
+  // min x + y with x in [2, 10], y in [1, 10], x + y >= 5.
+  LinearProgram lp;
+  int x = lp.AddVariable(2.0, 10.0, 1.0);
+  int y = lp.AddVariable(1.0, 10.0, 1.0);
+  lp.AddConstraint({{x, 1.0}, {y, 1.0}}, ConstraintSense::kGe, 5.0);
+  LpSolution s = SolveLp(lp);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.objective, 5.0, 1e-7);
+  EXPECT_GE(s.x[static_cast<size_t>(x)], 2.0 - 1e-9);
+  EXPECT_GE(s.x[static_cast<size_t>(y)], 1.0 - 1e-9);
+}
+
+TEST(SimplexTest, NegativeRhsNormalization) {
+  // x - y <= -1 with min x (x,y in [0,5]): x can be 0 with y >= 1.
+  LinearProgram lp;
+  int x = lp.AddVariable(0, 5.0, 1.0);
+  int y = lp.AddVariable(0, 5.0, 0.0);
+  lp.AddConstraint({{x, 1.0}, {y, -1.0}}, ConstraintSense::kLe, -1.0);
+  LpSolution s = SolveLp(lp);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.objective, 0.0, 1e-7);
+  EXPECT_GE(s.x[static_cast<size_t>(y)], 1.0 - 1e-7);
+}
+
+TEST(SimplexTest, DegenerateLpTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  LinearProgram lp;
+  int x = lp.AddVariable(0, LinearProgram::kInf, 1.0);
+  int y = lp.AddVariable(0, LinearProgram::kInf, 1.0);
+  for (int i = 0; i < 6; ++i) {
+    lp.AddConstraint({{x, 1.0 + i}, {y, 1.0}}, ConstraintSense::kGe, 1.0);
+  }
+  LpSolution s = SolveLp(lp);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_LT(lp.MaxViolation(s.x), 1e-7);
+}
+
+TEST(SimplexTest, DuplicateTermsAccumulate) {
+  // x appearing twice in a constraint: 2x >= 4 effectively.
+  LinearProgram lp;
+  int x = lp.AddVariable(0, LinearProgram::kInf, 1.0);
+  lp.AddConstraint({{x, 1.0}, {x, 1.0}}, ConstraintSense::kGe, 4.0);
+  LpSolution s = SolveLp(lp);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NEAR(s.x[static_cast<size_t>(x)], 2.0, 1e-7);
+}
+
+TEST(SimplexTest, ObjectiveAndViolationHelpers) {
+  LinearProgram lp;
+  int x = lp.AddVariable(0, 1.0, 2.0);
+  lp.AddConstraint({{x, 1.0}}, ConstraintSense::kGe, 0.5);
+  EXPECT_DOUBLE_EQ(lp.Objective({0.5}), 1.0);
+  EXPECT_NEAR(lp.MaxViolation({0.25}), 0.25, 1e-12);
+  EXPECT_NEAR(lp.MaxViolation({2.0}), 1.0, 1e-12);  // ub violated by 1
+}
+
+// Random LPs: simplex solutions must always be feasible, and adding a
+// redundant constraint must not change the optimum.
+class RandomLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLpTest, FeasibleAndStableUnderRedundancy) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 997 + 3);
+  LinearProgram lp;
+  const int n = 4 + static_cast<int>(rng.NextBelow(5));
+  for (int v = 0; v < n; ++v) {
+    lp.AddVariable(0.0, 1.0, 0.5 + rng.NextDouble() * 4.0);
+  }
+  const int m = 3 + static_cast<int>(rng.NextBelow(6));
+  for (int c = 0; c < m; ++c) {
+    std::vector<std::pair<int, double>> terms;
+    for (int v = 0; v < n; ++v) {
+      if (rng.NextBernoulli(0.6)) {
+        terms.emplace_back(v, 0.5 + rng.NextDouble());
+      }
+    }
+    if (terms.empty()) terms.emplace_back(0, 1.0);
+    // rhs small enough to keep the instance feasible under x <= 1.
+    lp.AddConstraint(terms, ConstraintSense::kGe,
+                     0.3 * static_cast<double>(terms.size()) * 0.5);
+  }
+  LpSolution s = SolveLp(lp);
+  ASSERT_TRUE(s.status.ok()) << s.status;
+  EXPECT_LT(lp.MaxViolation(s.x), 1e-6);
+  // A dominated constraint must not move the optimum.
+  lp.AddConstraint({{0, 1.0}}, ConstraintSense::kGe, -1.0);
+  LpSolution s2 = SolveLp(lp);
+  ASSERT_TRUE(s2.status.ok());
+  EXPECT_NEAR(s.objective, s2.objective, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace provview

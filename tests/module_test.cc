@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/combinatorics.h"
+#include "module/module_library.h"
+#include "module/table_module.h"
+
+namespace provview {
+namespace {
+
+CatalogPtr BoolCatalog(int n) {
+  auto catalog = std::make_shared<AttributeCatalog>();
+  for (int i = 0; i < n; ++i) catalog->Add("a" + std::to_string(i));
+  return catalog;
+}
+
+TEST(ModuleTest, GateTruthTables) {
+  auto catalog = BoolCatalog(4);
+  ModulePtr and_mod = MakeAnd("and", catalog, {0, 1}, 2);
+  EXPECT_EQ(and_mod->Eval({1, 1}), (Tuple{1}));
+  EXPECT_EQ(and_mod->Eval({1, 0}), (Tuple{0}));
+  ModulePtr or_mod = MakeOr("or", catalog, {0, 1}, 2);
+  EXPECT_EQ(or_mod->Eval({0, 0}), (Tuple{0}));
+  EXPECT_EQ(or_mod->Eval({0, 1}), (Tuple{1}));
+  ModulePtr xor_mod = MakeParity("xor", catalog, {0, 1}, 2);
+  EXPECT_EQ(xor_mod->Eval({1, 1}), (Tuple{0}));
+  EXPECT_EQ(xor_mod->Eval({1, 0}), (Tuple{1}));
+}
+
+TEST(ModuleTest, Fig1M1MatchesPaperTable) {
+  auto catalog = BoolCatalog(5);
+  ModulePtr m1 = MakeFig1M1(catalog, 0, 1, 2, 3, 4);
+  // Figure 1c: rows (a1 a2 | a3 a4 a5).
+  EXPECT_EQ(m1->Eval({0, 0}), (Tuple{0, 1, 1}));
+  EXPECT_EQ(m1->Eval({0, 1}), (Tuple{1, 1, 0}));
+  EXPECT_EQ(m1->Eval({1, 0}), (Tuple{1, 1, 0}));
+  EXPECT_EQ(m1->Eval({1, 1}), (Tuple{1, 0, 1}));
+}
+
+TEST(ModuleTest, MajorityThreshold) {
+  auto catalog = BoolCatalog(5);
+  ModulePtr maj = MakeMajority("maj", catalog, {0, 1, 2, 3}, 4);
+  EXPECT_EQ(maj->Eval({0, 0, 0, 0}), (Tuple{0}));
+  EXPECT_EQ(maj->Eval({1, 0, 0, 0}), (Tuple{0}));
+  EXPECT_EQ(maj->Eval({1, 1, 0, 0}), (Tuple{1}));  // >= k of 2k
+  EXPECT_EQ(maj->Eval({1, 1, 1, 1}), (Tuple{1}));
+}
+
+TEST(ModuleTest, IdentityAndNegation) {
+  auto catalog = BoolCatalog(4);
+  ModulePtr id = MakeIdentity("id", catalog, {0, 1}, {2, 3});
+  EXPECT_EQ(id->Eval({1, 0}), (Tuple{1, 0}));
+  ModulePtr neg = MakeNegation("neg", catalog, {0, 1}, {2, 3});
+  EXPECT_EQ(neg->Eval({1, 0}), (Tuple{0, 1}));
+  EXPECT_TRUE(id->IsInjective());
+  EXPECT_TRUE(neg->IsInjective());
+}
+
+TEST(ModuleTest, ConstantIgnoresInput) {
+  auto catalog = BoolCatalog(4);
+  ModulePtr c = MakeConstant("const", catalog, {0, 1}, {2, 3}, {1, 0});
+  EXPECT_EQ(c->Eval({0, 0}), (Tuple{1, 0}));
+  EXPECT_EQ(c->Eval({1, 1}), (Tuple{1, 0}));
+  EXPECT_FALSE(c->IsInjective());
+}
+
+TEST(ModuleTest, RandomBijectionIsInjectiveAndDeterministic) {
+  auto catalog = BoolCatalog(6);
+  Rng rng1(5), rng2(5);
+  ModulePtr b1 = MakeRandomBijection("b", catalog, {0, 1, 2}, {3, 4, 5}, &rng1);
+  ModulePtr b2 = MakeRandomBijection("b", catalog, {0, 1, 2}, {3, 4, 5}, &rng2);
+  EXPECT_TRUE(b1->IsInjective());
+  MixedRadixCounter c({2, 2, 2});
+  do {
+    EXPECT_EQ(b1->Eval(c.values()), b2->Eval(c.values()));
+  } while (c.Advance());
+}
+
+TEST(ModuleTest, ShiftBijectionWrapsModuloRange) {
+  auto catalog = BoolCatalog(4);
+  ModulePtr s = MakeShiftBijection("s", catalog, {0, 1}, {2, 3}, 1);
+  EXPECT_TRUE(s->IsInjective());
+  // code(0,0)=0 -> 1 -> decode (1,0).
+  EXPECT_EQ(s->Eval({0, 0}), (Tuple{1, 0}));
+  // last code wraps to 0.
+  EXPECT_EQ(s->Eval({1, 1}), (Tuple{0, 0}));
+}
+
+TEST(ModuleTest, RandomFunctionCoversDomain) {
+  auto catalog = BoolCatalog(4);
+  Rng rng(11);
+  ModulePtr f = MakeRandomFunction("f", catalog, {0, 1}, {2, 3}, &rng);
+  Relation rel = f->FullRelation();
+  EXPECT_EQ(rel.num_rows(), 4);
+  EXPECT_TRUE(rel.SatisfiesFd({0, 1}, {2, 3}));
+}
+
+TEST(ModuleTest, FullRelationShapeAndFd) {
+  auto catalog = BoolCatalog(5);
+  ModulePtr m1 = MakeFig1M1(catalog, 0, 1, 2, 3, 4);
+  Relation rel = m1->FullRelation();
+  EXPECT_EQ(rel.num_rows(), 4);
+  EXPECT_EQ(rel.schema().arity(), 5);
+  EXPECT_TRUE(rel.SatisfiesFd({0, 1}, {2, 3, 4}));
+  EXPECT_EQ(m1->DomainSize(), 4);
+  EXPECT_EQ(m1->RangeSize(), 8);
+  EXPECT_EQ(m1->arity(), 5);
+}
+
+TEST(ModuleTest, AttrSets) {
+  auto catalog = BoolCatalog(5);
+  ModulePtr m1 = MakeFig1M1(catalog, 0, 1, 2, 3, 4);
+  EXPECT_EQ(m1->InputSet().ToVector(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(m1->OutputSet().ToVector(), (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(m1->AttrSet().count(), 5);
+}
+
+TEST(ModuleTest, PublicFlagAndPrivatizationCost) {
+  auto catalog = BoolCatalog(3);
+  ModulePtr m = MakeAnd("and", catalog, {0, 1}, 2);
+  EXPECT_FALSE(m->is_public());
+  m->set_public(true);
+  m->set_privatization_cost(3.5);
+  EXPECT_TRUE(m->is_public());
+  EXPECT_DOUBLE_EQ(m->privatization_cost(), 3.5);
+}
+
+TEST(TableModuleTest, LookupAndSupplierCalls) {
+  auto catalog = BoolCatalog(3);
+  TableModule t("t", catalog, {0, 1}, {2},
+                {{{0, 0}, {1}}, {{0, 1}, {0}}, {{1, 0}, {0}}, {{1, 1}, {1}}});
+  EXPECT_EQ(t.supplier_calls(), 0);
+  EXPECT_EQ(t.Eval({0, 0}), (Tuple{1}));
+  EXPECT_EQ(t.Eval({1, 1}), (Tuple{1}));
+  EXPECT_EQ(t.supplier_calls(), 2);
+  t.ResetSupplierCalls();
+  EXPECT_EQ(t.supplier_calls(), 0);
+  EXPECT_TRUE(t.Defines({0, 1}));
+  EXPECT_EQ(t.DefinedInputs().size(), 4u);
+}
+
+TEST(TableModuleTest, PartialFunctionOnlyListsGivenInputs) {
+  auto catalog = BoolCatalog(3);
+  TableModule t("t", catalog, {0, 1}, {2}, {{{0, 0}, {1}}});
+  EXPECT_TRUE(t.Defines({0, 0}));
+  EXPECT_FALSE(t.Defines({1, 1}));
+}
+
+TEST(TableModuleTest, FromRelationRoundTrip) {
+  auto catalog = BoolCatalog(5);
+  ModulePtr m1 = MakeFig1M1(catalog, 0, 1, 2, 3, 4);
+  Relation rel = m1->FullRelation();
+  ModulePtr t = TableModule::FromRelation("copy", rel, 2);
+  MixedRadixCounter c({2, 2});
+  do {
+    EXPECT_EQ(t->Eval(c.values()), m1->Eval(c.values()));
+  } while (c.Advance());
+}
+
+TEST(TableModuleTest, MaterializePreservesFlags) {
+  auto catalog = BoolCatalog(3);
+  ModulePtr m = MakeAnd("and", catalog, {0, 1}, 2);
+  m->set_public(true);
+  m->set_privatization_cost(9.0);
+  ModulePtr t = TableModule::Materialize(*m);
+  EXPECT_TRUE(t->is_public());
+  EXPECT_DOUBLE_EQ(t->privatization_cost(), 9.0);
+  EXPECT_EQ(t->Eval({1, 1}), (Tuple{1}));
+}
+
+}  // namespace
+}  // namespace provview

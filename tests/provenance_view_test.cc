@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "generators/families.h"
+#include "secureview/feasibility.h"
+#include "secureview/from_workflow.h"
+#include "secureview/provenance_view.h"
+#include "secureview/solvers.h"
+#include "workflow/fig1_workflow.h"
+
+namespace provview {
+namespace {
+
+ProvenanceView MakeFig1View(const Fig1Workflow& fig,
+                            std::initializer_list<int> hidden) {
+  SecureViewSolution sol;
+  sol.hidden = Bitset64::Of(7, hidden);
+  return ProvenanceView(fig.workflow.get(), sol);
+}
+
+TEST(ProvenanceViewTest, VisibilityQueries) {
+  Fig1Workflow fig = MakeFig1Workflow();
+  ProvenanceView view = MakeFig1View(fig, {fig.a2, fig.a4});
+  EXPECT_FALSE(view.IsVisible(fig.a2));
+  EXPECT_TRUE(view.IsVisible(fig.a1));
+  EXPECT_EQ(view.VisibleAttrs(),
+            (std::vector<AttrId>{fig.a1, fig.a3, fig.a5, fig.a6, fig.a7}));
+}
+
+TEST(ProvenanceViewTest, MaterializeMatchesProjection) {
+  Fig1Workflow fig = MakeFig1Workflow();
+  ProvenanceView view = MakeFig1View(fig, {fig.a2, fig.a4});
+  Relation materialized = view.Materialize();
+  Relation expected =
+      fig.workflow->ProvenanceRelation().ProjectSet(view.visible());
+  EXPECT_TRUE(materialized.EqualsAsSet(expected));
+  EXPECT_EQ(materialized.schema().arity(), 5);
+}
+
+TEST(ProvenanceViewTest, MaterializeOnSubset) {
+  Fig1Workflow fig = MakeFig1Workflow();
+  ProvenanceView view = MakeFig1View(fig, {fig.a2});
+  Relation r = view.MaterializeOn({{0, 0}});
+  EXPECT_EQ(r.num_rows(), 1);
+  // a2 is projected away.
+  EXPECT_FALSE(r.schema().ContainsAttr(fig.a2));
+}
+
+TEST(ProvenanceViewTest, ProducerNamesKeepStructure) {
+  // "the user can infer exactly which module produced which visible data
+  // item" — and for hidden ones too; structure is never hidden.
+  Fig1Workflow fig = MakeFig1Workflow();
+  ProvenanceView view = MakeFig1View(fig, {fig.a4});
+  EXPECT_EQ(view.ProducerDisplayName(fig.a3), "m1");
+  EXPECT_EQ(view.ProducerDisplayName(fig.a4), "m1");
+  EXPECT_EQ(view.ProducerDisplayName(fig.a6), "m2");
+  EXPECT_EQ(view.ProducerDisplayName(fig.a1), "(external input)");
+}
+
+TEST(ProvenanceViewTest, DependencyQueries) {
+  Fig1Workflow fig = MakeFig1Workflow();
+  ProvenanceView view = MakeFig1View(fig, {});
+  // a6 depends on a1 through m1 → m2.
+  EXPECT_TRUE(view.Depends(fig.a6, fig.a1));
+  EXPECT_TRUE(view.Depends(fig.a7, fig.a4));
+  EXPECT_TRUE(view.Depends(fig.a3, fig.a3));
+  // No backward or lateral dependencies.
+  EXPECT_FALSE(view.Depends(fig.a1, fig.a6));
+  EXPECT_FALSE(view.Depends(fig.a6, fig.a7));
+  EXPECT_FALSE(view.Depends(fig.a6, fig.a5));  // a5 only feeds m3
+}
+
+TEST(ProvenanceViewTest, PrivatizedModulesRenamed) {
+  Rng rng(3);
+  Example7Chain chain = MakeExample7Chain(1, &rng);
+  SecureViewSolution sol;
+  sol.hidden = Bitset64(chain.catalog->size());
+  sol.hidden.Set(1);  // the intermediate attribute, adjacent to the public
+  sol.privatized = {chain.constant_index};
+  ProvenanceView view(chain.workflow.get(), sol);
+  EXPECT_TRUE(view.IsPrivatized(chain.constant_index));
+  EXPECT_EQ(view.ModuleDisplayName(chain.constant_index),
+            "private-" + std::to_string(chain.constant_index));
+  EXPECT_EQ(view.ModuleDisplayName(chain.bijection_index), "m_private");
+  EXPECT_EQ(view.ProducerDisplayName(1),
+            "private-" + std::to_string(chain.constant_index));
+}
+
+TEST(ProvenanceViewTest, LostUtilitySumsHiddenCosts) {
+  Fig1Workflow fig = MakeFig1Workflow();
+  fig.catalog->SetCost(fig.a2, 2.5);
+  fig.catalog->SetCost(fig.a4, 1.5);
+  ProvenanceView view = MakeFig1View(fig, {fig.a2, fig.a4});
+  EXPECT_DOUBLE_EQ(view.LostUtility(), 4.0);
+}
+
+TEST(ProvenanceViewTest, EndToEndFromOptimizer) {
+  Fig1Workflow fig = MakeFig1Workflow();
+  SecureViewInstance inst =
+      InstanceFromWorkflow(*fig.workflow, 2, ConstraintKind::kSet);
+  SvResult exact = SolveExact(inst);
+  ASSERT_TRUE(exact.status.ok());
+  ProvenanceView view(fig.workflow.get(), exact.solution);
+  EXPECT_DOUBLE_EQ(view.LostUtility(), exact.cost);
+  // The published view has fewer columns than the full relation.
+  EXPECT_LT(view.Materialize().schema().arity(), 7);
+}
+
+}  // namespace
+}  // namespace provview

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reductions/to_secure_view.h"
+#include "secureview/feasibility.h"
+#include "secureview/solvers.h"
+
+namespace provview {
+namespace {
+
+// ---------------------------------------------------------------------
+// Set cover sources.
+// ---------------------------------------------------------------------
+TEST(SetCoverTest, GreedyAndExactOnKnownInstance) {
+  SetCoverInstance sc;
+  sc.universe_size = 4;
+  sc.sets = {{0, 1}, {2}, {3}, {1, 2, 3}};
+  SetCoverResult exact = SolveSetCoverExact(sc);
+  ASSERT_TRUE(exact.status.ok());
+  EXPECT_EQ(exact.cost, 2);  // {0,1} and {1,2,3}
+  SetCoverResult greedy = SolveSetCoverGreedy(sc);
+  ASSERT_TRUE(greedy.status.ok());
+  EXPECT_GE(greedy.cost, 2);
+}
+
+TEST(SetCoverTest, UncoverableReported) {
+  SetCoverInstance sc;
+  sc.universe_size = 3;
+  sc.sets = {{0}, {1}};
+  EXPECT_FALSE(sc.IsCoverable());
+  EXPECT_EQ(SolveSetCoverGreedy(sc).status.code(), StatusCode::kInfeasible);
+  EXPECT_EQ(SolveSetCoverExact(sc).status.code(), StatusCode::kInfeasible);
+}
+
+TEST(SetCoverTest, RandomInstancesAreCoverable) {
+  Rng rng(2);
+  for (int t = 0; t < 10; ++t) {
+    SetCoverInstance sc = RandomSetCover(12, 6, 5, &rng);
+    EXPECT_TRUE(sc.IsCoverable());
+    SetCoverResult greedy = SolveSetCoverGreedy(sc);
+    SetCoverResult exact = SolveSetCoverExact(sc);
+    ASSERT_TRUE(greedy.status.ok());
+    ASSERT_TRUE(exact.status.ok());
+    EXPECT_GE(greedy.cost, exact.cost);
+    // Greedy is H_n-approximate; H_12 < 3.2.
+    EXPECT_LE(greedy.cost, 3.2 * exact.cost + 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Vertex cover sources.
+// ---------------------------------------------------------------------
+TEST(VertexCoverTest, CubicGraphIsThreeRegular) {
+  Rng rng(5);
+  Graph g = RandomCubicGraph(10, &rng);
+  EXPECT_EQ(g.num_vertices, 10);
+  EXPECT_EQ(g.num_edges(), 15);
+  for (int d : g.Degrees()) EXPECT_EQ(d, 3);
+}
+
+TEST(VertexCoverTest, ExactAndGreedyOnTriangle) {
+  Graph g;
+  g.num_vertices = 3;
+  g.edges = {{0, 1}, {1, 2}, {0, 2}};
+  VertexCoverResult exact = SolveVertexCoverExact(g);
+  ASSERT_TRUE(exact.status.ok());
+  EXPECT_EQ(exact.cost, 2);
+  Rng rng(1);
+  VertexCoverResult greedy = SolveVertexCoverGreedy(g, &rng);
+  EXPECT_TRUE(IsVertexCover(g, greedy.cover));
+  EXPECT_LE(greedy.cost, 2 * exact.cost);
+}
+
+TEST(VertexCoverTest, RandomCubicCoversValid) {
+  Rng rng(9);
+  Graph g = RandomCubicGraph(12, &rng);
+  VertexCoverResult exact = SolveVertexCoverExact(g);
+  ASSERT_TRUE(exact.status.ok());
+  EXPECT_TRUE(IsVertexCover(g, exact.cover));
+  // Cubic graph with 18 edges needs at least 18/3 = 6 vertices.
+  EXPECT_GE(exact.cost, 6);
+}
+
+// ---------------------------------------------------------------------
+// Label cover sources.
+// ---------------------------------------------------------------------
+TEST(LabelCoverTest, PlantedSolutionBoundsOptimum) {
+  Rng rng(3);
+  LabelCoverInstance lc = RandomLabelCover(3, 3, 3, 5, 2, &rng);
+  LabelCoverResult exact = SolveLabelCoverExact(lc);
+  ASSERT_TRUE(exact.status.ok());
+  EXPECT_TRUE(IsLabelCover(lc, exact.assignment));
+  // The planted labeling uses at most one label per vertex.
+  EXPECT_LE(exact.cost, lc.num_left + lc.num_right);
+  EXPECT_GE(exact.cost, 1);
+}
+
+TEST(LabelCoverTest, IsLabelCoverRejectsBadAssignment) {
+  Rng rng(4);
+  LabelCoverInstance lc = RandomLabelCover(2, 2, 2, 3, 0, &rng);
+  std::vector<std::vector<int>> empty_assignment(
+      static_cast<size_t>(lc.num_left + lc.num_right));
+  EXPECT_FALSE(IsLabelCover(lc, empty_assignment));
+}
+
+// ---------------------------------------------------------------------
+// Reduction correctness: OPT equalities of the appendix lemmas.
+// ---------------------------------------------------------------------
+class SetCoverReductionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SetCoverReductionTest, CardinalityReductionPreservesOptimum) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 11 + 2);
+  SetCoverInstance sc = RandomSetCover(8, 5, 4, &rng);
+  SetCoverCardReduction red = ReduceSetCoverToCardinality(sc);
+  EXPECT_EQ(red.instance.MaxListLength(), 1);
+  SetCoverResult sc_opt = SolveSetCoverExact(sc);
+  SvResult sv_opt = SolveExact(red.instance);
+  ASSERT_TRUE(sc_opt.status.ok());
+  ASSERT_TRUE(sv_opt.status.ok());
+  EXPECT_NEAR(sv_opt.cost, static_cast<double>(sc_opt.cost), 1e-6);
+  // Mapping back: hidden a_i attributes form a cover.
+  std::vector<bool> covered(static_cast<size_t>(sc.universe_size), false);
+  for (int i = 0; i < sc.num_sets(); ++i) {
+    if (sv_opt.solution.hidden.Test(red.a_attr[static_cast<size_t>(i)])) {
+      for (int e : sc.sets[static_cast<size_t>(i)]) {
+        covered[static_cast<size_t>(e)] = true;
+      }
+    }
+  }
+  for (bool c : covered) EXPECT_TRUE(c);
+}
+
+TEST_P(SetCoverReductionTest, GeneralReductionPreservesOptimum) {
+  // Theorem 9 (C.2): cost comes entirely from privatizations.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 13 + 7);
+  SetCoverInstance sc = RandomSetCover(7, 5, 3, &rng);
+  SetCoverGeneralReduction red = ReduceSetCoverToGeneral(sc);
+  SetCoverResult sc_opt = SolveSetCoverExact(sc);
+  SvResult sv_opt = SolveExact(red.instance);
+  ASSERT_TRUE(sc_opt.status.ok());
+  ASSERT_TRUE(sv_opt.status.ok());
+  EXPECT_NEAR(sv_opt.cost, static_cast<double>(sc_opt.cost), 1e-6);
+  EXPECT_NEAR(sv_opt.solution.AttrCost(red.instance), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetCoverReductionTest, ::testing::Range(0, 5));
+
+class VertexCoverReductionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VertexCoverReductionTest, OptimumIsEdgesPlusCover) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 19 + 1);
+  Graph g = RandomCubicGraph(8, &rng);
+  VertexCoverCardReduction red = ReduceVertexCoverToCardinality(g);
+  VertexCoverResult vc = SolveVertexCoverExact(g);
+  SvResult sv = SolveExact(red.instance);
+  ASSERT_TRUE(vc.status.ok());
+  ASSERT_TRUE(sv.status.ok());
+  EXPECT_NEAR(sv.cost, static_cast<double>(g.num_edges() + vc.cost), 1e-6);
+  // The hidden g_v attributes form a vertex cover.
+  std::vector<int> cover;
+  for (int v = 0; v < g.num_vertices; ++v) {
+    if (sv.solution.hidden.Test(red.gv_attr[static_cast<size_t>(v)])) {
+      cover.push_back(v);
+    }
+  }
+  EXPECT_TRUE(IsVertexCover(g, cover));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VertexCoverReductionTest,
+                         ::testing::Range(0, 4));
+
+class LabelCoverReductionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LabelCoverReductionTest, SetReductionPreservesOptimum) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 23 + 9);
+  LabelCoverInstance lc = RandomLabelCover(2, 2, 3, 4, 1, &rng);
+  LabelCoverSetReduction red = ReduceLabelCoverToSet(lc);
+  LabelCoverResult lc_opt = SolveLabelCoverExact(lc);
+  SvResult sv_opt = SolveExact(red.instance);
+  ASSERT_TRUE(lc_opt.status.ok());
+  ASSERT_TRUE(sv_opt.status.ok());
+  EXPECT_NEAR(sv_opt.cost, static_cast<double>(lc_opt.cost), 1e-6);
+  // Decode: hidden b_{v,ℓ} attributes form a valid labeling.
+  std::vector<std::vector<int>> assignment(
+      static_cast<size_t>(lc.num_left + lc.num_right));
+  for (int v = 0; v < lc.num_left + lc.num_right; ++v) {
+    for (int l = 0; l < lc.num_labels; ++l) {
+      if (sv_opt.solution.hidden.Test(
+              red.label_attr[static_cast<size_t>(v)][static_cast<size_t>(l)])) {
+        assignment[static_cast<size_t>(v)].push_back(l);
+      }
+    }
+  }
+  EXPECT_TRUE(IsLabelCover(lc, assignment));
+}
+
+TEST_P(LabelCoverReductionTest, GeneralReductionPreservesOptimum) {
+  // Theorem 10 (C.4): privatization cost equals the label-cover optimum.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 29 + 3);
+  LabelCoverInstance lc = RandomLabelCover(2, 2, 2, 3, 1, &rng);
+  LabelCoverGeneralReduction red = ReduceLabelCoverToGeneral(lc);
+  LabelCoverResult lc_opt = SolveLabelCoverExact(lc);
+  SvResult sv_opt = SolveExact(red.instance);
+  ASSERT_TRUE(lc_opt.status.ok());
+  ASSERT_TRUE(sv_opt.status.ok());
+  EXPECT_NEAR(sv_opt.cost, static_cast<double>(lc_opt.cost), 1e-6);
+  EXPECT_NEAR(sv_opt.solution.AttrCost(red.instance), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelCoverReductionTest,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace provview

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "relation/relation.h"
+
+namespace provview {
+namespace {
+
+CatalogPtr MakeCatalog() {
+  auto catalog = std::make_shared<AttributeCatalog>();
+  catalog->Add("a", 2, 1.0);
+  catalog->Add("b", 3, 2.0);
+  catalog->Add("c", 2, 0.5);
+  return catalog;
+}
+
+TEST(AttributeCatalogTest, AddAndLookup) {
+  auto catalog = MakeCatalog();
+  EXPECT_EQ(catalog->size(), 3);
+  EXPECT_EQ(catalog->Name(0), "a");
+  EXPECT_EQ(catalog->DomainSize(1), 3);
+  EXPECT_DOUBLE_EQ(catalog->Cost(2), 0.5);
+  ASSERT_TRUE(catalog->Find("b").ok());
+  EXPECT_EQ(catalog->Find("b").value(), 1);
+  EXPECT_FALSE(catalog->Find("zz").ok());
+  EXPECT_TRUE(catalog->Contains("c"));
+  EXPECT_FALSE(catalog->Contains("d"));
+}
+
+TEST(AttributeCatalogTest, SetCost) {
+  auto catalog = MakeCatalog();
+  catalog->SetCost(0, 7.5);
+  EXPECT_DOUBLE_EQ(catalog->Cost(0), 7.5);
+}
+
+TEST(SchemaTest, PositionsAndSets) {
+  auto catalog = MakeCatalog();
+  Schema s(catalog, {2, 0});
+  EXPECT_EQ(s.arity(), 2);
+  EXPECT_EQ(s.attr(0), 2);
+  EXPECT_EQ(s.PositionOf(2), 0);
+  EXPECT_EQ(s.PositionOf(0), 1);
+  EXPECT_EQ(s.PositionOf(1), -1);
+  EXPECT_TRUE(s.ContainsAttr(0));
+  EXPECT_FALSE(s.ContainsAttr(1));
+  EXPECT_EQ(s.AttrSet().ToVector(), (std::vector<int>{0, 2}));
+  EXPECT_EQ(s.DomainSizes(), (std::vector<int>{2, 2}));
+  EXPECT_EQ(s.ProductSpaceSize(), 4);
+  EXPECT_EQ(s.ToString(), "(c, a)");
+}
+
+TEST(RelationTest, AddRowValidatesArityAndDomain) {
+  auto catalog = MakeCatalog();
+  Relation r(Schema(catalog, {0, 1}));
+  r.AddRow({1, 2});
+  EXPECT_EQ(r.num_rows(), 1);
+  EXPECT_EQ(r.At(r.rows()[0], 1), 2);
+}
+
+TEST(RelationTest, ProjectDeduplicates) {
+  auto catalog = MakeCatalog();
+  Relation r(Schema(catalog, {0, 1}));
+  r.AddRow({0, 0});
+  r.AddRow({0, 1});
+  r.AddRow({1, 0});
+  Relation p = r.Project({0});
+  EXPECT_EQ(p.num_rows(), 2);
+  EXPECT_TRUE(p.ContainsRow({0}));
+  EXPECT_TRUE(p.ContainsRow({1}));
+}
+
+TEST(RelationTest, ProjectReordersColumns) {
+  auto catalog = MakeCatalog();
+  Relation r(Schema(catalog, {0, 1}));
+  r.AddRow({1, 2});
+  Relation p = r.Project({1, 0});
+  EXPECT_EQ(p.schema().attr(0), 1);
+  EXPECT_EQ(p.rows()[0], (Tuple{2, 1}));
+}
+
+TEST(RelationTest, ProjectSetUsesCatalogOrder) {
+  auto catalog = MakeCatalog();
+  Relation r(Schema(catalog, {1, 0, 2}));
+  r.AddRow({2, 1, 0});
+  Relation p = r.ProjectSet(Bitset64::Of(3, {0, 2}));
+  // Schema order follows the relation's own attr order filtered: (1,0,2)
+  // restricted to {0,2} keeps order (0 then 2)? Attr order in schema is
+  // (b, a, c); filtered to {a, c} in that traversal order: a then c.
+  EXPECT_EQ(p.schema().attrs(), (std::vector<AttrId>{0, 2}));
+  EXPECT_EQ(p.rows()[0], (Tuple{1, 0}));
+}
+
+TEST(RelationTest, NaturalJoinOnSharedAttr) {
+  auto catalog = MakeCatalog();
+  Relation left(Schema(catalog, {0, 1}));
+  left.AddRow({0, 1});
+  left.AddRow({1, 2});
+  Relation right(Schema(catalog, {1, 2}));
+  right.AddRow({1, 0});
+  right.AddRow({1, 1});
+  right.AddRow({2, 1});
+  Relation joined = left.NaturalJoin(right);
+  EXPECT_EQ(joined.schema().attrs(), (std::vector<AttrId>{0, 1, 2}));
+  EXPECT_EQ(joined.num_rows(), 3);
+  EXPECT_TRUE(joined.ContainsRow({0, 1, 0}));
+  EXPECT_TRUE(joined.ContainsRow({0, 1, 1}));
+  EXPECT_TRUE(joined.ContainsRow({1, 2, 1}));
+}
+
+TEST(RelationTest, NaturalJoinDisjointIsCrossProduct) {
+  auto catalog = MakeCatalog();
+  Relation left(Schema(catalog, {0}));
+  left.AddRow({0});
+  left.AddRow({1});
+  Relation right(Schema(catalog, {2}));
+  right.AddRow({0});
+  right.AddRow({1});
+  EXPECT_EQ(left.NaturalJoin(right).num_rows(), 4);
+}
+
+TEST(RelationTest, DistinctRemovesDuplicates) {
+  auto catalog = MakeCatalog();
+  Relation r(Schema(catalog, {0}));
+  r.AddRow({1});
+  r.AddRow({1});
+  r.AddRow({0});
+  Relation d = r.Distinct();
+  EXPECT_EQ(d.num_rows(), 2);
+  EXPECT_EQ(d.rows()[0], (Tuple{0}));  // sorted
+}
+
+TEST(RelationTest, SatisfiesFd) {
+  auto catalog = MakeCatalog();
+  Relation r(Schema(catalog, {0, 1}));
+  r.AddRow({0, 1});
+  r.AddRow({1, 2});
+  EXPECT_TRUE(r.SatisfiesFd({0}, {1}));
+  r.AddRow({0, 2});  // conflicts with (0 -> 1)
+  EXPECT_FALSE(r.SatisfiesFd({0}, {1}));
+  // Duplicate consistent rows are fine.
+  Relation r2(Schema(catalog, {0, 1}));
+  r2.AddRow({0, 1});
+  r2.AddRow({0, 1});
+  EXPECT_TRUE(r2.SatisfiesFd({0}, {1}));
+}
+
+TEST(RelationTest, EqualsAsSetIgnoresOrderAndDuplicates) {
+  auto catalog = MakeCatalog();
+  Relation a(Schema(catalog, {0, 2}));
+  a.AddRow({0, 1});
+  a.AddRow({1, 0});
+  Relation b(Schema(catalog, {0, 2}));
+  b.AddRow({1, 0});
+  b.AddRow({0, 1});
+  b.AddRow({0, 1});
+  EXPECT_TRUE(a.EqualsAsSet(b));
+  b.AddRow({1, 1});
+  EXPECT_FALSE(a.EqualsAsSet(b));
+}
+
+TEST(RelationTest, ToStringHasHeaderAndValues) {
+  auto catalog = MakeCatalog();
+  Relation r(Schema(catalog, {0, 1}));
+  r.AddRow({1, 2});
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("a b"), std::string::npos);
+  EXPECT_NE(s.find("1 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace provview

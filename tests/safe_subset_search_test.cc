@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "common/combinatorics.h"
+#include "module/module_library.h"
+#include "privacy/safe_subset_search.h"
+#include "privacy/standalone_privacy.h"
+#include "workflow/fig1_workflow.h"
+
+namespace provview {
+namespace {
+
+TEST(SafeSubsetSearchTest, Fig1M1MinimalSetsForGamma4) {
+  Fig1Workflow fig = MakeFig1Workflow();
+  const Module& m1 = fig.workflow->module(fig.m1_index);
+  std::vector<Bitset64> minimal = MinimalSafeHiddenSets(m1, 4);
+  // Every pair of outputs is safe (Example 3); check they are among the
+  // minimal sets and that no single attribute suffices.
+  auto contains = [&](std::initializer_list<int> ids) {
+    Bitset64 b = Bitset64::Of(7, ids);
+    return std::find(minimal.begin(), minimal.end(), b) != minimal.end();
+  };
+  EXPECT_TRUE(contains({fig.a3, fig.a4}));
+  EXPECT_TRUE(contains({fig.a3, fig.a5}));
+  EXPECT_TRUE(contains({fig.a4, fig.a5}));
+  for (const Bitset64& b : minimal) {
+    EXPECT_GE(b.count(), 2) << b.ToString();
+  }
+  // Antichain: no minimal set contains another.
+  for (const Bitset64& a : minimal) {
+    for (const Bitset64& b : minimal) {
+      if (a == b) continue;
+      EXPECT_FALSE(a.IsSubsetOf(b))
+          << a.ToString() << " subset of " << b.ToString();
+    }
+  }
+}
+
+TEST(SafeSubsetSearchTest, MinimalSetsAreExactlyTheSafeFrontier) {
+  // Cross-check against direct enumeration: a hidden set is safe iff it
+  // contains some minimal safe set.
+  Fig1Workflow fig = MakeFig1Workflow();
+  const Module& m1 = fig.workflow->module(fig.m1_index);
+  Relation rel = m1.FullRelation();
+  std::vector<Bitset64> minimal = MinimalSafeHiddenSets(m1, 4);
+  ForEachSubsetOf(m1.AttrSet(), [&](const Bitset64& hidden) {
+    bool safe = IsStandaloneSafe(rel, m1.inputs(), m1.outputs(),
+                                 hidden.Complement(), 4);
+    bool dominated = std::any_of(
+        minimal.begin(), minimal.end(),
+        [&](const Bitset64& m) { return m.IsSubsetOf(hidden); });
+    EXPECT_EQ(safe, dominated) << hidden.ToString();
+  });
+}
+
+TEST(SafeSubsetSearchTest, MinCostPicksCheapestMinimalSet) {
+  Fig1Workflow fig = MakeFig1Workflow();
+  // Make inputs expensive so the output-pair options win, and a3 very
+  // expensive so {a4, a5} is the unique optimum.
+  fig.catalog->SetCost(fig.a1, 5.0);
+  fig.catalog->SetCost(fig.a2, 5.0);
+  fig.catalog->SetCost(fig.a3, 10.0);
+  fig.catalog->SetCost(fig.a4, 1.0);
+  fig.catalog->SetCost(fig.a5, 2.0);
+  const Module& m1 = fig.workflow->module(fig.m1_index);
+  MinCostSafeResult r = MinCostSafeHiddenSet(m1, 4);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.hidden, Bitset64::Of(7, {fig.a4, fig.a5}));
+  EXPECT_DOUBLE_EQ(r.cost, 3.0);
+  EXPECT_GT(r.stats.checker_calls, 0);
+  EXPECT_GT(r.stats.subsets_examined, r.stats.checker_calls);
+}
+
+TEST(SafeSubsetSearchTest, ImpossibleGammaFindsNothing) {
+  Fig1Workflow fig = MakeFig1Workflow();
+  const Module& m1 = fig.workflow->module(fig.m1_index);
+  // Γ = 9 > |Range| = 8: not even hiding everything works.
+  EXPECT_TRUE(MinimalSafeHiddenSets(m1, 9).empty());
+  EXPECT_FALSE(MinCostSafeHiddenSet(m1, 9).found);
+}
+
+TEST(SafeSubsetSearchTest, Gamma1NeedsNothingHidden) {
+  Fig1Workflow fig = MakeFig1Workflow();
+  const Module& m1 = fig.workflow->module(fig.m1_index);
+  std::vector<Bitset64> minimal = MinimalSafeHiddenSets(m1, 1);
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_TRUE(minimal[0].empty());
+  MinCostSafeResult r = MinCostSafeHiddenSet(m1, 1);
+  ASSERT_TRUE(r.found);
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+}
+
+TEST(SafeSubsetSearchTest, CardinalityPairsForBijection) {
+  // Example 6: a one-one k-bit module has frontier {(k,0), (0,k)} for
+  // Γ = 2^k.
+  auto catalog = std::make_shared<AttributeCatalog>();
+  for (int i = 0; i < 6; ++i) catalog->Add("a" + std::to_string(i));
+  Rng rng(17);
+  ModulePtr bij =
+      MakeRandomBijection("bij", catalog, {0, 1, 2}, {3, 4, 5}, &rng);
+  std::vector<CardinalityPair> frontier = MinimalSafeCardinalityPairs(*bij, 8);
+  // Example 6 guarantees (k, 0) and (0, k) are safe; for particular random
+  // bijections additional mixed pairs may also be safe. The pure pairs
+  // must be on the frontier because (k-1, 0) and (0, k-1) are never safe
+  // for a one-one module.
+  bool has_k0 = false, has_0k = false;
+  for (const CardinalityPair& p : frontier) {
+    if (p == CardinalityPair{3, 0}) has_k0 = true;
+    if (p == CardinalityPair{0, 3}) has_0k = true;
+    // Frontier entries are pairwise incomparable.
+    for (const CardinalityPair& q : frontier) {
+      if (p == q) continue;
+      EXPECT_FALSE(p.alpha <= q.alpha && p.beta <= q.beta)
+          << "(" << p.alpha << "," << p.beta << ") dominates (" << q.alpha
+          << "," << q.beta << ")";
+    }
+  }
+  EXPECT_TRUE(has_k0);
+  EXPECT_TRUE(has_0k);
+}
+
+TEST(SafeSubsetSearchTest, CardinalityPairsForMajority) {
+  // Example 6: majority with 2k inputs: {(k+1, 0), (0, 1)} for Γ = 2.
+  auto catalog = std::make_shared<AttributeCatalog>();
+  for (int i = 0; i < 5; ++i) catalog->Add("a" + std::to_string(i));
+  ModulePtr maj = MakeMajority("maj", catalog, {0, 1, 2, 3}, 4);
+  std::vector<CardinalityPair> frontier = MinimalSafeCardinalityPairs(*maj, 2);
+  ASSERT_EQ(frontier.size(), 2u);
+  bool has_inputs_option = false, has_output_option = false;
+  for (const CardinalityPair& p : frontier) {
+    if (p.alpha == 3 && p.beta == 0) has_inputs_option = true;
+    if (p.alpha == 0 && p.beta == 1) has_output_option = true;
+  }
+  EXPECT_TRUE(has_inputs_option);
+  EXPECT_TRUE(has_output_option);
+}
+
+TEST(SafeSubsetSearchTest, CardinalityFrontierSoundness) {
+  // Every frontier pair must make EVERY subset of that shape safe.
+  Fig1Workflow fig = MakeFig1Workflow();
+  const Module& m1 = fig.workflow->module(fig.m1_index);
+  Relation rel = m1.FullRelation();
+  for (const CardinalityPair& p : MinimalSafeCardinalityPairs(m1, 4)) {
+    for (const Bitset64& in_combo : SubsetsOfSize(2, p.alpha)) {
+      for (const Bitset64& out_combo : SubsetsOfSize(3, p.beta)) {
+        Bitset64 hidden(7);
+        for (int local : in_combo.ToVector()) {
+          hidden.Set(m1.inputs()[static_cast<size_t>(local)]);
+        }
+        for (int local : out_combo.ToVector()) {
+          hidden.Set(m1.outputs()[static_cast<size_t>(local)]);
+        }
+        EXPECT_TRUE(IsStandaloneSafe(rel, m1.inputs(), m1.outputs(),
+                                     hidden.Complement(), 4))
+            << "alpha=" << p.alpha << " beta=" << p.beta << " hidden "
+            << hidden.ToString();
+      }
+    }
+  }
+}
+
+// Property: on random modules, the min-cost search result is optimal among
+// ALL safe subsets (checked by exhaustive enumeration) and itself safe.
+class MinCostOptimalityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinCostOptimalityTest, MatchesExhaustiveOptimum) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 101 + 7);
+  auto catalog = std::make_shared<AttributeCatalog>();
+  for (int i = 0; i < 5; ++i) {
+    catalog->Add("a" + std::to_string(i), 2, 1.0 + rng.NextDouble() * 5.0);
+  }
+  ModulePtr mod = MakeRandomFunction("f", catalog, {0, 1}, {2, 3, 4}, &rng);
+  Relation rel = mod->FullRelation();
+  for (int64_t gamma : {2, 4}) {
+    MinCostSafeResult r = MinCostSafeHiddenSet(rel, mod->inputs(),
+                                               mod->outputs(), gamma);
+    double best = std::numeric_limits<double>::infinity();
+    ForEachSubset(5, [&](const Bitset64& hidden) {
+      if (IsStandaloneSafe(rel, mod->inputs(), mod->outputs(),
+                           hidden.Complement(), gamma)) {
+        double cost = 0;
+        for (int a : hidden.ToVector()) cost += catalog->Cost(a);
+        best = std::min(best, cost);
+      }
+    });
+    if (best == std::numeric_limits<double>::infinity()) {
+      EXPECT_FALSE(r.found);
+    } else {
+      ASSERT_TRUE(r.found);
+      EXPECT_NEAR(r.cost, best, 1e-9);
+      EXPECT_TRUE(IsStandaloneSafe(rel, mod->inputs(), mod->outputs(),
+                                   r.hidden.Complement(), gamma));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModules, MinCostOptimalityTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace provview

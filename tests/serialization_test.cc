@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "generators/requirement_gen.h"
+#include "secureview/serialization.h"
+#include "secureview/solvers.h"
+
+namespace provview {
+namespace {
+
+SecureViewInstance MixedInstance() {
+  SecureViewInstance inst;
+  inst.kind = ConstraintKind::kCardinality;
+  inst.num_attrs = 4;
+  inst.attr_cost = {1.5, 2.0, 3.0, 0.5};
+  SvModule m0;
+  m0.name = "alpha";
+  m0.inputs = {0, 1};
+  m0.outputs = {2};
+  m0.card_options = {CardOption{1, 0}, CardOption{0, 1}};
+  SvModule pub;
+  pub.name = "beta";
+  pub.is_public = true;
+  pub.privatization_cost = 4.25;
+  pub.inputs = {2};
+  pub.outputs = {3};
+  inst.modules = {m0, pub};
+  return inst;
+}
+
+bool InstancesEqual(const SecureViewInstance& a, const SecureViewInstance& b) {
+  if (a.kind != b.kind || a.num_attrs != b.num_attrs ||
+      a.attr_cost != b.attr_cost || a.num_modules() != b.num_modules()) {
+    return false;
+  }
+  for (int i = 0; i < a.num_modules(); ++i) {
+    const SvModule& ma = a.modules[static_cast<size_t>(i)];
+    const SvModule& mb = b.modules[static_cast<size_t>(i)];
+    if (ma.name != mb.name || ma.inputs != mb.inputs ||
+        ma.outputs != mb.outputs || ma.is_public != mb.is_public ||
+        ma.privatization_cost != mb.privatization_cost) {
+      return false;
+    }
+    if (ma.card_options.size() != mb.card_options.size()) return false;
+    for (size_t j = 0; j < ma.card_options.size(); ++j) {
+      if (ma.card_options[j].alpha != mb.card_options[j].alpha ||
+          ma.card_options[j].beta != mb.card_options[j].beta) {
+        return false;
+      }
+    }
+    if (ma.set_options.size() != mb.set_options.size()) return false;
+    for (size_t j = 0; j < ma.set_options.size(); ++j) {
+      if (ma.set_options[j].hidden_inputs != mb.set_options[j].hidden_inputs ||
+          ma.set_options[j].hidden_outputs !=
+              mb.set_options[j].hidden_outputs) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(SerializationTest, RoundTripCardinality) {
+  SecureViewInstance inst = MixedInstance();
+  std::string text = SerializeInstance(inst);
+  Result<SecureViewInstance> parsed = ParseInstance(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(InstancesEqual(inst, *parsed));
+}
+
+TEST(SerializationTest, RoundTripSetConstraints) {
+  SecureViewInstance inst;
+  inst.kind = ConstraintKind::kSet;
+  inst.num_attrs = 3;
+  inst.attr_cost = {1, 2, 3};
+  SvModule m;
+  m.name = "m";
+  m.inputs = {0, 1};
+  m.outputs = {2};
+  m.set_options = {SetOption{{0}, {2}}, SetOption{{1}, {}},
+                   SetOption{{}, {2}}};
+  inst.modules = {m};
+  Result<SecureViewInstance> parsed = ParseInstance(SerializeInstance(inst));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(InstancesEqual(inst, *parsed));
+}
+
+TEST(SerializationTest, RoundTripRandomInstances) {
+  for (int seed = 0; seed < 6; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed) * 53 + 2);
+    RandomInstanceOptions opt;
+    opt.kind = seed % 2 == 0 ? ConstraintKind::kCardinality
+                             : ConstraintKind::kSet;
+    opt.num_modules = 8;
+    opt.public_fraction = 0.3;
+    SecureViewInstance inst = MakeRandomInstance(opt, &rng);
+    Result<SecureViewInstance> parsed =
+        ParseInstance(SerializeInstance(inst));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_TRUE(InstancesEqual(inst, *parsed)) << "seed " << seed;
+    // The round-tripped instance optimizes identically.
+    EXPECT_NEAR(SolveGreedyPerModule(inst).cost,
+                SolveGreedyPerModule(*parsed).cost, 1e-9);
+  }
+}
+
+TEST(SerializationTest, RejectsMissingHeader) {
+  EXPECT_FALSE(ParseInstance("kind set\nend\n").ok());
+  EXPECT_FALSE(ParseInstance("").ok());
+}
+
+TEST(SerializationTest, RejectsMissingEnd) {
+  SecureViewInstance inst = MixedInstance();
+  std::string text = SerializeInstance(inst);
+  text = text.substr(0, text.size() - 4);  // chop "end\n"
+  EXPECT_FALSE(ParseInstance(text).ok());
+}
+
+TEST(SerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(
+      ParseInstance("provview-instance v1\nfrobnicate 3\nend\n").ok());
+  EXPECT_FALSE(
+      ParseInstance("provview-instance v1\nattrs x\nend\n").ok());
+  EXPECT_FALSE(
+      ParseInstance("provview-instance v1\noption card 1 0\nend\n").ok());
+}
+
+TEST(SerializationTest, RejectsSemanticallyInvalid) {
+  // References an attribute out of range → Validate() catches it.
+  std::string text =
+      "provview-instance v1\n"
+      "kind cardinality\n"
+      "attrs 1\n"
+      "costs 1\n"
+      "module m private 0\n"
+      "inputs 5\n"
+      "outputs 0\n"
+      "option card 1 0\n"
+      "end\n";
+  EXPECT_FALSE(ParseInstance(text).ok());
+}
+
+TEST(SerializationTest, CommentsAndBlankLinesIgnored) {
+  std::string text =
+      "provview-instance v1\n"
+      "\n"
+      "kind set # constraints form\n"
+      "attrs 2\n"
+      "costs 1 1\n"
+      "module m private 0\n"
+      "inputs 0\n"
+      "outputs 1\n"
+      "option set in 0 out\n"
+      "end\n";
+  Result<SecureViewInstance> parsed = ParseInstance(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->kind, ConstraintKind::kSet);
+}
+
+TEST(SolutionSerializationTest, RoundTrip) {
+  SecureViewSolution sol;
+  sol.hidden = Bitset64::Of(6, {1, 4});
+  sol.privatized = {0, 3};
+  std::string text = SerializeSolution(sol);
+  Result<SecureViewSolution> parsed = ParseSolution(text, 6);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->hidden, sol.hidden);
+  EXPECT_EQ(parsed->privatized, sol.privatized);
+}
+
+TEST(SolutionSerializationTest, EmptySolution) {
+  SecureViewSolution sol;
+  sol.hidden = Bitset64(4);
+  Result<SecureViewSolution> parsed =
+      ParseSolution(SerializeSolution(sol), 4);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->hidden.empty());
+  EXPECT_TRUE(parsed->privatized.empty());
+}
+
+TEST(SolutionSerializationTest, RejectsOutOfRange) {
+  EXPECT_FALSE(ParseSolution("hidden 9 | privatized", 4).ok());
+  EXPECT_FALSE(ParseSolution("3 hidden 1", 4).ok());
+}
+
+}  // namespace
+}  // namespace provview

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/combinatorics.h"
+#include "module/module_library.h"
+#include "privacy/standalone_privacy.h"
+#include "workflow/fig1_workflow.h"
+
+namespace provview {
+namespace {
+
+// Example 3 of the paper, on module m1 of Figure 1.
+class Fig1M1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fig_ = MakeFig1Workflow();
+    rel_ = fig_.workflow->module(fig_.m1_index).FullRelation();
+    inputs_ = {fig_.a1, fig_.a2};
+    outputs_ = {fig_.a3, fig_.a4, fig_.a5};
+  }
+  Bitset64 Visible(const std::vector<int>& ids) {
+    return Bitset64::Of(7, ids);
+  }
+  Fig1Workflow fig_;
+  Relation rel_;
+  std::vector<AttrId> inputs_, outputs_;
+};
+
+TEST_F(Fig1M1Test, VisibleA1A3A5IsSafeForGamma4) {
+  // Example 3: V = {a1, a3, a5} is safe for m1 and Γ = 4.
+  Bitset64 v = Visible({fig_.a1, fig_.a3, fig_.a5});
+  EXPECT_TRUE(IsStandaloneSafe(rel_, inputs_, outputs_, v, 4));
+  EXPECT_EQ(MaxStandaloneGamma(rel_, inputs_, outputs_, v), 4);
+}
+
+TEST_F(Fig1M1Test, OutSetForInput00MatchesPaper) {
+  // Example 3: for x = (0,0), OUT = {(0,0,1),(0,1,1),(1,0,0),(1,1,0)}.
+  Bitset64 v = Visible({fig_.a1, fig_.a3, fig_.a5});
+  EXPECT_EQ(OutSetSize(rel_, inputs_, outputs_, v, {0, 0}), 4);
+  std::vector<Tuple> out = OutSet(rel_, inputs_, outputs_, v, {0, 0});
+  std::vector<Tuple> expected = {{0, 0, 1}, {0, 1, 1}, {1, 0, 0}, {1, 1, 0}};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(out, expected);
+}
+
+TEST_F(Fig1M1Test, HidingTwoOutputsIsSafeForGamma4) {
+  // Example 3: hiding any two of {a3,a4,a5} ensures Γ = 4.
+  for (const auto& hidden_pair :
+       std::vector<std::vector<int>>{{fig_.a3, fig_.a4},
+                                     {fig_.a3, fig_.a5},
+                                     {fig_.a4, fig_.a5}}) {
+    Bitset64 hidden = Bitset64::Of(7, hidden_pair);
+    EXPECT_TRUE(IsStandaloneSafe(rel_, inputs_, outputs_, hidden.Complement(),
+                                 4))
+        << "hidden = " << hidden.ToString();
+  }
+}
+
+TEST_F(Fig1M1Test, HidingOnlyInputsGivesGamma3) {
+  // Example 3: V = {a3,a4,a5} (inputs hidden) is NOT safe for Γ = 4: every
+  // input maps to one of only 3 visible outputs.
+  Bitset64 v = Visible({fig_.a3, fig_.a4, fig_.a5});
+  EXPECT_FALSE(IsStandaloneSafe(rel_, inputs_, outputs_, v, 4));
+  EXPECT_EQ(MaxStandaloneGamma(rel_, inputs_, outputs_, v), 3);
+  EXPECT_TRUE(IsStandaloneSafe(rel_, inputs_, outputs_, v, 3));
+}
+
+TEST_F(Fig1M1Test, EverythingVisibleGivesGamma1) {
+  Bitset64 v = Bitset64::All(7);
+  EXPECT_EQ(MaxStandaloneGamma(rel_, inputs_, outputs_, v), 1);
+  EXPECT_TRUE(IsStandaloneSafe(rel_, inputs_, outputs_, v, 1));
+  EXPECT_FALSE(IsStandaloneSafe(rel_, inputs_, outputs_, v, 2));
+}
+
+TEST_F(Fig1M1Test, EverythingHiddenGivesFullRange) {
+  Bitset64 v(7);
+  // All 2^3 = 8 outputs possible for every input.
+  EXPECT_EQ(MaxStandaloneGamma(rel_, inputs_, outputs_, v), 8);
+}
+
+TEST_F(Fig1M1Test, ModuleOverloadMatchesRelationOverload) {
+  const Module& m1 = fig_.workflow->module(fig_.m1_index);
+  Bitset64 v = Visible({fig_.a1, fig_.a3, fig_.a5});
+  EXPECT_EQ(MaxStandaloneGamma(m1, v),
+            MaxStandaloneGamma(rel_, inputs_, outputs_, v));
+  EXPECT_TRUE(IsStandaloneSafe(m1, v, 4));
+}
+
+TEST(StandalonePrivacyTest, OneOneModuleExample6) {
+  // One-one function with k inputs / k outputs: hiding any k inputs or any
+  // k outputs gives 2^k-privacy (Example 6).
+  auto catalog = std::make_shared<AttributeCatalog>();
+  for (int i = 0; i < 6; ++i) catalog->Add("a" + std::to_string(i));
+  Rng rng(3);
+  ModulePtr bij =
+      MakeRandomBijection("bij", catalog, {0, 1, 2}, {3, 4, 5}, &rng);
+  Relation rel = bij->FullRelation();
+  // Hide all inputs.
+  Bitset64 hide_in = Bitset64::Of(6, {0, 1, 2});
+  EXPECT_EQ(MaxStandaloneGamma(rel, bij->inputs(), bij->outputs(),
+                               hide_in.Complement()),
+            8);
+  // Hide all outputs.
+  Bitset64 hide_out = Bitset64::Of(6, {3, 4, 5});
+  EXPECT_EQ(MaxStandaloneGamma(rel, bij->inputs(), bij->outputs(),
+                               hide_out.Complement()),
+            8);
+  // Hiding k-1 outputs only gives 2^{k-1}.
+  Bitset64 hide_partial = Bitset64::Of(6, {3, 4});
+  EXPECT_EQ(MaxStandaloneGamma(rel, bij->inputs(), bij->outputs(),
+                               hide_partial.Complement()),
+            4);
+}
+
+TEST(StandalonePrivacyTest, MajorityExample6) {
+  // Majority on 2k boolean inputs: hiding k+1 inputs or the single output
+  // guarantees 2-privacy (Example 6).
+  auto catalog = std::make_shared<AttributeCatalog>();
+  for (int i = 0; i < 5; ++i) catalog->Add("a" + std::to_string(i));
+  ModulePtr maj = MakeMajority("maj", catalog, {0, 1, 2, 3}, 4);
+  Relation rel = maj->FullRelation();
+  // Hide the output: 2-private.
+  Bitset64 hide_out = Bitset64::Of(5, {4});
+  EXPECT_TRUE(IsStandaloneSafe(rel, maj->inputs(), maj->outputs(),
+                               hide_out.Complement(), 2));
+  // Hide k+1 = 3 inputs: safe for 2.
+  Bitset64 hide_in = Bitset64::Of(5, {0, 1, 2});
+  EXPECT_TRUE(IsStandaloneSafe(rel, maj->inputs(), maj->outputs(),
+                               hide_in.Complement(), 2));
+  // Hide only k = 2 inputs: the all-ones remainder pins the output.
+  Bitset64 hide_few = Bitset64::Of(5, {0, 1});
+  EXPECT_FALSE(IsStandaloneSafe(rel, maj->inputs(), maj->outputs(),
+                                hide_few.Complement(), 2));
+}
+
+TEST(StandalonePrivacyTest, ConstantModuleNeedsOutputHiding) {
+  auto catalog = std::make_shared<AttributeCatalog>();
+  for (int i = 0; i < 3; ++i) catalog->Add("a" + std::to_string(i));
+  ModulePtr c = MakeConstant("c", catalog, {0, 1}, {2}, {1});
+  Relation rel = c->FullRelation();
+  // Hiding inputs achieves nothing: output constant and visible.
+  Bitset64 hide_in = Bitset64::Of(3, {0, 1});
+  EXPECT_EQ(MaxStandaloneGamma(rel, c->inputs(), c->outputs(),
+                               hide_in.Complement()),
+            1);
+  // Hiding the output gives the full binary range.
+  Bitset64 hide_out = Bitset64::Of(3, {2});
+  EXPECT_EQ(MaxStandaloneGamma(rel, c->inputs(), c->outputs(),
+                               hide_out.Complement()),
+            2);
+}
+
+TEST(StandalonePrivacyTest, EmptyRelationIsVacuouslySafe) {
+  auto catalog = std::make_shared<AttributeCatalog>();
+  catalog->Add("x");
+  catalog->Add("y");
+  Relation rel(Schema(catalog, {0, 1}));
+  EXPECT_TRUE(IsStandaloneSafe(rel, {0}, {1}, Bitset64::All(2), 1000));
+}
+
+// Property: hiding more attributes never hurts (Proposition 1, standalone
+// direction). Sweep over random modules and nested visible sets.
+class MonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonotonicityTest, GammaMonotoneUnderHiding) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  auto catalog = std::make_shared<AttributeCatalog>();
+  for (int i = 0; i < 5; ++i) catalog->Add("a" + std::to_string(i), 2);
+  ModulePtr mod = MakeRandomFunction("f", catalog, {0, 1}, {2, 3, 4}, &rng);
+  Relation rel = mod->FullRelation();
+  ForEachSubset(5, [&](const Bitset64& visible) {
+    int64_t gamma = MaxStandaloneGamma(rel, mod->inputs(), mod->outputs(),
+                                       visible);
+    // Dropping any single attribute from the visible set cannot decrease Γ.
+    for (int a : visible.ToVector()) {
+      Bitset64 smaller = visible;
+      smaller.Reset(a);
+      EXPECT_GE(MaxStandaloneGamma(rel, mod->inputs(), mod->outputs(),
+                                   smaller),
+                gamma)
+          << "visible=" << visible.ToString() << " minus " << a;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModules, MonotonicityTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace provview
