@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Runs the possible-worlds benches and emits a JSON timing record
+# (BENCH_possible_worlds.json) so successive PRs can track the perf
+# trajectory. Usage: bench/run_benches.sh [build_dir] [output.json]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_possible_worlds.json}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${REPO_ROOT}"
+
+for bin in bench_possible_worlds bench_standalone; do
+  if [[ ! -x "${BUILD_DIR}/${bin}" ]]; then
+    echo "error: ${BUILD_DIR}/${bin} not built (run: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
+    exit 1
+  fi
+done
+
+now_s() { date +%s.%N; }
+
+echo "== bench_possible_worlds =="
+PW_LOG="$(mktemp)"
+PW_T0="$(now_s)"
+"${BUILD_DIR}/bench_possible_worlds" | tee "${PW_LOG}"
+PW_T1="$(now_s)"
+PW_SECONDS="$(awk -v a="${PW_T0}" -v b="${PW_T1}" 'BEGIN{printf "%.3f", b-a}')"
+# "min speedup 123.4x (...)" from the E1c summary line.
+PW_MIN_SPEEDUP="$(grep -o 'min speedup [0-9.]*' "${PW_LOG}" | awk '{print $3}' | head -1)"
+rm -f "${PW_LOG}"
+
+echo "== bench_standalone (world-walk benchmarks) =="
+SA_T0="$(now_s)"
+"${BUILD_DIR}/bench_standalone" \
+  --benchmark_filter='WorldWalk|ShortCircuit' \
+  --benchmark_format=json >"${BUILD_DIR}/bench_standalone_worldwalk.json"
+SA_T1="$(now_s)"
+SA_SECONDS="$(awk -v a="${SA_T0}" -v b="${SA_T1}" 'BEGIN{printf "%.3f", b-a}')"
+
+GIT_REV="$(git -C "${REPO_ROOT}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+cat >"${OUT}" <<EOF
+{
+  "date_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "git_rev": "${GIT_REV}",
+  "host_threads": $(nproc),
+  "bench_possible_worlds_seconds": ${PW_SECONDS},
+  "e1c_min_speedup_x": ${PW_MIN_SPEEDUP:-null},
+  "bench_standalone_worldwalk_seconds": ${SA_SECONDS},
+  "bench_standalone_detail": "${BUILD_DIR}/bench_standalone_worldwalk.json"
+}
+EOF
+echo "wrote ${OUT}"

@@ -6,13 +6,13 @@ namespace provview {
 
 namespace {
 constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+}  // namespace
 
 int64_t SaturatingMul(int64_t a, int64_t b) {
   if (a == 0 || b == 0) return 0;
   if (a > kMax / b) return kMax;
   return a * b;
 }
-}  // namespace
 
 int64_t SaturatingPow(int64_t radix, int exp) {
   PV_CHECK(radix >= 0 && exp >= 0);

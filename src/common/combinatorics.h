@@ -12,6 +12,11 @@
 
 namespace provview {
 
+/// a * b for non-negative operands, saturating at INT64_MAX instead of
+/// overflowing. The single shared definition of the privacy checkers'
+/// world-count arithmetic.
+int64_t SaturatingMul(int64_t a, int64_t b);
+
 /// radix^exp, saturating at INT64_MAX instead of overflowing.
 int64_t SaturatingPow(int64_t radix, int exp);
 

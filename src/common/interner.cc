@@ -1,0 +1,21 @@
+#include "common/interner.h"
+
+namespace provview {
+
+int32_t TupleInterner::Intern(const std::vector<int32_t>& t) {
+  auto [it, inserted] = ids_.emplace(t, static_cast<int32_t>(tuples_.size()));
+  if (inserted) tuples_.push_back(t);
+  return it->second;
+}
+
+int32_t TupleInterner::Find(const std::vector<int32_t>& t) const {
+  auto it = ids_.find(t);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+void TupleInterner::Reserve(size_t n) {
+  ids_.reserve(n);
+  tuples_.reserve(n);
+}
+
+}  // namespace provview

@@ -1,0 +1,61 @@
+// Tuple interning: maps value vectors to dense int32 ids so that hot loops
+// (possible-worlds enumeration, Algorithm-2 grouping) compare and hash plain
+// integers instead of lexicographically comparing std::vector<int32_t>s.
+// Ids are assigned densely in first-seen order, which makes them directly
+// usable as indices into side arrays (counts, seen-flags, out-set bitmaps).
+#ifndef PROVVIEW_COMMON_INTERNER_H_
+#define PROVVIEW_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace provview {
+
+/// Hash for int32 value vectors (Fibonacci-style mixing). Shared by the
+/// interner and any map keyed directly by tuples.
+struct TupleVectorHasher {
+  size_t operator()(const std::vector<int32_t>& t) const {
+    uint64_t h = 0x9E3779B97F4A7C15ull;
+    for (int32_t v : t) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(v)) +
+           0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Bidirectional map between tuples and dense int32 ids. Ids run 0..size()-1
+/// in first-insertion order. Not thread-safe; build once, then share
+/// read-only (Find / TupleOf are const).
+class TupleInterner {
+ public:
+  TupleInterner() = default;
+
+  /// Id of `t`, inserting it if new.
+  int32_t Intern(const std::vector<int32_t>& t);
+
+  /// Id of `t`, or -1 if it was never interned. Never inserts.
+  int32_t Find(const std::vector<int32_t>& t) const;
+
+  /// The tuple with id `id` (0 <= id < size()).
+  const std::vector<int32_t>& TupleOf(int32_t id) const {
+    PV_CHECK_MSG(id >= 0 && id < size(), "bad interned id " << id);
+    return tuples_[static_cast<size_t>(id)];
+  }
+
+  int32_t size() const { return static_cast<int32_t>(tuples_.size()); }
+  bool empty() const { return tuples_.empty(); }
+
+  void Reserve(size_t n);
+
+ private:
+  std::unordered_map<std::vector<int32_t>, int32_t, TupleVectorHasher> ids_;
+  std::vector<std::vector<int32_t>> tuples_;
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_COMMON_INTERNER_H_

@@ -1,0 +1,80 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace provview {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+int ThreadPool::DefaultThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::ShardedFor(
+    int64_t total, int num_shards,
+    const std::function<void(int shard, int64_t begin, int64_t end)>& fn) {
+  if (total <= 0) return;
+  const int shards = static_cast<int>(
+      std::min<int64_t>(std::max(1, num_shards), total));
+  if (shards == 1) {
+    fn(0, 0, total);
+    return;
+  }
+  const int64_t chunk = (total + shards - 1) / shards;
+  for (int s = 0; s < shards; ++s) {
+    const int64_t begin = static_cast<int64_t>(s) * chunk;
+    if (begin >= total) break;  // ceil division can leave trailing shards empty
+    const int64_t end = std::min(total, begin + chunk);
+    Submit([fn, s, begin, end] { fn(s, begin, end); });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace provview

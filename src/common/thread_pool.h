@@ -1,0 +1,64 @@
+// Minimal work-distributing thread pool for the privacy enumerators: a fixed
+// set of worker threads draining a task queue, in the style of concurrencpp's
+// thread-pool executor but without the coroutine machinery. Used to shard
+// possible-worlds enumeration over the first slot's feasible codes; workers
+// accumulate into private partials that the caller merges, so no task-level
+// synchronization is needed beyond Wait().
+#ifndef PROVVIEW_COMMON_THREAD_POOL_H_
+#define PROVVIEW_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace provview {
+
+/// Fixed-size thread pool. Tasks are void() callables; exceptions must not
+/// escape a task (PV_CHECK aborts, consistent with the library's policy).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static int DefaultThreads();
+
+  /// Runs fn(shard, begin, end) over `num_shards` contiguous ranges
+  /// partitioning [0, total), one task per shard, and waits for completion.
+  /// With num_shards <= 1 (or total fitting one shard) runs inline on the
+  /// calling thread — zero pool overhead for small inputs.
+  void ShardedFor(int64_t total, int num_shards,
+                  const std::function<void(int shard, int64_t begin,
+                                           int64_t end)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: task or shutdown
+  std::condition_variable idle_cv_;   // signals Wait(): everything drained
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int64_t in_flight_ = 0;  // queued + currently running tasks
+  bool shutdown_ = false;
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_COMMON_THREAD_POOL_H_

@@ -1,8 +1,19 @@
-// Brute-force possible-worlds enumeration (Definitions 1, 4). This is the
-// library's ground truth: it enumerates candidate relations explicitly and
-// computes OUT sets from first principles, with no reliance on the paper's
-// counting shortcuts. Exponential — usable only on tiny modules/workflows —
-// and cross-checked against the fast Algorithm-2 checker by the test suite.
+// Possible-worlds enumeration (Definitions 1, 4). This is the library's
+// ground truth: it enumerates candidate relations explicitly and computes
+// OUT sets from first principles, with no reliance on the paper's counting
+// shortcuts.
+//
+// Two standalone enumerators are provided. EnumerateStandaloneWorldsNaive is
+// the original odometer over the full |Range|^N function space, retained as
+// the reference implementation the equivalence tests compare against.
+// EnumerateStandaloneWorlds is the production engine: it interns visible
+// projections to dense ids, prunes each input slot to the output codes whose
+// visible projection actually occurs in the target view (shrinking the walk
+// from |Range|^N to ∏_i |feasible_i|), maintains the projected multiset
+// incrementally as the odometer advances one digit at a time, optionally
+// short-circuits once every input's OUT set has reached Γ, and can shard the
+// walk over the first slot's feasible codes on a thread pool. Both compute
+// byte-identical num_worlds / out_sets on full runs.
 #ifndef PROVVIEW_PRIVACY_POSSIBLE_WORLDS_H_
 #define PROVVIEW_PRIVACY_POSSIBLE_WORLDS_H_
 
@@ -15,12 +26,38 @@
 
 namespace provview {
 
+/// Tuning knobs of the optimized standalone enumerator.
+struct EnumerationOptions {
+  /// Abort if the (pruned) candidate space exceeds this.
+  int64_t max_candidates = 40000000;
+  /// When > 0, stop enumerating as soon as every input's OUT set holds at
+  /// least this many outputs — the Γ short-circuit used by the brute-force
+  /// safety check. The returned num_worlds is then only a lower bound and
+  /// `early_stopped` is set.
+  int64_t gamma = 0;
+  /// Worker threads for sharded enumeration. 0 = hardware concurrency,
+  /// 1 = fully sequential. Shards split the first slot's feasible codes;
+  /// results are merged by commutative sums/unions, so the outcome is
+  /// deterministic regardless of thread count.
+  int num_threads = 1;
+  /// Pruned spaces at or below this size always run sequentially (the pool
+  /// overhead would dominate).
+  int64_t min_parallel_candidates = 4096;
+};
+
 /// Result of enumerating Worlds(R, V) for a standalone module.
 struct StandaloneWorlds {
   /// Number of candidate functions on π_I(R) consistent with the view.
+  /// A lower bound if `early_stopped` is set.
   int64_t num_worlds = 0;
   /// OUT_{x,m} per input x (keys aligned with the module's input list).
   std::map<Tuple, std::set<Tuple>> out_sets;
+  /// True iff the Γ short-circuit fired before the walk finished.
+  bool early_stopped = false;
+  /// ∏_i |feasible_i|: candidates actually walked by the pruned engine.
+  int64_t pruned_candidates = 0;
+  /// |Range|^N: candidates the naive engine would walk.
+  int64_t naive_candidates = 0;
 
   /// min_x |OUT_{x,m}| — the exact largest safe Γ. INT64_MAX when no input.
   int64_t MinOutSize() const;
@@ -30,12 +67,39 @@ struct StandaloneWorlds {
 /// relation projects onto V exactly like R does, i.e. all members of
 /// Worlds(R, V) that keep R's input set. (By the flip construction these
 /// realize every achievable OUT value; see standalone_privacy.h.)
-/// Aborts if the candidate space |Range|^N exceeds `max_candidates`.
+/// Pruned + incremental + optionally parallel; aborts if the pruned space
+/// ∏_i |feasible_i| exceeds `opts.max_candidates`.
+StandaloneWorlds EnumerateStandaloneWorlds(const Relation& rel,
+                                           const std::vector<AttrId>& inputs,
+                                           const std::vector<AttrId>& outputs,
+                                           const Bitset64& visible,
+                                           const EnumerationOptions& opts);
+
+/// Back-compat wrapper with the historical signature.
 StandaloneWorlds EnumerateStandaloneWorlds(const Relation& rel,
                                            const std::vector<AttrId>& inputs,
                                            const std::vector<AttrId>& outputs,
                                            const Bitset64& visible,
                                            int64_t max_candidates = 40000000);
+
+/// The original unpruned odometer over |Range|^N candidate functions.
+/// Exponentially slower than EnumerateStandaloneWorlds; kept as the
+/// reference implementation for the equivalence test suite and the
+/// speedup benchmarks. Aborts if |Range|^N exceeds `max_candidates`.
+StandaloneWorlds EnumerateStandaloneWorldsNaive(
+    const Relation& rel, const std::vector<AttrId>& inputs,
+    const std::vector<AttrId>& outputs, const Bitset64& visible,
+    int64_t max_candidates = 40000000);
+
+/// Brute-force Γ-standalone-privacy check via the pruned enumerator with the
+/// Γ short-circuit engaged: stops walking as soon as every input's OUT set
+/// reaches `gamma`. Semantically identical to (but exponentially slower
+/// than) Algorithm 2's IsStandaloneSafe; used to cross-check it.
+bool IsStandaloneSafeByEnumeration(const Relation& rel,
+                                   const std::vector<AttrId>& inputs,
+                                   const std::vector<AttrId>& outputs,
+                                   const Bitset64& visible, int64_t gamma,
+                                   EnumerationOptions opts = {});
 
 /// Result of enumerating functional worlds of a workflow.
 struct WorkflowWorlds {

@@ -20,6 +20,11 @@ namespace provview {
 struct SafeSearchStats {
   int64_t subsets_examined = 0;  ///< candidate subsets considered
   int64_t checker_calls = 0;     ///< Algorithm-2 safety tests actually run
+  /// Candidates answered from the effective-visible-signature memo instead
+  /// of re-running Algorithm 2: distinct hidden sets that induce the same
+  /// projection structure (e.g. they differ only in domain-1 or
+  /// constant-in-R attributes) share one cached verdict.
+  int64_t cache_hits = 0;
 };
 
 /// Result of the minimum-cost search.

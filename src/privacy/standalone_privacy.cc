@@ -2,22 +2,17 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
 #include <set>
+#include <utility>
 
 #include "common/combinatorics.h"
+#include "common/interner.h"
 
 namespace provview {
 
 namespace {
 
 constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
-
-int64_t SatMul(int64_t a, int64_t b) {
-  if (a == 0 || b == 0) return 0;
-  if (a > kMax / b) return kMax;
-  return a * b;
-}
 
 // Splits `attrs` into (visible, hidden) sublists preserving order.
 void SplitByVisibility(const std::vector<AttrId>& attrs,
@@ -33,7 +28,7 @@ void SplitByVisibility(const std::vector<AttrId>& attrs,
 int64_t DomainProduct(const AttributeCatalog& catalog,
                       const std::vector<AttrId>& attrs) {
   int64_t prod = 1;
-  for (AttrId id : attrs) prod = SatMul(prod, catalog.DomainSize(id));
+  for (AttrId id : attrs) prod = SaturatingMul(prod, catalog.DomainSize(id));
   return prod;
 }
 
@@ -50,17 +45,27 @@ int64_t MaxStandaloneGamma(const Relation& rel,
   SplitByVisibility(outputs, visible, &vis_out, &hid_out);
   const int64_t hidden_ext = DomainProduct(catalog, hid_out);
 
-  // Distinct visible-output values per visible-input group.
-  std::map<Tuple, std::set<Tuple>> groups;
-  for (const Tuple& row : rel.SortedDistinctRows()) {
-    groups[rel.ProjectRow(row, vis_in)].insert(rel.ProjectRow(row, vis_out));
+  // Distinct visible-output values per visible-input group, on interned ids:
+  // each row becomes a (group id, output id) int pair, so the grouping is a
+  // sort of integer pairs instead of a map of tuple sets. Duplicate rows
+  // collapse with the duplicate pairs, so no up-front row dedup is needed.
+  TupleInterner in_interner, out_interner;
+  std::vector<std::pair<int32_t, int32_t>> pairs;
+  pairs.reserve(rel.rows().size());
+  for (const Tuple& row : rel.rows()) {
+    pairs.emplace_back(in_interner.Intern(rel.ProjectRow(row, vis_in)),
+                       out_interner.Intern(rel.ProjectRow(row, vis_out)));
   }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
   int64_t min_out = kMax;
-  for (const auto& [key, vis_outputs] : groups) {
-    (void)key;
+  for (size_t i = 0; i < pairs.size();) {
+    size_t j = i;
+    while (j < pairs.size() && pairs[j].first == pairs[i].first) ++j;
     min_out = std::min(
-        min_out,
-        SatMul(static_cast<int64_t>(vis_outputs.size()), hidden_ext));
+        min_out, SaturatingMul(static_cast<int64_t>(j - i), hidden_ext));
+    i = j;
   }
   return min_out;
 }
@@ -105,7 +110,7 @@ int64_t OutSetSize(const Relation& rel, const std::vector<AttrId>& inputs,
       vis_outputs.insert(rel.ProjectRow(row, vis_out));
     }
   }
-  return SatMul(static_cast<int64_t>(vis_outputs.size()), hidden_ext);
+  return SaturatingMul(static_cast<int64_t>(vis_outputs.size()), hidden_ext);
 }
 
 std::vector<Tuple> OutSet(const Relation& rel,

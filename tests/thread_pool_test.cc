@@ -1,0 +1,90 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace provview {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter(0);
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter(0);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ShardedForPartitionsExactly) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.ShardedFor(1000, 6, [&](int shard, int64_t begin, int64_t end) {
+    (void)shard;
+    for (int64_t i = begin; i < end; ++i) {
+      touched[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ShardedForSkipsEmptyTrailingShards) {
+  // total=9, shards=4 → chunk=3 → shard 3 would start at 9 == total; the
+  // ceil division must not produce an empty (or out-of-range) shard.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(9);
+  std::atomic<int> invocations(0);
+  pool.ShardedFor(9, 4, [&](int, int64_t begin, int64_t end) {
+    invocations.fetch_add(1);
+    EXPECT_LT(begin, end);
+    for (int64_t i = begin; i < end; ++i) {
+      touched[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  EXPECT_EQ(invocations.load(), 3);
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ShardedForRunsInlineForSingleShard) {
+  ThreadPool pool(2);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id executed_on;
+  pool.ShardedFor(10, 1, [&](int, int64_t begin, int64_t end) {
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 10);
+    executed_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(executed_on, caller);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter(0);
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+}  // namespace
+}  // namespace provview
