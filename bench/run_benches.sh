@@ -24,8 +24,11 @@ PW_T0="$(now_s)"
 "${BUILD_DIR}/bench_possible_worlds" | tee "${PW_LOG}"
 PW_T1="$(now_s)"
 PW_SECONDS="$(awk -v a="${PW_T0}" -v b="${PW_T1}" 'BEGIN{printf "%.3f", b-a}')"
-# "min speedup 123.4x (...)" from the E1c summary line.
-PW_MIN_SPEEDUP="$(grep -o 'min speedup [0-9.]*' "${PW_LOG}" | awk '{print $3}' | head -1)"
+# "min speedup 123.4x (...)" from the E1c summary line (exclude the E1d
+# workflow line, which also contains "min speedup").
+PW_MIN_SPEEDUP="$(grep -v 'workflow min speedup' "${PW_LOG}" | grep -o 'min speedup [0-9.]*' | awk '{print $3}' | head -1)"
+# "workflow min speedup 45.6x (...)" from the E1d summary line.
+PW_WF_MIN_SPEEDUP="$(grep -o 'workflow min speedup [0-9.]*' "${PW_LOG}" | awk '{print $4}' | head -1)"
 rm -f "${PW_LOG}"
 
 echo "== bench_standalone (world-walk benchmarks) =="
@@ -45,6 +48,7 @@ cat >"${OUT}" <<EOF
   "host_threads": $(nproc),
   "bench_possible_worlds_seconds": ${PW_SECONDS},
   "e1c_min_speedup_x": ${PW_MIN_SPEEDUP:-null},
+  "workflow_min_speedup_x": ${PW_WF_MIN_SPEEDUP:-null},
   "bench_standalone_worldwalk_seconds": ${SA_SECONDS},
   "bench_standalone_detail": "${BUILD_DIR}/bench_standalone_worldwalk.json"
 }

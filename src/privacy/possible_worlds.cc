@@ -4,6 +4,8 @@
 #include <atomic>
 #include <limits>
 #include <mutex>
+#include <numeric>
+#include <unordered_set>
 
 #include "common/combinatorics.h"
 #include "common/interner.h"
@@ -402,10 +404,908 @@ int64_t WorkflowWorlds::MinOutSize(int module_index) const {
   return min_out;
 }
 
+// ----------------------------------------------------------------------------
+// Workflow tables: the per-workflow precomputation shared across enumerations.
+// ----------------------------------------------------------------------------
+
+std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
+    const Workflow& workflow, int64_t max_executions) {
+  auto t = std::make_shared<WorkflowTables>();
+  t->workflow = &workflow;
+  const AttributeCatalog& catalog = *workflow.catalog();
+  t->num_attrs = catalog.size();
+  const int n = workflow.num_modules();
+  t->num_modules = n;
+
+  t->in_attrs.resize(static_cast<size_t>(n));
+  t->out_attrs.resize(static_cast<size_t>(n));
+  t->in_radices.resize(static_cast<size_t>(n));
+  t->out_radices.resize(static_cast<size_t>(n));
+  t->in_strides.resize(static_cast<size_t>(n));
+  t->out_strides.resize(static_cast<size_t>(n));
+  t->dom_size.assign(static_cast<size_t>(n), 1);
+  t->range_size.assign(static_cast<size_t>(n), 1);
+  t->original_fn.resize(static_cast<size_t>(n));
+  t->orig_input_codes.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const size_t si = static_cast<size_t>(i);
+    const Module& m = workflow.module(i);
+    t->in_attrs[si].assign(m.inputs().begin(), m.inputs().end());
+    t->out_attrs[si].assign(m.outputs().begin(), m.outputs().end());
+    int64_t dom = 1, range = 1;
+    for (AttrId id : m.inputs()) {
+      t->in_strides[si].push_back(dom);
+      const int r = catalog.DomainSize(id);
+      t->in_radices[si].push_back(r);
+      dom = SaturatingMul(dom, r);
+    }
+    for (AttrId id : m.outputs()) {
+      t->out_strides[si].push_back(range);
+      const int r = catalog.DomainSize(id);
+      t->out_radices[si].push_back(r);
+      range = SaturatingMul(range, r);
+    }
+    t->dom_size[si] = dom;
+    t->range_size[si] = range;
+    PV_CHECK_MSG(dom <= (1 << 20) && range <= std::numeric_limits<int>::max(),
+                 "module " << m.name() << " too large for world enumeration");
+    t->original_fn[si].resize(static_cast<size_t>(dom));
+    MixedRadixCounter dom_counter(t->in_radices[si]);
+    int64_t code = 0;
+    do {
+      Tuple out = m.Eval(dom_counter.values());
+      t->original_fn[si][static_cast<size_t>(code)] =
+          static_cast<int32_t>(EncodeMixedRadix(out, t->out_radices[si]));
+      ++code;
+    } while (dom_counter.Advance());
+    const size_t n_out = t->out_attrs[si].size();
+    t->out_values.emplace_back(static_cast<size_t>(range) * n_out);
+    for (int64_t c = 0; c < range; ++c) {
+      for (size_t j = 0; j < n_out; ++j) {
+        t->out_values[si][static_cast<size_t>(c) * n_out + j] =
+            static_cast<int32_t>((c / t->out_strides[si][j]) %
+                                 t->out_radices[si][j]);
+      }
+    }
+  }
+
+  for (AttrId id : workflow.initial_input_ids()) {
+    t->init_radices.push_back(catalog.DomainSize(id));
+  }
+  int64_t execs = 1;
+  for (int r : t->init_radices) execs = SaturatingMul(execs, r);
+  PV_CHECK_MSG(execs <= max_executions,
+               "initial-input space too large for world enumeration: "
+                   << execs);
+  t->num_execs = execs;
+  t->prov_ids = workflow.ProvenanceAttrIds();
+
+  // The original run: one execution per initial-input combination, the
+  // provenance row and per-module input codes of each.
+  const size_t prov_arity = t->prov_ids.size();
+  t->orig_rows.resize(static_cast<size_t>(execs) * prov_arity);
+  t->orig_in_code.resize(static_cast<size_t>(execs) * static_cast<size_t>(n));
+  std::vector<int32_t> values(static_cast<size_t>(t->num_attrs), -1);
+  const std::vector<AttrId>& init_ids = workflow.initial_input_ids();
+  t->init_values.reserve(static_cast<size_t>(execs) * init_ids.size());
+  std::vector<std::set<int32_t>> in_code_sets(static_cast<size_t>(n));
+  MixedRadixCounter init_counter(t->init_radices);
+  int64_t e = 0;
+  do {
+    std::fill(values.begin(), values.end(), -1);
+    for (size_t k = 0; k < init_ids.size(); ++k) {
+      values[static_cast<size_t>(init_ids[k])] = init_counter.values()[k];
+      t->init_values.push_back(init_counter.values()[k]);
+    }
+    for (int mi : workflow.topo_order()) {
+      const size_t smi = static_cast<size_t>(mi);
+      int64_t in_code = 0;
+      for (size_t j = 0; j < t->in_attrs[smi].size(); ++j) {
+        in_code += static_cast<int64_t>(
+                       values[static_cast<size_t>(t->in_attrs[smi][j])]) *
+                   t->in_strides[smi][j];
+      }
+      t->orig_in_code[static_cast<size_t>(e) * static_cast<size_t>(n) + smi] =
+          static_cast<int32_t>(in_code);
+      in_code_sets[smi].insert(static_cast<int32_t>(in_code));
+      const int32_t out_code =
+          t->original_fn[smi][static_cast<size_t>(in_code)];
+      for (size_t j = 0; j < t->out_attrs[smi].size(); ++j) {
+        values[static_cast<size_t>(t->out_attrs[smi][j])] =
+            static_cast<int32_t>((out_code / t->out_strides[smi][j]) %
+                                 t->out_radices[smi][j]);
+      }
+    }
+    for (size_t p = 0; p < prov_arity; ++p) {
+      t->orig_rows[static_cast<size_t>(e) * prov_arity + p] =
+          values[static_cast<size_t>(t->prov_ids[p])];
+    }
+    ++e;
+  } while (init_counter.Advance());
+  for (int i = 0; i < n; ++i) {
+    t->orig_input_codes[static_cast<size_t>(i)]
+        .assign(in_code_sets[static_cast<size_t>(i)].begin(),
+                in_code_sets[static_cast<size_t>(i)].end());
+  }
+  return t;
+}
+
+// ----------------------------------------------------------------------------
+// Pruned incremental workflow engine.
+//
+// One walked slot per (free module, reachable domain point). Modules whose
+// inputs are determined in every world (fed by initial inputs through fixed
+// modules only) always receive their original input codes, so their
+// unreached slots are factored out of the walk (every value is consistent
+// whenever the rest is) and their reached slots are pruned to the output
+// codes whose determined-visible row fragment occurs in the target view.
+// Executions are re-run incrementally: an odometer step re-executes only the
+// executions whose trace crosses a changed slot, from the changed module
+// onward, while a count-per-target-id multiset plus an invalid-row counter
+// give an O(1) consistency test per step.
+// ----------------------------------------------------------------------------
+
+namespace {
+
+struct WfInstance {
+  const WorkflowTables* tables = nullptr;
+  int num_free = 0;
+  std::vector<int> free_modules;  // module index per free order
+  std::vector<int> free_index;    // module -> free order, -1 if fixed
+  std::vector<int> topo;          // module evaluation order
+  std::vector<int> topo_pos;      // module -> position in topo
+
+  struct Slot {
+    int module = 0;
+    int32_t in_code = 0;
+    const std::vector<int32_t>* codes = nullptr;  // feasible output codes
+  };
+  std::vector<Slot> slots;
+  // Per module (free only): input code -> walked slot index. -1 marks a
+  // factored slot, which no execution can ever query.
+  std::vector<std::vector<int32_t>> slot_of;
+
+  std::vector<int> visible_pos;  // visible positions in the prov row
+  const TupleInterner* target = nullptr;
+
+  // Fast row -> target-id lookup. An execution's candidate row always keeps
+  // its determined visible values, so its target id is a function of the
+  // non-determined visible fragment alone. Executions sharing a determined
+  // prefix share one flat table indexed by the encoded fragment; -1 marks
+  // "not in the target". Falls back to interner lookups (use_nd = false)
+  // when the fragment space is too large to materialize.
+  bool use_nd = false;
+  std::vector<AttrId> nd_attr_ids;  // visible non-determined prov attrs
+  std::vector<int64_t> nd_strides;
+  std::vector<int32_t> group_of_exec;
+  std::vector<std::vector<int32_t>> tid_tables;  // per group, nd-space wide
+
+  // Hot-loop structure-of-arrays mirrors, filled by FinalizeSlots().
+  std::vector<const int32_t*> slot_codes;  // raw feasible-code arrays
+  std::vector<int32_t> slot_len;
+  std::vector<int32_t> slot_in_code;
+  std::vector<int> slot_fi;    // free index of the owning module
+  std::vector<int> slot_topo;  // topo position of the owning module
+  int64_t nd_space = 1;
+  std::vector<int32_t> tid_flat;        // concatenated tid tables
+  std::vector<int64_t> exec_tid_base;   // per exec: offset into tid_flat
+
+  void FinalizeSlots() {
+    for (const Slot& s : slots) {
+      slot_codes.push_back(s.codes->data());
+      slot_len.push_back(static_cast<int32_t>(s.codes->size()));
+      slot_in_code.push_back(s.in_code);
+      slot_fi.push_back(free_index[static_cast<size_t>(s.module)]);
+      slot_topo.push_back(topo_pos[static_cast<size_t>(s.module)]);
+    }
+    if (use_nd) {
+      tid_flat.reserve(tid_tables.size() * static_cast<size_t>(nd_space));
+      for (const auto& table : tid_tables) {
+        tid_flat.insert(tid_flat.end(), table.begin(), table.end());
+      }
+      exec_tid_base.reserve(group_of_exec.size());
+      for (int32_t g : group_of_exec) {
+        exec_tid_base.push_back(static_cast<int64_t>(g) * nd_space);
+      }
+    }
+  }
+
+  // Flattened (free module, original input) pairs whose OUT sets are
+  // recorded; Γ counters only on the gamma-tracked ones.
+  struct TrackedInput {
+    int module = 0;
+    int32_t in_code = 0;
+    int32_t slot = 0;
+    bool gamma_tracked = false;
+  };
+  std::vector<TrackedInput> inputs;
+  bool collect_distinct = true;
+};
+
+// Union of seen (pair, feasible-index) marks shared across shards, with the
+// Γ short-circuit counters (mirrors the standalone SeenUnion).
+struct WfSeenUnion {
+  WfSeenUnion(const WfInstance& inst, int64_t gamma_target) {
+    seen.reserve(inst.inputs.size());
+    int tracked = 0;
+    for (const auto& ti : inst.inputs) {
+      seen.emplace_back(
+          inst.slots[static_cast<size_t>(ti.slot)].codes->size(), 0);
+      if (gamma_target > 0 && ti.gamma_tracked) ++tracked;
+    }
+    if (gamma_target > 0) {
+      remaining.assign(inst.inputs.size(), 0);
+      for (size_t p = 0; p < inst.inputs.size(); ++p) {
+        if (inst.inputs[p].gamma_tracked) remaining[p] = gamma_target;
+      }
+      pairs_below = tracked;
+    }
+  }
+
+  void Mark(size_t pair, int32_t j, std::atomic<bool>* stop) {
+    std::lock_guard<std::mutex> lock(mu);
+    uint8_t& s = seen[pair][static_cast<size_t>(j)];
+    if (s) return;
+    s = 1;
+    if (!remaining.empty() && remaining[pair] > 0 &&
+        --remaining[pair] == 0 && --pairs_below == 0) {
+      stop->store(true, std::memory_order_relaxed);
+    }
+  }
+
+  std::mutex mu;
+  std::vector<std::vector<uint8_t>> seen;
+  std::vector<int64_t> remaining;  // per pair: marks left to reach Γ
+  int pairs_below = 0;             // Γ-tracked pairs still short
+};
+
+struct WfShardResult {
+  int64_t num_function_choices = 0;
+  // Sorted-deduplicated candidate relations, rows flattened back to back.
+  std::unordered_set<std::vector<int32_t>, TupleVectorHasher>
+      distinct_relations;
+};
+
+// Walks the sub-space where slot 0's feasible index runs over [begin, end)
+// and every other slot runs over its full feasible list (slot 0 is the
+// most-significant digit, so shards are contiguous ranges of the walk).
+void WfWalkShard(const WfInstance& inst, int64_t begin, int64_t end,
+                 WfSeenUnion* seen_union, std::atomic<bool>* stop,
+                 WfShardResult* out) {
+  const WorkflowTables& t = *inst.tables;
+  const int m = static_cast<int>(inst.slots.size());
+  const int64_t num_execs = t.num_execs;
+  const size_t prov_arity = t.prov_ids.size();
+  const size_t num_attrs = static_cast<size_t>(t.num_attrs);
+  const size_t trace_width = static_cast<size_t>(std::max(inst.num_free, 1));
+
+  std::vector<int32_t> idx(static_cast<size_t>(std::max(m, 1)), 0);
+  if (m > 0) idx[0] = static_cast<int32_t>(begin);
+
+  // Per-execution state: attribute values, per-free-module input codes, and
+  // the interned target id of the visible row projection (-1 = not in the
+  // target, i.e. the row alone disproves consistency).
+  std::vector<int32_t> values(static_cast<size_t>(num_execs) * num_attrs, -1);
+  std::vector<int32_t> trace(static_cast<size_t>(num_execs) * trace_width, -1);
+  std::vector<int32_t> row_tid(static_cast<size_t>(num_execs), -1);
+  std::vector<int32_t> counts(static_cast<size_t>(inst.target->size()), 0);
+  int32_t uncovered = inst.target->size();
+  int64_t invalid = 0;
+
+  auto cover = [&](int32_t tid) {
+    if (tid < 0) {
+      ++invalid;
+    } else if (counts[static_cast<size_t>(tid)]++ == 0) {
+      --uncovered;
+    }
+  };
+  auto uncover = [&](int32_t tid) {
+    if (tid < 0) {
+      --invalid;
+    } else if (--counts[static_cast<size_t>(tid)] == 0) {
+      ++uncovered;
+    }
+  };
+
+  Tuple vis_buf(inst.visible_pos.size());
+  const std::vector<AttrId>& init_ids = t.workflow->initial_input_ids();
+  const size_t num_init = init_ids.size();
+
+  // (Re-)executes execution e from topo position `from` on; updates values
+  // and trace and returns the new row target id.
+  auto run_exec = [&](int64_t e, size_t from) {
+    int32_t* vals = &values[static_cast<size_t>(e) * num_attrs];
+    if (from == 0) {
+      const int32_t* init =
+          &t.init_values[static_cast<size_t>(e) * num_init];
+      for (size_t k = 0; k < num_init; ++k) {
+        vals[static_cast<size_t>(init_ids[k])] = init[k];
+      }
+    }
+    for (size_t p = from; p < inst.topo.size(); ++p) {
+      const int mi = inst.topo[p];
+      const size_t smi = static_cast<size_t>(mi);
+      int64_t in_code = 0;
+      const auto& ins = t.in_attrs[smi];
+      for (size_t j = 0; j < ins.size(); ++j) {
+        in_code += static_cast<int64_t>(vals[static_cast<size_t>(ins[j])]) *
+                   t.in_strides[smi][j];
+      }
+      int32_t out_code;
+      const int fi = inst.free_index[smi];
+      if (fi < 0) {
+        out_code = t.original_fn[smi][static_cast<size_t>(in_code)];
+      } else {
+        trace[static_cast<size_t>(e) * trace_width +
+              static_cast<size_t>(fi)] = static_cast<int32_t>(in_code);
+        const int32_t s = inst.slot_of[smi][static_cast<size_t>(in_code)];
+        out_code = inst.slot_codes[static_cast<size_t>(s)]
+                                  [static_cast<size_t>(
+                                      idx[static_cast<size_t>(s)])];
+      }
+      const auto& outs = t.out_attrs[smi];
+      const int32_t* out_vals =
+          &t.out_values[smi][static_cast<size_t>(out_code) * outs.size()];
+      for (size_t j = 0; j < outs.size(); ++j) {
+        vals[static_cast<size_t>(outs[j])] = out_vals[j];
+      }
+    }
+    if (inst.use_nd) {
+      int64_t code = inst.exec_tid_base[static_cast<size_t>(e)];
+      for (size_t j = 0; j < inst.nd_attr_ids.size(); ++j) {
+        code += static_cast<int64_t>(
+                    vals[static_cast<size_t>(inst.nd_attr_ids[j])]) *
+                inst.nd_strides[j];
+      }
+      return inst.tid_flat[static_cast<size_t>(code)];
+    }
+    for (size_t p = 0; p < inst.visible_pos.size(); ++p) {
+      vis_buf[p] = vals[static_cast<size_t>(
+          t.prov_ids[static_cast<size_t>(inst.visible_pos[p])])];
+    }
+    return inst.target->Find(vis_buf);
+  };
+
+  for (int64_t e = 0; e < num_execs; ++e) {
+    row_tid[static_cast<size_t>(e)] = run_exec(e, 0);
+    cover(row_tid[static_cast<size_t>(e)]);
+  }
+
+  // Shard-local first-seen flags: avoid re-locking the union for pairs this
+  // shard already reported.
+  std::vector<std::vector<uint8_t>> local_seen;
+  int64_t unseen_pairs = 0;
+  local_seen.reserve(inst.inputs.size());
+  for (const auto& ti : inst.inputs) {
+    const size_t width =
+        inst.slots[static_cast<size_t>(ti.slot)].codes->size();
+    local_seen.emplace_back(width, 0);
+    unseen_pairs += static_cast<int64_t>(width);
+  }
+
+  std::vector<int> changed;
+  // Scratch for distinct-relation capture: rows flattened back to back plus
+  // a row-index permutation, reused across consistent worlds.
+  std::vector<int32_t> rows_flat(static_cast<size_t>(num_execs) * prov_arity);
+  std::vector<int32_t> row_order(static_cast<size_t>(num_execs));
+  std::vector<int32_t> rel_key;
+  auto row_less = [&](int32_t a, int32_t b) {
+    const int32_t* ra = &rows_flat[static_cast<size_t>(a) * prov_arity];
+    const int32_t* rb = &rows_flat[static_cast<size_t>(b) * prov_arity];
+    return std::lexicographical_compare(ra, ra + prov_arity, rb,
+                                        rb + prov_arity);
+  };
+  for (;;) {
+    if (stop->load(std::memory_order_relaxed)) return;
+    if (invalid == 0 && uncovered == 0) {
+      ++out->num_function_choices;
+      if (inst.collect_distinct) {
+        for (int64_t e = 0; e < num_execs; ++e) {
+          const int32_t* vals = &values[static_cast<size_t>(e) * num_attrs];
+          int32_t* row = &rows_flat[static_cast<size_t>(e) * prov_arity];
+          for (size_t p = 0; p < prov_arity; ++p) {
+            row[p] = vals[static_cast<size_t>(t.prov_ids[p])];
+          }
+          row_order[static_cast<size_t>(e)] = static_cast<int32_t>(e);
+        }
+        std::sort(row_order.begin(), row_order.end(), row_less);
+        rel_key.clear();
+        for (size_t r = 0; r < row_order.size(); ++r) {
+          const int32_t* row =
+              &rows_flat[static_cast<size_t>(row_order[r]) * prov_arity];
+          if (r > 0) {  // drop duplicate rows (set semantics)
+            const int32_t* prev =
+                &rows_flat[static_cast<size_t>(row_order[r - 1]) * prov_arity];
+            if (std::equal(row, row + prov_arity, prev)) continue;
+          }
+          rel_key.insert(rel_key.end(), row, row + prov_arity);
+        }
+        out->distinct_relations.insert(rel_key);
+      }
+      if (unseen_pairs > 0) {
+        for (size_t p = 0; p < inst.inputs.size(); ++p) {
+          const int32_t j = idx[static_cast<size_t>(inst.inputs[p].slot)];
+          uint8_t& s = local_seen[p][static_cast<size_t>(j)];
+          if (!s) {
+            s = 1;
+            --unseen_pairs;
+            seen_union->Mark(p, j, stop);
+          }
+        }
+      }
+    }
+    if (m == 0) return;  // all modules fixed: a single joint state
+    // Advance one step (slot 1 cycles fastest, slot 0 last within this
+    // shard's range), collecting every digit the carry chain changed.
+    changed.clear();
+    {
+      int d = m > 1 ? 1 : 0;
+      bool exhausted = false;
+      for (;;) {
+        if (d == 0) {
+          if (++idx[0] == end) {
+            exhausted = true;
+          } else {
+            changed.push_back(0);
+          }
+          break;
+        }
+        if (++idx[static_cast<size_t>(d)] <
+            inst.slot_len[static_cast<size_t>(d)]) {
+          changed.push_back(d);
+          break;
+        }
+        idx[static_cast<size_t>(d)] = 0;
+        changed.push_back(d);
+        if (++d == m) d = 0;
+      }
+      if (exhausted) return;
+    }
+    // Re-run the executions whose trace crosses a changed slot, from the
+    // earliest changed module onward. The one-digit step is by far the most
+    // common shape, so it gets a branch-light fast path.
+    if (changed.size() == 1) {
+      const size_t s = static_cast<size_t>(changed[0]);
+      const size_t fi = static_cast<size_t>(inst.slot_fi[s]);
+      const int32_t in_code = inst.slot_in_code[s];
+      const size_t tp = static_cast<size_t>(inst.slot_topo[s]);
+      for (int64_t e = 0; e < num_execs; ++e) {
+        if (trace[static_cast<size_t>(e) * trace_width + fi] != in_code) {
+          continue;
+        }
+        uncover(row_tid[static_cast<size_t>(e)]);
+        row_tid[static_cast<size_t>(e)] = run_exec(e, tp);
+        cover(row_tid[static_cast<size_t>(e)]);
+      }
+      continue;
+    }
+    for (int64_t e = 0; e < num_execs; ++e) {
+      size_t from = std::numeric_limits<size_t>::max();
+      for (int s : changed) {
+        const size_t ss = static_cast<size_t>(s);
+        if (trace[static_cast<size_t>(e) * trace_width +
+                  static_cast<size_t>(inst.slot_fi[ss])] ==
+            inst.slot_in_code[ss]) {
+          from = std::min(from, static_cast<size_t>(inst.slot_topo[ss]));
+        }
+      }
+      if (from == std::numeric_limits<size_t>::max()) continue;
+      uncover(row_tid[static_cast<size_t>(e)]);
+      row_tid[static_cast<size_t>(e)] = run_exec(e, from);
+      cover(row_tid[static_cast<size_t>(e)]);
+    }
+  }
+}
+
+}  // namespace
+
+WorkflowWorlds EnumerateWorkflowWorlds(const WorkflowTables& tables,
+                                       const Bitset64& visible,
+                                       const std::vector<int>& fixed_modules,
+                                       const WorkflowEnumerationOptions& opts) {
+  WorkflowWorlds result;
+  const Workflow& workflow = *tables.workflow;
+  const int n = tables.num_modules;
+  result.out_sets.resize(static_cast<size_t>(n));
+
+  std::vector<bool> fixed(static_cast<size_t>(n), false);
+  for (int i : fixed_modules) {
+    PV_CHECK(i >= 0 && i < n);
+    fixed[static_cast<size_t>(i)] = true;
+  }
+
+  WfInstance inst;
+  inst.tables = &tables;
+  inst.free_index.assign(static_cast<size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    if (!fixed[static_cast<size_t>(i)]) {
+      inst.free_index[static_cast<size_t>(i)] = inst.num_free++;
+      inst.free_modules.push_back(i);
+    }
+  }
+  inst.topo = workflow.topo_order();
+  inst.topo_pos.assign(static_cast<size_t>(n), -1);
+  for (size_t p = 0; p < inst.topo.size(); ++p) {
+    inst.topo_pos[static_cast<size_t>(inst.topo[p])] = static_cast<int>(p);
+  }
+  inst.collect_distinct = opts.collect_distinct_relations;
+
+  result.naive_candidates = 1;
+  for (int i : inst.free_modules) {
+    result.naive_candidates = SaturatingMul(
+        result.naive_candidates,
+        SaturatingPow(tables.range_size[static_cast<size_t>(i)],
+                      static_cast<int>(tables.dom_size[static_cast<size_t>(i)])));
+  }
+
+  // Target view: interned visible projections of the original rows.
+  const size_t prov_arity = tables.prov_ids.size();
+  for (size_t p = 0; p < prov_arity; ++p) {
+    const AttrId id = tables.prov_ids[p];
+    if (id < visible.size() && visible.Test(id)) {
+      inst.visible_pos.push_back(static_cast<int>(p));
+    }
+  }
+  TupleInterner target;
+  std::vector<int32_t> orig_row_tid(static_cast<size_t>(tables.num_execs));
+  {
+    Tuple vis(inst.visible_pos.size());
+    for (int64_t e = 0; e < tables.num_execs; ++e) {
+      const int32_t* row = &tables.orig_rows[static_cast<size_t>(e) * prov_arity];
+      for (size_t p = 0; p < inst.visible_pos.size(); ++p) {
+        vis[p] = row[static_cast<size_t>(inst.visible_pos[p])];
+      }
+      orig_row_tid[static_cast<size_t>(e)] = target.Intern(vis);
+    }
+  }
+  inst.target = &target;
+
+  // Modules whose input is the same in every world: every input attribute
+  // is an initial input or produced by a fixed module that is itself
+  // determined.
+  std::vector<bool> det_attr(static_cast<size_t>(tables.num_attrs), false);
+  for (AttrId id : workflow.initial_input_ids()) {
+    det_attr[static_cast<size_t>(id)] = true;
+  }
+  std::vector<bool> determined(static_cast<size_t>(n), false);
+  for (int mi : inst.topo) {
+    const size_t smi = static_cast<size_t>(mi);
+    bool det = true;
+    for (AttrId id : tables.in_attrs[smi]) {
+      det = det && det_attr[static_cast<size_t>(id)];
+    }
+    determined[smi] = det;
+    if (det && fixed[smi]) {
+      for (AttrId id : tables.out_attrs[smi]) {
+        det_attr[static_cast<size_t>(id)] = true;
+      }
+    }
+  }
+  // Positions (in the prov row) of visible determined attributes: the part
+  // of every execution's row no world can change.
+  std::vector<int> det_vis_pos;
+  std::vector<int> pos_of_attr(static_cast<size_t>(tables.num_attrs), -1);
+  for (size_t p = 0; p < prov_arity; ++p) {
+    const AttrId id = tables.prov_ids[p];
+    pos_of_attr[static_cast<size_t>(id)] = static_cast<int>(p);
+    if (det_attr[static_cast<size_t>(id)] && id < visible.size() &&
+        visible.Test(id)) {
+      det_vis_pos.push_back(static_cast<int>(p));
+    }
+  }
+
+  // Fast row -> target-id lookup tables (see WfInstance): the visible
+  // non-determined fragment indexes a per-determined-prefix-group table.
+  {
+    const AttributeCatalog& catalog = *workflow.catalog();
+    std::vector<int> nd_pos;  // prov positions of the fragment
+    int64_t space = 1;
+    for (int p : inst.visible_pos) {
+      const AttrId id = tables.prov_ids[static_cast<size_t>(p)];
+      if (det_attr[static_cast<size_t>(id)]) continue;
+      nd_pos.push_back(p);
+      inst.nd_attr_ids.push_back(id);
+      inst.nd_strides.push_back(space);
+      space = SaturatingMul(space, catalog.DomainSize(id));
+    }
+    std::map<Tuple, int32_t> group_ids;
+    Tuple prefix(det_vis_pos.size());
+    if (space <= (1 << 16)) {
+      inst.group_of_exec.resize(static_cast<size_t>(tables.num_execs));
+      for (int64_t e = 0; e < tables.num_execs; ++e) {
+        const int32_t* row =
+            &tables.orig_rows[static_cast<size_t>(e) * prov_arity];
+        for (size_t q = 0; q < det_vis_pos.size(); ++q) {
+          prefix[q] = row[static_cast<size_t>(det_vis_pos[q])];
+        }
+        auto [it, inserted] = group_ids.try_emplace(
+            prefix, static_cast<int32_t>(group_ids.size()));
+        (void)inserted;
+        inst.group_of_exec[static_cast<size_t>(e)] = it->second;
+      }
+      if (SaturatingMul(static_cast<int64_t>(group_ids.size()), space) <=
+          (1 << 22)) {
+        inst.tid_tables.assign(
+            group_ids.size(),
+            std::vector<int32_t>(static_cast<size_t>(space), -1));
+        for (int64_t e = 0; e < tables.num_execs; ++e) {
+          const int32_t* row =
+              &tables.orig_rows[static_cast<size_t>(e) * prov_arity];
+          int64_t code = 0;
+          for (size_t j = 0; j < nd_pos.size(); ++j) {
+            code += static_cast<int64_t>(
+                        row[static_cast<size_t>(nd_pos[j])]) *
+                    inst.nd_strides[j];
+          }
+          inst.tid_tables[static_cast<size_t>(
+              inst.group_of_exec[static_cast<size_t>(e)])]
+              [static_cast<size_t>(code)] =
+                  orig_row_tid[static_cast<size_t>(e)];
+        }
+        inst.nd_space = space;
+        inst.use_nd = true;
+      }
+    }
+    if (!inst.use_nd) {
+      inst.nd_attr_ids.clear();
+      inst.nd_strides.clear();
+      inst.group_of_exec.clear();
+    }
+  }
+
+  // Build the walked slots, grouped by free module in reverse topological
+  // order: digit 1 cycles fastest, so the most frequent odometer steps hit
+  // the topologically last module and re-execute the shortest suffix.
+  // Non-determined modules keep the full output range on every slot (their
+  // reachedness varies across worlds, so no code can be excluded soundly);
+  // determined modules are pruned against the visible provenance view and
+  // their unreached slots are factored out.
+  std::vector<int> slot_module_order = inst.free_modules;
+  std::sort(slot_module_order.begin(), slot_module_order.end(),
+            [&](int a, int b) {
+              return inst.topo_pos[static_cast<size_t>(a)] >
+                     inst.topo_pos[static_cast<size_t>(b)];
+            });
+  std::vector<std::vector<int32_t>> all_codes(static_cast<size_t>(n));
+  std::vector<std::vector<std::vector<int32_t>>> det_codes(
+      static_cast<size_t>(n));
+  int64_t factored_multiplier = 1;
+  inst.slot_of.assign(static_cast<size_t>(n), {});
+  result.pruned_candidates = 1;
+  for (int i : slot_module_order) {
+    const size_t si = static_cast<size_t>(i);
+    const int64_t range = tables.range_size[si];
+    inst.slot_of[si].assign(static_cast<size_t>(tables.dom_size[si]), -1);
+    if (!determined[si]) {
+      all_codes[si].resize(static_cast<size_t>(range));
+      std::iota(all_codes[si].begin(), all_codes[si].end(), 0);
+      for (int64_t d = 0; d < tables.dom_size[si]; ++d) {
+        inst.slot_of[si][static_cast<size_t>(d)] =
+            static_cast<int32_t>(inst.slots.size());
+        inst.slots.push_back(WfInstance::Slot{
+            i, static_cast<int32_t>(d), &all_codes[si]});
+        result.pruned_candidates =
+            SaturatingMul(result.pruned_candidates, range);
+      }
+      continue;
+    }
+    // Visible outputs of this module: positions in the prov row plus local
+    // indices within the decoded output tuple.
+    std::vector<int> vis_out_pos;
+    std::vector<size_t> vis_out_local;
+    for (size_t j = 0; j < tables.out_attrs[si].size(); ++j) {
+      const AttrId id = tables.out_attrs[si][j];
+      if (id < visible.size() && visible.Test(id)) {
+        vis_out_pos.push_back(pos_of_attr[static_cast<size_t>(id)]);
+        vis_out_local.push_back(j);
+      }
+    }
+    // Allowed (determined-visible prefix, visible-output fragment) pairs:
+    // the target view's projection onto those positions. A slot code whose
+    // fragment never co-occurs with one of its executions' prefixes forces
+    // that execution's row out of the view in every world.
+    TupleInterner allowed;
+    {
+      Tuple key(det_vis_pos.size() + vis_out_pos.size());
+      for (int64_t e = 0; e < tables.num_execs; ++e) {
+        const int32_t* row =
+            &tables.orig_rows[static_cast<size_t>(e) * prov_arity];
+        size_t q = 0;
+        for (int p : det_vis_pos) key[q++] = row[static_cast<size_t>(p)];
+        for (int p : vis_out_pos) key[q++] = row[static_cast<size_t>(p)];
+        allowed.Intern(key);
+      }
+    }
+    // Distinct determined-visible prefixes per original input code.
+    std::map<int32_t, std::set<Tuple>> prefixes;
+    for (int64_t e = 0; e < tables.num_execs; ++e) {
+      const int32_t* row =
+          &tables.orig_rows[static_cast<size_t>(e) * prov_arity];
+      Tuple prefix(det_vis_pos.size());
+      for (size_t q = 0; q < det_vis_pos.size(); ++q) {
+        prefix[q] = row[static_cast<size_t>(det_vis_pos[q])];
+      }
+      prefixes[tables.orig_in_code[static_cast<size_t>(e) *
+                                       static_cast<size_t>(n) + si]]
+          .insert(std::move(prefix));
+    }
+    // Slots reached by no execution multiply the world count without
+    // changing any candidate relation: factor them out of the walk.
+    for (int64_t u = static_cast<int64_t>(prefixes.size());
+         u < tables.dom_size[si]; ++u) {
+      factored_multiplier = SaturatingMul(factored_multiplier, range);
+    }
+    // Visible fragment of every output code, shared by this module's slots.
+    std::vector<Tuple> frag(static_cast<size_t>(range));
+    for (int64_t c = 0; c < range; ++c) {
+      Tuple& f = frag[static_cast<size_t>(c)];
+      f.reserve(vis_out_local.size());
+      for (size_t j : vis_out_local) {
+        f.push_back(static_cast<int32_t>((c / tables.out_strides[si][j]) %
+                                         tables.out_radices[si][j]));
+      }
+    }
+    det_codes[si].reserve(prefixes.size());
+    {
+      Tuple key(det_vis_pos.size() + vis_out_pos.size());
+      for (const auto& [d, prefix_set] : prefixes) {
+        std::vector<int32_t> codes;
+        for (int64_t c = 0; c < range; ++c) {
+          bool ok = true;
+          for (const Tuple& prefix : prefix_set) {
+            size_t q = 0;
+            for (Value v : prefix) key[q++] = v;
+            for (Value v : frag[static_cast<size_t>(c)]) key[q++] = v;
+            if (allowed.Find(key) < 0) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) codes.push_back(static_cast<int32_t>(c));
+        }
+        result.pruned_candidates = SaturatingMul(
+            result.pruned_candidates, static_cast<int64_t>(codes.size()));
+        det_codes[si].push_back(std::move(codes));
+        inst.slot_of[si][static_cast<size_t>(d)] =
+            static_cast<int32_t>(inst.slots.size());
+        inst.slots.push_back(WfInstance::Slot{i, d, nullptr});
+      }
+    }
+    const size_t first_slot = inst.slots.size() - det_codes[si].size();
+    for (size_t k = 0; k < det_codes[si].size(); ++k) {
+      inst.slots[first_slot + k].codes = &det_codes[si][k];
+    }
+  }
+  PV_CHECK_MSG(result.pruned_candidates <= opts.max_candidates,
+               "workflow world space too large after pruning: "
+                   << result.pruned_candidates);
+  if (result.pruned_candidates == 0) return result;  // some slot infeasible
+
+  // OUT-set marks: one pair per (free module, original input code).
+  std::vector<bool> gamma_tracked(static_cast<size_t>(n), false);
+  if (opts.gamma > 0) {
+    if (opts.gamma_modules.empty()) {
+      for (int i : inst.free_modules) {
+        if (!workflow.module(i).is_public()) {
+          gamma_tracked[static_cast<size_t>(i)] = true;
+        }
+      }
+    } else {
+      for (int i : opts.gamma_modules) {
+        PV_CHECK(i >= 0 && i < n);
+        // A fixed module's OUT sets are singletons: it can never reach
+        // Γ > 1, and silently dropping it would turn into a vacuous
+        // early-stop success below.
+        PV_CHECK_MSG(!fixed[static_cast<size_t>(i)],
+                     "gamma_modules must not contain fixed module " << i);
+        gamma_tracked[static_cast<size_t>(i)] = true;
+      }
+    }
+  }
+  int64_t tracked_pairs = 0;
+  for (int i : inst.free_modules) {
+    const size_t si = static_cast<size_t>(i);
+    for (int32_t d : tables.orig_input_codes[si]) {
+      const int32_t s = inst.slot_of[si][static_cast<size_t>(d)];
+      PV_CHECK(s >= 0);
+      inst.inputs.push_back(
+          WfInstance::TrackedInput{i, d, s, gamma_tracked[si]});
+      if (gamma_tracked[si]) ++tracked_pairs;
+    }
+  }
+  if (opts.gamma > 0 && tracked_pairs == 0) {
+    // No tracked free-module input to protect: Γ is vacuously satisfied.
+    result.early_stopped = true;
+    return result;
+  }
+
+  inst.FinalizeSlots();
+
+  // Shard the walk over the first walked slot's feasible codes.
+  const int64_t slot0 =
+      inst.slots.empty()
+          ? 1
+          : static_cast<int64_t>(inst.slots[0].codes->size());
+  int threads = std::max(1, opts.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                                  : opts.num_threads);
+  if (result.pruned_candidates <= opts.min_parallel_candidates) threads = 1;
+  const int shards = static_cast<int>(std::min<int64_t>(threads, slot0));
+
+  WfSeenUnion seen_union(inst, opts.gamma);
+  std::atomic<bool> stop(false);
+  std::vector<WfShardResult> partials(static_cast<size_t>(shards));
+  if (shards <= 1) {
+    WfWalkShard(inst, 0, slot0, &seen_union, &stop, &partials[0]);
+  } else {
+    ThreadPool pool(shards);
+    pool.ShardedFor(slot0, shards,
+                    [&](int shard, int64_t begin, int64_t end) {
+                      WfWalkShard(inst, begin, end, &seen_union, &stop,
+                                  &partials[static_cast<size_t>(shard)]);
+                    });
+  }
+  result.early_stopped = stop.load();
+  std::unordered_set<std::vector<int32_t>, TupleVectorHasher> distinct;
+  for (WfShardResult& p : partials) {
+    result.num_function_choices += p.num_function_choices;
+    if (opts.collect_distinct_relations) {
+      distinct.merge(std::move(p.distinct_relations));
+    }
+  }
+  result.num_distinct_relations = static_cast<int64_t>(distinct.size());
+  result.num_function_choices =
+      SaturatingMul(result.num_function_choices, factored_multiplier);
+
+  // Materialize OUT sets: free modules from the union of seen marks, fixed
+  // modules keep their original function on every consistent world.
+  for (size_t p = 0; p < inst.inputs.size(); ++p) {
+    const auto& ti = inst.inputs[p];
+    const size_t si = static_cast<size_t>(ti.module);
+    const auto& codes = *inst.slots[static_cast<size_t>(ti.slot)].codes;
+    const auto& seen = seen_union.seen[p];
+    const Tuple x = DecodeMixedRadix(ti.in_code, tables.in_radices[si]);
+    for (size_t j = 0; j < seen.size(); ++j) {
+      if (!seen[j]) continue;
+      result.out_sets[si][x].insert(
+          DecodeMixedRadix(codes[j], tables.out_radices[si]));
+    }
+  }
+  if (result.num_function_choices > 0 || result.early_stopped) {
+    for (int i = 0; i < n; ++i) {
+      const size_t si = static_cast<size_t>(i);
+      if (!fixed[si]) continue;
+      for (int32_t d : tables.orig_input_codes[si]) {
+        result.out_sets[si][DecodeMixedRadix(d, tables.in_radices[si])]
+            .insert(DecodeMixedRadix(
+                tables.original_fn[si][static_cast<size_t>(d)],
+                tables.out_radices[si]));
+      }
+    }
+  }
+  return result;
+}
+
+WorkflowWorlds EnumerateWorkflowWorlds(const Workflow& workflow,
+                                       const Bitset64& visible,
+                                       const std::vector<int>& fixed_modules,
+                                       const WorkflowEnumerationOptions& opts) {
+  return EnumerateWorkflowWorlds(*BuildWorkflowTables(workflow), visible,
+                                 fixed_modules, opts);
+}
+
 WorkflowWorlds EnumerateWorkflowWorlds(const Workflow& workflow,
                                        const Bitset64& visible,
                                        const std::vector<int>& fixed_modules,
                                        int64_t max_candidates) {
+  WorkflowEnumerationOptions opts;
+  opts.max_candidates = max_candidates;
+  return EnumerateWorkflowWorlds(workflow, visible, fixed_modules, opts);
+}
+
+WorkflowWorlds EnumerateWorkflowWorldsNaive(const Workflow& workflow,
+                                            const Bitset64& visible,
+                                            const std::vector<int>& fixed_modules,
+                                            int64_t max_candidates) {
   WorkflowWorlds result;
   const int n = workflow.num_modules();
   result.out_sets.resize(static_cast<size_t>(n));
@@ -475,6 +1375,8 @@ WorkflowWorlds EnumerateWorkflowWorlds(const Workflow& workflow,
   }
   PV_CHECK_MSG(joint <= max_candidates,
                "workflow world space too large: " << joint);
+  result.naive_candidates = joint;
+  result.pruned_candidates = joint;
 
   // slot_of[i][d] = slot index for free module i, domain code d.
   std::vector<std::vector<int>> slot_of(static_cast<size_t>(n));

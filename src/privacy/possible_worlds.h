@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -105,29 +106,139 @@ bool IsStandaloneSafeByEnumeration(const Relation& rel,
 struct WorkflowWorlds {
   /// Distinct provenance relations among consistent worlds (counted up to
   /// row-set equality; Proposition 2 compares this with the standalone
-  /// world count).
+  /// world count). Zero when the enumeration ran with
+  /// `collect_distinct_relations` off.
   int64_t num_distinct_relations = 0;
   /// Number of consistent joint function choices (≥ num_distinct_relations).
+  /// A lower bound if `early_stopped` is set.
   int64_t num_function_choices = 0;
   /// out_sets[i][x] = OUT_{x,W} restricted to functional worlds, for module
   /// index i and module-i input x.
   std::vector<std::map<Tuple, std::set<Tuple>>> out_sets;
+  /// True iff the Γ short-circuit fired before the walk finished.
+  bool early_stopped = false;
+  /// Joint states actually walked by the pruned engine: ∏ |feasible_s| over
+  /// the walked slots (factored always-unreached slots excluded).
+  int64_t pruned_candidates = 0;
+  /// ∏ |Range_i|^{|Dom_i|} over free modules: the naive joint space.
+  int64_t naive_candidates = 0;
 
   /// min over private-module inputs of |OUT| for a given module index.
   int64_t MinOutSize(int module_index) const;
 };
+
+/// Tuning knobs of the optimized workflow enumerator.
+struct WorkflowEnumerationOptions {
+  /// Abort if the (pruned) walked joint space exceeds this.
+  int64_t max_candidates = 40000000;
+  /// When > 0, stop enumerating as soon as every tracked module input's OUT
+  /// set holds at least this many outputs. Counts become lower bounds and
+  /// `early_stopped` is set.
+  int64_t gamma = 0;
+  /// Modules whose OUT sets the Γ short-circuit tracks. Empty = every free
+  /// private module (fixed modules have singleton OUT sets and would never
+  /// reach Γ > 1).
+  std::vector<int> gamma_modules;
+  /// Worker threads for sharded enumeration. 0 = hardware concurrency,
+  /// 1 = fully sequential. Shards split the first walked slot's feasible
+  /// codes; results merge by commutative sums/unions, so the outcome is
+  /// deterministic regardless of thread count.
+  int num_threads = 1;
+  /// Pruned spaces at or below this size always run sequentially.
+  int64_t min_parallel_candidates = 4096;
+  /// Maintain the distinct-relation set. The Γ-certification path only
+  /// needs OUT sets and can turn this off (num_distinct_relations stays 0).
+  bool collect_distinct_relations = true;
+};
+
+/// Immutable per-workflow tables shared by every enumeration over the same
+/// workflow: interned per-module original functions (encoded input →
+/// encoded output), mixed-radix strides, the original execution log, and
+/// per-module original input codes. Building them costs one full provenance
+/// run; the batch certification driver builds them once and reuses them
+/// across many (visible set, fixed set, Γ) enumerations.
+struct WorkflowTables {
+  const Workflow* workflow = nullptr;
+  int num_attrs = 0;
+  int num_modules = 0;
+
+  // Per module (index-aligned with the workflow).
+  std::vector<std::vector<AttrId>> in_attrs;
+  std::vector<std::vector<AttrId>> out_attrs;
+  std::vector<std::vector<int>> in_radices;
+  std::vector<std::vector<int>> out_radices;
+  std::vector<std::vector<int64_t>> in_strides;   // little-endian, match Encode
+  std::vector<std::vector<int64_t>> out_strides;
+  std::vector<int64_t> dom_size;
+  std::vector<int64_t> range_size;
+  /// original_fn[i][input_code] = output_code of module i's real function.
+  std::vector<std::vector<int32_t>> original_fn;
+  /// Decoded outputs: out_values[i][code * |O_i| + j] = j-th output value of
+  /// output code `code` (avoids div/mod decoding in the walk's hot loop).
+  std::vector<std::vector<int32_t>> out_values;
+  /// Distinct original input codes of module i (sorted): the x's whose
+  /// OUT sets Definition 5 tracks.
+  std::vector<std::vector<int32_t>> orig_input_codes;
+
+  // The original execution log: one execution per initial-input combination.
+  std::vector<int> init_radices;
+  int64_t num_execs = 0;
+  std::vector<AttrId> prov_ids;
+  /// Original provenance rows, flattened num_execs × prov_ids.size().
+  std::vector<int32_t> orig_rows;
+  /// Original input code of module i in execution e, flattened
+  /// num_execs × num_modules.
+  std::vector<int32_t> orig_in_code;
+  /// Initial-input values per execution, flattened num_execs × |I_0|.
+  std::vector<int32_t> init_values;
+};
+
+/// Precomputes the shared tables. `max_executions` bounds the initial-input
+/// product space (the execution count).
+std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
+    const Workflow& workflow, int64_t max_executions = 1 << 22);
 
 /// Enumerates joint choices of total functions (g_1, ..., g_n) — keeping
 /// g_i = m_i for every module index in `fixed_modules` (Definition 4's
 /// public-module constraint) — runs the workflow on every initial input of
 /// the original provenance relation, and keeps the worlds whose visible
 /// projection matches. OUT sets are recorded for every module.
-/// The joint candidate space ∏ |Range_i|^{|Dom_i|} must not exceed
-/// `max_candidates`.
+///
+/// This is the pruned engine: slots whose input is determined in every
+/// world (fed by initial inputs through fixed modules only) are pruned to
+/// the output codes consistent with the visible provenance view — fully
+/// visible outputs collapse to the forced codes, fully hidden ones keep the
+/// whole range — and determined slots reached by no execution are factored
+/// out of the walk entirely (they multiply num_function_choices without
+/// changing any relation). The covered-target multiset is maintained
+/// incrementally across odometer steps, the Γ short-circuit can stop the
+/// walk early, and the walk is sharded over the first walked slot's
+/// feasible codes on a thread pool. Byte-identical results to
+/// EnumerateWorkflowWorldsNaive on full runs.
+WorkflowWorlds EnumerateWorkflowWorlds(const WorkflowTables& tables,
+                                       const Bitset64& visible,
+                                       const std::vector<int>& fixed_modules,
+                                       const WorkflowEnumerationOptions& opts);
+
+/// Convenience overload building the tables internally.
+WorkflowWorlds EnumerateWorkflowWorlds(const Workflow& workflow,
+                                       const Bitset64& visible,
+                                       const std::vector<int>& fixed_modules,
+                                       const WorkflowEnumerationOptions& opts);
+
+/// Back-compat wrapper with the historical signature.
 WorkflowWorlds EnumerateWorkflowWorlds(const Workflow& workflow,
                                        const Bitset64& visible,
                                        const std::vector<int>& fixed_modules,
                                        int64_t max_candidates = 40000000);
+
+/// The original joint odometer over the unpruned ∏ |Range_i|^{|Dom_i|}
+/// space. Exponentially slower than EnumerateWorkflowWorlds; kept as the
+/// reference implementation for the workflow equivalence suite and the
+/// speedup benchmarks.
+WorkflowWorlds EnumerateWorkflowWorldsNaive(
+    const Workflow& workflow, const Bitset64& visible,
+    const std::vector<int>& fixed_modules, int64_t max_candidates = 40000000);
 
 }  // namespace provview
 

@@ -20,99 +20,23 @@ std::vector<AttrId> LocalAttrs(const std::vector<AttrId>& inputs,
   return attrs;
 }
 
-// Memoizing wrapper around MaxStandaloneGamma for a fixed (rel, I, O).
-//
-// Algorithm 2's verdict is a function of the projection the hidden set
-// induces, not of the hidden set itself: it depends only on (a) which
-// *effective* attributes are visible — an attribute is ineffective if its
-// domain has one value or it is constant across R, since then its presence
-// changes neither the visible-input grouping nor the visible-output distinct
-// counts — and (b) ∏|Δ_a| over the hidden outputs (the Lemma-2 extension
-// factor). Candidates are therefore canonicalized to that signature and
-// distinct hidden sets inducing the same projection reuse one cached Γ.
-class SafetyMemo {
- public:
-  SafetyMemo(const Relation& rel, const std::vector<AttrId>& inputs,
-             const std::vector<AttrId>& outputs)
-      : rel_(rel), inputs_(inputs), outputs_(outputs) {
-    const AttributeCatalog& catalog = *rel.schema().catalog();
-    const int universe = catalog.size();
-    effective_ = Bitset64(universe);
-    for (AttrId id : LocalAttrs(inputs, outputs)) {
-      if (catalog.DomainSize(id) > 1 && !ConstantInRel(id)) {
-        effective_.Set(id);
-      }
-    }
-  }
-
-  /// MaxStandaloneGamma(rel, I, O, hidden.Complement()), memoized on the
-  /// effective visible signature. Bumps checker_calls on a miss and
-  /// cache_hits on a hit.
-  int64_t MaxGamma(const Bitset64& hidden, SafeSearchStats* stats) {
-    const AttributeCatalog& catalog = *rel_.schema().catalog();
-    int64_t hidden_ext = 1;
-    for (AttrId id : outputs_) {
-      if (id < hidden.size() && hidden.Test(id)) {
-        hidden_ext = SaturatingMul(hidden_ext, catalog.DomainSize(id));
-      }
-    }
-    Key key(Difference(effective_, hidden), hidden_ext);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      ++stats->cache_hits;
-      return it->second;
-    }
-    ++stats->checker_calls;
-    int64_t gamma =
-        MaxStandaloneGamma(rel_, inputs_, outputs_, hidden.Complement());
-    cache_.emplace(std::move(key), gamma);
-    return gamma;
-  }
-
-  bool IsSafe(const Bitset64& hidden, int64_t gamma, SafeSearchStats* stats) {
-    PV_CHECK_MSG(gamma >= 1, "gamma must be >= 1");
-    return MaxGamma(hidden, stats) >= gamma;
-  }
-
- private:
-  using Key = std::pair<Bitset64, int64_t>;
-
-  bool ConstantInRel(AttrId id) const {
-    if (rel_.empty()) return true;
-    const Value first = rel_.At(rel_.rows().front(), id);
-    for (const Tuple& row : rel_.rows()) {
-      if (rel_.At(row, id) != first) return false;
-    }
-    return true;
-  }
-
-  const Relation& rel_;
-  const std::vector<AttrId>& inputs_;
-  const std::vector<AttrId>& outputs_;
-  Bitset64 effective_;  // attrs whose visibility can change the verdict
-  std::map<Key, int64_t> cache_;
-};
-
 }  // namespace
 
-std::vector<Bitset64> MinimalSafeHiddenSets(const Relation& rel,
+std::vector<Bitset64> MinimalSafeHiddenSets(SafetyMemo* memo,
                                             const std::vector<AttrId>& inputs,
                                             const std::vector<AttrId>& outputs,
-                                            int64_t gamma,
+                                            int universe, int64_t gamma,
                                             SafeSearchStats* stats) {
   const std::vector<AttrId> attrs = LocalAttrs(inputs, outputs);
   const int k = static_cast<int>(attrs.size());
   PV_CHECK_MSG(k <= 20, "subset search limited to k <= 20, got " << k);
-  const int universe = rel.schema().catalog()->size();
 
-  SafeSearchStats local_stats;
-  SafetyMemo memo(rel, inputs, outputs);
   std::vector<Bitset64> minimal;
   // Enumerate by increasing cardinality; a candidate containing a known
   // minimal safe set is safe-but-not-minimal and is skipped (Prop. 1).
   for (int size = 0; size <= k; ++size) {
     for (const Bitset64& combo : SubsetsOfSize(k, size)) {
-      ++local_stats.subsets_examined;
+      ++stats->subsets_examined;
       Bitset64 hidden(universe);
       for (int local : combo.ToVector()) {
         hidden.Set(attrs[static_cast<size_t>(local)]);
@@ -125,11 +49,25 @@ std::vector<Bitset64> MinimalSafeHiddenSets(const Relation& rel,
         }
       }
       if (dominated) continue;
-      if (memo.IsSafe(hidden, gamma, &local_stats)) {
+      if (memo->IsSafe(hidden, gamma, stats)) {
         minimal.push_back(hidden);
       }
     }
   }
+  return minimal;
+}
+
+std::vector<Bitset64> MinimalSafeHiddenSets(const Relation& rel,
+                                            const std::vector<AttrId>& inputs,
+                                            const std::vector<AttrId>& outputs,
+                                            int64_t gamma,
+                                            SafeSearchStats* stats) {
+  SafeSearchStats local_stats;
+  SafetyMemo memo(rel, inputs, outputs);
+  std::vector<Bitset64> minimal =
+      MinimalSafeHiddenSets(&memo, inputs, outputs,
+                            rel.schema().catalog()->size(), gamma,
+                            &local_stats);
   if (stats != nullptr) *stats = local_stats;
   return minimal;
 }

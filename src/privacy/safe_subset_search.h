@@ -13,19 +13,9 @@
 #include <vector>
 
 #include "module/module.h"
+#include "privacy/safety_memo.h"
 
 namespace provview {
-
-/// Instrumentation of a subset search.
-struct SafeSearchStats {
-  int64_t subsets_examined = 0;  ///< candidate subsets considered
-  int64_t checker_calls = 0;     ///< Algorithm-2 safety tests actually run
-  /// Candidates answered from the effective-visible-signature memo instead
-  /// of re-running Algorithm 2: distinct hidden sets that induce the same
-  /// projection structure (e.g. they differ only in domain-1 or
-  /// constant-in-R attributes) share one cached verdict.
-  int64_t cache_hits = 0;
-};
 
 /// Result of the minimum-cost search.
 struct MinCostSafeResult {
@@ -44,6 +34,15 @@ std::vector<Bitset64> MinimalSafeHiddenSets(const Relation& rel,
                                             const std::vector<AttrId>& outputs,
                                             int64_t gamma,
                                             SafeSearchStats* stats = nullptr);
+
+/// As above, but reusing a caller-owned SafetyMemo (for the module of
+/// `memo`), so repeated searches — different Γ values, batch drivers —
+/// share one verdict cache. Accumulates into `stats` instead of resetting.
+std::vector<Bitset64> MinimalSafeHiddenSets(SafetyMemo* memo,
+                                            const std::vector<AttrId>& inputs,
+                                            const std::vector<AttrId>& outputs,
+                                            int universe, int64_t gamma,
+                                            SafeSearchStats* stats);
 
 /// Minimum-cost safe hidden subset using catalog attribute costs. With
 /// non-negative costs the optimum is attained at a minimal safe subset.

@@ -1,0 +1,154 @@
+#include "privacy/safety_memo.h"
+
+#include <unordered_set>
+
+#include "common/combinatorics.h"
+#include "common/interner.h"
+#include "privacy/standalone_privacy.h"
+
+namespace provview {
+
+namespace {
+
+// splitmix64 finalizer: the per-pair mix feeding the running hashes.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SafetyMemo::SafetyMemo(const Relation& rel, std::vector<AttrId> inputs,
+                       std::vector<AttrId> outputs)
+    : rel_(rel), inputs_(std::move(inputs)), outputs_(std::move(outputs)) {
+  Init();
+}
+
+SafetyMemo::SafetyMemo(const Module& module)
+    : owned_(module.FullRelation()),
+      rel_(*owned_),
+      inputs_(module.inputs()),
+      outputs_(module.outputs()) {
+  Init();
+}
+
+void SafetyMemo::Init() {
+  const AttributeCatalog& catalog = *rel_.schema().catalog();
+  const int universe = catalog.size();
+
+  // Deduplicated rows as local columns: inputs then outputs.
+  std::vector<Tuple> rows = rel_.SortedDistinctRows();
+  num_rows_ = static_cast<int64_t>(rows.size());
+  std::vector<AttrId> local = inputs_;
+  local.insert(local.end(), outputs_.begin(), outputs_.end());
+  columns_.resize(local.size());
+  for (size_t c = 0; c < local.size(); ++c) {
+    columns_[c].reserve(rows.size());
+    for (const Tuple& row : rows) {
+      columns_[c].push_back(rel_.At(row, local[c]));
+    }
+  }
+
+  // An attribute cannot change the verdict if its domain has one value or
+  // it is constant across R (its presence changes neither the visible-input
+  // grouping nor the visible-output distinct counts).
+  effective_ = Bitset64(universe);
+  for (size_t c = 0; c < local.size(); ++c) {
+    if (catalog.DomainSize(local[c]) <= 1) continue;
+    bool constant = true;
+    for (int64_t r = 1; r < num_rows_; ++r) {
+      if (columns_[c][static_cast<size_t>(r)] != columns_[c][0]) {
+        constant = false;
+        break;
+      }
+    }
+    if (num_rows_ > 0 && constant) continue;
+    effective_.Set(local[c]);
+  }
+}
+
+SafetyMemo::ProjectionKey SafetyMemo::ProjectionKeyOf(
+    const Bitset64& effective_visible, int64_t hidden_ext) {
+  // Effective-visible columns, split by side.
+  std::vector<size_t> in_cols, out_cols;
+  for (size_t j = 0; j < inputs_.size(); ++j) {
+    if (effective_visible.Test(inputs_[j])) in_cols.push_back(j);
+  }
+  for (size_t j = 0; j < outputs_.size(); ++j) {
+    if (effective_visible.Test(outputs_[j])) {
+      out_cols.push_back(inputs_.size() + j);
+    }
+  }
+
+  // Canonicalize every row to a (group id, output id) pair of dense
+  // first-seen interned ids; hash the deduplicated pair sequence. First-seen
+  // order over the fixed row order is canonical, so equal-projection hidden
+  // sets produce equal keys even when the underlying values differ.
+  TupleInterner gin, gout;
+  Tuple in_buf, out_buf;
+  std::unordered_set<uint64_t> seen;
+  ProjectionKey key;
+  key.hidden_ext = hidden_ext;
+  key.h1 = 0x8A91A6D40BF42040ull;
+  key.h2 = 0xC83A91E1DB6A2BB1ull;
+  for (int64_t r = 0; r < num_rows_; ++r) {
+    in_buf.clear();
+    for (size_t c : in_cols) {
+      in_buf.push_back(columns_[c][static_cast<size_t>(r)]);
+    }
+    out_buf.clear();
+    for (size_t c : out_cols) {
+      out_buf.push_back(columns_[c][static_cast<size_t>(r)]);
+    }
+    const uint64_t pair =
+        (static_cast<uint64_t>(static_cast<uint32_t>(gin.Intern(in_buf)))
+         << 32) |
+        static_cast<uint32_t>(gout.Intern(out_buf));
+    if (seen.insert(pair).second) {
+      key.h1 = key.h1 * 0x100000001B3ull + Mix64(pair);
+      key.h2 = key.h2 * 0x9E3779B97F4A7C15ull + Mix64(~pair);
+    }
+  }
+  return key;
+}
+
+int64_t SafetyMemo::MaxGamma(const Bitset64& hidden, SafeSearchStats* stats) {
+  const AttributeCatalog& catalog = *rel_.schema().catalog();
+  int64_t hidden_ext = 1;
+  for (AttrId id : outputs_) {
+    if (id < hidden.size() && hidden.Test(id)) {
+      hidden_ext = SaturatingMul(hidden_ext, catalog.DomainSize(id));
+    }
+  }
+  SignatureKey sig(Difference(effective_, hidden), hidden_ext);
+  auto it = signature_cache_.find(sig);
+  if (it != signature_cache_.end()) {
+    ++stats->cache_hits;
+    ++stats->signature_hits;
+    return it->second;
+  }
+  const ProjectionKey pkey = ProjectionKeyOf(sig.first, hidden_ext);
+  auto pit = projection_cache_.find(pkey);
+  if (pit != projection_cache_.end()) {
+    ++stats->cache_hits;
+    ++stats->projection_hits;
+    signature_cache_.emplace(std::move(sig), pit->second);
+    return pit->second;
+  }
+  ++stats->checker_calls;
+  const int64_t gamma =
+      MaxStandaloneGamma(rel_, inputs_, outputs_, hidden.Complement());
+  projection_cache_.emplace(pkey, gamma);
+  signature_cache_.emplace(std::move(sig), gamma);
+  return gamma;
+}
+
+bool SafetyMemo::IsSafe(const Bitset64& hidden, int64_t gamma,
+                        SafeSearchStats* stats) {
+  PV_CHECK_MSG(gamma >= 1, "gamma must be >= 1");
+  return MaxGamma(hidden, stats) >= gamma;
+}
+
+}  // namespace provview

@@ -1,0 +1,121 @@
+// Memoized Algorithm-2 safety verdicts for a fixed module relation, shared
+// by the standalone subset searches (safe_subset_search) and the workflow
+// batch certification driver (workflow_privacy). Two memo levels:
+//
+//   level 1 — effective-visible signature: Algorithm 2's verdict cannot
+//   depend on attributes whose domain has one value or that are constant
+//   across R, so hidden sets differing only in such attributes share one
+//   cached Γ. Key: (effective visible set, hidden-output extension factor).
+//
+//   level 2 — induced-projection hash: the verdict is in fact a function of
+//   the projection the hidden set induces, not of the attribute set itself.
+//   Each row is canonicalized to a (visible-input group id, visible-output
+//   value id) pair of dense first-seen interned ids; the deduplicated pair
+//   sequence determines the per-group distinct-output counts and hence Γ
+//   exactly. Distinct visible sets that induce the same grouping structure
+//   (duplicated columns, value renamings, refinement-free columns) collapse
+//   to one 128-bit key.
+//
+// A level-2 hit also seeds level 1, so repeats of the same signature stay
+// O(1). SafeSearchStats reports per-level hit counts so the canonicalization
+// win is measurable.
+#ifndef PROVVIEW_PRIVACY_SAFETY_MEMO_H_
+#define PROVVIEW_PRIVACY_SAFETY_MEMO_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "module/module.h"
+#include "relation/relation.h"
+
+namespace provview {
+
+/// Instrumentation of a subset search / batch certification.
+struct SafeSearchStats {
+  int64_t subsets_examined = 0;  ///< candidate subsets considered
+  int64_t checker_calls = 0;     ///< Algorithm-2 safety tests actually run
+  /// Candidates answered from a memo instead of re-running Algorithm 2
+  /// (signature_hits + projection_hits).
+  int64_t cache_hits = 0;
+  int64_t signature_hits = 0;   ///< level-1 effective-visible-signature hits
+  int64_t projection_hits = 0;  ///< level-2 induced-projection-hash hits
+
+  /// Fraction of memo-visible lookups answered without the checker.
+  double HitRate() const {
+    const int64_t total = checker_calls + cache_hits;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+
+  void Accumulate(const SafeSearchStats& other) {
+    subsets_examined += other.subsets_examined;
+    checker_calls += other.checker_calls;
+    cache_hits += other.cache_hits;
+    signature_hits += other.signature_hits;
+    projection_hits += other.projection_hits;
+  }
+};
+
+/// Memoizing wrapper around MaxStandaloneGamma for a fixed (rel, I, O).
+/// Build once per module and reuse across hidden sets, Γ values, and
+/// callers; not thread-safe (use one instance per worker).
+class SafetyMemo {
+ public:
+  /// Borrows `rel`; the caller keeps it alive for the memo's lifetime.
+  SafetyMemo(const Relation& rel, std::vector<AttrId> inputs,
+             std::vector<AttrId> outputs);
+
+  /// Materializes and owns the module's full relation.
+  explicit SafetyMemo(const Module& module);
+
+  SafetyMemo(const SafetyMemo&) = delete;
+  SafetyMemo& operator=(const SafetyMemo&) = delete;
+
+  /// MaxStandaloneGamma(rel, I, O, hidden.Complement()), memoized. Bumps
+  /// checker_calls on a full miss and the per-level hit counters otherwise.
+  int64_t MaxGamma(const Bitset64& hidden, SafeSearchStats* stats);
+
+  /// Memoized Algorithm-2 safety test (Γ ≥ 1 required).
+  bool IsSafe(const Bitset64& hidden, int64_t gamma, SafeSearchStats* stats);
+
+ private:
+  // 128-bit order-sensitive hash of the canonical dedup'd pair sequence.
+  struct ProjectionKey {
+    uint64_t h1 = 0;
+    uint64_t h2 = 0;
+    int64_t hidden_ext = 1;
+    bool operator<(const ProjectionKey& o) const {
+      if (h1 != o.h1) return h1 < o.h1;
+      if (h2 != o.h2) return h2 < o.h2;
+      return hidden_ext < o.hidden_ext;
+    }
+  };
+
+  void Init();
+  ProjectionKey ProjectionKeyOf(const Bitset64& effective_visible,
+                                int64_t hidden_ext);
+
+  std::optional<Relation> owned_;  // set by the Module constructor
+  const Relation& rel_;
+  std::vector<AttrId> inputs_;
+  std::vector<AttrId> outputs_;
+  Bitset64 effective_;  // attrs whose visibility can change the verdict
+
+  // Deduplicated rows as per-local-attribute columns (inputs then outputs),
+  // so level-2 key computation reads contiguous ints instead of projecting
+  // tuples.
+  int64_t num_rows_ = 0;
+  std::vector<std::vector<int32_t>> columns_;
+
+  using SignatureKey = std::pair<Bitset64, int64_t>;
+  std::map<SignatureKey, int64_t> signature_cache_;
+  std::map<ProjectionKey, int64_t> projection_cache_;
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_PRIVACY_SAFETY_MEMO_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/thread_pool.h"
 #include "privacy/possible_worlds.h"
 #include "privacy/standalone_privacy.h"
 
@@ -53,20 +54,112 @@ std::vector<int64_t> PerModuleStandaloneGamma(const Workflow& workflow,
 PrivacyCertificate CertifyWorkflowPrivacy(const Workflow& workflow,
                                           const Bitset64& hidden,
                                           int64_t gamma) {
-  PrivacyCertificate cert;
-  cert.module_gammas = PerModuleStandaloneGamma(workflow, hidden);
-  cert.certified = true;
-  for (int i = 0; i < workflow.num_modules(); ++i) {
-    const Module& m = workflow.module(i);
-    if (!m.is_public() &&
-        cert.module_gammas[static_cast<size_t>(i)] < gamma) {
-      cert.certified = false;
+  WorkflowBatchOptions opts;
+  opts.num_threads = 1;  // a single certificate has nothing to fan out
+  WorkflowBatchResult batch =
+      CertifyWorkflowBatch(workflow, {{hidden, gamma}}, opts);
+  return std::move(batch.entries.front().certificate);
+}
+
+WorkflowBatchResult CertifyWorkflowBatch(
+    const Workflow& workflow,
+    const std::vector<WorkflowCertificationRequest>& requests,
+    const WorkflowBatchOptions& opts) {
+  WorkflowBatchResult result;
+  const int n = workflow.num_modules();
+  result.entries.resize(requests.size());
+  const std::vector<int> private_modules = workflow.PrivateModuleIndices();
+  const int max_threads = opts.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                                : std::max(1, opts.num_threads);
+
+  // Per-request per-module standalone Γ; public modules carry no
+  // requirement and report INT64_MAX (as PerModuleStandaloneGamma does).
+  std::vector<std::vector<int64_t>> gammas(
+      requests.size(),
+      std::vector<int64_t>(static_cast<size_t>(n),
+                           std::numeric_limits<int64_t>::max()));
+
+  // One worker per private module: materialize its relation once and share
+  // one SafetyMemo across every request, so hidden sets inducing the same
+  // projection on the module answer from the cache.
+  std::vector<SafeSearchStats> module_stats(private_modules.size());
+  auto run_module = [&](size_t mi) {
+    const int m_index = private_modules[mi];
+    SafetyMemo memo(workflow.module(m_index));
+    for (size_t r = 0; r < requests.size(); ++r) {
+      gammas[r][static_cast<size_t>(m_index)] =
+          memo.MaxGamma(requests[r].hidden, &module_stats[mi]);
     }
-    if (m.is_public() && m.AttrSet().Intersects(hidden)) {
-      cert.required_privatizations.push_back(i);
+  };
+  const int module_threads = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(max_threads), private_modules.size()));
+  if (module_threads <= 1) {
+    for (size_t mi = 0; mi < private_modules.size(); ++mi) run_module(mi);
+  } else {
+    ThreadPool pool(module_threads);
+    for (size_t mi = 0; mi < private_modules.size(); ++mi) {
+      pool.Submit([&run_module, mi] { run_module(mi); });
+    }
+    pool.Wait();
+  }
+  for (const SafeSearchStats& s : module_stats) result.stats.Accumulate(s);
+
+  for (size_t r = 0; r < requests.size(); ++r) {
+    PrivacyCertificate& cert = result.entries[r].certificate;
+    cert.module_gammas = std::move(gammas[r]);
+    cert.certified = true;
+    for (int i = 0; i < n; ++i) {
+      const Module& m = workflow.module(i);
+      if (!m.is_public() &&
+          cert.module_gammas[static_cast<size_t>(i)] < requests[r].gamma) {
+        cert.certified = false;
+      }
+      if (m.is_public() && m.AttrSet().Intersects(requests[r].hidden)) {
+        cert.required_privatizations.push_back(i);
+      }
     }
   }
-  return cert;
+
+  if (opts.with_ground_truth) {
+    for (int i : opts.visible_public_modules) {
+      PV_CHECK_MSG(workflow.module(i).is_public(),
+                   "module " << i << " is not public");
+    }
+    // One tables build for the whole batch; each request runs the pruned
+    // engine with the Γ short-circuit, sequentially inside its worker (the
+    // batch layer already owns the parallelism).
+    std::shared_ptr<const WorkflowTables> tables =
+        BuildWorkflowTables(workflow);
+    auto run_request = [&](size_t r) {
+      WorkflowEnumerationOptions wopts;
+      wopts.max_candidates = opts.max_candidates;
+      wopts.gamma = requests[r].gamma;
+      wopts.collect_distinct_relations = false;
+      wopts.num_threads = 1;
+      WorkflowWorlds worlds = EnumerateWorkflowWorlds(
+          *tables, requests[r].hidden.Complement(),
+          opts.visible_public_modules, wopts);
+      bool is_private = true;
+      if (!worlds.early_stopped) {
+        for (int i : private_modules) {
+          is_private = is_private && worlds.MinOutSize(i) >= requests[r].gamma;
+        }
+      }
+      result.entries[r].ground_truth_private = is_private;
+    };
+    const int request_threads = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(max_threads), requests.size()));
+    if (request_threads <= 1) {
+      for (size_t r = 0; r < requests.size(); ++r) run_request(r);
+    } else {
+      ThreadPool pool(request_threads);
+      for (size_t r = 0; r < requests.size(); ++r) {
+        pool.Submit([&run_request, r] { run_request(r); });
+      }
+      pool.Wait();
+    }
+  }
+  return result;
 }
 
 int64_t GroundTruthWorkflowGamma(const Workflow& workflow,

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "privacy/safety_memo.h"
 #include "workflow/workflow.h"
 
 namespace provview {
@@ -56,6 +57,57 @@ struct PrivacyCertificate {
 PrivacyCertificate CertifyWorkflowPrivacy(const Workflow& workflow,
                                           const Bitset64& hidden,
                                           int64_t gamma);
+
+/// One batch certification request: a candidate hidden attribute set and
+/// its privacy target Γ.
+struct WorkflowCertificationRequest {
+  Bitset64 hidden;   ///< V̄ over the catalog universe
+  int64_t gamma = 1;
+};
+
+/// Knobs of the batch certification driver.
+struct WorkflowBatchOptions {
+  /// Worker threads (0 = hardware concurrency). Certification parallelizes
+  /// over private modules; ground truth parallelizes over requests.
+  int num_threads = 0;
+  /// Additionally run the pruned possible-worlds engine per request with
+  /// the Γ short-circuit engaged (tiny workflows only), sharing one
+  /// WorkflowTables build across all requests.
+  bool with_ground_truth = false;
+  /// Public modules held fixed for the ground-truth enumeration
+  /// (Definition 4); ignored unless with_ground_truth.
+  std::vector<int> visible_public_modules;
+  /// Pruned-space budget for the ground-truth enumeration.
+  int64_t max_candidates = 40000000;
+};
+
+/// Per-request batch output.
+struct WorkflowBatchEntry {
+  PrivacyCertificate certificate;
+  /// Γ-privacy verdict from possible-worlds enumeration; meaningful only
+  /// when the batch ran with_ground_truth.
+  bool ground_truth_private = false;
+};
+
+struct WorkflowBatchResult {
+  std::vector<WorkflowBatchEntry> entries;  ///< aligned with the requests
+  /// Aggregated Algorithm-2 memo statistics: every private module keeps one
+  /// SafetyMemo across the whole batch, so requests whose hidden sets
+  /// induce the same projection on a module share one checker call.
+  SafeSearchStats stats;
+};
+
+/// Certifies many candidate hidden sets / Γ targets in one pass. Unlike
+/// calling CertifyWorkflowPrivacy per candidate — which re-materializes
+/// every module relation and re-runs Algorithm 2 from scratch each time —
+/// the batch driver materializes each private module's relation once,
+/// shares a per-module SafetyMemo across all requests, fans the per-module
+/// work out onto a thread pool, and (optionally) reuses one set of
+/// possible-worlds tables for every ground-truth enumeration.
+WorkflowBatchResult CertifyWorkflowBatch(
+    const Workflow& workflow,
+    const std::vector<WorkflowCertificationRequest>& requests,
+    const WorkflowBatchOptions& opts = {});
 
 /// Ground truth via brute-force world enumeration (tiny workflows only):
 /// min over private modules and their original inputs of |OUT_{x,W}|, with

@@ -1,7 +1,9 @@
 #include "secureview/from_workflow.h"
 
+#include <algorithm>
 #include <set>
 
+#include "common/thread_pool.h"
 #include "privacy/safe_subset_search.h"
 #include "privacy/workflow_privacy.h"
 
@@ -29,7 +31,64 @@ SecureViewInstance InstanceFromWorkflow(const Workflow& workflow,
   for (AttrId id = 0; id < catalog.size(); ++id) {
     inst.attr_cost.push_back(catalog.Cost(id));
   }
-  for (int i = 0; i < workflow.num_modules(); ++i) {
+  // Derive every private module's requirement list in parallel: one task
+  // per private module on a shared pool, each owning one SafetyMemo (its
+  // materialized relation plus verdict cache) for the whole derivation.
+  // Sequentially this shares nothing across modules and dominates instance
+  // construction on real workflows.
+  const int n = workflow.num_modules();
+  std::vector<std::vector<SetOption>> set_options(static_cast<size_t>(n));
+  std::vector<std::vector<CardOption>> card_options(static_cast<size_t>(n));
+  const std::vector<int> private_modules = workflow.PrivateModuleIndices();
+  auto derive = [&](int i) {
+    const Module& m = workflow.module(i);
+    const int64_t gamma = gammas[static_cast<size_t>(i)];
+    if (kind == ConstraintKind::kSet) {
+      SafetyMemo memo(m);
+      SafeSearchStats stats;
+      std::vector<Bitset64> minimal = MinimalSafeHiddenSets(
+          &memo, m.inputs(), m.outputs(), catalog.size(), gamma, &stats);
+      PV_CHECK_MSG(!minimal.empty(),
+                   "module " << m.name() << " cannot reach gamma " << gamma);
+      std::set<AttrId> in_set(m.inputs().begin(), m.inputs().end());
+      for (const Bitset64& hidden : minimal) {
+        SetOption option;
+        for (int a : hidden.ToVector()) {
+          if (in_set.count(a) != 0) {
+            option.hidden_inputs.push_back(a);
+          } else {
+            option.hidden_outputs.push_back(a);
+          }
+        }
+        set_options[static_cast<size_t>(i)].push_back(std::move(option));
+      }
+    } else {
+      std::vector<CardinalityPair> frontier =
+          MinimalSafeCardinalityPairs(m, gamma);
+      PV_CHECK_MSG(!frontier.empty(),
+                   "module " << m.name()
+                             << " has no safe cardinality pair for gamma "
+                             << gamma);
+      for (const CardinalityPair& p : frontier) {
+        card_options[static_cast<size_t>(i)].push_back(
+            CardOption{p.alpha, p.beta});
+      }
+    }
+  };
+  const int threads = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(ThreadPool::DefaultThreads()),
+      private_modules.size()));
+  if (threads <= 1) {
+    for (int i : private_modules) derive(i);
+  } else {
+    ThreadPool pool(threads);
+    for (int i : private_modules) {
+      pool.Submit([&derive, i] { derive(i); });
+    }
+    pool.Wait();
+  }
+
+  for (int i = 0; i < n; ++i) {
     const Module& m = workflow.module(i);
     SvModule spec;
     spec.name = m.name();
@@ -37,36 +96,8 @@ SecureViewInstance InstanceFromWorkflow(const Workflow& workflow,
     spec.outputs.assign(m.outputs().begin(), m.outputs().end());
     spec.is_public = m.is_public();
     spec.privatization_cost = m.is_public() ? m.privatization_cost() : 0.0;
-    if (!m.is_public()) {
-      const int64_t gamma = gammas[static_cast<size_t>(i)];
-      if (kind == ConstraintKind::kSet) {
-        std::vector<Bitset64> minimal = MinimalSafeHiddenSets(m, gamma);
-        PV_CHECK_MSG(!minimal.empty(),
-                     "module " << m.name() << " cannot reach gamma " << gamma);
-        std::set<AttrId> in_set(m.inputs().begin(), m.inputs().end());
-        for (const Bitset64& hidden : minimal) {
-          SetOption option;
-          for (int a : hidden.ToVector()) {
-            if (in_set.count(a) != 0) {
-              option.hidden_inputs.push_back(a);
-            } else {
-              option.hidden_outputs.push_back(a);
-            }
-          }
-          spec.set_options.push_back(std::move(option));
-        }
-      } else {
-        std::vector<CardinalityPair> frontier =
-            MinimalSafeCardinalityPairs(m, gamma);
-        PV_CHECK_MSG(!frontier.empty(),
-                     "module " << m.name()
-                               << " has no safe cardinality pair for gamma "
-                               << gamma);
-        for (const CardinalityPair& p : frontier) {
-          spec.card_options.push_back(CardOption{p.alpha, p.beta});
-        }
-      }
-    }
+    spec.set_options = std::move(set_options[static_cast<size_t>(i)]);
+    spec.card_options = std::move(card_options[static_cast<size_t>(i)]);
     inst.modules.push_back(std::move(spec));
   }
   Status st = inst.Validate();

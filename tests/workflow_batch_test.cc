@@ -1,0 +1,138 @@
+// Batch certification driver: CertifyWorkflowBatch must agree with the
+// one-at-a-time CertifyWorkflowPrivacy / GroundTruthWorkflowGamma paths
+// while actually sharing work (memo hits across requests), at any thread
+// count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "generators/families.h"
+#include "generators/random_workflow.h"
+#include "privacy/workflow_privacy.h"
+
+namespace provview {
+namespace {
+
+// Every subset of the workflow's used attributes as a hidden-set request.
+std::vector<WorkflowCertificationRequest> AllSubsetRequests(
+    const Workflow& workflow, int64_t gamma) {
+  const int universe = workflow.catalog()->size();
+  std::vector<int> used = workflow.used_attrs().ToVector();
+  std::vector<WorkflowCertificationRequest> requests;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << used.size()); ++mask) {
+    Bitset64 hidden(universe);
+    for (size_t b = 0; b < used.size(); ++b) {
+      if ((mask >> b) & 1u) hidden.Set(used[b]);
+    }
+    requests.push_back(WorkflowCertificationRequest{hidden, gamma});
+  }
+  return requests;
+}
+
+TEST(WorkflowBatchTest, MatchesPerRequestCertification) {
+  Rng rng(7);
+  RandomWorkflowOptions options;
+  options.num_modules = 3;
+  options.max_inputs = 2;
+  options.max_outputs = 1;
+  GeneratedWorkflow g = MakeRandomWorkflow(options, &rng);
+  std::vector<WorkflowCertificationRequest> requests =
+      AllSubsetRequests(*g.workflow, 2);
+
+  WorkflowBatchResult batch = CertifyWorkflowBatch(*g.workflow, requests);
+  ASSERT_EQ(batch.entries.size(), requests.size());
+  for (size_t r = 0; r < requests.size(); ++r) {
+    PrivacyCertificate single = CertifyWorkflowPrivacy(
+        *g.workflow, requests[r].hidden, requests[r].gamma);
+    const PrivacyCertificate& batched = batch.entries[r].certificate;
+    EXPECT_EQ(single.certified, batched.certified) << "request " << r;
+    EXPECT_EQ(single.module_gammas, batched.module_gammas) << "request " << r;
+    EXPECT_EQ(single.required_privatizations,
+              batched.required_privatizations)
+        << "request " << r;
+  }
+}
+
+TEST(WorkflowBatchTest, SharesVerdictsAcrossRequests) {
+  Rng rng(11);
+  RandomWorkflowOptions options;
+  options.num_modules = 2;
+  options.max_inputs = 2;
+  options.max_outputs = 1;
+  GeneratedWorkflow g = MakeRandomWorkflow(options, &rng);
+  std::vector<WorkflowCertificationRequest> requests =
+      AllSubsetRequests(*g.workflow, 2);
+
+  WorkflowBatchResult batch = CertifyWorkflowBatch(*g.workflow, requests);
+  // Each request touches every private module once; without sharing that
+  // would be |requests| × |private| checker calls. Hidden sets differing
+  // only outside a module's attributes (and projection-equal ones) must
+  // answer from the memo.
+  const int64_t lookups = batch.stats.checker_calls + batch.stats.cache_hits;
+  EXPECT_EQ(lookups,
+            static_cast<int64_t>(requests.size() *
+                                 g.workflow->PrivateModuleIndices().size()));
+  EXPECT_GT(batch.stats.cache_hits, 0);
+  EXPECT_LT(batch.stats.checker_calls, lookups / 2);
+  EXPECT_GT(batch.stats.HitRate(), 0.5);
+}
+
+TEST(WorkflowBatchTest, ThreadCountsAgree) {
+  Rng rng(13);
+  RandomWorkflowOptions options;
+  options.num_modules = 4;
+  options.max_inputs = 2;
+  options.max_outputs = 1;
+  GeneratedWorkflow g = MakeRandomWorkflow(options, &rng);
+  std::vector<WorkflowCertificationRequest> requests =
+      AllSubsetRequests(*g.workflow, 2);
+
+  WorkflowBatchOptions sequential;
+  sequential.num_threads = 1;
+  WorkflowBatchOptions parallel;
+  parallel.num_threads = 4;
+  WorkflowBatchResult a =
+      CertifyWorkflowBatch(*g.workflow, requests, sequential);
+  WorkflowBatchResult b = CertifyWorkflowBatch(*g.workflow, requests, parallel);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (size_t r = 0; r < a.entries.size(); ++r) {
+    EXPECT_EQ(a.entries[r].certificate.certified,
+              b.entries[r].certificate.certified);
+    EXPECT_EQ(a.entries[r].certificate.module_gammas,
+              b.entries[r].certificate.module_gammas);
+  }
+  EXPECT_EQ(a.stats.checker_calls, b.stats.checker_calls);
+}
+
+TEST(WorkflowBatchTest, GroundTruthMatchesSingleCalls) {
+  Rng rng(19);
+  Example7Chain chain = MakeExample7Chain(2, &rng);
+  const Module& priv = chain.workflow->module(chain.bijection_index);
+  Bitset64 input_hidden(chain.catalog->size());
+  for (AttrId id : priv.inputs()) input_hidden.Set(id);
+  Bitset64 nothing_hidden(chain.catalog->size());
+
+  std::vector<WorkflowCertificationRequest> requests = {
+      {input_hidden, 4}, {input_hidden, 1}, {nothing_hidden, 2}};
+  WorkflowBatchOptions opts;
+  opts.with_ground_truth = true;
+  opts.visible_public_modules = {chain.constant_index};
+  WorkflowBatchResult batch =
+      CertifyWorkflowBatch(*chain.workflow, requests, opts);
+  ASSERT_EQ(batch.entries.size(), requests.size());
+  for (size_t r = 0; r < requests.size(); ++r) {
+    const int64_t truth = GroundTruthWorkflowGamma(
+        *chain.workflow, requests[r].hidden, {chain.constant_index});
+    EXPECT_EQ(batch.entries[r].ground_truth_private,
+              truth >= requests[r].gamma)
+        << "request " << r;
+  }
+  // Example 7's point: standalone-certified but not workflow-private while
+  // the public constant stays visible.
+  EXPECT_TRUE(batch.entries[0].certificate.certified);
+  EXPECT_FALSE(batch.entries[0].ground_truth_private);
+}
+
+}  // namespace
+}  // namespace provview

@@ -1,0 +1,245 @@
+// Equivalence suite for the pruned/sharded workflow possible-worlds engine:
+// on randomized small workflows the optimized enumerator must return
+// byte-identical num_function_choices, num_distinct_relations and out_sets
+// to the retained naive joint odometer, with fixed (public) modules, under
+// thread sharding, and the Γ short-circuit must agree with the full walk.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/combinatorics.h"
+#include "common/rng.h"
+#include "generators/families.h"
+#include "generators/random_workflow.h"
+#include "module/module_library.h"
+#include "privacy/possible_worlds.h"
+
+namespace provview {
+namespace {
+
+RandomWorkflowOptions SmallOptions(int num_modules) {
+  RandomWorkflowOptions options;
+  options.num_modules = num_modules;
+  options.min_inputs = 1;
+  options.max_inputs = 2;
+  options.min_outputs = 1;
+  options.max_outputs = 1;
+  options.all_boolean = true;
+  return options;
+}
+
+// A random hidden subset of the workflow's used attributes.
+Bitset64 RandomVisible(const Workflow& workflow, Rng* rng, double p_visible) {
+  Bitset64 visible(workflow.catalog()->size());
+  for (int a = 0; a < workflow.catalog()->size(); ++a) {
+    if (rng->NextBernoulli(p_visible)) visible.Set(a);
+  }
+  return visible;
+}
+
+// The naive joint space ∏ |Range_i|^{|Dom_i|} over free modules, so tests
+// can skip instances out of the reference implementation's reach.
+int64_t NaiveJoint(const Workflow& workflow,
+                   const std::vector<int>& fixed_modules) {
+  std::vector<bool> fixed(static_cast<size_t>(workflow.num_modules()), false);
+  for (int i : fixed_modules) fixed[static_cast<size_t>(i)] = true;
+  int64_t joint = 1;
+  for (int i = 0; i < workflow.num_modules(); ++i) {
+    if (fixed[static_cast<size_t>(i)]) continue;
+    const Module& m = workflow.module(i);
+    joint = SaturatingMul(joint,
+                          SaturatingPow(m.RangeSize(),
+                                        static_cast<int>(m.DomainSize())));
+  }
+  return joint;
+}
+
+void ExpectIdentical(const WorkflowWorlds& naive, const WorkflowWorlds& fast,
+                     uint64_t seed) {
+  EXPECT_EQ(naive.num_function_choices, fast.num_function_choices)
+      << "seed " << seed;
+  EXPECT_EQ(naive.num_distinct_relations, fast.num_distinct_relations)
+      << "seed " << seed;
+  ASSERT_EQ(naive.out_sets.size(), fast.out_sets.size()) << "seed " << seed;
+  for (size_t i = 0; i < naive.out_sets.size(); ++i) {
+    EXPECT_EQ(naive.out_sets[i], fast.out_sets[i])
+        << "seed " << seed << " module " << i;
+    EXPECT_EQ(naive.MinOutSize(static_cast<int>(i)),
+              fast.MinOutSize(static_cast<int>(i)))
+        << "seed " << seed << " module " << i;
+  }
+}
+
+TEST(WorkflowWorldsEquivalenceTest, RandomizedWorkflowsMatchNaive) {
+  int checked = 0;
+  for (uint64_t seed = 1; seed <= 40 && checked < 20; ++seed) {
+    Rng rng(seed * 77 + 3);
+    GeneratedWorkflow g =
+        MakeRandomWorkflow(SmallOptions(seed % 2 == 0 ? 2 : 3), &rng);
+    if (NaiveJoint(*g.workflow, {}) > (1 << 16)) continue;
+    Bitset64 visible = RandomVisible(*g.workflow, &rng, 0.5);
+    WorkflowWorlds naive =
+        EnumerateWorkflowWorldsNaive(*g.workflow, visible, {});
+    WorkflowWorlds fast = EnumerateWorkflowWorlds(*g.workflow, visible, {});
+    ExpectIdentical(naive, fast, seed);
+    EXPECT_LE(fast.pruned_candidates, fast.naive_candidates) << "seed " << seed;
+    EXPECT_FALSE(fast.early_stopped);
+    ++checked;
+  }
+  EXPECT_GE(checked, 10);  // the generator must yield enough small instances
+}
+
+TEST(WorkflowWorldsEquivalenceTest, FixedModulesMatchNaive) {
+  int checked = 0;
+  for (uint64_t seed = 100; seed <= 140 && checked < 12; ++seed) {
+    Rng rng(seed * 131 + 7);
+    GeneratedWorkflow g = MakeRandomWorkflow(SmallOptions(3), &rng);
+    // Fix a random module (Definition 4's public-module constraint).
+    const int fixed_index =
+        static_cast<int>(rng.NextBelow(static_cast<uint64_t>(
+            g.workflow->num_modules())));
+    g.workflow->mutable_module(fixed_index)->set_public(true);
+    if (NaiveJoint(*g.workflow, {fixed_index}) > (1 << 16)) continue;
+    Bitset64 visible = RandomVisible(*g.workflow, &rng, 0.5);
+    WorkflowWorlds naive = EnumerateWorkflowWorldsNaive(
+        *g.workflow, visible, {fixed_index});
+    WorkflowWorlds fast =
+        EnumerateWorkflowWorlds(*g.workflow, visible, {fixed_index});
+    ExpectIdentical(naive, fast, seed);
+    ++checked;
+  }
+  EXPECT_GE(checked, 6);
+}
+
+TEST(WorkflowWorldsEquivalenceTest, ParallelShardsMatchSequential) {
+  for (uint64_t seed = 200; seed < 210; ++seed) {
+    Rng rng(seed * 17 + 1);
+    GeneratedWorkflow g = MakeRandomWorkflow(SmallOptions(2), &rng);
+    if (NaiveJoint(*g.workflow, {}) > (1 << 16)) continue;
+    Bitset64 visible = RandomVisible(*g.workflow, &rng, 0.5);
+    WorkflowEnumerationOptions sequential;
+    sequential.num_threads = 1;
+    WorkflowEnumerationOptions parallel;
+    parallel.num_threads = 4;
+    parallel.min_parallel_candidates = 0;  // force the pool even when tiny
+    WorkflowWorlds a =
+        EnumerateWorkflowWorlds(*g.workflow, visible, {}, sequential);
+    WorkflowWorlds b =
+        EnumerateWorkflowWorlds(*g.workflow, visible, {}, parallel);
+    ExpectIdentical(a, b, seed);
+  }
+}
+
+TEST(WorkflowWorldsEquivalenceTest, SharedTablesMatchFreshTables) {
+  Rng rng(42);
+  GeneratedWorkflow g = MakeRandomWorkflow(SmallOptions(2), &rng);
+  auto tables = BuildWorkflowTables(*g.workflow);
+  WorkflowEnumerationOptions opts;
+  for (uint64_t seed = 300; seed < 306; ++seed) {
+    Rng vis_rng(seed);
+    Bitset64 visible = RandomVisible(*g.workflow, &vis_rng, 0.5);
+    WorkflowWorlds shared =
+        EnumerateWorkflowWorlds(*tables, visible, {}, opts);
+    WorkflowWorlds fresh = EnumerateWorkflowWorlds(*g.workflow, visible, {});
+    ExpectIdentical(fresh, shared, seed);
+  }
+}
+
+TEST(WorkflowWorldsEquivalenceTest, GammaShortCircuitAgreesWithFullWalk) {
+  for (uint64_t seed = 400; seed < 412; ++seed) {
+    Rng rng(seed * 29 + 11);
+    GeneratedWorkflow g = MakeRandomWorkflow(SmallOptions(2), &rng);
+    if (NaiveJoint(*g.workflow, {}) > (1 << 16)) continue;
+    Bitset64 visible = RandomVisible(*g.workflow, &rng, 0.5);
+    WorkflowWorlds full = EnumerateWorkflowWorlds(*g.workflow, visible, {});
+    int64_t min_out = std::numeric_limits<int64_t>::max();
+    for (int i = 0; i < g.workflow->num_modules(); ++i) {
+      min_out = std::min(min_out, full.MinOutSize(i));
+    }
+    for (int64_t gamma : {int64_t{1}, int64_t{2}, int64_t{3}}) {
+      WorkflowEnumerationOptions opts;
+      opts.gamma = gamma;
+      opts.collect_distinct_relations = false;
+      WorkflowWorlds early =
+          EnumerateWorkflowWorlds(*g.workflow, visible, {}, opts);
+      bool early_verdict = early.early_stopped;
+      if (!early_verdict) {
+        early_verdict = true;
+        for (int i = 0; i < g.workflow->num_modules(); ++i) {
+          early_verdict = early_verdict && early.MinOutSize(i) >= gamma;
+        }
+      }
+      EXPECT_EQ(min_out >= gamma, early_verdict)
+          << "seed " << seed << " gamma " << gamma;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// The E-family instances (the bench workloads) pin down the exact shapes
+// the speedup claims are made on.
+// ---------------------------------------------------------------------
+
+TEST(WorkflowWorldsEquivalenceTest, Prop2ChainMatchesNaive) {
+  Prop2Chain chain = MakeProp2Chain(2);
+  Bitset64 hidden = Bitset64::Of(6, {2});  // one intermediate bit
+  Bitset64 visible = hidden.Complement();
+  WorkflowWorlds naive =
+      EnumerateWorkflowWorldsNaive(*chain.workflow, visible, {});
+  WorkflowWorlds fast = EnumerateWorkflowWorlds(*chain.workflow, visible, {});
+  ExpectIdentical(naive, fast, 0);
+  // m1 is fed by initial inputs only, so its slots are pruned.
+  EXPECT_LT(fast.pruned_candidates, fast.naive_candidates);
+}
+
+TEST(WorkflowWorldsEquivalenceTest, Example7FixedConstantPrunesToOriginal) {
+  Rng rng(9);
+  Example7Chain chain = MakeExample7Chain(2, &rng);
+  // Hide the private bijection's inputs; keep the public constant fixed.
+  Bitset64 hidden(chain.catalog->size());
+  for (AttrId id : chain.workflow->module(chain.bijection_index).inputs()) {
+    hidden.Set(id);
+  }
+  Bitset64 visible = hidden.Complement();
+  WorkflowWorlds naive = EnumerateWorkflowWorldsNaive(
+      *chain.workflow, visible, {chain.constant_index});
+  WorkflowWorlds fast = EnumerateWorkflowWorlds(*chain.workflow, visible,
+                                                {chain.constant_index});
+  ExpectIdentical(naive, fast, 0);
+  // The bijection inherits determined inputs through the fixed constant:
+  // only one domain point is ever reached and its visible output is forced,
+  // so the walk collapses to a single candidate.
+  EXPECT_EQ(fast.pruned_candidates, 1);
+  EXPECT_GT(fast.naive_candidates, fast.pruned_candidates);
+}
+
+TEST(WorkflowWorldsEquivalenceTest, Example7FreeChainsMatchNaive) {
+  Rng rng(13);
+  Example7Chain in_chain = MakeExample7Chain(2, &rng);
+  Example7OutputChain out_chain = MakeExample7OutputChain(2, &rng);
+  for (const Workflow* w :
+       {in_chain.workflow.get(), out_chain.workflow.get()}) {
+    // Hide the intermediate attributes; both modules free.
+    Bitset64 hidden(w->catalog()->size());
+    for (AttrId id : w->module(1).inputs()) hidden.Set(id);
+    Bitset64 visible = hidden.Complement();
+    WorkflowWorlds naive = EnumerateWorkflowWorldsNaive(*w, visible, {});
+    WorkflowWorlds fast = EnumerateWorkflowWorlds(*w, visible, {});
+    ExpectIdentical(naive, fast, 0);
+  }
+}
+
+TEST(WorkflowWorldsEquivalenceTest, AllModulesFixedSingleWorld) {
+  Prop2Chain chain = MakeProp2Chain(1);
+  Bitset64 visible = Bitset64::Of(3, {0, 2});
+  WorkflowWorlds naive =
+      EnumerateWorkflowWorldsNaive(*chain.workflow, visible, {0, 1});
+  WorkflowWorlds fast =
+      EnumerateWorkflowWorlds(*chain.workflow, visible, {0, 1});
+  ExpectIdentical(naive, fast, 0);
+  EXPECT_EQ(fast.num_function_choices, 1);
+  EXPECT_EQ(fast.num_distinct_relations, 1);
+}
+
+}  // namespace
+}  // namespace provview
