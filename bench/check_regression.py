@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Bench-regression guard for CI.
+
+Compares a freshly produced BENCH_possible_worlds.json against the
+committed baseline and fails (exit 1) if either engine's min speedup
+dropped below half the committed value. Stdlib only.
+
+Usage: check_regression.py <baseline.json> <fresh.json>
+"""
+import json
+import sys
+
+THRESHOLD = 0.5
+
+# (label, keys tried in order — older baselines only carry the e1c_ name)
+METRICS = [
+    ("standalone_min_speedup_x", ("standalone_min_speedup_x", "e1c_min_speedup_x")),
+    ("workflow_min_speedup_x", ("workflow_min_speedup_x",)),
+]
+
+
+def pick(doc, keys):
+    for key in keys:
+        value = doc.get(key)
+        if isinstance(value, (int, float)):
+            return float(value)
+    return None
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        fresh = json.load(f)
+
+    failures = []
+    for label, keys in METRICS:
+        base = pick(baseline, keys)
+        new = pick(fresh, keys)
+        if base is None:
+            print(f"[bench-regression] {label}: no committed baseline, skipping")
+            continue
+        if new is None:
+            failures.append(f"{label}: fresh run produced no value (baseline {base:.1f}x)")
+            continue
+        floor = THRESHOLD * base
+        verdict = "OK" if new >= floor else "REGRESSION"
+        print(
+            f"[bench-regression] {label}: fresh {new:.1f}x vs baseline "
+            f"{base:.1f}x (floor {floor:.1f}x) -> {verdict}"
+        )
+        if new < floor:
+            failures.append(f"{label}: {new:.1f}x < floor {floor:.1f}x")
+
+    if failures:
+        print("[bench-regression] FAILED:", "; ".join(failures), file=sys.stderr)
+        return 1
+    print("[bench-regression] all speedups within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,8 @@
 # Runs the possible-worlds benches and emits a JSON timing record
 # (BENCH_possible_worlds.json) so successive PRs can track the perf
 # trajectory. Usage: bench/run_benches.sh [build_dir] [output.json]
+# BENCH_SHORT=1 runs the short mode (shrunken E1e streaming spaces) used by
+# the CI bench-regression smoke step.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -18,17 +20,30 @@ done
 
 now_s() { date +%s.%N; }
 
+if [[ "${BENCH_SHORT:-0}" == "1" ]]; then
+  export PODS_BENCH_SHORT=1
+fi
+
 echo "== bench_possible_worlds =="
 PW_LOG="$(mktemp)"
 PW_T0="$(now_s)"
 "${BUILD_DIR}/bench_possible_worlds" | tee "${PW_LOG}"
 PW_T1="$(now_s)"
 PW_SECONDS="$(awk -v a="${PW_T0}" -v b="${PW_T1}" 'BEGIN{printf "%.3f", b-a}')"
+# Each extraction tolerates a missing pattern (`|| true`): under
+# `set -eo pipefail` a failed grep would otherwise kill the script before
+# the JSON's :-null fallbacks ever ran.
 # "min speedup 123.4x (...)" from the E1c summary line (exclude the E1d
 # workflow line, which also contains "min speedup").
-PW_MIN_SPEEDUP="$(grep -v 'workflow min speedup' "${PW_LOG}" | grep -o 'min speedup [0-9.]*' | awk '{print $3}' | head -1)"
+PW_MIN_SPEEDUP="$(grep -v 'workflow min speedup' "${PW_LOG}" | grep -o 'min speedup [0-9.]*' | awk '{print $3}' | head -1 || true)"
 # "workflow min speedup 45.6x (...)" from the E1d summary line.
-PW_WF_MIN_SPEEDUP="$(grep -o 'workflow min speedup [0-9.]*' "${PW_LOG}" | awk '{print $4}' | head -1)"
+PW_WF_MIN_SPEEDUP="$(grep -o 'workflow min speedup [0-9.]*' "${PW_LOG}" | awk '{print $4}' | head -1 || true)"
+# E1e streaming-certification summary lines.
+E1E_ROWS="$(grep -o 'E1e standalone: rows=[0-9]*' "${PW_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+E1E_GAMMA="$(grep -o 'E1e standalone: rows=[0-9]* gamma=[0-9]*' "${PW_LOG}" | awk -F= '{print $3}' | head -1 || true)"
+E1E_MS="$(grep -o 'E1e standalone: .* stream_ms=[0-9.]*' "${PW_LOG}" | awk -F= '{print $NF}' | head -1 || true)"
+E1E_WF_EXECS="$(grep -o 'E1e workflow: execs=[0-9]*' "${PW_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+E1E_WF_MS="$(grep -o 'E1e workflow: .* stream_ms=[0-9.]*' "${PW_LOG}" | awk -F= '{print $NF}' | head -1 || true)"
 rm -f "${PW_LOG}"
 
 echo "== bench_standalone (world-walk benchmarks) =="
@@ -41,14 +56,24 @@ SA_SECONDS="$(awk -v a="${SA_T0}" -v b="${SA_T1}" 'BEGIN{printf "%.3f", b-a}')"
 
 GIT_REV="$(git -C "${REPO_ROOT}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
+# standalone_min_speedup_x duplicates e1c_min_speedup_x under the name the
+# CI bench-regression guard reads; the old key stays for trajectory
+# continuity with earlier PRs.
 cat >"${OUT}" <<EOF
 {
   "date_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
   "git_rev": "${GIT_REV}",
   "host_threads": $(nproc),
+  "short_mode": ${BENCH_SHORT:-0},
   "bench_possible_worlds_seconds": ${PW_SECONDS},
   "e1c_min_speedup_x": ${PW_MIN_SPEEDUP:-null},
+  "standalone_min_speedup_x": ${PW_MIN_SPEEDUP:-null},
   "workflow_min_speedup_x": ${PW_WF_MIN_SPEEDUP:-null},
+  "e1e_stream_rows": ${E1E_ROWS:-null},
+  "e1e_stream_gamma": ${E1E_GAMMA:-null},
+  "e1e_stream_ms": ${E1E_MS:-null},
+  "e1e_workflow_execs": ${E1E_WF_EXECS:-null},
+  "e1e_workflow_stream_ms": ${E1E_WF_MS:-null},
   "bench_standalone_worldwalk_seconds": ${SA_SECONDS},
   "bench_standalone_detail": "${BUILD_DIR}/bench_standalone_worldwalk.json"
 }

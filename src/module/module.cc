@@ -65,6 +65,15 @@ Relation Module::FullRelation(int64_t max_rows) const {
   return rel;
 }
 
+RelationView Module::View(int64_t materialize_threshold) const {
+  if (DomainSize() <= materialize_threshold) {
+    return RelationView::Materialized(FullRelation(materialize_threshold));
+  }
+  return RelationView::Streaming(
+      FullSchema(), DomainSize(),
+      [this] { return std::make_unique<ModuleRowSupplier>(*this); });
+}
+
 Relation Module::RelationOn(const std::vector<Tuple>& input_tuples) const {
   Relation rel(FullSchema());
   for (const Tuple& in : input_tuples) {
@@ -87,6 +96,38 @@ bool Module::IsInjective(int64_t max_domain) const {
     if (!images.insert(Eval(counter.values())).second) return false;
   } while (counter.Advance());
   return true;
+}
+
+ModuleRowSupplier::ModuleRowSupplier(const Module& module)
+    : module_(&module),
+      schema_(module.FullSchema()),
+      counter_(module.InputSchema().DomainSizes()) {}
+
+void ModuleRowSupplier::Reset() {
+  counter_.Reset();
+  exhausted_ = false;
+}
+
+int64_t ModuleRowSupplier::NextBlock(std::vector<Value>* block,
+                                     int64_t max_rows) {
+  PV_CHECK_MSG(max_rows > 0, "block size must be positive");
+  block->clear();
+  if (exhausted_) return 0;
+  block->reserve(static_cast<size_t>(
+      std::min<int64_t>(max_rows, module_->DomainSize()) * schema_.arity()));
+  int64_t count = 0;
+  while (count < max_rows) {
+    const Tuple& in = counter_.values();
+    Tuple out = module_->Eval(in);
+    block->insert(block->end(), in.begin(), in.end());
+    block->insert(block->end(), out.begin(), out.end());
+    ++count;
+    if (!counter_.Advance()) {
+      exhausted_ = true;
+      break;
+    }
+  }
+  return count;
 }
 
 }  // namespace provview

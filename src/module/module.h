@@ -12,7 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "common/combinatorics.h"
 #include "relation/relation.h"
+#include "relation/row_supplier.h"
 
 namespace provview {
 
@@ -66,9 +68,22 @@ class Module {
   /// |Range| = ∏_{a∈O} |Δ_a| (saturating).
   int64_t RangeSize() const { return OutputSchema().ProductSpaceSize(); }
 
+  /// Largest |Dom| FullRelation / View materialize eagerly by default; the
+  /// 2^22 wall the streaming suppliers exist to pass.
+  static constexpr int64_t kDefaultMaterializeRows = int64_t{1} << 22;
+
   /// Materializes the module relation over the full input domain: one row
   /// (x, m(x)) per x ∈ Dom. Requires |Dom| <= max_rows (guards blowup).
-  Relation FullRelation(int64_t max_rows = 1 << 22) const;
+  Relation FullRelation(int64_t max_rows = kDefaultMaterializeRows) const;
+
+  /// RelationView over the module relation. Domains of at most
+  /// `materialize_threshold` rows materialize eagerly (the small-domain fast
+  /// case); larger domains stream rows in blocks straight from Eval(), so
+  /// certification is no longer capped by the materialization guard. Both
+  /// backends yield rows in the same domain (odometer) order. The view
+  /// borrows this module; keep it alive while the view is in use.
+  RelationView View(
+      int64_t materialize_threshold = kDefaultMaterializeRows) const;
 
   /// Materializes the module relation on the given inputs only (a partial
   /// execution log).
@@ -88,6 +103,25 @@ class Module {
 };
 
 using ModulePtr = std::unique_ptr<Module>;
+
+/// RowSupplier streaming (x, m(x)) rows in domain order from the module's
+/// function, one mixed-radix odometer block at a time — the streaming
+/// backend of Module::View(). Borrows the module.
+class ModuleRowSupplier : public RowSupplier {
+ public:
+  explicit ModuleRowSupplier(const Module& module);
+
+  const Schema& schema() const override { return schema_; }
+  int64_t total_rows() const override { return module_->DomainSize(); }
+  void Reset() override;
+  int64_t NextBlock(std::vector<Value>* block, int64_t max_rows) override;
+
+ private:
+  const Module* module_;
+  Schema schema_;  // inputs then outputs
+  MixedRadixCounter counter_;  // domain odometer, FullRelation's row order
+  bool exhausted_ = false;
+};
 
 /// Module defined by an arbitrary function object. The workhorse for the
 /// boolean-gate library and for the flip-world construction (Lemma 1),

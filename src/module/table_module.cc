@@ -51,7 +51,7 @@ ModulePtr TableModule::Materialize(const Module& m) {
 }
 
 Tuple TableModule::Eval(const Tuple& input) const {
-  ++supplier_calls_;
+  supplier_calls_.fetch_add(1, std::memory_order_relaxed);
   auto it = table_.find(input);
   PV_CHECK_MSG(it != table_.end(),
                "module " << name() << " undefined on requested input");

@@ -6,6 +6,7 @@
 #ifndef PROVVIEW_MODULE_TABLE_MODULE_H_
 #define PROVVIEW_MODULE_TABLE_MODULE_H_
 
+#include <atomic>
 #include <map>
 #include <string>
 #include <vector>
@@ -41,13 +42,18 @@ class TableModule : public Module {
   std::vector<Tuple> DefinedInputs() const;
 
   /// Number of Eval() lookups served so far (the paper's data-supplier call
-  /// count; Theorem 1 lower-bounds this by Ω(N)).
-  int64_t supplier_calls() const { return supplier_calls_; }
-  void ResetSupplierCalls() { supplier_calls_ = 0; }
+  /// count; Theorem 1 lower-bounds this by Ω(N)). Atomic: the sharded
+  /// streaming scans evaluate modules from several threads at once.
+  int64_t supplier_calls() const {
+    return supplier_calls_.load(std::memory_order_relaxed);
+  }
+  void ResetSupplierCalls() {
+    supplier_calls_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   std::map<Tuple, Tuple> table_;
-  mutable int64_t supplier_calls_ = 0;
+  mutable std::atomic<int64_t> supplier_calls_{0};
 };
 
 }  // namespace provview

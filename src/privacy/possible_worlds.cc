@@ -10,6 +10,7 @@
 #include "common/combinatorics.h"
 #include "common/interner.h"
 #include "common/thread_pool.h"
+#include "workflow/execution_supplier.h"
 
 namespace provview {
 
@@ -179,13 +180,62 @@ StandaloneWorlds EnumerateStandaloneWorlds(const Relation& rel,
                                            const std::vector<AttrId>& outputs,
                                            const Bitset64& visible,
                                            const EnumerationOptions& opts) {
-  StandaloneWorlds result;
-  const AttributeCatalog& catalog = *rel.schema().catalog();
+  MaterializedRowSupplier rows(rel);
+  return EnumerateStandaloneWorlds(&rows, inputs, outputs, visible, opts);
+}
 
-  // Distinct inputs of R as dense ids (the relation interning hook); slot i
-  // owns input xs[i].
+StandaloneWorlds EnumerateStandaloneWorlds(RowSupplier* rows,
+                                           const std::vector<AttrId>& inputs,
+                                           const std::vector<AttrId>& outputs,
+                                           const Bitset64& visible,
+                                           const EnumerationOptions& opts) {
+  StandaloneWorlds result;
+  const Schema& row_schema = rows->schema();
+  const AttributeCatalog& catalog = *row_schema.catalog();
+
+  const std::vector<int> vis_in_pos = VisiblePositions(inputs, visible);
+  const std::vector<int> vis_out_pos = VisiblePositions(outputs, visible);
+
+  // Row positions of the module attributes within the supplier's schema.
+  std::vector<int> in_pos, out_pos;
+  for (AttrId id : inputs) {
+    const int p = row_schema.PositionOf(id);
+    PV_CHECK_MSG(p >= 0, "supplier schema misses input attr " << id);
+    in_pos.push_back(p);
+  }
+  for (AttrId id : outputs) {
+    const int p = row_schema.PositionOf(id);
+    PV_CHECK_MSG(p >= 0, "supplier schema misses output attr " << id);
+    out_pos.push_back(p);
+  }
+
+  // One streaming pass interning (a) the distinct inputs of R — slot i owns
+  // input TupleOf(i) — and (b) the target view: every distinct
+  // (vis_in ++ vis_out) projection, as dense target ids.
   TupleInterner input_interner;
-  rel.InternProjectedRows(inputs, &input_interner);
+  TupleInterner target_interner;
+  {
+    std::vector<Value> block;
+    const size_t arity = static_cast<size_t>(row_schema.arity());
+    Tuple x(inputs.size()), v;
+    rows->Reset();
+    int64_t got;
+    while ((got = rows->NextBlock(&block)) > 0) {
+      for (int64_t r = 0; r < got; ++r) {
+        const Value* row = &block[static_cast<size_t>(r) * arity];
+        for (size_t j = 0; j < in_pos.size(); ++j) {
+          x[j] = row[in_pos[j]];
+        }
+        input_interner.Intern(x);
+        v.clear();
+        for (int p : vis_in_pos) v.push_back(x[static_cast<size_t>(p)]);
+        for (int p : vis_out_pos) {
+          v.push_back(row[out_pos[static_cast<size_t>(p)]]);
+        }
+        target_interner.Intern(v);
+      }
+    }
+  }
   const int n = input_interner.size();
   if (n == 0) return result;
 
@@ -202,22 +252,6 @@ StandaloneWorlds EnumerateStandaloneWorlds(const Relation& rel,
   PV_CHECK_MSG(range <= opts.max_candidates,
                "standalone world space too large: output range " << range);
   result.naive_candidates = SaturatingPow(range, n);
-
-  const std::vector<int> vis_in_pos = VisiblePositions(inputs, visible);
-  const std::vector<int> vis_out_pos = VisiblePositions(outputs, visible);
-
-  // Target view: every distinct (vis_in ++ vis_out) projection of R,
-  // interned to dense target ids.
-  TupleInterner target_interner;
-  for (const Tuple& row : rel.SortedDistinctRows()) {
-    Tuple x = rel.ProjectRow(row, inputs);
-    Tuple y = rel.ProjectRow(row, outputs);
-    Tuple v;
-    v.reserve(vis_in_pos.size() + vis_out_pos.size());
-    for (int p : vis_in_pos) v.push_back(x[static_cast<size_t>(p)]);
-    for (int p : vis_out_pos) v.push_back(y[static_cast<size_t>(p)]);
-    target_interner.Intern(v);
-  }
 
   // Visible-output fragment of every output code, computed once and shared
   // by all slots' feasibility scans.
@@ -410,6 +444,14 @@ int64_t WorkflowWorlds::MinOutSize(int module_index) const {
 
 std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
     const Workflow& workflow, int64_t max_executions) {
+  WorkflowTablesOptions opts;
+  opts.max_executions = max_executions;
+  opts.materialize_threshold = max_executions;
+  return BuildWorkflowTables(workflow, opts);
+}
+
+std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
+    const Workflow& workflow, const WorkflowTablesOptions& opts) {
   auto t = std::make_shared<WorkflowTables>();
   t->workflow = &workflow;
   const AttributeCatalog& catalog = *workflow.catalog();
@@ -427,6 +469,11 @@ std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
   t->range_size.assign(static_cast<size_t>(n), 1);
   t->original_fn.resize(static_cast<size_t>(n));
   t->orig_input_codes.resize(static_cast<size_t>(n));
+  // One shared execution plan for the whole build: its per-module function
+  // sweeps run once (not per shard, never concurrently) and double as the
+  // source of original_fn below.
+  std::shared_ptr<const ExecutionPlan> plan =
+      ExecutionSupplier::MakePlan(workflow);
   for (int i = 0; i < n; ++i) {
     const size_t si = static_cast<size_t>(i);
     const Module& m = workflow.module(i);
@@ -449,15 +496,11 @@ std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
     t->range_size[si] = range;
     PV_CHECK_MSG(dom <= (1 << 20) && range <= std::numeric_limits<int>::max(),
                  "module " << m.name() << " too large for world enumeration");
-    t->original_fn[si].resize(static_cast<size_t>(dom));
-    MixedRadixCounter dom_counter(t->in_radices[si]);
-    int64_t code = 0;
-    do {
-      Tuple out = m.Eval(dom_counter.values());
-      t->original_fn[si][static_cast<size_t>(code)] =
-          static_cast<int32_t>(EncodeMixedRadix(out, t->out_radices[si]));
-      ++code;
-    } while (dom_counter.Advance());
+    // The execution plan already swept this module's domain (same odometer
+    // order, same little-endian output encoding); reuse its table instead
+    // of running the full-domain Eval sweep a second time.
+    PV_CHECK(static_cast<int64_t>(plan->modules[si].fn.size()) == dom);
+    t->original_fn[si] = plan->modules[si].fn;
     const size_t n_out = t->out_attrs[si].size();
     t->out_values.emplace_back(static_cast<size_t>(range) * n_out);
     for (int64_t c = 0; c < range; ++c) {
@@ -474,58 +517,87 @@ std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
   }
   int64_t execs = 1;
   for (int r : t->init_radices) execs = SaturatingMul(execs, r);
-  PV_CHECK_MSG(execs <= max_executions,
+  PV_CHECK_MSG(execs <= opts.max_executions,
                "initial-input space too large for world enumeration: "
                    << execs);
   t->num_execs = execs;
   t->prov_ids = workflow.ProvenanceAttrIds();
+  t->log_materialized = execs <= opts.materialize_threshold;
 
-  // The original run: one execution per initial-input combination, the
-  // provenance row and per-module input codes of each.
+  // The original run, streamed from the initial-input odometer in
+  // chunk-sized blocks of provenance rows. At or below the materialization
+  // threshold the per-execution arrays (provenance row, per-module input
+  // code, initial values) are kept for the world walkers; beyond it only
+  // the per-module distinct input codes survive the scan. Shards own
+  // disjoint execution ranges (and disjoint slices of the per-execution
+  // arrays), so the parallel scan needs no synchronization beyond the
+  // final aggregate merge.
   const size_t prov_arity = t->prov_ids.size();
-  t->orig_rows.resize(static_cast<size_t>(execs) * prov_arity);
-  t->orig_in_code.resize(static_cast<size_t>(execs) * static_cast<size_t>(n));
-  std::vector<int32_t> values(static_cast<size_t>(t->num_attrs), -1);
   const std::vector<AttrId>& init_ids = workflow.initial_input_ids();
-  t->init_values.reserve(static_cast<size_t>(execs) * init_ids.size());
-  std::vector<std::set<int32_t>> in_code_sets(static_cast<size_t>(n));
-  MixedRadixCounter init_counter(t->init_radices);
-  int64_t e = 0;
-  do {
-    std::fill(values.begin(), values.end(), -1);
-    for (size_t k = 0; k < init_ids.size(); ++k) {
-      values[static_cast<size_t>(init_ids[k])] = init_counter.values()[k];
-      t->init_values.push_back(init_counter.values()[k]);
-    }
-    for (int mi : workflow.topo_order()) {
-      const size_t smi = static_cast<size_t>(mi);
-      int64_t in_code = 0;
-      for (size_t j = 0; j < t->in_attrs[smi].size(); ++j) {
-        in_code += static_cast<int64_t>(
-                       values[static_cast<size_t>(t->in_attrs[smi][j])]) *
-                   t->in_strides[smi][j];
+  const size_t num_init = init_ids.size();
+  if (t->log_materialized) {
+    t->orig_rows.resize(static_cast<size_t>(execs) * prov_arity);
+    t->orig_in_code.resize(static_cast<size_t>(execs) *
+                           static_cast<size_t>(n));
+    t->init_values.resize(static_cast<size_t>(execs) * num_init);
+  }
+  std::vector<int> init_pos;  // initial-input positions in the prov row
+  {
+    const Schema prov_schema = workflow.ProvenanceSchema();
+    for (AttrId id : init_ids) init_pos.push_back(prov_schema.PositionOf(id));
+  }
+
+  const int64_t chunk = std::max<int64_t>(1, opts.chunk_executions);
+  int threads = std::max(1, opts.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                                  : opts.num_threads);
+  const int shards = static_cast<int>(
+      std::min<int64_t>(threads, std::max<int64_t>(1, execs / chunk)));
+  std::vector<std::vector<std::set<int32_t>>> shard_codes(
+      static_cast<size_t>(shards),
+      std::vector<std::set<int32_t>>(static_cast<size_t>(n)));
+  auto scan = [&](int shard, int64_t begin, int64_t end) {
+    ExecutionSupplier supplier(plan, begin, end);
+    std::vector<std::set<int32_t>>& codes =
+        shard_codes[static_cast<size_t>(shard)];
+    std::vector<Value> block;
+    int64_t e = begin;
+    int64_t got;
+    while ((got = supplier.NextBlock(&block, chunk)) > 0) {
+      for (int64_t r = 0; r < got; ++r, ++e) {
+        const Value* row = &block[static_cast<size_t>(r) * prov_arity];
+        for (int i = 0; i < n; ++i) {
+          const int32_t in_code =
+              static_cast<int32_t>(supplier.InputCodeOf(row, i));
+          codes[static_cast<size_t>(i)].insert(in_code);
+          if (t->log_materialized) {
+            t->orig_in_code[static_cast<size_t>(e) * static_cast<size_t>(n) +
+                            static_cast<size_t>(i)] = in_code;
+          }
+        }
+        if (t->log_materialized) {
+          std::copy(row, row + prov_arity,
+                    &t->orig_rows[static_cast<size_t>(e) * prov_arity]);
+          for (size_t k = 0; k < num_init; ++k) {
+            t->init_values[static_cast<size_t>(e) * num_init + k] =
+                row[init_pos[k]];
+          }
+        }
       }
-      t->orig_in_code[static_cast<size_t>(e) * static_cast<size_t>(n) + smi] =
-          static_cast<int32_t>(in_code);
-      in_code_sets[smi].insert(static_cast<int32_t>(in_code));
-      const int32_t out_code =
-          t->original_fn[smi][static_cast<size_t>(in_code)];
-      for (size_t j = 0; j < t->out_attrs[smi].size(); ++j) {
-        values[static_cast<size_t>(t->out_attrs[smi][j])] =
-            static_cast<int32_t>((out_code / t->out_strides[smi][j]) %
-                                 t->out_radices[smi][j]);
-      }
     }
-    for (size_t p = 0; p < prov_arity; ++p) {
-      t->orig_rows[static_cast<size_t>(e) * prov_arity + p] =
-          values[static_cast<size_t>(t->prov_ids[p])];
-    }
-    ++e;
-  } while (init_counter.Advance());
+  };
+  if (shards <= 1) {
+    scan(0, 0, execs);
+  } else {
+    ThreadPool pool(shards);
+    pool.ShardedFor(execs, shards, scan);
+  }
   for (int i = 0; i < n; ++i) {
-    t->orig_input_codes[static_cast<size_t>(i)]
-        .assign(in_code_sets[static_cast<size_t>(i)].begin(),
-                in_code_sets[static_cast<size_t>(i)].end());
+    std::set<int32_t> merged;
+    for (int s = 0; s < shards; ++s) {
+      merged.merge(shard_codes[static_cast<size_t>(s)][static_cast<size_t>(i)]);
+    }
+    t->orig_input_codes[static_cast<size_t>(i)].assign(merged.begin(),
+                                                       merged.end());
   }
   return t;
 }
@@ -904,6 +976,9 @@ WorkflowWorlds EnumerateWorkflowWorlds(const WorkflowTables& tables,
                                        const std::vector<int>& fixed_modules,
                                        const WorkflowEnumerationOptions& opts) {
   WorkflowWorlds result;
+  PV_CHECK_MSG(tables.log_materialized,
+               "world enumeration needs a materialized execution log; "
+               "rebuild the tables with materialize_threshold >= num_execs");
   const Workflow& workflow = *tables.workflow;
   const int n = tables.num_modules;
   result.out_sets.resize(static_cast<size_t>(n));

@@ -23,6 +23,7 @@
 #include <set>
 #include <vector>
 
+#include "relation/row_supplier.h"
 #include "workflow/workflow.h"
 
 namespace provview {
@@ -71,6 +72,16 @@ struct StandaloneWorlds {
 /// Pruned + incremental + optionally parallel; aborts if the pruned space
 /// ∏_i |feasible_i| exceeds `opts.max_candidates`.
 StandaloneWorlds EnumerateStandaloneWorlds(const Relation& rel,
+                                           const std::vector<AttrId>& inputs,
+                                           const std::vector<AttrId>& outputs,
+                                           const Bitset64& visible,
+                                           const EnumerationOptions& opts);
+
+/// Core entry point: sources rows from any supplier (materialized table or
+/// module function), so the engine no longer requires an eagerly built
+/// FullRelation. The Relation overload above wraps the rows in a
+/// MaterializedRowSupplier and delegates here.
+StandaloneWorlds EnumerateStandaloneWorlds(RowSupplier* rows,
                                            const std::vector<AttrId>& inputs,
                                            const std::vector<AttrId>& outputs,
                                            const Bitset64& visible,
@@ -184,6 +195,12 @@ struct WorkflowTables {
   std::vector<int> init_radices;
   int64_t num_execs = 0;
   std::vector<AttrId> prov_ids;
+  /// True when the per-execution arrays below were materialized. Beyond the
+  /// materialization threshold the build streams executions in chunks and
+  /// keeps only the aggregates (orig_input_codes); world enumeration then
+  /// requires a rebuild with a larger threshold, but the aggregate tables
+  /// still serve batch certification and instance derivation.
+  bool log_materialized = false;
   /// Original provenance rows, flattened num_execs × prov_ids.size().
   std::vector<int32_t> orig_rows;
   /// Original input code of module i in execution e, flattened
@@ -193,8 +210,31 @@ struct WorkflowTables {
   std::vector<int32_t> init_values;
 };
 
-/// Precomputes the shared tables. `max_executions` bounds the initial-input
-/// product space (the execution count).
+/// Knobs of the workflow-tables build.
+struct WorkflowTablesOptions {
+  /// Hard budget on the initial-input product space (the execution count),
+  /// materialized or streamed.
+  int64_t max_executions = int64_t{1} << 22;
+  /// Execution logs of at most this many executions keep the per-execution
+  /// arrays (required by world enumeration); larger spaces stream the log
+  /// and keep aggregates only.
+  int64_t materialize_threshold = int64_t{1} << 22;
+  /// Executions per streamed chunk (the shard-sized unit of work).
+  int64_t chunk_executions = int64_t{1} << 16;
+  /// Worker threads for the streamed scan (0 = hardware concurrency). Each
+  /// shard owns its own ExecutionSupplier over a contiguous execution
+  /// range; per-shard aggregates merge deterministically.
+  int num_threads = 1;
+};
+
+/// Precomputes the shared tables, streaming the execution log from the
+/// initial-input odometer in chunk-sized blocks (one pass, optionally
+/// sharded over a thread pool).
+std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
+    const Workflow& workflow, const WorkflowTablesOptions& opts);
+
+/// Back-compat wrapper: materializes the log (as world enumeration needs)
+/// and refuses initial-input spaces beyond `max_executions`.
 std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
     const Workflow& workflow, int64_t max_executions = 1 << 22);
 

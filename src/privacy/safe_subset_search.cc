@@ -20,6 +20,24 @@ std::vector<AttrId> LocalAttrs(const std::vector<AttrId>& inputs,
   return attrs;
 }
 
+// Fills `result` with the cheapest of `minimal` under the catalog's
+// attribute costs (with non-negative costs the optimum over all safe sets
+// is attained at a minimal one).
+void PickMinCost(const std::vector<Bitset64>& minimal,
+                 const AttributeCatalog& catalog, MinCostSafeResult* result) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Bitset64& hidden : minimal) {
+    double cost = 0.0;
+    for (AttrId id : hidden.ToVector()) cost += catalog.Cost(id);
+    if (cost < best) {
+      best = cost;
+      result->hidden = hidden;
+      result->found = true;
+    }
+  }
+  if (result->found) result->cost = best;
+}
+
 }  // namespace
 
 std::vector<Bitset64> MinimalSafeHiddenSets(SafetyMemo* memo,
@@ -77,46 +95,53 @@ MinCostSafeResult MinCostSafeHiddenSet(const Relation& rel,
                                        const std::vector<AttrId>& outputs,
                                        int64_t gamma) {
   MinCostSafeResult result;
-  const AttributeCatalog& catalog = *rel.schema().catalog();
   std::vector<Bitset64> minimal =
       MinimalSafeHiddenSets(rel, inputs, outputs, gamma, &result.stats);
-  double best = std::numeric_limits<double>::infinity();
-  for (const Bitset64& hidden : minimal) {
-    double cost = 0.0;
-    for (AttrId id : hidden.ToVector()) cost += catalog.Cost(id);
-    if (cost < best) {
-      best = cost;
-      result.hidden = hidden;
-      result.found = true;
-    }
-  }
-  if (result.found) result.cost = best;
+  PickMinCost(minimal, *rel.schema().catalog(), &result);
   return result;
 }
 
 std::vector<Bitset64> MinimalSafeHiddenSets(const Module& module,
                                             int64_t gamma,
-                                            SafeSearchStats* stats) {
-  return MinimalSafeHiddenSets(module.FullRelation(), module.inputs(),
-                               module.outputs(), gamma, stats);
+                                            SafeSearchStats* stats,
+                                            int64_t materialize_threshold) {
+  SafeSearchStats local_stats;
+  SafetyMemo memo(module, materialize_threshold);
+  std::vector<Bitset64> minimal =
+      MinimalSafeHiddenSets(&memo, module.inputs(), module.outputs(),
+                            module.catalog()->size(), gamma, &local_stats);
+  if (stats != nullptr) *stats = local_stats;
+  return minimal;
 }
 
-MinCostSafeResult MinCostSafeHiddenSet(const Module& module, int64_t gamma) {
-  return MinCostSafeHiddenSet(module.FullRelation(), module.inputs(),
-                              module.outputs(), gamma);
+MinCostSafeResult MinCostSafeHiddenSet(const Module& module, int64_t gamma,
+                                       int64_t materialize_threshold) {
+  MinCostSafeResult result;
+  SafetyMemo memo(module, materialize_threshold);
+  std::vector<Bitset64> minimal =
+      MinimalSafeHiddenSets(&memo, module.inputs(), module.outputs(),
+                            module.catalog()->size(), gamma, &result.stats);
+  PickMinCost(minimal, *module.catalog(), &result);
+  return result;
 }
 
 std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
     const Relation& rel, const std::vector<AttrId>& inputs,
     const std::vector<AttrId>& outputs, int64_t gamma) {
+  SafetyMemo memo(rel, inputs, outputs);
+  return MinimalSafeCardinalityPairs(&memo, inputs, outputs,
+                                     rel.schema().catalog()->size(), gamma);
+}
+
+std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
+    SafetyMemo* memo, const std::vector<AttrId>& inputs,
+    const std::vector<AttrId>& outputs, int universe, int64_t gamma) {
   const int ni = static_cast<int>(inputs.size());
   const int no = static_cast<int>(outputs.size());
   PV_CHECK_MSG(ni + no <= 20, "cardinality search limited to k <= 20");
-  const int universe = rel.schema().catalog()->size();
 
   // safe_all[a][b] = every subset hiding exactly a inputs and b outputs is
   // safe. Initialize to true and AND over all subsets.
-  SafetyMemo memo(rel, inputs, outputs);
   SafeSearchStats memo_stats;
   std::vector<std::vector<bool>> safe_all(
       static_cast<size_t>(ni + 1),
@@ -135,7 +160,7 @@ std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
           for (int local : out_combo.ToVector()) {
             hidden.Set(outputs[static_cast<size_t>(local)]);
           }
-          if (!memo.IsSafe(hidden, gamma, &memo_stats)) {
+          if (!memo->IsSafe(hidden, gamma, &memo_stats)) {
             safe_all[static_cast<size_t>(a)][static_cast<size_t>(b)] = false;
             break;
           }
@@ -164,10 +189,11 @@ std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
   return frontier;
 }
 
-std::vector<CardinalityPair> MinimalSafeCardinalityPairs(const Module& module,
-                                                         int64_t gamma) {
-  return MinimalSafeCardinalityPairs(module.FullRelation(), module.inputs(),
-                                     module.outputs(), gamma);
+std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
+    const Module& module, int64_t gamma, int64_t materialize_threshold) {
+  SafetyMemo memo(module, materialize_threshold);
+  return MinimalSafeCardinalityPairs(&memo, module.inputs(), module.outputs(),
+                                     module.catalog()->size(), gamma);
 }
 
 }  // namespace provview

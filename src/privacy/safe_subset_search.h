@@ -51,11 +51,17 @@ MinCostSafeResult MinCostSafeHiddenSet(const Relation& rel,
                                        const std::vector<AttrId>& outputs,
                                        int64_t gamma);
 
-/// Convenience overloads over a module's full relation.
-std::vector<Bitset64> MinimalSafeHiddenSets(const Module& module,
-                                            int64_t gamma,
-                                            SafeSearchStats* stats = nullptr);
-MinCostSafeResult MinCostSafeHiddenSet(const Module& module, int64_t gamma);
+/// Convenience overloads over the module relation. Domains of at most
+/// `materialize_threshold` rows use the materialized fast path; larger
+/// domains stream rows from the module's function on every checker pass, so
+/// the searches work past the 2^22 materialization wall (subject to the
+/// k <= 20 subset-space limit).
+std::vector<Bitset64> MinimalSafeHiddenSets(
+    const Module& module, int64_t gamma, SafeSearchStats* stats = nullptr,
+    int64_t materialize_threshold = Module::kDefaultMaterializeRows);
+MinCostSafeResult MinCostSafeHiddenSet(
+    const Module& module, int64_t gamma,
+    int64_t materialize_threshold = Module::kDefaultMaterializeRows);
 
 /// A cardinality requirement pair (α, β): hiding ANY α inputs and β outputs
 /// of the module is safe (§4.2, cardinality constraints).
@@ -77,8 +83,15 @@ std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
     const Relation& rel, const std::vector<AttrId>& inputs,
     const std::vector<AttrId>& outputs, int64_t gamma);
 
-std::vector<CardinalityPair> MinimalSafeCardinalityPairs(const Module& module,
-                                                         int64_t gamma);
+/// As above over a caller-owned memo (any row backend, shared verdict
+/// cache).
+std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
+    SafetyMemo* memo, const std::vector<AttrId>& inputs,
+    const std::vector<AttrId>& outputs, int universe, int64_t gamma);
+
+std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
+    const Module& module, int64_t gamma,
+    int64_t materialize_threshold = Module::kDefaultMaterializeRows);
 
 }  // namespace provview
 

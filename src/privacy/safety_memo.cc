@@ -1,9 +1,9 @@
 #include "privacy/safety_memo.h"
 
-#include <unordered_set>
+#include <limits>
+#include <memory>
 
 #include "common/combinatorics.h"
-#include "common/interner.h"
 #include "privacy/standalone_privacy.h"
 
 namespace provview {
@@ -22,100 +22,115 @@ uint64_t Mix64(uint64_t x) {
 
 SafetyMemo::SafetyMemo(const Relation& rel, std::vector<AttrId> inputs,
                        std::vector<AttrId> outputs)
-    : rel_(rel), inputs_(std::move(inputs)), outputs_(std::move(outputs)) {
+    : view_(RelationView::Borrowed(rel)),
+      inputs_(std::move(inputs)),
+      outputs_(std::move(outputs)) {
   Init();
 }
 
-SafetyMemo::SafetyMemo(const Module& module)
-    : owned_(module.FullRelation()),
-      rel_(*owned_),
+SafetyMemo::SafetyMemo(const Module& module, int64_t materialize_threshold)
+    : view_(module.View(materialize_threshold)),
       inputs_(module.inputs()),
       outputs_(module.outputs()) {
   Init();
 }
 
+SafetyMemo::SafetyMemo(RelationView view, std::vector<AttrId> inputs,
+                       std::vector<AttrId> outputs)
+    : view_(std::move(view)),
+      inputs_(std::move(inputs)),
+      outputs_(std::move(outputs)) {
+  Init();
+}
+
 void SafetyMemo::Init() {
-  const AttributeCatalog& catalog = *rel_.schema().catalog();
+  const Schema& schema = view_.schema();
+  const AttributeCatalog& catalog = *schema.catalog();
   const int universe = catalog.size();
 
-  // Deduplicated rows as local columns: inputs then outputs.
-  std::vector<Tuple> rows = rel_.SortedDistinctRows();
-  num_rows_ = static_cast<int64_t>(rows.size());
   std::vector<AttrId> local = inputs_;
   local.insert(local.end(), outputs_.begin(), outputs_.end());
-  columns_.resize(local.size());
-  for (size_t c = 0; c < local.size(); ++c) {
-    columns_[c].reserve(rows.size());
-    for (const Tuple& row : rows) {
-      columns_[c].push_back(rel_.At(row, local[c]));
-    }
+  local_pos_.reserve(local.size());
+  for (AttrId id : local) {
+    const int p = schema.PositionOf(id);
+    PV_CHECK_MSG(p >= 0, "view schema misses module attr " << id);
+    local_pos_.push_back(p);
   }
 
   // An attribute cannot change the verdict if its domain has one value or
   // it is constant across R (its presence changes neither the visible-input
-  // grouping nor the visible-output distinct counts).
+  // grouping nor the visible-output distinct counts). One streaming pass
+  // detects the constant columns.
+  std::vector<uint8_t> constant(local.size(), 1);
+  std::vector<Value> first(local.size(), 0);
+  bool have_first = false;
+  std::vector<Value> block;
+  const size_t arity = static_cast<size_t>(schema.arity());
+  std::unique_ptr<RowSupplier> rows = view_.NewSupplier();
+  int64_t n;
+  while ((n = rows->NextBlock(&block)) > 0) {
+    for (int64_t r = 0; r < n; ++r) {
+      const Value* row = &block[static_cast<size_t>(r) * arity];
+      if (!have_first) {
+        for (size_t c = 0; c < local.size(); ++c) {
+          first[c] = row[local_pos_[c]];
+        }
+        have_first = true;
+        continue;
+      }
+      for (size_t c = 0; c < local.size(); ++c) {
+        if (constant[c] && row[local_pos_[c]] != first[c]) constant[c] = 0;
+      }
+    }
+  }
+
   effective_ = Bitset64(universe);
   for (size_t c = 0; c < local.size(); ++c) {
     if (catalog.DomainSize(local[c]) <= 1) continue;
-    bool constant = true;
-    for (int64_t r = 1; r < num_rows_; ++r) {
-      if (columns_[c][static_cast<size_t>(r)] != columns_[c][0]) {
-        constant = false;
-        break;
-      }
-    }
-    if (num_rows_ > 0 && constant) continue;
+    if (have_first && constant[c]) continue;
     effective_.Set(local[c]);
   }
 }
 
-SafetyMemo::ProjectionKey SafetyMemo::ProjectionKeyOf(
+std::pair<SafetyMemo::ProjectionKey, int64_t> SafetyMemo::ScanProjection(
     const Bitset64& effective_visible, int64_t hidden_ext) {
-  // Effective-visible columns, split by side.
-  std::vector<size_t> in_cols, out_cols;
+  // Effective-visible row positions, split by side.
+  std::vector<int> in_pos, out_pos;
   for (size_t j = 0; j < inputs_.size(); ++j) {
-    if (effective_visible.Test(inputs_[j])) in_cols.push_back(j);
+    if (effective_visible.Test(inputs_[j])) {
+      in_pos.push_back(local_pos_[j]);
+    }
   }
   for (size_t j = 0; j < outputs_.size(); ++j) {
     if (effective_visible.Test(outputs_[j])) {
-      out_cols.push_back(inputs_.size() + j);
+      out_pos.push_back(local_pos_[inputs_.size() + j]);
     }
   }
 
-  // Canonicalize every row to a (group id, output id) pair of dense
-  // first-seen interned ids; hash the deduplicated pair sequence. First-seen
-  // order over the fixed row order is canonical, so equal-projection hidden
-  // sets produce equal keys even when the underlying values differ.
-  TupleInterner gin, gout;
-  Tuple in_buf, out_buf;
-  std::unordered_set<uint64_t> seen;
+  // One shared ScanVisibleGroups pass: the first-seen pair sequence feeds
+  // the order-sensitive hashes and its per-group counts determine Γ.
+  // First-seen order over the view's fixed row order is canonical, so
+  // equal-projection hidden sets produce equal keys even when the
+  // underlying values differ — and both backends walk rows in the same
+  // order, so keys agree across materialized and streaming passes.
   ProjectionKey key;
   key.hidden_ext = hidden_ext;
   key.h1 = 0x8A91A6D40BF42040ull;
   key.h2 = 0xC83A91E1DB6A2BB1ull;
-  for (int64_t r = 0; r < num_rows_; ++r) {
-    in_buf.clear();
-    for (size_t c : in_cols) {
-      in_buf.push_back(columns_[c][static_cast<size_t>(r)]);
-    }
-    out_buf.clear();
-    for (size_t c : out_cols) {
-      out_buf.push_back(columns_[c][static_cast<size_t>(r)]);
-    }
-    const uint64_t pair =
-        (static_cast<uint64_t>(static_cast<uint32_t>(gin.Intern(in_buf)))
-         << 32) |
-        static_cast<uint32_t>(gout.Intern(out_buf));
-    if (seen.insert(pair).second) {
-      key.h1 = key.h1 * 0x100000001B3ull + Mix64(pair);
-      key.h2 = key.h2 * 0x9E3779B97F4A7C15ull + Mix64(~pair);
-    }
-  }
-  return key;
+  std::unique_ptr<RowSupplier> rows = view_.NewSupplier();
+  const int64_t min_count =
+      ScanVisibleGroups(rows.get(), in_pos, out_pos, [&key](uint64_t pair) {
+        key.h1 = key.h1 * 0x100000001B3ull + Mix64(pair);
+        key.h2 = key.h2 * 0x9E3779B97F4A7C15ull + Mix64(~pair);
+      });
+  const int64_t gamma = min_count == std::numeric_limits<int64_t>::max()
+                            ? min_count  // empty relation
+                            : SaturatingMul(min_count, hidden_ext);
+  return {key, gamma};
 }
 
 int64_t SafetyMemo::MaxGamma(const Bitset64& hidden, SafeSearchStats* stats) {
-  const AttributeCatalog& catalog = *rel_.schema().catalog();
+  const AttributeCatalog& catalog = *view_.schema().catalog();
   int64_t hidden_ext = 1;
   for (AttrId id : outputs_) {
     if (id < hidden.size() && hidden.Test(id)) {
@@ -129,7 +144,7 @@ int64_t SafetyMemo::MaxGamma(const Bitset64& hidden, SafeSearchStats* stats) {
     ++stats->signature_hits;
     return it->second;
   }
-  const ProjectionKey pkey = ProjectionKeyOf(sig.first, hidden_ext);
+  const auto [pkey, gamma] = ScanProjection(sig.first, hidden_ext);
   auto pit = projection_cache_.find(pkey);
   if (pit != projection_cache_.end()) {
     ++stats->cache_hits;
@@ -138,8 +153,6 @@ int64_t SafetyMemo::MaxGamma(const Bitset64& hidden, SafeSearchStats* stats) {
     return pit->second;
   }
   ++stats->checker_calls;
-  const int64_t gamma =
-      MaxStandaloneGamma(rel_, inputs_, outputs_, hidden.Complement());
   projection_cache_.emplace(pkey, gamma);
   signature_cache_.emplace(std::move(sig), gamma);
   return gamma;

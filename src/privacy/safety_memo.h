@@ -16,20 +16,30 @@
 //   (duplicated columns, value renamings, refinement-free columns) collapse
 //   to one 128-bit key.
 //
-// A level-2 hit also seeds level 1, so repeats of the same signature stay
-// O(1). SafeSearchStats reports per-level hit counts so the canonicalization
-// win is measurable.
+// A level-2 hit seeds level 1, so repeats of the same signature stay O(1).
+// Since the streaming rework, the level-2 key and the exact Γ come out of
+// the same single row pass — a level-2 hit therefore costs the same pass
+// as a miss and exists to collapse verdict storage and to *measure* the
+// canonicalization (SafeSearchStats reports per-level hit counts); the
+// wall-clock win lives entirely in level 1.
+//
+// Rows are sourced through a RelationView: either a materialized relation
+// (the small-domain fast case) or a streaming supplier re-deriving rows from
+// the module's function each pass — which is how subset searches certify
+// modules whose domain exceeds the 2^22 materialization wall. Both backends
+// walk rows in the same order and run the identical cache logic, so the two
+// paths produce byte-identical verdicts and SafeSearchStats.
 #ifndef PROVVIEW_PRIVACY_SAFETY_MEMO_H_
 #define PROVVIEW_PRIVACY_SAFETY_MEMO_H_
 
 #include <cstdint>
 #include <map>
-#include <optional>
 #include <utility>
 #include <vector>
 
 #include "module/module.h"
 #include "relation/relation.h"
+#include "relation/row_supplier.h"
 
 namespace provview {
 
@@ -69,8 +79,20 @@ class SafetyMemo {
   SafetyMemo(const Relation& rel, std::vector<AttrId> inputs,
              std::vector<AttrId> outputs);
 
-  /// Materializes and owns the module's full relation.
-  explicit SafetyMemo(const Module& module);
+  /// Memo over the module relation: materialized when |Dom| is at most
+  /// `materialize_threshold`, streamed from the module's function beyond it
+  /// (the module must outlive the memo in that case).
+  explicit SafetyMemo(
+      const Module& module,
+      int64_t materialize_threshold = Module::kDefaultMaterializeRows);
+
+  /// Memo over an arbitrary row source.
+  SafetyMemo(RelationView view, std::vector<AttrId> inputs,
+             std::vector<AttrId> outputs);
+
+  /// True when verdicts are recomputed by streaming passes instead of reads
+  /// of a materialized relation.
+  bool streaming() const { return !view_.materialized(); }
 
   SafetyMemo(const SafetyMemo&) = delete;
   SafetyMemo& operator=(const SafetyMemo&) = delete;
@@ -96,20 +118,19 @@ class SafetyMemo {
   };
 
   void Init();
-  ProjectionKey ProjectionKeyOf(const Bitset64& effective_visible,
-                                int64_t hidden_ext);
+  // One streaming pass computing the level-2 key and the exact Γ together
+  // (the pair sequence determines both), so a cache miss costs a single
+  // pass regardless of backend.
+  std::pair<ProjectionKey, int64_t> ScanProjection(
+      const Bitset64& effective_visible, int64_t hidden_ext);
 
-  std::optional<Relation> owned_;  // set by the Module constructor
-  const Relation& rel_;
+  RelationView view_;
   std::vector<AttrId> inputs_;
   std::vector<AttrId> outputs_;
   Bitset64 effective_;  // attrs whose visibility can change the verdict
-
-  // Deduplicated rows as per-local-attribute columns (inputs then outputs),
-  // so level-2 key computation reads contiguous ints instead of projecting
-  // tuples.
-  int64_t num_rows_ = 0;
-  std::vector<std::vector<int32_t>> columns_;
+  // Row positions of the local attributes (inputs then outputs) within the
+  // view's schema.
+  std::vector<int> local_pos_;
 
   using SignatureKey = std::pair<Bitset64, int64_t>;
   std::map<SignatureKey, int64_t> signature_cache_;

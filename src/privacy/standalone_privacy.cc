@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <set>
+#include <unordered_set>
 #include <utility>
 
 #include "common/combinatorics.h"
@@ -77,15 +79,97 @@ bool IsStandaloneSafe(const Relation& rel, const std::vector<AttrId>& inputs,
   return MaxStandaloneGamma(rel, inputs, outputs, visible) >= gamma;
 }
 
-int64_t MaxStandaloneGamma(const Module& module, const Bitset64& visible) {
-  return MaxStandaloneGamma(module.FullRelation(), module.inputs(),
-                            module.outputs(), visible);
+int64_t ScanVisibleGroups(RowSupplier* rows, const std::vector<int>& in_pos,
+                          const std::vector<int>& out_pos,
+                          const std::function<void(uint64_t)>& on_new_pair) {
+  // Intern each row's group and output projections to dense ids,
+  // deduplicate the packed pairs, and count distinct outputs per group.
+  TupleInterner in_interner, out_interner;
+  std::unordered_set<uint64_t> seen_pairs;
+  std::vector<int64_t> group_count;
+  Tuple in_buf, out_buf;
+  std::vector<Value> block;
+  const size_t arity = static_cast<size_t>(rows->schema().arity());
+  rows->Reset();
+  int64_t n;
+  while ((n = rows->NextBlock(&block)) > 0) {
+    for (int64_t r = 0; r < n; ++r) {
+      const Value* row = &block[static_cast<size_t>(r) * arity];
+      in_buf.clear();
+      for (int p : in_pos) in_buf.push_back(row[p]);
+      out_buf.clear();
+      for (int p : out_pos) out_buf.push_back(row[p]);
+      const int32_t gid = in_interner.Intern(in_buf);
+      const int32_t oid = out_interner.Intern(out_buf);
+      const uint64_t pair =
+          (static_cast<uint64_t>(static_cast<uint32_t>(gid)) << 32) |
+          static_cast<uint32_t>(oid);
+      if (!seen_pairs.insert(pair).second) continue;
+      if (on_new_pair) on_new_pair(pair);
+      if (static_cast<size_t>(gid) >= group_count.size()) {
+        group_count.resize(static_cast<size_t>(gid) + 1, 0);
+      }
+      ++group_count[static_cast<size_t>(gid)];
+    }
+  }
+  int64_t min_count = kMax;  // no rows: stays INT64_MAX
+  for (int64_t c : group_count) min_count = std::min(min_count, c);
+  return min_count;
+}
+
+int64_t MaxStandaloneGamma(RowSupplier* rows, const std::vector<AttrId>& inputs,
+                           const std::vector<AttrId>& outputs,
+                           const Bitset64& visible) {
+  const Schema& schema = rows->schema();
+  const AttributeCatalog& catalog = *schema.catalog();
+  std::vector<AttrId> vis_in, hid_in, vis_out, hid_out;
+  SplitByVisibility(inputs, visible, &vis_in, &hid_in);
+  SplitByVisibility(outputs, visible, &vis_out, &hid_out);
+  const int64_t hidden_ext = DomainProduct(catalog, hid_out);
+
+  // Row positions of the visible attributes within the supplier's schema.
+  std::vector<int> vis_in_pos, vis_out_pos;
+  for (AttrId id : vis_in) {
+    const int p = schema.PositionOf(id);
+    PV_CHECK_MSG(p >= 0, "supplier schema misses input attr " << id);
+    vis_in_pos.push_back(p);
+  }
+  for (AttrId id : vis_out) {
+    const int p = schema.PositionOf(id);
+    PV_CHECK_MSG(p >= 0, "supplier schema misses output attr " << id);
+    vis_out_pos.push_back(p);
+  }
+
+  const int64_t min_count =
+      ScanVisibleGroups(rows, vis_in_pos, vis_out_pos, nullptr);
+  if (min_count == kMax) return kMax;  // empty relation
+  // min over groups of count * hidden_ext = hidden_ext * the minimum count.
+  return SaturatingMul(min_count, hidden_ext);
+}
+
+bool IsStandaloneSafe(RowSupplier* rows, const std::vector<AttrId>& inputs,
+                      const std::vector<AttrId>& outputs,
+                      const Bitset64& visible, int64_t gamma) {
+  PV_CHECK_MSG(gamma >= 1, "gamma must be >= 1");
+  return MaxStandaloneGamma(rows, inputs, outputs, visible) >= gamma;
+}
+
+int64_t MaxStandaloneGamma(const Module& module, const Bitset64& visible,
+                           int64_t materialize_threshold) {
+  RelationView view = module.View(materialize_threshold);
+  if (view.materialized()) {
+    return MaxStandaloneGamma(*view.relation(), module.inputs(),
+                              module.outputs(), visible);
+  }
+  std::unique_ptr<RowSupplier> rows = view.NewSupplier();
+  return MaxStandaloneGamma(rows.get(), module.inputs(), module.outputs(),
+                            visible);
 }
 
 bool IsStandaloneSafe(const Module& module, const Bitset64& visible,
-                      int64_t gamma) {
-  return IsStandaloneSafe(module.FullRelation(), module.inputs(),
-                          module.outputs(), visible, gamma);
+                      int64_t gamma, int64_t materialize_threshold) {
+  PV_CHECK_MSG(gamma >= 1, "gamma must be >= 1");
+  return MaxStandaloneGamma(module, visible, materialize_threshold) >= gamma;
 }
 
 int64_t OutSetSize(const Relation& rel, const std::vector<AttrId>& inputs,

@@ -13,10 +13,12 @@
 #define PROVVIEW_PRIVACY_STANDALONE_PRIVACY_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "module/module.h"
 #include "relation/relation.h"
+#include "relation/row_supplier.h"
 
 namespace provview {
 
@@ -36,10 +38,41 @@ bool IsStandaloneSafe(const Relation& rel, const std::vector<AttrId>& inputs,
                       const std::vector<AttrId>& outputs,
                       const Bitset64& visible, int64_t gamma);
 
-/// Convenience overloads materializing the module's full relation.
-int64_t MaxStandaloneGamma(const Module& module, const Bitset64& visible);
-bool IsStandaloneSafe(const Module& module, const Bitset64& visible,
-                      int64_t gamma);
+/// One streaming pass over `rows` grouping each row by its projection onto
+/// the `in_pos` row positions and counting the distinct `out_pos`
+/// projections per group (both interned to dense first-seen ids). Invokes
+/// `on_new_pair((gid << 32) | oid)`, when non-null, for every first-seen
+/// pair in first-seen order. Returns the minimum distinct-output count over
+/// the groups, or INT64_MAX when the supplier yields no rows. The shared
+/// core of the streaming Algorithm-2 checker below and SafetyMemo's
+/// projection scan — state is bounded by the distinct projections, not the
+/// row count.
+int64_t ScanVisibleGroups(RowSupplier* rows, const std::vector<int>& in_pos,
+                          const std::vector<int>& out_pos,
+                          const std::function<void(uint64_t)>& on_new_pair);
+
+/// Streaming Algorithm-2 test: one pass over `rows` (any RowSupplier whose
+/// schema covers the module attributes), never materializing the relation.
+/// Memory scales with the number of distinct visible projections — the view
+/// the adversary actually sees — not with |Dom|, which is what lets modules
+/// past the 2^22 materialization wall certify. Identical verdicts to the
+/// Relation overload on every input.
+int64_t MaxStandaloneGamma(RowSupplier* rows, const std::vector<AttrId>& inputs,
+                           const std::vector<AttrId>& outputs,
+                           const Bitset64& visible);
+bool IsStandaloneSafe(RowSupplier* rows, const std::vector<AttrId>& inputs,
+                      const std::vector<AttrId>& outputs,
+                      const Bitset64& visible, int64_t gamma);
+
+/// Convenience overloads over the module relation. Domains of at most
+/// `materialize_threshold` rows use the materialized fast path; larger
+/// domains stream rows straight from the module's function (Module::View).
+int64_t MaxStandaloneGamma(
+    const Module& module, const Bitset64& visible,
+    int64_t materialize_threshold = Module::kDefaultMaterializeRows);
+bool IsStandaloneSafe(
+    const Module& module, const Bitset64& visible, int64_t gamma,
+    int64_t materialize_threshold = Module::kDefaultMaterializeRows);
 
 /// |OUT_{x,m}| for one specific input x (x aligned with `inputs`).
 int64_t OutSetSize(const Relation& rel, const std::vector<AttrId>& inputs,

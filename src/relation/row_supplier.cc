@@ -1,0 +1,62 @@
+#include "relation/row_supplier.h"
+
+#include <utility>
+
+namespace provview {
+
+int64_t MaterializedRowSupplier::NextBlock(std::vector<Value>* block,
+                                           int64_t max_rows) {
+  PV_CHECK_MSG(max_rows > 0, "block size must be positive");
+  block->clear();
+  const int64_t total = rel_->num_rows();
+  const int64_t count = std::min(max_rows, total - next_);
+  if (count <= 0) return 0;
+  const size_t arity = static_cast<size_t>(rel_->schema().arity());
+  block->reserve(static_cast<size_t>(count) * arity);
+  for (int64_t r = next_; r < next_ + count; ++r) {
+    const Tuple& row = rel_->rows()[static_cast<size_t>(r)];
+    block->insert(block->end(), row.begin(), row.end());
+  }
+  next_ += count;
+  return count;
+}
+
+RelationView RelationView::Materialized(Relation rel) {
+  RelationView v;
+  v.owned_ = std::make_shared<const Relation>(std::move(rel));
+  v.rel_ = v.owned_.get();
+  v.num_rows_ = v.rel_->num_rows();
+  return v;
+}
+
+RelationView RelationView::Borrowed(const Relation& rel) {
+  RelationView v;
+  v.rel_ = &rel;
+  v.num_rows_ = rel.num_rows();
+  return v;
+}
+
+RelationView RelationView::Streaming(Schema schema, int64_t num_rows,
+                                     SupplierFactory factory) {
+  PV_CHECK_MSG(num_rows >= 0, "negative row count");
+  PV_CHECK_MSG(factory != nullptr, "streaming view needs a supplier factory");
+  RelationView v;
+  v.schema_ = std::move(schema);
+  v.num_rows_ = num_rows;
+  v.factory_ = std::move(factory);
+  return v;
+}
+
+const Schema& RelationView::schema() const {
+  return rel_ != nullptr ? rel_->schema() : schema_;
+}
+
+std::unique_ptr<RowSupplier> RelationView::NewSupplier() const {
+  if (rel_ != nullptr) {
+    return std::make_unique<MaterializedRowSupplier>(*rel_);
+  }
+  PV_CHECK_MSG(factory_ != nullptr, "empty RelationView");
+  return factory_();
+}
+
+}  // namespace provview

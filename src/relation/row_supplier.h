@@ -1,0 +1,108 @@
+// Streaming row access for relations that are too large to materialize.
+// A RowSupplier yields a relation's rows in flat blocks on demand, so the
+// privacy checkers can scan a module relation of |Dom| >> 2^22 rows without
+// ever holding more than one block in memory. A RelationView is the handle
+// the engines consume: it is backed either by a materialized Relation (the
+// small-domain fast case) or by a supplier factory that re-derives rows on
+// every pass (e.g. from a module's function, see Module::View()).
+#ifndef PROVVIEW_RELATION_ROW_SUPPLIER_H_
+#define PROVVIEW_RELATION_ROW_SUPPLIER_H_
+
+#include <functional>
+#include <memory>
+
+#include "relation/relation.h"
+
+namespace provview {
+
+/// Rows a NextBlock call yields at most by default. Large enough to amortize
+/// the virtual call, small enough that a block of wide rows stays in cache.
+inline constexpr int64_t kDefaultSupplierBlockRows = 8192;
+
+/// One sequential pass over a relation's rows. Rows are yielded in a fixed,
+/// deterministic order (storage order for materialized relations, domain
+/// order for function-backed module relations); repeating a pass after
+/// Reset() yields the identical sequence. Not thread-safe; each concurrent
+/// scan owns its own supplier.
+class RowSupplier {
+ public:
+  virtual ~RowSupplier() = default;
+
+  /// Schema the yielded rows are aligned with.
+  virtual const Schema& schema() const = 0;
+
+  /// Total rows this supplier yields over one full pass (duplicates
+  /// included).
+  virtual int64_t total_rows() const = 0;
+
+  /// Restarts the pass from the first row.
+  virtual void Reset() = 0;
+
+  /// Clears `block` and fills it with up to `max_rows` rows, flattened
+  /// back-to-back (arity() values per row). Returns the number of rows
+  /// written; 0 means the pass is exhausted.
+  virtual int64_t NextBlock(std::vector<Value>* block,
+                            int64_t max_rows = kDefaultSupplierBlockRows) = 0;
+};
+
+/// Supplier over a materialized Relation (borrowed; the caller keeps it
+/// alive for the supplier's lifetime).
+class MaterializedRowSupplier : public RowSupplier {
+ public:
+  explicit MaterializedRowSupplier(const Relation& rel) : rel_(&rel) {}
+
+  const Schema& schema() const override { return rel_->schema(); }
+  int64_t total_rows() const override { return rel_->num_rows(); }
+  void Reset() override { next_ = 0; }
+  int64_t NextBlock(std::vector<Value>* block, int64_t max_rows) override;
+
+ private:
+  const Relation* rel_;
+  int64_t next_ = 0;
+};
+
+/// Handle unifying the two row sources. Copyable and cheap to pass around;
+/// a materialized view shares ownership of its Relation, a streaming view
+/// holds a factory that opens fresh passes. Streaming factories typically
+/// borrow the object they stream from (a Module, a Workflow); that object
+/// must outlive the view.
+class RelationView {
+ public:
+  using SupplierFactory = std::function<std::unique_ptr<RowSupplier>()>;
+
+  RelationView() = default;
+
+  /// View over an owned, materialized relation.
+  static RelationView Materialized(Relation rel);
+
+  /// View borrowing `rel`; the caller keeps it alive.
+  static RelationView Borrowed(const Relation& rel);
+
+  /// Streaming view: every NewSupplier() call opens a fresh pass yielding
+  /// `num_rows` rows of `schema`.
+  static RelationView Streaming(Schema schema, int64_t num_rows,
+                                SupplierFactory factory);
+
+  const Schema& schema() const;
+  int64_t num_rows() const { return num_rows_; }
+
+  /// True when backed by an in-memory Relation (relation() is non-null).
+  bool materialized() const { return rel_ != nullptr; }
+
+  /// The backing relation, or nullptr for a streaming view.
+  const Relation* relation() const { return rel_; }
+
+  /// Opens a fresh pass over the rows.
+  std::unique_ptr<RowSupplier> NewSupplier() const;
+
+ private:
+  std::shared_ptr<const Relation> owned_;  // set for Materialized views
+  const Relation* rel_ = nullptr;          // set for Materialized/Borrowed
+  Schema schema_;
+  int64_t num_rows_ = 0;
+  SupplierFactory factory_;  // set for Streaming views
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_RELATION_ROW_SUPPLIER_H_

@@ -1,0 +1,151 @@
+#include "workflow/execution_supplier.h"
+
+#include <algorithm>
+
+#include "common/combinatorics.h"
+
+namespace provview {
+
+std::shared_ptr<const ExecutionPlan> ExecutionSupplier::MakePlan(
+    const Workflow& workflow) {
+  auto plan = std::make_shared<ExecutionPlan>();
+  plan->workflow = &workflow;
+  plan->schema = workflow.ProvenanceSchema();
+  const AttributeCatalog& catalog = *workflow.catalog();
+  for (AttrId id : workflow.initial_input_ids()) {
+    plan->init_radices.push_back(catalog.DomainSize(id));
+  }
+  plan->total_execs = 1;
+  for (int r : plan->init_radices) {
+    plan->total_execs = SaturatingMul(plan->total_execs, r);
+  }
+
+  const int n = workflow.num_modules();
+  plan->modules.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Module& m = workflow.module(i);
+    ExecutionPlan::ModuleTable& t = plan->modules[static_cast<size_t>(i)];
+    int64_t dom = 1;
+    for (AttrId id : m.inputs()) {
+      t.in_pos.push_back(plan->schema.PositionOf(id));
+      t.in_strides.push_back(dom);
+      const int r = catalog.DomainSize(id);
+      t.in_radices.push_back(r);
+      dom = SaturatingMul(dom, r);
+    }
+    for (AttrId id : m.outputs()) {
+      t.out_radices.push_back(catalog.DomainSize(id));
+    }
+    // Pre-tabulate small functions so streamed executions are pure table
+    // lookups; large-domain modules evaluate directly.
+    if (dom <= (int64_t{1} << 20)) {
+      t.fn.resize(static_cast<size_t>(dom));
+      MixedRadixCounter counter(t.in_radices);
+      int64_t code = 0;
+      do {
+        t.fn[static_cast<size_t>(code)] = static_cast<int32_t>(
+            EncodeMixedRadix(m.Eval(counter.values()), t.out_radices));
+        ++code;
+      } while (counter.Advance());
+    }
+  }
+  return plan;
+}
+
+ExecutionSupplier::ExecutionSupplier(const Workflow& workflow,
+                                     int64_t begin_exec, int64_t end_exec)
+    : ExecutionSupplier(MakePlan(workflow), begin_exec, end_exec) {}
+
+ExecutionSupplier::ExecutionSupplier(std::shared_ptr<const ExecutionPlan> plan,
+                                     int64_t begin_exec, int64_t end_exec)
+    : plan_(std::move(plan)) {
+  PV_CHECK_MSG(plan_ != nullptr && plan_->workflow != nullptr,
+               "execution supplier needs a plan");
+  begin_ = begin_exec;
+  end_ = end_exec < 0 ? plan_->total_execs : end_exec;
+  PV_CHECK_MSG(0 <= begin_ && begin_ <= end_ && end_ <= plan_->total_execs,
+               "bad execution range [" << begin_exec << ", " << end_exec
+                                       << ") over " << plan_->total_execs);
+  values_.assign(static_cast<size_t>(plan_->workflow->catalog()->size()), -1);
+  Reset();
+}
+
+void ExecutionSupplier::Reset() {
+  // An empty range may sit at begin_ == total_execs, where the odometer
+  // decode would be out of range; the digits are never read in that case.
+  init_ = begin_ < end_ ? DecodeMixedRadix(begin_, plan_->init_radices)
+                        : Tuple(plan_->init_radices.size(), 0);
+  next_ = begin_;
+}
+
+int64_t ExecutionSupplier::NextBlock(std::vector<Value>* block,
+                                     int64_t max_rows) {
+  PV_CHECK_MSG(max_rows > 0, "block size must be positive");
+  block->clear();
+  if (next_ >= end_) return 0;
+  const Workflow& workflow = *plan_->workflow;
+  const int64_t count = std::min(max_rows, end_ - next_);
+  const std::vector<AttrId>& prov_ids = plan_->schema.attrs();
+  const std::vector<AttrId>& init_ids = workflow.initial_input_ids();
+  block->reserve(static_cast<size_t>(count) * prov_ids.size());
+  Tuple in_buf;
+  for (int64_t e = 0; e < count; ++e) {
+    for (size_t k = 0; k < init_ids.size(); ++k) {
+      values_[static_cast<size_t>(init_ids[k])] = init_[k];
+    }
+    for (int mi : workflow.topo_order()) {
+      const ExecutionPlan::ModuleTable& t =
+          plan_->modules[static_cast<size_t>(mi)];
+      const Module& m = workflow.module(mi);
+      if (!t.fn.empty()) {
+        int64_t in_code = 0;
+        const std::vector<AttrId>& ins = m.inputs();
+        for (size_t j = 0; j < ins.size(); ++j) {
+          in_code +=
+              static_cast<int64_t>(values_[static_cast<size_t>(ins[j])]) *
+              t.in_strides[j];
+        }
+        int64_t out_code = t.fn[static_cast<size_t>(in_code)];
+        const std::vector<AttrId>& outs = m.outputs();
+        for (size_t j = 0; j < outs.size(); ++j) {
+          values_[static_cast<size_t>(outs[j])] =
+              static_cast<Value>(out_code % t.out_radices[j]);
+          out_code /= t.out_radices[j];
+        }
+      } else {
+        in_buf.clear();
+        for (AttrId id : m.inputs()) {
+          in_buf.push_back(values_[static_cast<size_t>(id)]);
+        }
+        Tuple out = m.Eval(in_buf);
+        const std::vector<AttrId>& outs = m.outputs();
+        for (size_t j = 0; j < outs.size(); ++j) {
+          values_[static_cast<size_t>(outs[j])] = out[j];
+        }
+      }
+    }
+    for (AttrId id : prov_ids) {
+      block->push_back(values_[static_cast<size_t>(id)]);
+    }
+    // Advance the little-endian initial-input odometer.
+    size_t d = 0;
+    while (d < init_.size() &&
+           ++init_[d] == static_cast<Value>(plan_->init_radices[d])) {
+      init_[d] = 0;
+      ++d;
+    }
+  }
+  next_ += count;
+  return count;
+}
+
+int64_t ExecutionSupplier::InputCodeOf(const Value* row, int mi) const {
+  const ExecutionPlan::ModuleTable& t = plan_->modules[static_cast<size_t>(mi)];
+  int64_t code = 0;
+  for (size_t j = 0; j < t.in_pos.size(); ++j) {
+    code += static_cast<int64_t>(row[t.in_pos[j]]) * t.in_strides[j];
+  }
+  return code;
+}
+
+}  // namespace provview
