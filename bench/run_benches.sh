@@ -44,6 +44,14 @@ E1E_GAMMA="$(grep -o 'E1e standalone: rows=[0-9]* gamma=[0-9]*' "${PW_LOG}" | aw
 E1E_MS="$(grep -o 'E1e standalone: .* stream_ms=[0-9.]*' "${PW_LOG}" | awk -F= '{print $NF}' | head -1 || true)"
 E1E_WF_EXECS="$(grep -o 'E1e workflow: execs=[0-9]*' "${PW_LOG}" | awk -F= '{print $2}' | head -1 || true)"
 E1E_WF_MS="$(grep -o 'E1e workflow: .* stream_ms=[0-9.]*' "${PW_LOG}" | awk -F= '{print $NF}' | head -1 || true)"
+# E1f: "deep min speedup 243.9x" from the fixpoint race and the sharded
+# subset-lattice summary line.
+E1F_SPEEDUP="$(grep -o 'deep min speedup [0-9.]*' "${PW_LOG}" | awk '{print $4}' | head -1 || true)"
+E1F_K="$(grep -o 'E1f sharded subset search: k=[0-9]*' "${PW_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+E1F_MINIMAL="$(grep -o 'minimal_sets=[0-9]*' "${PW_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+E1F_SEQ_MS="$(grep -o 'seq_ms=[0-9.]*' "${PW_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+E1F_SHARDED_MS="$(grep -o 'sharded_ms=[0-9.]*' "${PW_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+E1F_SHARDED_SPEEDUP="$(grep -o 'sharded_speedup=[0-9.]*' "${PW_LOG}" | awk -F= '{print $2}' | head -1 || true)"
 rm -f "${PW_LOG}"
 
 echo "== bench_standalone (world-walk benchmarks) =="
@@ -58,8 +66,12 @@ GIT_REV="$(git -C "${REPO_ROOT}" rev-parse --short HEAD 2>/dev/null || echo unkn
 
 # standalone_min_speedup_x duplicates e1c_min_speedup_x under the name the
 # CI bench-regression guard reads; the old key stays for trajectory
-# continuity with earlier PRs.
-cat >"${OUT}" <<EOF
+# continuity with earlier PRs. The fresh record is composed to a temp file
+# first, then merged with the previous ${OUT}'s history so the trajectory
+# across PRs survives each run (top-level keys stay the latest snapshot,
+# which is what bench/check_regression.py reads).
+LATEST_JSON="$(mktemp)"
+cat >"${LATEST_JSON}" <<EOF
 {
   "date_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
   "git_rev": "${GIT_REV}",
@@ -74,8 +86,50 @@ cat >"${OUT}" <<EOF
   "e1e_stream_ms": ${E1E_MS:-null},
   "e1e_workflow_execs": ${E1E_WF_EXECS:-null},
   "e1e_workflow_stream_ms": ${E1E_WF_MS:-null},
+  "e1f_deep_chain_speedup_x": ${E1F_SPEEDUP:-null},
+  "e1f_sharded_search_k": ${E1F_K:-null},
+  "e1f_minimal_sets": ${E1F_MINIMAL:-null},
+  "k24_seq_search_ms": ${E1F_SEQ_MS:-null},
+  "k24_sharded_search_ms": ${E1F_SHARDED_MS:-null},
+  "sharded_search_speedup_x": ${E1F_SHARDED_SPEEDUP:-null},
   "bench_standalone_worldwalk_seconds": ${SA_SECONDS},
   "bench_standalone_detail": "${BUILD_DIR}/bench_standalone_worldwalk.json"
 }
 EOF
-echo "wrote ${OUT}"
+python3 - "${LATEST_JSON}" "${OUT}" <<'PY'
+import json
+import sys
+
+HIST_KEYS = [
+    "date_utc", "git_rev", "host_threads", "short_mode",
+    "standalone_min_speedup_x", "workflow_min_speedup_x",
+    "e1e_stream_ms", "e1e_workflow_stream_ms",
+    "e1f_deep_chain_speedup_x", "e1f_sharded_search_k",
+    "k24_seq_search_ms", "k24_sharded_search_ms",
+    "sharded_search_speedup_x",
+]
+
+latest_path, out_path = sys.argv[1], sys.argv[2]
+with open(latest_path) as f:
+    latest = json.load(f)
+
+history = []
+try:
+    with open(out_path) as f:
+        prev = json.load(f)
+    history = prev.get("history", [])
+    if not history:
+        # The previous record predates the history array: seed it with that
+        # run's snapshot so the earliest measured point is not lost.
+        history = [{k: prev[k] for k in HIST_KEYS if k in prev}]
+except (OSError, ValueError):
+    pass
+
+history.append({k: latest[k] for k in HIST_KEYS if k in latest})
+latest["history"] = history
+with open(out_path, "w") as f:
+    json.dump(latest, f, indent=2)
+    f.write("\n")
+PY
+rm -f "${LATEST_JSON}"
+echo "wrote ${OUT} ($(python3 -c "import json;print(len(json.load(open('${OUT}'))['history']))") history entries)"

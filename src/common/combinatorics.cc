@@ -94,11 +94,41 @@ void ForEachSubsetOf(const Bitset64& universe,
 
 std::vector<Bitset64> SubsetsOfSize(int n, int k) {
   std::vector<Bitset64> out;
-  if (k < 0 || k > n) return out;
+  ForEachSubsetOfSizeRange(n, k, 0, BinomialCoefficient(n, k),
+                           [&out](const Bitset64& s) { out.push_back(s); });
+  return out;
+}
+
+void ForEachSubsetOfSizeRange(int n, int k, int64_t begin, int64_t end,
+                              const std::function<void(const Bitset64&)>& fn) {
+  ForEachSubsetOfSizeRangeWhile(n, k, begin, end, [&fn](const Bitset64& s) {
+    fn(s);
+    return true;
+  });
+}
+
+void ForEachSubsetOfSizeRangeWhile(
+    int n, int k, int64_t begin, int64_t end,
+    const std::function<bool(const Bitset64&)>& fn) {
+  if (k < 0 || k > n || begin >= end) return;
+  PV_CHECK(begin >= 0 && end <= BinomialCoefficient(n, k));
+  // Unrank `begin` in the combinatorial number system: position j's element
+  // is the smallest c such that fewer than `rank` combinations start with a
+  // smaller one, i.e. subtract C(n - 1 - c, k - 1 - j) blocks while they
+  // fit.
   std::vector<int> idx(static_cast<size_t>(k));
-  for (int i = 0; i < k; ++i) idx[static_cast<size_t>(i)] = i;
-  while (true) {
-    out.push_back(Bitset64::Of(n, idx));
+  int64_t rank = begin;
+  int c = 0;
+  for (int j = 0; j < k; ++j) {
+    for (;; ++c) {
+      const int64_t block = BinomialCoefficient(n - 1 - c, k - 1 - j);
+      if (rank < block) break;
+      rank -= block;
+    }
+    idx[static_cast<size_t>(j)] = c++;
+  }
+  for (int64_t r = begin; r < end; ++r) {
+    if (!fn(Bitset64::Of(n, idx))) return;
     // Advance the combination (standard lexicographic successor).
     int i = k - 1;
     while (i >= 0 && idx[static_cast<size_t>(i)] == n - k + i) --i;
@@ -108,7 +138,6 @@ std::vector<Bitset64> SubsetsOfSize(int n, int k) {
       idx[static_cast<size_t>(j)] = idx[static_cast<size_t>(j - 1)] + 1;
     }
   }
-  return out;
 }
 
 int64_t EncodeMixedRadix(const std::vector<int32_t>& t,

@@ -61,6 +61,22 @@ void ForEachSubsetOf(const Bitset64& universe,
 /// All subsets of [0, n) of exactly size k, in lexicographic order.
 std::vector<Bitset64> SubsetsOfSize(int n, int k);
 
+/// Invokes `fn` on the size-k subsets of [0, n) whose lexicographic rank
+/// (the order SubsetsOfSize materializes) lies in [begin, end). The first
+/// combination is unranked via the combinatorial number system, then the
+/// walk steps through lexicographic successors — so contiguous rank ranges
+/// partition the level exactly, which is how the sharded subset-lattice
+/// searches split one cardinality level across worker threads without
+/// materializing C(n, k) bitsets.
+void ForEachSubsetOfSizeRange(int n, int k, int64_t begin, int64_t end,
+                              const std::function<void(const Bitset64&)>& fn);
+
+/// As above, but `fn` returns false to stop the walk early (the
+/// short-circuiting AND/OR scans of the cardinality search).
+void ForEachSubsetOfSizeRangeWhile(
+    int n, int k, int64_t begin, int64_t end,
+    const std::function<bool(const Bitset64&)>& fn);
+
 /// Encodes tuple `t` in the mixed-radix system `radices` (little-endian:
 /// t[0] is the least-significant digit). Result < ∏ radices.
 int64_t EncodeMixedRadix(const std::vector<int32_t>& t,

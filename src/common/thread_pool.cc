@@ -39,6 +39,10 @@ int ThreadPool::DefaultThreads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+int ThreadPool::Resolve(int requested) {
+  return std::max(1, requested == 0 ? DefaultThreads() : requested);
+}
+
 void ThreadPool::ShardedFor(
     int64_t total, int num_shards,
     const std::function<void(int shard, int64_t begin, int64_t end)>& fn) {

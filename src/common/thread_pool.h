@@ -39,6 +39,11 @@ class ThreadPool {
   /// std::thread::hardware_concurrency() with a floor of 1.
   static int DefaultThreads();
 
+  /// Resolves an options-style thread count: 0 means auto (hardware
+  /// concurrency), anything else is clamped to >= 1. The single policy
+  /// shared by every `num_threads` knob in the library.
+  static int Resolve(int requested);
+
   /// Runs fn(shard, begin, end) over `num_shards` contiguous ranges
   /// partitioning [0, total), one task per shard, and waits for completion.
   /// With num_shards <= 1 (or total fitting one shard) runs inline on the

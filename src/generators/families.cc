@@ -118,4 +118,67 @@ Example7OutputChain MakeExample7OutputChain(int k, Rng* rng) {
   return chain;
 }
 
+OneOneChain MakeOneOneChain(int stages, int k, Rng* rng) {
+  PV_CHECK(stages >= 2 && stages <= 16 && k >= 1 && k <= 10);
+  OneOneChain chain;
+  chain.stages = stages;
+  chain.k = k;
+  chain.catalog = std::make_shared<AttributeCatalog>();
+  chain.layer_attrs.resize(static_cast<size_t>(stages) + 1);
+  for (int s = 0; s <= stages; ++s) {
+    for (int i = 0; i < k; ++i) {
+      chain.layer_attrs[static_cast<size_t>(s)].push_back(chain.catalog->Add(
+          "l" + std::to_string(s) + "_" + std::to_string(i)));
+    }
+  }
+  chain.workflow = std::make_unique<Workflow>(chain.catalog);
+  for (int s = 0; s < stages; ++s) {
+    chain.workflow->AddModule(MakeRandomBijection(
+        "m" + std::to_string(s + 1), chain.catalog,
+        chain.layer_attrs[static_cast<size_t>(s)],
+        chain.layer_attrs[static_cast<size_t>(s) + 1], rng));
+  }
+  Status st = chain.workflow->Validate();
+  PV_CHECK_MSG(st.ok(), st.ToString());
+  return chain;
+}
+
+DiamondWorkflow MakeDiamondWorkflow(int k, bool with_tail, Rng* rng) {
+  PV_CHECK(k >= 1 && k <= 5);
+  DiamondWorkflow d;
+  d.k = k;
+  d.with_tail = with_tail;
+  d.catalog = std::make_shared<AttributeCatalog>();
+  auto add_layer = [&](const char* base, std::vector<AttrId>* out) {
+    for (int i = 0; i < 2 * k; ++i) {
+      out->push_back(d.catalog->Add(base + std::to_string(i)));
+    }
+  };
+  add_layer("x", &d.x);
+  add_layer("t", &d.t);
+  add_layer("u", &d.u);
+  add_layer("y", &d.y);
+  if (with_tail) add_layer("z", &d.z);
+  d.workflow = std::make_unique<Workflow>(d.catalog);
+  d.source_index = d.workflow->AddModule(
+      MakeRandomBijection("m_src", d.catalog, d.x, d.t, rng));
+  std::vector<AttrId> t_lo(d.t.begin(), d.t.begin() + k);
+  std::vector<AttrId> t_hi(d.t.begin() + k, d.t.end());
+  std::vector<AttrId> u_lo(d.u.begin(), d.u.begin() + k);
+  std::vector<AttrId> u_hi(d.u.begin() + k, d.u.end());
+  d.branch_a_index = d.workflow->AddModule(
+      MakeRandomBijection("m_branch_a", d.catalog, t_lo, u_lo, rng));
+  d.branch_b_index = d.workflow->AddModule(
+      MakeRandomBijection("m_branch_b", d.catalog, t_hi, u_hi, rng));
+  d.sink_index = d.workflow->AddModule(
+      MakeRandomBijection("m_sink", d.catalog, d.u, d.y, rng));
+  if (with_tail) {
+    d.tail_index = d.workflow->AddModule(
+        MakeRandomBijection("m_tail", d.catalog, d.y, d.z, rng));
+  }
+  Status st = d.workflow->Validate();
+  PV_CHECK_MSG(st.ok(), st.ToString());
+  return d;
+}
+
 }  // namespace provview

@@ -56,6 +56,43 @@ struct Example7OutputChain {
 };
 Example7OutputChain MakeExample7OutputChain(int k, Rng* rng);
 
+/// A `stages`-stage chain of random one-one modules on k boolean attributes
+/// per layer — the deep-workflow shape the feasible-set fixpoint targets:
+/// hiding one intermediate layer leaves every layer above it fully visible,
+/// so the fixpoint forces the upstream stages and prunes the hidden stage,
+/// while the determined-input-only engine walks every stage past the first
+/// at full range (E1f).
+struct OneOneChain {
+  CatalogPtr catalog;
+  WorkflowPtr workflow;
+  int stages = 0;
+  int k = 0;
+  /// layer_attrs[s], s in [0, stages]: the k attributes entering stage s
+  /// (s = 0: initial inputs; s = stages: final outputs). Module s maps
+  /// layer s to layer s + 1.
+  std::vector<std::vector<AttrId>> layer_attrs;
+};
+OneOneChain MakeOneOneChain(int stages, int k, Rng* rng);
+
+/// A diamond: source bijection on 2k bits fanning out to two k-bit one-one
+/// branches, re-joined by a sink bijection, optionally followed by a tail
+/// bijection (making the longest path 4 modules). Attribute layers:
+/// x (2k, initial) -> t (2k) -> u (2k, branch outputs) -> y (2k)
+/// [-> z (2k) when with_tail].
+struct DiamondWorkflow {
+  CatalogPtr catalog;
+  WorkflowPtr workflow;
+  int k = 0;
+  bool with_tail = false;
+  std::vector<AttrId> x, t, u, y, z;  // z empty unless with_tail
+  int source_index = 0;
+  int branch_a_index = 0;  ///< t[0..k) -> u[0..k)
+  int branch_b_index = 0;  ///< t[k..2k) -> u[k..2k)
+  int sink_index = 0;
+  int tail_index = -1;  ///< -1 unless with_tail
+};
+DiamondWorkflow MakeDiamondWorkflow(int k, bool with_tail, Rng* rng);
+
 }  // namespace provview
 
 #endif  // PROVVIEW_GENERATORS_FAMILIES_H_

@@ -1,0 +1,155 @@
+// Feasible-set fixpoint analysis over the workflow DAG: an abstract
+// interpretation run once per (workflow tables, visible set, fixed set)
+// before world enumeration, so the enumerator can shrink candidate lists of
+// slots the determined-input pruning of the base engine cannot touch.
+//
+// Abstract domain (one element per attribute / module, all finite):
+//
+//   feasible_values[a] ⊆ Dom(a)   — values attribute a can take in ANY
+//       execution of ANY consistent world (over-approximation; ordered by ⊇,
+//       transfer functions only shrink it).
+//   pinned_attr[a] ∈ {false,true} — a's value in EVERY execution is the same
+//       across all consistent worlds, namely the original run's value
+//       (under-approximation; ordered by ⇒, only flips false→true).
+//   determined[i], forced[i]      — derived module facts: all of module i's
+//       inputs pinned; determined AND every reached slot's candidate list is
+//       a singleton (which must then be the original code, because the
+//       original world is consistent and survives every sound narrowing).
+//
+// Transfer functions, iterated to a fixpoint:
+//   - initial inputs are pinned; visible attributes narrow to the values in
+//     their column of the visible provenance view; pinned attributes narrow
+//     to their distinct original values;
+//   - forward, in topological order: a fixed module maps the feasible
+//     input-code set through its function; a free module's reached output
+//     codes are those whose per-attribute values are all feasible (for a
+//     determined free module, additionally those surviving the per-slot
+//     visible-projection test of the base engine); output attributes then
+//     narrow to the projections of the surviving codes;
+//   - backward, in reverse topological order, through FIXED modules only
+//     (a free module can map any input to any feasible output, so its
+//     outputs never constrain its inputs): input codes whose image left the
+//     feasible output-code set are dropped and the input attributes narrow
+//     to the projections of the survivors;
+//   - pinnedness propagates through fixed modules AND through forced free
+//     modules — the generalization that lets determinedness (and hence
+//     per-slot pruning) cross fully-visible free stages of a deep chain.
+//
+// Termination: the product lattice is finite and every transfer function is
+// monotone — feasible_values / candidate lists only ever shrink and
+// pinned_attr bits only ever set, so each sweep either changes at least one
+// of finitely many monotone components or reaches the (unique least) fixpoint
+// and stops. The iteration count is bounded by the total number of values
+// plus attributes, and in practice is ≤ depth(DAG) + 2.
+//
+// Soundness (what the enumerator may rely on):
+//   - a slot of a determined module is reached by the same executions in
+//     every walked joint state (pinned inputs depend only on singleton or
+//     fixed upstream choices, so this holds mid-walk for inconsistent states
+//     too), and in every consistent world its output code is in its
+//     candidate list;
+//   - a domain point of a non-determined module outside feasible_in_codes is
+//     reached in NO consistent world, so its slot's choice multiplies the
+//     world count by |Range| without changing any candidate relation or any
+//     tracked OUT set (tracked inputs are original codes, which are always
+//     feasible) — the enumerator walks it as a singleton pinned to the
+//     original code and multiplies the factored count instead.
+#ifndef PROVVIEW_PRIVACY_FEASIBLE_SETS_H_
+#define PROVVIEW_PRIVACY_FEASIBLE_SETS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/bitset64.h"
+#include "common/interner.h"
+#include "privacy/possible_worlds.h"
+
+namespace provview {
+
+/// The determined-module visible-projection pruning core, shared verbatim by
+/// the use_feasible_sets=false engine (plain determined-attribute rule, no
+/// value filter) and the fixpoint (extended pinned set plus feasible-value
+/// filtering) — one implementation, so the two engines cannot drift.
+///
+/// For a determined free module every execution reaches its original input
+/// code, so a candidate output code c is allowed on a reached slot iff for
+/// every determined-visible row prefix of an execution reaching that slot,
+/// (prefix, visible output fragment of c) occurs in the target view's
+/// projection onto those positions. RescanLog() builds the projection
+/// interner and the per-slot prefix sets for a given determined set (one
+/// pass over the materialized log — callers cache it while the determined
+/// set is unchanged); CandidateLists() filters the range against it.
+class DeterminedSlotPruner {
+ public:
+  /// Filter on decoded output values: (output index within the module's
+  /// output list, value) -> keep. Empty function = no extra filter.
+  using ValueFilter = std::function<bool(size_t, int32_t)>;
+
+  DeterminedSlotPruner(const WorkflowTables& tables, int module,
+                       const Bitset64& visible);
+
+  /// (Re)builds the log-scan structures for the given determined set.
+  void RescanLog(const std::vector<bool>& det_attr);
+
+  /// Candidate output-code lists per reached slot, aligned with
+  /// WorkflowTables::orig_input_codes[module]. Requires a prior RescanLog.
+  std::vector<std::vector<int32_t>> CandidateLists(
+      const ValueFilter& value_ok) const;
+
+ private:
+  const WorkflowTables* tables_;
+  int module_;
+  std::vector<bool> vis_attr_;      // per attribute id
+  std::vector<int> vis_out_pos_;    // prov positions of visible outputs
+  std::vector<size_t> vis_out_local_;
+  bool scanned_ = false;
+  std::vector<int> det_vis_pos_;    // prov positions of det+visible attrs
+  TupleInterner allowed_;
+  std::map<int32_t, std::set<Tuple>> prefixes_;  // per reached input code
+};
+
+/// Result of the feasible-set fixpoint for one (tables, visible, fixed) key.
+struct FeasibleSetAnalysis {
+  /// Sweeps until the fixpoint was reached (≥ 1).
+  int iterations = 0;
+
+  // Per attribute id (catalog-aligned).
+  /// Sorted feasible values; never empty for attributes the workflow uses
+  /// (the original run keeps every set inhabited).
+  std::vector<std::vector<int32_t>> feasible_values;
+  /// Extended determinedness: value per execution equals the original run's
+  /// in every consistent world (and in every walked joint state).
+  std::vector<bool> pinned_attr;
+
+  // Per module index.
+  std::vector<bool> determined;  ///< every input attribute pinned
+  std::vector<bool> forced;      ///< determined free module, all lists singleton
+  /// Determined free modules: candidate output codes per reached slot,
+  /// aligned with WorkflowTables::orig_input_codes[i]; empty for other
+  /// modules. Lists are sorted and never empty (the original code survives).
+  std::vector<std::vector<std::vector<int32_t>>> det_slot_codes;
+  /// Non-determined modules: sorted feasible input codes D_i (always a
+  /// superset of orig_input_codes[i]); slots outside it can be factored out
+  /// of the walk. Empty for determined modules (their reached set is exactly
+  /// orig_input_codes).
+  std::vector<std::vector<int32_t>> feasible_in_codes;
+  /// All modules: sorted feasible output codes C_i of reached slots.
+  std::vector<std::vector<int32_t>> feasible_out_codes;
+
+  /// Σ over non-determined modules of dom points proven unreachable — the
+  /// slots the enumerator factors that the base engine walks at full range.
+  int64_t factored_free_slots = 0;
+};
+
+/// Runs the fixpoint. Requires a materialized execution log (the analysis
+/// replays the original rows), i.e. tables.log_materialized.
+FeasibleSetAnalysis AnalyzeFeasibleSets(const WorkflowTables& tables,
+                                        const Bitset64& visible,
+                                        const std::vector<int>& fixed_modules);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_PRIVACY_FEASIBLE_SETS_H_

@@ -10,6 +10,7 @@
 #include "common/combinatorics.h"
 #include "common/interner.h"
 #include "common/thread_pool.h"
+#include "privacy/feasible_sets.h"
 #include "workflow/execution_supplier.h"
 
 namespace provview {
@@ -297,8 +298,7 @@ StandaloneWorlds EnumerateStandaloneWorlds(RowSupplier* rows,
 
   // Shard the walk over slot 0's feasible codes.
   const int64_t slot0 = static_cast<int64_t>(inst.codes[0].size());
-  int threads = std::max(1, opts.num_threads == 0 ? ThreadPool::DefaultThreads()
-                                                  : opts.num_threads);
+  int threads = ThreadPool::Resolve(opts.num_threads);
   if (result.pruned_candidates <= opts.min_parallel_candidates) threads = 1;
   const int shards = static_cast<int>(std::min<int64_t>(threads, slot0));
 
@@ -548,8 +548,7 @@ std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
   }
 
   const int64_t chunk = std::max<int64_t>(1, opts.chunk_executions);
-  int threads = std::max(1, opts.num_threads == 0 ? ThreadPool::DefaultThreads()
-                                                  : opts.num_threads);
+  int threads = ThreadPool::Resolve(opts.num_threads);
   const int shards = static_cast<int>(
       std::min<int64_t>(threads, std::max<int64_t>(1, execs / chunk)));
   std::vector<std::vector<std::set<int32_t>>> shard_codes(
@@ -1035,24 +1034,37 @@ WorkflowWorlds EnumerateWorkflowWorlds(const WorkflowTables& tables,
   }
   inst.target = &target;
 
-  // Modules whose input is the same in every world: every input attribute
-  // is an initial input or produced by a fixed module that is itself
-  // determined.
-  std::vector<bool> det_attr(static_cast<size_t>(tables.num_attrs), false);
-  for (AttrId id : workflow.initial_input_ids()) {
-    det_attr[static_cast<size_t>(id)] = true;
+  // Modules whose input is the same in every world. The base rule: every
+  // input attribute is an initial input or produced by a fixed module that
+  // is itself determined. With the feasible-set pass on, the fixpoint's
+  // pinned set extends this through forced free modules and supplies the
+  // per-slot candidate lists and unreachable-domain-point factoring below.
+  std::unique_ptr<FeasibleSetAnalysis> analysis;
+  if (opts.use_feasible_sets) {
+    analysis = std::make_unique<FeasibleSetAnalysis>(
+        AnalyzeFeasibleSets(tables, visible, fixed_modules));
   }
+  std::vector<bool> det_attr(static_cast<size_t>(tables.num_attrs), false);
   std::vector<bool> determined(static_cast<size_t>(n), false);
-  for (int mi : inst.topo) {
-    const size_t smi = static_cast<size_t>(mi);
-    bool det = true;
-    for (AttrId id : tables.in_attrs[smi]) {
-      det = det && det_attr[static_cast<size_t>(id)];
+  if (analysis != nullptr) {
+    det_attr.assign(analysis->pinned_attr.begin(), analysis->pinned_attr.end());
+    determined.assign(analysis->determined.begin(),
+                      analysis->determined.end());
+  } else {
+    for (AttrId id : workflow.initial_input_ids()) {
+      det_attr[static_cast<size_t>(id)] = true;
     }
-    determined[smi] = det;
-    if (det && fixed[smi]) {
-      for (AttrId id : tables.out_attrs[smi]) {
-        det_attr[static_cast<size_t>(id)] = true;
+    for (int mi : inst.topo) {
+      const size_t smi = static_cast<size_t>(mi);
+      bool det = true;
+      for (AttrId id : tables.in_attrs[smi]) {
+        det = det && det_attr[static_cast<size_t>(id)];
+      }
+      determined[smi] = det;
+      if (det && fixed[smi]) {
+        for (AttrId id : tables.out_attrs[smi]) {
+          det_attr[static_cast<size_t>(id)] = true;
+        }
       }
     }
   }
@@ -1144,6 +1156,13 @@ WorkflowWorlds EnumerateWorkflowWorlds(const WorkflowTables& tables,
   std::vector<std::vector<int32_t>> all_codes(static_cast<size_t>(n));
   std::vector<std::vector<std::vector<int32_t>>> det_codes(
       static_cast<size_t>(n));
+  // Singleton lists for domain points of free modules the fixpoint proved
+  // unreachable in every consistent world: walked pinned to the original
+  // code (so inconsistent mid-walk states that still route an execution
+  // there stay well-defined) while the factored multiplier accounts for
+  // their |Range| free choices.
+  std::vector<std::vector<std::vector<int32_t>>> nd_pinned(
+      static_cast<size_t>(n));
   int64_t factored_multiplier = 1;
   inst.slot_of.assign(static_cast<size_t>(n), {});
   result.pruned_candidates = 1;
@@ -1154,107 +1173,114 @@ WorkflowWorlds EnumerateWorkflowWorlds(const WorkflowTables& tables,
     if (!determined[si]) {
       all_codes[si].resize(static_cast<size_t>(range));
       std::iota(all_codes[si].begin(), all_codes[si].end(), 0);
+      const std::vector<int32_t>* din =
+          analysis != nullptr ? &analysis->feasible_in_codes[si] : nullptr;
+      if (din != nullptr) {
+        // Exact-size reserve keeps the singleton lists' addresses stable
+        // while slots still point at them.
+        nd_pinned[si].reserve(static_cast<size_t>(tables.dom_size[si]) -
+                              din->size());
+      }
+      size_t fit = 0;
       for (int64_t d = 0; d < tables.dom_size[si]; ++d) {
+        bool reachable = true;
+        if (din != nullptr) {
+          if (fit < din->size() &&
+              (*din)[fit] == static_cast<int32_t>(d)) {
+            ++fit;
+          } else {
+            reachable = false;
+          }
+        }
         inst.slot_of[si][static_cast<size_t>(d)] =
             static_cast<int32_t>(inst.slots.size());
-        inst.slots.push_back(WfInstance::Slot{
-            i, static_cast<int32_t>(d), &all_codes[si]});
-        result.pruned_candidates =
-            SaturatingMul(result.pruned_candidates, range);
+        if (reachable) {
+          inst.slots.push_back(WfInstance::Slot{
+              i, static_cast<int32_t>(d), &all_codes[si]});
+          result.pruned_candidates =
+              SaturatingMul(result.pruned_candidates, range);
+        } else {
+          nd_pinned[si].push_back(
+              {tables.original_fn[si][static_cast<size_t>(d)]});
+          inst.slots.push_back(WfInstance::Slot{
+              i, static_cast<int32_t>(d), &nd_pinned[si].back()});
+          factored_multiplier = SaturatingMul(factored_multiplier, range);
+        }
       }
       continue;
     }
-    // Visible outputs of this module: positions in the prov row plus local
-    // indices within the decoded output tuple.
-    std::vector<int> vis_out_pos;
-    std::vector<size_t> vis_out_local;
-    for (size_t j = 0; j < tables.out_attrs[si].size(); ++j) {
-      const AttrId id = tables.out_attrs[si][j];
-      if (id < visible.size() && visible.Test(id)) {
-        vis_out_pos.push_back(pos_of_attr[static_cast<size_t>(id)]);
-        vis_out_local.push_back(j);
+    if (analysis != nullptr) {
+      // The fixpoint already ran the visible-projection pruning (with the
+      // extended pinned set) and the feasible-value narrowing; consume its
+      // per-reached-slot lists and factor the unreached domain points.
+      const auto& lists = analysis->det_slot_codes[si];
+      const auto& reached = tables.orig_input_codes[si];
+      PV_CHECK(lists.size() == reached.size());
+      for (int64_t u = static_cast<int64_t>(reached.size());
+           u < tables.dom_size[si]; ++u) {
+        factored_multiplier = SaturatingMul(factored_multiplier, range);
       }
+      for (size_t k = 0; k < reached.size(); ++k) {
+        inst.slot_of[si][static_cast<size_t>(reached[k])] =
+            static_cast<int32_t>(inst.slots.size());
+        inst.slots.push_back(WfInstance::Slot{i, reached[k], &lists[k]});
+        result.pruned_candidates = SaturatingMul(
+            result.pruned_candidates, static_cast<int64_t>(lists[k].size()));
+      }
+      continue;
     }
-    // Allowed (determined-visible prefix, visible-output fragment) pairs:
-    // the target view's projection onto those positions. A slot code whose
+    // Shared pruning core (privacy/feasible_sets.h): allowed
+    // (determined-visible prefix, visible-output fragment) pairs are the
+    // target view's projection onto those positions — a slot code whose
     // fragment never co-occurs with one of its executions' prefixes forces
-    // that execution's row out of the view in every world.
-    TupleInterner allowed;
-    {
-      Tuple key(det_vis_pos.size() + vis_out_pos.size());
-      for (int64_t e = 0; e < tables.num_execs; ++e) {
-        const int32_t* row =
-            &tables.orig_rows[static_cast<size_t>(e) * prov_arity];
-        size_t q = 0;
-        for (int p : det_vis_pos) key[q++] = row[static_cast<size_t>(p)];
-        for (int p : vis_out_pos) key[q++] = row[static_cast<size_t>(p)];
-        allowed.Intern(key);
-      }
-    }
-    // Distinct determined-visible prefixes per original input code.
-    std::map<int32_t, std::set<Tuple>> prefixes;
-    for (int64_t e = 0; e < tables.num_execs; ++e) {
-      const int32_t* row =
-          &tables.orig_rows[static_cast<size_t>(e) * prov_arity];
-      Tuple prefix(det_vis_pos.size());
-      for (size_t q = 0; q < det_vis_pos.size(); ++q) {
-        prefix[q] = row[static_cast<size_t>(det_vis_pos[q])];
-      }
-      prefixes[tables.orig_in_code[static_cast<size_t>(e) *
-                                       static_cast<size_t>(n) + si]]
-          .insert(std::move(prefix));
-    }
+    // that execution's row out of the view in every world. The fixpoint
+    // engine runs the identical core with its extended pinned set and a
+    // feasible-value filter.
+    DeterminedSlotPruner pruner(tables, i, visible);
+    pruner.RescanLog(det_attr);
+    det_codes[si] = pruner.CandidateLists(/*value_ok=*/nullptr);
+    const auto& reached = tables.orig_input_codes[si];
+    PV_CHECK(det_codes[si].size() == reached.size());
     // Slots reached by no execution multiply the world count without
     // changing any candidate relation: factor them out of the walk.
-    for (int64_t u = static_cast<int64_t>(prefixes.size());
+    for (int64_t u = static_cast<int64_t>(reached.size());
          u < tables.dom_size[si]; ++u) {
       factored_multiplier = SaturatingMul(factored_multiplier, range);
     }
-    // Visible fragment of every output code, shared by this module's slots.
-    std::vector<Tuple> frag(static_cast<size_t>(range));
-    for (int64_t c = 0; c < range; ++c) {
-      Tuple& f = frag[static_cast<size_t>(c)];
-      f.reserve(vis_out_local.size());
-      for (size_t j : vis_out_local) {
-        f.push_back(static_cast<int32_t>((c / tables.out_strides[si][j]) %
-                                         tables.out_radices[si][j]));
-      }
-    }
-    det_codes[si].reserve(prefixes.size());
-    {
-      Tuple key(det_vis_pos.size() + vis_out_pos.size());
-      for (const auto& [d, prefix_set] : prefixes) {
-        std::vector<int32_t> codes;
-        for (int64_t c = 0; c < range; ++c) {
-          bool ok = true;
-          for (const Tuple& prefix : prefix_set) {
-            size_t q = 0;
-            for (Value v : prefix) key[q++] = v;
-            for (Value v : frag[static_cast<size_t>(c)]) key[q++] = v;
-            if (allowed.Find(key) < 0) {
-              ok = false;
-              break;
-            }
-          }
-          if (ok) codes.push_back(static_cast<int32_t>(c));
-        }
-        result.pruned_candidates = SaturatingMul(
-            result.pruned_candidates, static_cast<int64_t>(codes.size()));
-        det_codes[si].push_back(std::move(codes));
-        inst.slot_of[si][static_cast<size_t>(d)] =
-            static_cast<int32_t>(inst.slots.size());
-        inst.slots.push_back(WfInstance::Slot{i, d, nullptr});
-      }
-    }
-    const size_t first_slot = inst.slots.size() - det_codes[si].size();
-    for (size_t k = 0; k < det_codes[si].size(); ++k) {
-      inst.slots[first_slot + k].codes = &det_codes[si][k];
+    for (size_t k = 0; k < reached.size(); ++k) {
+      inst.slot_of[si][static_cast<size_t>(reached[k])] =
+          static_cast<int32_t>(inst.slots.size());
+      inst.slots.push_back(WfInstance::Slot{i, reached[k], &det_codes[si][k]});
+      result.pruned_candidates = SaturatingMul(
+          result.pruned_candidates,
+          static_cast<int64_t>(det_codes[si][k].size()));
     }
   }
   PV_CHECK_MSG(result.pruned_candidates <= opts.max_candidates,
                "workflow world space too large after pruning: "
                    << result.pruned_candidates);
   if (result.pruned_candidates == 0) return result;  // some slot infeasible
+
+  // Sharding splits slot 0's candidate list across the pool, but the
+  // feasible-set pass can leave slot 0 a singleton (forced, or a factored
+  // unreachable point) — which would silently serialize the whole walk.
+  // Swap the first multi-candidate slot into position 0 (before tracked
+  // inputs capture slot indices): the walker carries every slot's
+  // module/topo metadata with it, so slot order is a pure performance
+  // choice — digit 1 stays the fastest-cycling digit.
+  if (!inst.slots.empty() && inst.slots[0].codes->size() <= 1) {
+    for (size_t j = 1; j < inst.slots.size(); ++j) {
+      if (inst.slots[j].codes->size() > 1) {
+        std::swap(inst.slots[0], inst.slots[j]);
+        inst.slot_of[static_cast<size_t>(inst.slots[0].module)]
+                    [static_cast<size_t>(inst.slots[0].in_code)] = 0;
+        inst.slot_of[static_cast<size_t>(inst.slots[j].module)]
+                    [static_cast<size_t>(inst.slots[j].in_code)] =
+            static_cast<int32_t>(j);
+        break;
+      }
+    }
+  }
 
   // OUT-set marks: one pair per (free module, original input code).
   std::vector<bool> gamma_tracked(static_cast<size_t>(n), false);
@@ -1301,8 +1327,7 @@ WorkflowWorlds EnumerateWorkflowWorlds(const WorkflowTables& tables,
       inst.slots.empty()
           ? 1
           : static_cast<int64_t>(inst.slots[0].codes->size());
-  int threads = std::max(1, opts.num_threads == 0 ? ThreadPool::DefaultThreads()
-                                                  : opts.num_threads);
+  int threads = ThreadPool::Resolve(opts.num_threads);
   if (result.pruned_candidates <= opts.min_parallel_candidates) threads = 1;
   const int shards = static_cast<int>(std::min<int64_t>(threads, slot0));
 

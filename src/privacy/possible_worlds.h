@@ -160,6 +160,14 @@ struct WorkflowEnumerationOptions {
   /// Maintain the distinct-relation set. The Γ-certification path only
   /// needs OUT sets and can turn this off (num_distinct_relations stays 0).
   bool collect_distinct_relations = true;
+  /// Run the feasible-set fixpoint (privacy/feasible_sets.h) before the
+  /// walk: determinedness then crosses forced free modules, candidate lists
+  /// shrink from per-attribute feasible sets (including hidden outputs
+  /// narrowed backward through fixed modules), and domain points of free
+  /// modules proven unreachable are factored instead of walked at full
+  /// range. Exact — identical results with the pass on or off; off
+  /// reproduces the determined-input-only engine for A/B benchmarking.
+  bool use_feasible_sets = true;
 };
 
 /// Immutable per-workflow tables shared by every enumeration over the same

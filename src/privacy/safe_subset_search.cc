@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <memory>
 #include <utility>
 
 #include "common/combinatorics.h"
+#include "common/thread_pool.h"
 #include "privacy/standalone_privacy.h"
 
 namespace provview {
@@ -44,35 +46,85 @@ std::vector<Bitset64> MinimalSafeHiddenSets(SafetyMemo* memo,
                                             const std::vector<AttrId>& inputs,
                                             const std::vector<AttrId>& outputs,
                                             int universe, int64_t gamma,
-                                            SafeSearchStats* stats) {
+                                            SafeSearchStats* stats,
+                                            const SubsetSearchOptions& opts) {
   const std::vector<AttrId> attrs = LocalAttrs(inputs, outputs);
   const int k = static_cast<int>(attrs.size());
-  PV_CHECK_MSG(k <= 20, "subset search limited to k <= 20, got " << k);
+  PV_CHECK_MSG(k <= kMaxSubsetSearchAttrs,
+               "subset search limited to k <= " << kMaxSubsetSearchAttrs
+                                                << ", got " << k);
+  const int threads = ThreadPool::Resolve(opts.num_threads);
+  std::unique_ptr<ThreadPool> pool;
 
   std::vector<Bitset64> minimal;
-  // Enumerate by increasing cardinality; a candidate containing a known
-  // minimal safe set is safe-but-not-minimal and is skipped (Prop. 1).
+  // One combo of the current level: examined, dominance-tested against the
+  // minimal sets of the completed levels (same-size sets are incomparable,
+  // so the in-flight level never has to see its own discoveries), then
+  // safety-tested through a memo.
+  auto visit = [&](const Bitset64& combo, SafetyMemo* m,
+                   SafeSearchStats* s, std::vector<Bitset64>* safe) {
+    ++s->subsets_examined;
+    Bitset64 hidden(universe);
+    for (int local : combo.ToVector()) {
+      hidden.Set(attrs[static_cast<size_t>(local)]);
+    }
+    for (const Bitset64& mset : minimal) {
+      if (mset.IsSubsetOf(hidden)) return;  // safe but not minimal (Prop. 1)
+    }
+    if (m->IsSafe(hidden, gamma, s)) safe->push_back(hidden);
+  };
+
+  // Enumerate by increasing cardinality. Every level is an antichain, so
+  // its contiguous rank shards are independent given the completed levels:
+  // results merge back in shard (= lexicographic) order, byte-identical to
+  // the sequential walk.
   for (int size = 0; size <= k; ++size) {
-    for (const Bitset64& combo : SubsetsOfSize(k, size)) {
-      ++stats->subsets_examined;
-      Bitset64 hidden(universe);
-      for (int local : combo.ToVector()) {
-        hidden.Set(attrs[static_cast<size_t>(local)]);
-      }
-      bool dominated = false;
-      for (const Bitset64& m : minimal) {
-        if (m.IsSubsetOf(hidden)) {
-          dominated = true;
-          break;
-        }
-      }
-      if (dominated) continue;
-      if (memo->IsSafe(hidden, gamma, stats)) {
-        minimal.push_back(hidden);
-      }
+    const int64_t total = BinomialCoefficient(k, size);
+    const int shards = static_cast<int>(std::min<int64_t>(
+        total <= opts.min_parallel_subsets ? 1 : threads, total));
+    if (shards <= 1) {
+      std::vector<Bitset64> safe;
+      ForEachSubsetOfSizeRange(
+          k, size, 0, total,
+          [&](const Bitset64& combo) { visit(combo, memo, stats, &safe); });
+      minimal.insert(minimal.end(), safe.begin(), safe.end());
+      continue;
+    }
+    struct ShardOut {
+      std::unique_ptr<SafetyMemo> memo;
+      SafeSearchStats stats;
+      std::vector<Bitset64> safe;
+    };
+    std::vector<ShardOut> outs(static_cast<size_t>(shards));
+    for (ShardOut& o : outs) o.memo = memo->Clone();
+    if (pool == nullptr) pool = std::make_unique<ThreadPool>(threads);
+    pool->ShardedFor(total, shards,
+                     [&](int shard, int64_t begin, int64_t end) {
+                       ShardOut& o = outs[static_cast<size_t>(shard)];
+                       ForEachSubsetOfSizeRange(
+                           k, size, begin, end, [&](const Bitset64& combo) {
+                             visit(combo, o.memo.get(), &o.stats, &o.safe);
+                           });
+                     });
+    // Level barrier: merge discoveries, verdict caches and stats in shard
+    // order (exact aggregation — per-shard counters are private, the sums
+    // lose nothing and are deterministic for a given thread count).
+    for (ShardOut& o : outs) {
+      minimal.insert(minimal.end(), o.safe.begin(), o.safe.end());
+      memo->Absorb(*o.memo);
+      stats->Accumulate(o.stats);
     }
   }
   return minimal;
+}
+
+std::vector<Bitset64> MinimalSafeHiddenSets(SafetyMemo* memo,
+                                            const std::vector<AttrId>& inputs,
+                                            const std::vector<AttrId>& outputs,
+                                            int universe, int64_t gamma,
+                                            SafeSearchStats* stats) {
+  return MinimalSafeHiddenSets(memo, inputs, outputs, universe, gamma, stats,
+                               SubsetSearchOptions{});
 }
 
 std::vector<Bitset64> MinimalSafeHiddenSets(const Relation& rel,
@@ -104,23 +156,27 @@ MinCostSafeResult MinCostSafeHiddenSet(const Relation& rel,
 std::vector<Bitset64> MinimalSafeHiddenSets(const Module& module,
                                             int64_t gamma,
                                             SafeSearchStats* stats,
-                                            int64_t materialize_threshold) {
+                                            int64_t materialize_threshold,
+                                            const SubsetSearchOptions& opts) {
   SafeSearchStats local_stats;
   SafetyMemo memo(module, materialize_threshold);
   std::vector<Bitset64> minimal =
       MinimalSafeHiddenSets(&memo, module.inputs(), module.outputs(),
-                            module.catalog()->size(), gamma, &local_stats);
+                            module.catalog()->size(), gamma, &local_stats,
+                            opts);
   if (stats != nullptr) *stats = local_stats;
   return minimal;
 }
 
 MinCostSafeResult MinCostSafeHiddenSet(const Module& module, int64_t gamma,
-                                       int64_t materialize_threshold) {
+                                       int64_t materialize_threshold,
+                                       const SubsetSearchOptions& opts) {
   MinCostSafeResult result;
   SafetyMemo memo(module, materialize_threshold);
   std::vector<Bitset64> minimal =
       MinimalSafeHiddenSets(&memo, module.inputs(), module.outputs(),
-                            module.catalog()->size(), gamma, &result.stats);
+                            module.catalog()->size(), gamma, &result.stats,
+                            opts);
   PickMinCost(minimal, *module.catalog(), &result);
   return result;
 }
@@ -135,54 +191,97 @@ std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
 
 std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
     SafetyMemo* memo, const std::vector<AttrId>& inputs,
-    const std::vector<AttrId>& outputs, int universe, int64_t gamma) {
+    const std::vector<AttrId>& outputs, int universe, int64_t gamma,
+    const SubsetSearchOptions& opts, SafeSearchStats* stats) {
   const int ni = static_cast<int>(inputs.size());
   const int no = static_cast<int>(outputs.size());
-  PV_CHECK_MSG(ni + no <= 20, "cardinality search limited to k <= 20");
+  PV_CHECK_MSG(ni + no <= kMaxSubsetSearchAttrs,
+               "cardinality search limited to k <= "
+                   << kMaxSubsetSearchAttrs);
 
-  // safe_all[a][b] = every subset hiding exactly a inputs and b outputs is
-  // safe. Initialize to true and AND over all subsets.
-  SafeSearchStats memo_stats;
-  std::vector<std::vector<bool>> safe_all(
-      static_cast<size_t>(ni + 1),
-      std::vector<bool>(static_cast<size_t>(no + 1), true));
-  for (int a = 0; a <= ni; ++a) {
-    for (const Bitset64& in_combo : SubsetsOfSize(ni, a)) {
+  // Verdict of one grid cell: EVERY subset hiding exactly a inputs and b
+  // outputs is safe. Identical to the sequential evaluation's fixpoint for
+  // the cell (an early unsafe subset just short-circuits the AND sooner).
+  auto cell_safe = [&](int a, int b, SafetyMemo* m, SafeSearchStats* s) {
+    bool all_safe = true;
+    ForEachSubsetOfSizeRangeWhile(
+        ni, a, 0, BinomialCoefficient(ni, a), [&](const Bitset64& in_combo) {
+          ForEachSubsetOfSizeRangeWhile(
+              no, b, 0, BinomialCoefficient(no, b),
+              [&](const Bitset64& out_combo) {
+                Bitset64 hidden(universe);
+                for (int local : in_combo.ToVector()) {
+                  hidden.Set(inputs[static_cast<size_t>(local)]);
+                }
+                for (int local : out_combo.ToVector()) {
+                  hidden.Set(outputs[static_cast<size_t>(local)]);
+                }
+                ++s->subsets_examined;
+                if (!m->IsSafe(hidden, gamma, s)) all_safe = false;
+                return all_safe;  // first unsafe subset stops the cell
+              });
+          return all_safe;
+        });
+    return all_safe;
+  };
+
+  // safe_all[a][b], cells sharded across the pool (row-major): every cell
+  // verdict is independent given a verdict cache, so shard-then-merge memos
+  // keep the grid — and the frontier below — identical to the sequential
+  // walk for every thread count.
+  SafeSearchStats local_stats;
+  // One byte per cell (not vector<bool>: shards write adjacent cells, and
+  // distinct bytes are distinct memory locations while bits are not).
+  const int64_t cells = static_cast<int64_t>(ni + 1) * (no + 1);
+  std::vector<uint8_t> safe_all(static_cast<size_t>(cells), 1);
+  auto cell_at = [no](int a, int b) {
+    return static_cast<size_t>(a) * static_cast<size_t>(no + 1) +
+           static_cast<size_t>(b);
+  };
+  const int64_t lattice = int64_t{1} << (ni + no);
+  const int threads = ThreadPool::Resolve(opts.num_threads);
+  const int shards = static_cast<int>(std::min<int64_t>(
+      lattice <= opts.min_parallel_subsets ? 1 : threads, cells));
+  if (shards <= 1) {
+    for (int a = 0; a <= ni; ++a) {
       for (int b = 0; b <= no; ++b) {
-        if (!safe_all[static_cast<size_t>(a)][static_cast<size_t>(b)]) {
-          continue;
-        }
-        for (const Bitset64& out_combo : SubsetsOfSize(no, b)) {
-          Bitset64 hidden(universe);
-          for (int local : in_combo.ToVector()) {
-            hidden.Set(inputs[static_cast<size_t>(local)]);
-          }
-          for (int local : out_combo.ToVector()) {
-            hidden.Set(outputs[static_cast<size_t>(local)]);
-          }
-          if (!memo->IsSafe(hidden, gamma, &memo_stats)) {
-            safe_all[static_cast<size_t>(a)][static_cast<size_t>(b)] = false;
-            break;
-          }
-        }
+        safe_all[cell_at(a, b)] = cell_safe(a, b, memo, &local_stats) ? 1 : 0;
       }
     }
+  } else {
+    struct ShardOut {
+      std::unique_ptr<SafetyMemo> memo;
+      SafeSearchStats stats;
+    };
+    std::vector<ShardOut> outs(static_cast<size_t>(shards));
+    for (ShardOut& o : outs) o.memo = memo->Clone();
+    ThreadPool pool(shards);
+    pool.ShardedFor(cells, shards, [&](int shard, int64_t begin, int64_t end) {
+      ShardOut& o = outs[static_cast<size_t>(shard)];
+      for (int64_t cell = begin; cell < end; ++cell) {
+        const int a = static_cast<int>(cell / (no + 1));
+        const int b = static_cast<int>(cell % (no + 1));
+        safe_all[cell_at(a, b)] =
+            cell_safe(a, b, o.memo.get(), &o.stats) ? 1 : 0;
+      }
+    });
+    for (ShardOut& o : outs) {
+      memo->Absorb(*o.memo);
+      local_stats.Accumulate(o.stats);
+    }
   }
-  // Monotonicity cleanup: (a,b) safe requires... note safety of every
-  // subset at (a,b) implies it at (a+1,b) and (a,b+1) by Prop. 1, so the
-  // computed table is automatically upward closed; extract the minimal
-  // frontier.
+  if (stats != nullptr) stats->Accumulate(local_stats);
+
+  // Safety of every subset at (a,b) implies it at (a+1,b) and (a,b+1) by
+  // Prop. 1, so the computed table is automatically upward closed; extract
+  // the minimal frontier.
   std::vector<CardinalityPair> frontier;
   for (int a = 0; a <= ni; ++a) {
     for (int b = 0; b <= no; ++b) {
-      if (!safe_all[static_cast<size_t>(a)][static_cast<size_t>(b)]) continue;
+      if (!safe_all[cell_at(a, b)]) continue;
       bool minimal = true;
-      if (a > 0 && safe_all[static_cast<size_t>(a - 1)][static_cast<size_t>(b)]) {
-        minimal = false;
-      }
-      if (b > 0 && safe_all[static_cast<size_t>(a)][static_cast<size_t>(b - 1)]) {
-        minimal = false;
-      }
+      if (a > 0 && safe_all[cell_at(a - 1, b)]) minimal = false;
+      if (b > 0 && safe_all[cell_at(a, b - 1)]) minimal = false;
       if (minimal) frontier.push_back(CardinalityPair{a, b});
     }
   }
@@ -190,10 +289,18 @@ std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
 }
 
 std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
-    const Module& module, int64_t gamma, int64_t materialize_threshold) {
+    SafetyMemo* memo, const std::vector<AttrId>& inputs,
+    const std::vector<AttrId>& outputs, int universe, int64_t gamma) {
+  return MinimalSafeCardinalityPairs(memo, inputs, outputs, universe, gamma,
+                                     SubsetSearchOptions{});
+}
+
+std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
+    const Module& module, int64_t gamma, int64_t materialize_threshold,
+    const SubsetSearchOptions& opts) {
   SafetyMemo memo(module, materialize_threshold);
   return MinimalSafeCardinalityPairs(&memo, module.inputs(), module.outputs(),
-                                     module.catalog()->size(), gamma);
+                                     module.catalog()->size(), gamma, opts);
 }
 
 }  // namespace provview

@@ -17,6 +17,30 @@
 
 namespace provview {
 
+/// Knobs of the subset-lattice searches. The lattice walk is
+/// level-synchronous: subsets of one cardinality are pairwise incomparable,
+/// so a level can shard across worker threads (contiguous lexicographic
+/// rank ranges via ForEachSubsetOfSizeRange) with dominance checked only
+/// against the minimal sets of strictly smaller levels — results and their
+/// order are identical to the sequential walk for every thread count. Each
+/// shard works on a Clone() of the shared SafetyMemo seeded with all
+/// verdicts settled so far and merges back (Absorb) at the level barrier in
+/// shard order, so verdict caches and SafeSearchStats stay deterministic;
+/// per-shard stats are summed exactly into the caller's totals (duplicate
+/// misses across shards can make checker_calls exceed the sequential
+/// count — that is the price of lock-free sharding, not a lost update).
+struct SubsetSearchOptions {
+  /// Worker threads. 0 = hardware concurrency, 1 = fully sequential.
+  int num_threads = 1;
+  /// Levels with at most this many subsets always run inline (the pool and
+  /// memo-clone overhead would dominate).
+  int64_t min_parallel_subsets = 4096;
+};
+
+/// Largest k = |I| + |O| the lattice searches accept. 2^24 subsets is the
+/// point where even the sharded walk stops being interactive.
+inline constexpr int kMaxSubsetSearchAttrs = 24;
+
 /// Result of the minimum-cost search.
 struct MinCostSafeResult {
   bool found = false;
@@ -28,7 +52,8 @@ struct MinCostSafeResult {
 /// All minimal (w.r.t. set inclusion) safe hidden subsets of the module's
 /// attributes for privacy level `gamma`. By Proposition 1 safety is
 /// monotone under adding hidden attributes, so these minimal sets describe
-/// the full safe family. k = |I|+|O| must be ≤ 20.
+/// the full safe family. k = |I|+|O| must be ≤ 24; sharded searches
+/// (SubsetSearchOptions::num_threads) keep k = 24 tractable.
 std::vector<Bitset64> MinimalSafeHiddenSets(const Relation& rel,
                                             const std::vector<AttrId>& inputs,
                                             const std::vector<AttrId>& outputs,
@@ -44,6 +69,15 @@ std::vector<Bitset64> MinimalSafeHiddenSets(SafetyMemo* memo,
                                             int universe, int64_t gamma,
                                             SafeSearchStats* stats);
 
+/// Full-control overload: sharded level-parallel walk over a caller-owned
+/// memo.
+std::vector<Bitset64> MinimalSafeHiddenSets(SafetyMemo* memo,
+                                            const std::vector<AttrId>& inputs,
+                                            const std::vector<AttrId>& outputs,
+                                            int universe, int64_t gamma,
+                                            SafeSearchStats* stats,
+                                            const SubsetSearchOptions& opts);
+
 /// Minimum-cost safe hidden subset using catalog attribute costs. With
 /// non-negative costs the optimum is attained at a minimal safe subset.
 MinCostSafeResult MinCostSafeHiddenSet(const Relation& rel,
@@ -55,13 +89,15 @@ MinCostSafeResult MinCostSafeHiddenSet(const Relation& rel,
 /// `materialize_threshold` rows use the materialized fast path; larger
 /// domains stream rows from the module's function on every checker pass, so
 /// the searches work past the 2^22 materialization wall (subject to the
-/// k <= 20 subset-space limit).
+/// k <= 24 subset-space limit).
 std::vector<Bitset64> MinimalSafeHiddenSets(
     const Module& module, int64_t gamma, SafeSearchStats* stats = nullptr,
-    int64_t materialize_threshold = Module::kDefaultMaterializeRows);
+    int64_t materialize_threshold = Module::kDefaultMaterializeRows,
+    const SubsetSearchOptions& opts = {});
 MinCostSafeResult MinCostSafeHiddenSet(
     const Module& module, int64_t gamma,
-    int64_t materialize_threshold = Module::kDefaultMaterializeRows);
+    int64_t materialize_threshold = Module::kDefaultMaterializeRows,
+    const SubsetSearchOptions& opts = {});
 
 /// A cardinality requirement pair (α, β): hiding ANY α inputs and β outputs
 /// of the module is safe (§4.2, cardinality constraints).
@@ -89,9 +125,19 @@ std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
     SafetyMemo* memo, const std::vector<AttrId>& inputs,
     const std::vector<AttrId>& outputs, int universe, int64_t gamma);
 
+/// Full-control overload: the (α, β) grid cells are independent given the
+/// memo, so cells shard across the thread pool (each cell ANDs its subset
+/// family with an early break, exactly the verdict the sequential
+/// evaluation computes). Accumulates into `stats` when non-null.
+std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
+    SafetyMemo* memo, const std::vector<AttrId>& inputs,
+    const std::vector<AttrId>& outputs, int universe, int64_t gamma,
+    const SubsetSearchOptions& opts, SafeSearchStats* stats = nullptr);
+
 std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
     const Module& module, int64_t gamma,
-    int64_t materialize_threshold = Module::kDefaultMaterializeRows);
+    int64_t materialize_threshold = Module::kDefaultMaterializeRows,
+    const SubsetSearchOptions& opts = {});
 
 }  // namespace provview
 

@@ -129,6 +129,25 @@ std::pair<SafetyMemo::ProjectionKey, int64_t> SafetyMemo::ScanProjection(
   return {key, gamma};
 }
 
+std::unique_ptr<SafetyMemo> SafetyMemo::Clone() const {
+  std::unique_ptr<SafetyMemo> clone(new SafetyMemo());
+  clone->view_ = view_;
+  clone->inputs_ = inputs_;
+  clone->outputs_ = outputs_;
+  clone->effective_ = effective_;
+  clone->local_pos_ = local_pos_;
+  clone->signature_cache_ = signature_cache_;
+  clone->projection_cache_ = projection_cache_;
+  return clone;
+}
+
+void SafetyMemo::Absorb(const SafetyMemo& worker) {
+  signature_cache_.insert(worker.signature_cache_.begin(),
+                          worker.signature_cache_.end());
+  projection_cache_.insert(worker.projection_cache_.begin(),
+                           worker.projection_cache_.end());
+}
+
 int64_t SafetyMemo::MaxGamma(const Bitset64& hidden, SafeSearchStats* stats) {
   const AttributeCatalog& catalog = *view_.schema().catalog();
   int64_t hidden_ext = 1;

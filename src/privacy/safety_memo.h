@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -97,6 +98,18 @@ class SafetyMemo {
   SafetyMemo(const SafetyMemo&) = delete;
   SafetyMemo& operator=(const SafetyMemo&) = delete;
 
+  /// Worker copy for the shard-then-merge parallel subset searches: shares
+  /// the row backend (view copies are shallow; concurrent suppliers are
+  /// safe) and starts from this memo's current caches, so a shard only
+  /// recomputes verdicts no earlier level already settled. The clone is
+  /// still single-threaded — one clone per worker.
+  std::unique_ptr<SafetyMemo> Clone() const;
+
+  /// Merges a worker clone's verdicts back (deterministic values, so
+  /// first-wins insertion is exact). Callers then Absorb each shard in
+  /// shard order, keeping the merged cache identical across thread counts.
+  void Absorb(const SafetyMemo& worker);
+
   /// MaxStandaloneGamma(rel, I, O, hidden.Complement()), memoized. Bumps
   /// checker_calls on a full miss and the per-level hit counters otherwise.
   int64_t MaxGamma(const Bitset64& hidden, SafeSearchStats* stats);
@@ -105,6 +118,8 @@ class SafetyMemo {
   bool IsSafe(const Bitset64& hidden, int64_t gamma, SafeSearchStats* stats);
 
  private:
+  SafetyMemo() = default;  // used by Clone()
+
   // 128-bit order-sensitive hash of the canonical dedup'd pair sequence.
   struct ProjectionKey {
     uint64_t h1 = 0;

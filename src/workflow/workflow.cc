@@ -147,6 +147,24 @@ int Workflow::DataSharingDegree() const {
   return gamma;
 }
 
+int Workflow::Depth() const {
+  CheckValidated();
+  std::vector<int> depth(modules_.size(), 1);
+  int longest = modules_.empty() ? 0 : 1;
+  for (int mi : topo_order_) {
+    const size_t smi = static_cast<size_t>(mi);
+    for (AttrId id : modules_[smi]->inputs()) {
+      const int producer = producer_of_[static_cast<size_t>(id)];
+      if (producer >= 0) {
+        depth[smi] = std::max(depth[smi],
+                              depth[static_cast<size_t>(producer)] + 1);
+      }
+    }
+    longest = std::max(longest, depth[smi]);
+  }
+  return longest;
+}
+
 Tuple Workflow::Execute(const Tuple& initial) const {
   CheckValidated();
   PV_CHECK_MSG(initial.size() == initial_input_ids_.size(),

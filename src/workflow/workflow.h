@@ -76,6 +76,12 @@ class Workflow {
   /// feeds.
   int DataSharingDegree() const;
 
+  /// Longest producer→consumer path in the module DAG, in modules (a single
+  /// module is depth 1; a `stages`-stage chain is depth `stages`). Bounds
+  /// how many sweeps value facts need to cross the workflow — the
+  /// feasible-set fixpoint converges in about Depth() + 2 sweeps.
+  int Depth() const;
+
   /// Runs the workflow on one assignment of the initial inputs (aligned
   /// with initial_input_ids()); returns values of all used attributes in
   /// increasing attribute-id order.

@@ -130,5 +130,30 @@ TEST(MixedRadixCodecTest, LittleEndianConvention) {
   EXPECT_EQ(EncodeMixedRadix({1, 2}, {2, 3}), 5);
 }
 
+TEST(SubsetsOfSizeTest, RangeEnumerationMatchesMaterializedOrder) {
+  for (int n : {5, 8, 12}) {
+    for (int k = 0; k <= n; ++k) {
+      const std::vector<Bitset64> all = SubsetsOfSize(n, k);
+      const int64_t total = BinomialCoefficient(n, k);
+      ASSERT_EQ(static_cast<int64_t>(all.size()), total);
+      // Full range reproduces the materialized walk.
+      std::vector<Bitset64> walked;
+      ForEachSubsetOfSizeRange(n, k, 0, total,
+                               [&](const Bitset64& s) { walked.push_back(s); });
+      EXPECT_EQ(walked, all) << "n=" << n << " k=" << k;
+      // Arbitrary contiguous shards partition the level exactly.
+      std::vector<Bitset64> sharded;
+      const int64_t cut1 = total / 3, cut2 = (2 * total) / 3;
+      for (auto [b, e] : {std::pair<int64_t, int64_t>{0, cut1},
+                          {cut1, cut2},
+                          {cut2, total}}) {
+        ForEachSubsetOfSizeRange(
+            n, k, b, e, [&](const Bitset64& s) { sharded.push_back(s); });
+      }
+      EXPECT_EQ(sharded, all) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace provview

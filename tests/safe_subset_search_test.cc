@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/combinatorics.h"
+#include "common/rng.h"
 #include "module/module_library.h"
 #include "privacy/safe_subset_search.h"
 #include "privacy/standalone_privacy.h"
@@ -159,6 +160,100 @@ TEST(SafeSubsetSearchTest, CardinalityFrontierSoundness) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------
+// Sharded lattice walk: identical results and exactly aggregated stats.
+// ---------------------------------------------------------------------
+
+TEST(SafeSubsetSearchTest, ShardedMinimalSetsMatchSequential) {
+  // k = 14 random module; force sharding even on the small levels.
+  auto catalog = std::make_shared<AttributeCatalog>();
+  std::vector<AttrId> in, out;
+  for (int i = 0; i < 7; ++i) in.push_back(catalog->Add("i" + std::to_string(i)));
+  for (int o = 0; o < 7; ++o) out.push_back(catalog->Add("o" + std::to_string(o)));
+  Rng rng(29);
+  ModulePtr m = MakeRandomFunction("wide", catalog, in, out, &rng);
+  for (int64_t gamma : {int64_t{2}, int64_t{8}}) {
+    SubsetSearchOptions seq, par;
+    seq.num_threads = 1;
+    par.num_threads = 4;
+    par.min_parallel_subsets = 0;
+    SafeSearchStats seq_stats, par_stats;
+    std::vector<Bitset64> a = MinimalSafeHiddenSets(
+        *m, gamma, &seq_stats, Module::kDefaultMaterializeRows, seq);
+    std::vector<Bitset64> b = MinimalSafeHiddenSets(
+        *m, gamma, &par_stats, Module::kDefaultMaterializeRows, par);
+    EXPECT_EQ(a, b) << "gamma " << gamma;  // same sets, same order
+    // Exact aggregation: every examined subset is counted exactly once
+    // across the shards — the total is the closed-form lattice size, the
+    // same value the sequential walk reports.
+    int64_t lattice = 0;
+    for (int s = 0; s <= 14; ++s) lattice += BinomialCoefficient(14, s);
+    EXPECT_EQ(seq_stats.subsets_examined, lattice);
+    EXPECT_EQ(par_stats.subsets_examined, lattice);
+    // Every non-dominated candidate got a verdict from the checker or a
+    // memo level, in both modes.
+    EXPECT_EQ(seq_stats.checker_calls + seq_stats.cache_hits,
+              par_stats.checker_calls + par_stats.cache_hits);
+    EXPECT_EQ(par_stats.signature_hits + par_stats.projection_hits,
+              par_stats.cache_hits);
+  }
+}
+
+TEST(SafeSubsetSearchTest, ShardedMinCostAndCardinalityMatchSequential) {
+  Rng rng(31);
+  auto catalog = std::make_shared<AttributeCatalog>();
+  for (int i = 0; i < 10; ++i) {
+    catalog->Add("a" + std::to_string(i), 2, 1.0 + rng.NextDouble() * 3.0);
+  }
+  ModulePtr m = MakeRandomFunction("f", catalog, {0, 1, 2, 3, 4},
+                                   {5, 6, 7, 8, 9}, &rng);
+  SubsetSearchOptions seq, par;
+  seq.num_threads = 1;
+  par.num_threads = 4;
+  par.min_parallel_subsets = 0;
+  for (int64_t gamma : {int64_t{2}, int64_t{4}}) {
+    MinCostSafeResult a =
+        MinCostSafeHiddenSet(*m, gamma, Module::kDefaultMaterializeRows, seq);
+    MinCostSafeResult b =
+        MinCostSafeHiddenSet(*m, gamma, Module::kDefaultMaterializeRows, par);
+    EXPECT_EQ(a.found, b.found) << "gamma " << gamma;
+    if (a.found) {
+      EXPECT_EQ(a.hidden, b.hidden);
+      EXPECT_DOUBLE_EQ(a.cost, b.cost);
+    }
+    std::vector<CardinalityPair> fa = MinimalSafeCardinalityPairs(
+        *m, gamma, Module::kDefaultMaterializeRows, seq);
+    std::vector<CardinalityPair> fb = MinimalSafeCardinalityPairs(
+        *m, gamma, Module::kDefaultMaterializeRows, par);
+    EXPECT_EQ(fa, fb) << "gamma " << gamma;
+  }
+}
+
+TEST(SafeSubsetSearchTest, SharedMemoAccumulatesAcrossShardedSearches) {
+  // A caller-owned memo reused across sharded searches keeps absorbing the
+  // shard verdicts: the second search over the same module answers almost
+  // everything from the cache.
+  Rng rng(41);
+  auto catalog = std::make_shared<AttributeCatalog>();
+  for (int i = 0; i < 12; ++i) catalog->Add("a" + std::to_string(i));
+  ModulePtr m = MakeRandomFunction("f", catalog, {0, 1, 2, 3, 4, 5},
+                                   {6, 7, 8, 9, 10, 11}, &rng);
+  SafetyMemo memo(*m);
+  SubsetSearchOptions par;
+  par.num_threads = 3;
+  par.min_parallel_subsets = 0;
+  SafeSearchStats first, second;
+  std::vector<Bitset64> a =
+      MinimalSafeHiddenSets(&memo, m->inputs(), m->outputs(),
+                            catalog->size(), 4, &first, par);
+  std::vector<Bitset64> b =
+      MinimalSafeHiddenSets(&memo, m->inputs(), m->outputs(),
+                            catalog->size(), 4, &second, par);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(second.checker_calls, 0);
+  EXPECT_GT(second.cache_hits, 0);
 }
 
 // Property: on random modules, the min-cost search result is optimal among

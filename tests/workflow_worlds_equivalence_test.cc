@@ -229,6 +229,136 @@ TEST(WorkflowWorldsEquivalenceTest, Example7FreeChainsMatchNaive) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Deep (>=4-stage) fixtures: the feasible-set fixpoint engine must agree
+// with both the naive reference and the determined-input engine
+// (use_feasible_sets = false) on the shapes E1f makes its speedup claims on.
+// ---------------------------------------------------------------------
+
+namespace {
+
+WorkflowWorlds EnumerateWithFixpoint(const Workflow& w, const Bitset64& visible,
+                                     const std::vector<int>& fixed,
+                                     bool use_fixpoint) {
+  WorkflowEnumerationOptions opts;
+  opts.max_candidates = int64_t{1} << 33;
+  opts.use_feasible_sets = use_fixpoint;
+  return EnumerateWorkflowWorlds(w, visible, fixed, opts);
+}
+
+}  // namespace
+
+TEST(WorkflowWorldsEquivalenceTest, DeepChainMatchesNaiveEveryHiddenLayer) {
+  // 4-stage one-bit chain (naive joint 4^4 = 256): hide each layer in turn
+  // and compare naive vs fixpoint-on vs fixpoint-off.
+  for (int hidden_layer = 1; hidden_layer <= 3; ++hidden_layer) {
+    Rng rng(static_cast<uint64_t>(hidden_layer) * 19 + 2);
+    OneOneChain chain = MakeOneOneChain(4, 1, &rng);
+    Bitset64 hidden(chain.catalog->size());
+    for (AttrId id : chain.layer_attrs[static_cast<size_t>(hidden_layer)]) {
+      hidden.Set(id);
+    }
+    Bitset64 visible = hidden.Complement();
+    WorkflowWorlds naive =
+        EnumerateWorkflowWorldsNaive(*chain.workflow, visible, {});
+    WorkflowWorlds on =
+        EnumerateWithFixpoint(*chain.workflow, visible, {}, true);
+    WorkflowWorlds off =
+        EnumerateWithFixpoint(*chain.workflow, visible, {}, false);
+    ExpectIdentical(naive, on, static_cast<uint64_t>(hidden_layer));
+    ExpectIdentical(naive, off, static_cast<uint64_t>(hidden_layer));
+    EXPECT_LE(on.pruned_candidates, off.pruned_candidates)
+        << "layer " << hidden_layer;
+  }
+}
+
+TEST(WorkflowWorldsEquivalenceTest, RandomizedDeepChainsOnOffNaive) {
+  // Random visible subsets over random 4- and 5-stage one-bit chains.
+  int naive_checked = 0;
+  for (uint64_t seed = 500; seed < 540; ++seed) {
+    Rng rng(seed * 37 + 5);
+    OneOneChain chain = MakeOneOneChain(seed % 2 == 0 ? 4 : 5, 1, &rng);
+    Bitset64 visible = RandomVisible(*chain.workflow, &rng, 0.5);
+    WorkflowWorlds on =
+        EnumerateWithFixpoint(*chain.workflow, visible, {}, true);
+    WorkflowWorlds off =
+        EnumerateWithFixpoint(*chain.workflow, visible, {}, false);
+    ExpectIdentical(off, on, seed);
+    if (NaiveJoint(*chain.workflow, {}) <= (1 << 16)) {
+      WorkflowWorlds naive =
+          EnumerateWorkflowWorldsNaive(*chain.workflow, visible, {});
+      ExpectIdentical(naive, on, seed);
+      ++naive_checked;
+    }
+  }
+  EXPECT_GE(naive_checked, 10);
+}
+
+TEST(WorkflowWorldsEquivalenceTest, DiamondWithFixedSourceMatchesNaive) {
+  // Diamond with the source public (naive joint 4 * 4 * 256 = 4096), sink
+  // outputs hidden.
+  Rng rng(77);
+  DiamondWorkflow dia = MakeDiamondWorkflow(1, /*with_tail=*/false, &rng);
+  dia.workflow->mutable_module(dia.source_index)->set_public(true);
+  Bitset64 hidden(dia.catalog->size());
+  for (AttrId id : dia.y) hidden.Set(id);
+  Bitset64 visible = hidden.Complement();
+  WorkflowWorlds naive = EnumerateWorkflowWorldsNaive(
+      *dia.workflow, visible, {dia.source_index});
+  WorkflowWorlds on = EnumerateWithFixpoint(*dia.workflow, visible,
+                                            {dia.source_index}, true);
+  WorkflowWorlds off = EnumerateWithFixpoint(*dia.workflow, visible,
+                                             {dia.source_index}, false);
+  ExpectIdentical(naive, on, 0);
+  ExpectIdentical(naive, off, 0);
+}
+
+TEST(WorkflowWorldsEquivalenceTest, DiamondWithTailOnVsOff) {
+  // The all-free E1f diamond (too large for the naive reference): the
+  // fixpoint forces the source and both branches, prunes the sink, and
+  // must agree with the determined-input engine exactly — including under
+  // thread sharding and the Γ short-circuit verdict.
+  Rng rng(78);
+  DiamondWorkflow dia = MakeDiamondWorkflow(1, /*with_tail=*/true, &rng);
+  Bitset64 hidden(dia.catalog->size());
+  for (AttrId id : dia.y) hidden.Set(id);
+  Bitset64 visible = hidden.Complement();
+  WorkflowWorlds on = EnumerateWithFixpoint(*dia.workflow, visible, {}, true);
+  WorkflowWorlds off =
+      EnumerateWithFixpoint(*dia.workflow, visible, {}, false);
+  ExpectIdentical(off, on, 0);
+  EXPECT_LT(on.pruned_candidates, off.pruned_candidates);
+
+  WorkflowEnumerationOptions parallel;
+  parallel.max_candidates = int64_t{1} << 33;
+  parallel.num_threads = 4;
+  parallel.min_parallel_candidates = 0;
+  WorkflowWorlds sharded =
+      EnumerateWorkflowWorlds(*dia.workflow, visible, {}, parallel);
+  ExpectIdentical(on, sharded, 0);
+
+  int64_t min_out = std::numeric_limits<int64_t>::max();
+  for (int i = 0; i < dia.workflow->num_modules(); ++i) {
+    min_out = std::min(min_out, on.MinOutSize(i));
+  }
+  for (int64_t gamma : {int64_t{1}, int64_t{2}}) {
+    WorkflowEnumerationOptions gopts;
+    gopts.max_candidates = int64_t{1} << 33;
+    gopts.gamma = gamma;
+    gopts.collect_distinct_relations = false;
+    WorkflowWorlds early =
+        EnumerateWorkflowWorlds(*dia.workflow, visible, {}, gopts);
+    bool verdict = early.early_stopped;
+    if (!verdict) {
+      verdict = true;
+      for (int i = 0; i < dia.workflow->num_modules(); ++i) {
+        verdict = verdict && early.MinOutSize(i) >= gamma;
+      }
+    }
+    EXPECT_EQ(min_out >= gamma, verdict) << "gamma " << gamma;
+  }
+}
+
 TEST(WorkflowWorldsEquivalenceTest, AllModulesFixedSingleWorld) {
   Prop2Chain chain = MakeProp2Chain(1);
   Bitset64 visible = Bitset64::Of(3, {0, 2});
