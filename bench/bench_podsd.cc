@@ -1,0 +1,92 @@
+// E7: podsd daemon throughput. Starts an in-process daemon on an ephemeral
+// loopback port, fans several client connections out, and hammers CERTIFY
+// requests over randomized fig1 hidden sets — the steady-state shape where
+// the WorkflowMemoBank answers most requests from cache and the cost is
+// framing + dispatch + memo lookups. Prints a summary line run_benches.sh
+// records as `podsd_throughput_rps`:
+//
+//   E7 podsd: clients=4 requests=4000 seconds=0.71 rps=5633.8
+//
+// PODS_BENCH_SHORT=1 shrinks the request count for CI smoke runs.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "server/client.h"
+#include "server/daemon.h"
+#include "server/registry.h"
+#include "workflow/fig1_workflow.h"
+
+namespace provview {
+namespace {
+
+void ClientLoop(uint16_t port, uint64_t seed, int requests, const int* attrs,
+                int num_attrs) {
+  PodsClient client;
+  PV_CHECK_MSG(client.Connect(port).ok(), "client connect failed");
+  Rng rng(seed);
+  for (int i = 0; i < requests; ++i) {
+    CertifyRequest req;
+    req.workflow = "fig1";
+    req.deadline_ms = 10'000;
+    CertifyItem item;
+    item.gamma = 2;
+    const uint32_t mask =
+        static_cast<uint32_t>(rng.NextBelow(1u << num_attrs));
+    for (int b = 0; b < num_attrs; ++b) {
+      if ((mask >> b) & 1u) {
+        item.hidden_attrs.push_back(static_cast<uint32_t>(attrs[b]));
+      }
+    }
+    req.items.push_back(std::move(item));
+    CertifyResponse resp;
+    const Status s = client.Certify(req, /*batch=*/false, &resp);
+    PV_CHECK_MSG(s.ok(), "certify failed mid-bench");
+  }
+}
+
+int Run() {
+  const bool short_mode = std::getenv("PODS_BENCH_SHORT") != nullptr;
+  const int kClients = 4;
+  const int kRequestsPerClient = short_mode ? 250 : 1000;
+
+  WorkflowRegistry registry;
+  registry.RegisterBuiltins();
+  PodsDaemon daemon(&registry);
+  PV_CHECK_MSG(daemon.Start().ok(), "daemon failed to start");
+
+  Fig1Workflow fig1 = MakeFig1Workflow();
+  const int attrs[] = {fig1.a3, fig1.a4, fig1.a5, fig1.a6, fig1.a7};
+
+  // Warm the memo bank so the measured window is the daemon steady state,
+  // not the first-touch checker calls.
+  ClientLoop(daemon.port(), 1, 1u << 5, attrs, 5);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back(ClientLoop, daemon.port(), 0x706f6473u + c,
+                         kRequestsPerClient, attrs, 5);
+  }
+  for (std::thread& t : clients) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const double seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+  const int total = kClients * kRequestsPerClient;
+  const double rps = total / seconds;
+  std::printf("E7 podsd: clients=%d requests=%d seconds=%.2f rps=%.1f\n",
+              kClients, total, seconds, rps);
+
+  daemon.Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace provview
+
+int main() { return provview::Run(); }

@@ -18,6 +18,7 @@ METRICS = [
     ("workflow_min_speedup_x", ("workflow_min_speedup_x",)),
     ("e1f_deep_chain_speedup_x", ("e1f_deep_chain_speedup_x",)),
     ("sharded_search_speedup_x", ("sharded_search_speedup_x",)),
+    ("podsd_throughput_rps", ("podsd_throughput_rps",)),
 ]
 
 # Thread-sensitive metrics (sequential vs sharded on the same host) are only
@@ -27,8 +28,15 @@ METRICS = [
 # absolute floor instead of being skipped: sharding must never cost more
 # than ~2x over sequential anywhere, so a pathological slowdown (e.g. a
 # memo-merge blowup) still fails the job.
-THREAD_SENSITIVE = {"sharded_search_speedup_x"}
-ABSOLUTE_FLOOR = 0.5
+THREAD_SENSITIVE = {"sharded_search_speedup_x", "podsd_throughput_rps"}
+# Per-metric fallback floor used on mismatched hosts. 0.5x is the sharding
+# bound; 50 rps is the daemon floor — any functioning podsd clears it by
+# orders of magnitude, while a deadlocked accept loop or a per-request
+# engine rebuild would not.
+ABSOLUTE_FLOORS = {
+    "sharded_search_speedup_x": 0.5,
+    "podsd_throughput_rps": 50.0,
+}
 
 
 def pick(doc, keys):
@@ -62,17 +70,17 @@ def main():
         if label in THREAD_SENSITIVE and baseline.get("host_threads") != fresh.get(
             "host_threads"
         ):
+            floor = ABSOLUTE_FLOORS[label]
             print(
                 f"[bench-regression] {label}: host_threads differ "
                 f"(baseline {baseline.get('host_threads')}, fresh "
                 f"{fresh.get('host_threads')}), using absolute floor "
-                f"{ABSOLUTE_FLOOR:.1f}x"
+                f"{floor:.1f}"
             )
-            floor = ABSOLUTE_FLOOR
         verdict = "OK" if new >= floor else "REGRESSION"
         print(
-            f"[bench-regression] {label}: fresh {new:.1f}x vs baseline "
-            f"{base:.1f}x (floor {floor:.1f}x) -> {verdict}"
+            f"[bench-regression] {label}: fresh {new:.1f} vs baseline "
+            f"{base:.1f} (floor {floor:.1f}) -> {verdict}"
         )
         if new < floor:
             failures.append(f"{label}: {new:.1f}x < floor {floor:.1f}x")

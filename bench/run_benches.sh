@@ -11,7 +11,7 @@ OUT="${2:-BENCH_possible_worlds.json}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "${REPO_ROOT}"
 
-for bin in bench_possible_worlds bench_standalone; do
+for bin in bench_possible_worlds bench_standalone bench_podsd; do
   if [[ ! -x "${BUILD_DIR}/${bin}" ]]; then
     echo "error: ${BUILD_DIR}/${bin} not built (run: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
     exit 1
@@ -62,6 +62,14 @@ SA_T0="$(now_s)"
 SA_T1="$(now_s)"
 SA_SECONDS="$(awk -v a="${SA_T0}" -v b="${SA_T1}" 'BEGIN{printf "%.3f", b-a}')"
 
+echo "== bench_podsd (daemon throughput) =="
+PODSD_LOG="$(mktemp)"
+"${BUILD_DIR}/bench_podsd" | tee "${PODSD_LOG}"
+# "E7 podsd: clients=4 requests=4000 seconds=0.71 rps=5633.8"
+PODSD_RPS="$(grep -o 'rps=[0-9.]*' "${PODSD_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+PODSD_CLIENTS="$(grep -o 'clients=[0-9]*' "${PODSD_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+rm -f "${PODSD_LOG}"
+
 GIT_REV="$(git -C "${REPO_ROOT}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 # standalone_min_speedup_x duplicates e1c_min_speedup_x under the name the
@@ -93,7 +101,9 @@ cat >"${LATEST_JSON}" <<EOF
   "k24_sharded_search_ms": ${E1F_SHARDED_MS:-null},
   "sharded_search_speedup_x": ${E1F_SHARDED_SPEEDUP:-null},
   "bench_standalone_worldwalk_seconds": ${SA_SECONDS},
-  "bench_standalone_detail": "${BUILD_DIR}/bench_standalone_worldwalk.json"
+  "bench_standalone_detail": "${BUILD_DIR}/bench_standalone_worldwalk.json",
+  "podsd_throughput_rps": ${PODSD_RPS:-null},
+  "podsd_bench_clients": ${PODSD_CLIENTS:-null}
 }
 EOF
 python3 - "${LATEST_JSON}" "${OUT}" <<'PY'
@@ -106,7 +116,7 @@ HIST_KEYS = [
     "e1e_stream_ms", "e1e_workflow_stream_ms",
     "e1f_deep_chain_speedup_x", "e1f_sharded_search_k",
     "k24_seq_search_ms", "k24_sharded_search_ms",
-    "sharded_search_speedup_x",
+    "sharded_search_speedup_x", "podsd_throughput_rps",
 ]
 
 latest_path, out_path = sys.argv[1], sys.argv[2]

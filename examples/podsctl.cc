@@ -1,0 +1,136 @@
+// podsctl — command-line client for a running podsd.
+//
+//   podsctl <port> ping
+//   podsctl <port> stat
+//   podsctl <port> certify <workflow> gamma=<G> hidden=<a,b,...>
+//                  [deadline_ms=<N>] [budget=<bytes>]
+//
+// Exit status: 0 on an OK response, 1 on a transport error, 3 when the
+// daemon answered with a typed error (the wire status is printed).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/client.h"
+#include "server/protocol.h"
+
+namespace {
+
+using provview::CertifyRequest;
+using provview::CertifyResponse;
+using provview::PodsClient;
+using provview::StatSnapshot;
+using provview::Status;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: podsctl <port> ping\n"
+               "       podsctl <port> stat\n"
+               "       podsctl <port> certify <workflow> gamma=<G>"
+               " hidden=<a,b,...> [deadline_ms=<N>] [budget=<bytes>]\n");
+  return 2;
+}
+
+bool ParseList(const char* s, std::vector<uint32_t>* out) {
+  while (*s != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || v < 0) return false;
+    out->push_back(static_cast<uint32_t>(v));
+    if (*end == ',') {
+      s = end + 1;
+    } else if (*end == '\0') {
+      s = end;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunCertify(PodsClient& client, int argc, char** argv) {
+  CertifyRequest req;
+  req.workflow = argv[0];
+  provview::CertifyItem item;
+  bool have_gamma = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "gamma=", 6) == 0) {
+      item.gamma = std::strtoll(arg + 6, nullptr, 10);
+      have_gamma = true;
+    } else if (std::strncmp(arg, "hidden=", 7) == 0) {
+      if (!ParseList(arg + 7, &item.hidden_attrs)) return Usage();
+    } else if (std::strncmp(arg, "deadline_ms=", 12) == 0) {
+      req.deadline_ms = std::strtoll(arg + 12, nullptr, 10);
+    } else if (std::strncmp(arg, "budget=", 7) == 0) {
+      req.memory_budget = std::strtoll(arg + 7, nullptr, 10);
+    } else {
+      return Usage();
+    }
+  }
+  if (!have_gamma) return Usage();
+  req.items.push_back(std::move(item));
+
+  CertifyResponse resp;
+  const Status s = client.Certify(req, /*batch=*/false, &resp);
+  if (!s.ok()) {
+    std::fprintf(stderr, "certify: [%d] %s\n", static_cast<int>(s.code()),
+                 s.message().c_str());
+    return 3;
+  }
+  for (const provview::CertifyEntry& e : resp.entries) {
+    std::printf("certified: %s\n", e.certified ? "yes" : "no");
+    std::printf("module_gammas:");
+    for (int64_t g : e.module_gammas) std::printf(" %lld", (long long)g);
+    std::printf("\nrequired_privatizations:");
+    for (uint32_t m : e.required_privatizations) std::printf(" %u", m);
+    std::printf("\n");
+  }
+  std::printf("checker_calls: %llu\ncache_hits: %llu\n",
+              (unsigned long long)resp.checker_calls,
+              (unsigned long long)resp.cache_hits);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const long port = std::strtol(argv[1], nullptr, 10);
+  if (port <= 0 || port > 65535) return Usage();
+
+  PodsClient client;
+  const Status connected = client.Connect(static_cast<uint16_t>(port));
+  if (!connected.ok()) {
+    std::fprintf(stderr, "podsctl: %s\n", connected.message().c_str());
+    return 1;
+  }
+
+  const std::string cmd = argv[2];
+  if (cmd == "ping") {
+    const Status s = client.Ping();
+    if (!s.ok()) {
+      std::fprintf(stderr, "ping: %s\n", s.message().c_str());
+      return 3;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (cmd == "stat") {
+    StatSnapshot stats;
+    const Status s = client.Stat(&stats);
+    if (!s.ok()) {
+      std::fprintf(stderr, "stat: %s\n", s.message().c_str());
+      return 3;
+    }
+    for (const auto& [key, value] : stats) {
+      std::printf("%-22s %llu\n", key.c_str(), (unsigned long long)value);
+    }
+    return 0;
+  }
+  if (cmd == "certify" && argc >= 4) {
+    return RunCertify(client, argc - 3, argv + 3);
+  }
+  return Usage();
+}

@@ -1,0 +1,70 @@
+// podsd — the certification daemon, as a standalone binary.
+//
+//   podsd [--port=N]
+//
+// Binds 127.0.0.1 (port 0 = kernel-assigned, printed on stdout), serves the
+// built-in workflow registry, and runs until SIGINT/SIGTERM. Pair with
+// podsctl to talk to it:
+//
+//   $ podsd --port=7411 &
+//   $ podsctl 7411 ping
+//   $ podsctl 7411 certify fig1 gamma=2 hidden=3,4
+//   $ podsctl 7411 stat
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/daemon.h"
+#include "server/registry.h"
+
+int main(int argc, char** argv) {
+  uint16_t port = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--port=", 7) == 0) {
+      const long v = std::strtol(arg + 7, nullptr, 10);
+      if (v < 0 || v > 65535) {
+        std::fprintf(stderr, "podsd: bad port '%s'\n", arg + 7);
+        return 2;
+      }
+      port = static_cast<uint16_t>(v);
+    } else {
+      std::fprintf(stderr, "usage: podsd [--port=N]\n");
+      return 2;
+    }
+  }
+
+  // Block the termination signals BEFORE starting threads so every thread
+  // inherits the mask and sigwait below is the only consumer.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  provview::WorkflowRegistry registry;
+  registry.RegisterBuiltins();
+
+  provview::PodsDaemon daemon(&registry);
+  const provview::Status started = daemon.Start(port);
+  if (!started.ok()) {
+    std::fprintf(stderr, "podsd: %s\n", started.message().c_str());
+    return 1;
+  }
+
+  std::printf("podsd listening on 127.0.0.1:%u\n", daemon.port());
+  std::printf("workflows:");
+  for (const std::string& name : registry.Names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::printf("podsd: caught signal %d, shutting down\n", sig);
+  daemon.Stop();
+  return 0;
+}

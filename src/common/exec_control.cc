@@ -1,0 +1,44 @@
+#include "common/exec_control.h"
+
+namespace provview {
+
+bool ExecControl::TryCharge(int64_t bytes) const {
+  if (bytes <= 0) return true;
+  const int64_t budget = memory_budget_.load(std::memory_order_relaxed);
+  int64_t used = bytes_in_use_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (used > budget - bytes) {
+      trip(StatusCode::kResourceExhausted);
+      return false;
+    }
+    if (bytes_in_use_.compare_exchange_weak(used, used + bytes,
+                                            std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  const int64_t now_used = used + bytes;
+  int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (now_used > peak &&
+         !peak_bytes_.compare_exchange_weak(peak, now_used,
+                                            std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void ExecControl::Release(int64_t bytes) const {
+  if (bytes <= 0) return;
+  bytes_in_use_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+Status ExecControl::Check() const {
+  if (!tripped_.load(std::memory_order_acquire)) return Status::OK();
+  switch (trip_code_.load(std::memory_order_acquire)) {
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted("memory budget exhausted");
+    default:
+      return Status::DeadlineExceeded(cancelled() ? "request cancelled"
+                                                  : "deadline exceeded");
+  }
+}
+
+}  // namespace provview

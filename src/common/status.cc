@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unbounded";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

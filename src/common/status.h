@@ -26,6 +26,7 @@ enum class StatusCode {
   kInfeasible,   ///< optimization problem has no feasible solution
   kUnbounded,    ///< LP objective is unbounded
   kTimeout,      ///< solver hit its iteration/node budget
+  kDeadlineExceeded,  ///< cooperative deadline/cancellation tripped
 };
 
 /// Returns a short human-readable name for a status code.
@@ -68,6 +69,9 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

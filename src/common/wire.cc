@@ -1,0 +1,23 @@
+#include "common/wire.h"
+
+namespace provview {
+
+Status WireReader::ReadString(std::string* v, uint32_t max_len) {
+  uint32_t len;
+  PV_RETURN_IF_ERROR(ReadU32(&len));
+  if (len > max_len) {
+    return Status::InvalidArgument("string length " + std::to_string(len) +
+                                   " exceeds limit " +
+                                   std::to_string(max_len));
+  }
+  if (remaining() < len) {
+    return Status::InvalidArgument(
+        "truncated string: declared " + std::to_string(len) +
+        " bytes, have " + std::to_string(remaining()));
+  }
+  v->assign(bytes_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+}  // namespace provview

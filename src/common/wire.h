@@ -1,0 +1,121 @@
+// Bounds-checked little-endian binary encoding, the byte-level substrate of
+// the podsd wire protocol and the binary instance/solution serializers.
+// WireWriter appends into a std::string; WireReader is a cursor over a byte
+// span whose every Read* validates the remaining length first — truncated or
+// hostile input yields Status::InvalidArgument, never an over-read. Nothing
+// here aborts: this layer exists so that ALL external bytes are validated at
+// the boundary (memcached's error-isolation discipline) before any engine
+// code sees them.
+#ifndef PROVVIEW_COMMON_WIRE_H_
+#define PROVVIEW_COMMON_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace provview {
+
+/// Appends fixed-width little-endian fields to a growing byte string.
+class WireWriter {
+ public:
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void PutU16(uint16_t v) { PutLE(v); }
+  void PutU32(uint32_t v) { PutLE(v); }
+  void PutU64(uint64_t v) { PutLE(v); }
+  void PutI64(int64_t v) { PutLE(static_cast<uint64_t>(v)); }
+  void PutDouble(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutLE(bits);
+  }
+  /// u32 length prefix + raw bytes.
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+
+ private:
+  template <typename T>
+  void PutLE(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out_->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  std::string* out_;
+};
+
+/// Cursor over immutable bytes; every read is bounds-checked and returns
+/// Status::InvalidArgument on truncation. The reader never touches bytes
+/// past `size()`, so feeding it an arbitrary prefix of a valid message is
+/// always safe (the malformed-input corpus test exercises exactly this).
+class WireReader {
+ public:
+  explicit WireReader(std::string_view bytes) : bytes_(bytes) {}
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+  Status ReadU8(uint8_t* v) { return ReadLE(v); }
+  Status ReadU16(uint16_t* v) { return ReadLE(v); }
+  Status ReadU32(uint32_t* v) { return ReadLE(v); }
+  Status ReadU64(uint64_t* v) { return ReadLE(v); }
+  Status ReadI64(int64_t* v) {
+    uint64_t bits;
+    PV_RETURN_IF_ERROR(ReadLE(&bits));
+    *v = static_cast<int64_t>(bits);
+    return Status::OK();
+  }
+  Status ReadDouble(double* v) {
+    uint64_t bits;
+    PV_RETURN_IF_ERROR(ReadLE(&bits));
+    std::memcpy(v, &bits, sizeof(*v));
+    return Status::OK();
+  }
+
+  /// u32 length prefix + bytes; rejects prefixes longer than the remaining
+  /// input or than `max_len` (so a hostile 4 GiB length can neither
+  /// over-read nor force a huge allocation).
+  Status ReadString(std::string* v, uint32_t max_len);
+
+  /// Requires every byte to have been consumed (trailing garbage is a
+  /// protocol error, not padding).
+  Status ExpectEnd() const {
+    if (!AtEnd()) {
+      return Status::InvalidArgument("trailing bytes after message body");
+    }
+    return Status::OK();
+  }
+
+ private:
+  template <typename T>
+  Status ReadLE(T* v) {
+    if (remaining() < sizeof(T)) {
+      return Status::InvalidArgument("truncated input: need " +
+                                     std::to_string(sizeof(T)) +
+                                     " bytes, have " +
+                                     std::to_string(remaining()));
+    }
+    T out = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out |= static_cast<T>(static_cast<uint8_t>(bytes_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += sizeof(T);
+    *v = out;
+    return Status::OK();
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_COMMON_WIRE_H_

@@ -97,7 +97,7 @@ struct ShardResult {
 // changes per step (amortized O(1) updates).
 void WalkShard(const PrunedInstance& inst, int64_t begin, int64_t end,
                SeenUnion* seen_union, std::atomic<bool>* stop,
-               ShardResult* out) {
+               const ExecControl* control, ShardResult* out) {
   if (begin >= end) return;
   const int n = inst.n;
   std::vector<int32_t> idx(static_cast<size_t>(n), 0);
@@ -128,6 +128,10 @@ void WalkShard(const PrunedInstance& inst, int64_t begin, int64_t end,
 
   for (;;) {
     if (stop->load(std::memory_order_relaxed)) return;
+    if (control != nullptr && control->Expired()) {
+      stop->store(true, std::memory_order_relaxed);
+      return;
+    }
     if (uncovered == 0) {
       ++out->num_worlds;
       if (unseen_pairs > 0) {
@@ -191,6 +195,11 @@ StandaloneWorlds EnumerateStandaloneWorlds(RowSupplier* rows,
                                            const Bitset64& visible,
                                            const EnumerationOptions& opts) {
   StandaloneWorlds result;
+  const ExecControl* control = opts.control;
+  if (control != nullptr && control->ExpiredNow()) {
+    result.status = control->Check();
+    return result;
+  }
   const Schema& row_schema = rows->schema();
   const AttributeCatalog& catalog = *row_schema.catalog();
 
@@ -222,6 +231,10 @@ StandaloneWorlds EnumerateStandaloneWorlds(RowSupplier* rows,
     rows->Reset();
     int64_t got;
     while ((got = rows->NextBlock(&block)) > 0) {
+      if (control != nullptr && control->ExpiredNow()) {
+        result.status = control->Check();
+        return result;
+      }
       for (int64_t r = 0; r < got; ++r) {
         const Value* row = &block[static_cast<size_t>(r) * arity];
         for (size_t j = 0; j < in_pos.size(); ++j) {
@@ -244,14 +257,26 @@ StandaloneWorlds EnumerateStandaloneWorlds(RowSupplier* rows,
   for (AttrId id : outputs) out_radices.push_back(catalog.DomainSize(id));
   int64_t range = 1;
   for (int r : out_radices) range = SaturatingMul(range, r);
-  PV_CHECK_MSG(range <= std::numeric_limits<int>::max(),
-               "output range too large for world enumeration");
-  // The per-slot feasibility scan materializes O(|Range|) tuples and walks
-  // n*|Range| codes; since the pruned space satisfies ∏|feasible_i| ≤ ...
-  // only after the scan, bound the scan itself by the caller's budget
-  // (|Range| ≤ |Range|^N, so this rejects nothing the naive guard allowed).
-  PV_CHECK_MSG(range <= opts.max_candidates,
-               "standalone world space too large: output range " << range);
+  // Candidate-space guards: library callers keep the historical
+  // PV_CHECK-abort (a programming error in a batch script), but in service
+  // mode (an ExecControl is attached) an oversized request is external
+  // input and must come back as a typed RESOURCE_EXHAUSTED status.
+  if (range > std::numeric_limits<int>::max() || range > opts.max_candidates) {
+    if (control != nullptr) {
+      result.status = Status::ResourceExhausted(
+          "standalone world space too large: output range " +
+          std::to_string(range));
+      return result;
+    }
+    // The per-slot feasibility scan materializes O(|Range|) tuples and walks
+    // n*|Range| codes; since the pruned space satisfies ∏|feasible_i| ≤ ...
+    // only after the scan, bound the scan itself by the caller's budget
+    // (|Range| ≤ |Range|^N, so this rejects nothing the naive guard allowed).
+    PV_CHECK_MSG(range <= std::numeric_limits<int>::max(),
+                 "output range too large for world enumeration");
+    PV_CHECK_MSG(range <= opts.max_candidates,
+                 "standalone world space too large: output range " << range);
+  }
   result.naive_candidates = SaturatingPow(range, n);
 
   // Visible-output fragment of every output code, computed once and shared
@@ -273,6 +298,10 @@ StandaloneWorlds EnumerateStandaloneWorlds(RowSupplier* rows,
   inst.tids.resize(static_cast<size_t>(n));
   result.pruned_candidates = 1;
   for (int i = 0; i < n; ++i) {
+    if (control != nullptr && control->ExpiredNow()) {
+      result.status = control->Check();
+      return result;
+    }
     const Tuple& x = input_interner.TupleOf(i);
     Tuple v;
     v.reserve(vis_in_pos.size() + vis_out_pos.size());
@@ -291,9 +320,17 @@ StandaloneWorlds EnumerateStandaloneWorlds(RowSupplier* rows,
         result.pruned_candidates,
         static_cast<int64_t>(inst.codes[static_cast<size_t>(i)].size()));
   }
-  PV_CHECK_MSG(result.pruned_candidates <= opts.max_candidates,
-               "standalone world space too large after pruning: "
-                   << result.pruned_candidates);
+  if (result.pruned_candidates > opts.max_candidates) {
+    if (control != nullptr) {
+      result.status = Status::ResourceExhausted(
+          "standalone world space too large after pruning: " +
+          std::to_string(result.pruned_candidates));
+      return result;
+    }
+    PV_CHECK_MSG(result.pruned_candidates <= opts.max_candidates,
+                 "standalone world space too large after pruning: "
+                     << result.pruned_candidates);
+  }
   if (result.pruned_candidates == 0) return result;  // some slot infeasible
 
   // Shard the walk over slot 0's feasible codes.
@@ -306,17 +343,18 @@ StandaloneWorlds EnumerateStandaloneWorlds(RowSupplier* rows,
   std::atomic<bool> stop(false);
   std::vector<ShardResult> partials(static_cast<size_t>(shards));
   if (shards <= 1) {
-    WalkShard(inst, 0, slot0, &seen_union, &stop, &partials[0]);
+    WalkShard(inst, 0, slot0, &seen_union, &stop, control, &partials[0]);
   } else {
     ThreadPool pool(shards);
     pool.ShardedFor(slot0, shards,
                     [&](int shard, int64_t begin, int64_t end) {
-                      WalkShard(inst, begin, end, &seen_union, &stop,
+                      WalkShard(inst, begin, end, &seen_union, &stop, control,
                                 &partials[static_cast<size_t>(shard)]);
                     });
   }
   for (const ShardResult& p : partials) result.num_worlds += p.num_worlds;
   result.early_stopped = stop.load();
+  if (control != nullptr) result.status = control->Check();
 
   // Materialize OUT sets from the union of seen (slot, code) pairs.
   for (int i = 0; i < n; ++i) {
@@ -453,6 +491,11 @@ std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
 std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
     const Workflow& workflow, const WorkflowTablesOptions& opts) {
   auto t = std::make_shared<WorkflowTables>();
+  const ExecControl* control = opts.control;
+  if (control != nullptr && control->ExpiredNow()) {
+    t->status = control->Check();
+    return t;
+  }
   t->workflow = &workflow;
   const AttributeCatalog& catalog = *workflow.catalog();
   t->num_attrs = catalog.size();
@@ -494,14 +537,28 @@ std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
     }
     t->dom_size[si] = dom;
     t->range_size[si] = range;
-    PV_CHECK_MSG(dom <= (1 << 20) && range <= std::numeric_limits<int>::max(),
-                 "module " << m.name() << " too large for world enumeration");
+    if (dom > (1 << 20) || range > std::numeric_limits<int>::max()) {
+      if (control != nullptr) {
+        t->status = Status::ResourceExhausted(
+            "module " + m.name() + " too large for world enumeration");
+        return t;
+      }
+      PV_CHECK_MSG(
+          dom <= (1 << 20) && range <= std::numeric_limits<int>::max(),
+          "module " << m.name() << " too large for world enumeration");
+    }
     // The execution plan already swept this module's domain (same odometer
     // order, same little-endian output encoding); reuse its table instead
     // of running the full-domain Eval sweep a second time.
     PV_CHECK(static_cast<int64_t>(plan->modules[si].fn.size()) == dom);
     t->original_fn[si] = plan->modules[si].fn;
     const size_t n_out = t->out_attrs[si].size();
+    if (control != nullptr &&
+        !control->TryCharge(range * static_cast<int64_t>(n_out) *
+                            static_cast<int64_t>(sizeof(int32_t)))) {
+      t->status = control->Check();
+      return t;
+    }
     t->out_values.emplace_back(static_cast<size_t>(range) * n_out);
     for (int64_t c = 0; c < range; ++c) {
       for (size_t j = 0; j < n_out; ++j) {
@@ -517,9 +574,17 @@ std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
   }
   int64_t execs = 1;
   for (int r : t->init_radices) execs = SaturatingMul(execs, r);
-  PV_CHECK_MSG(execs <= opts.max_executions,
-               "initial-input space too large for world enumeration: "
-                   << execs);
+  if (execs > opts.max_executions) {
+    if (control != nullptr) {
+      t->status = Status::ResourceExhausted(
+          "initial-input space too large for world enumeration: " +
+          std::to_string(execs));
+      return t;
+    }
+    PV_CHECK_MSG(execs <= opts.max_executions,
+                 "initial-input space too large for world enumeration: "
+                     << execs);
+  }
   t->num_execs = execs;
   t->prov_ids = workflow.ProvenanceAttrIds();
   t->log_materialized = execs <= opts.materialize_threshold;
@@ -536,6 +601,19 @@ std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
   const std::vector<AttrId>& init_ids = workflow.initial_input_ids();
   const size_t num_init = init_ids.size();
   if (t->log_materialized) {
+    // The per-execution arrays are the dominant footprint of a materialized
+    // build; charge them against the request's budget before allocating so
+    // an oversized request trips RESOURCE_EXHAUSTED instead of OOM-ing the
+    // daemon. The charge lives as long as the tables (request scope).
+    if (control != nullptr &&
+        !control->TryCharge(
+            execs *
+            static_cast<int64_t>((prov_arity + static_cast<size_t>(n) +
+                                  num_init) *
+                                 sizeof(int32_t)))) {
+      t->status = control->Check();
+      return t;
+    }
     t->orig_rows.resize(static_cast<size_t>(execs) * prov_arity);
     t->orig_in_code.resize(static_cast<size_t>(execs) *
                            static_cast<size_t>(n));
@@ -562,6 +640,7 @@ std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
     int64_t e = begin;
     int64_t got;
     while ((got = supplier.NextBlock(&block, chunk)) > 0) {
+      if (control != nullptr && control->Expired()) return;
       for (int64_t r = 0; r < got; ++r, ++e) {
         const Value* row = &block[static_cast<size_t>(r) * prov_arity];
         for (int i = 0; i < n; ++i) {
@@ -589,6 +668,10 @@ std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
   } else {
     ThreadPool pool(shards);
     pool.ShardedFor(execs, shards, scan);
+  }
+  if (control != nullptr) {
+    t->status = control->Check();
+    if (!t->status.ok()) return t;  // partially-scanned tables are unusable
   }
   for (int i = 0; i < n; ++i) {
     std::set<int32_t> merged;
@@ -742,7 +825,7 @@ struct WfShardResult {
 // most-significant digit, so shards are contiguous ranges of the walk).
 void WfWalkShard(const WfInstance& inst, int64_t begin, int64_t end,
                  WfSeenUnion* seen_union, std::atomic<bool>* stop,
-                 WfShardResult* out) {
+                 const ExecControl* control, WfShardResult* out) {
   const WorkflowTables& t = *inst.tables;
   const int m = static_cast<int>(inst.slots.size());
   const int64_t num_execs = t.num_execs;
@@ -838,6 +921,10 @@ void WfWalkShard(const WfInstance& inst, int64_t begin, int64_t end,
   };
 
   for (int64_t e = 0; e < num_execs; ++e) {
+    if (control != nullptr && control->Expired()) {
+      stop->store(true, std::memory_order_relaxed);
+      return;
+    }
     row_tid[static_cast<size_t>(e)] = run_exec(e, 0);
     cover(row_tid[static_cast<size_t>(e)]);
   }
@@ -868,6 +955,12 @@ void WfWalkShard(const WfInstance& inst, int64_t begin, int64_t end,
   };
   for (;;) {
     if (stop->load(std::memory_order_relaxed)) return;
+    // Deadline/cancel poll: Expired() amortizes the clock read over a
+    // thread-local stride, so this costs one relaxed load per step.
+    if (control != nullptr && control->Expired()) {
+      stop->store(true, std::memory_order_relaxed);
+      return;
+    }
     if (invalid == 0 && uncovered == 0) {
       ++out->num_function_choices;
       if (inst.collect_distinct) {
@@ -975,9 +1068,28 @@ WorkflowWorlds EnumerateWorkflowWorlds(const WorkflowTables& tables,
                                        const std::vector<int>& fixed_modules,
                                        const WorkflowEnumerationOptions& opts) {
   WorkflowWorlds result;
-  PV_CHECK_MSG(tables.log_materialized,
-               "world enumeration needs a materialized execution log; "
-               "rebuild the tables with materialize_threshold >= num_execs");
+  const ExecControl* control = opts.control;
+  if (!tables.status.ok()) {
+    // Tables from an aborted service-mode build carry their trip status;
+    // never walk them.
+    result.status = tables.status;
+    return result;
+  }
+  if (control != nullptr && control->ExpiredNow()) {
+    result.status = control->Check();
+    return result;
+  }
+  if (!tables.log_materialized) {
+    if (control != nullptr) {
+      result.status = Status::InvalidArgument(
+          "world enumeration needs a materialized execution log; "
+          "rebuild the tables with materialize_threshold >= num_execs");
+      return result;
+    }
+    PV_CHECK_MSG(tables.log_materialized,
+                 "world enumeration needs a materialized execution log; "
+                 "rebuild the tables with materialize_threshold >= num_execs");
+  }
   const Workflow& workflow = *tables.workflow;
   const int n = tables.num_modules;
   result.out_sets.resize(static_cast<size_t>(n));
@@ -1025,6 +1137,10 @@ WorkflowWorlds EnumerateWorkflowWorlds(const WorkflowTables& tables,
   {
     Tuple vis(inst.visible_pos.size());
     for (int64_t e = 0; e < tables.num_execs; ++e) {
+      if (control != nullptr && control->Expired()) {
+        result.status = control->Check();
+        return result;
+      }
       const int32_t* row = &tables.orig_rows[static_cast<size_t>(e) * prov_arity];
       for (size_t p = 0; p < inst.visible_pos.size(); ++p) {
         vis[p] = row[static_cast<size_t>(inst.visible_pos[p])];
@@ -1256,9 +1372,17 @@ WorkflowWorlds EnumerateWorkflowWorlds(const WorkflowTables& tables,
           static_cast<int64_t>(det_codes[si][k].size()));
     }
   }
-  PV_CHECK_MSG(result.pruned_candidates <= opts.max_candidates,
-               "workflow world space too large after pruning: "
-                   << result.pruned_candidates);
+  if (result.pruned_candidates > opts.max_candidates) {
+    if (control != nullptr) {
+      result.status = Status::ResourceExhausted(
+          "workflow world space too large after pruning: " +
+          std::to_string(result.pruned_candidates));
+      return result;
+    }
+    PV_CHECK_MSG(result.pruned_candidates <= opts.max_candidates,
+                 "workflow world space too large after pruning: "
+                     << result.pruned_candidates);
+  }
   if (result.pruned_candidates == 0) return result;  // some slot infeasible
 
   // Sharding splits slot 0's candidate list across the pool, but the
@@ -1334,15 +1458,33 @@ WorkflowWorlds EnumerateWorkflowWorlds(const WorkflowTables& tables,
   WfSeenUnion seen_union(inst, opts.gamma);
   std::atomic<bool> stop(false);
   std::vector<WfShardResult> partials(static_cast<size_t>(shards));
+  // Each shard keeps per-execution values/trace/row_tid arrays; charge the
+  // whole fleet against the request budget up front (released after the
+  // walk — the charge covers peak transient footprint, not retained state).
+  const int64_t walk_bytes =
+      static_cast<int64_t>(shards) * tables.num_execs *
+      static_cast<int64_t>((static_cast<size_t>(tables.num_attrs) +
+                            static_cast<size_t>(std::max(inst.num_free, 1)) +
+                            1) *
+                           sizeof(int32_t));
+  if (control != nullptr && !control->TryCharge(walk_bytes)) {
+    result.status = control->Check();
+    return result;
+  }
   if (shards <= 1) {
-    WfWalkShard(inst, 0, slot0, &seen_union, &stop, &partials[0]);
+    WfWalkShard(inst, 0, slot0, &seen_union, &stop, control, &partials[0]);
   } else {
     ThreadPool pool(shards);
     pool.ShardedFor(slot0, shards,
                     [&](int shard, int64_t begin, int64_t end) {
                       WfWalkShard(inst, begin, end, &seen_union, &stop,
+                                  control,
                                   &partials[static_cast<size_t>(shard)]);
                     });
+  }
+  if (control != nullptr) {
+    control->Release(walk_bytes);
+    result.status = control->Check();
   }
   result.early_stopped = stop.load();
   std::unordered_set<std::vector<int32_t>, TupleVectorHasher> distinct;
@@ -1389,8 +1531,10 @@ WorkflowWorlds EnumerateWorkflowWorlds(const Workflow& workflow,
                                        const Bitset64& visible,
                                        const std::vector<int>& fixed_modules,
                                        const WorkflowEnumerationOptions& opts) {
-  return EnumerateWorkflowWorlds(*BuildWorkflowTables(workflow), visible,
-                                 fixed_modules, opts);
+  WorkflowTablesOptions topts;
+  topts.control = opts.control;  // the build shares the request's deadline
+  return EnumerateWorkflowWorlds(*BuildWorkflowTables(workflow, topts),
+                                 visible, fixed_modules, opts);
 }
 
 WorkflowWorlds EnumerateWorkflowWorlds(const Workflow& workflow,

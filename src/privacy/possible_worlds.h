@@ -23,6 +23,7 @@
 #include <set>
 #include <vector>
 
+#include "common/exec_control.h"
 #include "relation/row_supplier.h"
 #include "workflow/workflow.h"
 
@@ -45,6 +46,12 @@ struct EnumerationOptions {
   /// Pruned spaces at or below this size always run sequentially (the pool
   /// overhead would dominate).
   int64_t min_parallel_candidates = 4096;
+  /// Optional deadline/cancellation/memory-budget token (service mode).
+  /// When set, the walk polls it at chunk boundaries and a tripped control
+  /// stops the enumeration with a typed `status` (DEADLINE_EXCEEDED /
+  /// RESOURCE_EXHAUSTED) instead of aborting — including the candidate-space
+  /// guards, which PV_CHECK-abort only when no control is attached.
+  const ExecControl* control = nullptr;
 };
 
 /// Result of enumerating Worlds(R, V) for a standalone module.
@@ -60,6 +67,10 @@ struct StandaloneWorlds {
   int64_t pruned_candidates = 0;
   /// |Range|^N: candidates the naive engine would walk.
   int64_t naive_candidates = 0;
+  /// OK on a completed run. DEADLINE_EXCEEDED / RESOURCE_EXHAUSTED when the
+  /// attached ExecControl tripped: counts and OUT sets are then the partial
+  /// state at the stop point (stats, not verdicts).
+  Status status;
 
   /// min_x |OUT_{x,m}| — the exact largest safe Γ. INT64_MAX when no input.
   int64_t MinOutSize() const;
@@ -133,6 +144,9 @@ struct WorkflowWorlds {
   int64_t pruned_candidates = 0;
   /// ∏ |Range_i|^{|Dom_i|} over free modules: the naive joint space.
   int64_t naive_candidates = 0;
+  /// OK on a completed run. DEADLINE_EXCEEDED / RESOURCE_EXHAUSTED when the
+  /// attached ExecControl tripped mid-walk (partial counts, no verdict).
+  Status status;
 
   /// min over private-module inputs of |OUT| for a given module index.
   int64_t MinOutSize(int module_index) const;
@@ -168,6 +182,9 @@ struct WorkflowEnumerationOptions {
   /// range. Exact — identical results with the pass on or off; off
   /// reproduces the determined-input-only engine for A/B benchmarking.
   bool use_feasible_sets = true;
+  /// Optional deadline/cancellation/memory-budget token (service mode); see
+  /// EnumerationOptions::control for the contract.
+  const ExecControl* control = nullptr;
 };
 
 /// Immutable per-workflow tables shared by every enumeration over the same
@@ -216,6 +233,10 @@ struct WorkflowTables {
   std::vector<int32_t> orig_in_code;
   /// Initial-input values per execution, flattened num_execs × |I_0|.
   std::vector<int32_t> init_values;
+  /// OK on a completed build. When WorkflowTablesOptions::control tripped
+  /// (deadline or memory budget) the build stops early, this carries the
+  /// typed reason, and the tables must not be fed to the enumerators.
+  Status status;
 };
 
 /// Knobs of the workflow-tables build.
@@ -233,6 +254,11 @@ struct WorkflowTablesOptions {
   /// shard owns its own ExecutionSupplier over a contiguous execution
   /// range; per-shard aggregates merge deterministically.
   int num_threads = 1;
+  /// Optional deadline/cancellation/memory-budget token (service mode).
+  /// The streamed scan polls it at chunk boundaries and the per-execution
+  /// arrays are charged against its memory budget before allocation; a trip
+  /// surfaces as WorkflowTables::status instead of a PV_CHECK abort.
+  const ExecControl* control = nullptr;
 };
 
 /// Precomputes the shared tables, streaming the execution log from the

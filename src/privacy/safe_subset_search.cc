@@ -54,9 +54,11 @@ std::vector<Bitset64> MinimalSafeHiddenSets(SafetyMemo* memo,
                "subset search limited to k <= " << kMaxSubsetSearchAttrs
                                                 << ", got " << k);
   const int threads = ThreadPool::Resolve(opts.num_threads);
+  const ExecControl* control = opts.control;
   std::unique_ptr<ThreadPool> pool;
 
   std::vector<Bitset64> minimal;
+  if (control != nullptr && control->ExpiredNow()) return minimal;
   // One combo of the current level: examined, dominance-tested against the
   // minimal sets of the completed levels (same-size sets are incomparable,
   // so the in-flight level never has to see its own discoveries), then
@@ -84,9 +86,16 @@ std::vector<Bitset64> MinimalSafeHiddenSets(SafetyMemo* memo,
         total <= opts.min_parallel_subsets ? 1 : threads, total));
     if (shards <= 1) {
       std::vector<Bitset64> safe;
-      ForEachSubsetOfSizeRange(
-          k, size, 0, total,
-          [&](const Bitset64& combo) { visit(combo, memo, stats, &safe); });
+      ForEachSubsetOfSizeRangeWhile(k, size, 0, total,
+                                    [&](const Bitset64& combo) {
+                                      visit(combo, memo, stats, &safe);
+                                      return control == nullptr ||
+                                             !control->Expired();
+                                    });
+      // A level cut short by the deadline may have missed minimal sets, so
+      // its partial discoveries cannot be merged (they would masquerade as
+      // the complete antichain). Return the completed levels only.
+      if (control != nullptr && control->ExpiredNow()) return minimal;
       minimal.insert(minimal.end(), safe.begin(), safe.end());
       continue;
     }
@@ -101,19 +110,29 @@ std::vector<Bitset64> MinimalSafeHiddenSets(SafetyMemo* memo,
     pool->ShardedFor(total, shards,
                      [&](int shard, int64_t begin, int64_t end) {
                        ShardOut& o = outs[static_cast<size_t>(shard)];
-                       ForEachSubsetOfSizeRange(
+                       ForEachSubsetOfSizeRangeWhile(
                            k, size, begin, end, [&](const Bitset64& combo) {
                              visit(combo, o.memo.get(), &o.stats, &o.safe);
+                             return control == nullptr ||
+                                    !control->Expired();
                            });
                      });
     // Level barrier: merge discoveries, verdict caches and stats in shard
     // order (exact aggregation — per-shard counters are private, the sums
     // lose nothing and are deterministic for a given thread count).
+    // Settled verdicts are still absorbed on a tripped level (they are
+    // correct and reusable), but its incomplete discoveries are dropped —
+    // see the sequential branch above.
+    const bool level_tripped =
+        control != nullptr && control->ExpiredNow();
     for (ShardOut& o : outs) {
-      minimal.insert(minimal.end(), o.safe.begin(), o.safe.end());
+      if (!level_tripped) {
+        minimal.insert(minimal.end(), o.safe.begin(), o.safe.end());
+      }
       memo->Absorb(*o.memo);
       stats->Accumulate(o.stats);
     }
+    if (level_tripped) return minimal;
   }
   return minimal;
 }
@@ -195,6 +214,7 @@ std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
     const SubsetSearchOptions& opts, SafeSearchStats* stats) {
   const int ni = static_cast<int>(inputs.size());
   const int no = static_cast<int>(outputs.size());
+  const ExecControl* control = opts.control;
   PV_CHECK_MSG(ni + no <= kMaxSubsetSearchAttrs,
                "cardinality search limited to k <= "
                    << kMaxSubsetSearchAttrs);
@@ -218,9 +238,14 @@ std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
                 }
                 ++s->subsets_examined;
                 if (!m->IsSafe(hidden, gamma, s)) all_safe = false;
-                return all_safe;  // first unsafe subset stops the cell
+                // First unsafe subset — or a tripped control — stops the
+                // cell. A deadline-cut cell leaves a stale verdict in the
+                // grid; the caller must discard the frontier whenever
+                // control->Check() is non-OK afterwards.
+                return all_safe &&
+                       (control == nullptr || !control->Expired());
               });
-          return all_safe;
+          return all_safe && (control == nullptr || !control->Expired());
         });
     return all_safe;
   };
@@ -245,6 +270,7 @@ std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
   if (shards <= 1) {
     for (int a = 0; a <= ni; ++a) {
       for (int b = 0; b <= no; ++b) {
+        if (control != nullptr && control->ExpiredNow()) break;
         safe_all[cell_at(a, b)] = cell_safe(a, b, memo, &local_stats) ? 1 : 0;
       }
     }
@@ -259,6 +285,7 @@ std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
     pool.ShardedFor(cells, shards, [&](int shard, int64_t begin, int64_t end) {
       ShardOut& o = outs[static_cast<size_t>(shard)];
       for (int64_t cell = begin; cell < end; ++cell) {
+        if (control != nullptr && control->ExpiredNow()) return;
         const int a = static_cast<int>(cell / (no + 1));
         const int b = static_cast<int>(cell % (no + 1));
         safe_all[cell_at(a, b)] =

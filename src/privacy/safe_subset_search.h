@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/exec_control.h"
 #include "module/module.h"
 #include "privacy/safety_memo.h"
 
@@ -35,6 +36,14 @@ struct SubsetSearchOptions {
   /// Levels with at most this many subsets always run inline (the pool and
   /// memo-clone overhead would dominate).
   int64_t min_parallel_subsets = 4096;
+  /// Optional deadline/cancellation token (service mode). The lattice walk
+  /// polls it per subset (cheap strided poll) and at every level barrier; a
+  /// tripped control makes the searches return early with whatever they
+  /// have (MinimalSafeHiddenSets: the minimal sets of fully completed
+  /// levels; MinimalSafeCardinalityPairs: a frontier that must be
+  /// discarded). Callers MUST treat results as partial whenever
+  /// control->Check() is non-OK afterwards.
+  const ExecControl* control = nullptr;
 };
 
 /// Largest k = |I| + |O| the lattice searches accept. 2^24 subsets is the

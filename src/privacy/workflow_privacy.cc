@@ -61,14 +61,48 @@ PrivacyCertificate CertifyWorkflowPrivacy(const Workflow& workflow,
   return std::move(batch.entries.front().certificate);
 }
 
+WorkflowMemoBank::WorkflowMemoBank(const Workflow& workflow)
+    : workflow_(&workflow) {
+  for (int m_index : workflow.PrivateModuleIndices()) {
+    memos_.push_back(std::make_unique<SafetyMemo>(workflow.module(m_index)));
+    mutexes_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
 WorkflowBatchResult CertifyWorkflowBatch(
     const Workflow& workflow,
     const std::vector<WorkflowCertificationRequest>& requests,
     const WorkflowBatchOptions& opts) {
+  return CertifyWorkflowBatch(workflow, requests, opts, /*bank=*/nullptr);
+}
+
+WorkflowBatchResult CertifyWorkflowBatch(
+    const Workflow& workflow,
+    const std::vector<WorkflowCertificationRequest>& requests,
+    const WorkflowBatchOptions& opts, WorkflowMemoBank* bank) {
   WorkflowBatchResult result;
   const int n = workflow.num_modules();
   result.entries.resize(requests.size());
   const std::vector<int> private_modules = workflow.PrivateModuleIndices();
+  const ExecControl* control = opts.control;
+  PV_CHECK_MSG(bank == nullptr || bank->workflow() == &workflow,
+               "memo bank was built for a different workflow");
+  if (control != nullptr) {
+    // Service mode: structurally invalid requests come back as a typed
+    // status instead of tripping a PV_CHECK deeper in the engines.
+    for (const WorkflowCertificationRequest& req : requests) {
+      if (req.gamma < 1) {
+        result.status =
+            Status::InvalidArgument("gamma must be >= 1, got " +
+                                    std::to_string(req.gamma));
+        return result;
+      }
+    }
+    if (control->ExpiredNow()) {
+      result.status = control->Check();
+      return result;
+    }
+  }
   const int max_threads = opts.num_threads == 0 ? ThreadPool::DefaultThreads()
                                                 : std::max(1, opts.num_threads);
 
@@ -85,10 +119,25 @@ WorkflowBatchResult CertifyWorkflowBatch(
   std::vector<SafeSearchStats> module_stats(private_modules.size());
   auto run_module = [&](size_t mi) {
     const int m_index = private_modules[mi];
-    SafetyMemo memo(workflow.module(m_index));
+    // With a bank, answer from (and settle into) the shared per-module memo
+    // under its lock — per-module locking matches the fan-out granularity,
+    // so concurrent batches never contend on the same module's cache while
+    // it is being used. Without a bank, a batch-local memo (the historical
+    // behavior).
+    std::unique_ptr<SafetyMemo> local;
+    std::unique_lock<std::mutex> lock;
+    SafetyMemo* memo;
+    if (bank != nullptr) {
+      lock = std::unique_lock<std::mutex>(bank->mutex(mi));
+      memo = bank->memo(mi);
+    } else {
+      local = std::make_unique<SafetyMemo>(workflow.module(m_index));
+      memo = local.get();
+    }
     for (size_t r = 0; r < requests.size(); ++r) {
+      if (control != nullptr && control->ExpiredNow()) return;
       gammas[r][static_cast<size_t>(m_index)] =
-          memo.MaxGamma(requests[r].hidden, &module_stats[mi]);
+          memo->MaxGamma(requests[r].hidden, &module_stats[mi]);
     }
   };
   const int module_threads = static_cast<int>(std::min<size_t>(
@@ -103,6 +152,13 @@ WorkflowBatchResult CertifyWorkflowBatch(
     pool.Wait();
   }
   for (const SafeSearchStats& s : module_stats) result.stats.Accumulate(s);
+  if (control != nullptr && !control->Check().ok()) {
+    // Deadline/budget tripped mid-batch: surface the typed status with the
+    // partial stats; entries keep their default (uncertified) state so a
+    // half-computed Γ can never read as a verdict.
+    result.status = control->Check();
+    return result;
+  }
 
   for (size_t r = 0; r < requests.size(); ++r) {
     PrivacyCertificate& cert = result.entries[r].certificate;
@@ -122,23 +178,50 @@ WorkflowBatchResult CertifyWorkflowBatch(
 
   if (opts.with_ground_truth) {
     for (int i : opts.visible_public_modules) {
+      if (control != nullptr && (i < 0 || i >= n)) {
+        result.status = Status::InvalidArgument(
+            "visible public module index out of range: " +
+            std::to_string(i));
+        return result;
+      }
+      if (control != nullptr && !workflow.module(i).is_public()) {
+        result.status = Status::InvalidArgument(
+            "module " + std::to_string(i) + " is not public");
+        return result;
+      }
       PV_CHECK_MSG(workflow.module(i).is_public(),
                    "module " << i << " is not public");
     }
     // One tables build for the whole batch; each request runs the pruned
     // engine with the Γ short-circuit, sequentially inside its worker (the
     // batch layer already owns the parallelism).
+    WorkflowTablesOptions topts;
+    topts.control = control;
     std::shared_ptr<const WorkflowTables> tables =
-        BuildWorkflowTables(workflow);
+        BuildWorkflowTables(workflow, topts);
+    if (!tables->status.ok()) {
+      result.status = tables->status;
+      return result;
+    }
+    // First non-OK enumeration status across the fanned-out requests (all
+    // derive from the shared control or from a per-request space blowup).
+    std::mutex status_mu;
+    Status worlds_status;
     auto run_request = [&](size_t r) {
       WorkflowEnumerationOptions wopts;
       wopts.max_candidates = opts.max_candidates;
       wopts.gamma = requests[r].gamma;
       wopts.collect_distinct_relations = false;
       wopts.num_threads = 1;
+      wopts.control = control;
       WorkflowWorlds worlds = EnumerateWorkflowWorlds(
           *tables, requests[r].hidden.Complement(),
           opts.visible_public_modules, wopts);
+      if (!worlds.status.ok()) {
+        std::lock_guard<std::mutex> g(status_mu);
+        if (worlds_status.ok()) worlds_status = worlds.status;
+        return;  // leave ground_truth_private at its default (false)
+      }
       bool is_private = true;
       if (!worlds.early_stopped) {
         for (int i : private_modules) {
@@ -158,6 +241,7 @@ WorkflowBatchResult CertifyWorkflowBatch(
       }
       pool.Wait();
     }
+    if (!worlds_status.ok()) result.status = worlds_status;
   }
   return result;
 }

@@ -11,8 +11,11 @@
 #define PROVVIEW_PRIVACY_WORKFLOW_PRIVACY_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "common/exec_control.h"
 #include "privacy/safety_memo.h"
 #include "workflow/workflow.h"
 
@@ -79,6 +82,13 @@ struct WorkflowBatchOptions {
   std::vector<int> visible_public_modules;
   /// Pruned-space budget for the ground-truth enumeration.
   int64_t max_candidates = 40000000;
+  /// Optional deadline/cancellation/memory-budget token (service mode). The
+  /// per-module workers poll it between requests and the ground-truth
+  /// engines poll it at chunk boundaries; a trip surfaces as
+  /// WorkflowBatchResult::status — the batch returns partial stats but no
+  /// certified verdicts. When null, guards keep the historical
+  /// PV_CHECK-abort behavior.
+  const ExecControl* control = nullptr;
 };
 
 /// Per-request batch output.
@@ -95,6 +105,34 @@ struct WorkflowBatchResult {
   /// SafetyMemo across the whole batch, so requests whose hidden sets
   /// induce the same projection on a module share one checker call.
   SafeSearchStats stats;
+  /// Non-OK when a service-mode control tripped (DEADLINE_EXCEEDED /
+  /// RESOURCE_EXHAUSTED) or a request was structurally invalid
+  /// (INVALID_ARGUMENT). Entries then carry no certified verdicts — only
+  /// `stats` reflects the partial work done.
+  Status status;
+};
+
+/// Cross-request verdict-cache bank: one SafetyMemo (plus its own mutex)
+/// per private module of one workflow, aligned with
+/// workflow.PrivateModuleIndices(). SafetyMemo is single-threaded by
+/// design; the bank serializes access per module, which is exactly the
+/// granularity the batch driver fans out at — so concurrent batches (e.g.
+/// daemon connections certifying against the same registered workflow)
+/// share settled verdicts without data races and without a global lock.
+class WorkflowMemoBank {
+ public:
+  explicit WorkflowMemoBank(const Workflow& workflow);
+
+  const Workflow* workflow() const { return workflow_; }
+  size_t size() const { return memos_.size(); }
+  /// Memo / lock of the mi-th private module.
+  SafetyMemo* memo(size_t mi) { return memos_[mi].get(); }
+  std::mutex& mutex(size_t mi) { return *mutexes_[mi]; }
+
+ private:
+  const Workflow* workflow_;
+  std::vector<std::unique_ptr<SafetyMemo>> memos_;
+  std::vector<std::unique_ptr<std::mutex>> mutexes_;
 };
 
 /// Certifies many candidate hidden sets / Γ targets in one pass. Unlike
@@ -108,6 +146,14 @@ WorkflowBatchResult CertifyWorkflowBatch(
     const Workflow& workflow,
     const std::vector<WorkflowCertificationRequest>& requests,
     const WorkflowBatchOptions& opts = {});
+
+/// As above, answering from (and settling into) a caller-owned memo bank so
+/// verdicts persist across batches. `bank` must have been built for this
+/// workflow; pass nullptr for the single-batch behavior.
+WorkflowBatchResult CertifyWorkflowBatch(
+    const Workflow& workflow,
+    const std::vector<WorkflowCertificationRequest>& requests,
+    const WorkflowBatchOptions& opts, WorkflowMemoBank* bank);
 
 /// Ground truth via brute-force world enumeration (tiny workflows only):
 /// min over private modules and their original inputs of |OUT_{x,W}|, with

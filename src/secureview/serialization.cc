@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "common/wire.h"
+
 namespace provview {
 
 namespace {
@@ -115,6 +117,11 @@ Result<SecureViewInstance> ParseInstance(const std::string& text) {
     } else if (keyword == "attrs") {
       if (tokens.size() != 2) return Status::InvalidArgument("bad attrs line");
       PV_RETURN_IF_ERROR(ParseInt(tokens[1], &inst.num_attrs));
+      if (inst.num_attrs < 0 ||
+          inst.num_attrs > static_cast<int>(kMaxBinaryAttrs)) {
+        return Status::InvalidArgument("attrs count out of range: " +
+                                       tokens[1]);
+      }
     } else if (keyword == "costs") {
       for (size_t i = 1; i < tokens.size(); ++i) {
         double c;
@@ -224,12 +231,214 @@ Result<SecureViewSolution> ParseSolution(const std::string& text,
         }
         sol.hidden.Set(v);
       } else if (mode == kPrivatized) {
+        if (v < 0) {
+          return Status::OutOfRange("privatized module index out of range");
+        }
         sol.privatized.push_back(v);
       } else {
         return Status::InvalidArgument("value outside a section");
       }
     }
   }
+  return sol;
+}
+
+// ---------------------------------------------------------------------------
+// Binary wire format.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// 'PVSI' / 'PVSL' little-endian, followed by a u16 format version.
+constexpr uint32_t kInstanceMagic = 0x49535650;  // "PVSI"
+constexpr uint32_t kSolutionMagic = 0x4c535650;  // "PVSL"
+constexpr uint16_t kBinaryVersion = 1;
+
+// Reads a u32 count and rejects it before anything is allocated.
+Status ReadCount(WireReader* r, uint32_t max, const char* what,
+                 uint32_t* out) {
+  PV_RETURN_IF_ERROR(r->ReadU32(out));
+  if (*out > max) {
+    return Status::InvalidArgument(std::string(what) + " count " +
+                                   std::to_string(*out) + " exceeds limit " +
+                                   std::to_string(max));
+  }
+  return Status::OK();
+}
+
+// An attribute/module index: non-negative and below `bound`.
+Status ReadIndex(WireReader* r, uint32_t bound, const char* what,
+                 int* out) {
+  uint32_t v;
+  PV_RETURN_IF_ERROR(r->ReadU32(&v));
+  if (v >= bound) {
+    return Status::InvalidArgument(std::string(what) + " index " +
+                                   std::to_string(v) + " out of range");
+  }
+  *out = static_cast<int>(v);
+  return Status::OK();
+}
+
+void PutIndexList(WireWriter* w, const std::vector<int>& values) {
+  w->PutU32(static_cast<uint32_t>(values.size()));
+  for (int v : values) w->PutU32(static_cast<uint32_t>(v));
+}
+
+Status ReadIndexList(WireReader* r, uint32_t bound, const char* what,
+                     std::vector<int>* out) {
+  uint32_t count;
+  PV_RETURN_IF_ERROR(ReadCount(r, kMaxBinaryAttrs, what, &count));
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    int v;
+    PV_RETURN_IF_ERROR(ReadIndex(r, bound, what, &v));
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void SerializeInstanceBinary(const SecureViewInstance& inst,
+                             std::string* out) {
+  WireWriter w(out);
+  w.PutU32(kInstanceMagic);
+  w.PutU16(kBinaryVersion);
+  w.PutU8(inst.kind == ConstraintKind::kCardinality ? 0 : 1);
+  w.PutU32(static_cast<uint32_t>(inst.num_attrs));
+  for (double c : inst.attr_cost) w.PutDouble(c);
+  w.PutU32(static_cast<uint32_t>(inst.modules.size()));
+  for (const SvModule& m : inst.modules) {
+    w.PutString(m.name);
+    w.PutU8(m.is_public ? 1 : 0);
+    w.PutDouble(m.privatization_cost);
+    PutIndexList(&w, m.inputs);
+    PutIndexList(&w, m.outputs);
+    w.PutU32(static_cast<uint32_t>(m.card_options.size()));
+    for (const CardOption& o : m.card_options) {
+      w.PutU32(static_cast<uint32_t>(o.alpha));
+      w.PutU32(static_cast<uint32_t>(o.beta));
+    }
+    w.PutU32(static_cast<uint32_t>(m.set_options.size()));
+    for (const SetOption& o : m.set_options) {
+      PutIndexList(&w, o.hidden_inputs);
+      PutIndexList(&w, o.hidden_outputs);
+    }
+  }
+}
+
+Result<SecureViewInstance> DeserializeInstanceBinary(std::string_view bytes) {
+  WireReader r(bytes);
+  uint32_t magic;
+  uint16_t version;
+  PV_RETURN_IF_ERROR(r.ReadU32(&magic));
+  if (magic != kInstanceMagic) {
+    return Status::InvalidArgument("bad instance magic");
+  }
+  PV_RETURN_IF_ERROR(r.ReadU16(&version));
+  if (version != kBinaryVersion) {
+    return Status::InvalidArgument("unsupported instance format version " +
+                                   std::to_string(version));
+  }
+  SecureViewInstance inst;
+  uint8_t kind;
+  PV_RETURN_IF_ERROR(r.ReadU8(&kind));
+  if (kind > 1) return Status::InvalidArgument("bad constraint kind");
+  inst.kind = kind == 0 ? ConstraintKind::kCardinality : ConstraintKind::kSet;
+  uint32_t num_attrs;
+  PV_RETURN_IF_ERROR(ReadCount(&r, kMaxBinaryAttrs, "attr", &num_attrs));
+  inst.num_attrs = static_cast<int>(num_attrs);
+  // The cost array must fit in what is actually left on the wire — check
+  // before reserving so a forged count cannot force a huge allocation.
+  if (r.remaining() < static_cast<size_t>(num_attrs) * sizeof(double)) {
+    return Status::InvalidArgument("truncated attr cost array");
+  }
+  inst.attr_cost.reserve(num_attrs);
+  for (uint32_t i = 0; i < num_attrs; ++i) {
+    double c;
+    PV_RETURN_IF_ERROR(r.ReadDouble(&c));
+    inst.attr_cost.push_back(c);
+  }
+  uint32_t num_modules;
+  PV_RETURN_IF_ERROR(ReadCount(&r, kMaxBinaryModules, "module",
+                               &num_modules));
+  inst.modules.reserve(num_modules);
+  for (uint32_t mi = 0; mi < num_modules; ++mi) {
+    SvModule m;
+    PV_RETURN_IF_ERROR(r.ReadString(&m.name, kMaxBinaryNameLen));
+    uint8_t is_public;
+    PV_RETURN_IF_ERROR(r.ReadU8(&is_public));
+    if (is_public > 1) return Status::InvalidArgument("bad public flag");
+    m.is_public = is_public == 1;
+    PV_RETURN_IF_ERROR(r.ReadDouble(&m.privatization_cost));
+    PV_RETURN_IF_ERROR(ReadIndexList(&r, num_attrs, "input", &m.inputs));
+    PV_RETURN_IF_ERROR(ReadIndexList(&r, num_attrs, "output", &m.outputs));
+    uint32_t num_card;
+    PV_RETURN_IF_ERROR(ReadCount(&r, kMaxBinaryOptions, "card option",
+                                 &num_card));
+    m.card_options.reserve(num_card);
+    for (uint32_t i = 0; i < num_card; ++i) {
+      CardOption o;
+      // α / β are bounded by the module arity; Validate() enforces that —
+      // here it is enough that they fit a non-negative int.
+      PV_RETURN_IF_ERROR(ReadIndex(&r, kMaxBinaryAttrs, "alpha", &o.alpha));
+      PV_RETURN_IF_ERROR(ReadIndex(&r, kMaxBinaryAttrs, "beta", &o.beta));
+      m.card_options.push_back(o);
+    }
+    uint32_t num_set;
+    PV_RETURN_IF_ERROR(ReadCount(&r, kMaxBinaryOptions, "set option",
+                                 &num_set));
+    m.set_options.reserve(num_set);
+    for (uint32_t i = 0; i < num_set; ++i) {
+      SetOption o;
+      PV_RETURN_IF_ERROR(
+          ReadIndexList(&r, num_attrs, "hidden input", &o.hidden_inputs));
+      PV_RETURN_IF_ERROR(
+          ReadIndexList(&r, num_attrs, "hidden output", &o.hidden_outputs));
+      m.set_options.push_back(std::move(o));
+    }
+    inst.modules.push_back(std::move(m));
+  }
+  PV_RETURN_IF_ERROR(r.ExpectEnd());
+  PV_RETURN_IF_ERROR(inst.Validate());
+  return inst;
+}
+
+void SerializeSolutionBinary(const SecureViewSolution& solution,
+                             std::string* out) {
+  WireWriter w(out);
+  w.PutU32(kSolutionMagic);
+  w.PutU16(kBinaryVersion);
+  PutIndexList(&w, solution.hidden.ToVector());
+  PutIndexList(&w, solution.privatized);
+}
+
+Result<SecureViewSolution> DeserializeSolutionBinary(std::string_view bytes,
+                                                     int num_attrs) {
+  if (num_attrs < 0 || num_attrs > static_cast<int>(kMaxBinaryAttrs)) {
+    return Status::InvalidArgument("attrs count out of range");
+  }
+  WireReader r(bytes);
+  uint32_t magic;
+  uint16_t version;
+  PV_RETURN_IF_ERROR(r.ReadU32(&magic));
+  if (magic != kSolutionMagic) {
+    return Status::InvalidArgument("bad solution magic");
+  }
+  PV_RETURN_IF_ERROR(r.ReadU16(&version));
+  if (version != kBinaryVersion) {
+    return Status::InvalidArgument("unsupported solution format version " +
+                                   std::to_string(version));
+  }
+  SecureViewSolution sol;
+  sol.hidden = Bitset64(num_attrs);
+  std::vector<int> hidden;
+  PV_RETURN_IF_ERROR(ReadIndexList(
+      &r, static_cast<uint32_t>(num_attrs), "hidden attr", &hidden));
+  for (int a : hidden) sol.hidden.Set(a);
+  PV_RETURN_IF_ERROR(ReadIndexList(&r, kMaxBinaryModules, "privatized module",
+                                   &sol.privatized));
+  PV_RETURN_IF_ERROR(r.ExpectEnd());
   return sol;
 }
 

@@ -21,7 +21,9 @@
 #ifndef PROVVIEW_SECUREVIEW_SERIALIZATION_H_
 #define PROVVIEW_SECUREVIEW_SERIALIZATION_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "secureview/instance.h"
 
@@ -39,6 +41,38 @@ std::string SerializeSolution(const SecureViewSolution& solution);
 /// Parses SerializeSolution output; `num_attrs` sizes the hidden bitset.
 Result<SecureViewSolution> ParseSolution(const std::string& text,
                                          int num_attrs);
+
+// ---------------------------------------------------------------------------
+// Binary wire format (the podsd payload encoding). Little-endian, length-
+// prefixed, and fully bounds-checked on the way in: every count is capped
+// before any allocation, every read validates the remaining length, and the
+// decoded instance is structurally Validate()d before it is returned — so a
+// truncated, hostile, or garbage byte string yields Status::InvalidArgument,
+// never an over-read, huge allocation, or abort.
+// ---------------------------------------------------------------------------
+
+/// Hard caps on decoded sizes (counts beyond these are rejected as hostile
+/// input before anything is allocated).
+inline constexpr uint32_t kMaxBinaryAttrs = 1u << 20;
+inline constexpr uint32_t kMaxBinaryModules = 1u << 16;
+inline constexpr uint32_t kMaxBinaryOptions = 1u << 16;
+inline constexpr uint32_t kMaxBinaryNameLen = 1u << 12;
+
+/// Appends the binary rendering of `inst` to `out`.
+void SerializeInstanceBinary(const SecureViewInstance& inst, std::string* out);
+
+/// Decodes SerializeInstanceBinary output (and requires every byte of
+/// `bytes` to be consumed). Validates the result before returning it.
+Result<SecureViewInstance> DeserializeInstanceBinary(std::string_view bytes);
+
+/// Appends the binary rendering of `solution` to `out`.
+void SerializeSolutionBinary(const SecureViewSolution& solution,
+                             std::string* out);
+
+/// Decodes SerializeSolutionBinary output; `num_attrs` sizes the hidden
+/// bitset and bounds the decoded attribute indices.
+Result<SecureViewSolution> DeserializeSolutionBinary(std::string_view bytes,
+                                                     int num_attrs);
 
 }  // namespace provview
 

@@ -1,0 +1,142 @@
+#include "server/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace provview {
+
+namespace {
+
+bool ReadExactFd(int fd, char* buf, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::recv(fd, buf + done, n - done, 0);
+    if (got > 0) {
+      done += static_cast<size_t>(got);
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool WriteAllFd(int fd, std::string_view bytes) {
+  size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t sent =
+        ::send(fd, bytes.data() + done, bytes.size() - done, MSG_NOSIGNAL);
+    if (sent > 0) {
+      done += static_cast<size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PodsClient::~PodsClient() { Close(); }
+
+Status PodsClient::Connect(uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status s =
+        Status::Internal(std::string("connect: ") + std::strerror(errno));
+    Close();
+    return s;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void PodsClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status PodsClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  if (!WriteAllFd(fd_, bytes)) {
+    return Status::Internal(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status PodsClient::RecvResponse(FrameHeader* header, std::string* body) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  char header_buf[kFrameHeaderSize];
+  if (!ReadExactFd(fd_, header_buf, sizeof(header_buf))) {
+    return Status::Internal("connection closed while reading header");
+  }
+  const Status framing = DecodeFrameHeader(
+      std::string_view(header_buf, sizeof(header_buf)), header);
+  if (!framing.ok()) return framing;
+  body->resize(header->body_len);
+  if (header->body_len > 0 && !ReadExactFd(fd_, body->data(), body->size())) {
+    return Status::Internal("connection closed while reading body");
+  }
+  return Status::OK();
+}
+
+Status PodsClient::RoundTrip(std::string_view frame, std::string* payload) {
+  Status s = SendRaw(frame);
+  if (!s.ok()) return s;
+  FrameHeader header;
+  std::string body;
+  s = RecvResponse(&header, &body);
+  if (!s.ok()) return s;
+  Status response_status;
+  std::string_view payload_view;
+  s = ParseResponseBody(body, &response_status, &payload_view);
+  if (!s.ok()) return s;
+  if (payload != nullptr) payload->assign(payload_view);
+  return response_status;
+}
+
+Status PodsClient::Ping() {
+  return RoundTrip(BuildRequestFrame(MessageType::kPing, next_request_id_++),
+                   nullptr);
+}
+
+Status PodsClient::Stat(StatSnapshot* out) {
+  std::string payload;
+  const Status s = RoundTrip(
+      BuildRequestFrame(MessageType::kStat, next_request_id_++), &payload);
+  if (!s.ok()) return s;
+  return DecodeStatResponse(payload, out);
+}
+
+Status PodsClient::Certify(const CertifyRequest& req, bool batch,
+                           CertifyResponse* out) {
+  std::string body;
+  EncodeCertifyRequest(req, batch, &body);
+  const MessageType type =
+      batch ? MessageType::kCertifyBatch : MessageType::kCertify;
+  std::string payload;
+  const Status s = RoundTrip(
+      BuildRequestFrame(type, next_request_id_++, body), &payload);
+  if (!s.ok()) return s;
+  return DecodeCertifyResponse(payload, out);
+}
+
+}  // namespace provview

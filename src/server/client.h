@@ -1,0 +1,60 @@
+// Minimal blocking client for the podsd wire protocol. Used by podsctl,
+// the throughput bench, and the e2e/fault-injection tests — which is why it
+// exposes the raw frame layer (SendRaw / RecvResponse) next to the typed
+// calls: the tests need to inject malformed bytes and watch the daemon's
+// typed replies.
+//
+// Transport failures (connect, short read/write, peer close) come back as
+// INTERNAL; a response's own error status is returned verbatim, so e.g.
+// Certify on a doomed deadline returns DEADLINE_EXCEEDED — exactly what the
+// daemon sent.
+#ifndef PROVVIEW_SERVER_CLIENT_H_
+#define PROVVIEW_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace provview {
+
+class PodsClient {
+ public:
+  PodsClient() = default;
+  ~PodsClient();
+
+  PodsClient(const PodsClient&) = delete;
+  PodsClient& operator=(const PodsClient&) = delete;
+
+  /// Connects to 127.0.0.1:`port`.
+  Status Connect(uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Typed round-trips. Each sends one request and blocks for its response.
+  Status Ping();
+  Status Stat(StatSnapshot* out);
+  /// `batch` selects CERTIFY_BATCH (any item count) vs CERTIFY (exactly 1).
+  Status Certify(const CertifyRequest& req, bool batch, CertifyResponse* out);
+
+  // -- raw frame layer (fault-injection tests) ------------------------------
+
+  /// Writes arbitrary bytes on the socket — valid frames or garbage.
+  Status SendRaw(std::string_view bytes);
+  /// Reads one response frame (header + body). INTERNAL on transport
+  /// failure / peer close.
+  Status RecvResponse(FrameHeader* header, std::string* body);
+  /// SendRaw + RecvResponse + ParseResponseBody: returns the response's own
+  /// status and leaves the OK-payload in `*payload`.
+  Status RoundTrip(std::string_view frame, std::string* payload);
+
+ private:
+  int fd_ = -1;
+  uint32_t next_request_id_ = 1;
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_SERVER_CLIENT_H_

@@ -1,0 +1,212 @@
+#include "server/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <exception>
+#include <vector>
+
+#include "common/bitset64.h"
+#include "common/exec_control.h"
+#include "privacy/workflow_privacy.h"
+
+namespace provview {
+
+Connection::Connection(int fd, const WorkflowRegistry* registry,
+                       DaemonStats* stats)
+    : fd_(fd), registry_(registry), stats_(stats) {
+  stats_->connections_opened.fetch_add(1, std::memory_order_relaxed);
+}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+  stats_->connections_closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Connection::ReadExact(char* buf, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::recv(fd_, buf + done, n - done, 0);
+    if (got > 0) {
+      done += static_cast<size_t>(got);
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    return false;  // peer closed or socket shut down
+  }
+  stats_->bytes_received.fetch_add(n, std::memory_order_relaxed);
+  return true;
+}
+
+bool Connection::WriteAll(std::string_view bytes) {
+  size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t sent = ::send(fd_, bytes.data() + done, bytes.size() - done,
+                                MSG_NOSIGNAL);
+    if (sent > 0) {
+      done += static_cast<size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    return false;
+  }
+  stats_->bytes_sent.fetch_add(bytes.size(), std::memory_order_relaxed);
+  return true;
+}
+
+void Connection::Run() {
+  std::string body;
+  for (;;) {
+    char header_buf[kFrameHeaderSize];
+    if (!ReadExact(header_buf, sizeof(header_buf))) return;
+    FrameHeader header;
+    const Status framing = DecodeFrameHeader(
+        std::string_view(header_buf, sizeof(header_buf)), &header);
+    if (!framing.ok()) {
+      // The stream can no longer be trusted (the next "frame" could start
+      // anywhere): report once and close THIS connection. Other
+      // connections are untouched.
+      stats_->rejected_frames.fetch_add(1, std::memory_order_relaxed);
+      stats_->RecordOutcome(framing);
+      WriteAll(BuildResponseFrame(header.type, header.request_id, framing));
+      return;
+    }
+    body.resize(header.body_len);
+    if (header.body_len > 0 && !ReadExact(body.data(), body.size())) return;
+    const std::string response = HandleRequest(header, body);
+    if (!WriteAll(response)) return;
+  }
+}
+
+std::string Connection::HandleRequest(const FrameHeader& header,
+                                      std::string_view body) {
+  // Request-level catch wall: whatever happens past this point poisons one
+  // reply, not the daemon. PV_CHECK aborts cannot be caught — which is why
+  // every engine entered from here runs in service mode (ExecControl
+  // attached) where guards return typed Status instead.
+  try {
+    switch (static_cast<MessageType>(header.type)) {
+      case MessageType::kPing: {
+        stats_->ping_requests.fetch_add(1, std::memory_order_relaxed);
+        const Status ok = Status::OK();
+        stats_->RecordOutcome(ok);
+        return BuildResponseFrame(header.type, header.request_id, ok);
+      }
+      case MessageType::kStat: {
+        stats_->stat_requests.fetch_add(1, std::memory_order_relaxed);
+        std::string payload;
+        EncodeStatResponse(stats_->Snapshot(), &payload);
+        const Status ok = Status::OK();
+        stats_->RecordOutcome(ok);
+        return BuildResponseFrame(header.type, header.request_id, ok,
+                                  payload);
+      }
+      case MessageType::kCertify:
+        stats_->certify_requests.fetch_add(1, std::memory_order_relaxed);
+        return HandleCertify(header, body, /*batch=*/false);
+      case MessageType::kCertifyBatch:
+        stats_->batch_requests.fetch_add(1, std::memory_order_relaxed);
+        return HandleCertify(header, body, /*batch=*/true);
+      default: {
+        const Status status = Status::InvalidArgument(
+            "unknown request type " + std::to_string(header.type));
+        stats_->RecordOutcome(status);
+        return BuildResponseFrame(header.type, header.request_id, status);
+      }
+    }
+  } catch (const std::exception& e) {
+    const Status status =
+        Status::Internal(std::string("request failed: ") + e.what());
+    stats_->RecordOutcome(status);
+    return BuildResponseFrame(header.type, header.request_id, status);
+  } catch (...) {
+    const Status status = Status::Internal("request failed");
+    stats_->RecordOutcome(status);
+    return BuildResponseFrame(header.type, header.request_id, status);
+  }
+}
+
+std::string Connection::HandleCertify(const FrameHeader& header,
+                                      std::string_view body, bool batch) {
+  const auto fail = [&](const Status& status) {
+    stats_->RecordOutcome(status);
+    return BuildResponseFrame(header.type, header.request_id, status);
+  };
+
+  CertifyRequest req;
+  const Status decoded = DecodeCertifyRequest(body, batch, &req);
+  if (!decoded.ok()) return fail(decoded);
+
+  const RegisteredWorkflow* entry = registry_->Find(req.workflow);
+  if (entry == nullptr) {
+    return fail(Status::NotFound("unknown workflow '" + req.workflow + "'"));
+  }
+  const Workflow& workflow = *entry->workflow;
+  const int num_attrs = workflow.catalog()->size();
+
+  std::vector<WorkflowCertificationRequest> requests;
+  requests.reserve(req.items.size());
+  for (const CertifyItem& item : req.items) {
+    WorkflowCertificationRequest r;
+    r.gamma = item.gamma;
+    r.hidden = Bitset64(num_attrs);
+    for (uint32_t a : item.hidden_attrs) {
+      if (a >= static_cast<uint32_t>(num_attrs)) {
+        return fail(Status::InvalidArgument(
+            "hidden attr " + std::to_string(a) + " out of range for '" +
+            req.workflow + "' (" + std::to_string(num_attrs) + " attrs)"));
+      }
+      r.hidden.Set(static_cast<int>(a));
+    }
+    requests.push_back(std::move(r));
+  }
+
+  // Per-request control: deadline and budget live exactly as long as this
+  // request; a trip cannot leak into the next one.
+  ExecControl control;
+  if (req.deadline_ms > 0) control.set_deadline_ms(req.deadline_ms);
+  if (req.memory_budget > 0) control.set_memory_budget(req.memory_budget);
+
+  WorkflowBatchOptions opts;
+  opts.num_threads = 1;  // the daemon's parallelism is across connections
+  opts.control = &control;
+  WorkflowBatchResult result =
+      CertifyWorkflowBatch(workflow, requests, opts, entry->bank.get());
+
+  stats_->memo_checker_calls.fetch_add(
+      static_cast<uint64_t>(result.stats.checker_calls),
+      std::memory_order_relaxed);
+  stats_->memo_cache_hits.fetch_add(
+      static_cast<uint64_t>(result.stats.cache_hits),
+      std::memory_order_relaxed);
+  stats_->RecordPeakRequestBytes(
+      static_cast<uint64_t>(control.peak_bytes()));
+
+  if (!result.status.ok()) return fail(result.status);
+
+  CertifyResponse resp;
+  resp.checker_calls = static_cast<uint64_t>(result.stats.checker_calls);
+  resp.cache_hits = static_cast<uint64_t>(result.stats.cache_hits);
+  resp.entries.reserve(result.entries.size());
+  for (const WorkflowBatchEntry& e : result.entries) {
+    CertifyEntry out;
+    out.certified = e.certificate.certified;
+    out.module_gammas = e.certificate.module_gammas;
+    for (int m : e.certificate.required_privatizations) {
+      out.required_privatizations.push_back(static_cast<uint32_t>(m));
+    }
+    stats_->items_certified.fetch_add(out.certified ? 1 : 0,
+                                      std::memory_order_relaxed);
+    stats_->items_rejected.fetch_add(out.certified ? 0 : 1,
+                                     std::memory_order_relaxed);
+    resp.entries.push_back(std::move(out));
+  }
+  std::string payload;
+  EncodeCertifyResponse(resp, &payload);
+  const Status ok = Status::OK();
+  stats_->RecordOutcome(ok);
+  return BuildResponseFrame(header.type, header.request_id, ok, payload);
+}
+
+}  // namespace provview

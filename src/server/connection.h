@@ -1,0 +1,63 @@
+// One connected podsd client: reads frames, dispatches requests, writes
+// responses — and is the daemon's error-isolation boundary. The discipline
+// (borrowed from memcached): validate every external byte at this layer,
+// convert every failure into a per-connection or per-request error, and
+// never let one client's input take down the process or another client's
+// request.
+//
+//   failure                          blast radius
+//   ------------------------------   -------------------------------------
+//   bad magic / version / body_len   error response, THIS connection closes
+//   unknown request type             error response, connection survives
+//   malformed request body           error response, connection survives
+//   unknown workflow name            NOT_FOUND response, connection survives
+//   deadline / memory budget trip    typed response, connection survives
+//   engine exception                 INTERNAL response, connection survives
+//   peer hangs up mid-frame          connection closes quietly
+#ifndef PROVVIEW_SERVER_CONNECTION_H_
+#define PROVVIEW_SERVER_CONNECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/protocol.h"
+#include "server/registry.h"
+#include "server/stats.h"
+
+namespace provview {
+
+class Connection {
+ public:
+  /// Takes ownership of `fd` (closed when Run returns). `registry` and
+  /// `stats` must outlive the connection.
+  Connection(int fd, const WorkflowRegistry* registry, DaemonStats* stats);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Serves frames until the peer closes, a framing error poisons the
+  /// stream, or the daemon shuts the socket down.
+  void Run();
+
+ private:
+  bool ReadExact(char* buf, size_t n);
+  bool WriteAll(std::string_view bytes);
+
+  /// Dispatches one well-framed request; returns the response frame.
+  /// Exceptions from the engines are caught inside (the request-level
+  /// catch wall) and become INTERNAL responses.
+  std::string HandleRequest(const FrameHeader& header, std::string_view body);
+
+  std::string HandleCertify(const FrameHeader& header, std::string_view body,
+                            bool batch);
+
+  int fd_;
+  const WorkflowRegistry* registry_;
+  DaemonStats* stats_;
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_SERVER_CONNECTION_H_

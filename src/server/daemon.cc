@@ -1,0 +1,131 @@
+#include "server/daemon.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "server/connection.h"
+
+namespace provview {
+
+PodsDaemon::PodsDaemon(const WorkflowRegistry* registry)
+    : registry_(registry) {}
+
+PodsDaemon::~PodsDaemon() { Stop(); }
+
+Status PodsDaemon::Start(uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local clients only
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status s =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, /*backlog=*/64) != 0) {
+    const Status s =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const Status s =
+        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  port_ = ntohs(bound.sin_port);
+  stopping_.store(false, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void PodsDaemon::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // ECONNABORTED et al. are per-connection noise; everything else
+      // (including the shutdown() from Stop) ends the loop.
+      if (errno == ECONNABORTED) continue;
+      return;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t slot = conn_fds_.size();
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back(
+        [this, fd, slot] { ServeConnection(fd, slot); });
+  }
+}
+
+void PodsDaemon::ServeConnection(int fd, size_t slot) {
+  {
+    // Connection owns (and closes) fd; its destructor also bumps the
+    // connections_closed counter.
+    Connection conn(fd, registry_, &stats_);
+    conn.Run();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  conn_fds_[slot] = -1;  // fd is closed; Stop must not shut it down again
+}
+
+void PodsDaemon::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    // A previous Stop already ran (or is running); just make sure the
+    // acceptor is joined before returning.
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept()
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : conn_fds_) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);  // unblocks recv()
+    }
+  }
+  // Threads only exit their slots' fds; joining outside the lock is safe
+  // because no new threads are created once stopping_ is set.
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conn_threads_.clear();
+    conn_fds_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace provview

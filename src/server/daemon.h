@@ -1,0 +1,73 @@
+// podsd: a long-lived certification daemon. Listens on a local TCP port,
+// serves the podsd wire protocol, and isolates every fault to the
+// connection or request that caused it — the process degrades (typed error
+// responses, closed connections) instead of dying.
+//
+// Threading model: one acceptor thread plus one thread per connection.
+// Certification parallelism inside a request is deliberately off
+// (num_threads = 1); the daemon's concurrency axis is connections, and the
+// WorkflowMemoBank's per-module locks keep concurrent requests against the
+// same workflow cache-coherent.
+//
+// Stop() is safe from any thread and idempotent: it shuts down the listen
+// socket (unblocking accept), then shuts down every live connection socket
+// (unblocking their reads), then joins all threads.
+#ifndef PROVVIEW_SERVER_DAEMON_H_
+#define PROVVIEW_SERVER_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "server/registry.h"
+#include "server/stats.h"
+
+namespace provview {
+
+class PodsDaemon {
+ public:
+  /// `registry` must outlive the daemon and be fully populated before
+  /// Start() — it is read lock-free by connection threads.
+  explicit PodsDaemon(const WorkflowRegistry* registry);
+  ~PodsDaemon();
+
+  PodsDaemon(const PodsDaemon&) = delete;
+  PodsDaemon& operator=(const PodsDaemon&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port, read back
+  /// via port()) and starts the acceptor thread.
+  Status Start(uint16_t port = 0);
+
+  /// Stops accepting, severs live connections, joins all threads.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  const DaemonStats& stats() const { return stats_; }
+  DaemonStats* mutable_stats() { return &stats_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd, size_t slot);
+
+  const WorkflowRegistry* registry_;
+  DaemonStats stats_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+
+  // Live connection sockets, indexed by slot; -1 once a connection ends.
+  // Guarded by mu_ (Stop shuts these down to unblock reads).
+  std::mutex mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_SERVER_DAEMON_H_

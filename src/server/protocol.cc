@@ -1,0 +1,285 @@
+#include "server/protocol.h"
+
+#include "common/wire.h"
+
+namespace provview {
+
+void EncodeFrameHeader(const FrameHeader& h, std::string* out) {
+  WireWriter w(out);
+  w.PutU32(h.magic);
+  w.PutU16(h.version);
+  w.PutU16(h.type);
+  w.PutU32(h.request_id);
+  w.PutU32(h.body_len);
+}
+
+Status DecodeFrameHeader(std::string_view bytes, FrameHeader* out) {
+  if (bytes.size() != kFrameHeaderSize) {
+    return Status::InvalidArgument("frame header must be " +
+                                   std::to_string(kFrameHeaderSize) +
+                                   " bytes");
+  }
+  WireReader r(bytes);
+  PV_RETURN_IF_ERROR(r.ReadU32(&out->magic));
+  PV_RETURN_IF_ERROR(r.ReadU16(&out->version));
+  PV_RETURN_IF_ERROR(r.ReadU16(&out->type));
+  PV_RETURN_IF_ERROR(r.ReadU32(&out->request_id));
+  PV_RETURN_IF_ERROR(r.ReadU32(&out->body_len));
+  if (out->magic != kFrameMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  if (out->version != kProtocolVersion) {
+    return Status::InvalidArgument("unsupported protocol version " +
+                                   std::to_string(out->version));
+  }
+  if (out->body_len > kMaxBodyLen) {
+    return Status::InvalidArgument("frame body of " +
+                                   std::to_string(out->body_len) +
+                                   " bytes exceeds the " +
+                                   std::to_string(kMaxBodyLen) + " cap");
+  }
+  return Status::OK();
+}
+
+uint16_t WireCodeOf(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 1;
+    case StatusCode::kNotFound:
+      return 2;
+    case StatusCode::kDeadlineExceeded:
+      return 3;
+    case StatusCode::kResourceExhausted:
+      return 4;
+    default:
+      return 5;  // everything else surfaces as INTERNAL on the wire
+  }
+}
+
+StatusCode StatusCodeFromWire(uint16_t wire) {
+  switch (wire) {
+    case 0:
+      return StatusCode::kOk;
+    case 1:
+      return StatusCode::kInvalidArgument;
+    case 2:
+      return StatusCode::kNotFound;
+    case 3:
+      return StatusCode::kDeadlineExceeded;
+    case 4:
+      return StatusCode::kResourceExhausted;
+    default:
+      return StatusCode::kInternal;
+  }
+}
+
+void EncodeStatusPrefix(const Status& status, std::string* out) {
+  WireWriter w(out);
+  w.PutU16(WireCodeOf(status.code()));
+  w.PutString(status.ok() ? std::string_view() : status.message());
+}
+
+namespace {
+
+// Caps a status message a peer sends us; a hostile server/client cannot
+// make the other side hold megabytes of "error text".
+constexpr uint32_t kMaxStatusMessageLen = 4096;
+
+}  // namespace
+
+Status ParseResponseBody(std::string_view body, Status* status,
+                         std::string_view* payload) {
+  WireReader r(body);
+  uint16_t wire;
+  PV_RETURN_IF_ERROR(r.ReadU16(&wire));
+  std::string message;
+  PV_RETURN_IF_ERROR(r.ReadString(&message, kMaxStatusMessageLen));
+  const StatusCode code = StatusCodeFromWire(wire);
+  *status = code == StatusCode::kOk ? Status::OK()
+                                    : Status(code, std::move(message));
+  *payload = body.substr(r.position());
+  return Status::OK();
+}
+
+void EncodeCertifyRequest(const CertifyRequest& req, bool batch,
+                          std::string* body) {
+  WireWriter w(body);
+  w.PutString(req.workflow);
+  w.PutI64(req.deadline_ms);
+  w.PutI64(req.memory_budget);
+  if (batch) w.PutU32(static_cast<uint32_t>(req.items.size()));
+  for (const CertifyItem& item : req.items) {
+    w.PutI64(item.gamma);
+    w.PutU32(static_cast<uint32_t>(item.hidden_attrs.size()));
+    for (uint32_t a : item.hidden_attrs) w.PutU32(a);
+  }
+}
+
+Status DecodeCertifyRequest(std::string_view body, bool batch,
+                            CertifyRequest* out) {
+  WireReader r(body);
+  PV_RETURN_IF_ERROR(r.ReadString(&out->workflow, kMaxWorkflowNameLen));
+  PV_RETURN_IF_ERROR(r.ReadI64(&out->deadline_ms));
+  PV_RETURN_IF_ERROR(r.ReadI64(&out->memory_budget));
+  if (out->deadline_ms < 0) {
+    return Status::InvalidArgument("negative deadline_ms");
+  }
+  if (out->memory_budget < 0) {
+    return Status::InvalidArgument("negative memory budget");
+  }
+  uint32_t count = 1;
+  if (batch) {
+    PV_RETURN_IF_ERROR(r.ReadU32(&count));
+    if (count > kMaxCertifyItems) {
+      return Status::InvalidArgument("batch of " + std::to_string(count) +
+                                     " items exceeds the " +
+                                     std::to_string(kMaxCertifyItems) +
+                                     " cap");
+    }
+  }
+  out->items.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CertifyItem item;
+    PV_RETURN_IF_ERROR(r.ReadI64(&item.gamma));
+    if (item.gamma < 1) {
+      return Status::InvalidArgument("gamma must be >= 1, got " +
+                                     std::to_string(item.gamma));
+    }
+    uint32_t num_hidden;
+    PV_RETURN_IF_ERROR(r.ReadU32(&num_hidden));
+    if (num_hidden > kMaxHiddenAttrs) {
+      return Status::InvalidArgument("hidden set of " +
+                                     std::to_string(num_hidden) +
+                                     " attrs exceeds the cap");
+    }
+    if (r.remaining() < static_cast<size_t>(num_hidden) * sizeof(uint32_t)) {
+      return Status::InvalidArgument("truncated hidden attr list");
+    }
+    item.hidden_attrs.reserve(num_hidden);
+    for (uint32_t j = 0; j < num_hidden; ++j) {
+      uint32_t a;
+      PV_RETURN_IF_ERROR(r.ReadU32(&a));
+      item.hidden_attrs.push_back(a);
+    }
+    out->items.push_back(std::move(item));
+  }
+  return r.ExpectEnd();
+}
+
+void EncodeCertifyResponse(const CertifyResponse& resp, std::string* body) {
+  WireWriter w(body);
+  w.PutU64(resp.checker_calls);
+  w.PutU64(resp.cache_hits);
+  w.PutU32(static_cast<uint32_t>(resp.entries.size()));
+  for (const CertifyEntry& e : resp.entries) {
+    w.PutU8(e.certified ? 1 : 0);
+    w.PutU32(static_cast<uint32_t>(e.module_gammas.size()));
+    for (int64_t g : e.module_gammas) w.PutI64(g);
+    w.PutU32(static_cast<uint32_t>(e.required_privatizations.size()));
+    for (uint32_t m : e.required_privatizations) w.PutU32(m);
+  }
+}
+
+Status DecodeCertifyResponse(std::string_view payload, CertifyResponse* out) {
+  WireReader r(payload);
+  PV_RETURN_IF_ERROR(r.ReadU64(&out->checker_calls));
+  PV_RETURN_IF_ERROR(r.ReadU64(&out->cache_hits));
+  uint32_t count;
+  PV_RETURN_IF_ERROR(r.ReadU32(&count));
+  if (count > kMaxCertifyItems) {
+    return Status::InvalidArgument("entry count exceeds the cap");
+  }
+  out->entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CertifyEntry e;
+    uint8_t certified;
+    PV_RETURN_IF_ERROR(r.ReadU8(&certified));
+    if (certified > 1) return Status::InvalidArgument("bad certified flag");
+    e.certified = certified == 1;
+    uint32_t num_gammas;
+    PV_RETURN_IF_ERROR(r.ReadU32(&num_gammas));
+    if (r.remaining() < static_cast<size_t>(num_gammas) * sizeof(int64_t)) {
+      return Status::InvalidArgument("truncated module gamma list");
+    }
+    e.module_gammas.reserve(num_gammas);
+    for (uint32_t j = 0; j < num_gammas; ++j) {
+      int64_t g;
+      PV_RETURN_IF_ERROR(r.ReadI64(&g));
+      e.module_gammas.push_back(g);
+    }
+    uint32_t num_priv;
+    PV_RETURN_IF_ERROR(r.ReadU32(&num_priv));
+    if (r.remaining() < static_cast<size_t>(num_priv) * sizeof(uint32_t)) {
+      return Status::InvalidArgument("truncated privatization list");
+    }
+    e.required_privatizations.reserve(num_priv);
+    for (uint32_t j = 0; j < num_priv; ++j) {
+      uint32_t m;
+      PV_RETURN_IF_ERROR(r.ReadU32(&m));
+      e.required_privatizations.push_back(m);
+    }
+    out->entries.push_back(std::move(e));
+  }
+  return r.ExpectEnd();
+}
+
+void EncodeStatResponse(const StatSnapshot& stats, std::string* body) {
+  WireWriter w(body);
+  w.PutU32(static_cast<uint32_t>(stats.size()));
+  for (const auto& [key, value] : stats) {
+    w.PutString(key);
+    w.PutU64(value);
+  }
+}
+
+Status DecodeStatResponse(std::string_view payload, StatSnapshot* out) {
+  WireReader r(payload);
+  uint32_t count;
+  PV_RETURN_IF_ERROR(r.ReadU32(&count));
+  if (count > 4096) {
+    return Status::InvalidArgument("stat count exceeds the cap");
+  }
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string key;
+    uint64_t value;
+    PV_RETURN_IF_ERROR(r.ReadString(&key, 256));
+    PV_RETURN_IF_ERROR(r.ReadU64(&value));
+    out->emplace_back(std::move(key), value);
+  }
+  return r.ExpectEnd();
+}
+
+std::string BuildResponseFrame(uint16_t request_type, uint32_t request_id,
+                               const Status& status,
+                               std::string_view payload) {
+  std::string body;
+  EncodeStatusPrefix(status, &body);
+  if (status.ok()) body.append(payload.data(), payload.size());
+  FrameHeader h;
+  h.type = static_cast<uint16_t>(request_type | kResponseBit);
+  h.request_id = request_id;
+  h.body_len = static_cast<uint32_t>(body.size());
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + body.size());
+  EncodeFrameHeader(h, &frame);
+  frame += body;
+  return frame;
+}
+
+std::string BuildRequestFrame(MessageType type, uint32_t request_id,
+                              std::string_view body) {
+  FrameHeader h;
+  h.type = static_cast<uint16_t>(type);
+  h.request_id = request_id;
+  h.body_len = static_cast<uint32_t>(body.size());
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + body.size());
+  EncodeFrameHeader(h, &frame);
+  frame.append(body.data(), body.size());
+  return frame;
+}
+
+}  // namespace provview

@@ -1,0 +1,148 @@
+// podsd wire protocol: length-prefixed binary frames over a byte stream.
+//
+// Every message is one frame — a fixed 16-byte header followed by a body of
+// exactly `body_len` bytes:
+//
+//   offset  size  field
+//   0       4     magic       'PODS' (0x53444F50, little-endian)
+//   4       2     version     protocol version (currently 1)
+//   6       2     type        request type; responses set bit 15
+//   8       4     request_id  echoed verbatim in the response
+//   12      4     body_len    bytes of body that follow (<= kMaxBodyLen)
+//
+// Every RESPONSE body starts with a status prefix — u16 wire status code +
+// length-prefixed message string — followed by the type-specific payload
+// (present only when the status is OK). This is the error-isolation seam:
+// a malformed body, unknown workflow, tripped deadline or engine failure
+// all come back as a status-bearing response on the same connection; only
+// an unparseable HEADER (bad magic/version, oversized body_len) ends the
+// connection, because framing can no longer be trusted after it.
+//
+// All multi-byte integers are little-endian (WireWriter/WireReader).
+#ifndef PROVVIEW_SERVER_PROTOCOL_H_
+#define PROVVIEW_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace provview {
+
+inline constexpr uint32_t kFrameMagic = 0x53444F50;  // "PODS"
+inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 16;
+/// Largest body either side accepts. A forged body_len beyond this is a
+/// framing error (connection closes), not an allocation.
+inline constexpr uint32_t kMaxBodyLen = 4u << 20;
+/// Set on the `type` field of every response frame.
+inline constexpr uint16_t kResponseBit = 0x8000;
+
+/// Request types. Responses carry `type | kResponseBit`.
+enum class MessageType : uint16_t {
+  kPing = 1,          ///< liveness probe; empty body both ways
+  kStat = 2,          ///< introspection; response lists key/value counters
+  kCertify = 3,       ///< one certification request
+  kCertifyBatch = 4,  ///< many certification requests, one engine pass
+};
+
+struct FrameHeader {
+  uint32_t magic = kFrameMagic;
+  uint16_t version = kProtocolVersion;
+  uint16_t type = 0;
+  uint32_t request_id = 0;
+  uint32_t body_len = 0;
+};
+
+/// Appends the 16-byte header encoding.
+void EncodeFrameHeader(const FrameHeader& h, std::string* out);
+
+/// Decodes and validates a header (magic, version, body_len cap). `bytes`
+/// must hold exactly kFrameHeaderSize bytes. A non-OK return means the
+/// stream is unframeable and the connection must close.
+Status DecodeFrameHeader(std::string_view bytes, FrameHeader* out);
+
+// -- status prefix ----------------------------------------------------------
+
+/// StatusCode <-> u16 wire code. Unknown wire codes decode as kInternal.
+uint16_t WireCodeOf(StatusCode code);
+StatusCode StatusCodeFromWire(uint16_t wire);
+
+/// Appends the response status prefix (wire code + message).
+void EncodeStatusPrefix(const Status& status, std::string* out);
+
+/// Splits a response body into its decoded status and the payload bytes
+/// that follow. Non-OK only when the body itself is malformed; the
+/// response's own (possibly error) status lands in `*status`.
+Status ParseResponseBody(std::string_view body, Status* status,
+                         std::string_view* payload);
+
+// -- certification ----------------------------------------------------------
+
+/// One certification item: a privacy target and a candidate hidden set
+/// (attribute ids into the workflow's catalog).
+struct CertifyItem {
+  int64_t gamma = 1;
+  std::vector<uint32_t> hidden_attrs;
+};
+
+/// Body of CERTIFY (exactly one item) and CERTIFY_BATCH (any number).
+struct CertifyRequest {
+  std::string workflow;      ///< registered workflow name
+  int64_t deadline_ms = 0;   ///< per-request deadline; 0 = none
+  int64_t memory_budget = 0; ///< engine memory budget in bytes; 0 = none
+  std::vector<CertifyItem> items;
+};
+
+/// Caps on decoded certification requests (pre-allocation rejection).
+inline constexpr uint32_t kMaxCertifyItems = 4096;
+inline constexpr uint32_t kMaxHiddenAttrs = 1u << 16;
+inline constexpr uint32_t kMaxWorkflowNameLen = 256;
+
+void EncodeCertifyRequest(const CertifyRequest& req, bool batch,
+                          std::string* body);
+Status DecodeCertifyRequest(std::string_view body, bool batch,
+                            CertifyRequest* out);
+
+/// Per-item verdict of a certification response.
+struct CertifyEntry {
+  bool certified = false;
+  std::vector<int64_t> module_gammas;
+  std::vector<uint32_t> required_privatizations;
+};
+
+/// OK-payload of CERTIFY / CERTIFY_BATCH responses.
+struct CertifyResponse {
+  std::vector<CertifyEntry> entries;  ///< aligned with the request items
+  uint64_t checker_calls = 0;
+  uint64_t cache_hits = 0;
+};
+
+void EncodeCertifyResponse(const CertifyResponse& resp, std::string* body);
+Status DecodeCertifyResponse(std::string_view payload, CertifyResponse* out);
+
+// -- stat -------------------------------------------------------------------
+
+using StatSnapshot = std::vector<std::pair<std::string, uint64_t>>;
+
+void EncodeStatResponse(const StatSnapshot& stats, std::string* body);
+Status DecodeStatResponse(std::string_view payload, StatSnapshot* out);
+
+// -- convenience ------------------------------------------------------------
+
+/// Builds a complete response frame: header + status prefix + payload
+/// (payload is appended only when `status` is OK).
+std::string BuildResponseFrame(uint16_t request_type, uint32_t request_id,
+                               const Status& status,
+                               std::string_view payload = {});
+
+/// Builds a complete request frame.
+std::string BuildRequestFrame(MessageType type, uint32_t request_id,
+                              std::string_view body = {});
+
+}  // namespace provview
+
+#endif  // PROVVIEW_SERVER_PROTOCOL_H_

@@ -1,0 +1,61 @@
+#include "server/registry.h"
+
+#include <utility>
+
+#include "common/rng.h"
+#include "generators/families.h"
+#include "workflow/fig1_workflow.h"
+
+namespace provview {
+
+void WorkflowRegistry::Register(std::string name, CatalogPtr catalog,
+                                WorkflowPtr workflow) {
+  auto entry = std::make_unique<RegisteredWorkflow>();
+  entry->name = name;
+  entry->catalog = std::move(catalog);
+  entry->workflow = std::move(workflow);
+  entry->bank = std::make_unique<WorkflowMemoBank>(*entry->workflow);
+  entries_[std::move(name)] = std::move(entry);
+}
+
+const RegisteredWorkflow* WorkflowRegistry::Find(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> WorkflowRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+void WorkflowRegistry::RegisterBuiltins() {
+  {
+    Fig1Workflow fig1 = MakeFig1Workflow();
+    Register("fig1", fig1.catalog, std::move(fig1.workflow));
+  }
+  {
+    Prop2Chain chain = MakeProp2Chain(/*k=*/2);
+    Register("prop2-chain", chain.catalog, std::move(chain.workflow));
+  }
+  {
+    Rng rng(0x706f6473u);  // fixed seed: same workflow in every daemon
+    OneOneChain chain = MakeOneOneChain(/*stages=*/3, /*k=*/2, &rng);
+    Register("one-one-chain", chain.catalog, std::move(chain.workflow));
+  }
+  {
+    Rng rng(0x706f6474u);
+    DiamondWorkflow diamond =
+        MakeDiamondWorkflow(/*k=*/2, /*with_tail=*/false, &rng);
+    Register("diamond", diamond.catalog, std::move(diamond.workflow));
+  }
+  {
+    Rng rng(0x706f6475u);
+    Example7Chain chain = MakeExample7Chain(/*k=*/2, &rng);
+    Register("example7-chain", chain.catalog, std::move(chain.workflow));
+  }
+}
+
+}  // namespace provview

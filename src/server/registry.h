@@ -1,0 +1,55 @@
+// Named workflows a podsd instance serves. Module functions are arbitrary
+// C++ and cannot travel over the wire, so the daemon certifies against
+// pre-registered workflows: a CERTIFY request names one and supplies only
+// the hidden attribute set and Γ. Each entry owns its workflow, catalog,
+// and a WorkflowMemoBank — the shared verdict cache that makes repeated
+// certifications of the same workflow (across requests AND connections)
+// answer from the memo instead of re-running Algorithm 2.
+//
+// The registry is immutable once the daemon starts serving (Register is
+// not thread-safe; Find is lock-free and safe from any number of
+// connection threads afterwards).
+#ifndef PROVVIEW_SERVER_REGISTRY_H_
+#define PROVVIEW_SERVER_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "privacy/workflow_privacy.h"
+#include "workflow/workflow.h"
+
+namespace provview {
+
+/// One served workflow: ownership bundle + shared verdict cache.
+struct RegisteredWorkflow {
+  std::string name;
+  CatalogPtr catalog;      ///< keeps the workflow's catalog alive
+  WorkflowPtr workflow;
+  std::unique_ptr<WorkflowMemoBank> bank;
+};
+
+class WorkflowRegistry {
+ public:
+  /// Takes ownership; replaces any previous entry of the same name.
+  void Register(std::string name, CatalogPtr catalog, WorkflowPtr workflow);
+
+  /// nullptr when the name is unknown (the caller maps this to NOT_FOUND).
+  const RegisteredWorkflow* Find(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+  size_t size() const { return entries_.size(); }
+
+  /// Registers the built-in paper workflows under fixed seeds, so every
+  /// daemon instance serves the same families the benches and tests use:
+  /// fig1, prop2-chain, one-one-chain, diamond, example7-chain.
+  void RegisterBuiltins();
+
+ private:
+  std::map<std::string, std::unique_ptr<RegisteredWorkflow>> entries_;
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_SERVER_REGISTRY_H_

@@ -1,0 +1,56 @@
+#include "server/stats.h"
+
+namespace provview {
+
+void DaemonStats::RecordOutcome(const Status& status) {
+  requests_total.fetch_add(1, std::memory_order_relaxed);
+  if (status.ok()) {
+    requests_ok.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  requests_error.fetch_add(1, std::memory_order_relaxed);
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kResourceExhausted:
+      resource_exhausted.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+      invalid_requests.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;
+  }
+}
+
+StatSnapshot DaemonStats::Snapshot() const {
+  const auto get = [](const std::atomic<uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  return StatSnapshot{
+      {"connections_opened", get(connections_opened)},
+      {"connections_closed", get(connections_closed)},
+      {"rejected_frames", get(rejected_frames)},
+      {"requests_total", get(requests_total)},
+      {"requests_ok", get(requests_ok)},
+      {"requests_error", get(requests_error)},
+      {"ping_requests", get(ping_requests)},
+      {"stat_requests", get(stat_requests)},
+      {"certify_requests", get(certify_requests)},
+      {"batch_requests", get(batch_requests)},
+      {"items_certified", get(items_certified)},
+      {"items_rejected", get(items_rejected)},
+      {"memo_checker_calls", get(memo_checker_calls)},
+      {"memo_cache_hits", get(memo_cache_hits)},
+      {"deadline_exceeded", get(deadline_exceeded)},
+      {"resource_exhausted", get(resource_exhausted)},
+      {"invalid_requests", get(invalid_requests)},
+      {"bytes_received", get(bytes_received)},
+      {"bytes_sent", get(bytes_sent)},
+      {"peak_request_bytes", peak_request_bytes()},
+  };
+}
+
+}  // namespace provview

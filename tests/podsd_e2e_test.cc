@@ -1,0 +1,283 @@
+// End-to-end fault-injection suite for podsd (the ISSUE acceptance bar):
+// several concurrent connections fire a randomized mix of valid, malformed,
+// oversized, and deadline-doomed requests at one daemon. Valid responses
+// must be byte-identical to what a direct CertifyWorkflowBatch call
+// produces, bad requests must come back as typed errors, and at the end the
+// daemon must still answer and shut down cleanly. Runs under ASan/UBSan and
+// TSan in CI — a data race in the connection fan-out or the shared memo
+// bank fails here.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "privacy/workflow_privacy.h"
+#include "server/client.h"
+#include "server/daemon.h"
+#include "server/protocol.h"
+#include "server/registry.h"
+#include "workflow/fig1_workflow.h"
+
+namespace provview {
+namespace {
+
+constexpr int kNumAttrs = 5;
+constexpr uint32_t kNumMasks = 1u << kNumAttrs;
+
+// Ground truth the daemon must reproduce byte-for-byte: one direct batch
+// over every subset of fig1's {a3..a7}, gamma 2. MakeFig1Workflow is
+// deterministic, so this workflow is identical to the daemon's "fig1".
+std::vector<CertifyEntry> DirectVerdicts(const Fig1Workflow& fig1,
+                                         const int* attrs) {
+  std::vector<WorkflowCertificationRequest> requests;
+  for (uint32_t mask = 0; mask < kNumMasks; ++mask) {
+    Bitset64 hidden(fig1.catalog->size());
+    for (int b = 0; b < kNumAttrs; ++b) {
+      if ((mask >> b) & 1u) hidden.Set(attrs[b]);
+    }
+    requests.push_back(WorkflowCertificationRequest{hidden, 2});
+  }
+  WorkflowBatchOptions opts;
+  opts.num_threads = 1;
+  const WorkflowBatchResult direct =
+      CertifyWorkflowBatch(*fig1.workflow, requests, opts);
+  EXPECT_TRUE(direct.status.ok());
+  std::vector<CertifyEntry> expected(kNumMasks);
+  for (uint32_t mask = 0; mask < kNumMasks; ++mask) {
+    expected[mask].certified = direct.entries[mask].certificate.certified;
+    expected[mask].module_gammas =
+        direct.entries[mask].certificate.module_gammas;
+    for (int m : direct.entries[mask].certificate.required_privatizations) {
+      expected[mask].required_privatizations.push_back(
+          static_cast<uint32_t>(m));
+    }
+  }
+  return expected;
+}
+
+CertifyItem ItemForMask(uint32_t mask, const int* attrs) {
+  CertifyItem item;
+  item.gamma = 2;
+  for (int b = 0; b < kNumAttrs; ++b) {
+    if ((mask >> b) & 1u) {
+      item.hidden_attrs.push_back(static_cast<uint32_t>(attrs[b]));
+    }
+  }
+  return item;
+}
+
+// One fault-injection worker: its own connection, its own RNG stream, a
+// randomized request mix. Reconnects whenever it deliberately burned the
+// connection (bad framing closes it by design).
+void FaultWorker(uint16_t port, uint64_t seed,
+                 const std::vector<CertifyEntry>& expected, const int* attrs,
+                 int iterations) {
+  Rng rng(seed);
+  PodsClient client;
+  ASSERT_TRUE(client.Connect(port).ok());
+
+  for (int i = 0; i < iterations; ++i) {
+    switch (rng.NextBelow(8)) {
+      case 0:   // ping
+        EXPECT_TRUE(client.Ping().ok());
+        break;
+      case 1: {  // valid single certify, verdict must match direct engine
+        const uint32_t mask = static_cast<uint32_t>(rng.NextBelow(kNumMasks));
+        CertifyRequest req;
+        req.workflow = "fig1";
+        req.items.push_back(ItemForMask(mask, attrs));
+        CertifyResponse resp;
+        ASSERT_TRUE(client.Certify(req, /*batch=*/false, &resp).ok());
+        ASSERT_EQ(resp.entries.size(), 1u);
+        EXPECT_EQ(resp.entries[0].certified, expected[mask].certified);
+        EXPECT_EQ(resp.entries[0].module_gammas,
+                  expected[mask].module_gammas);
+        EXPECT_EQ(resp.entries[0].required_privatizations,
+                  expected[mask].required_privatizations);
+        break;
+      }
+      case 2: {  // valid batch certify over random masks
+        CertifyRequest req;
+        req.workflow = "fig1";
+        std::vector<uint32_t> masks;
+        const int count = 1 + static_cast<int>(rng.NextBelow(4));
+        for (int k = 0; k < count; ++k) {
+          masks.push_back(static_cast<uint32_t>(rng.NextBelow(kNumMasks)));
+          req.items.push_back(ItemForMask(masks.back(), attrs));
+        }
+        CertifyResponse resp;
+        ASSERT_TRUE(client.Certify(req, /*batch=*/true, &resp).ok());
+        ASSERT_EQ(resp.entries.size(), masks.size());
+        for (size_t k = 0; k < masks.size(); ++k) {
+          EXPECT_EQ(resp.entries[k].certified, expected[masks[k]].certified);
+          EXPECT_EQ(resp.entries[k].module_gammas,
+                    expected[masks[k]].module_gammas);
+        }
+        break;
+      }
+      case 3: {  // malformed certify body: typed error, connection lives
+        const std::string garbage(1 + rng.NextBelow(64), '\xEE');
+        std::string payload;
+        const Status s = client.RoundTrip(
+            BuildRequestFrame(MessageType::kCertify,
+                              static_cast<uint32_t>(i), garbage),
+            &payload);
+        EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+        break;
+      }
+      case 4: {  // unknown workflow: NOT_FOUND, connection lives
+        CertifyRequest req;
+        req.workflow = "no-such-workflow";
+        req.items.push_back(CertifyItem{1, {}});
+        CertifyResponse resp;
+        EXPECT_EQ(client.Certify(req, /*batch=*/false, &resp).code(),
+                  StatusCode::kNotFound);
+        break;
+      }
+      case 5: {  // deadline-doomed: OK or DEADLINE_EXCEEDED, never worse
+        CertifyRequest req;
+        req.workflow = "fig1";
+        req.deadline_ms = 1;
+        for (uint32_t mask = 0; mask < kNumMasks; ++mask) {
+          req.items.push_back(ItemForMask(mask, attrs));
+        }
+        CertifyResponse resp;
+        const Status s = client.Certify(req, /*batch=*/true, &resp);
+        EXPECT_TRUE(s.ok() || s.code() == StatusCode::kDeadlineExceeded)
+            << s.message();
+        break;
+      }
+      case 6: {  // oversized body_len: error response, daemon hangs up
+        FrameHeader h;
+        h.type = static_cast<uint16_t>(MessageType::kCertifyBatch);
+        h.body_len = kMaxBodyLen + 1 + static_cast<uint32_t>(rng.NextBelow(1000));
+        std::string frame;
+        EncodeFrameHeader(h, &frame);
+        std::string payload;
+        const Status s = client.RoundTrip(frame, &payload);
+        EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+        client.Close();
+        ASSERT_TRUE(client.Connect(port).ok());
+        break;
+      }
+      default: {  // corrupted magic: error response, daemon hangs up
+        std::string frame = BuildRequestFrame(MessageType::kPing,
+                                              static_cast<uint32_t>(i));
+        frame[rng.NextBelow(4)] ^= static_cast<char>(1u << rng.NextBelow(8));
+        std::string payload;
+        const Status s = client.RoundTrip(frame, &payload);
+        EXPECT_FALSE(s.ok());
+        client.Close();
+        ASSERT_TRUE(client.Connect(port).ok());
+        break;
+      }
+    }
+  }
+}
+
+TEST(PodsdE2eTest, ConcurrentFaultInjection) {
+  WorkflowRegistry registry;
+  registry.RegisterBuiltins();
+  PodsDaemon daemon(&registry);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  Fig1Workflow fig1 = MakeFig1Workflow();
+  const int attrs[] = {fig1.a3, fig1.a4, fig1.a5, fig1.a6, fig1.a7};
+  const std::vector<CertifyEntry> expected = DirectVerdicts(fig1, attrs);
+
+  constexpr int kWorkers = 6;  // acceptance floor is 4 concurrent conns
+  constexpr int kIterations = 40;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back(FaultWorker, daemon.port(),
+                         0x9E3779B97F4A7C15ull + w, std::cref(expected),
+                         attrs, kIterations);
+  }
+  for (std::thread& t : workers) t.join();
+
+  // The daemon took every punch and still answers.
+  PodsClient survivor;
+  ASSERT_TRUE(survivor.Connect(daemon.port()).ok());
+  EXPECT_TRUE(survivor.Ping().ok());
+  StatSnapshot stats;
+  ASSERT_TRUE(survivor.Stat(&stats).ok());
+  const auto counter = [&](std::string_view key) -> uint64_t {
+    for (const auto& [k, v] : stats) {
+      if (k == key) return v;
+    }
+    ADD_FAILURE() << "missing stat " << key;
+    return 0;
+  };
+  EXPECT_GT(counter("requests_total"), 0u);
+  EXPECT_GT(counter("requests_ok"), 0u);
+  EXPECT_GT(counter("invalid_requests"), 0u);
+  EXPECT_GT(counter("rejected_frames"), 0u);
+  EXPECT_GT(counter("memo_checker_calls") + counter("memo_cache_hits"), 0u);
+
+  daemon.Stop();
+}
+
+TEST(PodsdE2eTest, StopSeversIdleConnectionsCleanly) {
+  WorkflowRegistry registry;
+  registry.RegisterBuiltins();
+  auto daemon = std::make_unique<PodsDaemon>(&registry);
+  ASSERT_TRUE(daemon->Start().ok());
+
+  // Park several idle connections mid-stream, then shut down: Stop must
+  // unblock their reads, join every thread, and return promptly.
+  std::vector<std::unique_ptr<PodsClient>> idle;
+  for (int i = 0; i < 4; ++i) {
+    idle.push_back(std::make_unique<PodsClient>());
+    ASSERT_TRUE(idle.back()->Connect(daemon->port()).ok());
+    ASSERT_TRUE(idle.back()->Ping().ok());
+  }
+  daemon->Stop();
+
+  // Severed: the next read on every parked connection fails instead of
+  // hanging.
+  for (auto& client : idle) {
+    FrameHeader header;
+    std::string body;
+    EXPECT_FALSE(client->RecvResponse(&header, &body).ok());
+  }
+
+  // Stop is idempotent; destruction after Stop is clean.
+  daemon->Stop();
+  daemon.reset();
+}
+
+TEST(PodsdE2eTest, MemoBankSharesVerdictsAcrossConnections) {
+  WorkflowRegistry registry;
+  registry.RegisterBuiltins();
+  PodsDaemon daemon(&registry);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  Fig1Workflow fig1 = MakeFig1Workflow();
+  const int attrs[] = {fig1.a3, fig1.a4, fig1.a5, fig1.a6, fig1.a7};
+  CertifyRequest req;
+  req.workflow = "fig1";
+  req.items.push_back(ItemForMask(0b10110, attrs));
+
+  PodsClient first;
+  ASSERT_TRUE(first.Connect(daemon.port()).ok());
+  CertifyResponse cold;
+  ASSERT_TRUE(first.Certify(req, /*batch=*/false, &cold).ok());
+  EXPECT_GT(cold.checker_calls, 0u);
+
+  // A DIFFERENT connection asking the same question answers from the
+  // shared WorkflowMemoBank: zero fresh checker calls.
+  PodsClient second;
+  ASSERT_TRUE(second.Connect(daemon.port()).ok());
+  CertifyResponse warm;
+  ASSERT_TRUE(second.Certify(req, /*batch=*/false, &warm).ok());
+  EXPECT_EQ(warm.checker_calls, 0u);
+  EXPECT_GT(warm.cache_hits, 0u);
+  EXPECT_EQ(warm.entries[0].certified, cold.entries[0].certified);
+  EXPECT_EQ(warm.entries[0].module_gammas, cold.entries[0].module_gammas);
+
+  daemon.Stop();
+}
+
+}  // namespace
+}  // namespace provview

@@ -182,5 +182,62 @@ TEST(SolutionSerializationTest, RejectsOutOfRange) {
   EXPECT_FALSE(ParseSolution("3 hidden 1", 4).ok());
 }
 
+TEST(BinarySerializationTest, InstanceRoundTrip) {
+  const SecureViewInstance inst = MixedInstance();
+  std::string bytes;
+  SerializeInstanceBinary(inst, &bytes);
+  Result<SecureViewInstance> decoded = DeserializeInstanceBinary(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(InstancesEqual(inst, *decoded));
+}
+
+TEST(BinarySerializationTest, EveryTruncationIsRejected) {
+  std::string bytes;
+  SerializeInstanceBinary(MixedInstance(), &bytes);
+  // No prefix of a valid encoding may decode (or over-read): chop every
+  // suffix off and demand a typed rejection.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DeserializeInstanceBinary(bytes.substr(0, len)).ok())
+        << "prefix of " << len << " bytes decoded";
+  }
+  EXPECT_FALSE(DeserializeInstanceBinary(bytes + '\0').ok())
+      << "trailing byte accepted";
+}
+
+TEST(BinarySerializationTest, RejectsWrongMagicAndForgedCounts) {
+  std::string bytes;
+  SerializeInstanceBinary(MixedInstance(), &bytes);
+  std::string bad_magic = bytes;
+  bad_magic[0] ^= 0x40;
+  EXPECT_FALSE(DeserializeInstanceBinary(bad_magic).ok());
+
+  // Forge the module count (the u32 after magic + version + kind +
+  // num_attrs + the 4 attr costs) to ~4 billion: the decoder must reject
+  // before allocating.
+  std::string forged = bytes;
+  const size_t module_count_off = 4 + 2 + 1 + 4 + 4 * sizeof(double);
+  for (size_t i = 0; i < 4; ++i) forged[module_count_off + i] = '\xFF';
+  EXPECT_FALSE(DeserializeInstanceBinary(forged).ok());
+}
+
+TEST(BinarySerializationTest, SolutionRoundTripAndTruncation) {
+  SecureViewSolution sol;
+  sol.hidden = Bitset64::Of(6, {1, 4});
+  sol.privatized = {0, 3};
+  std::string bytes;
+  SerializeSolutionBinary(sol, &bytes);
+  Result<SecureViewSolution> decoded = DeserializeSolutionBinary(bytes, 6);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->hidden, sol.hidden);
+  EXPECT_EQ(decoded->privatized, sol.privatized);
+
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DeserializeSolutionBinary(bytes.substr(0, len), 6).ok());
+  }
+  // A hidden attr past the universe is semantic garbage even when the
+  // bytes are well-formed.
+  EXPECT_FALSE(DeserializeSolutionBinary(bytes, 2).ok());
+}
+
 }  // namespace
 }  // namespace provview
