@@ -3,11 +3,14 @@
 // requests over randomized fig1 hidden sets — the steady-state shape where
 // the WorkflowMemoBank answers most requests from cache and the cost is
 // framing + dispatch + memo lookups. Prints a summary line run_benches.sh
-// records as `podsd_throughput_rps`:
+// records as `podsd_throughput_rps` plus the per-request latency tail
+// (`podsd_p50_ms` / `podsd_p95_ms` / `podsd_p99_ms`):
 //
 //   E7 podsd: clients=4 requests=4000 seconds=0.71 rps=5633.8
+//       p50_ms=0.051 p95_ms=0.102 p99_ms=0.184
 //
 // PODS_BENCH_SHORT=1 shrinks the request count for CI smoke runs.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -25,10 +28,13 @@ namespace provview {
 namespace {
 
 void ClientLoop(uint16_t port, uint64_t seed, int requests, const int* attrs,
-                int num_attrs) {
+                int num_attrs, std::vector<double>* latencies_ms) {
   PodsClient client;
   PV_CHECK_MSG(client.Connect(port).ok(), "client connect failed");
   Rng rng(seed);
+  if (latencies_ms != nullptr) {
+    latencies_ms->reserve(static_cast<size_t>(requests));
+  }
   for (int i = 0; i < requests; ++i) {
     CertifyRequest req;
     req.workflow = "fig1";
@@ -44,9 +50,23 @@ void ClientLoop(uint16_t port, uint64_t seed, int requests, const int* attrs,
     }
     req.items.push_back(std::move(item));
     CertifyResponse resp;
+    const auto r0 = std::chrono::steady_clock::now();
     const Status s = client.Certify(req, /*batch=*/false, &resp);
+    const auto r1 = std::chrono::steady_clock::now();
     PV_CHECK_MSG(s.ok(), "certify failed mid-bench");
+    if (latencies_ms != nullptr) {
+      latencies_ms->push_back(
+          std::chrono::duration<double, std::milli>(r1 - r0).count());
+    }
   }
+}
+
+// Nearest-rank percentile over a sorted sample.
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
 }
 
 int Run() {
@@ -64,13 +84,16 @@ int Run() {
 
   // Warm the memo bank so the measured window is the daemon steady state,
   // not the first-touch checker calls.
-  ClientLoop(daemon.port(), 1, 1u << 5, attrs, 5);
+  ClientLoop(daemon.port(), 1, 1u << 5, attrs, 5, nullptr);
 
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(kClients));
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back(ClientLoop, daemon.port(), 0x706f6473u + c,
-                         kRequestsPerClient, attrs, 5);
+                         kRequestsPerClient, attrs, 5,
+                         &latencies[static_cast<size_t>(c)]);
   }
   for (std::thread& t : clients) t.join();
   const auto t1 = std::chrono::steady_clock::now();
@@ -79,8 +102,17 @@ int Run() {
       std::chrono::duration<double>(t1 - t0).count();
   const int total = kClients * kRequestsPerClient;
   const double rps = total / seconds;
-  std::printf("E7 podsd: clients=%d requests=%d seconds=%.2f rps=%.1f\n",
-              kClients, total, seconds, rps);
+  std::vector<double> all;
+  all.reserve(static_cast<size_t>(total));
+  for (const std::vector<double>& v : latencies) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end());
+  std::printf(
+      "E7 podsd: clients=%d requests=%d seconds=%.2f rps=%.1f "
+      "p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f\n",
+      kClients, total, seconds, rps, Percentile(all, 50.0),
+      Percentile(all, 95.0), Percentile(all, 99.0));
 
   daemon.Stop();
   return 0;

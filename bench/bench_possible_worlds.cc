@@ -13,10 +13,14 @@
 //       odometer: identical worlds and OUT sets, >= 5x faster on the
 //       largest configurations (the point of the optimized hot path).
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/combinatorics.h"
@@ -142,6 +146,29 @@ double TimeMs(int reps, const Fn& fn) {
     best = std::min(best, sw.ElapsedMillis());
   }
   return best;
+}
+
+// Timer for the close A/B races (E1f seq vs sharded). On a single-core host
+// both variants run the same single-threaded code, so any wall-clock
+// difference is preemption by neighboring processes — the process-CPU clock
+// is the honest measure of the work. Multi-core hosts keep wall time: there
+// the race measures parallel overlap, which CPU time would hide.
+double RaceClockMs() {
+  if (std::thread::hardware_concurrency() > 1) {
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return ts.tv_sec * 1e3 + ts.tv_nsec / 1e6;
+  }
+  timespec ts;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return ts.tv_sec * 1e3 + ts.tv_nsec / 1e6;
+}
+
+template <typename Fn>
+double RaceTimeMs(const Fn& fn) {
+  const double t0 = RaceClockMs();
+  fn();
+  return RaceClockMs() - t0;
 }
 
 void SpeedupTable() {
@@ -412,18 +439,36 @@ void ShardedSubsetSearchTable() {
   seq.num_threads = 1;
   sharded.num_threads = 0;  // auto: use whatever cores the host has
   std::vector<Bitset64> a, b;
-  double seq_ms = TimeMs(1, [&] {
+  // Interleaved min-of-N: alternating the two variants and keeping each
+  // one's best round factors out drift (thermal, page cache, neighbors), so
+  // on a single-core host — where both runs are the same sequential walk —
+  // the ratio lands at ~1.0 instead of reporting scheduling noise.
+  const int rounds = ShortMode() ? 1 : 3;
+  {
+    // Untimed warmup: first-touch costs (relation materialization, page
+    // cache, allocator arenas) must not be billed to the first variant.
     SafeSearchStats s;
-    a = MinimalSafeHiddenSets(*m, gamma, &s,
-                              Module::kDefaultMaterializeRows, seq);
-    seq_stats = s;
-  });
-  double sharded_ms = TimeMs(1, [&] {
-    SafeSearchStats s;
-    b = MinimalSafeHiddenSets(*m, gamma, &s,
-                              Module::kDefaultMaterializeRows, sharded);
-    sharded_stats = s;
-  });
+    a = MinimalSafeHiddenSets(*m, gamma, &s, Module::kDefaultMaterializeRows,
+                              seq);
+  }
+  double seq_ms = std::numeric_limits<double>::infinity();
+  double sharded_ms = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < rounds; ++round) {
+    seq_ms = std::min(seq_ms, RaceTimeMs([&] {
+                        SafeSearchStats s;
+                        a = MinimalSafeHiddenSets(
+                            *m, gamma, &s, Module::kDefaultMaterializeRows,
+                            seq);
+                        seq_stats = s;
+                      }));
+    sharded_ms = std::min(sharded_ms, RaceTimeMs([&] {
+                            SafeSearchStats s;
+                            b = MinimalSafeHiddenSets(
+                                *m, gamma, &s,
+                                Module::kDefaultMaterializeRows, sharded);
+                            sharded_stats = s;
+                          }));
+  }
   PV_CHECK_MSG(a == b, "sharded subset search diverged from sequential");
   PV_CHECK_MSG(seq_stats.subsets_examined == sharded_stats.subsets_examined,
                "sharded search examined a different lattice");
@@ -432,10 +477,15 @@ void ShardedSubsetSearchTable() {
             << seq_stats.subsets_examined << " subsets examined, "
             << a.size() << " minimal safe sets, "
             << seq_stats.checker_calls << " checker calls (seq)\n";
-  std::cout << "E1f sharded subset search: k=" << 2 * half
-            << " minimal_sets=" << a.size() << " seq_ms=" << seq_ms
-            << " sharded_ms=" << sharded_ms << " sharded_speedup="
-            << speedup << "\n";
+  // Two-decimal speedup: min-of-N interleaved timing converges the two
+  // variants to the same floor on single-core hosts, and sub-percent timer
+  // jitter must not read as a regression.
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "E1f sharded subset search: k=%d minimal_sets=%zu "
+                "seq_ms=%.1f sharded_ms=%.1f sharded_speedup=%.2f\n",
+                2 * half, a.size(), seq_ms, sharded_ms, speedup);
+  std::cout << line;
 }
 
 void StreamingStandaloneTable() {

@@ -19,6 +19,8 @@ METRICS = [
     ("e1f_deep_chain_speedup_x", ("e1f_deep_chain_speedup_x",)),
     ("sharded_search_speedup_x", ("sharded_search_speedup_x",)),
     ("podsd_throughput_rps", ("podsd_throughput_rps",)),
+    ("taskgraph_search_speedup_x", ("taskgraph_search_speedup_x",)),
+    ("taskgraph_batch_speedup_x", ("taskgraph_batch_speedup_x",)),
 ]
 
 # Thread-sensitive metrics (sequential vs sharded on the same host) are only
@@ -28,14 +30,22 @@ METRICS = [
 # absolute floor instead of being skipped: sharding must never cost more
 # than ~2x over sequential anywhere, so a pathological slowdown (e.g. a
 # memo-merge blowup) still fails the job.
-THREAD_SENSITIVE = {"sharded_search_speedup_x", "podsd_throughput_rps"}
+THREAD_SENSITIVE = {
+    "sharded_search_speedup_x",
+    "podsd_throughput_rps",
+    "taskgraph_search_speedup_x",
+    "taskgraph_batch_speedup_x",
+}
 # Per-metric fallback floor used on mismatched hosts. 0.5x is the sharding
 # bound; 50 rps is the daemon floor — any functioning podsd clears it by
 # orders of magnitude, while a deadlocked accept loop or a per-request
-# engine rebuild would not.
+# engine rebuild would not. The task-graph A/B ratios must likewise never
+# fall below 0.5x the barrier path on any host.
 ABSOLUTE_FLOORS = {
     "sharded_search_speedup_x": 0.5,
     "podsd_throughput_rps": 50.0,
+    "taskgraph_search_speedup_x": 0.5,
+    "taskgraph_batch_speedup_x": 0.5,
 }
 
 

@@ -11,7 +11,7 @@ OUT="${2:-BENCH_possible_worlds.json}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "${REPO_ROOT}"
 
-for bin in bench_possible_worlds bench_standalone bench_podsd; do
+for bin in bench_possible_worlds bench_standalone bench_podsd bench_taskgraph; do
   if [[ ! -x "${BUILD_DIR}/${bin}" ]]; then
     echo "error: ${BUILD_DIR}/${bin} not built (run: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
     exit 1
@@ -65,10 +65,25 @@ SA_SECONDS="$(awk -v a="${SA_T0}" -v b="${SA_T1}" 'BEGIN{printf "%.3f", b-a}')"
 echo "== bench_podsd (daemon throughput) =="
 PODSD_LOG="$(mktemp)"
 "${BUILD_DIR}/bench_podsd" | tee "${PODSD_LOG}"
-# "E7 podsd: clients=4 requests=4000 seconds=0.71 rps=5633.8"
+# "E7 podsd: clients=4 requests=4000 seconds=0.71 rps=5633.8
+#      p50_ms=0.051 p95_ms=0.102 p99_ms=0.184"
 PODSD_RPS="$(grep -o 'rps=[0-9.]*' "${PODSD_LOG}" | awk -F= '{print $2}' | head -1 || true)"
 PODSD_CLIENTS="$(grep -o 'clients=[0-9]*' "${PODSD_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+PODSD_P50="$(grep -o 'p50_ms=[0-9.]*' "${PODSD_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+PODSD_P95="$(grep -o 'p95_ms=[0-9.]*' "${PODSD_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+PODSD_P99="$(grep -o 'p99_ms=[0-9.]*' "${PODSD_LOG}" | awk -F= '{print $2}' | head -1 || true)"
 rm -f "${PODSD_LOG}"
+
+echo "== bench_taskgraph (task graph vs fork-join barriers) =="
+TG_LOG="$(mktemp)"
+"${BUILD_DIR}/bench_taskgraph" | tee "${TG_LOG}"
+# "E8 taskgraph search: k=24 ... taskgraph_search_speedup=1.17"
+# "E8 taskgraph batch: requests=16 ... taskgraph_batch_speedup=1.34"
+TG_SEARCH_SPEEDUP="$(grep -o 'taskgraph_search_speedup=[0-9.]*' "${TG_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+TG_BATCH_SPEEDUP="$(grep -o 'taskgraph_batch_speedup=[0-9.]*' "${TG_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+TG_SEARCH_ON_MS="$(grep 'E8 taskgraph search' "${TG_LOG}" | grep -o 'on_ms=[0-9.]*' | awk -F= '{print $2}' | head -1 || true)"
+TG_BATCH_ON_MS="$(grep 'E8 taskgraph batch' "${TG_LOG}" | grep -o 'on_ms=[0-9.]*' | awk -F= '{print $2}' | head -1 || true)"
+rm -f "${TG_LOG}"
 
 GIT_REV="$(git -C "${REPO_ROOT}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
@@ -103,7 +118,14 @@ cat >"${LATEST_JSON}" <<EOF
   "bench_standalone_worldwalk_seconds": ${SA_SECONDS},
   "bench_standalone_detail": "${BUILD_DIR}/bench_standalone_worldwalk.json",
   "podsd_throughput_rps": ${PODSD_RPS:-null},
-  "podsd_bench_clients": ${PODSD_CLIENTS:-null}
+  "podsd_bench_clients": ${PODSD_CLIENTS:-null},
+  "podsd_p50_ms": ${PODSD_P50:-null},
+  "podsd_p95_ms": ${PODSD_P95:-null},
+  "podsd_p99_ms": ${PODSD_P99:-null},
+  "taskgraph_search_on_ms": ${TG_SEARCH_ON_MS:-null},
+  "taskgraph_batch_on_ms": ${TG_BATCH_ON_MS:-null},
+  "taskgraph_search_speedup_x": ${TG_SEARCH_SPEEDUP:-null},
+  "taskgraph_batch_speedup_x": ${TG_BATCH_SPEEDUP:-null}
 }
 EOF
 python3 - "${LATEST_JSON}" "${OUT}" <<'PY'
@@ -117,6 +139,8 @@ HIST_KEYS = [
     "e1f_deep_chain_speedup_x", "e1f_sharded_search_k",
     "k24_seq_search_ms", "k24_sharded_search_ms",
     "sharded_search_speedup_x", "podsd_throughput_rps",
+    "podsd_p50_ms", "podsd_p95_ms", "podsd_p99_ms",
+    "taskgraph_search_speedup_x", "taskgraph_batch_speedup_x",
 ]
 
 latest_path, out_path = sys.argv[1], sys.argv[2]

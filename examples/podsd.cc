@@ -1,6 +1,6 @@
 // podsd — the certification daemon, as a standalone binary.
 //
-//   podsd [--port=N]
+//   podsd [--port=N] [--engine-threads=N] [--no-task-graph]
 //
 // Binds 127.0.0.1 (port 0 = kernel-assigned, printed on stdout), serves the
 // built-in workflow registry, and runs until SIGINT/SIGTERM. Pair with
@@ -21,6 +21,7 @@
 
 int main(int argc, char** argv) {
   uint16_t port = 0;
+  provview::PodsDaemon::Options options;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--port=", 7) == 0) {
@@ -30,8 +31,20 @@ int main(int argc, char** argv) {
         return 2;
       }
       port = static_cast<uint16_t>(v);
+    } else if (std::strncmp(arg, "--engine-threads=", 17) == 0) {
+      const long v = std::strtol(arg + 17, nullptr, 10);
+      if (v < 0 || v > 1024) {
+        std::fprintf(stderr, "podsd: bad engine thread count '%s'\n",
+                     arg + 17);
+        return 2;
+      }
+      options.engine_threads = static_cast<int>(v);
+    } else if (std::strcmp(arg, "--no-task-graph") == 0) {
+      options.use_task_graph = false;
     } else {
-      std::fprintf(stderr, "usage: podsd [--port=N]\n");
+      std::fprintf(stderr,
+                   "usage: podsd [--port=N] [--engine-threads=N] "
+                   "[--no-task-graph]\n");
       return 2;
     }
   }
@@ -47,7 +60,7 @@ int main(int argc, char** argv) {
   provview::WorkflowRegistry registry;
   registry.RegisterBuiltins();
 
-  provview::PodsDaemon daemon(&registry);
+  provview::PodsDaemon daemon(&registry, options);
   const provview::Status started = daemon.Start(port);
   if (!started.ok()) {
     std::fprintf(stderr, "podsd: %s\n", started.message().c_str());

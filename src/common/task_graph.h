@@ -1,0 +1,218 @@
+// Dependency-aware task executor replacing the fork-join barriers of
+// thread_pool.h on the engine hot paths. A TaskGraph is a one-shot DAG of
+// void() tasks with explicit predecessor edges; a TaskGraphExecutor is a
+// long-lived set of workers with per-worker deques and steal-on-empty, in
+// the spirit of concurrencpp's thread-pool executor but with dependency
+// counting instead of coroutines. The properties the engines rely on:
+//
+//   * A task runs only after every predecessor finished; completion of the
+//     last predecessor releases the successor onto the completing worker's
+//     own deque (locality), from where idle workers steal.
+//   * Run() callers always help: the calling thread drains tasks alongside
+//     the workers until its graph completes. This is what makes nested
+//     Run() from inside a task deadlock-free (the nested caller works
+//     instead of parking while holding its worker), keeps the executor
+//     work-conserving, and means a 1-worker executor plus its caller are
+//     two runners.
+//   * Cooperative cancellation at task boundaries: the graph's ExecControl
+//     is checked before every task body; once tripped (or once any task
+//     throws), remaining bodies are skipped while dependency bookkeeping
+//     still runs to completion, so Run() always returns. The first
+//     exception is rethrown from Run(); a tripped control surfaces as its
+//     typed Status.
+//   * A bounded admission gate (TryAdmit/Release) for service callers:
+//     podsd admits a request's units before submitting engine work and
+//     rejects with RESOURCE_EXHAUSTED when the daemon is saturated,
+//     instead of queueing unboundedly.
+//
+// Determinism: the executor schedules tasks in a nondeterministic order, so
+// deterministic results are the *graph builder's* job — tasks write to
+// disjoint slots and dedicated merge/absorb tasks combine them in a fixed
+// order (see safe_subset_search.cc and docs/task_graph.md). RunInline()
+// executes the same graph fully sequentially in task-id-seeded FIFO order:
+// the zero-overhead path for resolved num_threads == 1.
+#ifndef PROVVIEW_COMMON_TASK_GRAPH_H_
+#define PROVVIEW_COMMON_TASK_GRAPH_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/exec_control.h"
+#include "common/status.h"
+
+namespace provview {
+
+class TaskGraphExecutor;
+
+/// One-shot dependency DAG of void() tasks. Build with Add()/AddDep(), then
+/// Run() exactly once. Not thread-safe during construction; tasks must not
+/// call Add() on their own graph.
+class TaskGraph {
+ public:
+  using TaskId = int;
+
+  TaskGraph() = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Adds a task depending on `deps` (each an id returned earlier). Edges
+  /// must keep the graph acyclic — a cycle is a fatal builder bug and is
+  /// detected by Run()/RunInline().
+  TaskId Add(std::function<void()> fn, const std::vector<TaskId>& deps = {});
+
+  /// Adds the edge dep -> task after both exist. Call before Run().
+  void AddDep(TaskId task, TaskId dep);
+
+  int size() const { return static_cast<int>(tasks_.size()); }
+
+  /// Executes the graph on `executor`, the calling thread helping until the
+  /// graph completes. executor == nullptr degrades to RunInline(). Returns
+  /// OK, or the control's typed Status if it tripped mid-graph; rethrows
+  /// the first task exception. Single-shot.
+  Status Run(TaskGraphExecutor* executor, const ExecControl* control = nullptr);
+
+  /// Fully sequential execution on the calling thread: ready tasks run in
+  /// deterministic FIFO order seeded by ascending task id. Same skip /
+  /// error semantics as Run().
+  Status RunInline(const ExecControl* control = nullptr);
+
+ private:
+  friend class TaskGraphExecutor;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGraph* graph = nullptr;
+    std::vector<TaskId> succs;
+    std::atomic<int64_t> pending{0};  // unfinished predecessors
+  };
+
+  // True once task bodies must be skipped (error or tripped control); the
+  // bookkeeping still drains every task so Run() terminates.
+  bool ShouldSkip() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    if (control_ != nullptr && control_->ExpiredNow()) return true;
+    return false;
+  }
+  void CaptureError(std::exception_ptr error);
+  Status Finish();
+
+  std::vector<std::unique_ptr<Task>> tasks_;
+  const ExecControl* control_ = nullptr;
+  bool ran_ = false;
+
+  std::atomic<bool> cancelled_{false};
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;  // guarded by error_mu_
+
+  std::atomic<int64_t> remaining_{0};
+  std::atomic<bool> done_{false};
+};
+
+/// Long-lived work-stealing executor: `num_threads` background workers,
+/// each with its own deque, plus a shared inbox deque for submissions from
+/// non-worker threads. Graphs from many callers interleave on one executor
+/// (the podsd sharing model); helping callers keep it work-conserving.
+/// Destroy only after every Run() has returned.
+class TaskGraphExecutor {
+ public:
+  explicit TaskGraphExecutor(
+      int num_threads,
+      int64_t max_pending = std::numeric_limits<int64_t>::max());
+  ~TaskGraphExecutor();
+
+  TaskGraphExecutor(const TaskGraphExecutor&) = delete;
+  TaskGraphExecutor& operator=(const TaskGraphExecutor&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Admission gate: reserves `units` of pending capacity, or returns false
+  /// when the reservation would exceed max_pending. Callers that got true
+  /// must Release() the same units when their work retires. Purely a
+  /// counter — the executor does not count tasks itself, so callers choose
+  /// the unit (podsd charges one unit per request item).
+  bool TryAdmit(int64_t units);
+  void Release(int64_t units);
+  int64_t admitted_units() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  int64_t max_pending() const { return max_pending_; }
+
+ private:
+  friend class TaskGraph;
+
+  struct Slot {
+    std::mutex mu;
+    std::deque<TaskGraph::Task*> q;  // guarded by mu
+  };
+
+  // Pushes a ready task: a worker (or adopted helper) pushes to its own
+  // deque, anyone else to the shared inbox; then wakes one sleeper.
+  void Push(TaskGraph::Task* t);
+  // Pops from `home` (LIFO end for locality) or steals (FIFO end) from the
+  // other slots; nullptr when everything is empty.
+  TaskGraph::Task* Grab(int home);
+  // Runs one task: skip-or-execute the body, release successors, retire the
+  // graph when this was its last task.
+  void Execute(TaskGraph::Task* t);
+  // The Run() caller's loop: drain tasks (any graph's — work conservation)
+  // until `graph` completes.
+  void HelpUntilDone(TaskGraph* graph);
+  void WorkerLoop(int self);
+
+  std::vector<Slot> slots_;  // one per worker + trailing shared inbox
+  std::vector<std::thread> workers_;
+  std::atomic<int64_t> ready_{0};  // tasks sitting in some deque
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> stop_{false};
+
+  const int64_t max_pending_;
+  std::atomic<int64_t> admitted_{0};
+};
+
+/// RAII for the admission gate: admitted units are released on every exit
+/// path of a request handler.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  AdmissionTicket(TaskGraphExecutor* executor, int64_t units)
+      : executor_(executor), units_(units) {}
+  AdmissionTicket(AdmissionTicket&& o) noexcept
+      : executor_(o.executor_), units_(o.units_) {
+    o.executor_ = nullptr;
+  }
+  AdmissionTicket& operator=(AdmissionTicket&& o) noexcept {
+    if (this != &o) {
+      reset();
+      executor_ = o.executor_;
+      units_ = o.units_;
+      o.executor_ = nullptr;
+    }
+    return *this;
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+  ~AdmissionTicket() { reset(); }
+
+  void reset() {
+    if (executor_ != nullptr) executor_->Release(units_);
+    executor_ = nullptr;
+  }
+
+ private:
+  TaskGraphExecutor* executor_ = nullptr;
+  int64_t units_ = 0;
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_COMMON_TASK_GRAPH_H_

@@ -9,6 +9,7 @@
 
 #include "common/combinatorics.h"
 #include "common/interner.h"
+#include "common/task_graph.h"
 #include "common/thread_pool.h"
 #include "privacy/feasible_sets.h"
 #include "workflow/execution_supplier.h"
@@ -512,11 +513,15 @@ std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
   t->range_size.assign(static_cast<size_t>(n), 1);
   t->original_fn.resize(static_cast<size_t>(n));
   t->orig_input_codes.resize(static_cast<size_t>(n));
-  // One shared execution plan for the whole build: its per-module function
-  // sweeps run once (not per shard, never concurrently) and double as the
-  // source of original_fn below.
-  std::shared_ptr<const ExecutionPlan> plan =
-      ExecutionSupplier::MakePlan(workflow);
+  t->out_values.resize(static_cast<size_t>(n));
+  // One shared execution plan for the whole build. The cheap per-module
+  // metadata (attrs, radices, strides, size guards, budget charges) is
+  // computed inline in module order — deterministic trip points — while
+  // the two table fills (the plan's function sweep and the output-decode
+  // table) are deferred: the task-graph mode runs them as per-module tasks
+  // overlapping the streamed scan.
+  std::shared_ptr<ExecutionPlan> plan =
+      ExecutionSupplier::MakePlanShell(workflow);
   for (int i = 0; i < n; ++i) {
     const size_t si = static_cast<size_t>(i);
     const Module& m = workflow.module(i);
@@ -547,11 +552,6 @@ std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
           dom <= (1 << 20) && range <= std::numeric_limits<int>::max(),
           "module " << m.name() << " too large for world enumeration");
     }
-    // The execution plan already swept this module's domain (same odometer
-    // order, same little-endian output encoding); reuse its table instead
-    // of running the full-domain Eval sweep a second time.
-    PV_CHECK(static_cast<int64_t>(plan->modules[si].fn.size()) == dom);
-    t->original_fn[si] = plan->modules[si].fn;
     const size_t n_out = t->out_attrs[si].size();
     if (control != nullptr &&
         !control->TryCharge(range * static_cast<int64_t>(n_out) *
@@ -559,7 +559,22 @@ std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
       t->status = control->Check();
       return t;
     }
-    t->out_values.emplace_back(static_cast<size_t>(range) * n_out);
+  }
+  // The fills, shared verbatim by both modes. The execution plan sweeps the
+  // module's domain in the same odometer order / little-endian output
+  // encoding original_fn needs, so one sweep serves both tables.
+  auto fill_fn = [&, plan](int i) {
+    const size_t si = static_cast<size_t>(i);
+    ExecutionSupplier::TabulateModule(plan.get(), i);
+    PV_CHECK(static_cast<int64_t>(plan->modules[si].fn.size()) ==
+             t->dom_size[si]);
+    t->original_fn[si] = plan->modules[si].fn;
+  };
+  auto fill_out_values = [&](int i) {
+    const size_t si = static_cast<size_t>(i);
+    const size_t n_out = t->out_attrs[si].size();
+    const int64_t range = t->range_size[si];
+    t->out_values[si].resize(static_cast<size_t>(range) * n_out);
     for (int64_t c = 0; c < range; ++c) {
       for (size_t j = 0; j < n_out; ++j) {
         t->out_values[si][static_cast<size_t>(c) * n_out + j] =
@@ -567,7 +582,7 @@ std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
                                  t->out_radices[si][j]);
       }
     }
-  }
+  };
 
   for (AttrId id : workflow.initial_input_ids()) {
     t->init_radices.push_back(catalog.DomainSize(id));
@@ -663,11 +678,50 @@ std::shared_ptr<const WorkflowTables> BuildWorkflowTables(
       }
     }
   };
-  if (shards <= 1) {
-    scan(0, 0, execs);
+  if (!opts.use_task_graph || threads <= 1) {
+    // Barrier mode: sweep every module, decode every output table, then
+    // scan — three strictly ordered phases.
+    for (int i = 0; i < n; ++i) {
+      fill_fn(i);
+      fill_out_values(i);
+    }
+    if (shards <= 1) {
+      scan(0, 0, execs);
+    } else {
+      ThreadPool pool(shards);
+      pool.ShardedFor(execs, shards, scan);
+    }
   } else {
-    ThreadPool pool(shards);
-    pool.ShardedFor(execs, shards, scan);
+    // Task-graph mode: per-module sweeps run as independent tasks, the
+    // scan shards depend only on the sweeps (which the streamed supplier
+    // reads), and the output-decode tables overlap the scan. Tables are
+    // identical to the barrier mode's — only the schedule changes.
+    TaskGraph graph;
+    std::vector<TaskGraph::TaskId> fn_tasks;
+    fn_tasks.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const TaskGraph::TaskId fi = graph.Add([&fill_fn, i] { fill_fn(i); });
+      fn_tasks.push_back(fi);
+      graph.Add([&fill_out_values, i] { fill_out_values(i); }, {fi});
+    }
+    const int64_t shard_chunk = (execs + shards - 1) / shards;
+    for (int s = 0; s < shards; ++s) {
+      const int64_t begin = static_cast<int64_t>(s) * shard_chunk;
+      const int64_t end = std::min<int64_t>(execs, begin + shard_chunk);
+      if (begin >= end) break;
+      graph.Add([&scan, s, begin, end] { scan(s, begin, end); }, fn_tasks);
+    }
+    std::unique_ptr<TaskGraphExecutor> local_executor;
+    TaskGraphExecutor* executor = opts.executor;
+    if (executor == nullptr) {
+      // threads-1 workers: the calling thread helps, so `threads` run.
+      local_executor = std::make_unique<TaskGraphExecutor>(threads - 1);
+      executor = local_executor.get();
+    }
+    Status run = graph.Run(executor, control);
+    if (control == nullptr) {
+      PV_CHECK_MSG(run.ok(), "table build failed: " << run.message());
+    }
   }
   if (control != nullptr) {
     t->status = control->Check();

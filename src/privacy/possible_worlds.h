@@ -29,6 +29,8 @@
 
 namespace provview {
 
+class TaskGraphExecutor;
+
 /// Tuning knobs of the optimized standalone enumerator.
 struct EnumerationOptions {
   /// Abort if the (pruned) candidate space exceeds this.
@@ -254,6 +256,16 @@ struct WorkflowTablesOptions {
   /// shard owns its own ExecutionSupplier over a contiguous execution
   /// range; per-shard aggregates merge deterministically.
   int num_threads = 1;
+  /// Build on the dependency-aware task-graph executor: the per-module
+  /// function sweeps and output-decode tables become independent tasks, and
+  /// the streamed scan shards start the moment the sweeps settle instead of
+  /// after a serial module loop — the out_values decode overlaps the scan.
+  /// Identical tables either way; OFF keeps the historical fork-join build
+  /// for A/B. Only engaged when the resolved num_threads > 1.
+  bool use_task_graph = true;
+  /// Optional shared executor (e.g. the daemon's); nullptr = a private
+  /// executor per build, caller helping.
+  TaskGraphExecutor* executor = nullptr;
   /// Optional deadline/cancellation/memory-budget token (service mode).
   /// The streamed scan polls it at chunk boundaries and the per-execution
   /// arrays are charged against its memory budget before allocation; a trip

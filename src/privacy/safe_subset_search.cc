@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/combinatorics.h"
+#include "common/task_graph.h"
 #include "common/thread_pool.h"
 #include "privacy/standalone_privacy.h"
 
@@ -40,6 +41,31 @@ void PickMinCost(const std::vector<Bitset64>& minimal,
   if (result->found) result->cost = best;
 }
 
+// Task count for one lattice level (or cell grid) on the task-graph path:
+// oversubscribe threads so work stealing can balance skewed rank ranges,
+// bounded so per-task overlay/log overhead stays negligible. Results and
+// stats do not depend on the count (rank-order absorb + log replay), only
+// wall-clock does.
+int LatticeTaskCount(int64_t total, int threads, int64_t min_parallel) {
+  if (threads <= 1 || total <= min_parallel) return 1;
+  const int64_t grain = std::max<int64_t>(int64_t{1}, min_parallel);
+  constexpr int64_t kOversubscription = 4;
+  constexpr int64_t kMaxTasks = 64;
+  return static_cast<int>(
+      std::min({(total + grain - 1) / grain,
+                static_cast<int64_t>(threads) * kOversubscription, kMaxTasks,
+                total}));
+}
+
+// Contiguous [begin, end) rank ranges, ceil-divided like
+// ThreadPool::ShardedFor so the two modes cut levels identically.
+std::pair<int64_t, int64_t> TaskRange(int64_t total, int tasks, int index) {
+  const int64_t chunk = (total + tasks - 1) / tasks;
+  const int64_t begin = std::min<int64_t>(total, chunk * index);
+  const int64_t end = std::min<int64_t>(total, begin + chunk);
+  return {begin, end};
+}
+
 }  // namespace
 
 std::vector<Bitset64> MinimalSafeHiddenSets(SafetyMemo* memo,
@@ -55,16 +81,16 @@ std::vector<Bitset64> MinimalSafeHiddenSets(SafetyMemo* memo,
                                                 << ", got " << k);
   const int threads = ThreadPool::Resolve(opts.num_threads);
   const ExecControl* control = opts.control;
-  std::unique_ptr<ThreadPool> pool;
 
   std::vector<Bitset64> minimal;
   if (control != nullptr && control->ExpiredNow()) return minimal;
+
   // One combo of the current level: examined, dominance-tested against the
   // minimal sets of the completed levels (same-size sets are incomparable,
   // so the in-flight level never has to see its own discoveries), then
   // safety-tested through a memo.
-  auto visit = [&](const Bitset64& combo, SafetyMemo* m,
-                   SafeSearchStats* s, std::vector<Bitset64>* safe) {
+  auto visit = [&](const Bitset64& combo, SafetyMemo* m, SafeSearchStats* s,
+                   std::vector<Bitset64>* safe) {
     ++s->subsets_examined;
     Bitset64 hidden(universe);
     for (int local : combo.ToVector()) {
@@ -76,10 +102,151 @@ std::vector<Bitset64> MinimalSafeHiddenSets(SafetyMemo* memo,
     if (m->IsSafe(hidden, gamma, s)) safe->push_back(hidden);
   };
 
-  // Enumerate by increasing cardinality. Every level is an antichain, so
-  // its contiguous rank shards are independent given the completed levels:
-  // results merge back in shard (= lexicographic) order, byte-identical to
-  // the sequential walk.
+  // Fully sequential walk — the reference semantics every parallel mode
+  // must match byte-for-byte, and the resolved-1-thread fast path: no
+  // shard bookkeeping, no memo overlays, no executor.
+  if (threads <= 1) {
+    for (int size = 0; size <= k; ++size) {
+      const int64_t total = BinomialCoefficient(k, size);
+      std::vector<Bitset64> safe;
+      ForEachSubsetOfSizeRangeWhile(k, size, 0, total,
+                                    [&](const Bitset64& combo) {
+                                      visit(combo, memo, stats, &safe);
+                                      return control == nullptr ||
+                                             !control->Expired();
+                                    });
+      // A level cut short by the deadline may have missed minimal sets, so
+      // its partial discoveries cannot be merged (they would masquerade as
+      // the complete antichain). Return the completed levels only.
+      if (control != nullptr && control->ExpiredNow()) return minimal;
+      minimal.insert(minimal.end(), safe.begin(), safe.end());
+    }
+    return minimal;
+  }
+
+  if (opts.use_task_graph) {
+    // Task-graph walk. Per level: `prep` folds the previous level's staged
+    // results into the shared memo and `minimal`, then rank-range shard
+    // tasks walk their slice on O(1) overlays of the (now frozen) memo,
+    // each releasing an absorb task the moment it finishes. The absorb
+    // chain runs in rank order, replaying shard lookup logs into a staging
+    // overlay while later shards still compute — the barrier the fork-join
+    // path pays per level becomes a pipeline. Discoveries concatenate in
+    // rank order and log replay reproduces sequential accounting, so
+    // results, their order, and SafeSearchStats are all byte-identical to
+    // the sequential walk at any thread count.
+    TaskGraphExecutor* executor = opts.executor;
+    std::unique_ptr<TaskGraphExecutor> local_executor;
+    if (executor == nullptr) {
+      // The caller helps, so threads runners total — parity with the
+      // barrier path's pool of `threads` workers (whose caller blocks).
+      local_executor = std::make_unique<TaskGraphExecutor>(threads - 1);
+      executor = local_executor.get();
+    }
+
+    struct Shard {
+      std::unique_ptr<SafetyMemo> memo;  // overlay, frozen base
+      SafetyMemo::LookupLog log;
+      std::vector<Bitset64> safe;
+      int64_t examined = 0;
+      int64_t begin = 0;
+      int64_t end = 0;
+    };
+    struct Level {
+      int64_t total = 0;
+      std::unique_ptr<SafetyMemo> staging;  // absorb target, overlay of memo
+      std::vector<Shard> shards;
+      std::vector<Bitset64> discoveries;  // rank-order concatenation
+    };
+    std::vector<Level> levels(static_cast<size_t>(k) + 1);
+
+    TaskGraph graph;
+    TaskGraph::TaskId chain = -1;  // last absorb of the previous level
+    for (int size = 0; size <= k; ++size) {
+      Level* level = &levels[static_cast<size_t>(size)];
+      level->total = BinomialCoefficient(k, size);
+      const int tasks =
+          LatticeTaskCount(level->total, threads, opts.min_parallel_subsets);
+      level->shards.resize(static_cast<size_t>(tasks));
+      for (int s = 0; s < tasks; ++s) {
+        const auto [begin, end] = TaskRange(level->total, tasks, s);
+        level->shards[static_cast<size_t>(s)].begin = begin;
+        level->shards[static_cast<size_t>(s)].end = end;
+      }
+      Level* prev = size > 0 ? &levels[static_cast<size_t>(size) - 1] : nullptr;
+      const TaskGraph::TaskId prep = graph.Add(
+          [&, level, prev] {
+            if (prev != nullptr) {
+              memo->Absorb(*prev->staging);
+              minimal.insert(minimal.end(), prev->discoveries.begin(),
+                             prev->discoveries.end());
+            }
+            level->staging = memo->NewOverlay();
+            for (Shard& sh : level->shards) sh.memo = memo->NewOverlay();
+          },
+          chain >= 0 ? std::vector<TaskGraph::TaskId>{chain}
+                     : std::vector<TaskGraph::TaskId>{});
+      chain = prep;
+      for (int s = 0; s < tasks; ++s) {
+        Shard* sh = &level->shards[static_cast<size_t>(s)];
+        const TaskGraph::TaskId work = graph.Add(
+            [&, sh, size] {
+              ForEachSubsetOfSizeRangeWhile(
+                  k, size, sh->begin, sh->end, [&](const Bitset64& combo) {
+                    ++sh->examined;
+                    Bitset64 hidden(universe);
+                    for (int local : combo.ToVector()) {
+                      hidden.Set(attrs[static_cast<size_t>(local)]);
+                    }
+                    bool dominated = false;
+                    for (const Bitset64& mset : minimal) {
+                      if (mset.IsSubsetOf(hidden)) {
+                        dominated = true;
+                        break;
+                      }
+                    }
+                    if (!dominated &&
+                        sh->memo->IsSafeLogged(hidden, gamma, &sh->log)) {
+                      sh->safe.push_back(hidden);
+                    }
+                    return control == nullptr || !control->Expired();
+                  });
+            },
+            {prep});
+        chain = graph.Add(
+            [&, sh, level] {
+              stats->subsets_examined += sh->examined;
+              level->staging->AbsorbLog(sh->log, stats);
+              level->discoveries.insert(level->discoveries.end(),
+                                        sh->safe.begin(), sh->safe.end());
+              sh->memo.reset();  // drop shard scratch as the chain advances
+              sh->log = SafetyMemo::LookupLog{};
+            },
+            {work, chain});
+      }
+    }
+    graph.Add(
+        [&] {
+          Level* last = &levels[static_cast<size_t>(k)];
+          memo->Absorb(*last->staging);
+          minimal.insert(minimal.end(), last->discoveries.begin(),
+                         last->discoveries.end());
+        },
+        {chain});
+    // A tripped control skips all remaining bodies, so fold tasks stop
+    // merging at the first incomplete level: `minimal` holds exactly the
+    // completed levels, same contract as the walks above. The Status comes
+    // out of control->Check(); discard it here like the barrier path does.
+    (void)graph.Run(executor, control);
+    return minimal;
+  }
+
+  // Historical barrier fork-join walk (use_task_graph = false), kept for
+  // A/B equivalence and bench races. Enumerates by increasing cardinality;
+  // every level is an antichain, so its contiguous rank shards are
+  // independent given the completed levels: results merge back in shard
+  // (= lexicographic) order, byte-identical to the sequential walk.
+  std::unique_ptr<ThreadPool> pool;
   for (int size = 0; size <= k; ++size) {
     const int64_t total = BinomialCoefficient(k, size);
     const int shards = static_cast<int>(std::min<int64_t>(
@@ -92,9 +259,6 @@ std::vector<Bitset64> MinimalSafeHiddenSets(SafetyMemo* memo,
                                       return control == nullptr ||
                                              !control->Expired();
                                     });
-      // A level cut short by the deadline may have missed minimal sets, so
-      // its partial discoveries cannot be merged (they would masquerade as
-      // the complete antichain). Return the completed levels only.
       if (control != nullptr && control->ExpiredNow()) return minimal;
       minimal.insert(minimal.end(), safe.begin(), safe.end());
       continue;
@@ -222,7 +386,10 @@ std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
   // Verdict of one grid cell: EVERY subset hiding exactly a inputs and b
   // outputs is safe. Identical to the sequential evaluation's fixpoint for
   // the cell (an early unsafe subset just short-circuits the AND sooner).
-  auto cell_safe = [&](int a, int b, SafetyMemo* m, SafeSearchStats* s) {
+  // With a non-null `log` the lookups are recorded instead of counted —
+  // the task-graph mode's replay-exact accounting.
+  auto cell_safe = [&](int a, int b, SafetyMemo* m, SafeSearchStats* s,
+                       SafetyMemo::LookupLog* log, int64_t* examined) {
     bool all_safe = true;
     ForEachSubsetOfSizeRangeWhile(
         ni, a, 0, BinomialCoefficient(ni, a), [&](const Bitset64& in_combo) {
@@ -236,8 +403,11 @@ std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
                 for (int local : out_combo.ToVector()) {
                   hidden.Set(outputs[static_cast<size_t>(local)]);
                 }
-                ++s->subsets_examined;
-                if (!m->IsSafe(hidden, gamma, s)) all_safe = false;
+                ++*examined;
+                const bool safe = log != nullptr
+                                      ? m->IsSafeLogged(hidden, gamma, log)
+                                      : m->IsSafe(hidden, gamma, s);
+                if (!safe) all_safe = false;
                 // First unsafe subset — or a tripped control — stops the
                 // cell. A deadline-cut cell leaves a stale verdict in the
                 // grid; the caller must discard the frontier whenever
@@ -250,9 +420,9 @@ std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
     return all_safe;
   };
 
-  // safe_all[a][b], cells sharded across the pool (row-major): every cell
-  // verdict is independent given a verdict cache, so shard-then-merge memos
-  // keep the grid — and the frontier below — identical to the sequential
+  // safe_all[a][b]: every cell verdict is independent given a verdict
+  // cache, so cells shard (row-major ranges) across either parallel mode;
+  // the grid — and the frontier below — is identical to the sequential
   // walk for every thread count.
   SafeSearchStats local_stats;
   // One byte per cell (not vector<bool>: shards write adjacent cells, and
@@ -265,16 +435,72 @@ std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
   };
   const int64_t lattice = int64_t{1} << (ni + no);
   const int threads = ThreadPool::Resolve(opts.num_threads);
-  const int shards = static_cast<int>(std::min<int64_t>(
-      lattice <= opts.min_parallel_subsets ? 1 : threads, cells));
-  if (shards <= 1) {
+  const bool parallel =
+      threads > 1 && lattice > opts.min_parallel_subsets && cells > 1;
+  if (!parallel) {
     for (int a = 0; a <= ni; ++a) {
       for (int b = 0; b <= no; ++b) {
         if (control != nullptr && control->ExpiredNow()) break;
-        safe_all[cell_at(a, b)] = cell_safe(a, b, memo, &local_stats) ? 1 : 0;
+        safe_all[cell_at(a, b)] =
+            cell_safe(a, b, memo, &local_stats, nullptr,
+                      &local_stats.subsets_examined)
+                ? 1
+                : 0;
       }
     }
+  } else if (opts.use_task_graph) {
+    // Cell-range tasks on overlays of the frozen memo; the absorb chain
+    // replays lookup logs in range (= row-major) order into a staging
+    // overlay, folded into the memo by the final task. Same grid, same
+    // stats as the sequential loop.
+    struct CellShard {
+      std::unique_ptr<SafetyMemo> memo;
+      SafetyMemo::LookupLog log;
+      int64_t examined = 0;
+      int64_t begin = 0;
+      int64_t end = 0;
+    };
+    const int tasks = LatticeTaskCount(cells, threads, 1);
+    std::vector<CellShard> cell_shards(static_cast<size_t>(tasks));
+    std::unique_ptr<SafetyMemo> staging = memo->NewOverlay();
+    TaskGraph graph;
+    TaskGraph::TaskId chain = -1;
+    for (int s = 0; s < tasks; ++s) {
+      CellShard* sh = &cell_shards[static_cast<size_t>(s)];
+      std::tie(sh->begin, sh->end) = TaskRange(cells, tasks, s);
+      sh->memo = memo->NewOverlay();
+      const TaskGraph::TaskId work = graph.Add([&, sh] {
+        for (int64_t cell = sh->begin; cell < sh->end; ++cell) {
+          if (control != nullptr && control->ExpiredNow()) return;
+          const int a = static_cast<int>(cell / (no + 1));
+          const int b = static_cast<int>(cell % (no + 1));
+          safe_all[cell_at(a, b)] =
+              cell_safe(a, b, sh->memo.get(), nullptr, &sh->log,
+                        &sh->examined)
+                  ? 1
+                  : 0;
+        }
+      });
+      chain = graph.Add(
+          [&, sh] {
+            local_stats.subsets_examined += sh->examined;
+            staging->AbsorbLog(sh->log, &local_stats);
+            sh->memo.reset();
+            sh->log = SafetyMemo::LookupLog{};
+          },
+          chain >= 0 ? std::vector<TaskGraph::TaskId>{work, chain}
+                     : std::vector<TaskGraph::TaskId>{work});
+    }
+    graph.Add([&] { memo->Absorb(*staging); }, {chain});
+    TaskGraphExecutor* executor = opts.executor;
+    std::unique_ptr<TaskGraphExecutor> local_executor;
+    if (executor == nullptr) {
+      local_executor = std::make_unique<TaskGraphExecutor>(threads - 1);
+      executor = local_executor.get();
+    }
+    (void)graph.Run(executor, control);
   } else {
+    const int shards = static_cast<int>(std::min<int64_t>(threads, cells));
     struct ShardOut {
       std::unique_ptr<SafetyMemo> memo;
       SafeSearchStats stats;
@@ -289,7 +515,10 @@ std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
         const int a = static_cast<int>(cell / (no + 1));
         const int b = static_cast<int>(cell % (no + 1));
         safe_all[cell_at(a, b)] =
-            cell_safe(a, b, o.memo.get(), &o.stats) ? 1 : 0;
+            cell_safe(a, b, o.memo.get(), &o.stats, nullptr,
+                      &o.stats.subsets_examined)
+                ? 1
+                : 0;
       }
     });
     for (ShardOut& o : outs) {

@@ -18,32 +18,52 @@
 
 namespace provview {
 
+class TaskGraphExecutor;
+
 /// Knobs of the subset-lattice searches. The lattice walk is
 /// level-synchronous: subsets of one cardinality are pairwise incomparable,
 /// so a level can shard across worker threads (contiguous lexicographic
 /// rank ranges via ForEachSubsetOfSizeRange) with dominance checked only
 /// against the minimal sets of strictly smaller levels — results and their
-/// order are identical to the sequential walk for every thread count. Each
-/// shard works on a Clone() of the shared SafetyMemo seeded with all
-/// verdicts settled so far and merges back (Absorb) at the level barrier in
-/// shard order, so verdict caches and SafeSearchStats stay deterministic;
-/// per-shard stats are summed exactly into the caller's totals (duplicate
-/// misses across shards can make checker_calls exceed the sequential
-/// count — that is the price of lock-free sharding, not a lost update).
+/// order are identical to the sequential walk for every thread count.
+///
+/// Two parallel execution modes share that decomposition:
+///
+///   * use_task_graph (default) — rank-range tasks on the dependency-aware
+///     TaskGraphExecutor. Shards work on O(1) SafetyMemo overlays of the
+///     frozen level-start memo, and a per-level absorb chain merges each
+///     shard's lookup log in rank order the moment the shard finishes —
+///     overlapping memo merges with later shards' compute instead of paying
+///     a level barrier. Replaying the logs also makes the accounting
+///     exact: SafeSearchStats come out byte-identical to the sequential
+///     walk at every thread count.
+///   * barrier (use_task_graph = false) — the historical fork-join path:
+///     each shard works on a Clone() of the shared memo and merges back
+///     (Absorb) at the level barrier in shard order. Stats are summed
+///     exactly, but duplicate misses across shards can make checker_calls
+///     exceed the sequential count — the price of lock-free sharding kept
+///     for A/B equivalence and bench races.
 struct SubsetSearchOptions {
-  /// Worker threads. 0 = hardware concurrency, 1 = fully sequential.
+  /// Worker threads. 0 = hardware concurrency, 1 = fully sequential (a
+  /// dedicated short-circuit walk with zero sharding overhead).
   int num_threads = 1;
-  /// Levels with at most this many subsets always run inline (the pool and
-  /// memo-clone overhead would dominate).
+  /// Levels with at most this many subsets always run inline (the task /
+  /// memo-overlay overhead would dominate).
   int64_t min_parallel_subsets = 4096;
   /// Optional deadline/cancellation token (service mode). The lattice walk
-  /// polls it per subset (cheap strided poll) and at every level barrier; a
-  /// tripped control makes the searches return early with whatever they
-  /// have (MinimalSafeHiddenSets: the minimal sets of fully completed
-  /// levels; MinimalSafeCardinalityPairs: a frontier that must be
+  /// polls it per subset (cheap strided poll) and at every task or level
+  /// boundary; a tripped control makes the searches return early with
+  /// whatever they have (MinimalSafeHiddenSets: the minimal sets of fully
+  /// completed levels; MinimalSafeCardinalityPairs: a frontier that must be
   /// discarded). Callers MUST treat results as partial whenever
   /// control->Check() is non-OK afterwards.
   const ExecControl* control = nullptr;
+  /// Run the sharded walks on the task-graph executor (see above).
+  bool use_task_graph = true;
+  /// Optional shared executor (e.g. the daemon's). nullptr = a private
+  /// executor of num_threads - 1 workers per call; the calling thread
+  /// helps, so both modes use `num_threads` runners.
+  TaskGraphExecutor* executor = nullptr;
 };
 
 /// Largest k = |I| + |O| the lattice searches accept. 2^24 subsets is the

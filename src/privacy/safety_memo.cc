@@ -130,6 +130,7 @@ std::pair<SafetyMemo::ProjectionKey, int64_t> SafetyMemo::ScanProjection(
 }
 
 std::unique_ptr<SafetyMemo> SafetyMemo::Clone() const {
+  PV_CHECK_MSG(base_ == nullptr, "Clone of an overlay memo");
   std::unique_ptr<SafetyMemo> clone(new SafetyMemo());
   clone->view_ = view_;
   clone->inputs_ = inputs_;
@@ -141,11 +142,44 @@ std::unique_ptr<SafetyMemo> SafetyMemo::Clone() const {
   return clone;
 }
 
+std::unique_ptr<SafetyMemo> SafetyMemo::NewOverlay() const {
+  PV_CHECK_MSG(base_ == nullptr, "overlay of an overlay memo");
+  std::unique_ptr<SafetyMemo> overlay(new SafetyMemo());
+  overlay->view_ = view_;
+  overlay->inputs_ = inputs_;
+  overlay->outputs_ = outputs_;
+  overlay->effective_ = effective_;
+  overlay->local_pos_ = local_pos_;
+  overlay->base_ = this;
+  return overlay;
+}
+
 void SafetyMemo::Absorb(const SafetyMemo& worker) {
   signature_cache_.insert(worker.signature_cache_.begin(),
                           worker.signature_cache_.end());
   projection_cache_.insert(worker.projection_cache_.begin(),
                            worker.projection_cache_.end());
+}
+
+const int64_t* SafetyMemo::FindSignature(
+    const std::pair<Bitset64, int64_t>& sig) const {
+  auto it = signature_cache_.find(sig);
+  if (it != signature_cache_.end()) return &it->second;
+  if (base_ != nullptr) {
+    auto bit = base_->signature_cache_.find(sig);
+    if (bit != base_->signature_cache_.end()) return &bit->second;
+  }
+  return nullptr;
+}
+
+const int64_t* SafetyMemo::FindProjection(const ProjectionKey& pkey) const {
+  auto it = projection_cache_.find(pkey);
+  if (it != projection_cache_.end()) return &it->second;
+  if (base_ != nullptr) {
+    auto bit = base_->projection_cache_.find(pkey);
+    if (bit != base_->projection_cache_.end()) return &bit->second;
+  }
+  return nullptr;
 }
 
 int64_t SafetyMemo::MaxGamma(const Bitset64& hidden, SafeSearchStats* stats) {
@@ -157,24 +191,76 @@ int64_t SafetyMemo::MaxGamma(const Bitset64& hidden, SafeSearchStats* stats) {
     }
   }
   SignatureKey sig(Difference(effective_, hidden), hidden_ext);
-  auto it = signature_cache_.find(sig);
-  if (it != signature_cache_.end()) {
+  if (const int64_t* cached = FindSignature(sig)) {
     ++stats->cache_hits;
     ++stats->signature_hits;
-    return it->second;
+    return *cached;
   }
   const auto [pkey, gamma] = ScanProjection(sig.first, hidden_ext);
-  auto pit = projection_cache_.find(pkey);
-  if (pit != projection_cache_.end()) {
+  if (const int64_t* cached = FindProjection(pkey)) {
     ++stats->cache_hits;
     ++stats->projection_hits;
-    signature_cache_.emplace(std::move(sig), pit->second);
-    return pit->second;
+    signature_cache_.emplace(std::move(sig), *cached);
+    return *cached;
   }
   ++stats->checker_calls;
   projection_cache_.emplace(pkey, gamma);
   signature_cache_.emplace(std::move(sig), gamma);
   return gamma;
+}
+
+int64_t SafetyMemo::MaxGammaLogged(const Bitset64& hidden, LookupLog* log) {
+  const AttributeCatalog& catalog = *view_.schema().catalog();
+  int64_t hidden_ext = 1;
+  for (AttrId id : outputs_) {
+    if (id < hidden.size() && hidden.Test(id)) {
+      hidden_ext = SaturatingMul(hidden_ext, catalog.DomainSize(id));
+    }
+  }
+  SignatureKey sig(Difference(effective_, hidden), hidden_ext);
+  if (const int64_t* cached = FindSignature(sig)) {
+    log->records.push_back({sig, ProjectionKey{}, *cached, false});
+    return *cached;
+  }
+  const auto [pkey, gamma] = ScanProjection(sig.first, hidden_ext);
+  if (const int64_t* cached = FindProjection(pkey)) {
+    signature_cache_.emplace(sig, *cached);
+    log->records.push_back({std::move(sig), pkey, *cached, true});
+    return *cached;
+  }
+  projection_cache_.emplace(pkey, gamma);
+  signature_cache_.emplace(sig, gamma);
+  log->records.push_back({std::move(sig), pkey, gamma, true});
+  return gamma;
+}
+
+bool SafetyMemo::IsSafeLogged(const Bitset64& hidden, int64_t gamma,
+                              LookupLog* log) {
+  PV_CHECK_MSG(gamma >= 1, "gamma must be >= 1");
+  return MaxGammaLogged(hidden, log) >= gamma;
+}
+
+void SafetyMemo::AbsorbLog(const LookupLog& log, SafeSearchStats* stats) {
+  for (const LookupLog::Record& rec : log.records) {
+    if (FindSignature(rec.sig) != nullptr) {
+      ++stats->cache_hits;
+      ++stats->signature_hits;
+      continue;
+    }
+    // A worker's visible caches are a subset of the replay view when logs
+    // are absorbed in shard order, so an unscanned record (a worker-side
+    // signature hit) can never be a replay-side miss.
+    PV_CHECK_MSG(rec.scanned, "lookup log absorbed out of order");
+    if (const int64_t* cached = FindProjection(rec.pkey)) {
+      signature_cache_.emplace(rec.sig, *cached);
+      ++stats->cache_hits;
+      ++stats->projection_hits;
+      continue;
+    }
+    ++stats->checker_calls;
+    projection_cache_.emplace(rec.pkey, rec.gamma);
+    signature_cache_.emplace(rec.sig, rec.gamma);
+  }
 }
 
 bool SafetyMemo::IsSafe(const Bitset64& hidden, int64_t gamma,

@@ -105,9 +105,20 @@ class SafetyMemo {
   /// still single-threaded — one clone per worker.
   std::unique_ptr<SafetyMemo> Clone() const;
 
-  /// Merges a worker clone's verdicts back (deterministic values, so
-  /// first-wins insertion is exact). Callers then Absorb each shard in
-  /// shard order, keeping the merged cache identical across thread counts.
+  /// O(1) worker view for the task-graph searches: shares the row backend
+  /// and reads this memo's caches through a frozen-base pointer, while its
+  /// own inserts stay local (a delta, merged back later via Absorb or
+  /// replayed with AbsorbLog). The base must not be mutated while overlays
+  /// read it — the searches freeze it for the span of a lattice level. The
+  /// overlay itself is single-threaded: one per worker. Unlike Clone()
+  /// this never copies the caches, which is what removes the per-level
+  /// clone cost that made the sharded k=24 walk slower than sequential.
+  std::unique_ptr<SafetyMemo> NewOverlay() const;
+
+  /// Merges a worker clone's or overlay's own verdicts back (deterministic
+  /// values, so first-wins insertion is exact). Callers then Absorb each
+  /// shard in shard order, keeping the merged cache identical across
+  /// thread counts.
   void Absorb(const SafetyMemo& worker);
 
   /// MaxStandaloneGamma(rel, I, O, hidden.Complement()), memoized. Bumps
@@ -116,6 +127,28 @@ class SafetyMemo {
 
   /// Memoized Algorithm-2 safety test (Γ ≥ 1 required).
   bool IsSafe(const Bitset64& hidden, int64_t gamma, SafeSearchStats* stats);
+
+  /// Ordered record of the lookups one worker performed, replayable with
+  /// AbsorbLog. Opaque to callers; definition follows the class.
+  struct LookupLog;
+
+  /// MaxGamma for overlay workers: identical verdict, but no stats counters
+  /// are bumped — the lookup is appended to `log` instead. The caller
+  /// replays the logs with AbsorbLog in deterministic shard order, which
+  /// reproduces the *sequential* walk's accounting exactly: a verdict two
+  /// concurrent shards both had to compute collapses back into one checker
+  /// call plus one cache hit, so SafeSearchStats are byte-identical to the
+  /// single-threaded walk at any thread count.
+  int64_t MaxGammaLogged(const Bitset64& hidden, LookupLog* log);
+
+  /// MaxGammaLogged ≥ gamma (Γ ≥ 1 required).
+  bool IsSafeLogged(const Bitset64& hidden, int64_t gamma, LookupLog* log);
+
+  /// Replays a worker log against this memo in order: classifies every
+  /// lookup against the current caches (signature hit / projection hit /
+  /// checker call), inserts the settled verdicts, and bumps `stats` exactly
+  /// as a sequential walk reaching these candidates in this order would.
+  void AbsorbLog(const LookupLog& log, SafeSearchStats* stats);
 
  private:
   SafetyMemo() = default;  // used by Clone()
@@ -139,6 +172,14 @@ class SafetyMemo {
   std::pair<ProjectionKey, int64_t> ScanProjection(
       const Bitset64& effective_visible, int64_t hidden_ext);
 
+  // Cache lookups that fall through to the frozen base when this memo is an
+  // overlay (nullptr result = full miss).
+  const int64_t* FindSignature(const std::pair<Bitset64, int64_t>& sig) const;
+  const int64_t* FindProjection(const ProjectionKey& pkey) const;
+
+  // Frozen read-only fallback for overlays; nullptr for root memos.
+  const SafetyMemo* base_ = nullptr;
+
   RelationView view_;
   std::vector<AttrId> inputs_;
   std::vector<AttrId> outputs_;
@@ -150,6 +191,19 @@ class SafetyMemo {
   using SignatureKey = std::pair<Bitset64, int64_t>;
   std::map<SignatureKey, int64_t> signature_cache_;
   std::map<ProjectionKey, int64_t> projection_cache_;
+};
+
+/// One worker's lookup trace: which candidates it resolved, with enough of
+/// each resolution (signature, projection key when a pass ran, Γ) for
+/// AbsorbLog to re-classify it against the merged caches.
+struct SafetyMemo::LookupLog {
+  struct Record {
+    SignatureKey sig;
+    ProjectionKey pkey;  // meaningful only when `scanned`
+    int64_t gamma = 0;
+    bool scanned = false;  // the worker missed level 1 and ran the row pass
+  };
+  std::vector<Record> records;
 };
 
 }  // namespace provview

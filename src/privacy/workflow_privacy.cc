@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/task_graph.h"
 #include "common/thread_pool.h"
 #include "privacy/possible_worlds.h"
 #include "privacy/standalone_privacy.h"
@@ -112,6 +113,157 @@ WorkflowBatchResult CertifyWorkflowBatch(
       requests.size(),
       std::vector<int64_t>(static_cast<size_t>(n),
                            std::numeric_limits<int64_t>::max()));
+  std::vector<SafeSearchStats> task_module_stats(private_modules.size());
+
+  if (opts.use_task_graph && max_threads > 1) {
+    // Task-graph mode. Each private module is a chain of per-request
+    // MaxGamma tasks (the memo is sequential per module); each request gets
+    // a verdict task gated on every module's answer for it; ground truth is
+    // a tables task (overlapping the memo chains — no phase barrier)
+    // feeding per-request enumeration tasks. Per-module stats and gammas
+    // are written by exactly the same call sequence as the historical
+    // driver, so the batch result is field-identical.
+    if (opts.with_ground_truth) {
+      for (int i : opts.visible_public_modules) {
+        if (control != nullptr && (i < 0 || i >= n)) {
+          result.status = Status::InvalidArgument(
+              "visible public module index out of range: " +
+              std::to_string(i));
+          return result;
+        }
+        if (control != nullptr && !workflow.module(i).is_public()) {
+          result.status = Status::InvalidArgument(
+              "module " + std::to_string(i) + " is not public");
+          return result;
+        }
+        PV_CHECK_MSG(workflow.module(i).is_public(),
+                     "module " << i << " is not public");
+      }
+    }
+    std::unique_ptr<TaskGraphExecutor> local_executor;
+    TaskGraphExecutor* executor = opts.executor;
+    if (executor == nullptr) {
+      // max_threads-1 workers: the calling thread helps during Run(), so
+      // max_threads runners total — parity with the fork-join driver.
+      local_executor = std::make_unique<TaskGraphExecutor>(max_threads - 1);
+      executor = local_executor.get();
+    }
+    std::vector<std::unique_ptr<SafetyMemo>> local_memos;
+    if (bank == nullptr) {
+      for (int m_index : private_modules) {
+        local_memos.push_back(
+            std::make_unique<SafetyMemo>(workflow.module(m_index)));
+      }
+    }
+
+    TaskGraph graph;
+    // cert_tasks[r] = the per-module tasks answering request r.
+    std::vector<std::vector<TaskGraph::TaskId>> cert_tasks(requests.size());
+    for (size_t mi = 0; mi < private_modules.size(); ++mi) {
+      TaskGraph::TaskId prev = -1;
+      for (size_t r = 0; r < requests.size(); ++r) {
+        auto body = [&, mi, r] {
+          const size_t m_index =
+              static_cast<size_t>(private_modules[mi]);
+          if (bank != nullptr) {
+            // Locking per task (not per chain) lets concurrent batches on a
+            // shared bank interleave at request granularity.
+            std::lock_guard<std::mutex> g(bank->mutex(mi));
+            gammas[r][m_index] = bank->memo(mi)->MaxGamma(
+                requests[r].hidden, &task_module_stats[mi]);
+          } else {
+            gammas[r][m_index] = local_memos[mi]->MaxGamma(
+                requests[r].hidden, &task_module_stats[mi]);
+          }
+        };
+        prev = prev < 0 ? graph.Add(std::move(body))
+                        : graph.Add(std::move(body), {prev});
+        cert_tasks[r].push_back(prev);
+      }
+    }
+    for (size_t r = 0; r < requests.size(); ++r) {
+      graph.Add(
+          [&, r] {
+            PrivacyCertificate& cert = result.entries[r].certificate;
+            cert.module_gammas = std::move(gammas[r]);
+            cert.certified = true;
+            for (int i = 0; i < n; ++i) {
+              const Module& m = workflow.module(i);
+              if (!m.is_public() && cert.module_gammas[static_cast<size_t>(
+                                        i)] < requests[r].gamma) {
+                cert.certified = false;
+              }
+              if (m.is_public() &&
+                  m.AttrSet().Intersects(requests[r].hidden)) {
+                cert.required_privatizations.push_back(i);
+              }
+            }
+          },
+          cert_tasks[r]);
+    }
+
+    std::shared_ptr<const WorkflowTables> tables;
+    std::mutex status_mu;
+    Status worlds_status;
+    if (opts.with_ground_truth) {
+      const TaskGraph::TaskId tables_task = graph.Add([&] {
+        WorkflowTablesOptions topts;
+        topts.control = control;
+        topts.num_threads = max_threads;
+        topts.executor = executor;  // nested Run helps on this executor
+        tables = BuildWorkflowTables(workflow, topts);
+      });
+      for (size_t r = 0; r < requests.size(); ++r) {
+        graph.Add(
+            [&, r] {
+              if (!tables->status.ok()) {
+                std::lock_guard<std::mutex> g(status_mu);
+                if (worlds_status.ok()) worlds_status = tables->status;
+                return;
+              }
+              WorkflowEnumerationOptions wopts;
+              wopts.max_candidates = opts.max_candidates;
+              wopts.gamma = requests[r].gamma;
+              wopts.collect_distinct_relations = false;
+              wopts.num_threads = 1;
+              wopts.control = control;
+              WorkflowWorlds worlds = EnumerateWorkflowWorlds(
+                  *tables, requests[r].hidden.Complement(),
+                  opts.visible_public_modules, wopts);
+              if (!worlds.status.ok()) {
+                std::lock_guard<std::mutex> g(status_mu);
+                if (worlds_status.ok()) worlds_status = worlds.status;
+                return;
+              }
+              bool is_private = true;
+              if (!worlds.early_stopped) {
+                for (int i : private_modules) {
+                  is_private = is_private &&
+                               worlds.MinOutSize(i) >= requests[r].gamma;
+                }
+              }
+              result.entries[r].ground_truth_private = is_private;
+            },
+            {tables_task});
+      }
+    }
+
+    Status run = graph.Run(executor, control);
+    (void)run;  // control trips surface below; exceptions were rethrown
+    for (const SafeSearchStats& s : task_module_stats) {
+      result.stats.Accumulate(s);
+    }
+    if (control != nullptr && !control->Check().ok()) {
+      // A trip skips remaining task bodies, so some entries may hold
+      // half-assembled verdicts; reset them all — the documented contract
+      // is partial stats, no verdicts.
+      result.status = control->Check();
+      result.entries.assign(requests.size(), WorkflowBatchEntry{});
+      return result;
+    }
+    if (!worlds_status.ok()) result.status = worlds_status;
+    return result;
+  }
 
   // One worker per private module: materialize its relation once and share
   // one SafetyMemo across every request, so hidden sets inducing the same
@@ -197,6 +349,7 @@ WorkflowBatchResult CertifyWorkflowBatch(
     // batch layer already owns the parallelism).
     WorkflowTablesOptions topts;
     topts.control = control;
+    topts.use_task_graph = opts.use_task_graph;
     std::shared_ptr<const WorkflowTables> tables =
         BuildWorkflowTables(workflow, topts);
     if (!tables->status.ok()) {

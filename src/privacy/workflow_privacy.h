@@ -21,6 +21,8 @@
 
 namespace provview {
 
+class TaskGraphExecutor;
+
 /// A composed Secure-View solution for a workflow (§5.2 cost model: hidden
 /// attributes pay c(a), privatized public modules pay c(m)).
 struct ComposedSolution {
@@ -89,6 +91,17 @@ struct WorkflowBatchOptions {
   /// certified verdicts. When null, guards keep the historical
   /// PV_CHECK-abort behavior.
   const ExecControl* control = nullptr;
+  /// Run the batch as a dependency task graph (default): per-module request
+  /// chains, per-request verdict tasks, and — with ground truth — a tables
+  /// task feeding per-request enumerations, with no barrier between
+  /// certification and ground truth. Off = the historical two-phase
+  /// fork-join driver. Results are field-identical either way; resolved
+  /// num_threads <= 1 always takes the historical sequential path.
+  bool use_task_graph = true;
+  /// Optional shared executor (the podsd model: many connections submit
+  /// into one executor). Null = a batch-local executor sized so that the
+  /// calling thread plus its workers total num_threads runners.
+  TaskGraphExecutor* executor = nullptr;
 };
 
 /// Per-request batch output.

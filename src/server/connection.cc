@@ -9,13 +9,14 @@
 
 #include "common/bitset64.h"
 #include "common/exec_control.h"
+#include "common/task_graph.h"
 #include "privacy/workflow_privacy.h"
 
 namespace provview {
 
 Connection::Connection(int fd, const WorkflowRegistry* registry,
-                       DaemonStats* stats)
-    : fd_(fd), registry_(registry), stats_(stats) {
+                       DaemonStats* stats, TaskGraphExecutor* executor)
+    : fd_(fd), registry_(registry), stats_(stats), executor_(executor) {
   stats_->connections_opened.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -169,8 +170,24 @@ std::string Connection::HandleCertify(const FrameHeader& header,
   if (req.memory_budget > 0) control.set_memory_budget(req.memory_budget);
 
   WorkflowBatchOptions opts;
-  opts.num_threads = 1;  // the daemon's parallelism is across connections
   opts.control = &control;
+  AdmissionTicket ticket;
+  if (executor_ != nullptr) {
+    // Shared-executor mode: pass the admission gate (one unit per item plus
+    // one for the request), then submit the batch's task graph into the
+    // daemon-wide executor with this thread helping.
+    const int64_t units = static_cast<int64_t>(req.items.size()) + 1;
+    if (!executor_->TryAdmit(units)) {
+      return fail(Status::ResourceExhausted(
+          "daemon saturated: admission gate full (max_pending " +
+          std::to_string(executor_->max_pending()) + " units)"));
+    }
+    ticket = AdmissionTicket(executor_, units);
+    opts.executor = executor_;
+    opts.num_threads = executor_->num_threads() + 1;  // workers + this thread
+  } else {
+    opts.num_threads = 1;  // inline: the daemon's parallelism is connections
+  }
   WorkflowBatchResult result =
       CertifyWorkflowBatch(workflow, requests, opts, entry->bank.get());
 

@@ -27,11 +27,18 @@
 
 namespace provview {
 
+class TaskGraphExecutor;
+
 class Connection {
  public:
   /// Takes ownership of `fd` (closed when Run returns). `registry` and
-  /// `stats` must outlive the connection.
-  Connection(int fd, const WorkflowRegistry* registry, DaemonStats* stats);
+  /// `stats` must outlive the connection. `executor`, when non-null, is the
+  /// daemon's shared engine executor: certify requests pass its admission
+  /// gate (items + 1 units; RESOURCE_EXHAUSTED when saturated) and submit
+  /// their task graphs into it, this thread helping. Null = requests run
+  /// inline on this thread (the historical single-threaded engine mode).
+  Connection(int fd, const WorkflowRegistry* registry, DaemonStats* stats,
+             TaskGraphExecutor* executor = nullptr);
   ~Connection();
 
   Connection(const Connection&) = delete;
@@ -56,6 +63,7 @@ class Connection {
   int fd_;
   const WorkflowRegistry* registry_;
   DaemonStats* stats_;
+  TaskGraphExecutor* executor_;
 };
 
 }  // namespace provview

@@ -8,16 +8,33 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/task_graph.h"
+#include "common/thread_pool.h"
 #include "server/connection.h"
 
 namespace provview {
 
 PodsDaemon::PodsDaemon(const WorkflowRegistry* registry)
-    : registry_(registry) {}
+    : PodsDaemon(registry, Options{}) {}
+
+PodsDaemon::PodsDaemon(const WorkflowRegistry* registry,
+                       const Options& options)
+    : registry_(registry), options_(options) {}
 
 PodsDaemon::~PodsDaemon() { Stop(); }
 
 Status PodsDaemon::Start(uint16_t port) {
+  if (options_.use_task_graph && executor_ == nullptr) {
+    const int workers = options_.engine_threads > 0
+                            ? options_.engine_threads
+                            : ThreadPool::DefaultThreads() - 1;
+    if (workers > 0) {
+      executor_ = std::make_unique<TaskGraphExecutor>(workers,
+                                                      options_.max_pending);
+    }
+    // workers == 0: single-core host — helping alone covers it, so skip the
+    // executor and let connections run inline.
+  }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
@@ -88,7 +105,7 @@ void PodsDaemon::ServeConnection(int fd, size_t slot) {
   {
     // Connection owns (and closes) fd; its destructor also bumps the
     // connections_closed counter.
-    Connection conn(fd, registry_, &stats_);
+    Connection conn(fd, registry_, &stats_, executor_.get());
     conn.Run();
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -122,6 +139,9 @@ void PodsDaemon::Stop() {
     conn_threads_.clear();
     conn_fds_.clear();
   }
+  // Every connection thread (hence every in-flight graph Run) is joined:
+  // the shared executor can now be torn down.
+  executor_.reset();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;

@@ -3,9 +3,14 @@
 // connection or request that caused it — the process degrades (typed error
 // responses, closed connections) instead of dying.
 //
-// Threading model: one acceptor thread plus one thread per connection.
-// Certification parallelism inside a request is deliberately off
-// (num_threads = 1); the daemon's concurrency axis is connections, and the
+// Threading model: one acceptor thread plus one thread per connection,
+// plus (by default) one shared work-stealing TaskGraphExecutor that every
+// connection submits its request's task graph into — connection threads
+// help run their own graphs, so engine parallelism is work-conserving
+// across concurrent requests instead of per-request pools. A bounded
+// admission gate rejects work with RESOURCE_EXHAUSTED when the daemon is
+// saturated. On single-core hosts (or with use_task_graph off) requests run
+// inline on their connection thread, the historical model; either way the
 // WorkflowMemoBank's per-module locks keep concurrent requests against the
 // same workflow cache-coherent.
 //
@@ -28,11 +33,30 @@
 
 namespace provview {
 
+class TaskGraphExecutor;
+
 class PodsDaemon {
  public:
+  struct Options {
+    /// Submit certification work into one daemon-wide task-graph executor
+    /// (connection threads help run their own graphs). Off = every request
+    /// runs inline on its connection thread, the historical model.
+    bool use_task_graph = true;
+    /// Executor worker threads. 0 = hardware concurrency minus one (the
+    /// helping connection thread makes up the difference); when that
+    /// resolves to zero workers — a single-core host — no executor is
+    /// created and requests run inline.
+    int engine_threads = 0;
+    /// Admission-gate capacity in request items: a certify request charges
+    /// items + 1 units up front and is rejected with RESOURCE_EXHAUSTED
+    /// when the gate is full, instead of queueing unboundedly.
+    int64_t max_pending = 4096;
+  };
+
   /// `registry` must outlive the daemon and be fully populated before
   /// Start() — it is read lock-free by connection threads.
   explicit PodsDaemon(const WorkflowRegistry* registry);
+  PodsDaemon(const WorkflowRegistry* registry, const Options& options);
   ~PodsDaemon();
 
   PodsDaemon(const PodsDaemon&) = delete;
@@ -48,13 +72,19 @@ class PodsDaemon {
   uint16_t port() const { return port_; }
   const DaemonStats& stats() const { return stats_; }
   DaemonStats* mutable_stats() { return &stats_; }
+  /// The shared engine executor; null when requests run inline.
+  TaskGraphExecutor* executor() { return executor_.get(); }
 
  private:
   void AcceptLoop();
   void ServeConnection(int fd, size_t slot);
 
   const WorkflowRegistry* registry_;
+  Options options_;
   DaemonStats stats_;
+  // Created in Start(), destroyed in Stop() after every connection thread
+  // (and thus every in-flight Run) has been joined.
+  std::unique_ptr<TaskGraphExecutor> executor_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

@@ -6,7 +6,7 @@
 
 namespace provview {
 
-std::shared_ptr<const ExecutionPlan> ExecutionSupplier::MakePlan(
+std::shared_ptr<ExecutionPlan> ExecutionSupplier::MakePlanShell(
     const Workflow& workflow) {
   auto plan = std::make_shared<ExecutionPlan>();
   plan->workflow = &workflow;
@@ -36,19 +36,37 @@ std::shared_ptr<const ExecutionPlan> ExecutionSupplier::MakePlan(
     for (AttrId id : m.outputs()) {
       t.out_radices.push_back(catalog.DomainSize(id));
     }
-    // Pre-tabulate small functions so streamed executions are pure table
-    // lookups; large-domain modules evaluate directly.
-    if (dom <= (int64_t{1} << 20)) {
-      t.fn.resize(static_cast<size_t>(dom));
-      MixedRadixCounter counter(t.in_radices);
-      int64_t code = 0;
-      do {
-        t.fn[static_cast<size_t>(code)] = static_cast<int32_t>(
-            EncodeMixedRadix(m.Eval(counter.values()), t.out_radices));
-        ++code;
-      } while (counter.Advance());
-    }
   }
+  return plan;
+}
+
+void ExecutionSupplier::TabulateModule(ExecutionPlan* plan, int module_index) {
+  PV_CHECK(plan != nullptr && plan->workflow != nullptr);
+  PV_CHECK(module_index >= 0 &&
+           module_index < static_cast<int>(plan->modules.size()));
+  const Module& m = plan->workflow->module(module_index);
+  ExecutionPlan::ModuleTable& t =
+      plan->modules[static_cast<size_t>(module_index)];
+  int64_t dom = 1;
+  for (int r : t.in_radices) dom = SaturatingMul(dom, r);
+  // Pre-tabulate small functions so streamed executions are pure table
+  // lookups; large-domain modules evaluate directly.
+  if (dom <= (int64_t{1} << 20)) {
+    t.fn.resize(static_cast<size_t>(dom));
+    MixedRadixCounter counter(t.in_radices);
+    int64_t code = 0;
+    do {
+      t.fn[static_cast<size_t>(code)] = static_cast<int32_t>(
+          EncodeMixedRadix(m.Eval(counter.values()), t.out_radices));
+      ++code;
+    } while (counter.Advance());
+  }
+}
+
+std::shared_ptr<const ExecutionPlan> ExecutionSupplier::MakePlan(
+    const Workflow& workflow) {
+  std::shared_ptr<ExecutionPlan> plan = MakePlanShell(workflow);
+  for (int i = 0; i < workflow.num_modules(); ++i) TabulateModule(plan.get(), i);
   return plan;
 }
 

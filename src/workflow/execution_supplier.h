@@ -48,6 +48,18 @@ class ExecutionSupplier : public RowSupplier {
   static std::shared_ptr<const ExecutionPlan> MakePlan(
       const Workflow& workflow);
 
+  /// The plan without the per-module function sweeps: schema, radices,
+  /// strides and positions only. Callers then run TabulateModule for every
+  /// module before handing the plan to suppliers — possibly concurrently
+  /// (distinct modules touch disjoint state), which is how the task-graph
+  /// table build overlaps the sweeps.
+  static std::shared_ptr<ExecutionPlan> MakePlanShell(const Workflow& workflow);
+
+  /// Fills plan->modules[module_index].fn (the full-domain sweep) when the
+  /// domain is small enough to pre-tabulate; larger modules keep Eval().
+  /// Touches only that module's table.
+  static void TabulateModule(ExecutionPlan* plan, int module_index);
+
   /// Streams executions [begin_exec, end_exec) of the odometer;
   /// end_exec = -1 means the whole space. Builds a private plan.
   explicit ExecutionSupplier(const Workflow& workflow, int64_t begin_exec = 0,

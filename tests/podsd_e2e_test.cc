@@ -247,6 +247,86 @@ TEST(PodsdE2eTest, StopSeversIdleConnectionsCleanly) {
   daemon.reset();
 }
 
+TEST(PodsdE2eTest, TaskGraphDaemonMatchesBarrierDaemon) {
+  // Two daemons over the same builtin workflow, one with the shared
+  // task-graph executor forced on (engine_threads=2 so it exists even on a
+  // single-core host), one with it off: every certify response must be
+  // identical, and both must match the direct engine.
+  Fig1Workflow fig1 = MakeFig1Workflow();
+  const int attrs[] = {fig1.a3, fig1.a4, fig1.a5, fig1.a6, fig1.a7};
+  const std::vector<CertifyEntry> expected = DirectVerdicts(fig1, attrs);
+
+  PodsDaemon::Options on_opts;
+  on_opts.use_task_graph = true;
+  on_opts.engine_threads = 2;
+  PodsDaemon::Options off_opts;
+  off_opts.use_task_graph = false;
+
+  WorkflowRegistry on_registry, off_registry;
+  on_registry.RegisterBuiltins();
+  off_registry.RegisterBuiltins();
+  PodsDaemon on_daemon(&on_registry, on_opts);
+  PodsDaemon off_daemon(&off_registry, off_opts);
+  ASSERT_TRUE(on_daemon.Start().ok());
+  ASSERT_TRUE(off_daemon.Start().ok());
+
+  PodsClient on_client, off_client;
+  ASSERT_TRUE(on_client.Connect(on_daemon.port()).ok());
+  ASSERT_TRUE(off_client.Connect(off_daemon.port()).ok());
+  for (uint32_t mask = 0; mask < kNumMasks; ++mask) {
+    CertifyRequest req;
+    req.workflow = "fig1";
+    req.items.push_back(ItemForMask(mask, attrs));
+    CertifyResponse on_resp, off_resp;
+    ASSERT_TRUE(on_client.Certify(req, /*batch=*/false, &on_resp).ok());
+    ASSERT_TRUE(off_client.Certify(req, /*batch=*/false, &off_resp).ok());
+    ASSERT_EQ(on_resp.entries.size(), 1u);
+    ASSERT_EQ(off_resp.entries.size(), 1u);
+    EXPECT_EQ(on_resp.entries[0].certified, expected[mask].certified);
+    EXPECT_EQ(off_resp.entries[0].certified, expected[mask].certified);
+    EXPECT_EQ(on_resp.entries[0].module_gammas, off_resp.entries[0].module_gammas);
+    EXPECT_EQ(on_resp.entries[0].required_privatizations,
+              off_resp.entries[0].required_privatizations);
+  }
+
+  on_daemon.Stop();
+  off_daemon.Stop();
+}
+
+TEST(PodsdE2eTest, AdmissionGateRejectsWhenFull) {
+  // max_pending=0 means the gate can never admit a certify (each request
+  // costs items+1 units): the daemon must answer RESOURCE_EXHAUSTED with the
+  // connection still alive, and pings must keep working — saturation is a
+  // typed backpressure signal, not a dropped connection.
+  WorkflowRegistry registry;
+  registry.RegisterBuiltins();
+  PodsDaemon::Options opts;
+  opts.use_task_graph = true;
+  opts.engine_threads = 2;
+  opts.max_pending = 0;
+  PodsDaemon daemon(&registry, opts);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  Fig1Workflow fig1 = MakeFig1Workflow();
+  const int attrs[] = {fig1.a3, fig1.a4, fig1.a5, fig1.a6, fig1.a7};
+  PodsClient client;
+  ASSERT_TRUE(client.Connect(daemon.port()).ok());
+  CertifyRequest req;
+  req.workflow = "fig1";
+  req.items.push_back(ItemForMask(0b101, attrs));
+  CertifyResponse resp;
+  const Status s = client.Certify(req, /*batch=*/false, &resp);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s.message();
+
+  // The rejection did not burn the connection and the ticket (never issued)
+  // did not wedge the gate bookkeeping.
+  EXPECT_TRUE(client.Ping().ok());
+  const Status again = client.Certify(req, /*batch=*/false, &resp);
+  EXPECT_EQ(again.code(), StatusCode::kResourceExhausted);
+
+  daemon.Stop();
+}
+
 TEST(PodsdE2eTest, MemoBankSharesVerdictsAcrossConnections) {
   WorkflowRegistry registry;
   registry.RegisterBuiltins();

@@ -256,6 +256,94 @@ TEST(SafeSubsetSearchTest, SharedMemoAccumulatesAcrossShardedSearches) {
   EXPECT_GT(second.cache_hits, 0);
 }
 
+TEST(SafeSubsetSearchTest, TaskGraphMatchesBarrierAndSequentialByteForByte) {
+  // Randomized on/off equivalence of the task-graph walk: for every thread
+  // count the task-graph mode must return the same sets in the same order
+  // as both the barrier mode and the sequential walk — and its stats must
+  // equal the SEQUENTIAL stats field for field (the lookup-log replay
+  // guarantee; the barrier mode is only guaranteed the weaker invariants).
+  for (uint64_t seed : {uint64_t{5}, uint64_t{97}, uint64_t{3021}}) {
+    Rng rng(seed);
+    auto catalog = std::make_shared<AttributeCatalog>();
+    std::vector<AttrId> in, out;
+    const int half = 6;
+    for (int i = 0; i < half; ++i) {
+      in.push_back(catalog->Add("i" + std::to_string(i)));
+    }
+    for (int o = 0; o < half; ++o) {
+      out.push_back(catalog->Add("o" + std::to_string(o)));
+    }
+    ModulePtr m = MakeRandomFunction("wide", catalog, in, out, &rng);
+    const int64_t gamma = 2 + static_cast<int64_t>(rng.NextBelow(6));
+
+    SubsetSearchOptions seq;
+    seq.num_threads = 1;
+    SafeSearchStats seq_stats;
+    std::vector<Bitset64> want = MinimalSafeHiddenSets(
+        *m, gamma, &seq_stats, Module::kDefaultMaterializeRows, seq);
+
+    for (int threads : {1, 2, 4}) {
+      SubsetSearchOptions on, off;
+      on.num_threads = threads;
+      on.use_task_graph = true;
+      on.min_parallel_subsets = 0;
+      off.num_threads = threads;
+      off.use_task_graph = false;
+      off.min_parallel_subsets = 0;
+      SafeSearchStats on_stats, off_stats;
+      std::vector<Bitset64> got_on = MinimalSafeHiddenSets(
+          *m, gamma, &on_stats, Module::kDefaultMaterializeRows, on);
+      std::vector<Bitset64> got_off = MinimalSafeHiddenSets(
+          *m, gamma, &off_stats, Module::kDefaultMaterializeRows, off);
+      EXPECT_EQ(got_on, want) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(got_off, want) << "seed " << seed << " threads " << threads;
+      // Replay-exact accounting: the task-graph stats ARE the sequential
+      // stats at every thread count.
+      EXPECT_EQ(on_stats.subsets_examined, seq_stats.subsets_examined);
+      EXPECT_EQ(on_stats.checker_calls, seq_stats.checker_calls)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(on_stats.cache_hits, seq_stats.cache_hits);
+      EXPECT_EQ(on_stats.signature_hits, seq_stats.signature_hits);
+      EXPECT_EQ(on_stats.projection_hits, seq_stats.projection_hits);
+      // The barrier mode keeps the weaker exact-aggregation invariants.
+      EXPECT_EQ(off_stats.subsets_examined, seq_stats.subsets_examined);
+      EXPECT_EQ(off_stats.checker_calls + off_stats.cache_hits,
+                seq_stats.checker_calls + seq_stats.cache_hits);
+    }
+  }
+}
+
+TEST(SafeSubsetSearchTest, TaskGraphCardinalityPairsMatchModes) {
+  Rng rng(53);
+  auto catalog = std::make_shared<AttributeCatalog>();
+  for (int i = 0; i < 10; ++i) catalog->Add("a" + std::to_string(i));
+  ModulePtr m = MakeRandomFunction("f", catalog, {0, 1, 2, 3, 4},
+                                   {5, 6, 7, 8, 9}, &rng);
+  SubsetSearchOptions seq;
+  seq.num_threads = 1;
+  for (int64_t gamma : {int64_t{2}, int64_t{4}}) {
+    std::vector<CardinalityPair> want = MinimalSafeCardinalityPairs(
+        *m, gamma, Module::kDefaultMaterializeRows, seq);
+    for (int threads : {2, 4}) {
+      SubsetSearchOptions on, off;
+      on.num_threads = threads;
+      on.use_task_graph = true;
+      on.min_parallel_subsets = 0;
+      off.num_threads = threads;
+      off.use_task_graph = false;
+      off.min_parallel_subsets = 0;
+      EXPECT_EQ(MinimalSafeCardinalityPairs(
+                    *m, gamma, Module::kDefaultMaterializeRows, on),
+                want)
+          << "gamma " << gamma << " threads " << threads;
+      EXPECT_EQ(MinimalSafeCardinalityPairs(
+                    *m, gamma, Module::kDefaultMaterializeRows, off),
+                want)
+          << "gamma " << gamma << " threads " << threads;
+    }
+  }
+}
+
 // Property: on random modules, the min-cost search result is optimal among
 // ALL safe subsets (checked by exhaustive enumeration) and itself safe.
 class MinCostOptimalityTest : public ::testing::TestWithParam<int> {};

@@ -105,6 +105,86 @@ TEST(WorkflowBatchTest, ThreadCountsAgree) {
   EXPECT_EQ(a.stats.checker_calls, b.stats.checker_calls);
 }
 
+TEST(WorkflowBatchTest, TaskGraphOnOffFieldIdentical) {
+  // Randomized on/off equivalence: the task-graph driver (per-module request
+  // chains + per-request verdict tasks + overlapped ground truth) must be
+  // field-identical to the historical fork-join driver — entries AND stats —
+  // at every thread count.
+  for (uint64_t seed : {uint64_t{13}, uint64_t{101}, uint64_t{977}}) {
+    Rng rng(seed);
+    RandomWorkflowOptions options;
+    options.num_modules = 4;
+    options.max_inputs = 2;
+    options.max_outputs = 1;
+    GeneratedWorkflow g = MakeRandomWorkflow(options, &rng);
+    std::vector<WorkflowCertificationRequest> requests =
+        AllSubsetRequests(*g.workflow, 2);
+
+    for (int threads : {1, 2, 4}) {
+      WorkflowBatchOptions on, off;
+      on.num_threads = threads;
+      on.use_task_graph = true;
+      on.with_ground_truth = true;
+      off = on;
+      off.use_task_graph = false;
+      WorkflowBatchResult a = CertifyWorkflowBatch(*g.workflow, requests, on);
+      WorkflowBatchResult b = CertifyWorkflowBatch(*g.workflow, requests, off);
+      ASSERT_TRUE(a.status.ok()) << a.status.ToString();
+      ASSERT_TRUE(b.status.ok()) << b.status.ToString();
+      ASSERT_EQ(a.entries.size(), b.entries.size());
+      for (size_t r = 0; r < a.entries.size(); ++r) {
+        EXPECT_EQ(a.entries[r].certificate.certified,
+                  b.entries[r].certificate.certified)
+            << "seed " << seed << " threads " << threads << " request " << r;
+        EXPECT_EQ(a.entries[r].certificate.module_gammas,
+                  b.entries[r].certificate.module_gammas);
+        EXPECT_EQ(a.entries[r].certificate.required_privatizations,
+                  b.entries[r].certificate.required_privatizations);
+        EXPECT_EQ(a.entries[r].ground_truth_private,
+                  b.entries[r].ground_truth_private);
+      }
+      EXPECT_EQ(a.stats.checker_calls, b.stats.checker_calls)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(a.stats.cache_hits, b.stats.cache_hits)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(WorkflowBatchTest, TaskGraphSharesBankAcrossBatches) {
+  // The memo bank carries verdicts across task-graph batches exactly as it
+  // does across fork-join batches: a second identical batch answers fully
+  // from the memo in both modes.
+  Rng rng(29);
+  RandomWorkflowOptions options;
+  options.num_modules = 3;
+  options.max_inputs = 2;
+  options.max_outputs = 1;
+  GeneratedWorkflow g = MakeRandomWorkflow(options, &rng);
+  std::vector<WorkflowCertificationRequest> requests =
+      AllSubsetRequests(*g.workflow, 2);
+
+  for (bool use_graph : {true, false}) {
+    WorkflowMemoBank bank(*g.workflow);
+    WorkflowBatchOptions opts;
+    opts.num_threads = 2;
+    opts.use_task_graph = use_graph;
+    WorkflowBatchResult first =
+        CertifyWorkflowBatch(*g.workflow, requests, opts, &bank);
+    WorkflowBatchResult second =
+        CertifyWorkflowBatch(*g.workflow, requests, opts, &bank);
+    ASSERT_TRUE(first.status.ok());
+    ASSERT_TRUE(second.status.ok());
+    EXPECT_GT(first.stats.checker_calls, 0) << "use_task_graph " << use_graph;
+    EXPECT_EQ(second.stats.checker_calls, 0) << "use_task_graph " << use_graph;
+    EXPECT_GT(second.stats.cache_hits, 0) << "use_task_graph " << use_graph;
+    for (size_t r = 0; r < requests.size(); ++r) {
+      EXPECT_EQ(first.entries[r].certificate.certified,
+                second.entries[r].certificate.certified);
+    }
+  }
+}
+
 TEST(WorkflowBatchTest, GroundTruthMatchesSingleCalls) {
   Rng rng(19);
   Example7Chain chain = MakeExample7Chain(2, &rng);
