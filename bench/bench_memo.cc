@@ -1,0 +1,131 @@
+// E9: the shared VerdictCache at work across requests — the daemon's
+// steady state, isolated from socket costs.
+//
+// One random workflow, one WorkflowCacheNamespace bound to a shared
+// VerdictCache, and a stream of identical CertifyWorkflowBatch calls (the
+// repeated-certification traffic podsd sees). The first batch is the COLD
+// run: every verdict is a checker call that settles into the cache. Each
+// later batch is a WARM run answering from settled verdicts. Three numbers
+// come out, recorded by run_benches.sh into BENCH_possible_worlds.json:
+//
+//   E9 memo: requests=256 cold_ms=84.1 warm_ms=2.3 cache_batch_speedup=36.56
+//   E9 memo: verdict_cache_hit_rate=0.998 cache_bytes=51234
+//
+//   * cache_batch_speedup — cold batch over min warm batch: what one
+//     request-sized unit of traffic gains from verdicts settled by earlier
+//     requests (the cross-request reuse the memo bank used to provide
+//     per-workflow, now measured through the shared evicting cache).
+//   * verdict_cache_hit_rate — fraction of warm-phase memo lookups
+//     answered without the Algorithm-2 checker.
+//
+// Warm results are PV_CHECKed identical to the cold run before any number
+// is printed. PODS_BENCH_SHORT=1 shrinks the workflow and round count for
+// CI smoke runs.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "generators/random_workflow.h"
+#include "privacy/verdict_cache.h"
+#include "privacy/workflow_privacy.h"
+
+namespace provview {
+namespace {
+
+bool ShortMode() { return std::getenv("PODS_BENCH_SHORT") != nullptr; }
+
+double NowMs() {
+  timespec ts;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return ts.tv_sec * 1e3 + ts.tv_nsec / 1e6;
+}
+
+void MemoRace() {
+  Rng rng(0x6d656d6fu);
+  RandomWorkflowOptions options;
+  // Wide modules (up to 2^8-row relations) make the cold batch pay real
+  // Algorithm-2 row passes; narrow ones would finish in microseconds and
+  // turn the speedup ratio into timer noise.
+  options.num_modules = ShortMode() ? 4 : 8;
+  options.min_inputs = ShortMode() ? 4 : 6;
+  options.max_inputs = 8;
+  options.max_outputs = 3;
+  GeneratedWorkflow g = MakeRandomWorkflow(options, &rng);
+  const int universe = g.workflow->catalog()->size();
+
+  // Random hidden-set requests over the used attributes: enough distinct
+  // projections to make the cold batch pay real checker time, with repeats
+  // so even the cold run exercises intra-batch sharing.
+  const int kRequests = ShortMode() ? 96 : 512;
+  std::vector<int> used = g.workflow->used_attrs().ToVector();
+  std::vector<WorkflowCertificationRequest> requests;
+  requests.reserve(static_cast<size_t>(kRequests));
+  for (int r = 0; r < kRequests; ++r) {
+    Bitset64 hidden(universe);
+    for (int a : used) {
+      if (rng.NextBernoulli(0.5)) hidden.Set(a);
+    }
+    requests.push_back(WorkflowCertificationRequest{hidden, 2});
+  }
+
+  WorkflowBatchOptions opts;
+  opts.num_threads = 1;  // isolate cache reuse from thread scaling
+
+  auto cache = std::make_shared<VerdictCache>();
+  WorkflowCacheNamespace verdicts(*g.workflow, cache);
+
+  const double t0 = NowMs();
+  const WorkflowBatchResult cold =
+      CertifyWorkflowBatch(*g.workflow, requests, opts, &verdicts);
+  const double cold_ms = NowMs() - t0;
+  PV_CHECK_MSG(cold.status.ok(), "cold batch failed");
+
+  const int kRounds = ShortMode() ? 3 : 8;
+  double warm_ms = std::numeric_limits<double>::infinity();
+  SafeSearchStats warm_stats;
+  for (int round = 0; round < kRounds; ++round) {
+    const double w0 = NowMs();
+    const WorkflowBatchResult warm =
+        CertifyWorkflowBatch(*g.workflow, requests, opts, &verdicts);
+    const double ms = NowMs() - w0;
+    PV_CHECK_MSG(warm.status.ok(), "warm batch failed");
+    for (size_t r = 0; r < requests.size(); ++r) {
+      PV_CHECK_MSG(warm.entries[r].certificate.certified ==
+                           cold.entries[r].certificate.certified &&
+                       warm.entries[r].certificate.module_gammas ==
+                           cold.entries[r].certificate.module_gammas,
+                   "warm batch diverged from cold batch");
+    }
+    warm_ms = std::min(warm_ms, ms);
+    warm_stats = warm.stats;
+  }
+
+  const int64_t warm_lookups =
+      warm_stats.checker_calls + warm_stats.cache_hits;
+  const double hit_rate =
+      warm_lookups == 0 ? 0.0
+                        : static_cast<double>(warm_stats.cache_hits) /
+                              static_cast<double>(warm_lookups);
+  const double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0.0;
+  std::printf(
+      "E9 memo: requests=%d cold_ms=%.1f warm_ms=%.1f "
+      "cache_batch_speedup=%.2f\n",
+      kRequests, cold_ms, warm_ms, speedup);
+  std::printf("E9 memo: verdict_cache_hit_rate=%.3f cache_bytes=%lld\n",
+              hit_rate, static_cast<long long>(cache->bytes_in_use()));
+}
+
+}  // namespace
+}  // namespace provview
+
+int main() {
+  provview::MemoRace();
+  return 0;
+}

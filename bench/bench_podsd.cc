@@ -1,7 +1,7 @@
 // E7: podsd daemon throughput. Starts an in-process daemon on an ephemeral
 // loopback port, fans several client connections out, and hammers CERTIFY
 // requests over randomized fig1 hidden sets — the steady-state shape where
-// the WorkflowMemoBank answers most requests from cache and the cost is
+// the registry's shared VerdictCache answers most requests and the cost is
 // framing + dispatch + memo lookups. Prints a summary line run_benches.sh
 // records as `podsd_throughput_rps` plus the per-request latency tail
 // (`podsd_p50_ms` / `podsd_p95_ms` / `podsd_p99_ms`):
@@ -82,7 +82,7 @@ int Run() {
   Fig1Workflow fig1 = MakeFig1Workflow();
   const int attrs[] = {fig1.a3, fig1.a4, fig1.a5, fig1.a6, fig1.a7};
 
-  // Warm the memo bank so the measured window is the daemon steady state,
+  // Warm the verdict cache so the measured window is the daemon steady state,
   // not the first-touch checker calls.
   ClientLoop(daemon.port(), 1, 1u << 5, attrs, 5, nullptr);
 

@@ -11,7 +11,7 @@ OUT="${2:-BENCH_possible_worlds.json}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "${REPO_ROOT}"
 
-for bin in bench_possible_worlds bench_standalone bench_podsd bench_taskgraph; do
+for bin in bench_possible_worlds bench_standalone bench_podsd bench_taskgraph bench_memo; do
   if [[ ! -x "${BUILD_DIR}/${bin}" ]]; then
     echo "error: ${BUILD_DIR}/${bin} not built (run: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
     exit 1
@@ -85,6 +85,18 @@ TG_SEARCH_ON_MS="$(grep 'E8 taskgraph search' "${TG_LOG}" | grep -o 'on_ms=[0-9.
 TG_BATCH_ON_MS="$(grep 'E8 taskgraph batch' "${TG_LOG}" | grep -o 'on_ms=[0-9.]*' | awk -F= '{print $2}' | head -1 || true)"
 rm -f "${TG_LOG}"
 
+echo "== bench_memo (shared verdict cache, cross-request reuse) =="
+MEMO_LOG="$(mktemp)"
+"${BUILD_DIR}/bench_memo" | tee "${MEMO_LOG}"
+# "E9 memo: requests=256 cold_ms=84.1 warm_ms=2.3 cache_batch_speedup=36.56"
+# "E9 memo: verdict_cache_hit_rate=0.998 cache_bytes=51234"
+MEMO_SPEEDUP="$(grep -o 'cache_batch_speedup=[0-9.]*' "${MEMO_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+MEMO_HIT_RATE="$(grep -o 'verdict_cache_hit_rate=[0-9.]*' "${MEMO_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+MEMO_COLD_MS="$(grep -o 'cold_ms=[0-9.]*' "${MEMO_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+MEMO_WARM_MS="$(grep -o 'warm_ms=[0-9.]*' "${MEMO_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+MEMO_CACHE_BYTES="$(grep -o 'cache_bytes=[0-9]*' "${MEMO_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+rm -f "${MEMO_LOG}"
+
 GIT_REV="$(git -C "${REPO_ROOT}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 # standalone_min_speedup_x duplicates e1c_min_speedup_x under the name the
@@ -125,7 +137,12 @@ cat >"${LATEST_JSON}" <<EOF
   "taskgraph_search_on_ms": ${TG_SEARCH_ON_MS:-null},
   "taskgraph_batch_on_ms": ${TG_BATCH_ON_MS:-null},
   "taskgraph_search_speedup_x": ${TG_SEARCH_SPEEDUP:-null},
-  "taskgraph_batch_speedup_x": ${TG_BATCH_SPEEDUP:-null}
+  "taskgraph_batch_speedup_x": ${TG_BATCH_SPEEDUP:-null},
+  "memo_cold_ms": ${MEMO_COLD_MS:-null},
+  "memo_warm_ms": ${MEMO_WARM_MS:-null},
+  "verdict_cache_bytes": ${MEMO_CACHE_BYTES:-null},
+  "verdict_cache_hit_rate": ${MEMO_HIT_RATE:-null},
+  "cache_batch_speedup_x": ${MEMO_SPEEDUP:-null}
 }
 EOF
 python3 - "${LATEST_JSON}" "${OUT}" <<'PY'
@@ -141,6 +158,7 @@ HIST_KEYS = [
     "sharded_search_speedup_x", "podsd_throughput_rps",
     "podsd_p50_ms", "podsd_p95_ms", "podsd_p99_ms",
     "taskgraph_search_speedup_x", "taskgraph_batch_speedup_x",
+    "verdict_cache_hit_rate", "cache_batch_speedup_x",
 ]
 
 latest_path, out_path = sys.argv[1], sys.argv[2]

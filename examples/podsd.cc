@@ -1,6 +1,7 @@
 // podsd — the certification daemon, as a standalone binary.
 //
 //   podsd [--port=N] [--engine-threads=N] [--no-task-graph]
+//         [--cache-bytes=N]
 //
 // Binds 127.0.0.1 (port 0 = kernel-assigned, printed on stdout), serves the
 // built-in workflow registry, and runs until SIGINT/SIGTERM. Pair with
@@ -10,6 +11,9 @@
 //   $ podsctl 7411 ping
 //   $ podsctl 7411 certify fig1 gamma=2 hidden=3,4
 //   $ podsctl 7411 stat
+//
+// --cache-bytes=N caps the shared verdict cache (measured bytes across all
+// registered workflows; eviction only forgets verdicts). 0 = unbounded.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +26,7 @@
 int main(int argc, char** argv) {
   uint16_t port = 0;
   provview::PodsDaemon::Options options;
+  long long cache_bytes = 0;  // 0 = unbounded
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--port=", 7) == 0) {
@@ -41,10 +46,17 @@ int main(int argc, char** argv) {
       options.engine_threads = static_cast<int>(v);
     } else if (std::strcmp(arg, "--no-task-graph") == 0) {
       options.use_task_graph = false;
+    } else if (std::strncmp(arg, "--cache-bytes=", 14) == 0) {
+      cache_bytes = std::strtoll(arg + 14, nullptr, 10);
+      if (cache_bytes < 0) {
+        std::fprintf(stderr, "podsd: bad cache byte budget '%s'\n",
+                     arg + 14);
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: podsd [--port=N] [--engine-threads=N] "
-                   "[--no-task-graph]\n");
+                   "[--no-task-graph] [--cache-bytes=N]\n");
       return 2;
     }
   }
@@ -57,7 +69,9 @@ int main(int argc, char** argv) {
   sigaddset(&sigs, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
-  provview::WorkflowRegistry registry;
+  provview::VerdictCacheConfig cache_config;
+  if (cache_bytes > 0) cache_config.byte_budget = cache_bytes;
+  provview::WorkflowRegistry registry(cache_config);
   registry.RegisterBuiltins();
 
   provview::PodsDaemon daemon(&registry, options);

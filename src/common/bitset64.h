@@ -97,6 +97,10 @@ class Bitset64 {
   /// 64-bit mix of the contents, for hashing.
   uint64_t Hash() const;
 
+  /// Raw little-endian block words, for serialization (size is determined
+  /// by the universe: (size() + 63) / 64 words).
+  const std::vector<uint64_t>& blocks() const { return blocks_; }
+
  private:
   void CheckIndex(int i) const {
     PV_CHECK_MSG(i >= 0 && i < size_,

@@ -1,0 +1,51 @@
+// Shared execution knobs of the privacy engines. Every engine used to
+// re-declare its own num_threads / use_task_graph / materialize_threshold
+// triplet, which drifted (different defaults, different doc comments) and
+// made it impossible to thread one configuration through a pipeline of
+// engine calls. EngineConfig is the single definition; the per-engine
+// option structs (WorkflowTablesOptions, SubsetSearchOptions,
+// WorkflowEnumerationOptions, WorkflowBatchOptions) embed it as a base, so
+// the historical field names (`opts.num_threads`, ...) keep working as
+// aliases for one release while call sites migrate.
+#ifndef PROVVIEW_COMMON_ENGINE_CONFIG_H_
+#define PROVVIEW_COMMON_ENGINE_CONFIG_H_
+
+#include <cstdint>
+
+namespace provview {
+
+class ExecControl;
+class TaskGraphExecutor;
+
+/// Execution knobs common to every privacy engine. Engines read the subset
+/// that applies to them and document any engine-specific interpretation in
+/// their derived options struct.
+struct EngineConfig {
+  /// Worker threads. 0 = hardware concurrency, 1 = fully sequential.
+  int num_threads = 1;
+
+  /// Run sharded work on the dependency-aware task-graph executor
+  /// (default). Off = the historical fork-join path, kept for A/B
+  /// equivalence and bench races. Engines without a task-graph mode yet
+  /// (world enumeration) accept but ignore the flag.
+  bool use_task_graph = true;
+
+  /// Module domains of at most this many rows use the materialized
+  /// relation fast path; larger domains stream rows from the module's
+  /// function per pass. Mirrors Module::kDefaultMaterializeRows.
+  int64_t materialize_threshold = int64_t{1} << 22;
+
+  /// Optional shared executor (e.g. the daemon's). nullptr = a private
+  /// executor per call sized so the calling thread plus its workers total
+  /// num_threads runners.
+  TaskGraphExecutor* executor = nullptr;
+
+  /// Optional deadline/cancellation/memory-budget token (service mode).
+  /// Engines poll it at chunk/level boundaries and surface a trip as a
+  /// typed Status instead of a PV_CHECK abort.
+  const ExecControl* control = nullptr;
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_COMMON_ENGINE_CONFIG_H_

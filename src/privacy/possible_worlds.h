@@ -23,6 +23,7 @@
 #include <set>
 #include <vector>
 
+#include "common/engine_config.h"
 #include "common/exec_control.h"
 #include "relation/row_supplier.h"
 #include "workflow/workflow.h"
@@ -154,8 +155,14 @@ struct WorkflowWorlds {
   int64_t MinOutSize(int module_index) const;
 };
 
-/// Tuning knobs of the optimized workflow enumerator.
-struct WorkflowEnumerationOptions {
+/// Tuning knobs of the optimized workflow enumerator. The shared execution
+/// knobs (num_threads, control, ...) come from the embedded EngineConfig.
+/// Sharded enumeration splits the first walked slot's feasible codes;
+/// results merge by commutative sums/unions, so the outcome is
+/// deterministic regardless of thread count. The enumeration walk has no
+/// task-graph mode yet — use_task_graph / executor / materialize_threshold
+/// are accepted (one config can drive a whole pipeline) but ignored here.
+struct WorkflowEnumerationOptions : EngineConfig {
   /// Abort if the (pruned) walked joint space exceeds this.
   int64_t max_candidates = 40000000;
   /// When > 0, stop enumerating as soon as every tracked module input's OUT
@@ -166,11 +173,6 @@ struct WorkflowEnumerationOptions {
   /// private module (fixed modules have singleton OUT sets and would never
   /// reach Γ > 1).
   std::vector<int> gamma_modules;
-  /// Worker threads for sharded enumeration. 0 = hardware concurrency,
-  /// 1 = fully sequential. Shards split the first walked slot's feasible
-  /// codes; results merge by commutative sums/unions, so the outcome is
-  /// deterministic regardless of thread count.
-  int num_threads = 1;
   /// Pruned spaces at or below this size always run sequentially.
   int64_t min_parallel_candidates = 4096;
   /// Maintain the distinct-relation set. The Γ-certification path only
@@ -184,9 +186,6 @@ struct WorkflowEnumerationOptions {
   /// range. Exact — identical results with the pass on or off; off
   /// reproduces the determined-input-only engine for A/B benchmarking.
   bool use_feasible_sets = true;
-  /// Optional deadline/cancellation/memory-budget token (service mode); see
-  /// EnumerationOptions::control for the contract.
-  const ExecControl* control = nullptr;
 };
 
 /// Immutable per-workflow tables shared by every enumeration over the same
@@ -241,36 +240,25 @@ struct WorkflowTables {
   Status status;
 };
 
-/// Knobs of the workflow-tables build.
-struct WorkflowTablesOptions {
+/// Knobs of the workflow-tables build. The shared execution knobs come
+/// from the embedded EngineConfig: num_threads shards the streamed scan
+/// (each shard owns its own ExecutionSupplier over a contiguous execution
+/// range; per-shard aggregates merge deterministically); use_task_graph
+/// runs the build on the dependency-aware executor — the per-module
+/// function sweeps and output-decode tables become independent tasks and
+/// the scan shards start the moment the sweeps settle, identical tables
+/// either way (engaged only when the resolved num_threads > 1);
+/// materialize_threshold bounds the execution logs that keep per-execution
+/// arrays (required by world enumeration) — larger spaces stream the log
+/// and keep aggregates only; `control`'s memory budget is charged before
+/// the per-execution arrays allocate, a trip surfacing as
+/// WorkflowTables::status instead of a PV_CHECK abort.
+struct WorkflowTablesOptions : EngineConfig {
   /// Hard budget on the initial-input product space (the execution count),
   /// materialized or streamed.
   int64_t max_executions = int64_t{1} << 22;
-  /// Execution logs of at most this many executions keep the per-execution
-  /// arrays (required by world enumeration); larger spaces stream the log
-  /// and keep aggregates only.
-  int64_t materialize_threshold = int64_t{1} << 22;
   /// Executions per streamed chunk (the shard-sized unit of work).
   int64_t chunk_executions = int64_t{1} << 16;
-  /// Worker threads for the streamed scan (0 = hardware concurrency). Each
-  /// shard owns its own ExecutionSupplier over a contiguous execution
-  /// range; per-shard aggregates merge deterministically.
-  int num_threads = 1;
-  /// Build on the dependency-aware task-graph executor: the per-module
-  /// function sweeps and output-decode tables become independent tasks, and
-  /// the streamed scan shards start the moment the sweeps settle instead of
-  /// after a serial module loop — the out_values decode overlaps the scan.
-  /// Identical tables either way; OFF keeps the historical fork-join build
-  /// for A/B. Only engaged when the resolved num_threads > 1.
-  bool use_task_graph = true;
-  /// Optional shared executor (e.g. the daemon's); nullptr = a private
-  /// executor per build, caller helping.
-  TaskGraphExecutor* executor = nullptr;
-  /// Optional deadline/cancellation/memory-budget token (service mode).
-  /// The streamed scan polls it at chunk boundaries and the per-execution
-  /// arrays are charged against its memory budget before allocation; a trip
-  /// surfaces as WorkflowTables::status instead of a PV_CHECK abort.
-  const ExecControl* control = nullptr;
 };
 
 /// Precomputes the shared tables, streaming the execution log from the

@@ -66,6 +66,15 @@ std::pair<int64_t, int64_t> TaskRange(int64_t total, int tasks, int index) {
   return {begin, end};
 }
 
+// The explicit materialize_threshold parameter of the Module convenience
+// overloads wins when the caller moved it off the default; otherwise the
+// EngineConfig field applies.
+int64_t ResolveThreshold(int64_t param, const SubsetSearchOptions& opts) {
+  return param != Module::kDefaultMaterializeRows
+             ? param
+             : opts.materialize_threshold;
+}
+
 }  // namespace
 
 std::vector<Bitset64> MinimalSafeHiddenSets(SafetyMemo* memo,
@@ -206,7 +215,7 @@ std::vector<Bitset64> MinimalSafeHiddenSets(SafetyMemo* memo,
                       }
                     }
                     if (!dominated &&
-                        sh->memo->IsSafeLogged(hidden, gamma, &sh->log)) {
+                        sh->memo->IsSafe(hidden, gamma, nullptr, &sh->log)) {
                       sh->safe.push_back(hidden);
                     }
                     return control == nullptr || !control->Expired();
@@ -244,8 +253,11 @@ std::vector<Bitset64> MinimalSafeHiddenSets(SafetyMemo* memo,
   // Historical barrier fork-join walk (use_task_graph = false), kept for
   // A/B equivalence and bench races. Enumerates by increasing cardinality;
   // every level is an antichain, so its contiguous rank shards are
-  // independent given the completed levels: results merge back in shard
-  // (= lexicographic) order, byte-identical to the sequential walk.
+  // independent given the completed levels. Shards work on O(1) overlays
+  // of the level-start memo with lookup logs (the retired Clone() path
+  // copied whole caches per shard per level); the level barrier replays
+  // the logs in shard (= lexicographic) order, so discoveries, their
+  // order, and SafeSearchStats are byte-identical to the sequential walk.
   std::unique_ptr<ThreadPool> pool;
   for (int size = 0; size <= k; ++size) {
     const int64_t total = BinomialCoefficient(k, size);
@@ -264,37 +276,50 @@ std::vector<Bitset64> MinimalSafeHiddenSets(SafetyMemo* memo,
       continue;
     }
     struct ShardOut {
-      std::unique_ptr<SafetyMemo> memo;
-      SafeSearchStats stats;
+      std::unique_ptr<SafetyMemo> memo;  // overlay, frozen base
+      SafetyMemo::LookupLog log;
       std::vector<Bitset64> safe;
+      int64_t examined = 0;
     };
     std::vector<ShardOut> outs(static_cast<size_t>(shards));
-    for (ShardOut& o : outs) o.memo = memo->Clone();
+    for (ShardOut& o : outs) o.memo = memo->NewOverlay();
     if (pool == nullptr) pool = std::make_unique<ThreadPool>(threads);
-    pool->ShardedFor(total, shards,
-                     [&](int shard, int64_t begin, int64_t end) {
-                       ShardOut& o = outs[static_cast<size_t>(shard)];
-                       ForEachSubsetOfSizeRangeWhile(
-                           k, size, begin, end, [&](const Bitset64& combo) {
-                             visit(combo, o.memo.get(), &o.stats, &o.safe);
-                             return control == nullptr ||
-                                    !control->Expired();
-                           });
-                     });
-    // Level barrier: merge discoveries, verdict caches and stats in shard
-    // order (exact aggregation — per-shard counters are private, the sums
-    // lose nothing and are deterministic for a given thread count).
-    // Settled verdicts are still absorbed on a tripped level (they are
-    // correct and reusable), but its incomplete discoveries are dropped —
-    // see the sequential branch above.
+    pool->ShardedFor(
+        total, shards, [&](int shard, int64_t begin, int64_t end) {
+          ShardOut& o = outs[static_cast<size_t>(shard)];
+          ForEachSubsetOfSizeRangeWhile(
+              k, size, begin, end, [&](const Bitset64& combo) {
+                ++o.examined;
+                Bitset64 hidden(universe);
+                for (int local : combo.ToVector()) {
+                  hidden.Set(attrs[static_cast<size_t>(local)]);
+                }
+                bool dominated = false;
+                for (const Bitset64& mset : minimal) {
+                  if (mset.IsSubsetOf(hidden)) {
+                    dominated = true;
+                    break;
+                  }
+                }
+                if (!dominated &&
+                    o.memo->IsSafe(hidden, gamma, nullptr, &o.log)) {
+                  o.safe.push_back(hidden);
+                }
+                return control == nullptr || !control->Expired();
+              });
+        });
+    // Level barrier: replay shard logs into the memo in shard order —
+    // sequential-exact accounting. Settled verdicts are still absorbed on
+    // a tripped level (they are correct and reusable), but its incomplete
+    // discoveries are dropped — see the sequential branch above.
     const bool level_tripped =
         control != nullptr && control->ExpiredNow();
     for (ShardOut& o : outs) {
+      stats->subsets_examined += o.examined;
+      memo->AbsorbLog(o.log, stats);
       if (!level_tripped) {
         minimal.insert(minimal.end(), o.safe.begin(), o.safe.end());
       }
-      memo->Absorb(*o.memo);
-      stats->Accumulate(o.stats);
     }
     if (level_tripped) return minimal;
   }
@@ -342,7 +367,7 @@ std::vector<Bitset64> MinimalSafeHiddenSets(const Module& module,
                                             int64_t materialize_threshold,
                                             const SubsetSearchOptions& opts) {
   SafeSearchStats local_stats;
-  SafetyMemo memo(module, materialize_threshold);
+  SafetyMemo memo(module, ResolveThreshold(materialize_threshold, opts));
   std::vector<Bitset64> minimal =
       MinimalSafeHiddenSets(&memo, module.inputs(), module.outputs(),
                             module.catalog()->size(), gamma, &local_stats,
@@ -355,7 +380,7 @@ MinCostSafeResult MinCostSafeHiddenSet(const Module& module, int64_t gamma,
                                        int64_t materialize_threshold,
                                        const SubsetSearchOptions& opts) {
   MinCostSafeResult result;
-  SafetyMemo memo(module, materialize_threshold);
+  SafetyMemo memo(module, ResolveThreshold(materialize_threshold, opts));
   std::vector<Bitset64> minimal =
       MinimalSafeHiddenSets(&memo, module.inputs(), module.outputs(),
                             module.catalog()->size(), gamma, &result.stats,
@@ -404,9 +429,7 @@ std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
                   hidden.Set(outputs[static_cast<size_t>(local)]);
                 }
                 ++*examined;
-                const bool safe = log != nullptr
-                                      ? m->IsSafeLogged(hidden, gamma, log)
-                                      : m->IsSafe(hidden, gamma, s);
+                const bool safe = m->IsSafe(hidden, gamma, s, log);
                 if (!safe) all_safe = false;
                 // First unsafe subset — or a tripped control — stops the
                 // cell. A deadline-cut cell leaves a stale verdict in the
@@ -500,13 +523,17 @@ std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
     }
     (void)graph.Run(executor, control);
   } else {
+    // Barrier mode: cell-range shards on overlays of the frozen memo; the
+    // barrier replays the lookup logs in shard (= row-major) order — same
+    // grid, same sequential-exact stats as the task-graph schedule.
     const int shards = static_cast<int>(std::min<int64_t>(threads, cells));
     struct ShardOut {
-      std::unique_ptr<SafetyMemo> memo;
-      SafeSearchStats stats;
+      std::unique_ptr<SafetyMemo> memo;  // overlay, frozen base
+      SafetyMemo::LookupLog log;
+      int64_t examined = 0;
     };
     std::vector<ShardOut> outs(static_cast<size_t>(shards));
-    for (ShardOut& o : outs) o.memo = memo->Clone();
+    for (ShardOut& o : outs) o.memo = memo->NewOverlay();
     ThreadPool pool(shards);
     pool.ShardedFor(cells, shards, [&](int shard, int64_t begin, int64_t end) {
       ShardOut& o = outs[static_cast<size_t>(shard)];
@@ -515,15 +542,14 @@ std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
         const int a = static_cast<int>(cell / (no + 1));
         const int b = static_cast<int>(cell % (no + 1));
         safe_all[cell_at(a, b)] =
-            cell_safe(a, b, o.memo.get(), &o.stats, nullptr,
-                      &o.stats.subsets_examined)
+            cell_safe(a, b, o.memo.get(), nullptr, &o.log, &o.examined)
                 ? 1
                 : 0;
       }
     });
     for (ShardOut& o : outs) {
-      memo->Absorb(*o.memo);
-      local_stats.Accumulate(o.stats);
+      local_stats.subsets_examined += o.examined;
+      memo->AbsorbLog(o.log, &local_stats);
     }
   }
   if (stats != nullptr) stats->Accumulate(local_stats);
@@ -554,7 +580,7 @@ std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
 std::vector<CardinalityPair> MinimalSafeCardinalityPairs(
     const Module& module, int64_t gamma, int64_t materialize_threshold,
     const SubsetSearchOptions& opts) {
-  SafetyMemo memo(module, materialize_threshold);
+  SafetyMemo memo(module, ResolveThreshold(materialize_threshold, opts));
   return MinimalSafeCardinalityPairs(&memo, module.inputs(), module.outputs(),
                                      module.catalog()->size(), gamma, opts);
 }

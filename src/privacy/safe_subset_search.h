@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/engine_config.h"
 #include "common/exec_control.h"
 #include "module/module.h"
 #include "privacy/safety_memo.h"
@@ -20,50 +21,42 @@ namespace provview {
 
 class TaskGraphExecutor;
 
-/// Knobs of the subset-lattice searches. The lattice walk is
-/// level-synchronous: subsets of one cardinality are pairwise incomparable,
-/// so a level can shard across worker threads (contiguous lexicographic
-/// rank ranges via ForEachSubsetOfSizeRange) with dominance checked only
-/// against the minimal sets of strictly smaller levels — results and their
-/// order are identical to the sequential walk for every thread count.
+/// Knobs of the subset-lattice searches. The shared execution knobs
+/// (num_threads, use_task_graph, executor, control, materialize_threshold)
+/// come from the embedded EngineConfig; the historical field names keep
+/// working as inherited aliases.
 ///
-/// Two parallel execution modes share that decomposition:
+/// The lattice walk is level-synchronous: subsets of one cardinality are
+/// pairwise incomparable, so a level can shard across worker threads
+/// (contiguous lexicographic rank ranges via ForEachSubsetOfSizeRange) with
+/// dominance checked only against the minimal sets of strictly smaller
+/// levels — results and their order are identical to the sequential walk
+/// for every thread count.
+///
+/// Two parallel execution modes share that decomposition. Both run shards
+/// on O(1) SafetyMemo overlays of the frozen level-start memo and replay
+/// each shard's lookup log in rank order — the one memo read path — so
+/// SafeSearchStats come out byte-identical to the sequential walk at every
+/// thread count in either mode:
 ///
 ///   * use_task_graph (default) — rank-range tasks on the dependency-aware
-///     TaskGraphExecutor. Shards work on O(1) SafetyMemo overlays of the
-///     frozen level-start memo, and a per-level absorb chain merges each
-///     shard's lookup log in rank order the moment the shard finishes —
-///     overlapping memo merges with later shards' compute instead of paying
-///     a level barrier. Replaying the logs also makes the accounting
-///     exact: SafeSearchStats come out byte-identical to the sequential
-///     walk at every thread count.
-///   * barrier (use_task_graph = false) — the historical fork-join path:
-///     each shard works on a Clone() of the shared memo and merges back
-///     (Absorb) at the level barrier in shard order. Stats are summed
-///     exactly, but duplicate misses across shards can make checker_calls
-///     exceed the sequential count — the price of lock-free sharding kept
-///     for A/B equivalence and bench races.
-struct SubsetSearchOptions {
-  /// Worker threads. 0 = hardware concurrency, 1 = fully sequential (a
-  /// dedicated short-circuit walk with zero sharding overhead).
-  int num_threads = 1;
+///     TaskGraphExecutor; a per-level absorb chain replays each shard's log
+///     the moment the shard finishes, overlapping memo merges with later
+///     shards' compute instead of paying a level barrier.
+///   * barrier (use_task_graph = false) — the historical fork-join
+///     schedule: all shards of a level run to completion on a thread pool,
+///     then the logs replay at the level barrier. Kept for A/B equivalence
+///     and bench races.
+///
+/// A control trip makes the searches return early with whatever they have
+/// (MinimalSafeHiddenSets: the minimal sets of fully completed levels;
+/// MinimalSafeCardinalityPairs: a frontier that must be discarded). Callers
+/// MUST treat results as partial whenever control->Check() is non-OK
+/// afterwards.
+struct SubsetSearchOptions : EngineConfig {
   /// Levels with at most this many subsets always run inline (the task /
   /// memo-overlay overhead would dominate).
   int64_t min_parallel_subsets = 4096;
-  /// Optional deadline/cancellation token (service mode). The lattice walk
-  /// polls it per subset (cheap strided poll) and at every task or level
-  /// boundary; a tripped control makes the searches return early with
-  /// whatever they have (MinimalSafeHiddenSets: the minimal sets of fully
-  /// completed levels; MinimalSafeCardinalityPairs: a frontier that must be
-  /// discarded). Callers MUST treat results as partial whenever
-  /// control->Check() is non-OK afterwards.
-  const ExecControl* control = nullptr;
-  /// Run the sharded walks on the task-graph executor (see above).
-  bool use_task_graph = true;
-  /// Optional shared executor (e.g. the daemon's). nullptr = a private
-  /// executor of num_threads - 1 workers per call; the calling thread
-  /// helps, so both modes use `num_threads` runners.
-  TaskGraphExecutor* executor = nullptr;
 };
 
 /// Largest k = |I| + |O| the lattice searches accept. 2^24 subsets is the
@@ -118,7 +111,9 @@ MinCostSafeResult MinCostSafeHiddenSet(const Relation& rel,
 /// `materialize_threshold` rows use the materialized fast path; larger
 /// domains stream rows from the module's function on every checker pass, so
 /// the searches work past the 2^22 materialization wall (subject to the
-/// k <= 24 subset-space limit).
+/// k <= 24 subset-space limit). The explicit parameter wins when it differs
+/// from the default; otherwise opts.materialize_threshold (the EngineConfig
+/// field) applies, so a single config can carry the knob.
 std::vector<Bitset64> MinimalSafeHiddenSets(
     const Module& module, int64_t gamma, SafeSearchStats* stats = nullptr,
     int64_t materialize_threshold = Module::kDefaultMaterializeRows,

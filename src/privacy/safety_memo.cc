@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/combinatorics.h"
+#include "common/exec_control.h"
 #include "privacy/standalone_privacy.h"
 
 namespace provview {
@@ -18,6 +19,12 @@ uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
 }  // namespace
 
 SafetyMemo::SafetyMemo(const Relation& rel, std::vector<AttrId> inputs,
@@ -25,6 +32,7 @@ SafetyMemo::SafetyMemo(const Relation& rel, std::vector<AttrId> inputs,
     : view_(RelationView::Borrowed(rel)),
       inputs_(std::move(inputs)),
       outputs_(std::move(outputs)) {
+  BindPrivateCache();
   Init();
 }
 
@@ -32,6 +40,18 @@ SafetyMemo::SafetyMemo(const Module& module, int64_t materialize_threshold)
     : view_(module.View(materialize_threshold)),
       inputs_(module.inputs()),
       outputs_(module.outputs()) {
+  BindPrivateCache();
+  Init();
+}
+
+SafetyMemo::SafetyMemo(const Module& module, int64_t materialize_threshold,
+                       std::shared_ptr<VerdictCache> cache, uint32_t ns)
+    : cache_(std::move(cache)),
+      ns_(ns),
+      view_(module.View(materialize_threshold)),
+      inputs_(module.inputs()),
+      outputs_(module.outputs()) {
+  PV_CHECK_MSG(cache_ != nullptr, "SafetyMemo needs a verdict cache");
   Init();
 }
 
@@ -40,7 +60,17 @@ SafetyMemo::SafetyMemo(RelationView view, std::vector<AttrId> inputs,
     : view_(std::move(view)),
       inputs_(std::move(inputs)),
       outputs_(std::move(outputs)) {
+  BindPrivateCache();
   Init();
+}
+
+void SafetyMemo::BindPrivateCache() {
+  // Single-owner store: unbounded (the historical grow-with-the-search
+  // behavior) and unsharded (no concurrent readers to stripe for).
+  VerdictCacheConfig config;
+  config.num_shards = 1;
+  cache_ = std::make_shared<VerdictCache>(config);
+  ns_ = cache_->RegisterNamespace("memo");
 }
 
 void SafetyMemo::Init() {
@@ -93,7 +123,7 @@ void SafetyMemo::Init() {
 }
 
 std::pair<SafetyMemo::ProjectionKey, int64_t> SafetyMemo::ScanProjection(
-    const Bitset64& effective_visible, int64_t hidden_ext) {
+    const Bitset64& effective_visible, int64_t hidden_ext) const {
   // Effective-visible row positions, split by side.
   std::vector<int> in_pos, out_pos;
   for (size_t j = 0; j < inputs_.size(); ++j) {
@@ -129,19 +159,6 @@ std::pair<SafetyMemo::ProjectionKey, int64_t> SafetyMemo::ScanProjection(
   return {key, gamma};
 }
 
-std::unique_ptr<SafetyMemo> SafetyMemo::Clone() const {
-  PV_CHECK_MSG(base_ == nullptr, "Clone of an overlay memo");
-  std::unique_ptr<SafetyMemo> clone(new SafetyMemo());
-  clone->view_ = view_;
-  clone->inputs_ = inputs_;
-  clone->outputs_ = outputs_;
-  clone->effective_ = effective_;
-  clone->local_pos_ = local_pos_;
-  clone->signature_cache_ = signature_cache_;
-  clone->projection_cache_ = projection_cache_;
-  return clone;
-}
-
 std::unique_ptr<SafetyMemo> SafetyMemo::NewOverlay() const {
   PV_CHECK_MSG(base_ == nullptr, "overlay of an overlay memo");
   std::unique_ptr<SafetyMemo> overlay(new SafetyMemo());
@@ -155,34 +172,81 @@ std::unique_ptr<SafetyMemo> SafetyMemo::NewOverlay() const {
 }
 
 void SafetyMemo::Absorb(const SafetyMemo& worker) {
-  signature_cache_.insert(worker.signature_cache_.begin(),
-                          worker.signature_cache_.end());
-  projection_cache_.insert(worker.projection_cache_.begin(),
-                           worker.projection_cache_.end());
-}
-
-const int64_t* SafetyMemo::FindSignature(
-    const std::pair<Bitset64, int64_t>& sig) const {
-  auto it = signature_cache_.find(sig);
-  if (it != signature_cache_.end()) return &it->second;
-  if (base_ != nullptr) {
-    auto bit = base_->signature_cache_.find(sig);
-    if (bit != base_->signature_cache_.end()) return &bit->second;
+  for (const auto& [sig, gamma] : worker.signature_staging_) {
+    StoreSignature(sig, gamma, nullptr);
   }
-  return nullptr;
-}
-
-const int64_t* SafetyMemo::FindProjection(const ProjectionKey& pkey) const {
-  auto it = projection_cache_.find(pkey);
-  if (it != projection_cache_.end()) return &it->second;
-  if (base_ != nullptr) {
-    auto bit = base_->projection_cache_.find(pkey);
-    if (bit != base_->projection_cache_.end()) return &bit->second;
+  for (const auto& [pkey, gamma] : worker.projection_staging_) {
+    StoreProjection(pkey, gamma, nullptr);
   }
-  return nullptr;
 }
 
-int64_t SafetyMemo::MaxGamma(const Bitset64& hidden, SafeSearchStats* stats) {
+std::string SafetyMemo::SignatureKeyBytes(const SignatureKey& sig) const {
+  std::string bytes;
+  bytes.reserve(8 + sig.first.blocks().size() * 8);
+  AppendU64(&bytes, static_cast<uint64_t>(sig.second));
+  for (uint64_t block : sig.first.blocks()) AppendU64(&bytes, block);
+  return bytes;
+}
+
+std::string SafetyMemo::ProjectionKeyBytes(const ProjectionKey& pkey) const {
+  std::string bytes;
+  bytes.reserve(24);
+  AppendU64(&bytes, pkey.h1);
+  AppendU64(&bytes, pkey.h2);
+  AppendU64(&bytes, static_cast<uint64_t>(pkey.hidden_ext));
+  return bytes;
+}
+
+bool SafetyMemo::FindSignature(const SignatureKey& sig,
+                               int64_t* gamma) const {
+  if (base_ != nullptr) {
+    auto it = signature_staging_.find(sig);
+    if (it != signature_staging_.end()) {
+      *gamma = it->second;
+      return true;
+    }
+    return base_->FindSignature(sig, gamma);
+  }
+  return cache_->Lookup(ns_, VerdictKeyClass::kSignature,
+                        SignatureKeyBytes(sig), gamma);
+}
+
+bool SafetyMemo::FindProjection(const ProjectionKey& pkey,
+                                int64_t* gamma) const {
+  if (base_ != nullptr) {
+    auto it = projection_staging_.find(pkey);
+    if (it != projection_staging_.end()) {
+      *gamma = it->second;
+      return true;
+    }
+    return base_->FindProjection(pkey, gamma);
+  }
+  return cache_->Lookup(ns_, VerdictKeyClass::kProjection,
+                        ProjectionKeyBytes(pkey), gamma);
+}
+
+void SafetyMemo::StoreSignature(const SignatureKey& sig, int64_t gamma,
+                                const ExecControl* control) {
+  if (base_ != nullptr) {
+    signature_staging_.emplace(sig, gamma);
+    return;
+  }
+  cache_->Insert(ns_, VerdictKeyClass::kSignature, SignatureKeyBytes(sig),
+                 gamma, control);
+}
+
+void SafetyMemo::StoreProjection(const ProjectionKey& pkey, int64_t gamma,
+                                 const ExecControl* control) {
+  if (base_ != nullptr) {
+    projection_staging_.emplace(pkey, gamma);
+    return;
+  }
+  cache_->Insert(ns_, VerdictKeyClass::kProjection, ProjectionKeyBytes(pkey),
+                 gamma, control);
+}
+
+SafetyMemo::SignatureKey SafetyMemo::MakeSignature(
+    const Bitset64& hidden) const {
   const AttributeCatalog& catalog = *view_.schema().catalog();
   int64_t hidden_ext = 1;
   for (AttrId id : outputs_) {
@@ -190,83 +254,80 @@ int64_t SafetyMemo::MaxGamma(const Bitset64& hidden, SafeSearchStats* stats) {
       hidden_ext = SaturatingMul(hidden_ext, catalog.DomainSize(id));
     }
   }
-  SignatureKey sig(Difference(effective_, hidden), hidden_ext);
-  if (const int64_t* cached = FindSignature(sig)) {
-    ++stats->cache_hits;
-    ++stats->signature_hits;
-    return *cached;
-  }
-  const auto [pkey, gamma] = ScanProjection(sig.first, hidden_ext);
-  if (const int64_t* cached = FindProjection(pkey)) {
-    ++stats->cache_hits;
-    ++stats->projection_hits;
-    signature_cache_.emplace(std::move(sig), *cached);
-    return *cached;
-  }
-  ++stats->checker_calls;
-  projection_cache_.emplace(pkey, gamma);
-  signature_cache_.emplace(std::move(sig), gamma);
-  return gamma;
+  return SignatureKey(Difference(effective_, hidden), hidden_ext);
 }
 
-int64_t SafetyMemo::MaxGammaLogged(const Bitset64& hidden, LookupLog* log) {
-  const AttributeCatalog& catalog = *view_.schema().catalog();
-  int64_t hidden_ext = 1;
-  for (AttrId id : outputs_) {
-    if (id < hidden.size() && hidden.Test(id)) {
-      hidden_ext = SaturatingMul(hidden_ext, catalog.DomainSize(id));
+int64_t SafetyMemo::MaxGamma(const Bitset64& hidden, SafeSearchStats* stats,
+                             LookupLog* log, const ExecControl* control) {
+  PV_CHECK_MSG(stats != nullptr || log != nullptr,
+               "MaxGamma needs stats (direct mode) or a log (worker mode)");
+  SignatureKey sig = MakeSignature(hidden);
+  int64_t cached = 0;
+  if (FindSignature(sig, &cached)) {
+    if (log != nullptr) {
+      log->records.push_back({std::move(sig), ProjectionKey{}, cached, false});
+    } else {
+      ++stats->cache_hits;
+      ++stats->signature_hits;
     }
+    return cached;
   }
-  SignatureKey sig(Difference(effective_, hidden), hidden_ext);
-  if (const int64_t* cached = FindSignature(sig)) {
-    log->records.push_back({sig, ProjectionKey{}, *cached, false});
-    return *cached;
+  const auto [pkey, gamma] = ScanProjection(sig.first, sig.second);
+  if (FindProjection(pkey, &cached)) {
+    StoreSignature(sig, cached, control);
+    if (log != nullptr) {
+      log->records.push_back({std::move(sig), pkey, cached, true});
+    } else {
+      ++stats->cache_hits;
+      ++stats->projection_hits;
+    }
+    return cached;
   }
-  const auto [pkey, gamma] = ScanProjection(sig.first, hidden_ext);
-  if (const int64_t* cached = FindProjection(pkey)) {
-    signature_cache_.emplace(sig, *cached);
-    log->records.push_back({std::move(sig), pkey, *cached, true});
-    return *cached;
+  StoreProjection(pkey, gamma, control);
+  StoreSignature(sig, gamma, control);
+  if (log != nullptr) {
+    log->records.push_back({std::move(sig), pkey, gamma, true});
+  } else {
+    ++stats->checker_calls;
   }
-  projection_cache_.emplace(pkey, gamma);
-  signature_cache_.emplace(sig, gamma);
-  log->records.push_back({std::move(sig), pkey, gamma, true});
   return gamma;
 }
 
-bool SafetyMemo::IsSafeLogged(const Bitset64& hidden, int64_t gamma,
-                              LookupLog* log) {
+bool SafetyMemo::IsSafe(const Bitset64& hidden, int64_t gamma,
+                        SafeSearchStats* stats, LookupLog* log,
+                        const ExecControl* control) {
   PV_CHECK_MSG(gamma >= 1, "gamma must be >= 1");
-  return MaxGammaLogged(hidden, log) >= gamma;
+  return MaxGamma(hidden, stats, log, control) >= gamma;
 }
 
 void SafetyMemo::AbsorbLog(const LookupLog& log, SafeSearchStats* stats) {
   for (const LookupLog::Record& rec : log.records) {
-    if (FindSignature(rec.sig) != nullptr) {
+    int64_t cached = 0;
+    if (FindSignature(rec.sig, &cached)) {
       ++stats->cache_hits;
       ++stats->signature_hits;
       continue;
     }
-    // A worker's visible caches are a subset of the replay view when logs
-    // are absorbed in shard order, so an unscanned record (a worker-side
-    // signature hit) can never be a replay-side miss.
-    PV_CHECK_MSG(rec.scanned, "lookup log absorbed out of order");
-    if (const int64_t* cached = FindProjection(rec.pkey)) {
-      signature_cache_.emplace(rec.sig, *cached);
+    if (!rec.scanned) {
+      // The worker answered this from a settled signature, but the replay
+      // misses — only possible when a bounded shared cache evicted the
+      // entry in between. The verdict itself is settled (deterministic);
+      // re-seed it and account the hit the worker actually had.
+      StoreSignature(rec.sig, rec.gamma, nullptr);
+      ++stats->cache_hits;
+      ++stats->signature_hits;
+      continue;
+    }
+    if (FindProjection(rec.pkey, &cached)) {
+      StoreSignature(rec.sig, cached, nullptr);
       ++stats->cache_hits;
       ++stats->projection_hits;
       continue;
     }
     ++stats->checker_calls;
-    projection_cache_.emplace(rec.pkey, rec.gamma);
-    signature_cache_.emplace(rec.sig, rec.gamma);
+    StoreProjection(rec.pkey, rec.gamma, nullptr);
+    StoreSignature(rec.sig, rec.gamma, nullptr);
   }
-}
-
-bool SafetyMemo::IsSafe(const Bitset64& hidden, int64_t gamma,
-                        SafeSearchStats* stats) {
-  PV_CHECK_MSG(gamma >= 1, "gamma must be >= 1");
-  return MaxGamma(hidden, stats) >= gamma;
 }
 
 }  // namespace provview

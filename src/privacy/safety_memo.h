@@ -23,6 +23,18 @@
 // canonicalization (SafeSearchStats reports per-level hit counts); the
 // wall-clock win lives entirely in level 1.
 //
+// Verdict storage lives in a VerdictCache: a root memo serializes its keys
+// into a cache namespace (a private unbounded cache by default, or a
+// shared — possibly byte-budgeted — service cache bound at construction).
+// The memo itself is a thin view over that store: root memos are safe to
+// read concurrently (the cache is sharded and striped-locked; ScanProjection
+// only reads the row backend), while NewOverlay() still hands workers O(1)
+// private staging views whose lookup logs replay in rank order, keeping
+// sharded-search results and SafeSearchStats byte-identical to the
+// sequential walk at any thread count. Under a byte budget the cache may
+// evict: eviction only forgets a verdict (it is recomputed on the next
+// miss), never corrupts one.
+//
 // Rows are sourced through a RelationView: either a materialized relation
 // (the small-domain fast case) or a streaming supplier re-deriving rows from
 // the module's function each pass — which is how subset searches certify
@@ -35,14 +47,18 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "module/module.h"
+#include "privacy/verdict_cache.h"
 #include "relation/relation.h"
 #include "relation/row_supplier.h"
 
 namespace provview {
+
+class ExecControl;
 
 /// Instrumentation of a subset search / batch certification.
 struct SafeSearchStats {
@@ -73,10 +89,12 @@ struct SafeSearchStats {
 
 /// Memoizing wrapper around MaxStandaloneGamma for a fixed (rel, I, O).
 /// Build once per module and reuse across hidden sets, Γ values, and
-/// callers; not thread-safe (use one instance per worker).
+/// callers. Root memos (cache-backed) are safe to read concurrently;
+/// overlays are single-threaded — one per worker.
 class SafetyMemo {
  public:
   /// Borrows `rel`; the caller keeps it alive for the memo's lifetime.
+  /// Verdicts go to a private unbounded cache.
   SafetyMemo(const Relation& rel, std::vector<AttrId> inputs,
              std::vector<AttrId> outputs);
 
@@ -87,7 +105,14 @@ class SafetyMemo {
       const Module& module,
       int64_t materialize_threshold = Module::kDefaultMaterializeRows);
 
-  /// Memo over an arbitrary row source.
+  /// As above, but bound to a shared VerdictCache namespace: verdicts are
+  /// read from and settle into `cache` under `ns`, so they persist across
+  /// requests and survive this memo. The cache may be byte-budgeted;
+  /// eviction only forgets verdicts. One namespace per (cache, module).
+  SafetyMemo(const Module& module, int64_t materialize_threshold,
+             std::shared_ptr<VerdictCache> cache, uint32_t ns);
+
+  /// Memo over an arbitrary row source (private unbounded cache).
   SafetyMemo(RelationView view, std::vector<AttrId> inputs,
              std::vector<AttrId> outputs);
 
@@ -98,60 +123,61 @@ class SafetyMemo {
   SafetyMemo(const SafetyMemo&) = delete;
   SafetyMemo& operator=(const SafetyMemo&) = delete;
 
-  /// Worker copy for the shard-then-merge parallel subset searches: shares
-  /// the row backend (view copies are shallow; concurrent suppliers are
-  /// safe) and starts from this memo's current caches, so a shard only
-  /// recomputes verdicts no earlier level already settled. The clone is
-  /// still single-threaded — one clone per worker.
-  std::unique_ptr<SafetyMemo> Clone() const;
-
-  /// O(1) worker view for the task-graph searches: shares the row backend
-  /// and reads this memo's caches through a frozen-base pointer, while its
-  /// own inserts stay local (a delta, merged back later via Absorb or
+  /// O(1) worker view for the sharded searches: shares the row backend
+  /// and reads this memo's verdicts through a frozen-base pointer, while
+  /// its own inserts stay local (a delta, merged back later via Absorb or
   /// replayed with AbsorbLog). The base must not be mutated while overlays
   /// read it — the searches freeze it for the span of a lattice level. The
-  /// overlay itself is single-threaded: one per worker. Unlike Clone()
-  /// this never copies the caches, which is what removes the per-level
-  /// clone cost that made the sharded k=24 walk slower than sequential.
+  /// overlay itself is single-threaded: one per worker.
   std::unique_ptr<SafetyMemo> NewOverlay() const;
 
-  /// Merges a worker clone's or overlay's own verdicts back (deterministic
-  /// values, so first-wins insertion is exact). Callers then Absorb each
-  /// shard in shard order, keeping the merged cache identical across
-  /// thread counts.
+  /// Merges an overlay's own verdicts back (deterministic values, so
+  /// first-wins insertion is exact). Callers Absorb each shard in shard
+  /// order, keeping the merged store identical across thread counts.
   void Absorb(const SafetyMemo& worker);
-
-  /// MaxStandaloneGamma(rel, I, O, hidden.Complement()), memoized. Bumps
-  /// checker_calls on a full miss and the per-level hit counters otherwise.
-  int64_t MaxGamma(const Bitset64& hidden, SafeSearchStats* stats);
-
-  /// Memoized Algorithm-2 safety test (Γ ≥ 1 required).
-  bool IsSafe(const Bitset64& hidden, int64_t gamma, SafeSearchStats* stats);
 
   /// Ordered record of the lookups one worker performed, replayable with
   /// AbsorbLog. Opaque to callers; definition follows the class.
   struct LookupLog;
 
-  /// MaxGamma for overlay workers: identical verdict, but no stats counters
-  /// are bumped — the lookup is appended to `log` instead. The caller
-  /// replays the logs with AbsorbLog in deterministic shard order, which
+  /// MaxStandaloneGamma(rel, I, O, hidden.Complement()), memoized — the
+  /// one memo read path. With `log` null (the direct mode) a full miss
+  /// bumps checker_calls and hits bump the per-level counters. With a
+  /// non-null `log` (the worker mode, formerly MaxGammaLogged) no stats
+  /// are bumped; the lookup is appended to the log instead, and the caller
+  /// replays the logs with AbsorbLog in deterministic shard order — which
   /// reproduces the *sequential* walk's accounting exactly: a verdict two
-  /// concurrent shards both had to compute collapses back into one checker
-  /// call plus one cache hit, so SafeSearchStats are byte-identical to the
-  /// single-threaded walk at any thread count.
-  int64_t MaxGammaLogged(const Bitset64& hidden, LookupLog* log);
+  /// concurrent shards both computed collapses back into one checker call
+  /// plus one cache hit, so SafeSearchStats are byte-identical to the
+  /// single-threaded walk at any thread count. `stats` may be null only in
+  /// log mode. A non-null `control` gates cache growth on the request's
+  /// memory budget (see VerdictCache::Insert).
+  int64_t MaxGamma(const Bitset64& hidden, SafeSearchStats* stats,
+                   LookupLog* log = nullptr,
+                   const ExecControl* control = nullptr);
 
-  /// MaxGammaLogged ≥ gamma (Γ ≥ 1 required).
-  bool IsSafeLogged(const Bitset64& hidden, int64_t gamma, LookupLog* log);
+  /// Memoized Algorithm-2 safety test (Γ ≥ 1 required); same log/control
+  /// contract as MaxGamma.
+  bool IsSafe(const Bitset64& hidden, int64_t gamma, SafeSearchStats* stats,
+              LookupLog* log = nullptr, const ExecControl* control = nullptr);
 
   /// Replays a worker log against this memo in order: classifies every
-  /// lookup against the current caches (signature hit / projection hit /
-  /// checker call), inserts the settled verdicts, and bumps `stats` exactly
-  /// as a sequential walk reaching these candidates in this order would.
+  /// lookup against the current verdict store (signature hit / projection
+  /// hit / checker call), inserts the settled verdicts, and bumps `stats`
+  /// exactly as a sequential walk reaching these candidates in this order
+  /// would. Under a bounded shared cache an entry may have been evicted
+  /// between the worker's lookup and the replay; the logged Γ re-seeds it
+  /// (eviction only forgets, the verdict itself is settled).
   void AbsorbLog(const LookupLog& log, SafeSearchStats* stats);
 
+  /// The verdict store this memo settles into (never null for roots;
+  /// overlays return their base's cache).
+  const std::shared_ptr<VerdictCache>& cache() const {
+    return base_ != nullptr ? base_->cache() : cache_;
+  }
+
  private:
-  SafetyMemo() = default;  // used by Clone()
+  SafetyMemo() = default;  // used by NewOverlay()
 
   // 128-bit order-sensitive hash of the canonical dedup'd pair sequence.
   struct ProjectionKey {
@@ -164,21 +190,39 @@ class SafetyMemo {
       return hidden_ext < o.hidden_ext;
     }
   };
+  using SignatureKey = std::pair<Bitset64, int64_t>;
 
   void Init();
+  void BindPrivateCache();
   // One streaming pass computing the level-2 key and the exact Γ together
   // (the pair sequence determines both), so a cache miss costs a single
   // pass regardless of backend.
   std::pair<ProjectionKey, int64_t> ScanProjection(
-      const Bitset64& effective_visible, int64_t hidden_ext);
+      const Bitset64& effective_visible, int64_t hidden_ext) const;
 
-  // Cache lookups that fall through to the frozen base when this memo is an
-  // overlay (nullptr result = full miss).
-  const int64_t* FindSignature(const std::pair<Bitset64, int64_t>& sig) const;
-  const int64_t* FindProjection(const ProjectionKey& pkey) const;
+  SignatureKey MakeSignature(const Bitset64& hidden) const;
+
+  // Serialized cache keys: signature = hidden_ext + effective-visible
+  // blocks (the universe is fixed per namespace, so the block count is
+  // constant); projection = (h1, h2, hidden_ext).
+  std::string SignatureKeyBytes(const SignatureKey& sig) const;
+  std::string ProjectionKeyBytes(const ProjectionKey& pkey) const;
+
+  // Store lookups/inserts: overlays consult their local staging maps then
+  // fall through to the frozen base; roots go to the cache namespace.
+  bool FindSignature(const SignatureKey& sig, int64_t* gamma) const;
+  bool FindProjection(const ProjectionKey& pkey, int64_t* gamma) const;
+  void StoreSignature(const SignatureKey& sig, int64_t gamma,
+                      const ExecControl* control);
+  void StoreProjection(const ProjectionKey& pkey, int64_t gamma,
+                       const ExecControl* control);
 
   // Frozen read-only fallback for overlays; nullptr for root memos.
   const SafetyMemo* base_ = nullptr;
+
+  // Verdict store of a root memo (overlays keep local maps instead).
+  std::shared_ptr<VerdictCache> cache_;
+  uint32_t ns_ = 0;
 
   RelationView view_;
   std::vector<AttrId> inputs_;
@@ -188,14 +232,14 @@ class SafetyMemo {
   // view's schema.
   std::vector<int> local_pos_;
 
-  using SignatureKey = std::pair<Bitset64, int64_t>;
-  std::map<SignatureKey, int64_t> signature_cache_;
-  std::map<ProjectionKey, int64_t> projection_cache_;
+  // Overlay staging (roots leave these empty and use the cache).
+  std::map<SignatureKey, int64_t> signature_staging_;
+  std::map<ProjectionKey, int64_t> projection_staging_;
 };
 
 /// One worker's lookup trace: which candidates it resolved, with enough of
 /// each resolution (signature, projection key when a pass ran, Γ) for
-/// AbsorbLog to re-classify it against the merged caches.
+/// AbsorbLog to re-classify it against the merged verdict store.
 struct SafetyMemo::LookupLog {
   struct Record {
     SignatureKey sig;

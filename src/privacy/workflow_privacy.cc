@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
 
 #include "common/task_graph.h"
 #include "common/thread_pool.h"
@@ -62,11 +63,20 @@ PrivacyCertificate CertifyWorkflowPrivacy(const Workflow& workflow,
   return std::move(batch.entries.front().certificate);
 }
 
-WorkflowMemoBank::WorkflowMemoBank(const Workflow& workflow)
-    : workflow_(&workflow) {
+WorkflowCacheNamespace::WorkflowCacheNamespace(
+    const Workflow& workflow, std::shared_ptr<VerdictCache> cache,
+    const std::string& label)
+    : workflow_(&workflow), cache_(std::move(cache)) {
+  if (cache_ == nullptr) {
+    // Single-owner store, unbounded: the historical memo-bank behavior.
+    cache_ = std::make_shared<VerdictCache>();
+  }
   for (int m_index : workflow.PrivateModuleIndices()) {
-    memos_.push_back(std::make_unique<SafetyMemo>(workflow.module(m_index)));
-    mutexes_.push_back(std::make_unique<std::mutex>());
+    const uint32_t ns =
+        cache_->RegisterNamespace(label + "/m" + std::to_string(m_index));
+    memos_.push_back(std::make_unique<SafetyMemo>(
+        workflow.module(m_index), Module::kDefaultMaterializeRows, cache_,
+        ns));
   }
 }
 
@@ -74,20 +84,20 @@ WorkflowBatchResult CertifyWorkflowBatch(
     const Workflow& workflow,
     const std::vector<WorkflowCertificationRequest>& requests,
     const WorkflowBatchOptions& opts) {
-  return CertifyWorkflowBatch(workflow, requests, opts, /*bank=*/nullptr);
+  return CertifyWorkflowBatch(workflow, requests, opts, /*verdicts=*/nullptr);
 }
 
 WorkflowBatchResult CertifyWorkflowBatch(
     const Workflow& workflow,
     const std::vector<WorkflowCertificationRequest>& requests,
-    const WorkflowBatchOptions& opts, WorkflowMemoBank* bank) {
+    const WorkflowBatchOptions& opts, WorkflowCacheNamespace* verdicts) {
   WorkflowBatchResult result;
   const int n = workflow.num_modules();
   result.entries.resize(requests.size());
   const std::vector<int> private_modules = workflow.PrivateModuleIndices();
   const ExecControl* control = opts.control;
-  PV_CHECK_MSG(bank == nullptr || bank->workflow() == &workflow,
-               "memo bank was built for a different workflow");
+  PV_CHECK_MSG(verdicts == nullptr || verdicts->workflow() == &workflow,
+               "cache namespace was built for a different workflow");
   if (control != nullptr) {
     // Service mode: structurally invalid requests come back as a typed
     // status instead of tripping a PV_CHECK deeper in the engines.
@@ -149,7 +159,7 @@ WorkflowBatchResult CertifyWorkflowBatch(
       executor = local_executor.get();
     }
     std::vector<std::unique_ptr<SafetyMemo>> local_memos;
-    if (bank == nullptr) {
+    if (verdicts == nullptr) {
       for (int m_index : private_modules) {
         local_memos.push_back(
             std::make_unique<SafetyMemo>(workflow.module(m_index)));
@@ -165,16 +175,13 @@ WorkflowBatchResult CertifyWorkflowBatch(
         auto body = [&, mi, r] {
           const size_t m_index =
               static_cast<size_t>(private_modules[mi]);
-          if (bank != nullptr) {
-            // Locking per task (not per chain) lets concurrent batches on a
-            // shared bank interleave at request granularity.
-            std::lock_guard<std::mutex> g(bank->mutex(mi));
-            gammas[r][m_index] = bank->memo(mi)->MaxGamma(
-                requests[r].hidden, &task_module_stats[mi]);
-          } else {
-            gammas[r][m_index] = local_memos[mi]->MaxGamma(
-                requests[r].hidden, &task_module_stats[mi]);
-          }
+          // Cache-backed memos are concurrent-read safe, so a shared
+          // namespace needs no lock — concurrent batches interleave on the
+          // cache's striped shards at lookup granularity.
+          SafetyMemo* memo = verdicts != nullptr ? verdicts->memo(mi)
+                                                 : local_memos[mi].get();
+          gammas[r][m_index] = memo->MaxGamma(
+              requests[r].hidden, &task_module_stats[mi], nullptr, control);
         };
         prev = prev < 0 ? graph.Add(std::move(body))
                         : graph.Add(std::move(body), {prev});
@@ -271,25 +278,21 @@ WorkflowBatchResult CertifyWorkflowBatch(
   std::vector<SafeSearchStats> module_stats(private_modules.size());
   auto run_module = [&](size_t mi) {
     const int m_index = private_modules[mi];
-    // With a bank, answer from (and settle into) the shared per-module memo
-    // under its lock — per-module locking matches the fan-out granularity,
-    // so concurrent batches never contend on the same module's cache while
-    // it is being used. Without a bank, a batch-local memo (the historical
-    // behavior).
+    // With a shared namespace, answer from (and settle into) the
+    // cache-backed per-module memo — concurrent-read safe, so no lock.
+    // Without one, a batch-local memo (the historical behavior).
     std::unique_ptr<SafetyMemo> local;
-    std::unique_lock<std::mutex> lock;
     SafetyMemo* memo;
-    if (bank != nullptr) {
-      lock = std::unique_lock<std::mutex>(bank->mutex(mi));
-      memo = bank->memo(mi);
+    if (verdicts != nullptr) {
+      memo = verdicts->memo(mi);
     } else {
       local = std::make_unique<SafetyMemo>(workflow.module(m_index));
       memo = local.get();
     }
     for (size_t r = 0; r < requests.size(); ++r) {
       if (control != nullptr && control->ExpiredNow()) return;
-      gammas[r][static_cast<size_t>(m_index)] =
-          memo->MaxGamma(requests[r].hidden, &module_stats[mi]);
+      gammas[r][static_cast<size_t>(m_index)] = memo->MaxGamma(
+          requests[r].hidden, &module_stats[mi], nullptr, control);
     }
   };
   const int module_threads = static_cast<int>(std::min<size_t>(

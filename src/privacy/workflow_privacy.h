@@ -12,11 +12,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <string>
 #include <vector>
 
+#include "common/engine_config.h"
 #include "common/exec_control.h"
 #include "privacy/safety_memo.h"
+#include "privacy/verdict_cache.h"
 #include "workflow/workflow.h"
 
 namespace provview {
@@ -70,11 +72,23 @@ struct WorkflowCertificationRequest {
   int64_t gamma = 1;
 };
 
-/// Knobs of the batch certification driver.
-struct WorkflowBatchOptions {
-  /// Worker threads (0 = hardware concurrency). Certification parallelizes
-  /// over private modules; ground truth parallelizes over requests.
-  int num_threads = 0;
+/// Knobs of the batch certification driver. The shared execution knobs
+/// come from the embedded EngineConfig: num_threads defaults to 0 here
+/// (hardware concurrency — certification parallelizes over private
+/// modules, ground truth over requests); use_task_graph (default) runs the
+/// batch as a dependency graph — per-module request chains, per-request
+/// verdict tasks, and with ground truth a tables task feeding per-request
+/// enumerations with no phase barrier — while off keeps the historical
+/// two-phase fork-join driver, field-identical results either way
+/// (resolved num_threads <= 1 always takes the historical sequential
+/// path); `executor` shares the daemon's work-stealing pool; `control` is
+/// polled between requests and at engine chunk boundaries, a trip
+/// surfacing as WorkflowBatchResult::status — partial stats, no certified
+/// verdicts. When control is null, guards keep the historical
+/// PV_CHECK-abort behavior.
+struct WorkflowBatchOptions : EngineConfig {
+  WorkflowBatchOptions() { num_threads = 0; }
+
   /// Additionally run the pruned possible-worlds engine per request with
   /// the Γ short-circuit engaged (tiny workflows only), sharing one
   /// WorkflowTables build across all requests.
@@ -84,24 +98,6 @@ struct WorkflowBatchOptions {
   std::vector<int> visible_public_modules;
   /// Pruned-space budget for the ground-truth enumeration.
   int64_t max_candidates = 40000000;
-  /// Optional deadline/cancellation/memory-budget token (service mode). The
-  /// per-module workers poll it between requests and the ground-truth
-  /// engines poll it at chunk boundaries; a trip surfaces as
-  /// WorkflowBatchResult::status — the batch returns partial stats but no
-  /// certified verdicts. When null, guards keep the historical
-  /// PV_CHECK-abort behavior.
-  const ExecControl* control = nullptr;
-  /// Run the batch as a dependency task graph (default): per-module request
-  /// chains, per-request verdict tasks, and — with ground truth — a tables
-  /// task feeding per-request enumerations, with no barrier between
-  /// certification and ground truth. Off = the historical two-phase
-  /// fork-join driver. Results are field-identical either way; resolved
-  /// num_threads <= 1 always takes the historical sequential path.
-  bool use_task_graph = true;
-  /// Optional shared executor (the podsd model: many connections submit
-  /// into one executor). Null = a batch-local executor sized so that the
-  /// calling thread plus its workers total num_threads runners.
-  TaskGraphExecutor* executor = nullptr;
 };
 
 /// Per-request batch output.
@@ -125,28 +121,40 @@ struct WorkflowBatchResult {
   Status status;
 };
 
-/// Cross-request verdict-cache bank: one SafetyMemo (plus its own mutex)
-/// per private module of one workflow, aligned with
-/// workflow.PrivateModuleIndices(). SafetyMemo is single-threaded by
-/// design; the bank serializes access per module, which is exactly the
-/// granularity the batch driver fans out at — so concurrent batches (e.g.
-/// daemon connections certifying against the same registered workflow)
-/// share settled verdicts without data races and without a global lock.
-class WorkflowMemoBank {
+/// One workflow's verdict namespaces in a VerdictCache: a cache-backed
+/// SafetyMemo per private module, aligned with
+/// workflow.PrivateModuleIndices(), each bound to its own namespace of the
+/// cache. Cache-backed memos are safe to read concurrently (the cache is
+/// sharded and striped-locked), so concurrent batches — e.g. daemon
+/// connections certifying against the same registered workflow — share
+/// settled verdicts without per-module mutexes, and a byte-budgeted shared
+/// cache bounds the daemon's verdict memory (its eviction only forgets
+/// verdicts, never corrupts them). Pass no cache for a private unbounded
+/// one — the historical single-owner WorkflowMemoBank behavior, whose name
+/// remains as an alias for one release.
+class WorkflowCacheNamespace {
  public:
-  explicit WorkflowMemoBank(const Workflow& workflow);
+  /// Binds one namespace per private module of `workflow` in `cache`
+  /// (nullptr = a private unbounded cache). `label` prefixes the
+  /// namespace's diagnostic labels.
+  explicit WorkflowCacheNamespace(const Workflow& workflow,
+                                  std::shared_ptr<VerdictCache> cache = nullptr,
+                                  const std::string& label = "workflow");
 
   const Workflow* workflow() const { return workflow_; }
   size_t size() const { return memos_.size(); }
-  /// Memo / lock of the mi-th private module.
+  /// Cache-backed memo of the mi-th private module (concurrent-read safe).
   SafetyMemo* memo(size_t mi) { return memos_[mi].get(); }
-  std::mutex& mutex(size_t mi) { return *mutexes_[mi]; }
+  const std::shared_ptr<VerdictCache>& cache() const { return cache_; }
 
  private:
   const Workflow* workflow_;
+  std::shared_ptr<VerdictCache> cache_;
   std::vector<std::unique_ptr<SafetyMemo>> memos_;
-  std::vector<std::unique_ptr<std::mutex>> mutexes_;
 };
+
+/// Deprecated alias, kept for one release while call sites migrate.
+using WorkflowMemoBank = WorkflowCacheNamespace;
 
 /// Certifies many candidate hidden sets / Γ targets in one pass. Unlike
 /// calling CertifyWorkflowPrivacy per candidate — which re-materializes
@@ -160,13 +168,15 @@ WorkflowBatchResult CertifyWorkflowBatch(
     const std::vector<WorkflowCertificationRequest>& requests,
     const WorkflowBatchOptions& opts = {});
 
-/// As above, answering from (and settling into) a caller-owned memo bank so
-/// verdicts persist across batches. `bank` must have been built for this
-/// workflow; pass nullptr for the single-batch behavior.
+/// As above, answering from (and settling into) a caller-owned cache
+/// namespace so verdicts persist across batches (and across connections
+/// when the namespace is bound to a shared daemon cache). `verdicts` must
+/// have been built for this workflow; pass nullptr for the single-batch
+/// behavior.
 WorkflowBatchResult CertifyWorkflowBatch(
     const Workflow& workflow,
     const std::vector<WorkflowCertificationRequest>& requests,
-    const WorkflowBatchOptions& opts, WorkflowMemoBank* bank);
+    const WorkflowBatchOptions& opts, WorkflowCacheNamespace* verdicts);
 
 /// Ground truth via brute-force world enumeration (tiny workflows only):
 /// min over private modules and their original inputs of |OUT_{x,W}|, with

@@ -97,7 +97,8 @@ std::string Connection::HandleRequest(const FrameHeader& header,
       case MessageType::kStat: {
         stats_->stat_requests.fetch_add(1, std::memory_order_relaxed);
         std::string payload;
-        EncodeStatResponse(stats_->Snapshot(), &payload);
+        EncodeStatResponse(stats_->Snapshot(registry_->verdict_cache()),
+                           &payload);
         const Status ok = Status::OK();
         stats_->RecordOutcome(ok);
         return BuildResponseFrame(header.type, header.request_id, ok,
@@ -189,7 +190,7 @@ std::string Connection::HandleCertify(const FrameHeader& header,
     opts.num_threads = 1;  // inline: the daemon's parallelism is connections
   }
   WorkflowBatchResult result =
-      CertifyWorkflowBatch(workflow, requests, opts, entry->bank.get());
+      CertifyWorkflowBatch(workflow, requests, opts, entry->verdicts.get());
 
   stats_->memo_checker_calls.fetch_add(
       static_cast<uint64_t>(result.stats.checker_calls),

@@ -11,8 +11,9 @@
 // admission gate rejects work with RESOURCE_EXHAUSTED when the daemon is
 // saturated. On single-core hosts (or with use_task_graph off) requests run
 // inline on their connection thread, the historical model; either way the
-// WorkflowMemoBank's per-module locks keep concurrent requests against the
-// same workflow cache-coherent.
+// registry's shared VerdictCache (striped shard locks, byte-budgeted
+// eviction) keeps concurrent requests against the same workflow
+// cache-coherent without per-module mutexes.
 //
 // Stop() is safe from any thread and idempotent: it shuts down the listen
 // socket (unblocking accept), then shuts down every live connection socket

@@ -8,13 +8,20 @@
 
 namespace provview {
 
+WorkflowRegistry::WorkflowRegistry()
+    : cache_(std::make_shared<VerdictCache>()) {}
+
+WorkflowRegistry::WorkflowRegistry(const VerdictCacheConfig& config)
+    : cache_(std::make_shared<VerdictCache>(config)) {}
+
 void WorkflowRegistry::Register(std::string name, CatalogPtr catalog,
                                 WorkflowPtr workflow) {
   auto entry = std::make_unique<RegisteredWorkflow>();
   entry->name = name;
   entry->catalog = std::move(catalog);
   entry->workflow = std::move(workflow);
-  entry->bank = std::make_unique<WorkflowMemoBank>(*entry->workflow);
+  entry->verdicts = std::make_unique<WorkflowCacheNamespace>(
+      *entry->workflow, cache_, entry->name);
   entries_[std::move(name)] = std::move(entry);
 }
 

@@ -1,14 +1,17 @@
 // Named workflows a podsd instance serves. Module functions are arbitrary
 // C++ and cannot travel over the wire, so the daemon certifies against
 // pre-registered workflows: a CERTIFY request names one and supplies only
-// the hidden attribute set and Γ. Each entry owns its workflow, catalog,
-// and a WorkflowMemoBank — the shared verdict cache that makes repeated
-// certifications of the same workflow (across requests AND connections)
-// answer from the memo instead of re-running Algorithm 2.
+// the hidden attribute set and Γ. The registry owns ONE VerdictCache
+// shared by every registered workflow — each entry binds a
+// WorkflowCacheNamespace into it, so repeated certifications of the same
+// workflow (across requests AND connections) answer from settled verdicts
+// instead of re-running Algorithm 2, and a byte budget on the cache bounds
+// the daemon's total verdict memory (eviction only forgets verdicts).
 //
 // The registry is immutable once the daemon starts serving (Register is
 // not thread-safe; Find is lock-free and safe from any number of
-// connection threads afterwards).
+// connection threads afterwards; the cache itself is striped-locked and
+// safe for concurrent certifications).
 #ifndef PROVVIEW_SERVER_REGISTRY_H_
 #define PROVVIEW_SERVER_REGISTRY_H_
 
@@ -17,21 +20,29 @@
 #include <string>
 #include <vector>
 
+#include "privacy/verdict_cache.h"
 #include "privacy/workflow_privacy.h"
 #include "workflow/workflow.h"
 
 namespace provview {
 
-/// One served workflow: ownership bundle + shared verdict cache.
+/// One served workflow: ownership bundle + its namespaces in the shared
+/// verdict cache.
 struct RegisteredWorkflow {
   std::string name;
   CatalogPtr catalog;      ///< keeps the workflow's catalog alive
   WorkflowPtr workflow;
-  std::unique_ptr<WorkflowMemoBank> bank;
+  std::unique_ptr<WorkflowCacheNamespace> verdicts;
 };
 
 class WorkflowRegistry {
  public:
+  /// Unbounded shared cache (the historical daemon behavior).
+  WorkflowRegistry();
+  /// Shared cache under `config` — set config.byte_budget to cap the
+  /// daemon's total verdict memory across all workflows.
+  explicit WorkflowRegistry(const VerdictCacheConfig& config);
+
   /// Takes ownership; replaces any previous entry of the same name.
   void Register(std::string name, CatalogPtr catalog, WorkflowPtr workflow);
 
@@ -41,12 +52,16 @@ class WorkflowRegistry {
   std::vector<std::string> Names() const;
   size_t size() const { return entries_.size(); }
 
+  /// The cache all registered workflows share (never null).
+  VerdictCache* verdict_cache() const { return cache_.get(); }
+
   /// Registers the built-in paper workflows under fixed seeds, so every
   /// daemon instance serves the same families the benches and tests use:
   /// fig1, prop2-chain, one-one-chain, diamond, example7-chain.
   void RegisterBuiltins();
 
  private:
+  std::shared_ptr<VerdictCache> cache_;
   std::map<std::string, std::unique_ptr<RegisteredWorkflow>> entries_;
 };
 

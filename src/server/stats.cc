@@ -1,5 +1,9 @@
 #include "server/stats.h"
 
+#include <string>
+
+#include "privacy/verdict_cache.h"
+
 namespace provview {
 
 void DaemonStats::RecordOutcome(const Status& status) {
@@ -25,11 +29,11 @@ void DaemonStats::RecordOutcome(const Status& status) {
   }
 }
 
-StatSnapshot DaemonStats::Snapshot() const {
+StatSnapshot DaemonStats::Snapshot(const VerdictCache* cache) const {
   const auto get = [](const std::atomic<uint64_t>& a) {
     return a.load(std::memory_order_relaxed);
   };
-  return StatSnapshot{
+  StatSnapshot snap{
       {"connections_opened", get(connections_opened)},
       {"connections_closed", get(connections_closed)},
       {"rejected_frames", get(rejected_frames)},
@@ -51,6 +55,31 @@ StatSnapshot DaemonStats::Snapshot() const {
       {"bytes_sent", get(bytes_sent)},
       {"peak_request_bytes", peak_request_bytes()},
   };
+  if (cache != nullptr) {
+    const VerdictCacheStats cs = cache->Stats();
+    const auto u64 = [](int64_t v) {
+      return v < 0 ? uint64_t{0} : static_cast<uint64_t>(v);
+    };
+    snap.emplace_back("stat_version", uint64_t{2});
+    snap.emplace_back("verdict_cache_byte_budget",
+                      cache->bounded() ? u64(cs.byte_budget) : uint64_t{0});
+    snap.emplace_back("verdict_cache_bytes", u64(cs.bytes_in_use));
+    snap.emplace_back("verdict_cache_peak_bytes", u64(cs.peak_bytes));
+    snap.emplace_back("verdict_cache_namespaces", u64(cs.namespaces));
+    const auto per_class = [&](const char* prefix,
+                               const VerdictCacheStats::PerClass& c) {
+      const std::string p = std::string("verdict_cache_") + prefix;
+      snap.emplace_back(p + "_hits", u64(c.hits));
+      snap.emplace_back(p + "_misses", u64(c.misses));
+      snap.emplace_back(p + "_inserts", u64(c.inserts));
+      snap.emplace_back(p + "_evictions", u64(c.evictions));
+      snap.emplace_back(p + "_bytes", u64(c.bytes));
+      snap.emplace_back(p + "_entries", u64(c.entries));
+    };
+    per_class("signature", cs.signature);
+    per_class("projection", cs.projection);
+  }
+  return snap;
 }
 
 }  // namespace provview

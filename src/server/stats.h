@@ -12,6 +12,8 @@
 
 namespace provview {
 
+class VerdictCache;
+
 class DaemonStats {
  public:
   std::atomic<uint64_t> connections_opened{0};
@@ -58,8 +60,12 @@ class DaemonStats {
   /// counters.
   void RecordOutcome(const Status& status);
 
-  /// Key/value rendering for the STAT response (stable key order).
-  StatSnapshot Snapshot() const;
+  /// Key/value rendering for the STAT response (stable key order). When
+  /// `cache` is non-null, appends the versioned verdict-cache section:
+  /// a `stat_version` marker followed by `verdict_cache_*` keys. Sections
+  /// are append-only — parsers keying off names (podsctl) never break, and
+  /// `stat_version` tells newer tooling which sections to expect.
+  StatSnapshot Snapshot(const VerdictCache* cache = nullptr) const;
 
  private:
   std::atomic<uint64_t> peak_request_bytes_{0};
