@@ -23,6 +23,8 @@ METRICS = [
     ("taskgraph_batch_speedup_x", ("taskgraph_batch_speedup_x",)),
     ("verdict_cache_hit_rate", ("verdict_cache_hit_rate",)),
     ("cache_batch_speedup_x", ("cache_batch_speedup_x",)),
+    ("bnb_prune_speedup_x", ("bnb_prune_speedup_x",)),
+    ("bnb_parallel_speedup_x", ("bnb_parallel_speedup_x",)),
 ]
 
 # Thread-sensitive metrics (sequential vs sharded on the same host) are only
@@ -38,6 +40,8 @@ THREAD_SENSITIVE = {
     "taskgraph_search_speedup_x",
     "taskgraph_batch_speedup_x",
     "cache_batch_speedup_x",
+    "bnb_prune_speedup_x",
+    "bnb_parallel_speedup_x",
 }
 # Per-metric fallback floor used on mismatched hosts. 0.5x is the sharding
 # bound; 50 rps is the daemon floor — any functioning podsd clears it by
@@ -47,12 +51,21 @@ THREAD_SENSITIVE = {
 # The warm-over-cold cache ratio shrinks with the short-mode workload (less
 # cold checker work to amortize), so on mismatched hosts it only has to
 # clear 2x — a cache that stops reusing verdicts across batches reads ~1x.
+# The branch-and-bound race ratios shrink with the short-mode family (the
+# smoke instances have shallower trees, so the pruning stack's fixed warm-
+# start cost weighs more) and the parallel ratio is meaningless on one
+# core: on mismatched hosts both only have to clear 0.5x — a pruned engine
+# that somehow runs at less than half the legacy speed, or a wave engine
+# that loses half its single-thread throughput when threaded, is a real
+# regression anywhere.
 ABSOLUTE_FLOORS = {
     "sharded_search_speedup_x": 0.5,
     "podsd_throughput_rps": 50.0,
     "taskgraph_search_speedup_x": 0.5,
     "taskgraph_batch_speedup_x": 0.5,
     "cache_batch_speedup_x": 2.0,
+    "bnb_prune_speedup_x": 0.5,
+    "bnb_parallel_speedup_x": 0.5,
 }
 
 

@@ -11,7 +11,7 @@ OUT="${2:-BENCH_possible_worlds.json}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "${REPO_ROOT}"
 
-for bin in bench_possible_worlds bench_standalone bench_podsd bench_taskgraph bench_memo; do
+for bin in bench_possible_worlds bench_standalone bench_podsd bench_taskgraph bench_memo bench_optimizer; do
   if [[ ! -x "${BUILD_DIR}/${bin}" ]]; then
     echo "error: ${BUILD_DIR}/${bin} not built (run: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
     exit 1
@@ -97,6 +97,23 @@ MEMO_WARM_MS="$(grep -o 'warm_ms=[0-9.]*' "${MEMO_LOG}" | awk -F= '{print $2}' |
 MEMO_CACHE_BYTES="$(grep -o 'cache_bytes=[0-9]*' "${MEMO_LOG}" | awk -F= '{print $2}' | head -1 || true)"
 rm -f "${MEMO_LOG}"
 
+echo "== bench_optimizer (branch-and-bound race, E10) =="
+OPT_LOG="$(mktemp)"
+"${BUILD_DIR}/bench_optimizer" | tee "${OPT_LOG}"
+# "E10 optimizer: legacy_ms=5210.4 pruned_ms=301.2 parallel_ms=120.8"
+# "E10 optimizer: bnb_prune_speedup_x=17.30 bnb_parallel_speedup_x=2.49 bnb_total_speedup_x=43.13"
+# "E10 optimizer: greedy_ratio=1.18 rounding_ratio=1.07 threshold_ratio=1.24 exact_cost=193.4"
+OPT_PRUNE_SPEEDUP="$(grep -o 'bnb_prune_speedup_x=[0-9.]*' "${OPT_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+OPT_PAR_SPEEDUP="$(grep -o 'bnb_parallel_speedup_x=[0-9.]*' "${OPT_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+OPT_TOTAL_SPEEDUP="$(grep -o 'bnb_total_speedup_x=[0-9.]*' "${OPT_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+OPT_LEGACY_MS="$(grep -o 'legacy_ms=[0-9.]*' "${OPT_LOG}" | awk -F= '{print $2}' | tail -1 || true)"
+OPT_PRUNED_MS="$(grep -o 'pruned_ms=[0-9.]*' "${OPT_LOG}" | awk -F= '{print $2}' | tail -1 || true)"
+OPT_PARALLEL_MS="$(grep -o 'parallel_ms=[0-9.]*' "${OPT_LOG}" | awk -F= '{print $2}' | tail -1 || true)"
+OPT_GREEDY_RATIO="$(grep -o 'greedy_ratio=[0-9.]*' "${OPT_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+OPT_ROUNDING_RATIO="$(grep -o 'rounding_ratio=[0-9.]*' "${OPT_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+OPT_THRESHOLD_RATIO="$(grep -o 'threshold_ratio=[0-9.]*' "${OPT_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+rm -f "${OPT_LOG}"
+
 GIT_REV="$(git -C "${REPO_ROOT}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 # standalone_min_speedup_x duplicates e1c_min_speedup_x under the name the
@@ -142,7 +159,16 @@ cat >"${LATEST_JSON}" <<EOF
   "memo_warm_ms": ${MEMO_WARM_MS:-null},
   "verdict_cache_bytes": ${MEMO_CACHE_BYTES:-null},
   "verdict_cache_hit_rate": ${MEMO_HIT_RATE:-null},
-  "cache_batch_speedup_x": ${MEMO_SPEEDUP:-null}
+  "cache_batch_speedup_x": ${MEMO_SPEEDUP:-null},
+  "bnb_legacy_ms": ${OPT_LEGACY_MS:-null},
+  "bnb_pruned_ms": ${OPT_PRUNED_MS:-null},
+  "bnb_parallel_ms": ${OPT_PARALLEL_MS:-null},
+  "bnb_prune_speedup_x": ${OPT_PRUNE_SPEEDUP:-null},
+  "bnb_parallel_speedup_x": ${OPT_PAR_SPEEDUP:-null},
+  "bnb_total_speedup_x": ${OPT_TOTAL_SPEEDUP:-null},
+  "bnb_greedy_ratio": ${OPT_GREEDY_RATIO:-null},
+  "bnb_rounding_ratio": ${OPT_ROUNDING_RATIO:-null},
+  "bnb_threshold_ratio": ${OPT_THRESHOLD_RATIO:-null}
 }
 EOF
 python3 - "${LATEST_JSON}" "${OUT}" <<'PY'
@@ -159,6 +185,8 @@ HIST_KEYS = [
     "podsd_p50_ms", "podsd_p95_ms", "podsd_p99_ms",
     "taskgraph_search_speedup_x", "taskgraph_batch_speedup_x",
     "verdict_cache_hit_rate", "cache_batch_speedup_x",
+    "bnb_prune_speedup_x", "bnb_parallel_speedup_x", "bnb_total_speedup_x",
+    "bnb_greedy_ratio", "bnb_rounding_ratio", "bnb_threshold_ratio",
 ]
 
 latest_path, out_path = sys.argv[1], sys.argv[2]

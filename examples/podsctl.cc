@@ -1,17 +1,33 @@
-// podsctl — command-line client for a running podsd.
+// podsctl — command-line client for a running podsd, plus an offline
+// solver front-end that needs no daemon at all.
 //
 //   podsctl <port> ping
 //   podsctl <port> stat
 //   podsctl <port> certify <workflow> gamma=<G> hidden=<a,b,...>
 //                  [deadline_ms=<N>] [budget=<bytes>]
+//   podsctl solve <instance-file> [solver=exact] [deadline_ms=<N>]
+//                  [threads=<N>] [max_nodes=<N>]
 //
-// Exit status: 0 on an OK response, 1 on a transport error, 3 when the
-// daemon answered with a typed error (the wire status is printed).
+// `solve` reads a serialized SecureViewInstance — the binary podsd payload
+// codec, or the line-oriented text format when the file starts with
+// "provview-instance" — runs the chosen solver (exact, brute, rounding,
+// threshold, greedy, coverage) under a cooperative deadline, and prints the
+// solution, its cost, and the proven optimality gap. A tripped deadline
+// exits with the typed status AND the best feasible incumbent found.
+//
+// Exit status: 0 on an OK response, 1 on a transport/file error, 3 when
+// the daemon (or solver) answered with a typed error.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "common/exec_control.h"
+#include "secureview/serialization.h"
+#include "secureview/solvers.h"
 #include "server/client.h"
 #include "server/protocol.h"
 
@@ -28,8 +44,97 @@ int Usage() {
                "usage: podsctl <port> ping\n"
                "       podsctl <port> stat\n"
                "       podsctl <port> certify <workflow> gamma=<G>"
-               " hidden=<a,b,...> [deadline_ms=<N>] [budget=<bytes>]\n");
+               " hidden=<a,b,...> [deadline_ms=<N>] [budget=<bytes>]\n"
+               "       podsctl solve <instance-file> [solver=exact|brute|"
+               "rounding|threshold|greedy|coverage]\n"
+               "                     [deadline_ms=<N>] [threads=<N>]"
+               " [max_nodes=<N>]\n");
   return 2;
+}
+
+int RunSolve(int argc, char** argv) {
+  const char* path = argv[0];
+  std::string solver = "exact";
+  int64_t deadline_ms = 0;
+  int threads = 1;
+  int max_nodes = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "solver=", 7) == 0) {
+      solver = arg + 7;
+    } else if (std::strncmp(arg, "deadline_ms=", 12) == 0) {
+      deadline_ms = std::strtoll(arg + 12, nullptr, 10);
+    } else if (std::strncmp(arg, "threads=", 8) == 0) {
+      threads = static_cast<int>(std::strtol(arg + 8, nullptr, 10));
+    } else if (std::strncmp(arg, "max_nodes=", 10) == 0) {
+      max_nodes = static_cast<int>(std::strtol(arg + 10, nullptr, 10));
+    } else {
+      return Usage();
+    }
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "solve: cannot read %s\n", path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+
+  provview::Result<provview::SecureViewInstance> parsed =
+      bytes.rfind("provview-instance", 0) == 0
+          ? provview::ParseInstance(bytes)
+          : provview::DeserializeInstanceBinary(bytes);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "solve: %s: %s\n", path,
+                 parsed.status().message().c_str());
+    return 1;
+  }
+  const provview::SecureViewInstance& inst = parsed.value();
+
+  provview::ExecControl control;
+  if (deadline_ms > 0) control.set_deadline_ms(deadline_ms);
+
+  provview::SvResult result;
+  if (solver == "exact") {
+    provview::ExactOptions opt;
+    if (deadline_ms > 0) opt.bnb.control = &control;
+    if (threads > 1) opt.bnb.num_threads = threads;
+    if (max_nodes > 0) opt.bnb.max_nodes = max_nodes;
+    result = provview::SolveExact(inst, opt);
+  } else if (solver == "brute") {
+    result = provview::SolveBruteForce(
+        inst, deadline_ms > 0 ? &control : nullptr);
+  } else if (solver == "rounding") {
+    provview::RoundingOptions opt;
+    if (deadline_ms > 0) opt.control = &control;
+    result = provview::SolveByLpRounding(inst, opt);
+  } else if (solver == "threshold") {
+    result = provview::SolveByThresholdRounding(inst);
+  } else if (solver == "greedy") {
+    result = provview::SolveGreedyPerModule(
+        inst, deadline_ms > 0 ? &control : nullptr);
+  } else if (solver == "coverage") {
+    result = provview::SolveGreedyCoverage(
+        inst, deadline_ms > 0 ? &control : nullptr);
+  } else {
+    return Usage();
+  }
+
+  std::printf("status: [%d] %s\n", static_cast<int>(result.status.code()),
+              result.status.ok() ? "ok" : result.status.message().c_str());
+  const bool have_solution =
+      result.status.ok() || std::isfinite(result.gap);
+  if (have_solution) {
+    std::printf("solution: %s\n",
+                provview::SerializeSolution(result.solution).c_str());
+    std::printf("cost: %.6f\n", result.cost);
+    std::printf("lower_bound: %.6f\n", result.lower_bound);
+    std::printf("gap: %.6f\n", result.gap);
+  }
+  std::printf("work: %lld\n", static_cast<long long>(result.work));
+  return result.status.ok() ? 0 : 3;
 }
 
 bool ParseList(const char* s, std::vector<uint32_t>* out) {
@@ -97,6 +202,9 @@ int RunCertify(PodsClient& client, int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 3) return Usage();
+  if (std::strcmp(argv[1], "solve") == 0) {
+    return RunSolve(argc - 2, argv + 2);  // offline: no port, no daemon
+  }
   const long port = std::strtol(argv[1], nullptr, 10);
   if (port <= 0 || port > 65535) return Usage();
 

@@ -24,8 +24,16 @@ GeneratedWorkflow MakeRandomWorkflow(const RandomWorkflowOptions& options,
            rng->NextDouble() * (options.max_cost - options.min_cost);
   };
 
-  // Outputs of earlier modules still below the sharing bound.
-  std::vector<AttrId> reusable;
+  const int layers = options.num_layers;
+  PV_CHECK_MSG(layers <= options.num_modules,
+               "more layers than modules requested");
+
+  // Reusable pools: outputs of earlier modules still below the sharing
+  // bound. Unlayered mode keeps one pool; layered mode keeps one pool per
+  // layer so inputs draw from the previous layer (or, with
+  // cross_layer_probability, any earlier one).
+  std::vector<std::vector<AttrId>> pools(
+      static_cast<size_t>(layers > 0 ? layers : 1));
   std::vector<int> consumer_count;  // per attribute id
   int attr_counter = 0;
   auto fresh_attr = [&](const std::string& prefix) {
@@ -34,21 +42,47 @@ GeneratedWorkflow MakeRandomWorkflow(const RandomWorkflowOptions& options,
     consumer_count.push_back(0);
     return id;
   };
+  auto drop_from_pools = [&](AttrId id) {
+    for (std::vector<AttrId>& pool : pools) {
+      pool.erase(std::remove(pool.begin(), pool.end(), id), pool.end());
+    }
+  };
 
   for (int mi = 0; mi < options.num_modules; ++mi) {
+    // Layer of this module (0 when unlayered); equal-width partition.
+    const int layer =
+        layers > 0 ? static_cast<int>((static_cast<int64_t>(mi) * layers) /
+                                      options.num_modules)
+                   : 0;
     const int num_in = static_cast<int>(
         rng->NextInt(options.min_inputs, options.max_inputs));
     const int num_out = static_cast<int>(
         rng->NextInt(options.min_outputs, options.max_outputs));
     std::vector<AttrId> inputs;
     for (int i = 0; i < num_in; ++i) {
+      // Pick the pool this input may reuse from.
+      const std::vector<AttrId>* pool = nullptr;
+      if (layers > 0) {
+        if (layer > 0) {
+          int src = layer - 1;
+          if (layer > 1 &&
+              rng->NextBernoulli(options.cross_layer_probability)) {
+            src = static_cast<int>(rng->NextBelow(
+                static_cast<uint64_t>(layer)));
+          }
+          pool = &pools[static_cast<size_t>(src)];
+        }
+      } else {
+        pool = &pools[0];
+      }
       AttrId chosen = -1;
-      if (!reusable.empty() && rng->NextBernoulli(options.reuse_probability)) {
+      if (pool != nullptr && !pool->empty() &&
+          rng->NextBernoulli(options.reuse_probability)) {
         // Try a few times to find a reusable attribute not already an
         // input of this module.
         for (int attempt = 0; attempt < 8; ++attempt) {
-          AttrId cand = reusable[static_cast<size_t>(
-              rng->NextBelow(reusable.size()))];
+          AttrId cand =
+              (*pool)[static_cast<size_t>(rng->NextBelow(pool->size()))];
           if (std::find(inputs.begin(), inputs.end(), cand) == inputs.end()) {
             chosen = cand;
             break;
@@ -59,15 +93,14 @@ GeneratedWorkflow MakeRandomWorkflow(const RandomWorkflowOptions& options,
       inputs.push_back(chosen);
       if (++consumer_count[static_cast<size_t>(chosen)] >=
           options.gamma_bound) {
-        reusable.erase(std::remove(reusable.begin(), reusable.end(), chosen),
-                       reusable.end());
+        drop_from_pools(chosen);
       }
     }
     std::vector<AttrId> outputs;
     for (int o = 0; o < num_out; ++o) {
       AttrId id = fresh_attr("d");
       outputs.push_back(id);
-      reusable.push_back(id);
+      pools[static_cast<size_t>(layers > 0 ? layer : 0)].push_back(id);
     }
     PV_CHECK_MSG(options.all_boolean, "only boolean workflows supported");
     ModulePtr module = MakeRandomFunction("m" + std::to_string(mi),

@@ -28,6 +28,20 @@ struct RandomWorkflowOptions {
   double max_privatization_cost = 8.0;
   /// Module functionality: uniformly random boolean functions.
   bool all_boolean = true;
+
+  // ---- Layered-DAG shape (the hundreds-of-modules E10 family). ----
+  /// 0 = unlayered (the historical generator): any earlier output below the
+  /// sharing bound is reusable. >= 1 partitions the modules into this many
+  /// equal layers; a module's inputs reuse outputs of the previous layer
+  /// only (the classic pipeline shape), except with
+  /// cross_layer_probability an input may reach back to ANY earlier layer
+  /// (skip connections). Layering keeps generation and derivation linear in
+  /// module count, so workflows with hundreds of modules stay cheap to
+  /// sample and validate.
+  int num_layers = 0;
+  /// Probability a reused input of a layered workflow comes from an
+  /// arbitrary earlier layer instead of the immediately previous one.
+  double cross_layer_probability = 0.1;
 };
 
 /// A generated workflow plus its catalog.

@@ -5,6 +5,7 @@
 #ifndef PROVVIEW_LP_LINEAR_PROGRAM_H_
 #define PROVVIEW_LP_LINEAR_PROGRAM_H_
 
+#include <cmath>
 #include <limits>
 #include <string>
 #include <vector>
@@ -43,6 +44,15 @@ class LinearProgram {
   /// variable entries in `terms` are allowed (coefficients accumulate).
   void AddConstraint(std::vector<std::pair<int, double>> terms,
                      ConstraintSense sense, double rhs);
+
+  /// Overwrites a variable's bounds in place. lb must stay finite; lb > ub
+  /// is allowed (an empty box) so branch-and-bound scratch LPs can record
+  /// contradictory branches and detect them before any solve.
+  void SetVarBounds(int var, double lb, double ub) {
+    PV_CHECK_MSG(std::isfinite(lb), "lower bound must be finite");
+    lb_[Check(var)] = lb;
+    ub_[Check(var)] = ub;
+  }
 
   int num_vars() const { return static_cast<int>(obj_.size()); }
   int num_constraints() const { return static_cast<int>(constraints_.size()); }

@@ -69,6 +69,11 @@ class Tableau {
   }
 
  private:
+  // Pivots between deadline polls: each pivot is already O(rows·cols), so a
+  // small stride keeps service-mode LP solves responsive without measurable
+  // overhead.
+  static constexpr int kControlStride = 16;
+
   struct Row {
     std::vector<double> coeffs;  // dense over structural variables
     ConstraintSense sense;
@@ -188,6 +193,11 @@ class Tableau {
       if (solution->iterations >= opt_.max_iterations) {
         return Status::Timeout("simplex iteration budget exhausted");
       }
+      if (opt_.control != nullptr &&
+          (solution->iterations % kControlStride) == 0 &&
+          opt_.control->ExpiredNow()) {
+        return opt_.control->Check();
+      }
       const bool bland = stall >= opt_.bland_threshold;
       // Entering column.
       int enter = -1;
@@ -302,6 +312,11 @@ class Tableau {
 }  // namespace
 
 LpSolution SolveLp(const LinearProgram& lp, const SimplexOptions& options) {
+  if (options.control != nullptr && options.control->ExpiredNow()) {
+    LpSolution solution;
+    solution.status = options.control->Check();
+    return solution;
+  }
   Tableau tableau(lp, options);
   return tableau.Run();
 }

@@ -6,6 +6,7 @@
 #ifndef PROVVIEW_LP_SIMPLEX_H_
 #define PROVVIEW_LP_SIMPLEX_H_
 
+#include "common/exec_control.h"
 #include "lp/linear_program.h"
 
 namespace provview {
@@ -17,6 +18,10 @@ struct SimplexOptions {
   /// Switch from Dantzig pricing to Bland's rule after this many
   /// consecutive non-improving iterations (anti-cycling).
   int bland_threshold = 2000;
+  /// Cooperative deadline/cancel token, polled every kControlStride pivots;
+  /// a tripped control surfaces as its typed Status (DEADLINE_EXCEEDED /
+  /// RESOURCE_EXHAUSTED) instead of an unbounded pivot loop.
+  const ExecControl* control = nullptr;
 };
 
 /// Solves `lp` to optimality (minimization). Statuses: OK (optimal),

@@ -9,10 +9,14 @@
 #ifndef PROVVIEW_SECUREVIEW_FROM_WORKFLOW_H_
 #define PROVVIEW_SECUREVIEW_FROM_WORKFLOW_H_
 
+#include <memory>
+
 #include "secureview/instance.h"
 #include "workflow/workflow.h"
 
 namespace provview {
+
+class SafetyMemo;
 
 /// Builds the Secure-View instance of `workflow` for privacy target Γ.
 /// Attribute indices coincide with catalog attribute ids. Every private
@@ -28,6 +32,18 @@ SecureViewInstance InstanceFromWorkflow(const Workflow& workflow,
 SecureViewInstance InstanceFromWorkflow(const Workflow& workflow,
                                         const std::vector<int64_t>& gammas,
                                         ConstraintKind kind);
+
+/// As above, but kSet derivations run on caller-provided SafetyMemos
+/// (indexed by module; entries for public modules may be null). Passing
+/// memos bound to a shared VerdictCache (see SafetyMemo's cache-namespace
+/// constructor) makes the derivation verdicts persist past this call —
+/// SolveExactForWorkflow reuses the same memos for its B&B safety oracle,
+/// so node fathoming and derivation settle into one store. A null entry
+/// for a private module falls back to a private per-derivation memo.
+SecureViewInstance InstanceFromWorkflow(
+    const Workflow& workflow, const std::vector<int64_t>& gammas,
+    ConstraintKind kind,
+    const std::vector<std::shared_ptr<SafetyMemo>>& memos);
 
 /// The Example-5 baseline: each private module independently hides its own
 /// minimum-cost standalone-safe subset; the workflow hides the union

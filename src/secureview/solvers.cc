@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/rng.h"
+#include "secureview/bnb_oracle.h"
 #include "secureview/feasibility.h"
 #include "secureview/ilp_encoding.h"
 
@@ -17,32 +18,126 @@ SvResult MakeResult(const SecureViewInstance& inst,
                     SecureViewSolution solution) {
   SvResult result;
   result.cost = solution.TotalCost(inst);
+  result.gap = result.cost;  // nothing proven: gap is the whole cost
   result.solution = std::move(solution);
   result.status = Status::OK();
   return result;
 }
 
+// Shared tail of both SolveExact overloads: decode the engine outcome,
+// falling back to `warm` (the warm-start solution, if any) when the engine
+// never beat it, and convert the engine's bound into a usable gap.
+SvResult FinishExact(const SecureViewInstance& inst, const SvEncoding& enc,
+                     BnbResult ilp, const SecureViewSolution* warm) {
+  SvResult result;
+  result.work = ilp.nodes_explored;
+  result.status = ilp.status;
+  if (!ilp.x.empty()) {
+    result.solution = DecodeSolution(inst, enc, ilp.x);
+  } else if (warm != nullptr && std::isfinite(ilp.objective)) {
+    // Empty x with a finite objective: the warm solution was never beaten.
+    result.solution = *warm;
+  } else {
+    // No feasible point at all (infeasible instance, or a trip before the
+    // first incumbent).
+    result.gap = std::numeric_limits<double>::infinity();
+    return result;
+  }
+  PV_CHECK_MSG(IsFeasible(inst, result.solution),
+               "exact ILP produced infeasible Secure-View solution");
+  result.cost = result.solution.TotalCost(inst);
+  if (ilp.status.ok()) {
+    result.lower_bound = result.cost;
+    result.gap = 0.0;
+  } else {
+    // Attribute and privatization costs are nonnegative, so 0 is always a
+    // valid floor: the reported gap stays finite whenever an incumbent
+    // exists, which is what makes a deadlined solve actionable.
+    result.lower_bound = std::max(0.0, ilp.lower_bound);
+    result.gap = result.cost - result.lower_bound;
+  }
+  return result;
+}
+
 }  // namespace
+
+std::vector<int> UselessAttrs(const SecureViewInstance& inst) {
+  std::vector<bool> used(static_cast<size_t>(inst.num_attrs), false);
+  for (const SvModule& m : inst.modules) {
+    if (m.is_public) continue;
+    if (inst.kind == ConstraintKind::kSet) {
+      for (const SetOption& o : m.set_options) {
+        for (int a : o.hidden_inputs) used[static_cast<size_t>(a)] = true;
+        for (int a : o.hidden_outputs) used[static_cast<size_t>(a)] = true;
+      }
+    } else {
+      // Any input (output) may be picked to meet a positive alpha (beta).
+      for (const CardOption& o : m.card_options) {
+        if (o.alpha > 0) {
+          for (int a : m.inputs) used[static_cast<size_t>(a)] = true;
+        }
+        if (o.beta > 0) {
+          for (int a : m.outputs) used[static_cast<size_t>(a)] = true;
+        }
+      }
+    }
+  }
+  std::vector<int> useless;
+  for (int a = 0; a < inst.num_attrs; ++a) {
+    if (!used[static_cast<size_t>(a)]) useless.push_back(a);
+  }
+  return useless;
+}
+
+SvResult SolveExact(const SecureViewInstance& inst,
+                    const ExactOptions& options) {
+  SvEncoding enc = EncodeSecureView(inst);
+  for (int a : options.fix_visible) {
+    PV_CHECK_MSG(a >= 0 && a < inst.num_attrs, "bad fixed attribute " << a);
+    enc.lp.SetVarBounds(enc.x_var[static_cast<size_t>(a)], 0.0, 0.0);
+  }
+  BnbOptions bnb = options.bnb;
+  if (options.oracle && !bnb.oracle) {
+    bnb.oracle = MakeSecureViewBnbOracle(&inst, &enc);
+  }
+  SecureViewSolution warm_sol;
+  bool have_warm = false;
+  if (options.warm_start) {
+    // The greedy leg runs uncontrolled on purpose: it is linear in the
+    // instance, and it is what guarantees a deadline-doomed solve still
+    // returns a feasible incumbent (with gap = cost) instead of nothing.
+    SvResult greedy = SolveGreedyPerModule(inst);
+    if (greedy.status.ok()) {
+      warm_sol = std::move(greedy.solution);
+      bnb.warm_objective = std::min(bnb.warm_objective, greedy.cost);
+      have_warm = true;
+    }
+    if (options.warm_rounding_trials > 0) {
+      RoundingOptions ropt;
+      ropt.trials = options.warm_rounding_trials;
+      ropt.simplex = bnb.simplex;
+      ropt.control = bnb.control;
+      SvResult rounded = SolveByLpRounding(inst, ropt);
+      if (rounded.status.ok() && (!have_warm || rounded.cost < bnb.warm_objective)) {
+        warm_sol = std::move(rounded.solution);
+        bnb.warm_objective = rounded.cost;
+        have_warm = true;
+      }
+    }
+  }
+  BnbResult ilp = SolveIlp(enc.lp, enc.integer_vars, bnb);
+  return FinishExact(inst, enc, std::move(ilp),
+                     have_warm ? &warm_sol : nullptr);
+}
 
 SvResult SolveExact(const SecureViewInstance& inst, const BnbOptions& options) {
   SvEncoding enc = EncodeSecureView(inst);
   BnbResult ilp = SolveIlp(enc.lp, enc.integer_vars, options);
-  SvResult result;
-  if (!ilp.status.ok() && ilp.x.empty()) {
-    result.status = ilp.status;
-    return result;
-  }
-  result.solution = DecodeSolution(inst, enc, ilp.x);
-  PV_CHECK_MSG(IsFeasible(inst, result.solution),
-               "exact ILP produced infeasible Secure-View solution");
-  result.cost = result.solution.TotalCost(inst);
-  result.lower_bound = ilp.status.ok() ? result.cost : 0.0;
-  result.work = ilp.nodes_explored;
-  result.status = ilp.status;
-  return result;
+  return FinishExact(inst, enc, std::move(ilp), /*warm=*/nullptr);
 }
 
-SvResult SolveBruteForce(const SecureViewInstance& inst) {
+SvResult SolveBruteForce(const SecureViewInstance& inst,
+                         const ExecControl* control) {
   // Only attributes that appear in some requirement option can help
   // satisfy modules; all others only add cost or force privatization.
   std::set<int> relevant_set;
@@ -73,6 +168,12 @@ SvResult SolveBruteForce(const SecureViewInstance& inst) {
   double best = std::numeric_limits<double>::infinity();
   const uint64_t total = uint64_t{1} << k;
   for (uint64_t mask = 0; mask < total; ++mask) {
+    if (control != nullptr && (mask & 0xFFFu) == 0 && control->ExpiredNow()) {
+      result.status = control->Check();
+      result.cost = best;
+      result.gap = std::numeric_limits<double>::infinity();
+      return result;
+    }
     Bitset64 hidden(inst.num_attrs);
     for (int i = 0; i < k; ++i) {
       if ((mask >> i) & 1u) hidden.Set(relevant[static_cast<size_t>(i)]);
@@ -92,6 +193,7 @@ SvResult SolveBruteForce(const SecureViewInstance& inst) {
   }
   result.cost = best;
   result.lower_bound = best;
+  result.gap = 0.0;
   result.status = Status::OK();
   return result;
 }
@@ -99,7 +201,9 @@ SvResult SolveBruteForce(const SecureViewInstance& inst) {
 SvResult SolveByLpRounding(const SecureViewInstance& inst,
                            const RoundingOptions& options) {
   SvEncoding enc = EncodeSecureView(inst);
-  LpSolution lp = SolveLp(enc.lp, options.simplex);
+  SimplexOptions simplex = options.simplex;
+  if (simplex.control == nullptr) simplex.control = options.control;
+  LpSolution lp = SolveLp(enc.lp, simplex);
   SvResult result;
   if (!lp.status.ok()) {
     result.status = lp.status;
@@ -114,6 +218,10 @@ SvResult SolveByLpRounding(const SecureViewInstance& inst,
   double best = std::numeric_limits<double>::infinity();
   SecureViewSolution best_sol;
   for (int trial = 0; trial < options.trials; ++trial) {
+    if (options.control != nullptr && trial > 0 &&
+        options.control->ExpiredNow()) {
+      break;  // keep the best trial finished so far
+    }
     // Step 2 of Algorithm 1: independent rounding with probability
     // min{1, scale · x_b · ln n}.
     Bitset64 hidden(inst.num_attrs);
@@ -138,6 +246,7 @@ SvResult SolveByLpRounding(const SecureViewInstance& inst,
   }
   result.solution = std::move(best_sol);
   result.cost = best;
+  result.gap = best - result.lower_bound;
   result.status = Status::OK();
   return result;
 }
@@ -160,14 +269,21 @@ SvResult SolveByThresholdRounding(const SecureViewInstance& inst,
   PV_CHECK_MSG(IsFeasible(inst, result.solution),
                "threshold rounding produced infeasible solution");
   result.cost = result.solution.TotalCost(inst);
+  result.gap = result.cost - result.lower_bound;
   result.work = lp.iterations;
   result.status = Status::OK();
   return result;
 }
 
-SvResult SolveGreedyPerModule(const SecureViewInstance& inst) {
+SvResult SolveGreedyPerModule(const SecureViewInstance& inst,
+                              const ExecControl* control) {
   Bitset64 hidden(inst.num_attrs);
   for (int i : inst.PrivateModules()) {
+    if (control != nullptr && control->ExpiredNow()) {
+      SvResult result;
+      result.status = control->Check();
+      return result;
+    }
     // The cheapest satisfying addition from an empty context is exactly the
     // module's cheapest option.
     hidden |= CheapestSatisfyingAddition(inst, i, Bitset64(inst.num_attrs));
@@ -176,11 +292,16 @@ SvResult SolveGreedyPerModule(const SecureViewInstance& inst) {
   return MakeResult(inst, CompleteSolution(inst, hidden));
 }
 
-SvResult SolveGreedyCoverage(const SecureViewInstance& inst) {
+SvResult SolveGreedyCoverage(const SecureViewInstance& inst,
+                             const ExecControl* control) {
   Bitset64 hidden(inst.num_attrs);
   SvResult result;
   std::vector<int> unsatisfied = UnsatisfiedModules(inst, hidden);
   while (!unsatisfied.empty()) {
+    if (control != nullptr && control->ExpiredNow()) {
+      result.status = control->Check();
+      return result;
+    }
     double best_ratio = std::numeric_limits<double>::infinity();
     Bitset64 best_addition(inst.num_attrs);
     std::set<int> before(RequiredPrivatizations(inst, hidden).begin(),

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "common/exec_control.h"
 #include "lp/branch_and_bound.h"
 #include "secureview/instance.h"
 
@@ -25,22 +26,57 @@ namespace provview {
 
 /// Common result shape. `lower_bound` is a proven lower bound on OPT when
 /// the solver produces one (exact: OPT itself; LP-based: the relaxation
-/// objective), else 0.
+/// objective), else 0. `gap` = cost - lower_bound: 0 means proven optimal,
+/// and a deadlined / node-budgeted SolveExact reports the finite gap its
+/// incumbent was proven to be within.
 struct SvResult {
   Status status;
   SecureViewSolution solution;
   double cost = 0.0;
   double lower_bound = 0.0;
+  double gap = 0.0;
   int64_t work = 0;  ///< solver-specific effort (nodes / iterations / trials)
 };
 
-/// Exact optimum via branch-and-bound on the ILP encoding.
+/// Knobs for the exact solver beyond the raw branch-and-bound ones.
+struct ExactOptions {
+  BnbOptions bnb;
+  /// Seed the incumbent with min(SolveGreedyPerModule, SolveByLpRounding)
+  /// before the search: B&B prunes against a real upper bound from node
+  /// one, and a deadline trip always has a feasible solution to return.
+  bool warm_start = true;
+  /// Rounding trials for the warm start's SolveByLpRounding leg; 0 skips
+  /// the LP leg entirely (greedy only — no simplex before the search).
+  int warm_rounding_trials = 3;
+  /// Install the combinatorial fathoming oracle (bnb_oracle.h) so safe /
+  /// doomed subtrees close without simplex work. Ignored when bnb.oracle is
+  /// already set by the caller (e.g. the memo-backed workflow variant).
+  bool oracle = true;
+  /// Attributes pinned visible (x_a := 0) before the search — sound when
+  /// hiding them can never help (they appear in no requirement option;
+  /// see UselessAttrs / SolveExactForWorkflow).
+  std::vector<int> fix_visible;
+};
+
+/// Attributes that appear in no requirement option of any private module:
+/// hiding one only adds cost (and possibly privatizations), so pinning
+/// them visible preserves the exact optimum.
+std::vector<int> UselessAttrs(const SecureViewInstance& inst);
+
+/// Exact optimum via branch-and-bound on the ILP encoding, with warm-start
+/// pruning per `options`. A tripped deadline / node budget returns the
+/// typed status WITH the best feasible solution found and the proven
+/// optimality gap.
 SvResult SolveExact(const SecureViewInstance& inst,
-                    const BnbOptions& options = {});
+                    const ExactOptions& options = {});
+
+/// Raw engine entry point: no warm start, `options` passed through.
+SvResult SolveExact(const SecureViewInstance& inst, const BnbOptions& options);
 
 /// Exact optimum via enumeration of all subsets of requirement-relevant
-/// attributes (≤ 22 of them).
-SvResult SolveBruteForce(const SecureViewInstance& inst);
+/// attributes (≤ 22 of them). `control` is polled between blocks of masks.
+SvResult SolveBruteForce(const SecureViewInstance& inst,
+                         const ExecControl* control = nullptr);
 
 /// Options for the Algorithm-1 randomized rounding.
 struct RoundingOptions {
@@ -48,6 +84,9 @@ struct RoundingOptions {
   int trials = 7;       ///< independent rounding trials; best kept
   uint64_t seed = 42;
   SimplexOptions simplex;
+  /// Deadline/cancel token; also installed into the simplex when its own
+  /// control is unset.
+  const ExecControl* control = nullptr;
 };
 
 /// Algorithm 1: LP relaxation + randomized rounding + per-module repair.
@@ -64,12 +103,15 @@ SvResult SolveByThresholdRounding(const SecureViewInstance& inst,
 
 /// Union of per-module cheapest options — the (γ+1)-approximation of
 /// Theorem 7 (and Example 5's "standalone union" behavior under workflow
-/// bridging).
-SvResult SolveGreedyPerModule(const SecureViewInstance& inst);
+/// bridging). `control` is polled once per module.
+SvResult SolveGreedyPerModule(const SecureViewInstance& inst,
+                              const ExecControl* control = nullptr);
 
 /// Global greedy: repeatedly commits the cheapest per-module satisfying
 /// addition with the best (marginal cost / newly satisfied modules) ratio.
-SvResult SolveGreedyCoverage(const SecureViewInstance& inst);
+/// `control` is polled once per committed addition.
+SvResult SolveGreedyCoverage(const SecureViewInstance& inst,
+                             const ExecControl* control = nullptr);
 
 }  // namespace provview
 

@@ -1,0 +1,285 @@
+// Cross-solver invariants for the wave branch-and-bound optimizer stack
+// (docs/optimizer.md): the exact solver dominates every approximation, its
+// bounds are real, brute force agrees on small instances, the Theorem 5/6/7
+// ratio guarantees hold, the parallel wave engine is byte-identical at any
+// thread count, and tripped solves (node budget, deadline) still carry a
+// feasible incumbent with a finite proven gap.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/exec_control.h"
+#include "common/rng.h"
+#include "generators/random_workflow.h"
+#include "generators/requirement_gen.h"
+#include "lp/branch_and_bound.h"
+#include "secureview/bnb_oracle.h"
+#include "secureview/feasibility.h"
+#include "secureview/ilp_encoding.h"
+#include "secureview/solvers.h"
+#include "secureview/workflow_exact.h"
+
+namespace provview {
+namespace {
+
+SecureViewInstance RandomInstance(int seed, ConstraintKind kind,
+                                  int num_modules = 6,
+                                  double public_fraction = 0.0) {
+  Rng rng(static_cast<uint64_t>(seed) * 31 + 7);
+  RandomInstanceOptions opt;
+  opt.kind = kind;
+  opt.num_modules = num_modules;
+  opt.max_inputs = 3;
+  opt.max_outputs = 2;
+  opt.max_list_length = 3;
+  opt.max_option_size = 2;
+  opt.reuse_probability = 0.7;
+  opt.public_fraction = public_fraction;
+  return MakeRandomInstance(opt, &rng);
+}
+
+// ---------------------------------------------------------------------
+// The full pruning stack (warm start + oracle + scratch LP + best-bound)
+// still computes the exact optimum: it matches brute force, lower-bounds
+// every approximation, and the paper's ratio guarantees hold against it.
+// ---------------------------------------------------------------------
+struct SweepCase {
+  int seed;
+  ConstraintKind kind;
+};
+
+class OptimizerSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(OptimizerSweepTest, ExactDominatesAndRatioBoundsHold) {
+  const SweepCase& sc = GetParam();
+  SecureViewInstance inst = RandomInstance(sc.seed, sc.kind);
+
+  SvResult exact = SolveExact(inst);  // default ExactOptions: full stack
+  ASSERT_TRUE(exact.status.ok());
+  EXPECT_TRUE(IsFeasible(inst, exact.solution));
+  EXPECT_NEAR(exact.gap, 0.0, 1e-12);
+  EXPECT_NEAR(exact.lower_bound, exact.cost, 1e-9);
+
+  SvResult brute = SolveBruteForce(inst);
+  ASSERT_TRUE(brute.status.ok());
+  EXPECT_NEAR(exact.cost, brute.cost, 1e-6);
+
+  SvResult greedy = SolveGreedyPerModule(inst);
+  SvResult coverage = SolveGreedyCoverage(inst);
+  RoundingOptions ro;
+  ro.seed = static_cast<uint64_t>(sc.seed) + 1;
+  SvResult rounding = SolveByLpRounding(inst, ro);
+  ASSERT_TRUE(rounding.status.ok());
+
+  // Exact ≤ every approximation; every approximation is feasible.
+  for (const SvResult* r : {&greedy, &coverage, &rounding}) {
+    ASSERT_TRUE(r->status.ok());
+    EXPECT_TRUE(IsFeasible(inst, r->solution));
+    EXPECT_GE(r->cost, exact.cost - 1e-6);
+    EXPECT_LE(r->lower_bound, r->cost + 1e-6);
+  }
+  // The LP relaxation lower-bounds OPT.
+  EXPECT_LE(rounding.lower_bound, exact.cost + 1e-6);
+
+  // Theorem 7: greedy-per-module within (γ+1)·OPT.
+  EXPECT_LE(greedy.cost,
+            (inst.DataSharingDegree() + 1.0) * exact.cost + 1e-6);
+  // Theorem 5 flavor: randomized rounding stays within an O(log n) factor
+  // (generous constant — the repair step caps each trial).
+  const double logn =
+      std::max(1.0, 3.0 * std::log(static_cast<double>(inst.num_attrs) + 2.0));
+  EXPECT_LE(rounding.cost, logn * std::max(exact.cost, 1e-9) + 1e-6);
+  if (sc.kind == ConstraintKind::kSet) {
+    // Theorem 6: deterministic threshold rounding within ℓ_max·OPT.
+    SvResult thresh = SolveByThresholdRounding(inst);
+    ASSERT_TRUE(thresh.status.ok());
+    EXPECT_TRUE(IsFeasible(inst, thresh.solution));
+    EXPECT_LE(thresh.cost,
+              static_cast<double>(inst.MaxListLength()) * exact.cost + 1e-6);
+  }
+}
+
+std::vector<SweepCase> MakeSweepCases() {
+  std::vector<SweepCase> cases;
+  for (int seed = 0; seed < 6; ++seed) {
+    cases.push_back({seed, ConstraintKind::kCardinality});
+    cases.push_back({seed, ConstraintKind::kSet});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, OptimizerSweepTest,
+                         ::testing::ValuesIn(MakeSweepCases()));
+
+// With public modules, the stack must account privatization costs the same
+// way brute force does.
+class PublicStackTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PublicStackTest, MatchesBruteForceWithPrivatization) {
+  SecureViewInstance inst =
+      RandomInstance(GetParam(), ConstraintKind::kCardinality, 5,
+                     /*public_fraction=*/0.4);
+  if (inst.PrivateModules().empty()) GTEST_SKIP();
+  SvResult exact = SolveExact(inst);
+  ASSERT_TRUE(exact.status.ok());
+  SvResult brute = SolveBruteForce(inst);
+  ASSERT_TRUE(brute.status.ok());
+  EXPECT_NEAR(exact.cost, brute.cost, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PublicStackTest, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------
+// Determinism: the wave engine's BnbResult is byte-identical at any
+// thread count, in both traversal orders, with the oracle installed.
+// ---------------------------------------------------------------------
+void ExpectIdentical(const BnbResult& a, const BnbResult& b) {
+  EXPECT_EQ(a.status.code(), b.status.code());
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (size_t i = 0; i < a.x.size(); ++i) EXPECT_EQ(a.x[i], b.x[i]);
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.lower_bound, b.lower_bound);
+  EXPECT_EQ(a.gap, b.gap);
+  EXPECT_EQ(a.nodes_explored, b.nodes_explored);
+  EXPECT_EQ(a.lp_solves, b.lp_solves);
+  EXPECT_EQ(a.oracle_fathoms, b.oracle_fathoms);
+}
+
+TEST(ParallelEquivalenceTest, ByteIdenticalAcrossThreadCounts) {
+  for (int seed = 0; seed < 3; ++seed) {
+    SecureViewInstance inst =
+        RandomInstance(seed + 100, ConstraintKind::kSet, 8);
+    SvEncoding enc = EncodeSecureView(inst);
+    for (bool best_bound : {true, false}) {
+      BnbOptions base;
+      base.best_bound = best_bound;
+      base.wave_width = 4;  // several waves, several nodes per wave
+      base.oracle = MakeSecureViewBnbOracle(&inst, &enc);
+      BnbResult one, two, eight;
+      {
+        BnbOptions o = base;
+        o.num_threads = 1;
+        one = SolveIlp(enc.lp, enc.integer_vars, o);
+      }
+      {
+        BnbOptions o = base;
+        o.num_threads = 2;
+        two = SolveIlp(enc.lp, enc.integer_vars, o);
+      }
+      {
+        BnbOptions o = base;
+        o.num_threads = 8;
+        eight = SolveIlp(enc.lp, enc.integer_vars, o);
+      }
+      ASSERT_TRUE(one.status.ok());
+      ExpectIdentical(one, two);
+      ExpectIdentical(one, eight);
+    }
+  }
+}
+
+TEST(ScratchLpTest, MatchesLegacyRebuildPath) {
+  for (int seed = 0; seed < 4; ++seed) {
+    SecureViewInstance inst =
+        RandomInstance(seed + 200, ConstraintKind::kCardinality, 7);
+    SvEncoding enc = EncodeSecureView(inst);
+    BnbOptions scratch;
+    scratch.use_scratch_lp = true;
+    BnbOptions rebuild;
+    rebuild.use_scratch_lp = false;
+    BnbResult a = SolveIlp(enc.lp, enc.integer_vars, scratch);
+    BnbResult b = SolveIlp(enc.lp, enc.integer_vars, rebuild);
+    ASSERT_TRUE(a.status.ok());
+    // Same traversal, same relaxations — only the LP storage differs.
+    ExpectIdentical(a, b);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Tripped solves: node budget and deadline both surface a typed status
+// WITH a feasible incumbent and a finite proven gap.
+// ---------------------------------------------------------------------
+TEST(NodeBudgetTest, TimeoutCarriesIncumbentAndGap) {
+  SecureViewInstance inst = RandomInstance(7, ConstraintKind::kSet, 10);
+  ExactOptions opt;
+  opt.bnb.max_nodes = 1;
+  opt.oracle = false;  // force real branching so the budget actually trips
+  SvResult r = SolveExact(inst, opt);
+  if (r.status.ok()) GTEST_SKIP() << "instance solved within one node";
+  EXPECT_EQ(r.status.code(), StatusCode::kTimeout);
+  EXPECT_TRUE(IsFeasible(inst, r.solution));  // the warm-start incumbent
+  EXPECT_TRUE(std::isfinite(r.gap));
+  EXPECT_GE(r.gap, 0.0);
+  EXPECT_GE(r.lower_bound, 0.0);
+  EXPECT_NEAR(r.cost - r.lower_bound, r.gap, 1e-9);
+}
+
+TEST(DeadlineTest, DoomedDeadlineStillReturnsFeasibleIncumbent) {
+  SecureViewInstance inst = RandomInstance(11, ConstraintKind::kSet, 10);
+  ExecControl control;
+  control.set_deadline_ms(0);  // trips on the first poll
+  ExactOptions opt;
+  opt.bnb.control = &control;
+  SvResult r = SolveExact(inst, opt);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(IsFeasible(inst, r.solution));
+  EXPECT_TRUE(std::isfinite(r.gap));
+  EXPECT_GE(r.gap, 0.0);
+  EXPECT_NEAR(r.cost - r.lower_bound, r.gap, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Workflow-level stack: shared-memo derivation + useless-attr fixing +
+// certification, in both oracle modes, equals brute force on the derived
+// instance.
+// ---------------------------------------------------------------------
+class WorkflowStackTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkflowStackTest, FullStackMatchesBruteForceAndCertifies) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 13 + 3);
+  RandomWorkflowOptions wopt;
+  wopt.num_modules = 6;
+  wopt.num_layers = 2;
+  GeneratedWorkflow gen = MakeRandomWorkflow(wopt, &rng);
+
+  WorkflowExactOptions opt;
+  WorkflowExactResult full = SolveExactForWorkflow(*gen.workflow, opt);
+  ASSERT_TRUE(full.result.status.ok());
+  EXPECT_TRUE(full.semantics_verified);
+
+  SvResult brute = SolveBruteForce(full.instance);
+  ASSERT_TRUE(brute.status.ok());
+  EXPECT_NEAR(full.result.cost, brute.cost, 1e-6);
+
+  // Pinned-visible attributes must never be hidden by the winner.
+  for (int a : full.fixed_attrs) {
+    EXPECT_FALSE(full.result.solution.hidden.Test(a));
+  }
+
+  // The memo-backed oracle answers through the shared verdict cache and
+  // must land on the same optimum.
+  WorkflowExactOptions memo_opt;
+  memo_opt.exact.oracle = false;
+  memo_opt.memo_oracle = true;
+  WorkflowExactResult memo = SolveExactForWorkflow(*gen.workflow, memo_opt);
+  ASSERT_TRUE(memo.result.status.ok());
+  EXPECT_NEAR(memo.result.cost, full.result.cost, 1e-6);
+  EXPECT_TRUE(memo.semantics_verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkflowStackTest, ::testing::Range(0, 4));
+
+TEST(LayeredGeneratorTest, HundredModuleWorkflowGeneratesAndValidates) {
+  Rng rng(99);
+  RandomWorkflowOptions opt;
+  opt.num_modules = 120;
+  opt.num_layers = 8;
+  opt.cross_layer_probability = 0.15;
+  GeneratedWorkflow gen = MakeRandomWorkflow(opt, &rng);  // Validate()s inside
+  EXPECT_EQ(gen.workflow->num_modules(), 120);
+  EXPECT_GT(gen.workflow->num_attrs(), 120);
+}
+
+}  // namespace
+}  // namespace provview
