@@ -9,11 +9,26 @@
 //   E7 podsd: clients=4 requests=4000 seconds=0.71 rps=5633.8
 //       p50_ms=0.051 p95_ms=0.102 p99_ms=0.184
 //
+// A second phase measures the reactor under connection pressure: 1000 idle
+// connections parked on the epoll reactor while the same client hammer
+// runs. The line records how many idle connections the daemon actually
+// held (`podsd_idle_conns_supported` — the regression guard fails if this
+// collapses) and the latency tail with the idle fleet attached
+// (`reactor_p50_ms` / `reactor_p95_ms` / `reactor_p99_ms`):
+//
+//   E7 podsd idle: idle_conns=1000 reactor_threads=2 clients=4
+//       requests=4000 seconds=0.78 idle_rps=5121.3
+//       reactor_p50_ms=0.055 reactor_p95_ms=0.110 reactor_p99_ms=0.190
+//   E7 podsd idle: podsd_idle_conns_supported=1000
+//
 // PODS_BENCH_SHORT=1 shrinks the request count for CI smoke runs.
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -69,7 +84,24 @@ double Percentile(const std::vector<double>& sorted, double p) {
   return sorted[std::min(rank, sorted.size() - 1)];
 }
 
+// Lifts the soft fd limit toward the hard one so the 1000-idle-connection
+// phase (2000+ fds in-process: client end + daemon end) fits on hosts whose
+// default soft limit is 1024.
+void RaiseFdLimit() {
+  rlimit lim{};
+  if (getrlimit(RLIMIT_NOFILE, &lim) != 0) return;
+  rlim_t want = 8192;
+  if (lim.rlim_max != RLIM_INFINITY && lim.rlim_max < want) {
+    want = lim.rlim_max;
+  }
+  if (lim.rlim_cur < want) {
+    lim.rlim_cur = want;
+    (void)setrlimit(RLIMIT_NOFILE, &lim);
+  }
+}
+
 int Run() {
+  RaiseFdLimit();
   const bool short_mode = std::getenv("PODS_BENCH_SHORT") != nullptr;
   const int kClients = 4;
   const int kRequestsPerClient = short_mode ? 250 : 1000;
@@ -114,6 +146,52 @@ int Run() {
       kClients, total, seconds, rps, Percentile(all, 50.0),
       Percentile(all, 95.0), Percentile(all, 99.0));
 
+  // -- idle-connection phase: park 1000 connections on the reactor, then
+  // rerun the hammer. The idle fleet costs epoll entries, not threads, so
+  // the tail should barely move; a thread-per-connection front-end would
+  // need 1000 threads just to hold them.
+  constexpr int kIdleTarget = 1000;
+  std::vector<std::unique_ptr<PodsClient>> idle;
+  idle.reserve(kIdleTarget);
+  for (int i = 0; i < kIdleTarget; ++i) {
+    auto conn = std::make_unique<PodsClient>();
+    if (!conn->Connect(daemon.port()).ok()) break;  // fd limit hit
+    idle.push_back(std::move(conn));
+  }
+  // Round-trip a sample to prove the parked connections are live.
+  for (size_t i = 0; i < idle.size(); i += 97) {
+    PV_CHECK_MSG(idle[i]->Ping().ok(), "idle connection went dead");
+  }
+
+  for (std::vector<double>& v : latencies) v.clear();
+  const auto i0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> idle_clients;
+  for (int c = 0; c < kClients; ++c) {
+    idle_clients.emplace_back(ClientLoop, daemon.port(), 0x69646c65u + c,
+                              kRequestsPerClient, attrs, 5,
+                              &latencies[static_cast<size_t>(c)]);
+  }
+  for (std::thread& t : idle_clients) t.join();
+  const auto i1 = std::chrono::steady_clock::now();
+
+  const double idle_seconds =
+      std::chrono::duration<double>(i1 - i0).count();
+  all.clear();
+  for (const std::vector<double>& v : latencies) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end());
+  std::printf(
+      "E7 podsd idle: idle_conns=%zu reactor_threads=%d clients=%d "
+      "requests=%d seconds=%.2f idle_rps=%.1f "
+      "reactor_p50_ms=%.3f reactor_p95_ms=%.3f reactor_p99_ms=%.3f\n",
+      idle.size(), PodsDaemon::Options().reactor_threads, kClients, total,
+      idle_seconds, total / idle_seconds, Percentile(all, 50.0),
+      Percentile(all, 95.0), Percentile(all, 99.0));
+  std::printf("E7 podsd idle: podsd_idle_conns_supported=%zu\n",
+              idle.size());
+
+  idle.clear();
   daemon.Stop();
   return 0;
 }

@@ -19,6 +19,7 @@ METRICS = [
     ("e1f_deep_chain_speedup_x", ("e1f_deep_chain_speedup_x",)),
     ("sharded_search_speedup_x", ("sharded_search_speedup_x",)),
     ("podsd_throughput_rps", ("podsd_throughput_rps",)),
+    ("podsd_idle_conns_supported", ("podsd_idle_conns_supported",)),
     ("taskgraph_search_speedup_x", ("taskgraph_search_speedup_x",)),
     ("taskgraph_batch_speedup_x", ("taskgraph_batch_speedup_x",)),
     ("verdict_cache_hit_rate", ("verdict_cache_hit_rate",)),

@@ -72,6 +72,13 @@ PODSD_CLIENTS="$(grep -o 'clients=[0-9]*' "${PODSD_LOG}" | awk -F= '{print $2}' 
 PODSD_P50="$(grep -o 'p50_ms=[0-9.]*' "${PODSD_LOG}" | awk -F= '{print $2}' | head -1 || true)"
 PODSD_P95="$(grep -o 'p95_ms=[0-9.]*' "${PODSD_LOG}" | awk -F= '{print $2}' | head -1 || true)"
 PODSD_P99="$(grep -o 'p99_ms=[0-9.]*' "${PODSD_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+# "E7 podsd idle: idle_conns=1000 ... reactor_p50_ms=0.055 ..." and the
+# regression-guarded "podsd_idle_conns_supported=1000" line.
+PODSD_IDLE_CONNS="$(grep -o 'podsd_idle_conns_supported=[0-9]*' "${PODSD_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+PODSD_IDLE_RPS="$(grep -o 'idle_rps=[0-9.]*' "${PODSD_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+PODSD_REACTOR_P50="$(grep -o 'reactor_p50_ms=[0-9.]*' "${PODSD_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+PODSD_REACTOR_P95="$(grep -o 'reactor_p95_ms=[0-9.]*' "${PODSD_LOG}" | awk -F= '{print $2}' | head -1 || true)"
+PODSD_REACTOR_P99="$(grep -o 'reactor_p99_ms=[0-9.]*' "${PODSD_LOG}" | awk -F= '{print $2}' | head -1 || true)"
 rm -f "${PODSD_LOG}"
 
 echo "== bench_taskgraph (task graph vs fork-join barriers) =="
@@ -151,6 +158,11 @@ cat >"${LATEST_JSON}" <<EOF
   "podsd_p50_ms": ${PODSD_P50:-null},
   "podsd_p95_ms": ${PODSD_P95:-null},
   "podsd_p99_ms": ${PODSD_P99:-null},
+  "podsd_idle_conns_supported": ${PODSD_IDLE_CONNS:-null},
+  "podsd_idle_rps": ${PODSD_IDLE_RPS:-null},
+  "podsd_reactor_p50_ms": ${PODSD_REACTOR_P50:-null},
+  "podsd_reactor_p95_ms": ${PODSD_REACTOR_P95:-null},
+  "podsd_reactor_p99_ms": ${PODSD_REACTOR_P99:-null},
   "taskgraph_search_on_ms": ${TG_SEARCH_ON_MS:-null},
   "taskgraph_batch_on_ms": ${TG_BATCH_ON_MS:-null},
   "taskgraph_search_speedup_x": ${TG_SEARCH_SPEEDUP:-null},
@@ -183,6 +195,8 @@ HIST_KEYS = [
     "k24_seq_search_ms", "k24_sharded_search_ms",
     "sharded_search_speedup_x", "podsd_throughput_rps",
     "podsd_p50_ms", "podsd_p95_ms", "podsd_p99_ms",
+    "podsd_idle_conns_supported", "podsd_idle_rps",
+    "podsd_reactor_p50_ms", "podsd_reactor_p95_ms", "podsd_reactor_p99_ms",
     "taskgraph_search_speedup_x", "taskgraph_batch_speedup_x",
     "verdict_cache_hit_rate", "cache_batch_speedup_x",
     "bnb_prune_speedup_x", "bnb_parallel_speedup_x", "bnb_total_speedup_x",

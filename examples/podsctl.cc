@@ -5,8 +5,18 @@
 //   podsctl <port> stat
 //   podsctl <port> certify <workflow> gamma=<G> hidden=<a,b,...>
 //                  [deadline_ms=<N>] [budget=<bytes>]
+//   podsctl <port> register <name> <workflow-file>
+//   podsctl <port> unregister <name>
+//   podsctl dump <builtin> <out-file>
 //   podsctl solve <instance-file> [solver=exact] [deadline_ms=<N>]
 //                  [threads=<N>] [max_nodes=<N>]
+//
+// `register` uploads a SerializeWorkflowBinary file and binds it under
+// <name>; the daemon certifies against it exactly as it would a compiled-in
+// workflow. `dump` needs no daemon: it serializes one of the built-in
+// workflow families (fig1, prop2-chain, one-one-chain, diamond,
+// example7-chain) to a file — the fixed seeds make the bytes reproducible,
+// so `dump` + `register` + `certify` answers match the built-in name.
 //
 // `solve` reads a serialized SecureViewInstance — the binary podsd payload
 // codec, or the line-oriented text format when the file starts with
@@ -30,6 +40,7 @@
 #include "secureview/solvers.h"
 #include "server/client.h"
 #include "server/protocol.h"
+#include "server/registry.h"
 
 namespace {
 
@@ -45,6 +56,9 @@ int Usage() {
                "       podsctl <port> stat\n"
                "       podsctl <port> certify <workflow> gamma=<G>"
                " hidden=<a,b,...> [deadline_ms=<N>] [budget=<bytes>]\n"
+               "       podsctl <port> register <name> <workflow-file>\n"
+               "       podsctl <port> unregister <name>\n"
+               "       podsctl dump <builtin> <out-file>\n"
                "       podsctl solve <instance-file> [solver=exact|brute|"
                "rounding|threshold|greedy|coverage]\n"
                "                     [deadline_ms=<N>] [threads=<N>]"
@@ -198,12 +212,74 @@ int RunCertify(PodsClient& client, int argc, char** argv) {
   return 0;
 }
 
+int RunDump(int argc, char** argv) {
+  if (argc != 2) return Usage();
+  const std::string name = argv[0];
+  const char* path = argv[1];
+
+  // The same fixed-seed families a daemon compiles in: serializing from
+  // here and REGISTERing elsewhere reproduces the built-in byte for byte.
+  provview::WorkflowRegistry registry;
+  registry.RegisterBuiltins();
+  const auto entry = registry.Find(name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "dump: unknown builtin '%s' (have:", name.c_str());
+    for (const std::string& n : registry.Names()) {
+      std::fprintf(stderr, " %s", n.c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    return 1;
+  }
+  std::string bytes;
+  const Status s = provview::SerializeWorkflowBinary(*entry->workflow, &bytes);
+  if (!s.ok()) {
+    std::fprintf(stderr, "dump: %s\n", s.message().c_str());
+    return 3;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "dump: cannot write %s\n", path);
+    return 1;
+  }
+  std::printf("dumped %s: %zu bytes, %d attrs, %d modules\n", name.c_str(),
+              bytes.size(), entry->workflow->num_attrs(),
+              entry->workflow->num_modules());
+  return 0;
+}
+
+int RunRegister(PodsClient& client, int argc, char** argv) {
+  if (argc != 2) return Usage();
+  const char* name = argv[0];
+  const char* path = argv[1];
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "register: cannot read %s\n", path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  provview::RegisterResponse resp;
+  const Status s = client.Register(name, buf.str(), &resp);
+  if (!s.ok()) {
+    std::fprintf(stderr, "register: [%d] %s\n", static_cast<int>(s.code()),
+                 s.message().c_str());
+    return 3;
+  }
+  std::printf("registered %s: %u attrs, %u modules (%u private)\n", name,
+              resp.num_attrs, resp.num_modules, resp.num_private_modules);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   if (std::strcmp(argv[1], "solve") == 0) {
     return RunSolve(argc - 2, argv + 2);  // offline: no port, no daemon
+  }
+  if (std::strcmp(argv[1], "dump") == 0) {
+    return RunDump(argc - 2, argv + 2);  // offline: no port, no daemon
   }
   const long port = std::strtol(argv[1], nullptr, 10);
   if (port <= 0 || port > 65535) return Usage();
@@ -239,6 +315,19 @@ int main(int argc, char** argv) {
   }
   if (cmd == "certify" && argc >= 4) {
     return RunCertify(client, argc - 3, argv + 3);
+  }
+  if (cmd == "register") {
+    return RunRegister(client, argc - 3, argv + 3);
+  }
+  if (cmd == "unregister" && argc == 4) {
+    const Status s = client.Unregister(argv[3]);
+    if (!s.ok()) {
+      std::fprintf(stderr, "unregister: [%d] %s\n", static_cast<int>(s.code()),
+                   s.message().c_str());
+      return 3;
+    }
+    std::printf("unregistered %s\n", argv[3]);
+    return 0;
   }
   return Usage();
 }

@@ -1,7 +1,8 @@
 // podsd — the certification daemon, as a standalone binary.
 //
 //   podsd [--port=N] [--engine-threads=N] [--no-task-graph]
-//         [--cache-bytes=N]
+//         [--cache-bytes=N] [--reactor-threads=N] [--no-reactor]
+//         [--memory-budget=N] [--max-pending=N]
 //
 // Binds 127.0.0.1 (port 0 = kernel-assigned, printed on stdout), serves the
 // built-in workflow registry, and runs until SIGINT/SIGTERM. Pair with
@@ -14,6 +15,11 @@
 //
 // --cache-bytes=N caps the shared verdict cache (measured bytes across all
 // registered workflows; eviction only forgets verdicts). 0 = unbounded.
+// --reactor-threads=N sizes the epoll front-end (default 2; thread count
+// stays bounded no matter how many clients connect); --no-reactor selects
+// the legacy thread-per-connection front-end. --max-pending=N and
+// --memory-budget=N size the request-level admission gate (depth units and
+// shared engine bytes; 0 bytes = unbounded).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -53,10 +59,34 @@ int main(int argc, char** argv) {
                      arg + 14);
         return 2;
       }
+    } else if (std::strncmp(arg, "--reactor-threads=", 18) == 0) {
+      const long v = std::strtol(arg + 18, nullptr, 10);
+      if (v < 1 || v > 1024) {
+        std::fprintf(stderr, "podsd: bad reactor thread count '%s'\n",
+                     arg + 18);
+        return 2;
+      }
+      options.reactor_threads = static_cast<int>(v);
+    } else if (std::strcmp(arg, "--no-reactor") == 0) {
+      options.use_reactor = false;
+    } else if (std::strncmp(arg, "--memory-budget=", 16) == 0) {
+      options.memory_budget = std::strtoll(arg + 16, nullptr, 10);
+      if (options.memory_budget < 0) {
+        std::fprintf(stderr, "podsd: bad memory budget '%s'\n", arg + 16);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--max-pending=", 14) == 0) {
+      options.max_pending = std::strtoll(arg + 14, nullptr, 10);
+      if (options.max_pending < 0) {
+        std::fprintf(stderr, "podsd: bad admission depth '%s'\n", arg + 14);
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: podsd [--port=N] [--engine-threads=N] "
-                   "[--no-task-graph] [--cache-bytes=N]\n");
+                   "[--no-task-graph] [--cache-bytes=N] "
+                   "[--reactor-threads=N] [--no-reactor] "
+                   "[--memory-budget=N] [--max-pending=N]\n");
       return 2;
     }
   }

@@ -4,10 +4,17 @@ namespace provview {
 
 bool ExecControl::TryCharge(int64_t bytes) const {
   if (bytes <= 0) return true;
+  if (shared_budget_ != nullptr && !shared_budget_->TryCharge(bytes)) {
+    // The POOL is out, not this request's own ceiling — but the trip lands
+    // here, on the request doing the charging, so only it degrades.
+    trip(StatusCode::kResourceExhausted);
+    return false;
+  }
   const int64_t budget = memory_budget_.load(std::memory_order_relaxed);
   int64_t used = bytes_in_use_.load(std::memory_order_relaxed);
   for (;;) {
     if (used > budget - bytes) {
+      if (shared_budget_ != nullptr) shared_budget_->Release(bytes);
       trip(StatusCode::kResourceExhausted);
       return false;
     }
@@ -28,6 +35,7 @@ bool ExecControl::TryCharge(int64_t bytes) const {
 void ExecControl::Release(int64_t bytes) const {
   if (bytes <= 0) return;
   bytes_in_use_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (shared_budget_ != nullptr) shared_budget_->Release(bytes);
 }
 
 Status ExecControl::Check() const {

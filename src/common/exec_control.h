@@ -22,6 +22,74 @@
 
 namespace provview {
 
+/// A long-lived byte pool shared by MANY requests at once (the daemon's
+/// request-level admission budget), in contrast to the per-request ceiling
+/// inside ExecControl. Attach one to each request's control with
+/// ExecControl::set_shared_budget: engine charges then draw from both, and
+/// exhausting the POOL trips only the charging request (typed
+/// RESOURCE_EXHAUSTED), never the pool itself — the pool recovers as other
+/// requests release their bytes.
+class MemoryBudget {
+ public:
+  /// `bytes` <= 0 means unbounded (every charge succeeds).
+  explicit MemoryBudget(int64_t bytes)
+      : budget_(bytes > 0 ? bytes : std::numeric_limits<int64_t>::max()),
+        bounded_(bytes > 0) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  bool bounded() const { return bounded_; }
+  int64_t budget() const { return budget_; }
+
+  /// Reserves `bytes` from the pool; false (and nothing reserved) when the
+  /// pool cannot cover them. Balanced by Release().
+  bool TryCharge(int64_t bytes) {
+    if (bytes <= 0) return true;
+    int64_t used = bytes_in_use_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (used > budget_ - bytes) {
+        exhausted_charges_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (bytes_in_use_.compare_exchange_weak(used, used + bytes,
+                                              std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    const int64_t now_used = used + bytes;
+    int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+    while (now_used > peak &&
+           !peak_bytes_.compare_exchange_weak(peak, now_used,
+                                              std::memory_order_relaxed)) {
+    }
+    return true;
+  }
+
+  void Release(int64_t bytes) {
+    if (bytes <= 0) return;
+    bytes_in_use_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  int64_t bytes_in_use() const {
+    return bytes_in_use_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Charges refused because the pool was exhausted.
+  uint64_t exhausted_charges() const {
+    return exhausted_charges_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const int64_t budget_;
+  const bool bounded_;
+  std::atomic<int64_t> bytes_in_use_{0};
+  std::atomic<int64_t> peak_bytes_{0};
+  std::atomic<uint64_t> exhausted_charges_{0};
+};
+
 /// Per-request cancellation token: deadline + external cancel flag + memory
 /// budget. Thread-safe; cheap to poll from many shards concurrently.
 class ExecControl {
@@ -49,6 +117,13 @@ class ExecControl {
   void set_memory_budget(int64_t bytes) {
     memory_budget_.store(bytes, std::memory_order_relaxed);
   }
+
+  /// Additionally draws every charge from `shared` (a pool spanning many
+  /// concurrent requests). A charge the pool cannot cover trips THIS
+  /// control with RESOURCE_EXHAUSTED; the pool itself carries no trip
+  /// state. Set before handing the control to an engine; the pool must
+  /// outlive the request.
+  void set_shared_budget(MemoryBudget* shared) { shared_budget_ = shared; }
 
   /// External cancellation (connection dropped, daemon shutting down).
   void Cancel() { cancelled_.store(true, std::memory_order_release); }
@@ -134,6 +209,7 @@ class ExecControl {
   std::atomic<int64_t> memory_budget_{std::numeric_limits<int64_t>::max()};
   mutable std::atomic<int64_t> bytes_in_use_{0};
   mutable std::atomic<int64_t> peak_bytes_{0};
+  MemoryBudget* shared_budget_ = nullptr;  // set before engines run
 };
 
 }  // namespace provview

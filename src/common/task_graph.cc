@@ -128,6 +128,20 @@ TaskGraphExecutor::~TaskGraphExecutor() {
   }
   wake_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
+  // Graph tasks are owned by their graphs, but detached tasks own
+  // themselves: any still queued at teardown are discarded unrun.
+  for (Slot& slot : slots_) {
+    for (TaskGraph::Task* t : slot.q) {
+      if (t->graph == nullptr) delete t;
+    }
+  }
+}
+
+void TaskGraphExecutor::SubmitDetached(std::function<void()> fn) {
+  auto* t = new TaskGraph::Task;
+  t->fn = std::move(fn);
+  t->graph = nullptr;
+  Push(t);
 }
 
 bool TaskGraphExecutor::TryAdmit(int64_t units) {
@@ -183,6 +197,16 @@ TaskGraph::Task* TaskGraphExecutor::Grab(int home) {
 
 void TaskGraphExecutor::Execute(TaskGraph::Task* t) {
   TaskGraph* g = t->graph;
+  if (g == nullptr) {
+    // Detached task (SubmitDetached): self-owned, nothing to touch after
+    // the body — it may be the last thing keeping its captures alive.
+    try {
+      t->fn();
+    } catch (...) {
+    }
+    delete t;
+    return;
+  }
   if (!g->ShouldSkip()) {
     try {
       t->fn();

@@ -134,6 +134,14 @@ class TaskGraphExecutor {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// Runs `fn` on some worker without blocking the caller and without a
+  /// graph: the task owns itself and is deleted after its body returns
+  /// (exceptions are swallowed — a detached body must do its own error
+  /// delivery, e.g. the reactor completion path). The caller must keep the
+  /// executor alive until every detached body has finished; bodies still
+  /// queued when the executor is destroyed are discarded unrun.
+  void SubmitDetached(std::function<void()> fn);
+
   /// Admission gate: reserves `units` of pending capacity, or returns false
   /// when the reservation would exceed max_pending. Callers that got true
   /// must Release() the same units when their work retires. Purely a

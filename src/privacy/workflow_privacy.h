@@ -130,8 +130,7 @@ struct WorkflowBatchResult {
 /// settled verdicts without per-module mutexes, and a byte-budgeted shared
 /// cache bounds the daemon's verdict memory (its eviction only forgets
 /// verdicts, never corrupts them). Pass no cache for a private unbounded
-/// one — the historical single-owner WorkflowMemoBank behavior, whose name
-/// remains as an alias for one release.
+/// one — the historical single-owner behavior.
 class WorkflowCacheNamespace {
  public:
   /// Binds one namespace per private module of `workflow` in `cache`
@@ -152,9 +151,6 @@ class WorkflowCacheNamespace {
   std::shared_ptr<VerdictCache> cache_;
   std::vector<std::unique_ptr<SafetyMemo>> memos_;
 };
-
-/// Deprecated alias, kept for one release while call sites migrate.
-using WorkflowMemoBank = WorkflowCacheNamespace;
 
 /// Certifies many candidate hidden sets / Γ targets in one pass. Unlike
 /// calling CertifyWorkflowPrivacy per candidate — which re-materializes

@@ -1,11 +1,15 @@
 #include "secureview/serialization.h"
 
+#include <cmath>
 #include <iomanip>
 #include <limits>
+#include <set>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "common/wire.h"
+#include "module/table_module.h"
 
 namespace provview {
 
@@ -440,6 +444,276 @@ Result<SecureViewSolution> DeserializeSolutionBinary(std::string_view bytes,
                                    &sol.privatized));
   PV_RETURN_IF_ERROR(r.ExpectEnd());
   return sol;
+}
+
+// ------------------------------------------------------------- workflows --
+
+namespace {
+
+constexpr uint32_t kWorkflowMagic = 0x46575650;  // "PVWF"
+
+// Row order of a serialized module table: the input tuple is a mixed-radix
+// odometer over the module's input attributes, LAST input cycling fastest.
+// Both directions of the codec use this one helper, so the convention can
+// never drift between them. Returns false after the last domain point.
+bool NextDomainPoint(const AttributeCatalog& catalog,
+                     const std::vector<AttrId>& inputs, Tuple* point) {
+  for (size_t i = inputs.size(); i-- > 0;) {
+    Value& v = (*point)[i];
+    if (v + 1 < catalog.DomainSize(inputs[i])) {
+      ++v;
+      return true;
+    }
+    v = 0;
+  }
+  return false;
+}
+
+Status CheckFiniteCost(double cost, const std::string& what) {
+  if (!std::isfinite(cost) || cost < 0.0) {
+    return Status::InvalidArgument(what + " cost must be finite and >= 0");
+  }
+  return Status::OK();
+}
+
+// Reads one module's attribute-id list (inputs or outputs); every id must
+// be in the catalog and not repeat within the module.
+Status ReadModuleAttrList(WireReader* r, uint32_t num_attrs, uint32_t min_len,
+                          const char* what, std::set<AttrId>* seen,
+                          std::vector<AttrId>* out) {
+  uint32_t count;
+  PV_RETURN_IF_ERROR(r->ReadU32(&count));
+  if (count < min_len || count > kMaxWorkflowModuleArity) {
+    return Status::InvalidArgument(std::string(what) + " count " +
+                                   std::to_string(count) + " out of range");
+  }
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t id;
+    PV_RETURN_IF_ERROR(r->ReadU32(&id));
+    if (id >= num_attrs) {
+      return Status::InvalidArgument(std::string(what) + " attr " +
+                                     std::to_string(id) + " out of range");
+    }
+    if (!seen->insert(static_cast<AttrId>(id)).second) {
+      return Status::InvalidArgument(std::string(what) + " attr " +
+                                     std::to_string(id) +
+                                     " repeats within the module");
+    }
+    out->push_back(static_cast<AttrId>(id));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SerializeWorkflowBinary(const Workflow& workflow, std::string* out) {
+  const AttributeCatalog& catalog = *workflow.catalog();
+  if (catalog.size() < 1 ||
+      catalog.size() > static_cast<int>(kMaxWorkflowAttrs)) {
+    return Status::InvalidArgument("catalog size out of codec range");
+  }
+  if (workflow.num_modules() < 1 ||
+      workflow.num_modules() > static_cast<int>(kMaxWorkflowModules)) {
+    return Status::InvalidArgument("module count out of codec range");
+  }
+  std::string buf;
+  WireWriter w(&buf);
+  w.PutU32(kWorkflowMagic);
+  w.PutU16(kBinaryVersion);
+  w.PutU32(static_cast<uint32_t>(catalog.size()));
+  for (AttrId a = 0; a < catalog.size(); ++a) {
+    const Attribute& attr = catalog.Get(a);
+    if (attr.name.empty() || attr.name.size() > kMaxBinaryNameLen) {
+      return Status::InvalidArgument("attribute name length out of range");
+    }
+    if (attr.domain_size < 1 || attr.domain_size > kMaxWorkflowAttrDomain) {
+      return Status::InvalidArgument("attribute domain out of codec range");
+    }
+    PV_RETURN_IF_ERROR(CheckFiniteCost(attr.cost, "attribute"));
+    w.PutString(attr.name);
+    w.PutU32(static_cast<uint32_t>(attr.domain_size));
+    w.PutDouble(attr.cost);
+  }
+  w.PutU32(static_cast<uint32_t>(workflow.num_modules()));
+  for (int mi = 0; mi < workflow.num_modules(); ++mi) {
+    const Module& m = workflow.module(mi);
+    if (m.name().empty() || m.name().size() > kMaxBinaryNameLen) {
+      return Status::InvalidArgument("module name length out of range");
+    }
+    if (m.num_inputs() > static_cast<int>(kMaxWorkflowModuleArity) ||
+        m.num_outputs() < 1 ||
+        m.num_outputs() > static_cast<int>(kMaxWorkflowModuleArity)) {
+      return Status::InvalidArgument("module '" + m.name() +
+                                     "' arity out of codec range");
+    }
+    PV_RETURN_IF_ERROR(CheckFiniteCost(m.privatization_cost(), "module"));
+    const int64_t rows = m.DomainSize();
+    if (rows > static_cast<int64_t>(kMaxWorkflowTableRows)) {
+      return Status::InvalidArgument(
+          "module '" + m.name() + "' input domain of " + std::to_string(rows) +
+          " rows exceeds the " + std::to_string(kMaxWorkflowTableRows) +
+          "-row serialization cap");
+    }
+    w.PutString(m.name());
+    w.PutU8(m.is_public() ? 1 : 0);
+    w.PutDouble(m.privatization_cost());
+    w.PutU32(static_cast<uint32_t>(m.num_inputs()));
+    for (AttrId a : m.inputs()) w.PutU32(static_cast<uint32_t>(a));
+    w.PutU32(static_cast<uint32_t>(m.num_outputs()));
+    for (AttrId a : m.outputs()) w.PutU32(static_cast<uint32_t>(a));
+    w.PutU32(static_cast<uint32_t>(rows));
+    Tuple point(m.inputs().size(), 0);
+    do {
+      const Tuple result = m.Eval(point);
+      for (int oi = 0; oi < m.num_outputs(); ++oi) {
+        const Value v = result[static_cast<size_t>(oi)];
+        if (v < 0 || v >= catalog.DomainSize(m.outputs()[static_cast<size_t>(
+                              oi)])) {
+          return Status::InvalidArgument("module '" + m.name() +
+                                         "' produced an out-of-domain value");
+        }
+        w.PutU32(static_cast<uint32_t>(v));
+      }
+    } while (NextDomainPoint(catalog, m.inputs(), &point));
+  }
+  out->append(buf);
+  return Status::OK();
+}
+
+Result<WorkflowBundle> DeserializeWorkflowBinary(std::string_view bytes) {
+  WireReader r(bytes);
+  uint32_t magic;
+  uint16_t version;
+  PV_RETURN_IF_ERROR(r.ReadU32(&magic));
+  if (magic != kWorkflowMagic) {
+    return Status::InvalidArgument("bad workflow magic");
+  }
+  PV_RETURN_IF_ERROR(r.ReadU16(&version));
+  if (version != kBinaryVersion) {
+    return Status::InvalidArgument("unsupported workflow format version " +
+                                   std::to_string(version));
+  }
+
+  uint32_t num_attrs;
+  PV_RETURN_IF_ERROR(r.ReadU32(&num_attrs));
+  if (num_attrs < 1 || num_attrs > kMaxWorkflowAttrs) {
+    return Status::InvalidArgument("attr count " + std::to_string(num_attrs) +
+                                   " out of range");
+  }
+  // Every PV_CHECK the model layer would make on hostile values (duplicate
+  // names, bad domain, negative cost) is re-made here as a typed rejection:
+  // catalog/module construction below must be abort-free by construction.
+  auto catalog = std::make_shared<AttributeCatalog>();
+  for (uint32_t i = 0; i < num_attrs; ++i) {
+    std::string name;
+    PV_RETURN_IF_ERROR(r.ReadString(&name, kMaxBinaryNameLen));
+    if (name.empty()) {
+      return Status::InvalidArgument("empty attribute name");
+    }
+    if (catalog->Contains(name)) {
+      return Status::InvalidArgument("duplicate attribute name '" + name +
+                                     "'");
+    }
+    uint32_t domain;
+    PV_RETURN_IF_ERROR(r.ReadU32(&domain));
+    if (domain < 1 || domain > static_cast<uint32_t>(kMaxWorkflowAttrDomain)) {
+      return Status::InvalidArgument("attribute domain " +
+                                     std::to_string(domain) + " out of range");
+    }
+    double cost;
+    PV_RETURN_IF_ERROR(r.ReadDouble(&cost));
+    PV_RETURN_IF_ERROR(CheckFiniteCost(cost, "attribute"));
+    catalog->Add(name, static_cast<int>(domain), cost);
+  }
+
+  uint32_t num_modules;
+  PV_RETURN_IF_ERROR(r.ReadU32(&num_modules));
+  if (num_modules < 1 || num_modules > kMaxWorkflowModules) {
+    return Status::InvalidArgument("module count " +
+                                   std::to_string(num_modules) +
+                                   " out of range");
+  }
+  auto workflow = std::make_unique<Workflow>(catalog);
+  std::set<std::string> module_names;
+  for (uint32_t mi = 0; mi < num_modules; ++mi) {
+    std::string name;
+    PV_RETURN_IF_ERROR(r.ReadString(&name, kMaxBinaryNameLen));
+    if (name.empty()) {
+      return Status::InvalidArgument("empty module name");
+    }
+    if (!module_names.insert(name).second) {
+      return Status::InvalidArgument("duplicate module name '" + name + "'");
+    }
+    uint8_t is_public;
+    PV_RETURN_IF_ERROR(r.ReadU8(&is_public));
+    if (is_public > 1) {
+      return Status::InvalidArgument("bad module visibility flag");
+    }
+    double cost;
+    PV_RETURN_IF_ERROR(r.ReadDouble(&cost));
+    PV_RETURN_IF_ERROR(CheckFiniteCost(cost, "module"));
+
+    std::set<AttrId> seen;
+    std::vector<AttrId> inputs, outputs;
+    PV_RETURN_IF_ERROR(ReadModuleAttrList(&r, num_attrs, /*min_len=*/0,
+                                          "input", &seen, &inputs));
+    PV_RETURN_IF_ERROR(ReadModuleAttrList(&r, num_attrs, /*min_len=*/1,
+                                          "output", &seen, &outputs));
+
+    int64_t domain_rows = 1;
+    for (AttrId a : inputs) {
+      domain_rows *= catalog->DomainSize(a);
+      if (domain_rows > static_cast<int64_t>(kMaxWorkflowTableRows)) {
+        return Status::InvalidArgument(
+            "module '" + name + "' input domain exceeds the " +
+            std::to_string(kMaxWorkflowTableRows) + "-row cap");
+      }
+    }
+    uint32_t rows;
+    PV_RETURN_IF_ERROR(r.ReadU32(&rows));
+    if (static_cast<int64_t>(rows) != domain_rows) {
+      // The table must be TOTAL: exactly one row per domain point, inputs
+      // implied by odometer position. Anything else is hostile.
+      return Status::InvalidArgument(
+          "module '" + name + "' table has " + std::to_string(rows) +
+          " rows, domain has " + std::to_string(domain_rows));
+    }
+    const size_t table_bytes =
+        static_cast<size_t>(rows) * outputs.size() * sizeof(uint32_t);
+    if (r.remaining() < table_bytes) {
+      return Status::InvalidArgument("truncated table for module '" + name +
+                                     "'");
+    }
+    std::vector<std::pair<Tuple, Tuple>> entries;
+    entries.reserve(rows);
+    Tuple point(inputs.size(), 0);
+    do {
+      Tuple result(outputs.size(), 0);
+      for (size_t oi = 0; oi < outputs.size(); ++oi) {
+        uint32_t v;
+        PV_RETURN_IF_ERROR(r.ReadU32(&v));
+        if (v >= static_cast<uint32_t>(catalog->DomainSize(outputs[oi]))) {
+          return Status::InvalidArgument("module '" + name +
+                                         "' table value out of domain");
+        }
+        result[oi] = static_cast<Value>(v);
+      }
+      entries.emplace_back(point, std::move(result));
+    } while (NextDomainPoint(*catalog, inputs, &point));
+
+    auto module = std::make_unique<TableModule>(name, catalog, inputs,
+                                                outputs, entries);
+    module->set_public(is_public == 1);
+    module->set_privatization_cost(cost);
+    workflow->AddModule(std::move(module));
+  }
+  PV_RETURN_IF_ERROR(r.ExpectEnd());
+  PV_RETURN_IF_ERROR(workflow->Validate());
+  WorkflowBundle bundle;
+  bundle.catalog = std::move(catalog);
+  bundle.workflow = std::move(workflow);
+  return bundle;
 }
 
 }  // namespace provview

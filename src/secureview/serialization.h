@@ -26,6 +26,7 @@
 #include <string_view>
 
 #include "secureview/instance.h"
+#include "workflow/workflow.h"
 
 namespace provview {
 
@@ -73,6 +74,47 @@ void SerializeSolutionBinary(const SecureViewSolution& solution,
 /// bitset and bounds the decoded attribute indices.
 Result<SecureViewSolution> DeserializeSolutionBinary(std::string_view bytes,
                                                      int num_attrs);
+
+// ---------------------------------------------------------------------------
+// Binary WORKFLOW codec (the podsd REGISTER payload). Module functions are
+// arbitrary C++ and cannot travel over the wire, so a serialized workflow
+// carries each module EXTENSIONALLY: the catalog (name / domain size / cost
+// per attribute) plus, per module, its wiring and the output tuple of every
+// point of its input domain in odometer order — inputs are implied by the
+// position, so the decoded table is a total function by construction
+// (TableModule::Eval on a missing input is a fatal error a hostile partial
+// table could otherwise trigger inside a daemon). Same discipline as the
+// instance codec: every count capped before allocation, every value range-
+// checked against the catalog, and the decoded workflow must pass
+// Workflow::Validate() before it is returned.
+// ---------------------------------------------------------------------------
+
+/// Caps on decoded workflows. Tighter than the instance caps because every
+/// module ships its full extension: the per-module row cap bounds the
+/// decode-side table build, and rows * outputs u32 values bound the bytes.
+inline constexpr uint32_t kMaxWorkflowAttrs = 4096;
+inline constexpr uint32_t kMaxWorkflowModules = 1024;
+inline constexpr uint32_t kMaxWorkflowModuleArity = 32;
+inline constexpr uint32_t kMaxWorkflowTableRows = 1u << 16;
+inline constexpr int kMaxWorkflowAttrDomain = 1 << 20;
+
+/// A decoded workflow and the catalog that keeps it alive (Workflow borrows
+/// the catalog via shared_ptr; the pair travels together).
+struct WorkflowBundle {
+  CatalogPtr catalog;
+  WorkflowPtr workflow;
+};
+
+/// Appends the binary rendering of `workflow` to `out`. Fails (without
+/// touching `out`) when a module's input domain exceeds
+/// kMaxWorkflowTableRows — such modules cannot ship extensionally.
+Status SerializeWorkflowBinary(const Workflow& workflow, std::string* out);
+
+/// Decodes SerializeWorkflowBinary output (every byte must be consumed).
+/// The result is a fully validated workflow over fresh TableModules whose
+/// relations are value-identical to the serialized ones — certification
+/// verdicts against it are byte-identical to the original workflow's.
+Result<WorkflowBundle> DeserializeWorkflowBinary(std::string_view bytes);
 
 }  // namespace provview
 

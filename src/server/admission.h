@@ -1,0 +1,122 @@
+// Request-level admission control for podsd: ONE queue-depth gate and ONE
+// memory pool shared by every in-flight request, replacing the per-request
+// ceilings as the daemon's saturation story. A request is admitted
+// (charging items + 1 depth units) before any engine work starts and
+// released on every exit path; when the gate is full the daemon answers a
+// typed RESOURCE_EXHAUSTED carrying the current depth, instead of queueing
+// unboundedly. The memory pool (a MemoryBudget) is attached to each
+// admitted request's ExecControl, so engine byte charges draw from the
+// daemon-wide pool AND the request's own optional ceiling; exhausting the
+// pool degrades only the charging request. Everything here is surfaced in
+// STAT (admission_* keys).
+#ifndef PROVVIEW_SERVER_ADMISSION_H_
+#define PROVVIEW_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/exec_control.h"
+#include "common/status.h"
+
+namespace provview {
+
+class AdmissionController {
+ public:
+  /// `max_depth` bounds the summed depth units of admitted requests;
+  /// `memory_bytes` <= 0 leaves the shared pool unbounded.
+  AdmissionController(int64_t max_depth, int64_t memory_bytes)
+      : max_depth_(max_depth), memory_(memory_bytes) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Reserves `units` of depth; RESOURCE_EXHAUSTED (with the current depth
+  /// in the message) when the gate cannot cover them. Balanced by
+  /// Release() on every exit path of the admitted request.
+  Status Admit(int64_t units) {
+    int64_t cur = depth_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cur + units > max_depth_) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return Status::ResourceExhausted(
+            "daemon saturated: admission depth " + std::to_string(cur) +
+            " of " + std::to_string(max_depth_) + " units");
+      }
+      if (depth_.compare_exchange_weak(cur, cur + units,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    const int64_t now = cur + units;
+    int64_t peak = peak_depth_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_depth_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+    return Status::OK();
+  }
+
+  void Release(int64_t units) {
+    depth_.fetch_sub(units, std::memory_order_acq_rel);
+  }
+
+  int64_t depth() const { return depth_.load(std::memory_order_relaxed); }
+  int64_t peak_depth() const {
+    return peak_depth_.load(std::memory_order_relaxed);
+  }
+  int64_t max_depth() const { return max_depth_; }
+  uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+  /// The daemon-wide engine-byte pool; attach to each admitted request's
+  /// ExecControl via set_shared_budget().
+  MemoryBudget* memory() { return &memory_; }
+  const MemoryBudget& memory() const { return memory_; }
+
+ private:
+  const int64_t max_depth_;
+  std::atomic<int64_t> depth_{0};
+  std::atomic<int64_t> peak_depth_{0};
+  std::atomic<uint64_t> rejected_{0};
+  MemoryBudget memory_;
+};
+
+/// RAII for the depth gate: admitted units are released on every exit path
+/// of a request handler.
+class AdmissionSlot {
+ public:
+  AdmissionSlot() = default;
+  AdmissionSlot(AdmissionController* controller, int64_t units)
+      : controller_(controller), units_(units) {}
+  AdmissionSlot(AdmissionSlot&& o) noexcept
+      : controller_(o.controller_), units_(o.units_) {
+    o.controller_ = nullptr;
+  }
+  AdmissionSlot& operator=(AdmissionSlot&& o) noexcept {
+    if (this != &o) {
+      reset();
+      controller_ = o.controller_;
+      units_ = o.units_;
+      o.controller_ = nullptr;
+    }
+    return *this;
+  }
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+  ~AdmissionSlot() { reset(); }
+
+  void reset() {
+    if (controller_ != nullptr) controller_->Release(units_);
+    controller_ = nullptr;
+  }
+
+ private:
+  AdmissionController* controller_ = nullptr;
+  int64_t units_ = 0;
+};
+
+}  // namespace provview
+
+#endif  // PROVVIEW_SERVER_ADMISSION_H_

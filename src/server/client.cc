@@ -139,4 +139,29 @@ Status PodsClient::Certify(const CertifyRequest& req, bool batch,
   return DecodeCertifyResponse(payload, out);
 }
 
+Status PodsClient::Register(const std::string& name,
+                            std::string_view workflow_bytes,
+                            RegisterResponse* out) {
+  RegisterRequest req;
+  req.name = name;
+  req.workflow_bytes.assign(workflow_bytes);
+  std::string body;
+  EncodeRegisterRequest(req, &body);
+  std::string payload;
+  const Status s = RoundTrip(
+      BuildRequestFrame(MessageType::kRegister, next_request_id_++, body),
+      &payload);
+  if (!s.ok()) return s;
+  if (out == nullptr) return Status::OK();
+  return DecodeRegisterResponse(payload, out);
+}
+
+Status PodsClient::Unregister(const std::string& name) {
+  std::string body;
+  EncodeUnregisterRequest(name, &body);
+  return RoundTrip(
+      BuildRequestFrame(MessageType::kUnregister, next_request_id_++, body),
+      nullptr);
+}
+
 }  // namespace provview

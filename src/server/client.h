@@ -38,6 +38,13 @@ class PodsClient {
   Status Stat(StatSnapshot* out);
   /// `batch` selects CERTIFY_BATCH (any item count) vs CERTIFY (exactly 1).
   Status Certify(const CertifyRequest& req, bool batch, CertifyResponse* out);
+  /// Registers a serialized workflow (SerializeWorkflowBinary bytes) under
+  /// `name`; the daemon's decode summary comes back in `*out` when
+  /// non-null. INVALID_ARGUMENT on a duplicate name or rejected bytes.
+  Status Register(const std::string& name, std::string_view workflow_bytes,
+                  RegisterResponse* out = nullptr);
+  /// NOT_FOUND when `name` is not registered.
+  Status Unregister(const std::string& name);
 
   // -- raw frame layer (fault-injection tests) ------------------------------
 

@@ -4,25 +4,17 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <exception>
-#include <vector>
-
-#include "common/bitset64.h"
-#include "common/exec_control.h"
-#include "common/task_graph.h"
-#include "privacy/workflow_privacy.h"
 
 namespace provview {
 
-Connection::Connection(int fd, const WorkflowRegistry* registry,
-                       DaemonStats* stats, TaskGraphExecutor* executor)
-    : fd_(fd), registry_(registry), stats_(stats), executor_(executor) {
-  stats_->connections_opened.fetch_add(1, std::memory_order_relaxed);
+Connection::Connection(int fd, const RequestContext& ctx)
+    : fd_(fd), ctx_(ctx) {
+  ctx_.stats->connections_opened.fetch_add(1, std::memory_order_relaxed);
 }
 
 Connection::~Connection() {
   if (fd_ >= 0) ::close(fd_);
-  stats_->connections_closed.fetch_add(1, std::memory_order_relaxed);
+  ctx_.stats->connections_closed.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool Connection::ReadExact(char* buf, size_t n) {
@@ -36,7 +28,7 @@ bool Connection::ReadExact(char* buf, size_t n) {
     if (got < 0 && errno == EINTR) continue;
     return false;  // peer closed or socket shut down
   }
-  stats_->bytes_received.fetch_add(n, std::memory_order_relaxed);
+  ctx_.stats->bytes_received.fetch_add(n, std::memory_order_relaxed);
   return true;
 }
 
@@ -52,7 +44,7 @@ bool Connection::WriteAll(std::string_view bytes) {
     if (sent < 0 && errno == EINTR) continue;
     return false;
   }
-  stats_->bytes_sent.fetch_add(bytes.size(), std::memory_order_relaxed);
+  ctx_.stats->bytes_sent.fetch_add(bytes.size(), std::memory_order_relaxed);
   return true;
 }
 
@@ -68,163 +60,16 @@ void Connection::Run() {
       // The stream can no longer be trusted (the next "frame" could start
       // anywhere): report once and close THIS connection. Other
       // connections are untouched.
-      stats_->rejected_frames.fetch_add(1, std::memory_order_relaxed);
-      stats_->RecordOutcome(framing);
+      ctx_.stats->rejected_frames.fetch_add(1, std::memory_order_relaxed);
+      ctx_.stats->RecordOutcome(framing);
       WriteAll(BuildResponseFrame(header.type, header.request_id, framing));
       return;
     }
     body.resize(header.body_len);
     if (header.body_len > 0 && !ReadExact(body.data(), body.size())) return;
-    const std::string response = HandleRequest(header, body);
+    const std::string response = HandleFrame(ctx_, header, body);
     if (!WriteAll(response)) return;
   }
-}
-
-std::string Connection::HandleRequest(const FrameHeader& header,
-                                      std::string_view body) {
-  // Request-level catch wall: whatever happens past this point poisons one
-  // reply, not the daemon. PV_CHECK aborts cannot be caught — which is why
-  // every engine entered from here runs in service mode (ExecControl
-  // attached) where guards return typed Status instead.
-  try {
-    switch (static_cast<MessageType>(header.type)) {
-      case MessageType::kPing: {
-        stats_->ping_requests.fetch_add(1, std::memory_order_relaxed);
-        const Status ok = Status::OK();
-        stats_->RecordOutcome(ok);
-        return BuildResponseFrame(header.type, header.request_id, ok);
-      }
-      case MessageType::kStat: {
-        stats_->stat_requests.fetch_add(1, std::memory_order_relaxed);
-        std::string payload;
-        EncodeStatResponse(stats_->Snapshot(registry_->verdict_cache()),
-                           &payload);
-        const Status ok = Status::OK();
-        stats_->RecordOutcome(ok);
-        return BuildResponseFrame(header.type, header.request_id, ok,
-                                  payload);
-      }
-      case MessageType::kCertify:
-        stats_->certify_requests.fetch_add(1, std::memory_order_relaxed);
-        return HandleCertify(header, body, /*batch=*/false);
-      case MessageType::kCertifyBatch:
-        stats_->batch_requests.fetch_add(1, std::memory_order_relaxed);
-        return HandleCertify(header, body, /*batch=*/true);
-      default: {
-        const Status status = Status::InvalidArgument(
-            "unknown request type " + std::to_string(header.type));
-        stats_->RecordOutcome(status);
-        return BuildResponseFrame(header.type, header.request_id, status);
-      }
-    }
-  } catch (const std::exception& e) {
-    const Status status =
-        Status::Internal(std::string("request failed: ") + e.what());
-    stats_->RecordOutcome(status);
-    return BuildResponseFrame(header.type, header.request_id, status);
-  } catch (...) {
-    const Status status = Status::Internal("request failed");
-    stats_->RecordOutcome(status);
-    return BuildResponseFrame(header.type, header.request_id, status);
-  }
-}
-
-std::string Connection::HandleCertify(const FrameHeader& header,
-                                      std::string_view body, bool batch) {
-  const auto fail = [&](const Status& status) {
-    stats_->RecordOutcome(status);
-    return BuildResponseFrame(header.type, header.request_id, status);
-  };
-
-  CertifyRequest req;
-  const Status decoded = DecodeCertifyRequest(body, batch, &req);
-  if (!decoded.ok()) return fail(decoded);
-
-  const RegisteredWorkflow* entry = registry_->Find(req.workflow);
-  if (entry == nullptr) {
-    return fail(Status::NotFound("unknown workflow '" + req.workflow + "'"));
-  }
-  const Workflow& workflow = *entry->workflow;
-  const int num_attrs = workflow.catalog()->size();
-
-  std::vector<WorkflowCertificationRequest> requests;
-  requests.reserve(req.items.size());
-  for (const CertifyItem& item : req.items) {
-    WorkflowCertificationRequest r;
-    r.gamma = item.gamma;
-    r.hidden = Bitset64(num_attrs);
-    for (uint32_t a : item.hidden_attrs) {
-      if (a >= static_cast<uint32_t>(num_attrs)) {
-        return fail(Status::InvalidArgument(
-            "hidden attr " + std::to_string(a) + " out of range for '" +
-            req.workflow + "' (" + std::to_string(num_attrs) + " attrs)"));
-      }
-      r.hidden.Set(static_cast<int>(a));
-    }
-    requests.push_back(std::move(r));
-  }
-
-  // Per-request control: deadline and budget live exactly as long as this
-  // request; a trip cannot leak into the next one.
-  ExecControl control;
-  if (req.deadline_ms > 0) control.set_deadline_ms(req.deadline_ms);
-  if (req.memory_budget > 0) control.set_memory_budget(req.memory_budget);
-
-  WorkflowBatchOptions opts;
-  opts.control = &control;
-  AdmissionTicket ticket;
-  if (executor_ != nullptr) {
-    // Shared-executor mode: pass the admission gate (one unit per item plus
-    // one for the request), then submit the batch's task graph into the
-    // daemon-wide executor with this thread helping.
-    const int64_t units = static_cast<int64_t>(req.items.size()) + 1;
-    if (!executor_->TryAdmit(units)) {
-      return fail(Status::ResourceExhausted(
-          "daemon saturated: admission gate full (max_pending " +
-          std::to_string(executor_->max_pending()) + " units)"));
-    }
-    ticket = AdmissionTicket(executor_, units);
-    opts.executor = executor_;
-    opts.num_threads = executor_->num_threads() + 1;  // workers + this thread
-  } else {
-    opts.num_threads = 1;  // inline: the daemon's parallelism is connections
-  }
-  WorkflowBatchResult result =
-      CertifyWorkflowBatch(workflow, requests, opts, entry->verdicts.get());
-
-  stats_->memo_checker_calls.fetch_add(
-      static_cast<uint64_t>(result.stats.checker_calls),
-      std::memory_order_relaxed);
-  stats_->memo_cache_hits.fetch_add(
-      static_cast<uint64_t>(result.stats.cache_hits),
-      std::memory_order_relaxed);
-  stats_->RecordPeakRequestBytes(
-      static_cast<uint64_t>(control.peak_bytes()));
-
-  if (!result.status.ok()) return fail(result.status);
-
-  CertifyResponse resp;
-  resp.checker_calls = static_cast<uint64_t>(result.stats.checker_calls);
-  resp.cache_hits = static_cast<uint64_t>(result.stats.cache_hits);
-  resp.entries.reserve(result.entries.size());
-  for (const WorkflowBatchEntry& e : result.entries) {
-    CertifyEntry out;
-    out.certified = e.certificate.certified;
-    out.module_gammas = e.certificate.module_gammas;
-    for (int m : e.certificate.required_privatizations) {
-      out.required_privatizations.push_back(static_cast<uint32_t>(m));
-    }
-    stats_->items_certified.fetch_add(out.certified ? 1 : 0,
-                                      std::memory_order_relaxed);
-    stats_->items_rejected.fetch_add(out.certified ? 0 : 1,
-                                     std::memory_order_relaxed);
-    resp.entries.push_back(std::move(out));
-  }
-  std::string payload;
-  EncodeCertifyResponse(resp, &payload);
-  const Status ok = Status::OK();
-  stats_->RecordOutcome(ok);
-  return BuildResponseFrame(header.type, header.request_id, ok, payload);
 }
 
 }  // namespace provview

@@ -1,9 +1,10 @@
-// One connected podsd client: reads frames, dispatches requests, writes
-// responses — and is the daemon's error-isolation boundary. The discipline
-// (borrowed from memcached): validate every external byte at this layer,
-// convert every failure into a per-connection or per-request error, and
-// never let one client's input take down the process or another client's
-// request.
+// One connected podsd client on the legacy blocking front-end: a dedicated
+// thread reads frames, dispatches requests through the shared HandleFrame
+// core, and writes responses — and is the daemon's error-isolation
+// boundary. The discipline (borrowed from memcached): validate every
+// external byte at this layer, convert every failure into a per-connection
+// or per-request error, and never let one client's input take down the
+// process or another client's request.
 //
 //   failure                          blast radius
 //   ------------------------------   -------------------------------------
@@ -12,6 +13,7 @@
 //   malformed request body           error response, connection survives
 //   unknown workflow name            NOT_FOUND response, connection survives
 //   deadline / memory budget trip    typed response, connection survives
+//   admission gate saturated         RESOURCE_EXHAUSTED, connection survives
 //   engine exception                 INTERNAL response, connection survives
 //   peer hangs up mid-frame          connection closes quietly
 #ifndef PROVVIEW_SERVER_CONNECTION_H_
@@ -21,24 +23,18 @@
 #include <string>
 #include <string_view>
 
+#include "server/handler.h"
 #include "server/protocol.h"
-#include "server/registry.h"
-#include "server/stats.h"
 
 namespace provview {
 
-class TaskGraphExecutor;
-
 class Connection {
  public:
-  /// Takes ownership of `fd` (closed when Run returns). `registry` and
-  /// `stats` must outlive the connection. `executor`, when non-null, is the
-  /// daemon's shared engine executor: certify requests pass its admission
-  /// gate (items + 1 units; RESOURCE_EXHAUSTED when saturated) and submit
-  /// their task graphs into it, this thread helping. Null = requests run
-  /// inline on this thread (the historical single-threaded engine mode).
-  Connection(int fd, const WorkflowRegistry* registry, DaemonStats* stats,
-             TaskGraphExecutor* executor = nullptr);
+  /// Takes ownership of `fd` (closed when Run returns). Everything in `ctx`
+  /// must outlive the connection. ctx.caller_helps should be true here:
+  /// this connection's thread is free to help the shared executor run the
+  /// request's own task graph.
+  Connection(int fd, const RequestContext& ctx);
   ~Connection();
 
   Connection(const Connection&) = delete;
@@ -52,18 +48,8 @@ class Connection {
   bool ReadExact(char* buf, size_t n);
   bool WriteAll(std::string_view bytes);
 
-  /// Dispatches one well-framed request; returns the response frame.
-  /// Exceptions from the engines are caught inside (the request-level
-  /// catch wall) and become INTERNAL responses.
-  std::string HandleRequest(const FrameHeader& header, std::string_view body);
-
-  std::string HandleCertify(const FrameHeader& header, std::string_view body,
-                            bool batch);
-
   int fd_;
-  const WorkflowRegistry* registry_;
-  DaemonStats* stats_;
-  TaskGraphExecutor* executor_;
+  RequestContext ctx_;
 };
 
 }  // namespace provview

@@ -11,17 +11,31 @@
 #include "common/task_graph.h"
 #include "common/thread_pool.h"
 #include "server/connection.h"
+#include "server/reactor.h"
 
 namespace provview {
 
-PodsDaemon::PodsDaemon(const WorkflowRegistry* registry)
+PodsDaemon::PodsDaemon(WorkflowRegistry* registry)
     : PodsDaemon(registry, Options{}) {}
 
-PodsDaemon::PodsDaemon(const WorkflowRegistry* registry,
-                       const Options& options)
-    : registry_(registry), options_(options) {}
+PodsDaemon::PodsDaemon(WorkflowRegistry* registry, const Options& options)
+    : registry_(registry),
+      options_(options),
+      admission_(options.max_pending, options.memory_budget) {}
 
 PodsDaemon::~PodsDaemon() { Stop(); }
+
+RequestContext PodsDaemon::MakeContext(bool caller_helps,
+                                       int reactor_threads) {
+  RequestContext ctx;
+  ctx.registry = registry_;
+  ctx.stats = &stats_;
+  ctx.executor = executor_.get();
+  ctx.admission = &admission_;
+  ctx.reactor_threads = reactor_threads;
+  ctx.caller_helps = caller_helps;
+  return ctx;
+}
 
 Status PodsDaemon::Start(uint16_t port) {
   if (options_.use_task_graph && executor_ == nullptr) {
@@ -29,11 +43,12 @@ Status PodsDaemon::Start(uint16_t port) {
                             ? options_.engine_threads
                             : ThreadPool::DefaultThreads() - 1;
     if (workers > 0) {
-      executor_ = std::make_unique<TaskGraphExecutor>(workers,
-                                                      options_.max_pending);
+      // No executor-level gate: request admission is the daemon's single
+      // saturation point now (admission_ in MakeContext).
+      executor_ = std::make_unique<TaskGraphExecutor>(workers);
     }
     // workers == 0: single-core host — helping alone covers it, so skip the
-    // executor and let connections run inline.
+    // executor and let requests run inline.
   }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -72,6 +87,12 @@ Status PodsDaemon::Start(uint16_t port) {
     return s;
   }
   port_ = ntohs(bound.sin_port);
+  if (options_.use_reactor) {
+    reactor_ = std::make_unique<Reactor>(
+        MakeContext(/*caller_helps=*/false, options_.reactor_threads),
+        options_.reactor_threads);
+    reactor_->Start();
+  }
   stopping_.store(false, std::memory_order_release);
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
@@ -91,6 +112,10 @@ void PodsDaemon::AcceptLoop() {
       ::close(fd);
       return;
     }
+    if (reactor_ != nullptr) {
+      reactor_->AddConnection(fd);  // takes ownership
+      continue;
+    }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     std::lock_guard<std::mutex> lock(mu_);
@@ -105,7 +130,8 @@ void PodsDaemon::ServeConnection(int fd, size_t slot) {
   {
     // Connection owns (and closes) fd; its destructor also bumps the
     // connections_closed counter.
-    Connection conn(fd, registry_, &stats_, executor_.get());
+    Connection conn(fd, MakeContext(/*caller_helps=*/true,
+                                    /*reactor_threads=*/0));
     conn.Run();
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -123,6 +149,12 @@ void PodsDaemon::Stop() {
     ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept()
   }
   if (acceptor_.joinable()) acceptor_.join();
+  if (reactor_ != nullptr) {
+    // Severs every reactor connection AND waits until each dispatched
+    // request's detached engine task has finished — only then is the
+    // executor safe to tear down.
+    reactor_->Stop();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (int fd : conn_fds_) {
@@ -139,9 +171,10 @@ void PodsDaemon::Stop() {
     conn_threads_.clear();
     conn_fds_.clear();
   }
-  // Every connection thread (hence every in-flight graph Run) is joined:
-  // the shared executor can now be torn down.
+  // Every in-flight request is drained (reactor) or joined (legacy): the
+  // shared executor can now be torn down.
   executor_.reset();
+  reactor_.reset();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;

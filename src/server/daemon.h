@@ -3,21 +3,27 @@
 // connection or request that caused it — the process degrades (typed error
 // responses, closed connections) instead of dying.
 //
-// Threading model: one acceptor thread plus one thread per connection,
-// plus (by default) one shared work-stealing TaskGraphExecutor that every
-// connection submits its request's task graph into — connection threads
-// help run their own graphs, so engine parallelism is work-conserving
-// across concurrent requests instead of per-request pools. A bounded
-// admission gate rejects work with RESOURCE_EXHAUSTED when the daemon is
-// saturated. On single-core hosts (or with use_task_graph off) requests run
-// inline on their connection thread, the historical model; either way the
-// registry's shared VerdictCache (striped shard locks, byte-budgeted
-// eviction) keeps concurrent requests against the same workflow
-// cache-coherent without per-module mutexes.
+// Threading model: one acceptor thread, a connection front-end, and (by
+// default) one shared work-stealing TaskGraphExecutor running the engine
+// work of every request. The default front-end is an epoll REACTOR: a
+// fixed pool of --reactor-threads threads multiplexes all connections, so
+// total thread count is bounded regardless of how many clients connect
+// (a thousand idle monitors cost zero threads); requests are dispatched
+// onto the executor as detached tasks and replies written back by the
+// reactor. The legacy thread-per-connection front-end survives behind
+// use_reactor = false (podsd --no-reactor) for A/B comparison — both call
+// the same HandleFrame core, so responses are byte-identical.
+//
+// Saturation is request-level, not per-request: ONE admission gate
+// (queue-depth units) and ONE memory pool are shared by every in-flight
+// request, whichever front-end carried it. A request that cannot be
+// admitted gets a typed RESOURCE_EXHAUSTED carrying the current depth;
+// engine byte charges draw from the shared pool in addition to any
+// per-request ceiling the client set. Both surface in STAT (admission_*).
 //
 // Stop() is safe from any thread and idempotent: it shuts down the listen
-// socket (unblocking accept), then shuts down every live connection socket
-// (unblocking their reads), then joins all threads.
+// socket (unblocking accept), stops the front-end (severing connections,
+// draining in-flight requests), then tears down the executor.
 #ifndef PROVVIEW_SERVER_DAEMON_H_
 #define PROVVIEW_SERVER_DAEMON_H_
 
@@ -29,45 +35,60 @@
 #include <vector>
 
 #include "common/status.h"
+#include "server/admission.h"
+#include "server/handler.h"
 #include "server/registry.h"
 #include "server/stats.h"
 
 namespace provview {
 
+class Reactor;
 class TaskGraphExecutor;
 
 class PodsDaemon {
  public:
   struct Options {
-    /// Submit certification work into one daemon-wide task-graph executor
-    /// (connection threads help run their own graphs). Off = every request
-    /// runs inline on its connection thread, the historical model.
+    /// Submit certification work into one daemon-wide task-graph executor.
+    /// Off = every request runs inline on the thread that carried it, the
+    /// historical model.
     bool use_task_graph = true;
     /// Executor worker threads. 0 = hardware concurrency minus one (the
     /// helping connection thread makes up the difference); when that
     /// resolves to zero workers — a single-core host — no executor is
     /// created and requests run inline.
     int engine_threads = 0;
-    /// Admission-gate capacity in request items: a certify request charges
-    /// items + 1 units up front and is rejected with RESOURCE_EXHAUSTED
-    /// when the gate is full, instead of queueing unboundedly.
+    /// Admission-gate capacity in depth units, shared by ALL in-flight
+    /// requests: a certify request charges items + 1 units up front, a
+    /// REGISTER charges 1, and either is rejected with RESOURCE_EXHAUSTED
+    /// (carrying the current depth) when the gate cannot cover it.
     int64_t max_pending = 4096;
+    /// Daemon-wide engine-byte pool shared by all in-flight requests
+    /// (attached to each request's ExecControl alongside its optional own
+    /// ceiling). <= 0 = unbounded.
+    int64_t memory_budget = 0;
+    /// Epoll reactor front-end (default): thread count bounded by
+    /// reactor_threads, not connection count. Off = legacy
+    /// thread-per-connection (podsd --no-reactor).
+    bool use_reactor = true;
+    int reactor_threads = 2;
   };
 
-  /// `registry` must outlive the daemon and be fully populated before
-  /// Start() — it is read lock-free by connection threads.
-  explicit PodsDaemon(const WorkflowRegistry* registry);
-  PodsDaemon(const WorkflowRegistry* registry, const Options& options);
+  /// `registry` must outlive the daemon and have its built-ins populated
+  /// before Start(); wire REGISTER/UNREGISTER mutate it afterwards behind
+  /// its own lock.
+  explicit PodsDaemon(WorkflowRegistry* registry);
+  PodsDaemon(WorkflowRegistry* registry, const Options& options);
   ~PodsDaemon();
 
   PodsDaemon(const PodsDaemon&) = delete;
   PodsDaemon& operator=(const PodsDaemon&) = delete;
 
   /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port, read back
-  /// via port()) and starts the acceptor thread.
+  /// via port()) and starts the front-end and acceptor threads.
   Status Start(uint16_t port = 0);
 
-  /// Stops accepting, severs live connections, joins all threads.
+  /// Stops accepting, severs live connections, drains in-flight requests,
+  /// joins all threads.
   void Stop();
 
   uint16_t port() const { return port_; }
@@ -75,25 +96,30 @@ class PodsDaemon {
   DaemonStats* mutable_stats() { return &stats_; }
   /// The shared engine executor; null when requests run inline.
   TaskGraphExecutor* executor() { return executor_.get(); }
+  const AdmissionController& admission() const { return admission_; }
 
  private:
   void AcceptLoop();
   void ServeConnection(int fd, size_t slot);
+  RequestContext MakeContext(bool caller_helps, int reactor_threads);
 
-  const WorkflowRegistry* registry_;
+  WorkflowRegistry* registry_;
   Options options_;
   DaemonStats stats_;
-  // Created in Start(), destroyed in Stop() after every connection thread
-  // (and thus every in-flight Run) has been joined.
+  AdmissionController admission_;
+  // Created in Start(), destroyed in Stop() after the front-end has
+  // drained every in-flight request.
   std::unique_ptr<TaskGraphExecutor> executor_;
+  std::unique_ptr<Reactor> reactor_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
 
-  // Live connection sockets, indexed by slot; -1 once a connection ends.
-  // Guarded by mu_ (Stop shuts these down to unblock reads).
+  // Legacy front-end state: live connection sockets, indexed by slot; -1
+  // once a connection ends. Guarded by mu_ (Stop shuts these down to
+  // unblock reads).
   std::mutex mu_;
   std::vector<int> conn_fds_;
   std::vector<std::thread> conn_threads_;

@@ -1,0 +1,228 @@
+#include "server/handler.h"
+
+#include <exception>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/bitset64.h"
+#include "common/exec_control.h"
+#include "common/task_graph.h"
+#include "privacy/workflow_privacy.h"
+#include "secureview/serialization.h"
+
+namespace provview {
+
+namespace {
+
+std::string HandleCertify(const RequestContext& ctx,
+                          const FrameHeader& header, std::string_view body,
+                          bool batch) {
+  DaemonStats* stats = ctx.stats;
+  const auto fail = [&](const Status& status) {
+    stats->RecordOutcome(status);
+    return BuildResponseFrame(header.type, header.request_id, status);
+  };
+
+  CertifyRequest req;
+  const Status decoded = DecodeCertifyRequest(body, batch, &req);
+  if (!decoded.ok()) return fail(decoded);
+
+  const std::shared_ptr<const RegisteredWorkflow> entry =
+      ctx.registry->Find(req.workflow);
+  if (entry == nullptr) {
+    return fail(Status::NotFound("unknown workflow '" + req.workflow + "'"));
+  }
+  const Workflow& workflow = *entry->workflow;
+  const int num_attrs = workflow.catalog()->size();
+
+  std::vector<WorkflowCertificationRequest> requests;
+  requests.reserve(req.items.size());
+  for (const CertifyItem& item : req.items) {
+    WorkflowCertificationRequest r;
+    r.gamma = item.gamma;
+    r.hidden = Bitset64(num_attrs);
+    for (uint32_t a : item.hidden_attrs) {
+      if (a >= static_cast<uint32_t>(num_attrs)) {
+        return fail(Status::InvalidArgument(
+            "hidden attr " + std::to_string(a) + " out of range for '" +
+            req.workflow + "' (" + std::to_string(num_attrs) + " attrs)"));
+      }
+      r.hidden.Set(static_cast<int>(a));
+    }
+    requests.push_back(std::move(r));
+  }
+
+  // Request-level admission: one depth unit per item plus one for the
+  // request itself, against the gate EVERY in-flight request shares.
+  const int64_t units = static_cast<int64_t>(req.items.size()) + 1;
+  const Status admitted = ctx.admission->Admit(units);
+  if (!admitted.ok()) return fail(admitted);
+  AdmissionSlot slot(ctx.admission, units);
+
+  // Per-request control: deadline and (optional) own ceiling live exactly
+  // as long as this request; a trip cannot leak into the next one. Engine
+  // byte charges additionally draw from the daemon-wide admission pool.
+  ExecControl control;
+  if (req.deadline_ms > 0) control.set_deadline_ms(req.deadline_ms);
+  if (req.memory_budget > 0) control.set_memory_budget(req.memory_budget);
+  control.set_shared_budget(ctx.admission->memory());
+
+  WorkflowBatchOptions opts;
+  opts.control = &control;
+  if (ctx.executor != nullptr) {
+    opts.executor = ctx.executor;
+    opts.num_threads =
+        ctx.executor->num_threads() + (ctx.caller_helps ? 1 : 0);
+  } else {
+    opts.num_threads = 1;  // inline: the daemon's parallelism is connections
+  }
+  WorkflowBatchResult result = CertifyWorkflowBatch(
+      workflow, requests, opts, entry->verdicts.get());
+
+  stats->memo_checker_calls.fetch_add(
+      static_cast<uint64_t>(result.stats.checker_calls),
+      std::memory_order_relaxed);
+  stats->memo_cache_hits.fetch_add(
+      static_cast<uint64_t>(result.stats.cache_hits),
+      std::memory_order_relaxed);
+  stats->RecordPeakRequestBytes(static_cast<uint64_t>(control.peak_bytes()));
+
+  if (!result.status.ok()) return fail(result.status);
+
+  CertifyResponse resp;
+  resp.checker_calls = static_cast<uint64_t>(result.stats.checker_calls);
+  resp.cache_hits = static_cast<uint64_t>(result.stats.cache_hits);
+  resp.entries.reserve(result.entries.size());
+  for (const WorkflowBatchEntry& e : result.entries) {
+    CertifyEntry out;
+    out.certified = e.certificate.certified;
+    out.module_gammas = e.certificate.module_gammas;
+    for (int m : e.certificate.required_privatizations) {
+      out.required_privatizations.push_back(static_cast<uint32_t>(m));
+    }
+    stats->items_certified.fetch_add(out.certified ? 1 : 0,
+                                     std::memory_order_relaxed);
+    stats->items_rejected.fetch_add(out.certified ? 0 : 1,
+                                    std::memory_order_relaxed);
+    resp.entries.push_back(std::move(out));
+  }
+  std::string payload;
+  EncodeCertifyResponse(resp, &payload);
+  const Status ok = Status::OK();
+  stats->RecordOutcome(ok);
+  return BuildResponseFrame(header.type, header.request_id, ok, payload);
+}
+
+std::string HandleRegister(const RequestContext& ctx,
+                           const FrameHeader& header, std::string_view body) {
+  const auto fail = [&](const Status& status) {
+    ctx.stats->RecordOutcome(status);
+    return BuildResponseFrame(header.type, header.request_id, status);
+  };
+  RegisterRequest req;
+  const Status decoded = DecodeRegisterRequest(body, &req);
+  if (!decoded.ok()) return fail(decoded);
+
+  // Decoding megabytes of tables and building the model is engine-class
+  // work: it passes the same gate as certification (one depth unit).
+  const Status admitted = ctx.admission->Admit(1);
+  if (!admitted.ok()) return fail(admitted);
+  AdmissionSlot slot(ctx.admission, 1);
+
+  Result<WorkflowBundle> bundle = DeserializeWorkflowBinary(req.workflow_bytes);
+  if (!bundle.ok()) return fail(bundle.status());
+
+  RegisterResponse resp;
+  resp.num_attrs = static_cast<uint32_t>(bundle.value().workflow->num_attrs());
+  resp.num_modules =
+      static_cast<uint32_t>(bundle.value().workflow->num_modules());
+  resp.num_private_modules = static_cast<uint32_t>(
+      bundle.value().workflow->PrivateModuleIndices().size());
+
+  const Status registered = ctx.registry->TryRegister(
+      req.name, std::move(bundle.value().catalog),
+      std::move(bundle.value().workflow));
+  if (!registered.ok()) return fail(registered);
+
+  std::string payload;
+  EncodeRegisterResponse(resp, &payload);
+  const Status ok = Status::OK();
+  ctx.stats->RecordOutcome(ok);
+  return BuildResponseFrame(header.type, header.request_id, ok, payload);
+}
+
+std::string HandleUnregister(const RequestContext& ctx,
+                             const FrameHeader& header,
+                             std::string_view body) {
+  std::string name;
+  Status status = DecodeUnregisterRequest(body, &name);
+  if (status.ok()) status = ctx.registry->Unregister(name);
+  ctx.stats->RecordOutcome(status);
+  return BuildResponseFrame(header.type, header.request_id, status);
+}
+
+}  // namespace
+
+std::string HandleFrame(const RequestContext& ctx, const FrameHeader& header,
+                        std::string_view body) {
+  DaemonStats* stats = ctx.stats;
+  // Request-level catch wall: whatever happens past this point poisons one
+  // reply, not the daemon. PV_CHECK aborts cannot be caught — which is why
+  // every engine entered from here runs in service mode (ExecControl
+  // attached) and every external byte is decoded by abort-free codecs.
+  try {
+    switch (static_cast<MessageType>(header.type)) {
+      case MessageType::kPing: {
+        stats->ping_requests.fetch_add(1, std::memory_order_relaxed);
+        const Status ok = Status::OK();
+        stats->RecordOutcome(ok);
+        return BuildResponseFrame(header.type, header.request_id, ok);
+      }
+      case MessageType::kStat: {
+        stats->stat_requests.fetch_add(1, std::memory_order_relaxed);
+        DaemonStats::StatContext sc;
+        sc.cache = ctx.registry->verdict_cache();
+        sc.admission = ctx.admission;
+        sc.workflows_registered =
+            static_cast<uint64_t>(ctx.registry->size());
+        sc.reactor_threads = static_cast<uint64_t>(ctx.reactor_threads);
+        std::string payload;
+        EncodeStatResponse(stats->Snapshot(sc), &payload);
+        const Status ok = Status::OK();
+        stats->RecordOutcome(ok);
+        return BuildResponseFrame(header.type, header.request_id, ok,
+                                  payload);
+      }
+      case MessageType::kCertify:
+        stats->certify_requests.fetch_add(1, std::memory_order_relaxed);
+        return HandleCertify(ctx, header, body, /*batch=*/false);
+      case MessageType::kCertifyBatch:
+        stats->batch_requests.fetch_add(1, std::memory_order_relaxed);
+        return HandleCertify(ctx, header, body, /*batch=*/true);
+      case MessageType::kRegister:
+        stats->register_requests.fetch_add(1, std::memory_order_relaxed);
+        return HandleRegister(ctx, header, body);
+      case MessageType::kUnregister:
+        stats->unregister_requests.fetch_add(1, std::memory_order_relaxed);
+        return HandleUnregister(ctx, header, body);
+      default: {
+        const Status status = Status::InvalidArgument(
+            "unknown request type " + std::to_string(header.type));
+        stats->RecordOutcome(status);
+        return BuildResponseFrame(header.type, header.request_id, status);
+      }
+    }
+  } catch (const std::exception& e) {
+    const Status status =
+        Status::Internal(std::string("request failed: ") + e.what());
+    stats->RecordOutcome(status);
+    return BuildResponseFrame(header.type, header.request_id, status);
+  } catch (...) {
+    const Status status = Status::Internal("request failed");
+    stats->RecordOutcome(status);
+    return BuildResponseFrame(header.type, header.request_id, status);
+  }
+}
+
+}  // namespace provview

@@ -1,0 +1,50 @@
+// The daemon's request core, shared by both connection front-ends: the
+// legacy blocking thread-per-connection loop (connection.h) and the epoll
+// reactor (reactor.h) parse frames their own way, then hand every
+// well-framed request here. One implementation means one blast-radius
+// table: malformed body / unknown type / unknown workflow / tripped
+// control / engine exception all become the same typed response bytes no
+// matter which front-end carried the frame — which is what lets the
+// reactor-vs-legacy A/B equivalence test compare responses byte for byte.
+#ifndef PROVVIEW_SERVER_HANDLER_H_
+#define PROVVIEW_SERVER_HANDLER_H_
+
+#include <string>
+#include <string_view>
+
+#include "server/admission.h"
+#include "server/protocol.h"
+#include "server/registry.h"
+#include "server/stats.h"
+
+namespace provview {
+
+class TaskGraphExecutor;
+
+/// Everything a request needs, owned by the daemon and outliving every
+/// connection.
+struct RequestContext {
+  WorkflowRegistry* registry = nullptr;
+  DaemonStats* stats = nullptr;
+  /// Shared engine executor; null = engines run inline on the calling
+  /// thread (single-core hosts / use_task_graph off).
+  TaskGraphExecutor* executor = nullptr;
+  /// The request-level admission gate + shared memory pool (never null).
+  AdmissionController* admission = nullptr;
+  /// Reported in STAT; 0 = legacy thread-per-connection mode.
+  int reactor_threads = 0;
+  /// True when the calling thread is free to help the executor run its own
+  /// graph (a dedicated connection thread). False when the caller IS an
+  /// executor worker (the reactor dispatch path) — it already counts.
+  bool caller_helps = true;
+};
+
+/// Dispatches one well-framed request and returns the complete response
+/// frame. Exceptions from the engines are caught inside (the request-level
+/// catch wall) and become INTERNAL responses; this never throws.
+std::string HandleFrame(const RequestContext& ctx, const FrameHeader& header,
+                        std::string_view body);
+
+}  // namespace provview
+
+#endif  // PROVVIEW_SERVER_HANDLER_H_

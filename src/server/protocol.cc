@@ -225,6 +225,55 @@ Status DecodeCertifyResponse(std::string_view payload, CertifyResponse* out) {
   return r.ExpectEnd();
 }
 
+void EncodeRegisterRequest(const RegisterRequest& req, std::string* body) {
+  WireWriter w(body);
+  w.PutString(req.name);
+  body->append(req.workflow_bytes);
+}
+
+Status DecodeRegisterRequest(std::string_view body, RegisterRequest* out) {
+  WireReader r(body);
+  PV_RETURN_IF_ERROR(r.ReadString(&out->name, kMaxWorkflowNameLen));
+  if (out->name.empty()) {
+    return Status::InvalidArgument("empty workflow name");
+  }
+  if (r.remaining() == 0) {
+    return Status::InvalidArgument("missing workflow bytes");
+  }
+  out->workflow_bytes.assign(body.substr(r.position()));
+  return Status::OK();
+}
+
+void EncodeRegisterResponse(const RegisterResponse& resp, std::string* body) {
+  WireWriter w(body);
+  w.PutU32(resp.num_attrs);
+  w.PutU32(resp.num_modules);
+  w.PutU32(resp.num_private_modules);
+}
+
+Status DecodeRegisterResponse(std::string_view payload,
+                              RegisterResponse* out) {
+  WireReader r(payload);
+  PV_RETURN_IF_ERROR(r.ReadU32(&out->num_attrs));
+  PV_RETURN_IF_ERROR(r.ReadU32(&out->num_modules));
+  PV_RETURN_IF_ERROR(r.ReadU32(&out->num_private_modules));
+  return r.ExpectEnd();
+}
+
+void EncodeUnregisterRequest(const std::string& name, std::string* body) {
+  WireWriter w(body);
+  w.PutString(name);
+}
+
+Status DecodeUnregisterRequest(std::string_view body, std::string* name) {
+  WireReader r(body);
+  PV_RETURN_IF_ERROR(r.ReadString(name, kMaxWorkflowNameLen));
+  if (name->empty()) {
+    return Status::InvalidArgument("empty workflow name");
+  }
+  return r.ExpectEnd();
+}
+
 void EncodeStatResponse(const StatSnapshot& stats, std::string* body) {
   WireWriter w(body);
   w.PutU32(static_cast<uint32_t>(stats.size()));

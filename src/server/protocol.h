@@ -47,6 +47,8 @@ enum class MessageType : uint16_t {
   kStat = 2,          ///< introspection; response lists key/value counters
   kCertify = 3,       ///< one certification request
   kCertifyBatch = 4,  ///< many certification requests, one engine pass
+  kRegister = 5,      ///< bind a serialized workflow under a new name
+  kUnregister = 6,    ///< drop a wire-registered workflow by name
 };
 
 struct FrameHeader {
@@ -123,6 +125,35 @@ struct CertifyResponse {
 
 void EncodeCertifyResponse(const CertifyResponse& resp, std::string* body);
 Status DecodeCertifyResponse(std::string_view payload, CertifyResponse* out);
+
+// -- registration -----------------------------------------------------------
+
+/// Body of REGISTER: the handle to serve the workflow under, then the
+/// SerializeWorkflowBinary bytes (no inner length prefix — the frame's
+/// body_len bounds them). The workflow bytes are validated by the workflow
+/// codec, which applies the same bounds-checked decoder discipline as this
+/// layer before any model object is built.
+struct RegisterRequest {
+  std::string name;
+  std::string workflow_bytes;
+};
+
+void EncodeRegisterRequest(const RegisterRequest& req, std::string* body);
+Status DecodeRegisterRequest(std::string_view body, RegisterRequest* out);
+
+/// OK-payload of a REGISTER response: shape of the accepted workflow.
+struct RegisterResponse {
+  uint32_t num_attrs = 0;
+  uint32_t num_modules = 0;
+  uint32_t num_private_modules = 0;
+};
+
+void EncodeRegisterResponse(const RegisterResponse& resp, std::string* body);
+Status DecodeRegisterResponse(std::string_view payload, RegisterResponse* out);
+
+/// Body of UNREGISTER: just the handle. The response carries no payload.
+void EncodeUnregisterRequest(const std::string& name, std::string* body);
+Status DecodeUnregisterRequest(std::string_view body, std::string* name);
 
 // -- stat -------------------------------------------------------------------
 

@@ -14,28 +14,72 @@ WorkflowRegistry::WorkflowRegistry()
 WorkflowRegistry::WorkflowRegistry(const VerdictCacheConfig& config)
     : cache_(std::make_shared<VerdictCache>(config)) {}
 
-void WorkflowRegistry::Register(std::string name, CatalogPtr catalog,
-                                WorkflowPtr workflow) {
-  auto entry = std::make_unique<RegisteredWorkflow>();
-  entry->name = name;
+std::shared_ptr<RegisteredWorkflow> WorkflowRegistry::MakeEntry(
+    std::string name, CatalogPtr catalog, WorkflowPtr workflow) {
+  // Built OUTSIDE the registry lock: binding the cache namespaces walks the
+  // workflow's private modules, and lookups must not wait on that.
+  auto entry = std::make_shared<RegisteredWorkflow>();
+  entry->name = std::move(name);
   entry->catalog = std::move(catalog);
   entry->workflow = std::move(workflow);
   entry->verdicts = std::make_unique<WorkflowCacheNamespace>(
       *entry->workflow, cache_, entry->name);
-  entries_[std::move(name)] = std::move(entry);
+  return entry;
 }
 
-const RegisteredWorkflow* WorkflowRegistry::Find(
-    const std::string& name) const {
+void WorkflowRegistry::Register(std::string name, CatalogPtr catalog,
+                                WorkflowPtr workflow) {
+  auto entry =
+      MakeEntry(std::move(name), std::move(catalog), std::move(workflow));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  entries_[entry->name] = std::move(entry);
+}
+
+Status WorkflowRegistry::TryRegister(std::string name, CatalogPtr catalog,
+                                     WorkflowPtr workflow) {
+  auto entry =
+      MakeEntry(std::move(name), std::move(catalog), std::move(workflow));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto [it, inserted] = entries_.emplace(entry->name, nullptr);
+  if (!inserted) {
+    return Status::InvalidArgument("workflow '" + entry->name +
+                                   "' is already registered; unregister it "
+                                   "first");
+  }
+  it->second = std::move(entry);
+  return Status::OK();
+}
+
+Status WorkflowRegistry::Unregister(const std::string& name) {
+  std::shared_ptr<RegisteredWorkflow> doomed;  // destroyed after the lock
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = entries_.find(name);
-  return it == entries_.end() ? nullptr : it->second.get();
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown workflow '" + name + "'");
+  }
+  doomed = std::move(it->second);
+  entries_.erase(it);
+  return Status::OK();
+}
+
+std::shared_ptr<const RegisteredWorkflow> WorkflowRegistry::Find(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second;
 }
 
 std::vector<std::string> WorkflowRegistry::Names() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) names.push_back(name);
   return names;
+}
+
+size_t WorkflowRegistry::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_.size();
 }
 
 void WorkflowRegistry::RegisterBuiltins() {

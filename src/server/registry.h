@@ -1,22 +1,26 @@
 // Named workflows a podsd instance serves. Module functions are arbitrary
-// C++ and cannot travel over the wire, so the daemon certifies against
-// pre-registered workflows: a CERTIFY request names one and supplies only
-// the hidden attribute set and Γ. The registry owns ONE VerdictCache
+// C++ and cannot travel over the wire intensionally, so the daemon certifies
+// against registered workflows: the fixed-seed built-ins compiled in at
+// startup, plus workflows REGISTERed over the wire as extensional tables
+// (the SerializeWorkflowBinary codec). The registry owns ONE VerdictCache
 // shared by every registered workflow — each entry binds a
 // WorkflowCacheNamespace into it, so repeated certifications of the same
 // workflow (across requests AND connections) answer from settled verdicts
 // instead of re-running Algorithm 2, and a byte budget on the cache bounds
 // the daemon's total verdict memory (eviction only forgets verdicts).
 //
-// The registry is immutable once the daemon starts serving (Register is
-// not thread-safe; Find is lock-free and safe from any number of
-// connection threads afterwards; the cache itself is striped-locked and
-// safe for concurrent certifications).
+// Thread-safety: the map is guarded by a shared_mutex (REGISTER/UNREGISTER
+// take it exclusive, every lookup shared) and entries are handed out as
+// shared_ptr — a request certifying against a workflow keeps its entry
+// alive even if a concurrent UNREGISTER drops it from the map mid-flight.
+// The cache itself is striped-locked and safe for concurrent
+// certifications.
 #ifndef PROVVIEW_SERVER_REGISTRY_H_
 #define PROVVIEW_SERVER_REGISTRY_H_
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -43,14 +47,27 @@ class WorkflowRegistry {
   /// daemon's total verdict memory across all workflows.
   explicit WorkflowRegistry(const VerdictCacheConfig& config);
 
-  /// Takes ownership; replaces any previous entry of the same name.
+  /// Takes ownership; replaces any previous entry of the same name. The
+  /// startup registration path (built-ins, test fixtures).
   void Register(std::string name, CatalogPtr catalog, WorkflowPtr workflow);
 
+  /// The wire REGISTER path: like Register but a duplicate name is a typed
+  /// rejection (replacing a workflow other connections may be certifying
+  /// against must be an explicit UNREGISTER + REGISTER).
+  Status TryRegister(std::string name, CatalogPtr catalog,
+                     WorkflowPtr workflow);
+
+  /// Drops an entry; NOT_FOUND when the name is unknown. In-flight
+  /// requests holding the entry's shared_ptr finish against it safely.
+  Status Unregister(const std::string& name);
+
   /// nullptr when the name is unknown (the caller maps this to NOT_FOUND).
-  const RegisteredWorkflow* Find(const std::string& name) const;
+  /// The returned entry stays valid even if concurrently unregistered.
+  std::shared_ptr<const RegisteredWorkflow> Find(
+      const std::string& name) const;
 
   std::vector<std::string> Names() const;
-  size_t size() const { return entries_.size(); }
+  size_t size() const;
 
   /// The cache all registered workflows share (never null).
   VerdictCache* verdict_cache() const { return cache_.get(); }
@@ -61,8 +78,13 @@ class WorkflowRegistry {
   void RegisterBuiltins();
 
  private:
+  std::shared_ptr<RegisteredWorkflow> MakeEntry(std::string name,
+                                                CatalogPtr catalog,
+                                                WorkflowPtr workflow);
+
   std::shared_ptr<VerdictCache> cache_;
-  std::map<std::string, std::unique_ptr<RegisteredWorkflow>> entries_;
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::shared_ptr<RegisteredWorkflow>> entries_;
 };
 
 }  // namespace provview

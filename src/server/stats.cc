@@ -3,6 +3,7 @@
 #include <string>
 
 #include "privacy/verdict_cache.h"
+#include "server/admission.h"
 
 namespace provview {
 
@@ -30,6 +31,13 @@ void DaemonStats::RecordOutcome(const Status& status) {
 }
 
 StatSnapshot DaemonStats::Snapshot(const VerdictCache* cache) const {
+  StatContext ctx;
+  ctx.cache = cache;
+  return Snapshot(ctx);
+}
+
+StatSnapshot DaemonStats::Snapshot(const StatContext& ctx) const {
+  const VerdictCache* cache = ctx.cache;
   const auto get = [](const std::atomic<uint64_t>& a) {
     return a.load(std::memory_order_relaxed);
   };
@@ -55,12 +63,15 @@ StatSnapshot DaemonStats::Snapshot(const VerdictCache* cache) const {
       {"bytes_sent", get(bytes_sent)},
       {"peak_request_bytes", peak_request_bytes()},
   };
+  const auto u64 = [](int64_t v) {
+    return v < 0 ? uint64_t{0} : static_cast<uint64_t>(v);
+  };
+  if (cache != nullptr || ctx.admission != nullptr) {
+    snap.emplace_back("stat_version",
+                      ctx.admission != nullptr ? uint64_t{3} : uint64_t{2});
+  }
   if (cache != nullptr) {
     const VerdictCacheStats cs = cache->Stats();
-    const auto u64 = [](int64_t v) {
-      return v < 0 ? uint64_t{0} : static_cast<uint64_t>(v);
-    };
-    snap.emplace_back("stat_version", uint64_t{2});
     snap.emplace_back("verdict_cache_byte_budget",
                       cache->bounded() ? u64(cs.byte_budget) : uint64_t{0});
     snap.emplace_back("verdict_cache_bytes", u64(cs.bytes_in_use));
@@ -78,6 +89,24 @@ StatSnapshot DaemonStats::Snapshot(const VerdictCache* cache) const {
     };
     per_class("signature", cs.signature);
     per_class("projection", cs.projection);
+  }
+  if (ctx.admission != nullptr) {
+    // stat_version 3: wire registration, request-level admission, reactor.
+    const AdmissionController& adm = *ctx.admission;
+    snap.emplace_back("workflows_registered", ctx.workflows_registered);
+    snap.emplace_back("register_requests", get(register_requests));
+    snap.emplace_back("unregister_requests", get(unregister_requests));
+    snap.emplace_back("admission_depth", u64(adm.depth()));
+    snap.emplace_back("admission_peak_depth", u64(adm.peak_depth()));
+    snap.emplace_back("admission_max_depth", u64(adm.max_depth()));
+    snap.emplace_back("admission_rejected", adm.rejected());
+    const MemoryBudget& pool = adm.memory();
+    snap.emplace_back("admission_memory_budget",
+                      pool.bounded() ? u64(pool.budget()) : uint64_t{0});
+    snap.emplace_back("admission_memory_bytes", u64(pool.bytes_in_use()));
+    snap.emplace_back("admission_memory_peak_bytes", u64(pool.peak_bytes()));
+    snap.emplace_back("admission_memory_exhausted", pool.exhausted_charges());
+    snap.emplace_back("reactor_threads", ctx.reactor_threads);
   }
   return snap;
 }

@@ -12,6 +12,7 @@
 
 namespace provview {
 
+class AdmissionController;
 class VerdictCache;
 
 class DaemonStats {
@@ -29,6 +30,8 @@ class DaemonStats {
   std::atomic<uint64_t> stat_requests{0};
   std::atomic<uint64_t> certify_requests{0};
   std::atomic<uint64_t> batch_requests{0};
+  std::atomic<uint64_t> register_requests{0};
+  std::atomic<uint64_t> unregister_requests{0};
 
   /// Per-item verdicts across all certification responses.
   std::atomic<uint64_t> items_certified{0};
@@ -60,12 +63,25 @@ class DaemonStats {
   /// counters.
   void RecordOutcome(const Status& status);
 
+  /// Everything beyond the counters that the STAT snapshot reports: the
+  /// shared verdict cache, the admission controller, the live registry
+  /// size, and the reactor thread count (0 = legacy thread-per-connection
+  /// mode). All optional — absent members skip their section.
+  struct StatContext {
+    const VerdictCache* cache = nullptr;
+    const AdmissionController* admission = nullptr;
+    uint64_t workflows_registered = 0;
+    uint64_t reactor_threads = 0;
+  };
+
   /// Key/value rendering for the STAT response (stable key order). When
   /// `cache` is non-null, appends the versioned verdict-cache section:
   /// a `stat_version` marker followed by `verdict_cache_*` keys. Sections
   /// are append-only — parsers keying off names (podsctl) never break, and
-  /// `stat_version` tells newer tooling which sections to expect.
+  /// `stat_version` tells newer tooling which sections to expect
+  /// (2 = verdict cache; 3 = + registration/admission/reactor).
   StatSnapshot Snapshot(const VerdictCache* cache = nullptr) const;
+  StatSnapshot Snapshot(const StatContext& ctx) const;
 
  private:
   std::atomic<uint64_t> peak_request_bytes_{0};

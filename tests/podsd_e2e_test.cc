@@ -13,6 +13,7 @@
 
 #include "common/rng.h"
 #include "privacy/workflow_privacy.h"
+#include "secureview/serialization.h"
 #include "server/client.h"
 #include "server/daemon.h"
 #include "server/protocol.h"
@@ -346,7 +347,7 @@ TEST(PodsdE2eTest, MemoBankSharesVerdictsAcrossConnections) {
   EXPECT_GT(cold.checker_calls, 0u);
 
   // A DIFFERENT connection asking the same question answers from the
-  // shared WorkflowMemoBank: zero fresh checker calls.
+  // shared WorkflowCacheNamespace: zero fresh checker calls.
   PodsClient second;
   ASSERT_TRUE(second.Connect(daemon.port()).ok());
   CertifyResponse warm;
@@ -417,7 +418,7 @@ TEST(PodsdE2eTest, BudgetedCacheServesConcurrentConnections) {
     return 0;
   };
   EXPECT_GT(counter("requests_total"), 0u);  // historical section intact
-  EXPECT_EQ(counter("stat_version"), 2u);
+  EXPECT_EQ(counter("stat_version"), 3u);
   EXPECT_EQ(counter("verdict_cache_byte_budget"),
             static_cast<uint64_t>(config.byte_budget));
   EXPECT_LE(counter("verdict_cache_bytes"),
@@ -425,6 +426,122 @@ TEST(PodsdE2eTest, BudgetedCacheServesConcurrentConnections) {
   EXPECT_GT(counter("verdict_cache_signature_hits") +
                 counter("verdict_cache_projection_hits"),
             0u);
+
+  daemon.Stop();
+}
+
+TEST(PodsdE2eTest, RegisteredWorkflowMatchesBuiltinVerdicts) {
+  // The ISSUE acceptance bar for wire registration: serialize the builtin
+  // fig1, REGISTER it under a new name over the wire, and certify every
+  // hidden subset against BOTH names — all response fields must be
+  // identical, and both must match the direct engine. A workflow that
+  // traveled as bytes is indistinguishable from one compiled in.
+  WorkflowRegistry registry;
+  registry.RegisterBuiltins();
+  PodsDaemon daemon(&registry);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  Fig1Workflow fig1 = MakeFig1Workflow();
+  const int attrs[] = {fig1.a3, fig1.a4, fig1.a5, fig1.a6, fig1.a7};
+  const std::vector<CertifyEntry> expected = DirectVerdicts(fig1, attrs);
+
+  std::string bytes;
+  ASSERT_TRUE(SerializeWorkflowBinary(*fig1.workflow, &bytes).ok());
+
+  PodsClient client;
+  ASSERT_TRUE(client.Connect(daemon.port()).ok());
+  RegisterResponse reg;
+  ASSERT_TRUE(client.Register("fig1-wire", bytes, &reg).ok());
+  EXPECT_EQ(reg.num_attrs,
+            static_cast<uint32_t>(fig1.workflow->num_attrs()));
+  EXPECT_EQ(reg.num_modules,
+            static_cast<uint32_t>(fig1.workflow->num_modules()));
+  EXPECT_EQ(reg.num_private_modules,
+            fig1.workflow->PrivateModuleIndices().size());
+
+  // Duplicate names are a typed rejection, not a silent replace.
+  EXPECT_EQ(client.Register("fig1-wire", bytes).code(),
+            StatusCode::kInvalidArgument);
+
+  for (uint32_t mask = 0; mask < kNumMasks; ++mask) {
+    CertifyRequest builtin_req, wire_req;
+    builtin_req.workflow = "fig1";
+    wire_req.workflow = "fig1-wire";
+    builtin_req.items.push_back(ItemForMask(mask, attrs));
+    wire_req.items.push_back(ItemForMask(mask, attrs));
+    CertifyResponse builtin_resp, wire_resp;
+    ASSERT_TRUE(
+        client.Certify(builtin_req, /*batch=*/false, &builtin_resp).ok());
+    ASSERT_TRUE(client.Certify(wire_req, /*batch=*/false, &wire_resp).ok());
+    ASSERT_EQ(wire_resp.entries.size(), 1u);
+    EXPECT_EQ(wire_resp.entries[0].certified, expected[mask].certified);
+    EXPECT_EQ(wire_resp.entries[0].certified,
+              builtin_resp.entries[0].certified);
+    EXPECT_EQ(wire_resp.entries[0].module_gammas,
+              builtin_resp.entries[0].module_gammas);
+    EXPECT_EQ(wire_resp.entries[0].required_privatizations,
+              builtin_resp.entries[0].required_privatizations);
+  }
+
+  // STAT sees the registration: builtins + the wire workflow.
+  StatSnapshot stats;
+  ASSERT_TRUE(client.Stat(&stats).ok());
+  uint64_t registered = 0, register_reqs = 0;
+  for (const auto& [k, v] : stats) {
+    if (k == "workflows_registered") registered = v;
+    if (k == "register_requests") register_reqs = v;
+  }
+  EXPECT_EQ(registered, registry.size());
+  EXPECT_EQ(register_reqs, 2u);  // one accepted, one duplicate-rejected
+
+  daemon.Stop();
+}
+
+TEST(PodsdE2eTest, UnregisterDropsWorkflowAndSurvivesInFlightUse) {
+  WorkflowRegistry registry;
+  registry.RegisterBuiltins();
+  PodsDaemon daemon(&registry);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  Fig1Workflow fig1 = MakeFig1Workflow();
+  const int attrs[] = {fig1.a3, fig1.a4, fig1.a5, fig1.a6, fig1.a7};
+  std::string bytes;
+  ASSERT_TRUE(SerializeWorkflowBinary(*fig1.workflow, &bytes).ok());
+
+  PodsClient client;
+  ASSERT_TRUE(client.Connect(daemon.port()).ok());
+  ASSERT_TRUE(client.Register("ephemeral", bytes).ok());
+
+  CertifyRequest req;
+  req.workflow = "ephemeral";
+  req.items.push_back(ItemForMask(0b01011, attrs));
+  CertifyResponse resp;
+  ASSERT_TRUE(client.Certify(req, /*batch=*/false, &resp).ok());
+
+  // Certifiers race UNREGISTER from another connection: each request either
+  // completes against the entry it found (shared_ptr keeps it alive) or
+  // answers NOT_FOUND — never anything worse.
+  std::thread hammer([&] {
+    PodsClient racer;
+    ASSERT_TRUE(racer.Connect(daemon.port()).ok());
+    for (int i = 0; i < 50; ++i) {
+      CertifyResponse r;
+      const Status s = racer.Certify(req, /*batch=*/false, &r);
+      EXPECT_TRUE(s.ok() || s.code() == StatusCode::kNotFound)
+          << s.message();
+    }
+  });
+  PodsClient dropper;
+  ASSERT_TRUE(dropper.Connect(daemon.port()).ok());
+  EXPECT_TRUE(dropper.Unregister("ephemeral").ok());
+  hammer.join();
+
+  // Gone: certify and re-unregister both answer NOT_FOUND; re-register
+  // under the same name works again.
+  EXPECT_EQ(client.Certify(req, /*batch=*/false, &resp).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(client.Unregister("ephemeral").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(client.Register("ephemeral", bytes).ok());
 
   daemon.Stop();
 }

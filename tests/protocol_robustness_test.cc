@@ -9,10 +9,12 @@
 #include <string_view>
 
 #include "common/rng.h"
+#include "secureview/serialization.h"
 #include "server/client.h"
 #include "server/daemon.h"
 #include "server/protocol.h"
 #include "server/registry.h"
+#include "workflow/fig1_workflow.h"
 
 namespace provview {
 namespace {
@@ -189,6 +191,140 @@ TEST(CertifyRequestTest, ForgedCountsCannotForceAllocation) {
   for (size_t i = 0; i < 4; ++i) forged[count_off + i] = '\xFF';
   EXPECT_FALSE(
       DecodeCertifyRequest(forged, /*batch=*/true, &batch_out).ok());
+}
+
+// -- register / unregister --------------------------------------------------
+
+std::string SampleWorkflowBytes() {
+  const Fig1Workflow fig1 = MakeFig1Workflow();
+  std::string bytes;
+  EXPECT_TRUE(SerializeWorkflowBinary(*fig1.workflow, &bytes).ok());
+  return bytes;
+}
+
+TEST(RegisterRequestTest, RoundTrip) {
+  RegisterRequest req;
+  req.name = "uploaded";
+  req.workflow_bytes = SampleWorkflowBytes();
+  std::string body;
+  EncodeRegisterRequest(req, &body);
+  RegisterRequest out;
+  ASSERT_TRUE(DecodeRegisterRequest(body, &out).ok());
+  EXPECT_EQ(out.name, "uploaded");
+  EXPECT_EQ(out.workflow_bytes, req.workflow_bytes);
+}
+
+TEST(RegisterRequestTest, EveryTruncationIsRejectedSomewhere) {
+  // The register body is name + raw workflow bytes, so a prefix that cuts
+  // inside the workflow payload still decodes at the protocol layer — the
+  // guarantee is layered: EVERY strict prefix must fail either the request
+  // decode or the workflow deserialize. No prefix may produce a workflow.
+  RegisterRequest req;
+  req.name = "uploaded";
+  req.workflow_bytes = SampleWorkflowBytes();
+  std::string body;
+  EncodeRegisterRequest(req, &body);
+  for (size_t len = 0; len < body.size(); ++len) {
+    RegisterRequest out;
+    const Status decoded = DecodeRegisterRequest(body.substr(0, len), &out);
+    if (!decoded.ok()) continue;
+    EXPECT_FALSE(DeserializeWorkflowBinary(out.workflow_bytes).ok())
+        << "prefix of " << len << " bytes produced a workflow";
+  }
+}
+
+TEST(RegisterRequestTest, RejectsEmptyNameAndMissingBytes) {
+  RegisterRequest req;
+  req.name = "";
+  req.workflow_bytes = "x";
+  std::string body;
+  EncodeRegisterRequest(req, &body);
+  RegisterRequest out;
+  EXPECT_EQ(DecodeRegisterRequest(body, &out).code(),
+            StatusCode::kInvalidArgument);
+
+  RegisterRequest no_bytes;
+  no_bytes.name = "named";
+  std::string body2;
+  EncodeRegisterRequest(no_bytes, &body2);
+  EXPECT_EQ(DecodeRegisterRequest(body2, &out).code(),
+            StatusCode::kInvalidArgument);
+
+  RegisterRequest long_name;
+  long_name.name.assign(kMaxWorkflowNameLen + 1, 'n');
+  long_name.workflow_bytes = "x";
+  std::string body3;
+  EncodeRegisterRequest(long_name, &body3);
+  EXPECT_EQ(DecodeRegisterRequest(body3, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RegisterRequestTest, WorkflowByteFlipFuzzNeverCrashes) {
+  // Byte-flip fuzz across the FULL register path — request decode plus
+  // workflow deserialize. Hostile bytes must come back as a typed Status
+  // (or a clean decode of a different valid workflow), never a crash or a
+  // PV_CHECK abort.
+  RegisterRequest req;
+  req.name = "fuzzed";
+  req.workflow_bytes = SampleWorkflowBytes();
+  std::string body;
+  EncodeRegisterRequest(req, &body);
+
+  Rng rng(0x72656766u);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = body;
+    const int flips = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.NextBelow(mutated.size());
+      mutated[pos] ^= static_cast<char>(1u << rng.NextBelow(8));
+    }
+    RegisterRequest out;
+    if (DecodeRegisterRequest(mutated, &out).ok()) {
+      (void)DeserializeWorkflowBinary(out.workflow_bytes);  // must not crash
+    }
+  }
+}
+
+TEST(RegisterResponseTest, RoundTripAndTruncationSweep) {
+  RegisterResponse resp;
+  resp.num_attrs = 9;
+  resp.num_modules = 4;
+  resp.num_private_modules = 3;
+  std::string body;
+  EncodeRegisterResponse(resp, &body);
+  RegisterResponse out;
+  ASSERT_TRUE(DecodeRegisterResponse(body, &out).ok());
+  EXPECT_EQ(out.num_attrs, 9u);
+  EXPECT_EQ(out.num_modules, 4u);
+  EXPECT_EQ(out.num_private_modules, 3u);
+
+  for (size_t len = 0; len < body.size(); ++len) {
+    RegisterResponse truncated;
+    EXPECT_FALSE(
+        DecodeRegisterResponse(body.substr(0, len), &truncated).ok());
+  }
+  EXPECT_FALSE(DecodeRegisterResponse(body + 'x', &out).ok());
+}
+
+TEST(UnregisterRequestTest, RoundTripTruncationAndTrailing) {
+  std::string body;
+  EncodeUnregisterRequest("doomed", &body);
+  std::string name;
+  ASSERT_TRUE(DecodeUnregisterRequest(body, &name).ok());
+  EXPECT_EQ(name, "doomed");
+
+  for (size_t len = 0; len < body.size(); ++len) {
+    std::string out;
+    EXPECT_FALSE(DecodeUnregisterRequest(body.substr(0, len), &out).ok())
+        << "prefix of " << len << " bytes decoded";
+  }
+  EXPECT_EQ(DecodeUnregisterRequest(body + 'x', &name).code(),
+            StatusCode::kInvalidArgument);
+
+  std::string empty_body;
+  EncodeUnregisterRequest("", &empty_body);
+  EXPECT_EQ(DecodeUnregisterRequest(empty_body, &name).code(),
+            StatusCode::kInvalidArgument);
 }
 
 // -- responses --------------------------------------------------------------
@@ -381,6 +517,34 @@ TEST_F(DaemonRobustnessTest, HiddenAttrOutOfRangeIsTyped) {
   CertifyResponse resp;
   const Status s = client.Certify(req, /*batch=*/false, &resp);
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(DaemonRobustnessTest, HostileRegisterBodiesAreTypedAndContained) {
+  PodsClient client;
+  ASSERT_TRUE(client.Connect(daemon_->port()).ok());
+
+  // Garbage workflow bytes: typed rejection, connection survives, nothing
+  // registered.
+  RegisterRequest req;
+  req.name = "hostile";
+  req.workflow_bytes = "these are not workflow bytes";
+  std::string body;
+  EncodeRegisterRequest(req, &body);
+  std::string payload;
+  const Status s = client.RoundTrip(
+      BuildRequestFrame(MessageType::kRegister, 1, body), &payload);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_EQ(registry_.Find("hostile"), nullptr);
+
+  // Registering over a builtin name is a typed duplicate rejection.
+  EXPECT_EQ(client.Register("fig1", SampleWorkflowBytes()).code(),
+            StatusCode::kInvalidArgument);
+
+  // Unregistering the unknown is NOT_FOUND; the connection keeps serving.
+  EXPECT_EQ(client.Unregister("never-registered").code(),
+            StatusCode::kNotFound);
   EXPECT_TRUE(client.Ping().ok());
 }
 

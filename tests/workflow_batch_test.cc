@@ -165,7 +165,7 @@ TEST(WorkflowBatchTest, TaskGraphSharesBankAcrossBatches) {
       AllSubsetRequests(*g.workflow, 2);
 
   for (bool use_graph : {true, false}) {
-    WorkflowMemoBank bank(*g.workflow);
+    WorkflowCacheNamespace bank(*g.workflow);
     WorkflowBatchOptions opts;
     opts.num_threads = 2;
     opts.use_task_graph = use_graph;
